@@ -1,0 +1,37 @@
+//! # cubefit-analysis
+//!
+//! Theoretical analysis toolkit reproducing §III.A of the CubeFit paper.
+//!
+//! Theorem 2 bounds CubeFit's competitive ratio by a weighting argument:
+//! every CubeFit bin (bar finitely many) carries weight ≥ 1, while any bin
+//! of an optimal packing carries weight at most `r`, where `r` is the
+//! optimum of an integer program over the bin's composition. This crate
+//! provides:
+//!
+//! * [`weights`] — the replica weight function `w(x)`;
+//! * [`solver`] — a branch-and-bound maximizer for the integer program,
+//!   reproducing `r → 1.59` (γ = 2) and `r → 1.625` (γ = 3) for large
+//!   `K`;
+//! * [`ratio`] — empirical competitive-ratio measurement of any algorithm
+//!   against certified lower bounds on OPT;
+//! * [`adversary`] — adversarial sequence constructions probing the
+//!   worst-case regime behind the 1.42 online lower bound.
+//!
+//! ```
+//! use cubefit_analysis::solver::{maximize_bin_weight, IpConfig};
+//!
+//! let r = maximize_bin_weight(&IpConfig::new(2, 40));
+//! assert!(r.objective > 1.5 && r.objective < 1.7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod adversary;
+pub mod ratio;
+pub mod solver;
+pub mod weights;
+
+pub use ratio::{empirical_ratio, EmpiricalRatio};
+pub use solver::{maximize_bin_weight, IpConfig, IpSolution};
+pub use weights::WeightFunction;

@@ -1,0 +1,102 @@
+//! Empirical competitive-ratio measurement.
+
+use cubefit_baselines::bounds;
+use cubefit_core::{Consolidator, Result, Tenant};
+
+/// Empirical competitive-ratio estimate for one run: servers used divided
+/// by a certified lower bound on OPT.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmpiricalRatio {
+    /// Servers the algorithm used.
+    pub servers: usize,
+    /// The certified lower bound on OPT.
+    pub opt_lower_bound: usize,
+    /// `servers / opt_lower_bound` — an upper bound on the realized ratio.
+    pub ratio: f64,
+}
+
+/// Runs `algorithm` over `tenants` and reports the ratio of servers used
+/// to the best certified lower bound on the offline optimum.
+///
+/// Because the denominator is a lower bound on OPT, the reported ratio
+/// *over-estimates* the true competitive ratio; Theorem 2's analytic bound
+/// (see [`crate::solver`]) should dominate it asymptotically for
+/// well-behaved inputs.
+///
+/// # Errors
+///
+/// Propagates placement errors from the algorithm.
+pub fn empirical_ratio(
+    algorithm: &mut dyn Consolidator,
+    tenants: &[Tenant],
+) -> Result<EmpiricalRatio> {
+    for tenant in tenants {
+        algorithm.place(*tenant)?;
+    }
+    let servers = algorithm.placement().open_bins();
+    let opt_lower_bound = bounds::best_bound(tenants, algorithm.gamma()).max(1);
+    Ok(EmpiricalRatio {
+        servers,
+        opt_lower_bound,
+        ratio: servers as f64 / opt_lower_bound as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubefit_core::{CubeFit, CubeFitConfig, Load, TenantId};
+
+    fn tenants(loads: &[f64]) -> Vec<Tenant> {
+        loads
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| Tenant::new(TenantId::new(i as u64), Load::new(l).unwrap()))
+            .collect()
+    }
+
+    fn lcg_loads(seed: u64, n: usize, scale: f64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (((state >> 11) as f64 / (1u64 << 53) as f64) * scale).max(1e-6)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ratio_is_at_least_one() {
+        let ts = tenants(&lcg_loads(3, 500, 0.999));
+        let mut cf = CubeFit::new(
+            CubeFitConfig::builder().replication(2).classes(10).build().unwrap(),
+        );
+        let r = empirical_ratio(&mut cf, &ts).unwrap();
+        assert!(r.ratio >= 1.0);
+        assert!(r.servers >= r.opt_lower_bound);
+    }
+
+    #[test]
+    fn small_loads_ratio_stays_moderate() {
+        // With many small tenants the volume bound is tight-ish and
+        // CubeFit packs densely: the empirical ratio should sit well under
+        // 2 (the analytic bound region is ~1.6).
+        let ts = tenants(&lcg_loads(5, 3000, 0.2));
+        let mut cf = CubeFit::new(
+            CubeFitConfig::builder().replication(2).classes(10).build().unwrap(),
+        );
+        let r = empirical_ratio(&mut cf, &ts).unwrap();
+        assert!(r.ratio < 2.0, "ratio {}", r.ratio);
+    }
+
+    #[test]
+    fn empty_input_yields_unit_denominator() {
+        let mut cf = CubeFit::new(
+            CubeFitConfig::builder().replication(2).classes(5).build().unwrap(),
+        );
+        let r = empirical_ratio(&mut cf, &[]).unwrap();
+        assert_eq!(r.servers, 0);
+        assert_eq!(r.opt_lower_bound, 1);
+        assert_eq!(r.ratio, 0.0);
+    }
+}

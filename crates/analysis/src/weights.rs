@@ -1,0 +1,129 @@
+//! The Theorem-2 replica weight function.
+
+use cubefit_core::Classifier;
+
+/// The weight function of Theorem 2 for a fixed `(γ, K)` configuration.
+///
+/// For a replica of size `x ∈ (1/(i+1), 1/i]` with `γ ≤ i < K+γ−1`, the
+/// weight is `1/(i−γ+1)` — exactly `1/τ` for a class-`τ` replica, so a
+/// mature class-`τ` bin (holding `τ` such replicas) has weight ≥ 1. Tiny
+/// replicas (class `K`) get weight `x·(α_K+1)/(α_K−γ+1)`, which makes every
+/// full multi-replica weigh at least as much as a replica of its target
+/// class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightFunction {
+    classifier: Classifier,
+    alpha: usize,
+}
+
+impl WeightFunction {
+    /// Creates the weight function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `α_K < γ` (the weighting needs the theoretical
+    /// multi-replica target class to exist, i.e. `K > γ² + γ`).
+    #[must_use]
+    pub fn new(gamma: usize, classes: usize) -> Self {
+        let classifier = Classifier::new(classes, gamma);
+        let alpha = classifier.alpha().unwrap_or(0);
+        assert!(
+            alpha >= gamma,
+            "weight function needs α_K ≥ γ (K > γ²+γ); got K={classes}, γ={gamma}"
+        );
+        WeightFunction { classifier, alpha }
+    }
+
+    /// `α_K`: the largest integer with `α_K² + α_K < K`.
+    #[must_use]
+    pub fn alpha(&self) -> usize {
+        self.alpha
+    }
+
+    /// The tiny-replica weight density `(α_K+1)/(α_K−γ+1)`.
+    #[must_use]
+    pub fn tiny_density(&self) -> f64 {
+        (self.alpha + 1) as f64 / (self.alpha - self.classifier.gamma() + 1) as f64
+    }
+
+    /// The weight of a replica of size `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not in `(0, 1/γ]`.
+    #[must_use]
+    pub fn weight(&self, x: f64) -> f64 {
+        let class = self.classifier.classify(x);
+        if class.index() == self.classifier.classes() {
+            x * self.tiny_density()
+        } else {
+            1.0 / class.index() as f64
+        }
+    }
+
+    /// The total weight of a full class-`τ` bin's payload (τ replicas of
+    /// class τ): always exactly 1 for regular classes.
+    #[must_use]
+    pub fn mature_bin_weight(&self, tau: usize) -> f64 {
+        tau as f64 * (1.0 / tau as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_weight_is_inverse_class() {
+        let w = WeightFunction::new(2, 10);
+        // γ=2: class 1 = sizes (1/3, 1/2] → weight 1.
+        assert_eq!(w.weight(0.5), 1.0);
+        assert_eq!(w.weight(0.4), 1.0);
+        // class 2 = (1/4, 1/3] → weight 1/2.
+        assert_eq!(w.weight(0.3), 0.5);
+        // class 5 = (1/7, 1/6] → weight 1/5.
+        assert!((w.weight(0.15) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_weight_is_proportional() {
+        let w = WeightFunction::new(2, 10);
+        // K=10, γ=2 → α=2, density = 3/1 = 3.
+        assert_eq!(w.alpha(), 2);
+        assert_eq!(w.tiny_density(), 3.0);
+        // tiny threshold = 1/11.
+        let x = 0.05;
+        assert!((w.weight(x) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_density_approaches_one_for_large_k() {
+        let d40 = WeightFunction::new(2, 40).tiny_density(); // α=5 → 6/4
+        let d200 = WeightFunction::new(2, 200).tiny_density(); // α=13 → 14/12
+        assert!(d40 > d200);
+        assert!(d200 < 1.2);
+    }
+
+    #[test]
+    fn full_multireplica_weighs_like_target_class() {
+        let w = WeightFunction::new(2, 10);
+        // A full multi-replica has size > 1/(α+1) = 1/3; its weight is
+        // > (1/3)·3 = 1 = weight of a class α−γ+1 = 1 replica.
+        let multi_weight = (1.0 / 3.0) * w.tiny_density();
+        assert!(multi_weight >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn mature_bin_weight_is_one() {
+        let w = WeightFunction::new(3, 20);
+        for tau in 1..=5 {
+            assert!((w.mature_bin_weight(tau) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "α_K ≥ γ")]
+    fn rejects_small_k_for_gamma3() {
+        let _ = WeightFunction::new(3, 10);
+    }
+}

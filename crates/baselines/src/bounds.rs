@@ -1,0 +1,121 @@
+//! Certified lower bounds on the offline optimum.
+//!
+//! Competitive-ratio experiments (see `cubefit-analysis`) compare an online
+//! algorithm's server count against OPT, which is NP-hard to compute. These
+//! bounds are *sound*: every robust placement of the given tenants uses at
+//! least this many servers, so `servers_used / lower_bound` upper-bounds
+//! the empirical competitive ratio.
+
+use cubefit_core::Tenant;
+
+/// Lower bound from total volume: server capacity is 1, so at least
+/// `⌈Σ load⌉` servers are needed (replication splits loads but does not
+/// change the total).
+#[must_use]
+pub fn load_bound(tenants: &[Tenant]) -> usize {
+    let total: f64 = tenants.iter().map(|t| t.load().get()).sum();
+    total.ceil() as usize
+}
+
+/// Lower bound from replication: any non-empty instance needs at least `γ`
+/// distinct servers, since a tenant's replicas must land on distinct
+/// machines.
+#[must_use]
+pub fn replication_bound(tenants: &[Tenant], gamma: usize) -> usize {
+    if tenants.is_empty() {
+        0
+    } else {
+        gamma
+    }
+}
+
+/// Lower bound from failover reserve: for every tenant, each server hosting
+/// one of its replicas must reserve at least the shared load with the
+/// tenant's other servers. Summing over servers,
+/// `Σ_bins (level + worst_failover) ≥ Σ_tenants load · (1 + (γ−1)/γ)` is
+/// *not* sound in general, so this bound instead counts **large tenants**:
+/// tenants with replica size `s > 1/2` cannot coexist (a server hosting two
+/// such replicas with failover reserve would exceed capacity), hence every
+/// replica of a large tenant occupies a dedicated server — at least
+/// `γ · |large|` servers.
+#[must_use]
+pub fn large_tenant_bound(tenants: &[Tenant], gamma: usize) -> usize {
+    // replica s plus the reserve for the shared sibling load (also ≥ s for
+    // a co-hosted large replica pair) exceeds 1 when 2s + reserve > 1; the
+    // safe, simple criterion below uses s > 1/2: even alone, such a replica
+    // leaves less than 1/2 free, and its own failover reserve is s > 1/2.
+    let large = tenants
+        .iter()
+        .filter(|t| {
+            let s = t.replica_size(gamma);
+            s + s > 1.0 // level + single-sibling failover reserve > capacity
+        })
+        .count();
+    large * gamma
+}
+
+/// The best (largest) of all certified lower bounds.
+#[must_use]
+pub fn best_bound(tenants: &[Tenant], gamma: usize) -> usize {
+    load_bound(tenants)
+        .max(replication_bound(tenants, gamma))
+        .max(large_tenant_bound(tenants, gamma))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubefit_core::{Load, TenantId};
+
+    fn tenants(loads: &[f64]) -> Vec<Tenant> {
+        loads
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| Tenant::new(TenantId::new(i as u64), Load::new(l).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn load_bound_is_ceiling_of_total() {
+        assert_eq!(load_bound(&tenants(&[0.5, 0.5, 0.5])), 2);
+        assert_eq!(load_bound(&tenants(&[0.5, 0.5])), 1);
+        assert_eq!(load_bound(&[]), 0);
+    }
+
+    #[test]
+    fn replication_bound_floor() {
+        assert_eq!(replication_bound(&tenants(&[0.1]), 3), 3);
+        assert_eq!(replication_bound(&[], 3), 0);
+    }
+
+    #[test]
+    fn large_tenant_bound_counts_dominant_replicas() {
+        // γ = 2: replica > 1/2 means load > 1 — impossible, bound 0.
+        assert_eq!(large_tenant_bound(&tenants(&[1.0, 0.9]), 2), 0);
+        // γ = 2 with replica exactly 1/2 is not "large" (2s = 1 not > 1).
+        assert_eq!(large_tenant_bound(&tenants(&[1.0]), 2), 0);
+    }
+
+    #[test]
+    fn best_bound_dominates_components() {
+        let ts = tenants(&[0.9, 0.8, 0.7, 0.1]);
+        let b = best_bound(&ts, 2);
+        assert!(b >= load_bound(&ts));
+        assert!(b >= replication_bound(&ts, 2));
+        assert!(b >= large_tenant_bound(&ts, 2));
+        assert_eq!(b, 3); // ⌈2.5⌉ = 3 dominates γ = 2
+    }
+
+    #[test]
+    fn bounds_never_exceed_a_feasible_solution() {
+        use cubefit_core::{Consolidator, CubeFit, CubeFitConfig};
+        let ts = tenants(&[0.6, 0.3, 0.6, 0.78, 0.12, 0.36]);
+        let mut cf = CubeFit::new(
+            CubeFitConfig::builder().replication(2).classes(5).build().unwrap(),
+        );
+        for t in &ts {
+            cf.place(*t).unwrap();
+        }
+        assert!(best_bound(&ts, 2) <= cf.placement().open_bins());
+    }
+}

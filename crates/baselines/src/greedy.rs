@@ -1,0 +1,354 @@
+//! Failover-aware greedy packers: Best Fit, First Fit, Worst Fit.
+//!
+//! Classic online bin-packing heuristics lifted to replicated tenants: each
+//! replica is placed greedily on a *feasible* server — one that stays within
+//! capacity and keeps the failover reserve demanded by the configured
+//! [`ReserveMode`] — and a fresh server is opened when none qualifies.
+//! After selecting all `γ` servers the assignment is re-validated as a
+//! whole (later replicas raise earlier servers' shared loads); if the
+//! combination fails, the tenant falls back to `γ` fresh servers, which is
+//! always feasible.
+
+use crate::common::{assignment_feasible, extends_assignment, ReserveMode};
+use cubefit_core::level_index::LevelIndex;
+use cubefit_core::{
+    BinId, Consolidator, Error, Placement, PlacementOutcome, PlacementStage, Result, Tenant,
+};
+
+/// Which feasible server a greedy packer prefers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Preference {
+    /// Fullest feasible server (minimum leftover) — Best Fit.
+    Fullest,
+    /// Lowest-numbered feasible server — First Fit.
+    Oldest,
+    /// Emptiest feasible server — Worst Fit.
+    Emptiest,
+}
+
+/// Shared machinery behind the greedy packers.
+#[derive(Debug, Clone)]
+struct Greedy {
+    placement: Placement,
+    index: LevelIndex,
+    /// Bins in opening order (for First Fit scans).
+    order: Vec<BinId>,
+    reserve: ReserveMode,
+    preference: Preference,
+    fallbacks: usize,
+    scan_limit: usize,
+}
+
+impl Greedy {
+    fn new(gamma: usize, reserve: ReserveMode, preference: Preference) -> Result<Self> {
+        if gamma < 2 {
+            return Err(Error::InvalidReplication { gamma });
+        }
+        Ok(Greedy {
+            placement: Placement::new(gamma),
+            index: LevelIndex::new(),
+            order: Vec::new(),
+            reserve,
+            preference,
+            fallbacks: 0,
+            scan_limit: usize::MAX,
+        })
+    }
+
+    fn pick(&self, size: f64, chosen: &[BinId]) -> Option<BinId> {
+        let ok = |bin: &BinId| {
+            !chosen.contains(bin)
+                && extends_assignment(&self.placement, chosen, *bin, size, self.reserve, None)
+        };
+        // Scans are budgeted: beyond `scan_limit` candidates the packer
+        // opens a fresh server instead of searching exhaustively, keeping
+        // placement O(1) amortized at data-center scale.
+        match self.preference {
+            Preference::Fullest => self
+                .index
+                .iter_desc_at_most(1.0 - size)
+                .take(self.scan_limit)
+                .find(|b| ok(b)),
+            Preference::Emptiest => self.index.iter_asc().take(self.scan_limit).find(|b| ok(b)),
+            Preference::Oldest => self
+                .order
+                .iter()
+                .copied()
+                .take(self.scan_limit)
+                .find(|b| ok(b)),
+        }
+    }
+
+    fn open(&mut self) -> BinId {
+        let bin = self.placement.open_bin(None);
+        self.index.insert(bin, 0.0);
+        self.order.push(bin);
+        bin
+    }
+
+    fn place(&mut self, tenant: Tenant) -> Result<PlacementOutcome> {
+        if self.placement.tenant_bins(tenant.id()).is_some() {
+            return Err(Error::DuplicateTenant { tenant: tenant.id() });
+        }
+        let gamma = self.placement.gamma();
+        let size = tenant.replica_size(gamma);
+
+        let mut chosen: Vec<BinId> = Vec::with_capacity(gamma);
+        let mut opened = 0;
+        for _ in 0..gamma {
+            match self.pick(size, &chosen) {
+                Some(bin) => chosen.push(bin),
+                None => {
+                    chosen.push(self.open());
+                    opened += 1;
+                }
+            }
+        }
+        if !assignment_feasible(&self.placement, &chosen, size, self.reserve, None) {
+            // Later replicas invalidated an earlier server's reserve; the
+            // always-feasible fallback uses γ fresh servers.
+            self.fallbacks += 1;
+            chosen = (0..gamma).map(|_| self.open()).collect();
+            opened = gamma;
+        }
+        self.commit(&tenant, &chosen)?;
+        Ok(PlacementOutcome {
+            tenant: tenant.id(),
+            bins: chosen,
+            opened,
+            stage: PlacementStage::Direct,
+        })
+    }
+
+    fn commit(&mut self, tenant: &Tenant, bins: &[BinId]) -> Result<()> {
+        let old: Vec<(BinId, f64)> = bins.iter().map(|&b| (b, self.placement.level(b))).collect();
+        self.placement.place_tenant(tenant, bins)?;
+        for (bin, old_level) in old {
+            self.index.update(bin, old_level, self.placement.level(bin));
+        }
+        Ok(())
+    }
+}
+
+macro_rules! greedy_packer {
+    ($(#[$doc:meta])* $name:ident, $preference:expr, $label:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            inner: Greedy,
+        }
+
+        impl $name {
+            /// Creates the packer with the full `γ − 1`-failure reserve.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`Error::InvalidReplication`] if `gamma < 2`.
+            pub fn new(gamma: usize) -> Result<Self> {
+                Self::with_reserve(gamma, ReserveMode::GammaMinusOne)
+            }
+
+            /// Creates the packer with an explicit [`ReserveMode`].
+            ///
+            /// # Errors
+            ///
+            /// Returns [`Error::InvalidReplication`] if `gamma < 2`.
+            pub fn with_reserve(gamma: usize, reserve: ReserveMode) -> Result<Self> {
+                Ok($name { inner: Greedy::new(gamma, reserve, $preference)? })
+            }
+
+            /// How many tenants required the all-fresh-servers fallback.
+            #[must_use]
+            pub fn fallbacks(&self) -> usize {
+                self.inner.fallbacks
+            }
+
+            /// Bounds how many candidate servers each replica scan
+            /// inspects (default: exhaustive).
+            #[must_use]
+            pub fn with_scan_limit(mut self, limit: usize) -> Self {
+                self.inner.scan_limit = limit.max(1);
+                self
+            }
+        }
+
+        impl Consolidator for $name {
+            fn place(&mut self, tenant: Tenant) -> Result<PlacementOutcome> {
+                self.inner.place(tenant)
+            }
+
+            fn placement(&self) -> &Placement {
+                &self.inner.placement
+            }
+
+            fn name(&self) -> &'static str {
+                $label
+            }
+        }
+    };
+}
+
+greedy_packer!(
+    /// Failover-aware **Best Fit**: each replica goes to the fullest
+    /// feasible server.
+    ///
+    /// ```
+    /// use cubefit_baselines::BestFit;
+    /// use cubefit_core::{Consolidator, Load, Tenant};
+    ///
+    /// # fn main() -> Result<(), cubefit_core::Error> {
+    /// let mut packer = BestFit::new(2)?;
+    /// for load in [0.4, 0.4, 0.2] {
+    ///     packer.place(Tenant::with_load(Load::new(load)?))?;
+    /// }
+    /// assert!(packer.placement().is_robust());
+    /// # Ok(())
+    /// # }
+    /// ```
+    BestFit,
+    Preference::Fullest,
+    "bestfit"
+);
+
+greedy_packer!(
+    /// Failover-aware **First Fit**: each replica goes to the oldest
+    /// feasible server.
+    FirstFit,
+    Preference::Oldest,
+    "firstfit"
+);
+
+greedy_packer!(
+    /// Failover-aware **Worst Fit**: each replica goes to the emptiest
+    /// feasible server (spreads load; a utilization-unfriendly strawman).
+    WorstFit,
+    Preference::Emptiest,
+    "worstfit"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubefit_core::validity;
+    use cubefit_core::{Load, TenantId};
+
+    fn tenant(id: u64, load: f64) -> Tenant {
+        Tenant::new(TenantId::new(id), Load::new(load).unwrap())
+    }
+
+    fn lcg_loads(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (((state >> 11) as f64 / (1u64 << 53) as f64) * 0.999).max(1e-6)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn best_fit_reuses_fullest_bin() {
+        let mut bf = BestFit::new(2).unwrap();
+        bf.place(tenant(0, 0.5)).unwrap(); // two bins at 0.25
+        bf.place(tenant(1, 0.3)).unwrap(); // fits on the same two bins
+        assert_eq!(bf.placement().open_bins(), 2);
+        let outcome = bf.place(tenant(2, 0.1)).unwrap();
+        assert_eq!(outcome.opened, 0);
+        assert_eq!(bf.placement().open_bins(), 2);
+    }
+
+    #[test]
+    fn all_greedy_packers_stay_robust_gamma2() {
+        for loads in [lcg_loads(1, 400), lcg_loads(2, 400)] {
+            let mut packers: Vec<Box<dyn Consolidator>> = vec![
+                Box::new(BestFit::new(2).unwrap()),
+                Box::new(FirstFit::new(2).unwrap()),
+                Box::new(WorstFit::new(2).unwrap()),
+            ];
+            for packer in &mut packers {
+                for (id, &load) in loads.iter().enumerate() {
+                    packer.place(tenant(id as u64, load)).unwrap();
+                }
+                let report = validity::check(packer.placement());
+                assert!(
+                    report.is_robust(),
+                    "{} violated: margin {}",
+                    packer.name(),
+                    report.worst_margin
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_greedy_packers_stay_robust_gamma3() {
+        let loads = lcg_loads(3, 300);
+        let mut packers: Vec<Box<dyn Consolidator>> = vec![
+            Box::new(BestFit::new(3).unwrap()),
+            Box::new(FirstFit::new(3).unwrap()),
+            Box::new(WorstFit::new(3).unwrap()),
+        ];
+        for packer in &mut packers {
+            for (id, &load) in loads.iter().enumerate() {
+                packer.place(tenant(id as u64, load)).unwrap();
+            }
+            assert!(packer.placement().is_robust(), "{}", packer.name());
+        }
+    }
+
+    #[test]
+    fn single_failure_reserve_admits_more_but_risks_two_failures() {
+        let loads = lcg_loads(9, 300);
+        let mut strict = BestFit::new(3).unwrap();
+        let mut lax = BestFit::with_reserve(3, ReserveMode::SingleFailure).unwrap();
+        for (id, &load) in loads.iter().enumerate() {
+            strict.place(tenant(id as u64, load)).unwrap();
+            lax.place(tenant(id as u64, load)).unwrap();
+        }
+        assert!(lax.placement().open_bins() <= strict.placement().open_bins());
+        // The strict packer survives the robustness check; the lax one
+        // (reserving for one failure with γ=3) generally does not.
+        assert!(strict.placement().is_robust());
+        assert!(!lax.placement().is_robust());
+    }
+
+    #[test]
+    fn worst_fit_spreads_wider_than_best_fit() {
+        let loads = lcg_loads(4, 200);
+        let mut best = BestFit::new(2).unwrap();
+        let mut worst = WorstFit::new(2).unwrap();
+        for (id, &load) in loads.iter().enumerate() {
+            best.place(tenant(id as u64, load)).unwrap();
+            worst.place(tenant(id as u64, load)).unwrap();
+        }
+        assert!(worst.placement().open_bins() >= best.placement().open_bins());
+    }
+
+    #[test]
+    fn duplicate_tenant_rejected() {
+        let mut bf = BestFit::new(2).unwrap();
+        bf.place(tenant(0, 0.2)).unwrap();
+        assert!(matches!(
+            bf.place(tenant(0, 0.2)),
+            Err(Error::DuplicateTenant { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_gamma_below_two() {
+        assert!(BestFit::new(1).is_err());
+        assert!(FirstFit::new(0).is_err());
+    }
+
+    #[test]
+    fn first_fit_prefers_oldest() {
+        let mut ff = FirstFit::new(2).unwrap();
+        let first = ff.place(tenant(0, 0.8)).unwrap();
+        // 0.5-replicas cannot share the 0.4-level bins (reserve) → fresh,
+        // fuller bins that Best Fit would prefer.
+        ff.place(tenant(1, 1.0)).unwrap();
+        let third = ff.place(tenant(2, 0.2)).unwrap();
+        // First Fit returns to tenant 0's (oldest) bins regardless.
+        assert_eq!(third.bins, first.bins);
+    }
+}

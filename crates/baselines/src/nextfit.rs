@@ -1,0 +1,141 @@
+//! Next Fit adapted to replicated tenants.
+
+use crate::common::{assignment_feasible, ReserveMode};
+use cubefit_core::{
+    BinId, Consolidator, Error, Placement, PlacementOutcome, PlacementStage, Result, Tenant,
+};
+
+/// **Next Fit**: keeps only the current window of `γ` servers open; a
+/// tenant that does not fit in the window closes it and opens a fresh one.
+///
+/// The classic bounded-space baseline — `O(1)` state and the weakest
+/// packing quality, bounding the other algorithms from below.
+///
+/// ```
+/// use cubefit_baselines::NextFit;
+/// use cubefit_core::{Consolidator, Load, Tenant};
+///
+/// # fn main() -> Result<(), cubefit_core::Error> {
+/// let mut packer = NextFit::new(2)?;
+/// for load in [0.3, 0.3, 0.8] {
+///     packer.place(Tenant::with_load(Load::new(load)?))?;
+/// }
+/// // The 0.8 tenant did not fit in the first window.
+/// assert_eq!(packer.placement().open_bins(), 4);
+/// assert!(packer.placement().is_robust());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NextFit {
+    placement: Placement,
+    window: Option<Vec<BinId>>,
+    reserve: ReserveMode,
+}
+
+impl NextFit {
+    /// Creates a Next Fit packer with the full `γ − 1`-failure reserve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidReplication`] if `gamma < 2`.
+    pub fn new(gamma: usize) -> Result<Self> {
+        if gamma < 2 {
+            return Err(Error::InvalidReplication { gamma });
+        }
+        Ok(NextFit {
+            placement: Placement::new(gamma),
+            window: None,
+            reserve: ReserveMode::GammaMinusOne,
+        })
+    }
+}
+
+impl Consolidator for NextFit {
+    fn place(&mut self, tenant: Tenant) -> Result<PlacementOutcome> {
+        if self.placement.tenant_bins(tenant.id()).is_some() {
+            return Err(Error::DuplicateTenant { tenant: tenant.id() });
+        }
+        let gamma = self.placement.gamma();
+        let size = tenant.replica_size(gamma);
+
+        let fits_window = self.window.as_ref().is_some_and(|window| {
+            assignment_feasible(&self.placement, window, size, self.reserve, None)
+        });
+        let mut opened = 0;
+        if !fits_window {
+            let fresh: Vec<BinId> = (0..gamma).map(|_| self.placement.open_bin(None)).collect();
+            opened = gamma;
+            self.window = Some(fresh);
+        }
+        let bins = self.window.clone().expect("window exists after refresh");
+        self.placement.place_tenant(&tenant, &bins)?;
+        Ok(PlacementOutcome {
+            tenant: tenant.id(),
+            bins,
+            opened,
+            stage: PlacementStage::Direct,
+        })
+    }
+
+    fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    fn name(&self) -> &'static str {
+        "nextfit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubefit_core::{Load, TenantId};
+
+    fn tenant(id: u64, load: f64) -> Tenant {
+        Tenant::new(TenantId::new(id), Load::new(load).unwrap())
+    }
+
+    #[test]
+    fn window_reuse_until_full() {
+        let mut nf = NextFit::new(2).unwrap();
+        let a = nf.place(tenant(0, 0.4)).unwrap();
+        let b = nf.place(tenant(1, 0.4)).unwrap();
+        assert_eq!(a.bins, b.bins);
+        assert_eq!(b.opened, 0);
+        // 0.4-level bins sharing 0.4: another 0.4 tenant violates the
+        // reserve, so a new window opens.
+        let c = nf.place(tenant(2, 0.4)).unwrap();
+        assert_ne!(a.bins, c.bins);
+        assert_eq!(c.opened, 2);
+        assert_eq!(nf.placement().open_bins(), 4);
+    }
+
+    #[test]
+    fn old_windows_are_never_revisited() {
+        let mut nf = NextFit::new(2).unwrap();
+        nf.place(tenant(0, 0.9)).unwrap(); // window A nearly full
+        nf.place(tenant(1, 0.9)).unwrap(); // window B
+        // A tiny tenant would fit in window A, but Next Fit only looks at B.
+        let c = nf.place(tenant(2, 0.05)).unwrap();
+        let b_bins = nf.placement().tenant_bins(TenantId::new(1)).unwrap();
+        assert_eq!(c.bins.as_slice(), b_bins);
+    }
+
+    #[test]
+    fn stays_robust_gamma3() {
+        let mut nf = NextFit::new(3).unwrap();
+        let mut state = 42u64;
+        for id in 0..300 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let load = (((state >> 11) as f64 / (1u64 << 53) as f64) * 0.999).max(1e-6);
+            nf.place(tenant(id, load)).unwrap();
+        }
+        assert!(nf.placement().is_robust());
+    }
+
+    #[test]
+    fn rejects_gamma_below_two() {
+        assert!(NextFit::new(1).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Throughput of the discrete-event cluster simulator: simulated seconds
+//! per wall second on a loaded multi-server cluster.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cubefit_cluster::{ClusterSim, QueryMix, SimConfig, TenantAssignment};
+use cubefit_workload::LoadModel;
+
+fn assignments() -> Vec<TenantAssignment> {
+    // 8 servers, 12 tenants spread pairwise — a moderately hot cluster.
+    (0..12u64)
+        .map(|t| {
+            let a = (t as usize) % 8;
+            let b = (a + 1 + (t as usize) % 6) % 8;
+            TenantAssignment::new(t, 12, vec![a, b])
+        })
+        .collect()
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let model = LoadModel::tpch_xeon();
+    let mix = QueryMix::tpch_like(&model, 5.0);
+
+    c.bench_function("cluster_des/10s_window", |b| {
+        b.iter(|| {
+            let mut sim = ClusterSim::new(
+                8,
+                assignments(),
+                &mix,
+                &model,
+                SimConfig { warmup_seconds: 2.0, measure_seconds: 10.0, seed: 3 },
+            );
+            sim.run().p99()
+        });
+    });
+
+    c.bench_function("cluster_des/failure_path", |b| {
+        b.iter(|| {
+            let mut sim = ClusterSim::new(
+                8,
+                assignments(),
+                &mix,
+                &model,
+                SimConfig { warmup_seconds: 1.0, measure_seconds: 5.0, seed: 4 },
+            );
+            sim.fail_servers(&[0]);
+            sim.run().p99()
+        });
+    });
+
+    c.bench_function("query_mix/sample", |b| {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| mix.sample(&mut rng));
+    });
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

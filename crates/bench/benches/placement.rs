@@ -1,0 +1,60 @@
+//! Placement throughput of every consolidation algorithm — the "amount of
+//! time each placement algorithm needs to consolidate tenants onto
+//! servers" statistic of §V.C.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cubefit_sim::experiment::sequence_for;
+use cubefit_sim::{AlgorithmSpec, ComparisonConfig, DistributionSpec};
+use cubefit_workload::TenantSequence;
+
+fn sequences() -> Vec<(&'static str, TenantSequence)> {
+    let config = ComparisonConfig { tenants: 5_000, runs: 1, base_seed: 42, max_clients: 52 };
+    vec![
+        (
+            "uniform(1-15)",
+            sequence_for(&DistributionSpec::Uniform { min: 1, max: 15 }, &config, 0),
+        ),
+        (
+            "zipf(3)",
+            sequence_for(&DistributionSpec::Zipf { exponent: 3.0 }, &config, 0),
+        ),
+    ]
+}
+
+fn algorithms() -> Vec<AlgorithmSpec> {
+    vec![
+        AlgorithmSpec::CubeFit { gamma: 2, classes: 10 },
+        AlgorithmSpec::CubeFit { gamma: 3, classes: 10 },
+        AlgorithmSpec::Rfi { gamma: 2, mu: 0.85 },
+        AlgorithmSpec::BestFit { gamma: 2 },
+        AlgorithmSpec::FirstFit { gamma: 2 },
+        AlgorithmSpec::NextFit { gamma: 2 },
+    ]
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(10);
+    for (dist_label, sequence) in sequences() {
+        group.throughput(Throughput::Elements(sequence.len() as u64));
+        for spec in algorithms() {
+            group.bench_with_input(
+                BenchmarkId::new(spec.label(), dist_label),
+                &sequence,
+                |b, seq| {
+                    b.iter(|| {
+                        let mut algorithm = spec.build().expect("valid spec");
+                        for tenant in seq.tenants() {
+                            algorithm.place(tenant).expect("placement succeeds");
+                        }
+                        algorithm.placement().open_bins()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Workload-generation throughput: sequence building, zipf sampling, and
+//! trace encode/decode.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cubefit_workload::{
+    trace, LoadModel, SequenceBuilder, UniformClients, ZipfClients, ZipfTable,
+};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    group.throughput(Throughput::Elements(10_000));
+
+    group.bench_function("generate/uniform_10k", |b| {
+        b.iter(|| {
+            SequenceBuilder::new(UniformClients::new(1, 52), LoadModel::normalized(52))
+                .count(10_000)
+                .seed(1)
+                .build()
+                .total_load()
+        });
+    });
+
+    group.bench_function("generate/zipf3_10k", |b| {
+        b.iter(|| {
+            SequenceBuilder::new(ZipfClients::new(3.0, 52), LoadModel::normalized(52))
+                .count(10_000)
+                .seed(1)
+                .build()
+                .total_load()
+        });
+    });
+    group.finish();
+
+    c.bench_function("zipf/sample", |b| {
+        use rand::SeedableRng;
+        let table = ZipfTable::new(52, 3.0);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+        b.iter(|| table.sample(&mut rng));
+    });
+
+    c.bench_function("trace/roundtrip_1k", |b| {
+        let sequence = SequenceBuilder::new(UniformClients::new(1, 52), LoadModel::normalized(52))
+            .count(1_000)
+            .seed(9)
+            .build();
+        b.iter(|| {
+            let encoded = trace::encode(&sequence);
+            trace::decode(encoded).expect("roundtrip").len()
+        });
+    });
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! * **K sweep** — "as the number of servers is increased, increasing the
+//!   number of classes will yield better performance" (§V.A);
+//! * **μ sweep** — RFI's interleaving parameter (the paper recommends
+//!   0.85);
+//! * **tiny-tenant policy** — §V.A's empirical class-(K−1) placement with
+//!   stage-1 reuse, vs. the theoretical α_K scheme, vs. no stage-1 reuse;
+//! * **stage-1 eligibility** — strictly-smaller-class bins (paper wording)
+//!   vs. any mature bin.
+//!
+//! Run: `cargo run --release -p cubefit-bench --bin ablation [-- --quick]`
+
+use cubefit_bench::{write_json, Mode};
+use cubefit_core::{
+    Consolidator, CubeFit, CubeFitConfig, Stage1Eligibility, TinyPolicy,
+};
+use cubefit_sim::experiment::sequence_for;
+use cubefit_sim::report::TextTable;
+use cubefit_sim::runner::run_sequence;
+use cubefit_sim::{AlgorithmSpec, ComparisonConfig, DistributionSpec};
+use cubefit_workload::TenantSequence;
+
+fn run_config(config: CubeFitConfig, sequence: &TenantSequence) -> (usize, f64, bool) {
+    let mut algorithm = CubeFit::new(config);
+    for tenant in sequence.tenants() {
+        algorithm.place(tenant).expect("placement succeeds");
+    }
+    let stats = algorithm.placement().stats();
+    (
+        stats.open_bins,
+        stats.mean_utilization,
+        algorithm.placement().is_robust(),
+    )
+}
+
+fn main() {
+    let mode = Mode::from_args();
+    let tenants = if mode.is_quick() { 5_000 } else { 50_000 };
+    let config = ComparisonConfig { tenants, runs: 1, base_seed: 11, max_clients: 52 };
+    let uniform = sequence_for(&DistributionSpec::Uniform { min: 1, max: 15 }, &config, 0);
+    let zipf = sequence_for(&DistributionSpec::Zipf { exponent: 3.0 }, &config, 0);
+    let mut json = serde_json::Map::new();
+
+    println!("Ablations — {} tenants per cell, γ=2\n", tenants);
+
+    // --- K sweep -----------------------------------------------------
+    let mut table = TextTable::new(vec!["K", "uniform(1-15) servers", "zipf(3) servers"]);
+    let mut rows = Vec::new();
+    for k in [2usize, 3, 5, 7, 10, 15, 20] {
+        let cfg = CubeFitConfig::builder().replication(2).classes(k).build().unwrap();
+        let (u_servers, _, u_robust) = run_config(cfg, &uniform);
+        let (z_servers, _, z_robust) = run_config(cfg, &zipf);
+        assert!(u_robust && z_robust, "ablation configs must stay robust");
+        table.row(vec![k.to_string(), u_servers.to_string(), z_servers.to_string()]);
+        rows.push(serde_json::json!({ "k": k, "uniform": u_servers, "zipf": z_servers }));
+    }
+    println!("K sweep (number of size classes):\n{}", table.render());
+    json.insert("k_sweep".into(), rows.into());
+
+    // --- μ sweep ------------------------------------------------------
+    let mut table = TextTable::new(vec!["μ", "uniform(1-15) servers", "zipf(3) servers"]);
+    let mut rows = Vec::new();
+    for mu in [0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 1.0] {
+        let spec = AlgorithmSpec::Rfi { gamma: 2, mu };
+        let u = run_sequence(&spec, &uniform).unwrap().servers;
+        let z = run_sequence(&spec, &zipf).unwrap().servers;
+        table.row(vec![format!("{mu:.2}"), u.to_string(), z.to_string()]);
+        rows.push(serde_json::json!({ "mu": mu, "uniform": u, "zipf": z }));
+    }
+    println!("μ sweep (RFI interleaving cap; paper recommends 0.85):\n{}", table.render());
+    json.insert("mu_sweep".into(), rows.into());
+
+    // --- tiny-tenant policy -------------------------------------------
+    let mut table =
+        TextTable::new(vec!["policy", "uniform servers", "zipf servers", "zipf util"]);
+    let mut rows = Vec::new();
+    let policies: [(&str, CubeFitConfig); 3] = [
+        (
+            "classK-1 + stage1 (paper §V.A, default)",
+            CubeFitConfig::builder().replication(2).classes(10).build().unwrap(),
+        ),
+        (
+            "classK-1, no tiny stage1 (Algorithm 1)",
+            CubeFitConfig::builder()
+                .replication(2)
+                .classes(10)
+                .tiny_stage1(false)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "theoretical α_K multis",
+            CubeFitConfig::builder()
+                .replication(2)
+                .classes(10)
+                .tiny_policy(TinyPolicy::Theoretical)
+                .tiny_stage1(false)
+                .build()
+                .unwrap(),
+        ),
+    ];
+    for (label, cfg) in policies {
+        let (u, _, _) = run_config(cfg, &uniform);
+        let (z, z_util, robust) = run_config(cfg, &zipf);
+        assert!(robust);
+        table.row(vec![
+            label.to_string(),
+            u.to_string(),
+            z.to_string(),
+            format!("{z_util:.3}"),
+        ]);
+        rows.push(serde_json::json!({ "policy": label, "uniform": u, "zipf": z }));
+    }
+    println!("tiny-tenant policy:\n{}", table.render());
+    json.insert("tiny_policy".into(), rows.into());
+
+    // --- stage-1 eligibility -------------------------------------------
+    let mut table = TextTable::new(vec!["eligibility", "uniform servers", "zipf servers"]);
+    let mut rows = Vec::new();
+    for (label, rule) in [
+        ("smaller-class bins (paper)", Stage1Eligibility::SmallerClassBins),
+        ("any mature bin", Stage1Eligibility::AnyMatureBin),
+    ] {
+        let cfg = CubeFitConfig::builder()
+            .replication(2)
+            .classes(10)
+            .stage1_eligibility(rule)
+            .build()
+            .unwrap();
+        let (u, _, u_robust) = run_config(cfg, &uniform);
+        let (z, _, z_robust) = run_config(cfg, &zipf);
+        assert!(u_robust && z_robust);
+        table.row(vec![label.to_string(), u.to_string(), z.to_string()]);
+        rows.push(serde_json::json!({ "eligibility": label, "uniform": u, "zipf": z }));
+    }
+    println!("stage-1 eligibility:\n{}", table.render());
+    json.insert("stage1_eligibility".into(), rows.into());
+
+    write_json("ablation", &serde_json::Value::Object(json));
+}

@@ -1,0 +1,101 @@
+//! Reproduces **Fig. 5**: 99th-percentile latency of CubeFit (γ=2, γ=3,
+//! K=5) and RFI (γ=2, μ=0.85) under worst-case 1- and 2-server failures,
+//! for uniform(1–15) and zipf(3) client distributions, against the 5 s SLA.
+//!
+//! Paper reference points: with 1 failure every configuration meets the
+//! SLA; with 2 failures only CubeFit γ=3 stays within it (4.27 s uniform,
+//! 4.19 s zipfian), while CubeFit γ=2 and RFI violate.
+//!
+//! Run: `cargo run --release -p cubefit-bench --bin fig5 [-- --quick]`
+
+use cubefit_bench::{write_json, Mode};
+use cubefit_cluster::SimConfig;
+use cubefit_sim::report::TextTable;
+use cubefit_sim::{
+    run_failure_experiment, AlgorithmSpec, DistributionSpec, FailureExperimentConfig,
+};
+
+fn main() {
+    let mode = Mode::from_args();
+    let seed = 20170605; // ICDCS'17 session date; any fixed seed works.
+    let (servers, sim) = if mode.is_quick() {
+        (20, SimConfig::quick(seed))
+    } else {
+        (69, SimConfig::paper(seed))
+    };
+
+    let algorithms = [
+        AlgorithmSpec::CubeFit { gamma: 2, classes: 5 },
+        AlgorithmSpec::CubeFit { gamma: 3, classes: 5 },
+        AlgorithmSpec::Rfi { gamma: 2, mu: 0.85 },
+    ];
+    let distributions = [
+        DistributionSpec::Uniform { min: 1, max: 15 },
+        DistributionSpec::Zipf { exponent: 3.0 },
+    ];
+
+    println!("Fig. 5 — p99 latency under worst-case failures (SLA = 5 s)");
+    println!(
+        "mode: {:?} ({} data servers, {}+{} s sim windows)\n",
+        mode, servers, sim.warmup_seconds, sim.measure_seconds
+    );
+
+    let mut table = TextTable::new(vec![
+        "failures",
+        "distribution",
+        "algorithm",
+        "tenants",
+        "servers",
+        "p99 (s)",
+        "worst load",
+        "SLA guarantee",
+    ]);
+    let mut json_rows = Vec::new();
+
+    for failures in [1usize, 2] {
+        for distribution in &distributions {
+            for algorithm in &algorithms {
+                let config = FailureExperimentConfig {
+                    algorithm: algorithm.clone(),
+                    distribution: distribution.clone(),
+                    servers,
+                    failures,
+                    sla_seconds: 5.0,
+                    seed,
+                    sim,
+                };
+                let outcome = run_failure_experiment(&config)
+                    .expect("failure experiment configurations are valid");
+                table.row(vec![
+                    failures.to_string(),
+                    outcome.distribution.clone(),
+                    outcome.algorithm.clone(),
+                    outcome.tenants.to_string(),
+                    outcome.servers_used.to_string(),
+                    format!("{:.2}", outcome.p99_seconds),
+                    format!("{:.3}", outcome.worst_model_load),
+                    if outcome.sla_violated { "VIOLATED" } else { "holds" }.to_string(),
+                ]);
+                json_rows.push(serde_json::json!({
+                    "failures": failures,
+                    "distribution": outcome.distribution,
+                    "algorithm": outcome.algorithm,
+                    "tenants": outcome.tenants,
+                    "servers_used": outcome.servers_used,
+                    "p99_seconds": outcome.p99_seconds,
+                    "mean_seconds": outcome.mean_seconds,
+                    "worst_model_load": outcome.worst_model_load,
+                    "sla_violated": outcome.sla_violated,
+                    "unavailable_clients": outcome.unavailable_clients,
+                }));
+            }
+        }
+    }
+
+    println!("{}", table.render());
+    println!("SLA guarantee: worst post-failure load ≤ 1.0 (= the calibrated SLA point);");
+    println!("measured p99 fluctuates a few percent around 5 s × load.");
+    println!("paper: 1 failure → all configurations meet the SLA;");
+    println!("       2 failures → only cubefit(γ=3) meets it (4.27 s uniform, 4.19 s zipf)");
+    write_json("fig5", &serde_json::json!({ "mode": format!("{mode:?}"), "rows": json_rows }));
+}

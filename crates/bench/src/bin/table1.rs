@@ -1,0 +1,82 @@
+//! Reproduces **Table I**: yearly cost savings of CubeFit over RFI for
+//! 50,000 tenants at $0.822/hour (EC2 c4.4xlarge), continuous operation.
+//!
+//! Paper reference: uniform — RFI 10,951 servers, 2,506 saved,
+//! $18,045,004/yr; zipfian — RFI 2,218 servers, 496 saved, $3,571,557/yr.
+//! (Per DESIGN.md the paper's "uniform" matches the 1–15 client range of
+//! the cluster experiments: its RFI server count reproduces only there.)
+//!
+//! Run: `cargo run --release -p cubefit-bench --bin table1 [-- --quick]`
+
+use cubefit_bench::{write_json, Mode};
+use cubefit_sim::report::{dollars, TextTable};
+use cubefit_sim::{compare, AlgorithmSpec, ComparisonConfig, CostModel, DistributionSpec};
+
+fn main() {
+    let mode = Mode::from_args();
+    let config = if mode.is_quick() {
+        ComparisonConfig { tenants: 5_000, runs: 3, base_seed: 3, max_clients: 52 }
+    } else {
+        ComparisonConfig::paper(3)
+    };
+    let cost = CostModel::c4_4xlarge();
+
+    let rows = [
+        ("Uniform", DistributionSpec::Uniform { min: 1, max: 15 }, 10_951usize, 2_506usize),
+        ("Zipfian", DistributionSpec::Zipf { exponent: 3.0 }, 2_218, 496),
+    ];
+    let rfi = AlgorithmSpec::Rfi { gamma: 2, mu: 0.85 };
+    let cubefit = AlgorithmSpec::CubeFit { gamma: 2, classes: 10 };
+
+    println!("Table I — yearly cost savings of CubeFit over RFI");
+    println!(
+        "mode: {:?} ({} runs × {} tenants, ${}/h × 8,760 h)\n",
+        mode,
+        config.runs,
+        config.tenants,
+        cost.hourly_usd()
+    );
+
+    let mut table = TextTable::new(vec![
+        "distribution",
+        "rfi servers",
+        "cubefit servers",
+        "saved",
+        "dollar savings",
+        "paper rfi",
+        "paper saved",
+        "paper savings",
+    ]);
+    let mut json_rows = Vec::new();
+
+    for (label, distribution, paper_rfi, paper_saved) in rows {
+        let result =
+            compare(&rfi, &cubefit, &distribution, &config).expect("comparison specs are valid");
+        let rfi_servers = result.baseline_servers.mean.round() as usize;
+        let cf_servers = result.candidate_servers.mean.round() as usize;
+        let saved = rfi_servers.saturating_sub(cf_servers);
+        let savings = cost.yearly_savings(rfi_servers, cf_servers);
+        table.row(vec![
+            label.to_string(),
+            rfi_servers.to_string(),
+            cf_servers.to_string(),
+            saved.to_string(),
+            dollars(savings),
+            paper_rfi.to_string(),
+            paper_saved.to_string(),
+            dollars(cost.yearly_cost(paper_saved)),
+        ]);
+        json_rows.push(serde_json::json!({
+            "distribution": label,
+            "rfi_servers": rfi_servers,
+            "cubefit_servers": cf_servers,
+            "servers_saved": saved,
+            "yearly_savings_usd": savings,
+            "paper_rfi_servers": paper_rfi,
+            "paper_servers_saved": paper_saved,
+        }));
+    }
+
+    println!("{}", table.render());
+    write_json("table1", &serde_json::json!({ "mode": format!("{mode:?}"), "rows": json_rows }));
+}

@@ -1,0 +1,204 @@
+//! Minimal flag parsing for the `cubefit` binary.
+//!
+//! Deliberately dependency-free: the CLI surface is small and stable, and a
+//! hand-rolled parser keeps the offline build light. Flags are
+//! `--name value` pairs; the first non-flag token is the subcommand and
+//! remaining non-flag tokens are positional arguments.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed command line: subcommand, positionals, and `--flag value`
+/// pairs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedArgs {
+    /// The subcommand (first non-flag token), if any.
+    pub command: Option<String>,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+/// Errors produced while parsing or validating arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgsError {
+    /// A `--flag` appeared without a value.
+    MissingValue(String),
+    /// The same flag appeared twice.
+    Duplicate(String),
+    /// A required flag was absent.
+    Required(String),
+    /// A flag's value failed to parse.
+    Invalid {
+        /// Flag name.
+        flag: String,
+        /// Offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::MissingValue(flag) => write!(f, "--{flag} expects a value"),
+            ArgsError::Duplicate(flag) => write!(f, "--{flag} given more than once"),
+            ArgsError::Required(flag) => write!(f, "--{flag} is required"),
+            ArgsError::Invalid { flag, value, expected } => {
+                write!(f, "--{flag} {value}: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl ParsedArgs {
+    /// Parses raw tokens (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::MissingValue`] or [`ArgsError::Duplicate`] on
+    /// malformed flag syntax.
+    pub fn parse<I, S>(tokens: I) -> Result<Self, ArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut parsed = ParsedArgs::default();
+        let mut iter = tokens.into_iter().map(Into::into).peekable();
+        while let Some(token) = iter.next() {
+            if let Some(name) = token.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgsError::MissingValue(name.to_string()))?;
+                if parsed.flags.insert(name.to_string(), value).is_some() {
+                    return Err(ArgsError::Duplicate(name.to_string()));
+                }
+            } else if parsed.command.is_none() {
+                parsed.command = Some(token);
+            } else {
+                parsed.positional.push(token);
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The raw value of `flag`, if present.
+    #[must_use]
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::Required`] if absent.
+    pub fn required(&self, flag: &str) -> Result<&str, ArgsError> {
+        self.get(flag).ok_or_else(|| ArgsError::Required(flag.to_string()))
+    }
+
+    /// A typed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::Invalid`] if present but unparseable.
+    pub fn get_or<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgsError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgsError::Invalid {
+                flag: flag.to_string(),
+                value: raw.to_string(),
+                expected,
+            }),
+        }
+    }
+
+    /// Names of flags that were provided (for unknown-flag validation).
+    pub fn flag_names(&self) -> impl Iterator<Item = &str> {
+        self.flags.keys().map(String::as_str)
+    }
+
+    /// Validates that every provided flag is in `allowed`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::Invalid`] naming the first unknown flag.
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), ArgsError> {
+        for name in self.flag_names() {
+            if !allowed.contains(&name) {
+                return Err(ArgsError::Invalid {
+                    flag: name.to_string(),
+                    value: String::new(),
+                    expected: "a supported flag for this subcommand",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_flags_and_positionals() {
+        let args =
+            ParsedArgs::parse(["place", "--gamma", "2", "trace.cft", "--algorithm", "rfi"])
+                .unwrap();
+        assert_eq!(args.command.as_deref(), Some("place"));
+        assert_eq!(args.positional, vec!["trace.cft"]);
+        assert_eq!(args.get("gamma"), Some("2"));
+        assert_eq!(args.get("algorithm"), Some("rfi"));
+        assert_eq!(args.get("missing"), None);
+    }
+
+    #[test]
+    fn missing_value_and_duplicates_error() {
+        assert_eq!(
+            ParsedArgs::parse(["x", "--gamma"]),
+            Err(ArgsError::MissingValue("gamma".into()))
+        );
+        assert_eq!(
+            ParsedArgs::parse(["x", "--a", "1", "--a", "2"]),
+            Err(ArgsError::Duplicate("a".into()))
+        );
+    }
+
+    #[test]
+    fn typed_access() {
+        let args = ParsedArgs::parse(["c", "--n", "42", "--bad", "xyz"]).unwrap();
+        assert_eq!(args.get_or("n", 7usize, "an integer").unwrap(), 42);
+        assert_eq!(args.get_or("absent", 7usize, "an integer").unwrap(), 7);
+        assert!(args.get_or::<usize>("bad", 0, "an integer").is_err());
+        assert!(args.required("n").is_ok());
+        assert!(matches!(args.required("nope"), Err(ArgsError::Required(_))));
+    }
+
+    #[test]
+    fn unknown_flag_rejection() {
+        let args = ParsedArgs::parse(["c", "--known", "1", "--typo", "2"]).unwrap();
+        assert!(args.expect_only(&["known", "typo"]).is_ok());
+        assert!(args.expect_only(&["known"]).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        for e in [
+            ArgsError::MissingValue("a".into()),
+            ArgsError::Duplicate("b".into()),
+            ArgsError::Required("c".into()),
+            ArgsError::Invalid { flag: "d".into(), value: "x".into(), expected: "an int" },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! `cubefit check` — audit a placement dump for robustness.
+
+use crate::args::ParsedArgs;
+use cubefit_core::validity::{self, FailoverSemantics};
+use cubefit_core::PlacementDump;
+
+/// Flags accepted by `check`.
+pub const FLAGS: &[&str] = &["failures", "render"];
+
+/// Usage line shown in `--help`.
+pub const USAGE: &str = "check PLACEMENT.json [--failures F] [--render N]";
+
+/// Runs the command, returning its stdout text.
+///
+/// # Errors
+///
+/// Returns a message for bad flags, unreadable dumps, or if the placement
+/// violates the robustness condition (exit is non-zero so scripts can gate
+/// on it).
+pub fn run(args: &ParsedArgs) -> Result<String, String> {
+    args.expect_only(FLAGS).map_err(|e| e.to_string())?;
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| format!("usage: {USAGE}"))?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let dump: PlacementDump =
+        serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))?;
+    let placement = dump.to_placement().map_err(|e| format!("rebuilding placement: {e}"))?;
+
+    let failures: usize = args
+        .get_or("failures", placement.gamma() - 1, "an integer")
+        .map_err(|e| e.to_string())?;
+
+    let mut output = String::new();
+    let stats = placement.stats();
+    output.push_str(&format!(
+        "{} tenants on {} servers, γ={}, utilization {:.1}%\n",
+        stats.tenants,
+        stats.open_bins,
+        placement.gamma(),
+        stats.mean_utilization * 100.0
+    ));
+
+    let report = validity::check(&placement);
+    output.push_str(&format!(
+        "robustness (any {} failures): {} (worst margin {:+.4})\n",
+        placement.gamma() - 1,
+        if report.is_robust() { "OK" } else { "VIOLATED" },
+        report.worst_margin
+    ));
+    for violation in report.violations.iter().take(5) {
+        output.push_str(&format!(
+            "  server {} would carry {:.4} (level {:.4} + failover {:.4})\n",
+            violation.bin.index(),
+            violation.total(),
+            violation.level,
+            violation.failover
+        ));
+    }
+
+    let worst = validity::worst_failure_set(&placement, failures, FailoverSemantics::EvenSplit);
+    let impact = validity::simulate_failures(&placement, &worst, FailoverSemantics::EvenSplit);
+    output.push_str(&format!(
+        "worst {failures}-failure set {:?}: hottest survivor at load {:.4}, {} tenants unavailable\n",
+        worst.iter().map(|b| b.index()).collect::<Vec<_>>(),
+        impact.max_load(),
+        impact.unavailable_tenants.len()
+    ));
+
+    if let Some(n) = args.get("render") {
+        let max_servers: usize = n
+            .parse()
+            .map_err(|_| "--render expects a server count".to_string())?;
+        output.push('\n');
+        output.push_str(&cubefit_core::render::render(
+            &placement,
+            cubefit_core::render::RenderOptions { max_servers, show_tenants: false },
+        ));
+    }
+
+    if report.is_robust() {
+        Ok(output)
+    } else {
+        Err(output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubefit_core::{Consolidator, CubeFit, CubeFitConfig, Load, Placement, Tenant, TenantId};
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("cubefit-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn write_dump(name: &str, placement: &Placement) -> String {
+        let path = tmp(name);
+        let dump = PlacementDump::from_placement(placement);
+        std::fs::write(&path, serde_json::to_string(&dump).unwrap()).unwrap();
+        path
+    }
+
+    #[test]
+    fn robust_placement_passes() {
+        let mut cf = CubeFit::new(
+            CubeFitConfig::builder().replication(2).classes(5).build().unwrap(),
+        );
+        for id in 0..20u64 {
+            cf.place(Tenant::new(TenantId::new(id), Load::new(0.3).unwrap())).unwrap();
+        }
+        let path = write_dump("check-ok.json", cf.placement());
+        let args = ParsedArgs::parse(["check", path.as_str()]).unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("robustness (any 1 failures): OK"));
+        assert!(out.contains("hottest survivor"));
+
+        let rendered =
+            run(&ParsedArgs::parse(["check", path.as_str(), "--render", "4"]).unwrap()).unwrap();
+        assert!(rendered.contains('['));
+        assert!(rendered.contains("level"));
+    }
+
+    #[test]
+    fn unsafe_placement_fails_with_details() {
+        // Hand-build a placement that overloads under failover.
+        let mut p = Placement::new(2);
+        let a = p.open_bin(None);
+        let b = p.open_bin(None);
+        for id in 0..2u64 {
+            p.place_tenant(&Tenant::new(TenantId::new(id), Load::new(0.9).unwrap()), &[a, b])
+                .unwrap();
+        }
+        let path = write_dump("check-bad.json", &p);
+        let args = ParsedArgs::parse(["check", path.as_str()]).unwrap();
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("VIOLATED"));
+        assert!(err.contains("would carry"));
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let args = ParsedArgs::parse(["check", "/nonexistent.json"]).unwrap();
+        assert!(run(&args).unwrap_err().contains("reading"));
+    }
+
+    #[test]
+    fn requires_positional() {
+        let args = ParsedArgs::parse(["check"]).unwrap();
+        assert!(run(&args).unwrap_err().contains("usage"));
+    }
+}

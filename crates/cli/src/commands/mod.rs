@@ -1,0 +1,59 @@
+//! Subcommand implementations.
+//!
+//! Every command is a pure function from parsed arguments to its printed
+//! output (errors as `String` messages), so the whole CLI surface is unit
+//! tested without spawning processes.
+
+pub mod check;
+pub mod compare;
+pub mod generate;
+pub mod place;
+pub mod simulate;
+
+use cubefit_workload::{LoadModel, SequenceBuilder, TenantSequence};
+
+use crate::args::ParsedArgs;
+use crate::spec_parse;
+
+/// Builds the load model selected by `--model` (default `tpch`).
+pub(crate) fn model_from(args: &ParsedArgs) -> Result<LoadModel, String> {
+    let max_clients: u32 = args
+        .get_or("max-clients", 52u32, "an integer")
+        .map_err(|e| e.to_string())?;
+    match args.get("model").unwrap_or("tpch") {
+        "tpch" => Ok(LoadModel::tpch_xeon()),
+        "normalized" => Ok(LoadModel::normalized(max_clients)),
+        other => Err(format!("unknown model '{other}' (expected tpch or normalized)")),
+    }
+}
+
+/// Generates a sequence from `--distribution`, `--tenants`, `--seed`.
+pub(crate) fn sequence_from(args: &ParsedArgs) -> Result<TenantSequence, String> {
+    let distribution =
+        spec_parse::parse_distribution(args.get("distribution").unwrap_or("uniform:1-15"))?;
+    let tenants: usize = args
+        .get_or("tenants", 1_000usize, "an integer")
+        .map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 0u64, "an integer").map_err(|e| e.to_string())?;
+    let model = model_from(args)?;
+    let boxed = distribution.build(model.max_clients());
+    Ok(SequenceBuilder::new(Boxed(boxed), model).count(tenants).seed(seed).build())
+}
+
+/// Adapter for boxed distributions.
+#[derive(Debug)]
+pub(crate) struct Boxed(pub Box<dyn cubefit_workload::ClientDistribution>);
+
+impl cubefit_workload::ClientDistribution for Boxed {
+    fn sample_clients(&self, rng: &mut dyn rand::RngCore) -> u32 {
+        self.0.sample_clients(rng)
+    }
+
+    fn max_clients(&self) -> u32 {
+        self.0.max_clients()
+    }
+
+    fn label(&self) -> String {
+        self.0.label()
+    }
+}

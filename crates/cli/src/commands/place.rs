@@ -1,0 +1,105 @@
+//! `cubefit place` — place a trace with an algorithm and dump the result.
+
+use crate::args::ParsedArgs;
+use crate::spec_parse;
+use cubefit_core::PlacementDump;
+use cubefit_workload::trace;
+
+/// Flags accepted by `place`.
+pub const FLAGS: &[&str] = &["trace", "algorithm", "gamma", "out"];
+
+/// Usage line shown in `--help`.
+pub const USAGE: &str =
+    "place --trace TRACE [--algorithm cubefit|cubefit:k=5|rfi|…] [--gamma G] [--out PLACEMENT.json]";
+
+/// Runs the command, returning its stdout text.
+///
+/// # Errors
+///
+/// Returns a message for bad flags, bad specs, or I/O failures.
+pub fn run(args: &ParsedArgs) -> Result<String, String> {
+    args.expect_only(FLAGS).map_err(|e| e.to_string())?;
+    let trace_path = args.required("trace").map_err(|e| e.to_string())?;
+    let gamma: usize = args.get_or("gamma", 2usize, "an integer").map_err(|e| e.to_string())?;
+    let spec = spec_parse::parse_algorithm(args.get("algorithm").unwrap_or("cubefit"), gamma)?;
+
+    let bytes = std::fs::read(trace_path).map_err(|e| format!("reading {trace_path}: {e}"))?;
+    let sequence = trace::decode(&bytes[..]).map_err(|e| format!("decoding {trace_path}: {e}"))?;
+
+    let result = cubefit_sim::run_sequence(&spec, &sequence).map_err(|e| e.to_string())?;
+    let mut output = format!(
+        "{algo}: {tenants} tenants on {servers} servers \
+         (utilization {util:.1}%, robust: {robust}, placed in {wall:.1?})\n",
+        algo = result.algorithm,
+        tenants = result.tenants,
+        servers = result.servers,
+        util = result.utilization * 100.0,
+        robust = result.robust,
+        wall = result.wall,
+    );
+
+    if let Some(out) = args.get("out") {
+        // Re-run to obtain the placement itself (run_sequence reports
+        // statistics only); placement is deterministic given the spec.
+        let mut algorithm = spec.build().map_err(|e| e.to_string())?;
+        for tenant in sequence.tenants() {
+            algorithm.place(tenant).map_err(|e| e.to_string())?;
+        }
+        let dump = PlacementDump::from_placement(algorithm.placement());
+        let json = serde_json::to_string_pretty(&dump).map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+        output.push_str(&format!("placement written to {out}\n"));
+    }
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::generate;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("cubefit-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn make_trace(name: &str) -> String {
+        let path = tmp(name);
+        let args = ParsedArgs::parse(["generate", "--out", &path, "--tenants", "40"]).unwrap();
+        generate::run(&args).unwrap();
+        path
+    }
+
+    #[test]
+    fn places_and_dumps() {
+        let trace = make_trace("place-in.cft");
+        let out = tmp("place-out.json");
+        let args = ParsedArgs::parse([
+            "place", "--trace", &trace, "--algorithm", "cubefit:k=5", "--out", &out,
+        ])
+        .unwrap();
+        let text = run(&args).unwrap();
+        assert!(text.contains("40 tenants"));
+        assert!(text.contains("robust: true"));
+        let dump: PlacementDump =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(dump.tenants.len(), 40);
+        assert!(dump.to_placement().unwrap().is_robust());
+    }
+
+    #[test]
+    fn reports_without_out_flag() {
+        let trace = make_trace("place-noout.cft");
+        let args = ParsedArgs::parse(["place", "--trace", &trace, "--algorithm", "rfi"]).unwrap();
+        assert!(run(&args).unwrap().contains("rfi"));
+    }
+
+    #[test]
+    fn bad_algorithm_is_reported() {
+        let trace = make_trace("place-bad.cft");
+        let args =
+            ParsedArgs::parse(["place", "--trace", &trace, "--algorithm", "magic"]).unwrap();
+        assert!(run(&args).unwrap_err().contains("unknown algorithm"));
+    }
+}

@@ -1,0 +1,156 @@
+//! `cubefit simulate` — run the cluster DES over a placement + trace.
+
+use crate::args::ParsedArgs;
+use cubefit_cluster::{sim::assignments_from_placement, ClusterSim, QueryMix, SimConfig};
+use cubefit_core::validity::{self, FailoverSemantics};
+use cubefit_core::{PlacementDump, TenantId};
+use cubefit_workload::{trace, LoadModel};
+use std::collections::HashMap;
+
+/// Flags accepted by `simulate`.
+pub const FLAGS: &[&str] = &["trace", "failures", "warmup", "measure", "seed", "sla"];
+
+/// Usage line shown in `--help`.
+pub const USAGE: &str = "simulate PLACEMENT.json --trace TRACE [--failures F] [--warmup S] \
+                         [--measure S] [--seed S] [--sla SECONDS]";
+
+/// Runs the command, returning its stdout text.
+///
+/// # Errors
+///
+/// Returns a message for bad flags, unreadable inputs, or inconsistent
+/// placement/trace pairs.
+pub fn run(args: &ParsedArgs) -> Result<String, String> {
+    args.expect_only(FLAGS).map_err(|e| e.to_string())?;
+    let placement_path = args
+        .positional
+        .first()
+        .ok_or_else(|| format!("usage: {USAGE}"))?;
+    let trace_path = args.required("trace").map_err(|e| e.to_string())?;
+    let failures: usize = args.get_or("failures", 1usize, "an integer").map_err(|e| e.to_string())?;
+    let warmup: f64 = args.get_or("warmup", 5.0f64, "seconds").map_err(|e| e.to_string())?;
+    let measure: f64 = args.get_or("measure", 30.0f64, "seconds").map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 0u64, "an integer").map_err(|e| e.to_string())?;
+    let sla: f64 = args.get_or("sla", 5.0f64, "seconds").map_err(|e| e.to_string())?;
+
+    let json = std::fs::read_to_string(placement_path)
+        .map_err(|e| format!("reading {placement_path}: {e}"))?;
+    let dump: PlacementDump =
+        serde_json::from_str(&json).map_err(|e| format!("parsing {placement_path}: {e}"))?;
+    let placement = dump.to_placement().map_err(|e| format!("rebuilding placement: {e}"))?;
+
+    let bytes = std::fs::read(trace_path).map_err(|e| format!("reading {trace_path}: {e}"))?;
+    let sequence = trace::decode(&bytes[..]).map_err(|e| format!("decoding {trace_path}: {e}"))?;
+    let clients: HashMap<TenantId, u32> = sequence
+        .specs()
+        .iter()
+        .map(|s| (s.tenant.id(), s.clients))
+        .collect();
+    for (id, _, _) in placement.tenants() {
+        if !clients.contains_key(&id) {
+            return Err(format!("placement references {id} absent from the trace"));
+        }
+    }
+
+    let failed = validity::worst_failure_set(&placement, failures, FailoverSemantics::EvenSplit);
+    let impact = validity::simulate_failures(&placement, &failed, FailoverSemantics::EvenSplit);
+
+    let model = LoadModel::tpch_xeon();
+    let mix = QueryMix::tpch_like(&model, sla);
+    let assignments = assignments_from_placement(&placement, &|id| clients[&id]);
+    let mut sim = ClusterSim::new(
+        placement.created_bins(),
+        assignments,
+        &mix,
+        &model,
+        SimConfig { warmup_seconds: warmup, measure_seconds: measure, seed },
+    );
+    sim.fail_servers(&failed.iter().map(|b| b.index()).collect::<Vec<_>>());
+    let unavailable = sim.unavailable_clients();
+    let report = sim.run();
+
+    Ok(format!(
+        "failed worst {failures}-set {:?} (model worst load {:.3})\n\
+         worst-server p99 {:.2} s, cluster p99 {:.2} s, mean {:.2} s over {} samples\n\
+         SLA {} s: {}; {} clients unavailable\n",
+        failed.iter().map(|b| b.index()).collect::<Vec<_>>(),
+        impact.max_load(),
+        report.worst_server_p99(),
+        report.p99(),
+        report.mean(),
+        report.overall.len(),
+        sla,
+        if impact.max_load() > 1.0 + cubefit_core::EPSILON {
+            "guarantee VIOLATED"
+        } else {
+            "guarantee holds"
+        },
+        unavailable,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::{generate, place};
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("cubefit-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn simulates_a_generated_placement() {
+        let trace = tmp("sim.cft");
+        let placement = tmp("sim.json");
+        generate::run(
+            &ParsedArgs::parse(["generate", "--out", &trace, "--tenants", "30", "--seed", "4"])
+                .unwrap(),
+        )
+        .unwrap();
+        place::run(
+            &ParsedArgs::parse(["place", "--trace", &trace, "--out", &placement]).unwrap(),
+        )
+        .unwrap();
+        let args = ParsedArgs::parse([
+            "simulate",
+            placement.as_str(),
+            "--trace",
+            &trace,
+            "--failures",
+            "1",
+            "--warmup",
+            "1",
+            "--measure",
+            "5",
+        ])
+        .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("worst-server p99"));
+        assert!(out.contains("guarantee holds"));
+    }
+
+    #[test]
+    fn detects_trace_mismatch() {
+        let trace_a = tmp("sim-a.cft");
+        let trace_b = tmp("sim-b.cft");
+        let placement = tmp("sim-a.json");
+        generate::run(
+            &ParsedArgs::parse(["generate", "--out", &trace_a, "--tenants", "10"]).unwrap(),
+        )
+        .unwrap();
+        // Different tenant count → ids missing from the second trace.
+        generate::run(
+            &ParsedArgs::parse(["generate", "--out", &trace_b, "--tenants", "3"]).unwrap(),
+        )
+        .unwrap();
+        place::run(
+            &ParsedArgs::parse(["place", "--trace", &trace_a, "--out", &placement]).unwrap(),
+        )
+        .unwrap();
+        let args =
+            ParsedArgs::parse(["simulate", placement.as_str(), "--trace", &trace_b]).unwrap();
+        assert!(run(&args).unwrap_err().contains("absent from the trace"));
+    }
+}

@@ -1,0 +1,21 @@
+//! Entry point for the `cubefit` binary.
+
+use cubefit_cli::args::ParsedArgs;
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match ParsedArgs::parse(tokens) {
+        Ok(parsed) => parsed,
+        Err(error) => {
+            eprintln!("error: {error}\n\n{}", cubefit_cli::help());
+            std::process::exit(2);
+        }
+    };
+    match cubefit_cli::dispatch(&parsed) {
+        Ok(output) => print!("{output}"),
+        Err(error) => {
+            eprintln!("{error}");
+            std::process::exit(1);
+        }
+    }
+}

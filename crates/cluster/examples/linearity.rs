@@ -1,0 +1,34 @@
+//! Diagnostic: verifies the simulator's core contract — a server's p99
+//! latency tracks `SLA × load` linearly across the load range, for both
+//! replication factors. Run with `cargo run --release -p cubefit-cluster
+//! --example linearity`.
+
+use cubefit_cluster::{ClusterSim, QueryMix, SimConfig, TenantAssignment};
+use cubefit_workload::LoadModel;
+
+fn main() {
+    let model = LoadModel::tpch_xeon();
+    for gamma in [2usize, 3] {
+        let mix = QueryMix::tpch_like(&model, 5.0);
+        for target in [0.5, 0.75, 0.9, 1.0, 1.1] {
+            let mut assignments = Vec::new();
+            let mut equiv = 0.0f64;
+            let mut i = 1usize;
+            let per_tenant = 8.0 / gamma as f64 + 2.0 / gamma as f64;
+            let need = target / model.delta();
+            while equiv + per_tenant <= need {
+                let mut servers = vec![0usize];
+                for k in 0..gamma - 1 { servers.push(i + k); }
+                i += gamma - 1;
+                assignments.push(TenantAssignment::new(i as u64, 8, servers));
+                equiv += per_tenant;
+            }
+            let n = i + 1;
+            let mut sim = ClusterSim::new(n, assignments, &mix, &model, SimConfig { warmup_seconds: 60.0, measure_seconds: 120.0, seed: 42 });
+            let load = sim.equivalent_concurrency(0) * model.delta();
+            let report = sim.run();
+            println!("γ={gamma} target={target:.2} load={load:.3} server0_p99={:.2} (linear would be {:.2})",
+                report.per_server[0].p99(), 5.0 * load);
+        }
+    }
+}

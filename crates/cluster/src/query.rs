@@ -1,0 +1,218 @@
+//! The TPC-H-like analytic query mix (paper §IV–V.A).
+//!
+//! The paper scales TPC-H to 95% read / 5% update queries. What matters to
+//! the placement problem is only the *load* clients place on servers, so
+//! the mix here is a synthetic 22-template distribution with a long-tailed
+//! work profile, **calibrated** so that a server at load 1.0 (e.g. 52
+//! clients under the paper's model) shows a p99 latency of exactly the SLA
+//! (5 seconds). See `DESIGN.md` §3 for the substitution argument.
+
+use cubefit_workload::LoadModel;
+use rand::Rng;
+
+/// Fraction of update queries in the mix (the paper scales TPC-H to 95%
+/// reads / 5% updates).
+pub const UPDATE_FRACTION: f64 = 0.05;
+
+/// One query template: an amount of *work* (server-seconds at full
+/// capacity) and whether it is an update (mirrored to all replicas).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryTemplate {
+    /// Template index (1-based, mirroring TPC-H Q1..Q22).
+    pub id: u32,
+    /// Work in server-seconds at full, uncontended capacity.
+    pub work: f64,
+    /// Relative selection weight.
+    pub weight: f64,
+}
+
+/// A calibrated query mix.
+///
+/// Sampling returns `(work, is_update)`; updates are drawn independently of
+/// the template with probability [`UPDATE_FRACTION`].
+#[derive(Debug, Clone)]
+pub struct QueryMix {
+    templates: Vec<QueryTemplate>,
+    /// Cumulative weights for sampling.
+    cumulative: Vec<f64>,
+    sla_seconds: f64,
+}
+
+impl QueryMix {
+    /// Builds the synthetic TPC-H-like mix calibrated against `model`:
+    /// the weighted p99 of the work distribution is scaled to
+    /// `sla_seconds × δ`, so a server whose load is exactly 1.0 (equivalent
+    /// concurrency `1/δ`) shows a p99 latency of `sla_seconds` under
+    /// processor sharing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sla_seconds` is not positive.
+    #[must_use]
+    pub fn tpch_like(model: &LoadModel, sla_seconds: f64) -> Self {
+        assert!(sla_seconds > 0.0, "SLA must be positive");
+        // 22 templates with a log-spread work profile: many quick scans, a
+        // few heavy joins/aggregations — the shape of TPC-H runtimes.
+        // Weights make light queries common and heavy ones rare.
+        let mut templates: Vec<QueryTemplate> = (1..=22u32)
+            .map(|id| {
+                let t = f64::from(id - 1) / 21.0; // 0..1
+                QueryTemplate {
+                    id,
+                    // work spans 1.5 decades before calibration
+                    work: 10f64.powf(-1.5 + 1.5 * t),
+                    // heavier queries are rarer (weight halves per decade)
+                    weight: 2f64.powf(-2.0 * t),
+                }
+            })
+            .collect();
+
+        // Calibrate: find the weighted p99 of the work distribution and
+        // scale every template so that p99(work) = sla × δ.
+        let p99 = weighted_percentile(&templates, 0.99);
+        let target = sla_seconds * model.delta();
+        let scale = target / p99;
+        for t in &mut templates {
+            t.work *= scale;
+        }
+
+        let mut cumulative = Vec::with_capacity(templates.len());
+        let mut acc = 0.0;
+        for t in &templates {
+            acc += t.weight;
+            cumulative.push(acc);
+        }
+        QueryMix { templates, cumulative, sla_seconds }
+    }
+
+
+    /// The templates after calibration.
+    #[must_use]
+    pub fn templates(&self) -> &[QueryTemplate] {
+        &self.templates
+    }
+
+    /// The SLA the mix was calibrated against, in seconds.
+    #[must_use]
+    pub fn sla_seconds(&self) -> f64 {
+        self.sla_seconds
+    }
+
+    /// Weighted p99 of the work distribution (server-seconds).
+    #[must_use]
+    pub fn p99_work(&self) -> f64 {
+        weighted_percentile(&self.templates, 0.99)
+    }
+
+    /// Mean work per query (server-seconds).
+    #[must_use]
+    pub fn mean_work(&self) -> f64 {
+        let total_weight: f64 = self.templates.iter().map(|t| t.weight).sum();
+        self.templates.iter().map(|t| t.work * t.weight).sum::<f64>() / total_weight
+    }
+
+    /// Draws one query: its work and whether it is an update.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (f64, bool) {
+        let total = *self.cumulative.last().expect("non-empty mix");
+        let pick: f64 = rng.gen::<f64>() * total;
+        let idx = self.cumulative.partition_point(|&c| c < pick);
+        let idx = idx.min(self.templates.len() - 1);
+        let is_update = rng.gen::<f64>() < UPDATE_FRACTION;
+        (self.templates[idx].work, is_update)
+    }
+}
+
+/// Weighted percentile of template works (sorted by work ascending).
+fn weighted_percentile(templates: &[QueryTemplate], q: f64) -> f64 {
+    let mut sorted: Vec<&QueryTemplate> = templates.iter().collect();
+    sorted.sort_by(|a, b| a.work.partial_cmp(&b.work).expect("finite work"));
+    let total: f64 = sorted.iter().map(|t| t.weight).sum();
+    let mut acc = 0.0;
+    for t in &sorted {
+        acc += t.weight;
+        if acc >= q * total {
+            return t.work;
+        }
+    }
+    sorted.last().expect("non-empty mix").work
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn mix() -> QueryMix {
+        QueryMix::tpch_like(&LoadModel::tpch_xeon(), 5.0)
+    }
+
+    #[test]
+    fn has_22_templates_like_tpch() {
+        assert_eq!(mix().templates().len(), 22);
+    }
+
+    #[test]
+    fn calibration_sets_p99_work() {
+        let m = mix();
+        // p99(work) × (1/δ) = SLA: a load-1.0 server shows p99 = 5 s.
+        let equivalent_concurrency = 1.0 / LoadModel::tpch_xeon().delta();
+        assert!((m.p99_work() * equivalent_concurrency - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_respects_other_slas() {
+        let m = QueryMix::tpch_like(&LoadModel::normalized(52), 2.0);
+        assert!((m.p99_work() * 52.0 - 2.0).abs() < 1e-9);
+        assert_eq!(m.sla_seconds(), 2.0);
+    }
+
+    #[test]
+    fn work_profile_is_long_tailed() {
+        let m = mix();
+        let works: Vec<f64> = m.templates().iter().map(|t| t.work).collect();
+        let max = works.iter().cloned().fold(0.0, f64::max);
+        let min = works.iter().cloned().fold(f64::INFINITY, f64::min);
+        // ~1.5 decades of spread survive calibration.
+        assert!(max / min > 20.0);
+        assert!(m.mean_work() < m.p99_work());
+    }
+
+    #[test]
+    fn sampling_matches_update_fraction() {
+        let m = mix();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 100_000;
+        let updates = (0..n).filter(|_| m.sample(&mut rng).1).count();
+        let frac = updates as f64 / n as f64;
+        assert!((frac - UPDATE_FRACTION).abs() < 0.005, "fraction {frac}");
+    }
+
+    #[test]
+    fn sampling_prefers_light_queries() {
+        let m = mix();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let median_template = m.templates()[10].work;
+        let n = 50_000;
+        let light = (0..n)
+            .filter(|_| m.sample(&mut rng).0 <= median_template)
+            .count();
+        assert!(light as f64 / n as f64 > 0.6);
+    }
+
+    #[test]
+    fn sampled_works_come_from_templates() {
+        let m = mix();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let (work, _) = m.sample(&mut rng);
+            assert!(m.templates().iter().any(|t| (t.work - work).abs() < 1e-15));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "SLA")]
+    fn rejects_non_positive_sla() {
+        let _ = QueryMix::tpch_like(&LoadModel::tpch_xeon(), 0.0);
+    }
+}

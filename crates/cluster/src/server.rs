@@ -1,0 +1,228 @@
+//! Processor-sharing server model.
+
+/// A job executing on a server: a (possibly mirrored) query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Job {
+    /// Stable identifier within the owning server.
+    pub id: u64,
+    /// Issuing client (global index), or `None` for mirrored update work.
+    pub client: Option<u32>,
+    /// Remaining work in server-seconds at full capacity.
+    pub remaining: f64,
+    /// Simulation time at which the query was issued.
+    pub issued_at: f64,
+}
+
+/// A server as a processor-sharing queue with static background overhead.
+///
+/// With `n` active jobs and overhead `h` (the per-tenant load overhead `β`
+/// expressed in client-equivalents), each job progresses at rate
+/// `1 / (n + h)` server-seconds per second. This realizes the paper's
+/// linear load model: a server at load `L` has equivalent concurrency
+/// `L/δ`, and query latency scales linearly with it.
+#[derive(Debug, Clone, Default)]
+pub struct ServerSim {
+    jobs: Vec<Job>,
+    /// Client-equivalent background overhead (Σ β/(δγ) over hosted replicas).
+    overhead: f64,
+    /// Last simulation time at which `jobs` was advanced.
+    last_advance: f64,
+    /// Sequence number for lazy event invalidation.
+    seq: u64,
+    next_job_id: u64,
+    failed: bool,
+}
+
+impl ServerSim {
+    /// Creates an idle server with the given background overhead.
+    #[must_use]
+    pub fn new(overhead: f64) -> Self {
+        ServerSim { overhead, ..ServerSim::default() }
+    }
+
+    /// Current number of active jobs.
+    #[must_use]
+    pub fn active_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The background overhead in client-equivalents.
+    #[must_use]
+    pub fn overhead(&self) -> f64 {
+        self.overhead
+    }
+
+    /// Adds background overhead (e.g. when failover moves a tenant here).
+    pub fn add_overhead(&mut self, extra: f64) {
+        self.overhead += extra;
+    }
+
+    /// Whether the server has been failed.
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Marks the server failed and drops its jobs. Returns the clients
+    /// whose in-flight queries were lost (mirror jobs are discarded).
+    pub fn fail(&mut self, now: f64) -> Vec<u32> {
+        self.advance(now);
+        self.failed = true;
+        self.seq += 1;
+        let clients = self.jobs.iter().filter_map(|j| j.client).collect();
+        self.jobs.clear();
+        clients
+    }
+
+    /// Event-invalidation sequence number; bumped whenever the set of jobs
+    /// changes so stale scheduled completions can be skipped.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The processor-sharing rate divisor (`jobs + overhead`, at least 1).
+    fn divisor(&self) -> f64 {
+        (self.jobs.len() as f64 + self.overhead).max(1.0)
+    }
+
+    /// Advances all jobs to time `now`, consuming earned service.
+    pub fn advance(&mut self, now: f64) {
+        let elapsed = now - self.last_advance;
+        debug_assert!(elapsed >= -1e-9, "time went backwards");
+        if elapsed > 0.0 && !self.jobs.is_empty() {
+            let served = elapsed / self.divisor();
+            for job in &mut self.jobs {
+                job.remaining -= served;
+            }
+        }
+        self.last_advance = now;
+    }
+
+    /// Starts a job at time `now`; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server has been failed.
+    pub fn start_job(&mut self, now: f64, client: Option<u32>, work: f64) -> u64 {
+        assert!(!self.failed, "cannot start jobs on a failed server");
+        self.advance(now);
+        self.seq += 1;
+        let id = self.next_job_id;
+        self.next_job_id += 1;
+        self.jobs.push(Job { id, client, remaining: work, issued_at: now });
+        id
+    }
+
+    /// The absolute time at which the next job would complete if the job
+    /// set stays unchanged, with the id of that job.
+    #[must_use]
+    pub fn next_completion(&self) -> Option<(f64, u64)> {
+        let min = self
+            .jobs
+            .iter()
+            .min_by(|a, b| a.remaining.partial_cmp(&b.remaining).expect("finite work"))?;
+        Some((
+            self.last_advance + min.remaining.max(0.0) * self.divisor(),
+            min.id,
+        ))
+    }
+
+    /// Completes job `job_id` at time `now`, returning it.
+    ///
+    /// Returns `None` if the job no longer exists (stale event).
+    pub fn complete_job(&mut self, now: f64, job_id: u64) -> Option<Job> {
+        self.advance(now);
+        let idx = self.jobs.iter().position(|j| j.id == job_id)?;
+        self.seq += 1;
+        Some(self.jobs.swap_remove(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_job_runs_at_full_rate_without_overhead() {
+        let mut s = ServerSim::new(0.0);
+        s.start_job(0.0, Some(0), 2.0);
+        let (t, id) = s.next_completion().unwrap();
+        assert!((t - 2.0).abs() < 1e-12);
+        let job = s.complete_job(t, id).unwrap();
+        assert!(job.remaining.abs() < 1e-9);
+        assert_eq!(s.active_jobs(), 0);
+    }
+
+    #[test]
+    fn two_jobs_share_capacity() {
+        let mut s = ServerSim::new(0.0);
+        s.start_job(0.0, Some(0), 1.0);
+        s.start_job(0.0, Some(1), 1.0);
+        // Each gets half rate: completion at t = 2.
+        let (t, _) = s.next_completion().unwrap();
+        assert!((t - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_slows_jobs() {
+        let mut s = ServerSim::new(1.0);
+        s.start_job(0.0, Some(0), 1.0);
+        // Divisor 1 + 1 = 2 → completion at t = 2.
+        let (t, _) = s.next_completion().unwrap();
+        assert!((t - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn later_arrival_slows_earlier_job() {
+        let mut s = ServerSim::new(0.0);
+        s.start_job(0.0, Some(0), 1.0);
+        // At t=0.5 half the work is done; a second job halves the rate.
+        s.start_job(0.5, Some(1), 10.0);
+        let (t, id) = s.next_completion().unwrap();
+        assert!((t - 1.5).abs() < 1e-12);
+        let job = s.complete_job(t, id).unwrap();
+        assert_eq!(job.client, Some(0));
+    }
+
+    #[test]
+    fn completion_of_unknown_job_is_stale() {
+        let mut s = ServerSim::new(0.0);
+        let id = s.start_job(0.0, Some(0), 1.0);
+        assert!(s.complete_job(1.0, id).is_some());
+        assert!(s.complete_job(1.0, id).is_none());
+    }
+
+    #[test]
+    fn seq_changes_on_every_mutation() {
+        let mut s = ServerSim::new(0.0);
+        let s0 = s.seq();
+        let id = s.start_job(0.0, None, 1.0);
+        assert_ne!(s.seq(), s0);
+        let s1 = s.seq();
+        s.complete_job(0.5, id);
+        assert_ne!(s.seq(), s1);
+    }
+
+    #[test]
+    fn failing_returns_affected_clients() {
+        let mut s = ServerSim::new(0.5);
+        s.start_job(0.0, Some(3), 1.0);
+        s.start_job(0.0, None, 1.0); // mirror work has no client
+        s.start_job(0.0, Some(8), 1.0);
+        let mut clients = s.fail(0.1);
+        clients.sort_unstable();
+        assert_eq!(clients, vec![3, 8]);
+        assert!(s.is_failed());
+        assert_eq!(s.active_jobs(), 0);
+        assert!(s.next_completion().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed server")]
+    fn starting_on_failed_server_panics() {
+        let mut s = ServerSim::new(0.0);
+        s.fail(0.0);
+        s.start_job(0.0, Some(0), 1.0);
+    }
+}

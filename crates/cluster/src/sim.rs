@@ -1,0 +1,609 @@
+//! The cluster discrete-event simulator.
+
+use crate::metrics::{ClusterReport, LatencyRecorder};
+use crate::query::QueryMix;
+use crate::server::ServerSim;
+use cubefit_workload::LoadModel;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One tenant's client population and replica servers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantAssignment {
+    /// Tenant identifier (reporting only).
+    pub tenant_id: u64,
+    /// Number of concurrent closed-loop clients.
+    pub clients: u32,
+    /// Indices of the servers hosting the tenant's replicas.
+    pub servers: Vec<usize>,
+}
+
+impl TenantAssignment {
+    /// Creates an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty or contains duplicates.
+    #[must_use]
+    pub fn new(tenant_id: u64, clients: u32, servers: Vec<usize>) -> Self {
+        assert!(!servers.is_empty(), "a tenant needs at least one replica");
+        let mut dedup = servers.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), servers.len(), "replica servers must be distinct");
+        TenantAssignment { tenant_id, clients, servers }
+    }
+}
+
+/// Simulation window configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Warm-up duration (seconds of simulated time, not recorded).
+    pub warmup_seconds: f64,
+    /// Measurement duration (seconds of simulated time).
+    pub measure_seconds: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's protocol: 5 minutes warm-up, 5 minutes measurement.
+    #[must_use]
+    pub fn paper(seed: u64) -> Self {
+        SimConfig { warmup_seconds: 300.0, measure_seconds: 300.0, seed }
+    }
+
+    /// A fast configuration for tests and examples: 2 s warm-up, 10 s
+    /// measurement.
+    #[must_use]
+    pub fn quick(seed: u64) -> Self {
+        SimConfig { warmup_seconds: 2.0, measure_seconds: 10.0, seed }
+    }
+}
+
+/// A fractional, pinned client.
+///
+/// The paper's model shares each tenant's workload evenly across its `γ`
+/// replicas (a replica of size `x` carries load `x/γ`, §II). Each real
+/// client is therefore simulated as `γ` *sub-clients* of weight `1/γ`, one
+/// pinned to each replica. A sub-client of weight `w` runs a closed loop
+/// with think time `latency × (1−w)/w`, so its time-averaged presence on
+/// its server is exactly `w` — reproducing the linear load model without
+/// the bottleneck-drift a shared closed-loop client population would
+/// introduce.
+#[derive(Debug, Clone, Copy)]
+struct SubClient {
+    tenant: usize,
+    server: usize,
+    weight: f64,
+    active: bool,
+}
+
+/// A scheduled event (min-heap by time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    order: u64,
+    kind: EventKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// A job may finish on `server` (stale unless `seq` still matches).
+    Complete { server: usize, seq: u64, job: u64 },
+    /// A sub-client's think time expires and it issues its next query.
+    Issue { client: u32 },
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; tie-break on insertion order for
+        // determinism.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.order.cmp(&self.order))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The cluster simulator: processor-sharing servers, closed-loop clients,
+/// failure injection, and latency percentiles.
+///
+/// See the crate docs for the modelling rationale. Typical use: build from
+/// a placement, optionally [`Self::fail_servers`], then [`Self::run`].
+#[derive(Debug)]
+pub struct ClusterSim {
+    servers: Vec<ServerSim>,
+    clients: Vec<SubClient>,
+    /// Tenants that still have at least one live replica.
+    tenant_available: Vec<bool>,
+    tenants: Vec<TenantAssignment>,
+    mix: QueryMix,
+    config: SimConfig,
+    rng: ChaCha8Rng,
+    queue: BinaryHeap<Event>,
+    now: f64,
+    event_order: u64,
+    recorder: LatencyRecorder,
+    started: bool,
+    unavailable_clients: usize,
+    /// Per-tenant, per-server overhead in client-equivalents.
+    overhead_share: f64,
+}
+
+impl ClusterSim {
+    /// Builds a simulator over `server_count` servers.
+    ///
+    /// Per-replica background overhead is `β/(δ·γ)` client-equivalents,
+    /// where `γ` is taken per tenant from its replica count, so that a
+    /// server's equivalent concurrency matches the paper's linear load
+    /// model exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assignment references a server index out of range.
+    #[must_use]
+    pub fn new(
+        server_count: usize,
+        assignments: Vec<TenantAssignment>,
+        mix: &QueryMix,
+        model: &LoadModel,
+        config: SimConfig,
+    ) -> Self {
+        let overhead_share = model.beta() / model.delta();
+        let mut servers: Vec<ServerSim> = (0..server_count).map(|_| ServerSim::new(0.0)).collect();
+        let mut clients = Vec::new();
+        for (tenant_idx, assignment) in assignments.iter().enumerate() {
+            let gamma = assignment.servers.len();
+            for &s in &assignment.servers {
+                assert!(s < server_count, "server index {s} out of range");
+                servers[s].add_overhead(overhead_share / gamma as f64);
+            }
+            // One sub-client of weight 1/γ per (client, replica) pair.
+            for _ in 0..assignment.clients {
+                for &server in &assignment.servers {
+                    clients.push(SubClient {
+                        tenant: tenant_idx,
+                        server,
+                        weight: 1.0 / gamma as f64,
+                        active: true,
+                    });
+                }
+            }
+        }
+        ClusterSim {
+            servers,
+            clients,
+            tenant_available: vec![true; assignments.len()],
+            tenants: assignments,
+            mix: mix.clone(),
+            rng: ChaCha8Rng::seed_from_u64(config.seed),
+            config,
+            queue: BinaryHeap::new(),
+            now: 0.0,
+            event_order: 0,
+            recorder: LatencyRecorder::new(),
+            started: false,
+            unavailable_clients: 0,
+            overhead_share,
+        }
+    }
+
+    /// Number of servers (including failed ones).
+    #[must_use]
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Clients whose tenant lost every replica.
+    #[must_use]
+    pub fn unavailable_clients(&self) -> usize {
+        self.unavailable_clients
+    }
+
+    /// Equivalent concurrency of server `s`: the total weight of active
+    /// sub-clients pinned to it plus the background overhead. Multiplying
+    /// by the model's `δ` yields the server's load in the paper's linear
+    /// model.
+    #[must_use]
+    pub fn equivalent_concurrency(&self, s: usize) -> f64 {
+        let assigned: f64 = self
+            .clients
+            .iter()
+            .filter(|c| c.active && c.server == s)
+            .map(|c| c.weight)
+            .sum();
+        assigned + self.servers[s].overhead()
+    }
+
+    /// Fails the given servers simultaneously: the failed replicas'
+    /// sub-clients redistribute evenly across each tenant's surviving
+    /// replicas, and the failed replicas' share of tenant overhead moves
+    /// with them (paper §IV semantics).
+    ///
+    /// Tenants with no surviving replica become unavailable; their clients
+    /// stop issuing queries.
+    pub fn fail_servers(&mut self, failed: &[usize]) {
+        let mut lost_clients: Vec<u32> = Vec::new();
+        for &s in failed {
+            if self.servers[s].is_failed() {
+                continue;
+            }
+            lost_clients.extend(self.servers[s].fail(self.now));
+        }
+        // Move overhead: each tenant replica on a failed server shifts its
+        // overhead share onto the surviving replicas.
+        for tenant in &self.tenants {
+            let gamma = tenant.servers.len();
+            let share = self.overhead_share / gamma as f64;
+            let (failed_reps, survivors): (Vec<usize>, Vec<usize>) = tenant
+                .servers
+                .iter()
+                .partition(|&&s| self.servers[s].is_failed());
+            if failed_reps.is_empty() || survivors.is_empty() {
+                continue;
+            }
+            let moved = share * failed_reps.len() as f64 / survivors.len() as f64;
+            for &s in &survivors {
+                self.servers[s].add_overhead(moved);
+            }
+        }
+        // Re-pin sub-clients from failed servers round-robin over each
+        // tenant's survivors (the even split of §IV); deactivate tenants
+        // with no survivors.
+        let mut cursor: Vec<usize> = vec![0; self.tenants.len()];
+        for i in 0..self.clients.len() {
+            let sub = self.clients[i];
+            if !sub.active || !self.servers[sub.server].is_failed() {
+                continue;
+            }
+            let survivors: Vec<usize> = self.tenants[sub.tenant]
+                .servers
+                .iter()
+                .copied()
+                .filter(|&s| !self.servers[s].is_failed())
+                .collect();
+            if survivors.is_empty() {
+                self.clients[i].active = false;
+                if self.tenant_available[sub.tenant] {
+                    self.tenant_available[sub.tenant] = false;
+                    self.unavailable_clients += self.tenants[sub.tenant].clients as usize;
+                }
+                continue;
+            }
+            let c = &mut cursor[sub.tenant];
+            self.clients[i].server = survivors[*c % survivors.len()];
+            *c += 1;
+        }
+        // Sub-clients whose in-flight query died with a failed server
+        // reissue immediately on their new replica; surviving servers'
+        // schedules are unaffected. (Sub-clients that were thinking keep
+        // their scheduled issue event and pick up the new pin then.)
+        if self.started {
+            for client in lost_clients {
+                self.issue_query(client);
+            }
+        }
+    }
+
+    fn schedule(&mut self, server: usize) {
+        if let Some((time, job)) = self.servers[server].next_completion() {
+            self.event_order += 1;
+            self.queue.push(Event {
+                time: time.max(self.now),
+                order: self.event_order,
+                kind: EventKind::Complete { server, seq: self.servers[server].seq(), job },
+            });
+        }
+    }
+
+    fn schedule_issue(&mut self, client: u32, at: f64) {
+        self.event_order += 1;
+        self.queue.push(Event {
+            time: at.max(self.now),
+            order: self.event_order,
+            kind: EventKind::Issue { client },
+        });
+    }
+
+    fn issue_query(&mut self, client: u32) {
+        let state = self.clients[client as usize];
+        if !state.active {
+            return;
+        }
+        if self.servers[state.server].is_failed() {
+            // A think-time wake-up raced a failure before re-pinning; skip
+            // this cycle (fail_servers re-pins active sub-clients).
+            return;
+        }
+        // Update queries (5% of the mix) execute against all replicas in
+        // the real system (§IV); the paper's δ/β calibration folds that
+        // write traffic into the per-client load constant, and so does this
+        // simulator — mirroring work explicitly would couple a server's
+        // load to its siblings' *throughput*, which the linear load model
+        // deliberately abstracts away (see DESIGN.md §3).
+        let (work, _is_update) = self.mix.sample(&mut self.rng);
+        self.servers[state.server].start_job(self.now, Some(client), work);
+        self.schedule(state.server);
+    }
+
+    /// Think time for a sub-client of weight `w` after a query of latency
+    /// `latency`: presence fraction per cycle is exactly `w`.
+    fn think_time(weight: f64, latency: f64) -> f64 {
+        if weight >= 1.0 {
+            0.0
+        } else {
+            latency * (1.0 - weight) / weight
+        }
+    }
+
+    fn bootstrap(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        // Stationary-ish start: a sub-client of weight w is in service with
+        // probability w, otherwise it wakes up somewhere inside an
+        // estimated think window. This avoids a synchronized burst of γ×
+        // the steady-state concurrency at t = 0.
+        let est_latency: Vec<f64> = (0..self.servers.len())
+            .map(|s| self.mix.mean_work() * self.equivalent_concurrency(s).max(1.0))
+            .collect();
+        for i in 0..self.clients.len() {
+            let sub = self.clients[i];
+            if !sub.active || self.servers[sub.server].is_failed() {
+                continue;
+            }
+            let u: f64 = rand::Rng::gen(&mut self.rng);
+            if u < sub.weight {
+                self.issue_query(i as u32);
+            } else {
+                let think = Self::think_time(sub.weight, est_latency[sub.server]);
+                let offset: f64 = rand::Rng::gen(&mut self.rng);
+                self.schedule_issue(i as u32, self.now + offset * think.max(1e-6));
+            }
+        }
+    }
+
+    /// Processes events until simulated time `until`.
+    fn run_until(&mut self, until: f64) {
+        while let Some(&event) = self.queue.peek() {
+            if event.time > until {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked");
+            match event.kind {
+                EventKind::Complete { server, seq, job } => {
+                    if self.servers[server].is_failed() || self.servers[server].seq() != seq {
+                        continue; // stale
+                    }
+                    self.now = event.time;
+                    let Some(job) = self.servers[server].complete_job(self.now, job) else {
+                        continue;
+                    };
+                    self.schedule(server);
+                    if let Some(client) = job.client {
+                        let latency = self.now - job.issued_at;
+                        self.recorder.record(server, latency);
+                        let weight = self.clients[client as usize].weight;
+                        let think = Self::think_time(weight, latency);
+                        if think <= 0.0 {
+                            self.issue_query(client);
+                        } else {
+                            self.schedule_issue(client, self.now + think);
+                        }
+                    }
+                }
+                EventKind::Issue { client } => {
+                    self.now = event.time;
+                    self.issue_query(client);
+                }
+            }
+        }
+        self.now = until;
+    }
+
+    /// Runs warm-up then measurement, returning the latency report for the
+    /// measurement window.
+    ///
+    /// May be called once; subsequent calls return an empty report.
+    pub fn run(&mut self) -> ClusterReport {
+        self.bootstrap();
+        self.run_until(self.config.warmup_seconds);
+        self.recorder.start();
+        self.run_until(self.config.warmup_seconds + self.config.measure_seconds);
+        self.recorder.stop();
+        std::mem::take(&mut self.recorder).finish()
+    }
+}
+
+/// Builds [`TenantAssignment`]s from a placement and the client counts of
+/// its tenants.
+///
+/// `clients_of` maps tenant ids to their client counts (e.g. from
+/// `cubefit_workload::TenantSpec`). Bin indices become server indices.
+#[must_use]
+pub fn assignments_from_placement(
+    placement: &cubefit_core::Placement,
+    clients_of: &dyn Fn(cubefit_core::TenantId) -> u32,
+) -> Vec<TenantAssignment> {
+    placement
+        .tenants()
+        .map(|(id, _, bins)| {
+            TenantAssignment::new(
+                id.get(),
+                clients_of(id),
+                bins.iter().map(|b| b.index()).collect(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> QueryMix {
+        QueryMix::tpch_like(&LoadModel::tpch_xeon(), 5.0)
+    }
+
+    fn model() -> LoadModel {
+        LoadModel::tpch_xeon()
+    }
+
+    #[test]
+    fn half_loaded_server_meets_sla() {
+        // 26 clients over two servers: load ≈ 0.26 each → p99 ≈ 1.3 s.
+        let assignments = vec![TenantAssignment::new(0, 26, vec![0, 1])];
+        let mut sim = ClusterSim::new(2, assignments, &mix(), &model(), SimConfig::quick(1));
+        let report = sim.run();
+        assert!(!report.is_empty());
+        assert!(report.p99() < 5.0, "p99 {}", report.p99());
+        assert!(report.p99() > 0.5, "p99 {}", report.p99());
+    }
+
+    #[test]
+    fn fully_loaded_server_sits_at_the_sla_boundary() {
+        // One dedicated tenant with 52 clients on a single replica pair is
+        // not expressible (replicas split clients), so use two tenants
+        // whose replicas stack to load 1.0 on server 0: tenant A on (0,1),
+        // tenant B on (0,2), 52 clients each → 26+26 clients + 2×1
+        // overhead = 54 equivalents = 1/δ on server 0.
+        let assignments = vec![
+            TenantAssignment::new(0, 52, vec![0, 1]),
+            TenantAssignment::new(1, 52, vec![0, 2]),
+        ];
+        let mut sim = ClusterSim::new(3, assignments, &mix(), &model(), SimConfig::quick(2));
+        assert!((sim.equivalent_concurrency(0) - 54.0).abs() < 1e-9);
+        let report = sim.run();
+        // p99 close to the SLA (hot server dominates the tail).
+        assert!(report.p99() > 3.5, "p99 {}", report.p99());
+        assert!(report.p99() < 6.5, "p99 {}", report.p99());
+    }
+
+    #[test]
+    fn overloaded_server_violates_sla() {
+        // ~80 client-equivalents on server 0: load ≈ 1.5 → p99 ≈ 7.5 s.
+        let assignments = vec![
+            TenantAssignment::new(0, 52, vec![0, 1]),
+            TenantAssignment::new(1, 52, vec![0, 2]),
+            TenantAssignment::new(2, 52, vec![0, 3]),
+        ];
+        let mut sim = ClusterSim::new(4, assignments, &mix(), &model(), SimConfig::quick(3));
+        let report = sim.run();
+        assert!(report.violates_sla(5.0), "p99 {}", report.p99());
+    }
+
+    #[test]
+    fn failure_moves_clients_to_survivors() {
+        let assignments = vec![TenantAssignment::new(0, 20, vec![0, 1, 2])];
+        let mut sim = ClusterSim::new(3, assignments, &mix(), &model(), SimConfig::quick(4));
+        let before = sim.equivalent_concurrency(0);
+        sim.fail_servers(&[2]);
+        let after = sim.equivalent_concurrency(0);
+        // Server 2's ~6-7 clients split between servers 0 and 1, plus a
+        // share of the moved overhead.
+        assert!(after > before + 2.0, "before {before}, after {after}");
+        assert_eq!(sim.unavailable_clients(), 0);
+        let report = sim.run();
+        assert!(!report.is_empty());
+    }
+
+    #[test]
+    fn failure_of_all_replicas_makes_tenant_unavailable() {
+        let assignments = vec![
+            TenantAssignment::new(0, 10, vec![0, 1]),
+            TenantAssignment::new(1, 10, vec![2, 3]),
+        ];
+        let mut sim = ClusterSim::new(4, assignments, &mix(), &model(), SimConfig::quick(5));
+        sim.fail_servers(&[0, 1]);
+        assert_eq!(sim.unavailable_clients(), 10);
+        let report = sim.run();
+        // Only tenant 1's clients produce samples.
+        assert!(!report.is_empty());
+    }
+
+    #[test]
+    fn post_failure_overload_shows_in_latency() {
+        // Two tenants, each 52 clients, replicated across disjoint pairs
+        // sharing server 0... rather: both tenants on servers (0,1) and
+        // (0,2). Failing server 1 pushes tenant 0 entirely onto server 0.
+        let assignments = vec![
+            TenantAssignment::new(0, 52, vec![0, 1]),
+            TenantAssignment::new(1, 52, vec![0, 2]),
+        ];
+        let healthy = {
+            let mut sim =
+                ClusterSim::new(3, assignments.clone(), &mix(), &model(), SimConfig::quick(6));
+            sim.run().p99()
+        };
+        let failed = {
+            let mut sim =
+                ClusterSim::new(3, assignments, &mix(), &model(), SimConfig::quick(6));
+            sim.fail_servers(&[1]);
+            sim.run().p99()
+        };
+        assert!(failed > healthy, "healthy {healthy}, failed {failed}");
+        assert!(failed > 5.0, "post-failure p99 {failed} should break SLA");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let assignments = vec![TenantAssignment::new(0, 13, vec![0, 1])];
+            let mut sim =
+                ClusterSim::new(2, assignments, &mix(), &model(), SimConfig::quick(seed));
+            sim.run().p99()
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn latency_scales_roughly_linearly_with_load() {
+        // The core claim of the linear load model: p99 ∝ equivalent
+        // concurrency.
+        let p99_at = |clients: u32| {
+            let assignments = vec![TenantAssignment::new(0, clients, vec![0, 1])];
+            let mut sim =
+                ClusterSim::new(2, assignments, &mix(), &model(), SimConfig::quick(10));
+            sim.run().p99()
+        };
+        let low = p99_at(10);
+        let high = p99_at(40);
+        let ratio = high / low;
+        // 4× the clients ≈ 4× the latency, with slack for overhead and
+        // sampling noise.
+        assert!(ratio > 2.0 && ratio < 6.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn assignments_from_placement_maps_bins() {
+        use cubefit_core::{Load, Placement, Tenant, TenantId};
+        let mut p = Placement::new(2);
+        let a = p.open_bin(None);
+        let b = p.open_bin(None);
+        p.place_tenant(&Tenant::new(TenantId::new(5), Load::new(0.5).unwrap()), &[a, b])
+            .unwrap();
+        let assignments = assignments_from_placement(&p, &|_| 12);
+        assert_eq!(assignments.len(), 1);
+        assert_eq!(assignments[0].tenant_id, 5);
+        assert_eq!(assignments[0].clients, 12);
+        assert_eq!(assignments[0].servers, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_replica_servers_rejected() {
+        let _ = TenantAssignment::new(0, 5, vec![1, 1]);
+    }
+}

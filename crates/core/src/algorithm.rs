@@ -1,0 +1,124 @@
+//! The [`Consolidator`] trait implemented by every placement algorithm.
+
+use crate::bin::BinId;
+use crate::error::Result;
+use crate::placement::Placement;
+use crate::tenant::{Tenant, TenantId};
+
+/// Which path of an algorithm placed a tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PlacementStage {
+    /// CubeFit stage 1: reuse of mature-bin leftover space via m-fit.
+    MatureFit,
+    /// CubeFit stage 2: cube-addressed slot placement.
+    Cube,
+    /// CubeFit stage 2 via the tiny-tenant multi-replica path.
+    MultiReplica,
+    /// Baseline algorithms place directly without stages.
+    Direct,
+}
+
+/// Where an accepted tenant's replicas went.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PlacementOutcome {
+    /// The placed tenant.
+    pub tenant: TenantId,
+    /// The `γ` bins hosting the tenant's replicas.
+    pub bins: Vec<BinId>,
+    /// How many new bins the placement opened.
+    pub opened: usize,
+    /// Which algorithm path handled the tenant.
+    pub stage: PlacementStage,
+}
+
+/// An online consolidation algorithm.
+///
+/// Implementations receive tenants one at a time (the online model of
+/// paper §II) and must immediately and irrevocably assign all `γ` replicas.
+/// The trait is object-safe so harnesses can drive a heterogeneous set of
+/// algorithms:
+///
+/// ```
+/// use cubefit_core::{Consolidator, CubeFit, CubeFitConfig, Load, Tenant};
+///
+/// # fn main() -> Result<(), cubefit_core::Error> {
+/// let config = CubeFitConfig::builder().replication(2).classes(5).build()?;
+/// let mut algorithms: Vec<Box<dyn Consolidator>> = vec![Box::new(CubeFit::new(config))];
+/// for algorithm in &mut algorithms {
+///     algorithm.place(Tenant::with_load(Load::new(0.4)?))?;
+///     assert_eq!(algorithm.placement().tenant_count(), 1);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub trait Consolidator {
+    /// Places all `γ` replicas of `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tenant id was already placed or an internal
+    /// invariant is violated; well-formed tenants are otherwise always
+    /// accepted (algorithms may always open fresh servers).
+    fn place(&mut self, tenant: Tenant) -> Result<PlacementOutcome>;
+
+    /// Read access to the placement built so far.
+    fn placement(&self) -> &Placement;
+
+    /// Replication factor `γ` the algorithm was configured with.
+    fn gamma(&self) -> usize {
+        self.placement().gamma()
+    }
+
+    /// Short human-readable algorithm name (for reports and plots).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::Load;
+
+    /// Minimal consolidator used to exercise trait defaults: every tenant
+    /// gets γ fresh bins.
+    struct FreshBins {
+        placement: Placement,
+    }
+
+    impl Consolidator for FreshBins {
+        fn place(&mut self, tenant: Tenant) -> Result<PlacementOutcome> {
+            let gamma = self.placement.gamma();
+            let bins: Vec<BinId> = (0..gamma).map(|_| self.placement.open_bin(None)).collect();
+            self.placement.place_tenant(&tenant, &bins)?;
+            Ok(PlacementOutcome {
+                tenant: tenant.id(),
+                opened: bins.len(),
+                bins,
+                stage: PlacementStage::Direct,
+            })
+        }
+
+        fn placement(&self) -> &Placement {
+            &self.placement
+        }
+
+        fn name(&self) -> &'static str {
+            "fresh-bins"
+        }
+    }
+
+    #[test]
+    fn trait_defaults_and_object_safety() {
+        let mut boxed: Box<dyn Consolidator> = Box::new(FreshBins { placement: Placement::new(3) });
+        assert_eq!(boxed.gamma(), 3);
+        let outcome = boxed
+            .place(Tenant::with_load(Load::new(0.3).unwrap()))
+            .unwrap();
+        assert_eq!(outcome.bins.len(), 3);
+        assert_eq!(outcome.opened, 3);
+        assert_eq!(outcome.stage, PlacementStage::Direct);
+        assert_eq!(boxed.name(), "fresh-bins");
+        assert!(boxed.placement().is_robust());
+    }
+}

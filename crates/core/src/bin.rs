@@ -1,0 +1,136 @@
+//! Bins (servers) and read-only bin views.
+
+use crate::class::ReplicaClass;
+use crate::tenant::TenantId;
+use std::fmt;
+
+/// Opaque identifier of a bin (server) inside a [`crate::Placement`].
+///
+/// Ids are dense indices assigned in the order bins are opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BinId(pub(crate) usize);
+
+impl BinId {
+    /// Creates a bin id from a raw index.
+    ///
+    /// Mostly useful in tests; placements assign ids themselves.
+    #[must_use]
+    pub fn new(raw: usize) -> Self {
+        BinId(raw)
+    }
+
+    /// Returns the raw index backing this id.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for BinId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bin#{}", self.0)
+    }
+}
+
+/// The class of a bin, fixed when the first replica is placed in it
+/// (paper §III). Classless bins belong to baseline algorithms that do not
+/// partition servers into slots.
+pub type BinClass = ReplicaClass;
+
+/// Internal bin state tracked by [`crate::Placement`].
+#[derive(Debug, Clone)]
+pub(crate) struct BinData {
+    /// CubeFit class, if the owning algorithm assigns one.
+    pub class: Option<BinClass>,
+    /// Total load of replicas currently hosted.
+    pub level: f64,
+    /// Hosted replicas as `(tenant, replica_load)` pairs.
+    pub contents: Vec<(TenantId, f64)>,
+}
+
+impl BinData {
+    pub(crate) fn new(class: Option<BinClass>) -> Self {
+        BinData { class, level: 0.0, contents: Vec::new() }
+    }
+}
+
+/// A read-only view of one bin's state.
+///
+/// Obtained from [`crate::Placement::bin`] / [`crate::Placement::bins`];
+/// borrowing instead of copying keeps iteration over large placements cheap.
+#[derive(Debug, Clone, Copy)]
+pub struct BinSnapshot<'a> {
+    pub(crate) id: BinId,
+    pub(crate) data: &'a BinData,
+}
+
+impl<'a> BinSnapshot<'a> {
+    /// The bin's identifier.
+    #[must_use]
+    pub fn id(&self) -> BinId {
+        self.id
+    }
+
+    /// The bin's class, if the owning algorithm assigned one.
+    #[must_use]
+    pub fn class(&self) -> Option<BinClass> {
+        self.data.class
+    }
+
+    /// Total load of replicas hosted by the bin.
+    #[must_use]
+    pub fn level(&self) -> f64 {
+        self.data.level
+    }
+
+    /// Remaining capacity (`1 − level`).
+    #[must_use]
+    pub fn free(&self) -> f64 {
+        1.0 - self.data.level
+    }
+
+    /// Replicas hosted by the bin as `(tenant, replica_load)` pairs.
+    #[must_use]
+    pub fn contents(&self) -> &'a [(TenantId, f64)] {
+        &self.data.contents
+    }
+
+    /// Number of replicas hosted.
+    #[must_use]
+    pub fn replica_count(&self) -> usize {
+        self.data.contents.len()
+    }
+
+    /// Whether the bin hosts no replicas.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.contents.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_id_roundtrip_and_display() {
+        let id = BinId::new(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "bin#7");
+    }
+
+    #[test]
+    fn snapshot_exposes_state() {
+        let mut data = BinData::new(Some(ReplicaClass::new(2)));
+        data.level = 0.4;
+        data.contents.push((TenantId::new(1), 0.4));
+        let snap = BinSnapshot { id: BinId::new(0), data: &data };
+        assert_eq!(snap.id().index(), 0);
+        assert_eq!(snap.class(), Some(ReplicaClass::new(2)));
+        assert!((snap.level() - 0.4).abs() < 1e-12);
+        assert!((snap.free() - 0.6).abs() < 1e-12);
+        assert_eq!(snap.replica_count(), 1);
+        assert!(!snap.is_empty());
+    }
+}

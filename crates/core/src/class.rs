@@ -1,0 +1,270 @@
+//! Replica size classes (paper §III).
+//!
+//! CubeFit partitions replicas into `K` classes by size. A replica of size
+//! `s` (the tenant load divided by `γ`) has class `τ` when
+//! `s ∈ (1/(τ+γ), 1/(τ+γ−1)]` for `1 ≤ τ < K`, and class `K` (the *tiny*
+//! class) when `s ∈ (0, 1/(K+γ−1)]`.
+
+use crate::EPSILON;
+use std::fmt;
+
+/// A replica size class, `1 ..= K`.
+///
+/// Class `K` is the tiny class whose members are aggregated into
+/// multi-replicas (see [`crate::multireplica`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ReplicaClass(usize);
+
+impl ReplicaClass {
+    /// Creates a class from its 1-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is zero; class indices start at 1.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        assert!(index >= 1, "class indices are 1-based");
+        ReplicaClass(index)
+    }
+
+    /// The 1-based index `τ` of this class.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ReplicaClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class{}", self.0)
+    }
+}
+
+/// Maps replica sizes to classes for a fixed `(K, γ)` configuration.
+///
+/// ```
+/// use cubefit_core::Classifier;
+///
+/// let classifier = Classifier::new(5, 2);
+/// // γ = 2: class 1 covers replica sizes (1/3, 1/2].
+/// assert_eq!(classifier.classify(0.5).index(), 1);
+/// assert_eq!(classifier.classify(0.4).index(), 1);
+/// // sizes at most 1/(K+γ−1) = 1/6 are tiny (class K).
+/// assert_eq!(classifier.classify(0.1).index(), 5);
+/// assert!(classifier.is_tiny(0.1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Classifier {
+    classes: usize,
+    gamma: usize,
+}
+
+impl Classifier {
+    /// Creates a classifier for `classes = K` size classes and replication
+    /// factor `gamma = γ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0` or `gamma < 2`; configurations are validated
+    /// upstream by [`crate::CubeFitConfig`].
+    #[must_use]
+    pub fn new(classes: usize, gamma: usize) -> Self {
+        assert!(classes >= 1, "need at least one class");
+        assert!(gamma >= 2, "replication factor must be at least 2");
+        Classifier { classes, gamma }
+    }
+
+    /// Number of classes `K`.
+    #[must_use]
+    pub fn classes(self) -> usize {
+        self.classes
+    }
+
+    /// Replication factor `γ`.
+    #[must_use]
+    pub fn gamma(self) -> usize {
+        self.gamma
+    }
+
+    /// The class of a replica of size `size`.
+    ///
+    /// Sizes at the boundary `1/(τ+γ−1)` belong to class `τ` (the intervals
+    /// are right-closed); an [`EPSILON`] guard keeps values computed as
+    /// `1.0 / m` on the intended boundary despite rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not in `(0, 1/γ]` — replica sizes are bounded by
+    /// `1/γ` because tenant loads are at most 1.
+    #[must_use]
+    pub fn classify(self, size: f64) -> ReplicaClass {
+        assert!(
+            size > 0.0 && size <= 1.0 / self.gamma as f64 + EPSILON,
+            "replica size {size} outside (0, 1/γ]"
+        );
+        // s ∈ (1/(τ+γ), 1/(τ+γ−1)]  ⟺  τ+γ−1 ≤ 1/s < τ+γ  ⟺
+        // τ = floor(1/s) − γ + 1, except exactly at the left-open boundary.
+        let inv = 1.0 / size;
+        // Snap near-integer values of 1/s down to the integer so that sizes
+        // of the form 1/m land in the class whose interval is closed at 1/m.
+        let snapped = if (inv - inv.round()).abs() < EPSILON * inv.max(1.0) {
+            inv.round()
+        } else {
+            inv.floor()
+        };
+        let tau = (snapped as usize).saturating_sub(self.gamma - 1).max(1);
+        ReplicaClass(tau.min(self.classes))
+    }
+
+    /// The class of a whole tenant with load `load` (its replicas have size
+    /// `load/γ`).
+    #[must_use]
+    pub fn classify_tenant_load(self, load: f64) -> ReplicaClass {
+        self.classify(load / self.gamma as f64)
+    }
+
+    /// Whether a replica of size `size` belongs to the tiny class `K`.
+    #[must_use]
+    pub fn is_tiny(self, size: f64) -> bool {
+        self.classify(size).index() == self.classes
+    }
+
+    /// The half-open size interval `(lo, hi]` covered by class `tau`.
+    ///
+    /// For the tiny class `K` the interval is `(0, 1/(K+γ−1)]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` exceeds the configured number of classes.
+    #[must_use]
+    pub fn size_range(self, tau: ReplicaClass) -> (f64, f64) {
+        assert!(tau.index() <= self.classes, "class out of range");
+        let t = tau.index();
+        let hi = 1.0 / (t + self.gamma - 1) as f64;
+        if t == self.classes {
+            (0.0, hi)
+        } else {
+            (1.0 / (t + self.gamma) as f64, hi)
+        }
+    }
+
+    /// Number of payload slots in a bin of class `tau` (`τ` slots out of
+    /// `τ+γ−1`, the remaining `γ−1` being reserved for failover).
+    #[must_use]
+    pub fn payload_slots(self, tau: ReplicaClass) -> usize {
+        tau.index()
+    }
+
+    /// Size of each slot in a bin of class `tau`: `1/(τ+γ−1)`.
+    #[must_use]
+    pub fn slot_size(self, tau: ReplicaClass) -> f64 {
+        1.0 / (tau.index() + self.gamma - 1) as f64
+    }
+
+    /// The largest integer `α_K` with `α_K² + α_K < K`, used by the
+    /// theoretical tiny-tenant policy (paper §III), or `None` when no
+    /// positive integer satisfies the inequality (`K ≤ 2`).
+    #[must_use]
+    pub fn alpha(self) -> Option<usize> {
+        let mut alpha = 0usize;
+        while (alpha + 1) * (alpha + 1) + (alpha + 1) < self.classes {
+            alpha += 1;
+        }
+        (alpha > 0).then_some(alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_boundaries_gamma2() {
+        let c = Classifier::new(10, 2);
+        // class τ covers (1/(τ+2), 1/(τ+1)].
+        assert_eq!(c.classify(0.5).index(), 1); // boundary 1/2
+        assert_eq!(c.classify(1.0 / 3.0 + 1e-6).index(), 1);
+        assert_eq!(c.classify(1.0 / 3.0).index(), 2); // boundary 1/3 → class 2
+        assert_eq!(c.classify(0.26).index(), 2);
+        // 1/4 is the right endpoint of class 3's interval (1/5, 1/4].
+        assert_eq!(c.classify(0.25).index(), 3);
+    }
+
+    #[test]
+    fn boundary_membership_is_right_closed() {
+        let c = Classifier::new(10, 2);
+        for tau in 1..=9 {
+            let (lo, hi) = c.size_range(ReplicaClass::new(tau));
+            assert_eq!(c.classify(hi).index(), tau, "right endpoint of class {tau}");
+            if tau < 9 {
+                // Just above the left-open endpoint is still class τ.
+                assert_eq!(c.classify(lo + 1e-9).index(), tau);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_class_threshold() {
+        let c = Classifier::new(5, 2);
+        // tiny when size ≤ 1/(K+γ−1) = 1/6.
+        assert!(c.is_tiny(1.0 / 6.0));
+        assert!(!c.is_tiny(1.0 / 6.0 + 1e-6));
+        assert_eq!(c.classify(0.0001).index(), 5);
+    }
+
+    #[test]
+    fn class_boundaries_gamma3() {
+        let c = Classifier::new(10, 3);
+        // class 1 covers (1/4, 1/3]; replica sizes capped at 1/3.
+        assert_eq!(c.classify(1.0 / 3.0).index(), 1);
+        assert_eq!(c.classify(0.26).index(), 1);
+        assert_eq!(c.classify(0.25).index(), 2);
+        // τ = 3 example of Fig. 3: sizes in (1/6, 1/5].
+        assert_eq!(c.classify(0.2).index(), 3);
+        assert_eq!(c.classify(1.0 / 6.0 + 1e-6).index(), 3);
+    }
+
+    #[test]
+    fn classify_tenant_load_divides_by_gamma() {
+        let c = Classifier::new(10, 2);
+        // Tenant load 0.6 → replicas 0.3 ∈ (1/4, 1/3] → class 2.
+        assert_eq!(c.classify_tenant_load(0.6).index(), 2);
+    }
+
+    #[test]
+    fn slot_geometry() {
+        let c = Classifier::new(10, 3);
+        let tau = ReplicaClass::new(3);
+        assert_eq!(c.payload_slots(tau), 3);
+        assert!((c.slot_size(tau) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_values() {
+        assert_eq!(Classifier::new(10, 2).alpha(), Some(2)); // 2²+2=6<10, 3²+3=12≥10
+        assert_eq!(Classifier::new(13, 3).alpha(), Some(3)); // 3²+3=12<13
+        assert_eq!(Classifier::new(21, 2).alpha(), Some(4)); // 4²+4=20<21
+        assert_eq!(Classifier::new(2, 2).alpha(), None);
+        assert_eq!(Classifier::new(3, 2).alpha(), Some(1)); // 1+1=2<3
+    }
+
+    #[test]
+    fn size_range_tiny_class() {
+        let c = Classifier::new(5, 3);
+        let (lo, hi) = c.size_range(ReplicaClass::new(5));
+        assert_eq!(lo, 0.0);
+        assert!((hi - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn classify_rejects_oversized_replica() {
+        let _ = Classifier::new(5, 2).classify(0.6);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ReplicaClass::new(4).to_string(), "class4");
+    }
+}

@@ -1,0 +1,292 @@
+//! Cube addressing for stage-2 placement (paper §III, Fig. 3).
+//!
+//! For each class `τ < K`, CubeFit maintains `γ` *groups* of `τ^(γ−1)` bins.
+//! The `τ` payload slots of the bins in one group form a `γ`-dimensional
+//! cube with `τ^γ` cells. A per-class counter `cnt_τ ∈ [0, τ^γ)` is written
+//! as `γ` base-`τ` digits; replica `j` of a tenant is stored at the cell
+//! addressed by the `(j−1)`-fold right-cyclic shift of those digits — the
+//! first `γ−1` digits select the bin inside group `j`, the last digit
+//! selects the slot. This shifting construction is what guarantees
+//! **Lemma 1**: no two bins share replicas of more than one tenant.
+
+use crate::bin::BinId;
+use crate::class::ReplicaClass;
+use crate::placement::Placement;
+
+/// A `γ`-digit base-`τ` cube address.
+///
+/// ```
+/// use cubefit_core::cube::CubeAddress;
+///
+/// // τ = 3, γ = 2, counter 7 = (21)₃.
+/// let addr = CubeAddress::from_counter(7, 3, 2);
+/// assert_eq!(addr.digits(), &[2, 1]);
+/// assert_eq!(addr.bin_index(), 2);
+/// assert_eq!(addr.slot_index(), 1);
+/// // The second replica uses the right-cyclic shift (12)₃.
+/// assert_eq!(addr.shifted_right(1).digits(), &[1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CubeAddress {
+    digits: Vec<usize>,
+    base: usize,
+}
+
+impl CubeAddress {
+    /// Interprets `counter` as `gamma` base-`tau` digits
+    /// (most-significant first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau == 0`, `gamma == 0`, or `counter ≥ tau^gamma`.
+    #[must_use]
+    pub fn from_counter(counter: u64, tau: usize, gamma: usize) -> Self {
+        assert!(tau >= 1 && gamma >= 1, "degenerate cube dimensions");
+        let capacity = (tau as u64).pow(gamma as u32);
+        assert!(counter < capacity, "counter {counter} out of range for τ^γ = {capacity}");
+        let mut digits = vec![0usize; gamma];
+        let mut c = counter;
+        for d in digits.iter_mut().rev() {
+            *d = (c % tau as u64) as usize;
+            c /= tau as u64;
+        }
+        CubeAddress { digits, base: tau }
+    }
+
+    /// The digits, most-significant first.
+    #[must_use]
+    pub fn digits(&self) -> &[usize] {
+        &self.digits
+    }
+
+    /// The address right-cyclic-shifted `times` times:
+    /// `(d₁…d_γ) → (d_γ, d₁…d_{γ−1})` per shift.
+    #[must_use]
+    pub fn shifted_right(&self, times: usize) -> CubeAddress {
+        let gamma = self.digits.len();
+        let times = times % gamma;
+        let mut digits = Vec::with_capacity(gamma);
+        digits.extend_from_slice(&self.digits[gamma - times..]);
+        digits.extend_from_slice(&self.digits[..gamma - times]);
+        CubeAddress { digits, base: self.base }
+    }
+
+    /// Index of the bin inside a group: the first `γ−1` digits read as a
+    /// base-`τ` number.
+    #[must_use]
+    pub fn bin_index(&self) -> usize {
+        self.digits[..self.digits.len() - 1]
+            .iter()
+            .fold(0usize, |acc, d| acc * self.base + d)
+    }
+
+    /// Index of the slot inside the bin: the last digit.
+    #[must_use]
+    pub fn slot_index(&self) -> usize {
+        *self.digits.last().expect("addresses have at least one digit")
+    }
+}
+
+/// One replica's target: a bin (lazily opened) and a slot within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SlotTarget {
+    pub bin: BinId,
+    pub slot: usize,
+    /// Whether this placement opened the bin.
+    pub opened: bool,
+}
+
+/// The γ groups of cube bins for one class, plus the class counter.
+#[derive(Debug, Clone)]
+pub(crate) struct ClassGroups {
+    tau: usize,
+    gamma: usize,
+    counter: u64,
+    /// `gamma` groups of `τ^(γ−1)` lazily opened bins.
+    groups: Vec<Vec<Option<BinId>>>,
+}
+
+impl ClassGroups {
+    pub(crate) fn new(tau: usize, gamma: usize) -> Self {
+        assert!(tau >= 1 && gamma >= 2);
+        let group_size = tau.pow(gamma as u32 - 1);
+        ClassGroups {
+            tau,
+            gamma,
+            counter: 0,
+            groups: vec![vec![None; group_size]; gamma],
+        }
+    }
+
+    /// Total cells per generation (`τ^γ`).
+    fn capacity(&self) -> u64 {
+        (self.tau as u64).pow(self.gamma as u32)
+    }
+
+    /// Assigns the next tenant's `γ` replicas to slots, opening bins on
+    /// demand in `placement`, and advances the counter (allocating a fresh
+    /// generation of groups when the cube is full).
+    pub(crate) fn assign(&mut self, placement: &mut Placement) -> Vec<SlotTarget> {
+        let address = CubeAddress::from_counter(self.counter, self.tau, self.gamma);
+        let mut targets = Vec::with_capacity(self.gamma);
+        for j in 0..self.gamma {
+            let shifted = address.shifted_right(j);
+            let bin_index = shifted.bin_index();
+            let slot = shifted.slot_index();
+            let entry = &mut self.groups[j][bin_index];
+            let (bin, opened) = match *entry {
+                Some(bin) => (bin, false),
+                None => {
+                    let bin = placement.open_bin(Some(ReplicaClass::new(self.tau)));
+                    *entry = Some(bin);
+                    (bin, true)
+                }
+            };
+            targets.push(SlotTarget { bin, slot, opened });
+        }
+        self.counter += 1;
+        if self.counter == self.capacity() {
+            let group_size = self.tau.pow(self.gamma as u32 - 1);
+            self.groups = vec![vec![None; group_size]; self.gamma];
+            self.counter = 0;
+        }
+        targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn paper_example_tau3_gamma2() {
+        // I₃ = (21)₃ → first replica slot (2,1) of cube 1, second (1,2) of cube 2.
+        let addr = CubeAddress::from_counter(7, 3, 2);
+        assert_eq!(addr.digits(), &[2, 1]);
+        let second = addr.shifted_right(1);
+        assert_eq!(second.digits(), &[1, 2]);
+        assert_eq!(second.bin_index(), 1);
+        assert_eq!(second.slot_index(), 2);
+    }
+
+    #[test]
+    fn paper_example_tau3_gamma3() {
+        // I₃ = (001)₃ → slots (0,0,1), (1,0,0), (0,1,0).
+        let addr = CubeAddress::from_counter(1, 3, 3);
+        assert_eq!(addr.digits(), &[0, 0, 1]);
+        assert_eq!(addr.shifted_right(1).digits(), &[1, 0, 0]);
+        assert_eq!(addr.shifted_right(2).digits(), &[0, 1, 0]);
+        // Bin index of (1,0,0) inside its group is (1,0)₃ = 3.
+        assert_eq!(addr.shifted_right(1).bin_index(), 3);
+        assert_eq!(addr.shifted_right(1).slot_index(), 0);
+    }
+
+    #[test]
+    fn shift_is_cyclic() {
+        let addr = CubeAddress::from_counter(5, 2, 3); // (101)₂
+        assert_eq!(addr.shifted_right(3), addr);
+        assert_eq!(addr.shifted_right(4), addr.shifted_right(1));
+    }
+
+    #[test]
+    fn counter_roundtrip_all_cells() {
+        // Every counter value addresses a distinct cell in each group.
+        for (tau, gamma) in [(2usize, 2usize), (3, 2), (3, 3), (4, 3)] {
+            let capacity = tau.pow(gamma as u32) as u64;
+            for j in 0..gamma {
+                let mut seen = HashSet::new();
+                for c in 0..capacity {
+                    let a = CubeAddress::from_counter(c, tau, gamma).shifted_right(j);
+                    assert!(seen.insert((a.bin_index(), a.slot_index())));
+                }
+                assert_eq!(seen.len(), capacity as usize);
+            }
+        }
+    }
+
+    /// Lemma 1: within one generation, any two bins (across all groups)
+    /// share at most one tenant.
+    #[test]
+    fn lemma1_no_two_bins_share_two_tenants() {
+        for (tau, gamma) in [(2usize, 2usize), (3, 2), (3, 3), (2, 3), (4, 2)] {
+            let mut placement = Placement::new(gamma);
+            let mut groups = ClassGroups::new(tau, gamma);
+            let capacity = tau.pow(gamma as u32);
+            // tenant → set of bins hosting it
+            let mut hosted: Vec<Vec<BinId>> = Vec::new();
+            for _ in 0..capacity {
+                let targets = groups.assign(&mut placement);
+                hosted.push(targets.iter().map(|t| t.bin).collect());
+            }
+            let mut pair_counts: HashMap<(BinId, BinId), usize> = HashMap::new();
+            for bins in &hosted {
+                for (i, &a) in bins.iter().enumerate() {
+                    for &b in &bins[i + 1..] {
+                        let key = if a < b { (a, b) } else { (b, a) };
+                        *pair_counts.entry(key).or_insert(0) += 1;
+                    }
+                }
+            }
+            for ((a, b), count) in pair_counts {
+                assert!(
+                    count <= 1,
+                    "τ={tau} γ={gamma}: bins {a} and {b} share {count} tenants"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assign_opens_bins_lazily_and_fills_slots() {
+        let mut placement = Placement::new(2);
+        let mut groups = ClassGroups::new(3, 2);
+        let first = groups.assign(&mut placement);
+        assert_eq!(first.len(), 2);
+        assert!(first.iter().all(|t| t.opened));
+        assert_eq!(placement.created_bins(), 2);
+        // Counter 1 = (01)₃: replica 1 → bin 0 slot 1 (bin already open),
+        // replica 2 → (10)₃ → bin 1 of group 2 (new).
+        let second = groups.assign(&mut placement);
+        assert!(!second[0].opened);
+        assert_eq!(second[0].bin, first[0].bin);
+        assert_eq!(second[0].slot, 1);
+        assert!(second[1].opened);
+    }
+
+    #[test]
+    fn generation_reset_after_full_cube() {
+        let mut placement = Placement::new(2);
+        let mut groups = ClassGroups::new(2, 2);
+        let mut bins_gen1 = HashSet::new();
+        for _ in 0..4 {
+            for t in groups.assign(&mut placement) {
+                bins_gen1.insert(t.bin);
+            }
+        }
+        // Next assignment starts a fresh generation with brand-new bins.
+        let fresh = groups.assign(&mut placement);
+        for t in fresh {
+            assert!(t.opened);
+            assert!(!bins_gen1.contains(&t.bin));
+        }
+    }
+
+    #[test]
+    fn tau1_every_tenant_gets_fresh_bins() {
+        let mut placement = Placement::new(3);
+        let mut groups = ClassGroups::new(1, 3);
+        let a = groups.assign(&mut placement);
+        let b = groups.assign(&mut placement);
+        let bins_a: HashSet<BinId> = a.iter().map(|t| t.bin).collect();
+        let bins_b: HashSet<BinId> = b.iter().map(|t| t.bin).collect();
+        assert!(bins_a.is_disjoint(&bins_b));
+        assert_eq!(placement.created_bins(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn counter_out_of_range_panics() {
+        let _ = CubeAddress::from_counter(9, 3, 2);
+    }
+}

@@ -1,0 +1,492 @@
+//! The CubeFit consolidation algorithm (paper §III, Algorithm 1).
+
+use crate::algorithm::{Consolidator, PlacementOutcome, PlacementStage};
+use crate::bin::BinId;
+use crate::class::Classifier;
+use crate::config::CubeFitConfig;
+use crate::cube::{ClassGroups, SlotTarget};
+use crate::error::{Error, Result};
+use crate::mfit::{self, MatureSet};
+use crate::multireplica::MultiReplicaState;
+use crate::placement::Placement;
+use crate::tenant::Tenant;
+use std::collections::BTreeMap;
+
+/// Online robust consolidator that places replicas of almost-equal size into
+/// the same bins via cube addressing, and reuses mature-bin leftover space
+/// via the m-fit predicate.
+///
+/// For every tenant, CubeFit:
+///
+/// 1. (*stage 1*) tries to Best-Fit all `γ` replicas into **mature** bins
+///    that *m-fit* them — bins whose payload slots are full but whose spare
+///    space can absorb the replica while preserving the failover reserve;
+/// 2. (*stage 2*) otherwise assigns the replicas to the next cube cell of
+///    the tenant's size class, so that no two bins ever share replicas of
+///    more than one tenant (Lemma 1), which bounds failover load and yields
+///    Theorem 1: no failure of up to `γ − 1` servers overloads any bin.
+///
+/// Tiny tenants (class `K`) are aggregated into multi-replicas first
+/// (see [`crate::multireplica`]).
+///
+/// ```
+/// use cubefit_core::{Consolidator, CubeFit, CubeFitConfig, Load, Tenant};
+///
+/// # fn main() -> Result<(), cubefit_core::Error> {
+/// let mut cubefit = CubeFit::new(CubeFitConfig::builder().replication(3).classes(10).build()?);
+/// for i in 0..100 {
+///     let load = 0.01 + 0.009 * (i % 100) as f64;
+///     cubefit.place(Tenant::with_load(Load::new(load)?))?;
+/// }
+/// // Robust against any two simultaneous server failures.
+/// assert!(cubefit.placement().is_robust());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CubeFit {
+    config: CubeFitConfig,
+    classifier: Classifier,
+    placement: Placement,
+    /// Cube groups per class index (shared between regular replicas and
+    /// multi-replicas of the tiny target class).
+    groups: BTreeMap<usize, ClassGroups>,
+    /// Stage-2 payload slots occupied, per bin.
+    slots_filled: Vec<usize>,
+    mature: MatureSet,
+    multi: MultiReplicaState,
+    counters: CubeFitStats,
+}
+
+/// Counters describing how CubeFit placed its tenants.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CubeFitStats {
+    /// Tenants placed in stage 1 (mature-bin reuse).
+    pub stage1_placements: usize,
+    /// Tenants placed in stage 2 (cube slots).
+    pub stage2_placements: usize,
+    /// Tiny tenants placed via multi-replicas.
+    pub tiny_placements: usize,
+    /// Bins that have matured so far.
+    pub mature_bins: usize,
+    /// Multi-replicas sealed so far.
+    pub sealed_multis: usize,
+}
+
+impl CubeFit {
+    /// Creates a CubeFit consolidator from a validated configuration.
+    #[must_use]
+    pub fn new(config: CubeFitConfig) -> Self {
+        let (_, cap) = config.tiny_target();
+        CubeFit {
+            classifier: config.classifier(),
+            placement: Placement::new(config.gamma()),
+            groups: BTreeMap::new(),
+            slots_filled: Vec::new(),
+            mature: MatureSet::default(),
+            multi: MultiReplicaState::new(cap),
+            counters: CubeFitStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration this instance runs with.
+    #[must_use]
+    pub fn config(&self) -> &CubeFitConfig {
+        &self.config
+    }
+
+    /// Placement-path counters.
+    #[must_use]
+    pub fn stats(&self) -> CubeFitStats {
+        CubeFitStats {
+            mature_bins: self.mature.len(),
+            sealed_multis: self.multi.sealed(),
+            ..self.counters
+        }
+    }
+
+    /// Places a tiny (class-`K`) tenant: stage-1 reuse of mature-bin
+    /// leftover space when enabled (§V.A), else the multi-replica path.
+    fn place_tiny(&mut self, tenant: &Tenant, size: f64) -> Result<PlacementOutcome> {
+        if self.config.tiny_stage1() {
+            let growth_hosts = self.multi.active_hosts();
+            if let Some(bins) = mfit::try_stage1(
+                &self.placement,
+                &self.mature,
+                self.config.stage1_eligibility(),
+                crate::class::ReplicaClass::new(self.config.classes()),
+                size,
+                self.config.gamma(),
+                &growth_hosts,
+                self.multi.headroom(),
+                self.config.scan_limit(),
+            ) {
+                self.commit(tenant, &bins)?;
+                self.counters.stage1_placements += 1;
+                return Ok(PlacementOutcome {
+                    tenant: tenant.id(),
+                    bins,
+                    opened: 0,
+                    stage: PlacementStage::MatureFit,
+                });
+            }
+        }
+        let (target_class, _) = self.config.tiny_target();
+        let gamma = self.config.gamma();
+        // Multi-replicas draw slots from the same cube groups as regular
+        // replicas of the target class, preserving Lemma 1 across both.
+        let groups = self
+            .groups
+            .entry(target_class)
+            .or_insert_with(|| ClassGroups::new(target_class, gamma));
+        let decision = self.multi.assign(size, &mut self.placement, groups);
+        let opened = decision
+            .new_slots
+            .as_ref()
+            .map_or(0, |slots| slots.iter().filter(|t| t.opened).count());
+        self.commit(tenant, &decision.bins)?;
+        if let Some(targets) = &decision.new_slots {
+            self.note_slots(targets);
+        }
+        self.counters.tiny_placements += 1;
+        Ok(PlacementOutcome {
+            tenant: tenant.id(),
+            bins: decision.bins,
+            opened,
+            stage: PlacementStage::MultiReplica,
+        })
+    }
+
+    /// The robust slack of `bin`: the guest headroom the mature set keys
+    /// by.
+    fn slack(&self, bin: BinId) -> f64 {
+        1.0 - self.placement.level(bin) - self.placement.worst_failover(bin)
+    }
+
+    /// Commits a tenant to its bins, keeping the mature-set slack keys
+    /// consistent (placement changes both the levels and the shared loads
+    /// of exactly these bins).
+    fn commit(&mut self, tenant: &Tenant, bins: &[BinId]) -> Result<()> {
+        self.placement.place_tenant(tenant, bins)?;
+        for &bin in bins {
+            self.mature.update_slack(bin, self.slack(bin));
+        }
+        Ok(())
+    }
+
+    /// Records stage-2 slot occupancy and promotes bins whose payload slots
+    /// are now all filled to the mature set.
+    fn note_slots(&mut self, targets: &[SlotTarget]) {
+        for target in targets {
+            let index = target.bin.index();
+            if index >= self.slots_filled.len() {
+                self.slots_filled.resize(index + 1, 0);
+            }
+            self.slots_filled[index] += 1;
+            let class = self
+                .placement
+                .bin(target.bin)
+                .class()
+                .expect("stage-2 bins are always classed");
+            if self.slots_filled[index] == self.classifier.payload_slots(class) {
+                self.mature.insert(target.bin, self.slack(target.bin));
+            }
+        }
+    }
+}
+
+impl Consolidator for CubeFit {
+    fn place(&mut self, tenant: Tenant) -> Result<PlacementOutcome> {
+        if self.placement.tenant_bins(tenant.id()).is_some() {
+            return Err(Error::DuplicateTenant { tenant: tenant.id() });
+        }
+        let gamma = self.config.gamma();
+        let size = tenant.replica_size(gamma);
+        let class = self.classifier.classify(size);
+
+        if class.index() == self.config.classes() {
+            return self.place_tiny(&tenant, size);
+        }
+
+        // Stage 1: Best Fit into mature bins, if every replica m-fits. The
+        // active multi-replica's remaining growth is charged to its host
+        // bins so a guest admitted now still fits once that growth lands.
+        // Class-1 replicas have no strictly-smaller class to reuse, so the
+        // scan is skipped outright under the default eligibility rule.
+        let stage1_possible = class.index() > 1
+            || self.config.stage1_eligibility() != crate::config::Stage1Eligibility::SmallerClassBins;
+        if stage1_possible {
+            let growth_hosts = self.multi.active_hosts();
+            if let Some(bins) = mfit::try_stage1(
+                &self.placement,
+                &self.mature,
+                self.config.stage1_eligibility(),
+                class,
+                size,
+                gamma,
+                &growth_hosts,
+                self.multi.headroom(),
+                self.config.scan_limit(),
+            ) {
+                self.commit(&tenant, &bins)?;
+                self.counters.stage1_placements += 1;
+                return Ok(PlacementOutcome {
+                    tenant: tenant.id(),
+                    bins,
+                    opened: 0,
+                    stage: PlacementStage::MatureFit,
+                });
+            }
+        }
+
+        // Stage 2: cube-addressed slots of the tenant's class.
+        let tau = class.index();
+        let groups = self
+            .groups
+            .entry(tau)
+            .or_insert_with(|| ClassGroups::new(tau, gamma));
+        let targets = groups.assign(&mut self.placement);
+        let bins: Vec<BinId> = targets.iter().map(|t| t.bin).collect();
+        let opened = targets.iter().filter(|t| t.opened).count();
+        self.commit(&tenant, &bins)?;
+        self.note_slots(&targets);
+        self.counters.stage2_placements += 1;
+        Ok(PlacementOutcome { tenant: tenant.id(), bins, opened, stage: PlacementStage::Cube })
+    }
+
+    fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    fn name(&self) -> &'static str {
+        "cubefit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Stage1Eligibility, TinyPolicy};
+    use crate::load::Load;
+    use crate::tenant::TenantId;
+    use crate::validity;
+
+    fn tenant(id: u64, load: f64) -> Tenant {
+        Tenant::new(TenantId::new(id), Load::new(load).unwrap())
+    }
+
+    fn cubefit(gamma: usize, classes: usize) -> CubeFit {
+        CubeFit::new(
+            CubeFitConfig::builder()
+                .replication(gamma)
+                .classes(classes)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn single_tenant_opens_gamma_bins() {
+        let mut cf = cubefit(3, 10);
+        let outcome = cf.place(tenant(0, 0.9)).unwrap();
+        assert_eq!(outcome.bins.len(), 3);
+        assert_eq!(outcome.opened, 3);
+        assert_eq!(outcome.stage, PlacementStage::Cube);
+        assert_eq!(cf.placement().open_bins(), 3);
+    }
+
+    #[test]
+    fn duplicate_rejected_without_state_damage() {
+        let mut cf = cubefit(2, 5);
+        cf.place(tenant(0, 0.5)).unwrap();
+        let before = cf.placement().open_bins();
+        assert!(matches!(
+            cf.place(tenant(0, 0.5)),
+            Err(Error::DuplicateTenant { .. })
+        ));
+        assert_eq!(cf.placement().open_bins(), before);
+        assert_eq!(cf.placement().tenant_count(), 1);
+    }
+
+    #[test]
+    fn same_class_tenants_share_cube_bins() {
+        // γ=2, class 2 (replica ∈ (1/4, 1/3]): bins hold 2 payload slots,
+        // groups of 2 bins, cube of 4 cells.
+        let mut cf = cubefit(2, 10);
+        for id in 0..4 {
+            cf.place(tenant(id, 0.6)).unwrap(); // replicas 0.3 → class 2
+        }
+        // 4 tenants fill one full generation: 2 groups × 2 bins = 4 bins.
+        assert_eq!(cf.placement().open_bins(), 4);
+        assert!(cf.placement().is_robust());
+        let stats = cf.stats();
+        assert_eq!(stats.stage2_placements + stats.stage1_placements, 4);
+    }
+
+    #[test]
+    fn figure2_stage1_behaviour() {
+        // Fig. 2: class-1 tenants a, b mature four bins; small tenant c
+        // m-fits the fullest pair; d no longer fits there and lands on the
+        // other pair.
+        let config = CubeFitConfig::builder()
+            .replication(2)
+            .classes(10)
+            .stage1_eligibility(Stage1Eligibility::SmallerClassBins)
+            .build()
+            .unwrap();
+        let mut cf = CubeFit::new(config);
+        let a = cf.place(tenant(0, 0.70)).unwrap(); // class 1, matures 2 bins
+        let b = cf.place(tenant(1, 0.72)).unwrap(); // class 1, matures 2 more
+        assert_eq!(a.stage, PlacementStage::Cube);
+        assert_eq!(b.stage, PlacementStage::Cube);
+        assert_eq!(cf.stats().mature_bins, 4);
+
+        let c = cf.place(tenant(2, 0.20)).unwrap(); // replicas 0.10
+        assert_eq!(c.stage, PlacementStage::MatureFit);
+        // Best Fit: c goes to b's (fuller) bins.
+        let b_bins: Vec<BinId> = b.bins.clone();
+        let mut c_bins = c.bins.clone();
+        c_bins.sort_unstable();
+        let mut expected = b_bins.clone();
+        expected.sort_unstable();
+        assert_eq!(c_bins, expected);
+
+        let d = cf.place(tenant(3, 0.24)).unwrap(); // replicas 0.12
+        assert_eq!(d.stage, PlacementStage::MatureFit);
+        let mut d_bins = d.bins.clone();
+        d_bins.sort_unstable();
+        let mut a_bins = a.bins.clone();
+        a_bins.sort_unstable();
+        assert_eq!(d_bins, a_bins, "d only m-fits the emptier pair");
+        assert!(cf.placement().is_robust());
+    }
+
+    #[test]
+    fn robust_for_random_uniform_loads_gamma2() {
+        let mut cf = cubefit(2, 10);
+        let mut state = 0x1234_5678_u64;
+        for id in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let load = ((state >> 11) as f64 / (1u64 << 53) as f64).max(1e-6);
+            cf.place(tenant(id, load)).unwrap();
+        }
+        let report = validity::check(cf.placement());
+        assert!(report.is_robust(), "worst margin {}", report.worst_margin);
+    }
+
+    #[test]
+    fn robust_for_random_uniform_loads_gamma3() {
+        let mut cf = cubefit(3, 5);
+        let mut state = 0x8765_4321_u64;
+        for id in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let load = ((state >> 11) as f64 / (1u64 << 53) as f64).max(1e-6);
+            cf.place(tenant(id, load)).unwrap();
+        }
+        let report = validity::check(cf.placement());
+        assert!(report.is_robust(), "worst margin {}", report.worst_margin);
+    }
+
+    #[test]
+    fn tiny_tenants_aggregate() {
+        let mut cf = cubefit(2, 5);
+        // Tiny threshold (K=5, γ=2): replica ≤ 1/6. Load 0.05 → replica
+        // 0.025; target class 4 slots are 0.2 → 8 replicas per multi.
+        for id in 0..8 {
+            let outcome = cf.place(tenant(id, 0.05)).unwrap();
+            assert_eq!(outcome.stage, PlacementStage::MultiReplica);
+        }
+        // All 8 tenants share the same two bins.
+        let bins = cf.placement().tenant_bins(TenantId::new(0)).unwrap().to_vec();
+        for id in 1..8 {
+            assert_eq!(cf.placement().tenant_bins(TenantId::new(id)).unwrap(), &bins[..]);
+        }
+        assert_eq!(cf.placement().open_bins(), 2);
+        assert!(cf.placement().is_robust());
+        // The ninth overflows the 0.2 cap and opens a fresh multi-replica.
+        cf.place(tenant(8, 0.05)).unwrap();
+        assert_eq!(cf.stats().sealed_multis, 1);
+    }
+
+    #[test]
+    fn theoretical_tiny_policy_is_robust() {
+        let config = CubeFitConfig::builder()
+            .replication(2)
+            .classes(10)
+            .tiny_policy(TinyPolicy::Theoretical)
+            .build()
+            .unwrap();
+        let mut cf = CubeFit::new(config);
+        let mut state = 7_u64;
+        for id in 0..300 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            // Mostly tiny loads.
+            let load = 0.002 + ((state >> 11) as f64 / (1u64 << 53) as f64) * 0.15;
+            cf.place(tenant(id, load)).unwrap();
+        }
+        assert!(cf.placement().is_robust());
+        assert!(cf.stats().tiny_placements > 0);
+    }
+
+    #[test]
+    fn mixed_workload_stats_partition_tenants() {
+        let mut cf = cubefit(2, 5);
+        let loads = [0.9, 0.8, 0.3, 0.25, 0.05, 0.04, 0.6, 0.02];
+        for (id, &load) in loads.iter().enumerate() {
+            cf.place(tenant(id as u64, load)).unwrap();
+        }
+        let stats = cf.stats();
+        assert_eq!(
+            stats.stage1_placements + stats.stage2_placements + stats.tiny_placements,
+            loads.len()
+        );
+        assert!(cf.placement().is_robust());
+    }
+
+    #[test]
+    fn survives_worst_case_failures_gamma3() {
+        // End-to-end Theorem 1 exercise: place, fail the worst pair of
+        // servers, verify no overload under conservative semantics.
+        let mut cf = cubefit(3, 5);
+        let mut state = 99_u64;
+        for id in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let load = 0.05 + ((state >> 11) as f64 / (1u64 << 53) as f64) * 0.9;
+            cf.place(tenant(id, load)).unwrap();
+        }
+        let worst = validity::worst_failure_set(
+            cf.placement(),
+            2,
+            validity::FailoverSemantics::Conservative,
+        );
+        let impact = validity::simulate_failures(
+            cf.placement(),
+            &worst,
+            validity::FailoverSemantics::Conservative,
+        );
+        assert!(
+            !impact.has_overload(),
+            "worst-case 2-failure overloads: max load {}",
+            impact.max_load()
+        );
+    }
+
+    #[test]
+    fn boundary_load_one_is_class1() {
+        let mut cf = cubefit(2, 10);
+        let outcome = cf.place(tenant(0, 1.0)).unwrap();
+        assert_eq!(outcome.stage, PlacementStage::Cube);
+        // Replica size exactly 1/2 → class 1; bin level 0.5 with reserve.
+        assert!((cf.placement().level(outcome.bins[0]) - 0.5).abs() < 1e-12);
+        assert!(cf.placement().is_robust());
+    }
+
+    #[test]
+    fn consolidator_trait_name() {
+        let cf = cubefit(2, 5);
+        assert_eq!(cf.name(), "cubefit");
+        assert_eq!(cf.gamma(), 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! Serializable placement dumps.
+//!
+//! Operators need to persist a placement (which tenant lives on which
+//! servers), audit it offline, and hand it to other tools. A
+//! [`PlacementDump`] is the portable representation: the replication
+//! factor, the number of servers, and each tenant's load and hosting
+//! servers, in arrival order. Rebuilding a [`Placement`] from a dump
+//! re-derives every internal index (levels, shared loads), so an audit
+//! tool can verify robustness from the dump alone.
+
+use crate::bin::BinId;
+use crate::error::{Error, Result};
+use crate::load::Load;
+use crate::placement::Placement;
+use crate::tenant::{Tenant, TenantId};
+
+/// One tenant's row in a dump.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DumpEntry {
+    /// Tenant id.
+    pub tenant: u64,
+    /// Tenant load in `(0, 1]`.
+    pub load: f64,
+    /// Indices of the servers hosting the tenant's replicas.
+    pub servers: Vec<usize>,
+}
+
+/// A portable snapshot of a placement.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PlacementDump {
+    /// Replication factor `γ`.
+    pub gamma: usize,
+    /// Number of servers ever opened.
+    pub servers: usize,
+    /// Tenants in arrival order.
+    pub tenants: Vec<DumpEntry>,
+}
+
+impl PlacementDump {
+    /// Snapshots `placement`.
+    #[must_use]
+    pub fn from_placement(placement: &Placement) -> Self {
+        PlacementDump {
+            gamma: placement.gamma(),
+            servers: placement.created_bins(),
+            tenants: placement
+                .tenants()
+                .map(|(id, load, bins)| DumpEntry {
+                    tenant: id.get(),
+                    load,
+                    servers: bins.iter().map(|b| b.index()).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a live [`Placement`] (re-deriving levels and shared loads).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the dump is internally inconsistent: bad loads,
+    /// wrong replica counts, duplicate tenants, or server indices beyond
+    /// [`Self::servers`].
+    pub fn to_placement(&self) -> Result<Placement> {
+        if self.gamma < 2 {
+            return Err(Error::InvalidReplication { gamma: self.gamma });
+        }
+        let mut placement = Placement::new(self.gamma);
+        for _ in 0..self.servers {
+            placement.open_bin(None);
+        }
+        for entry in &self.tenants {
+            let load = Load::new(entry.load)?;
+            let bins: Vec<BinId> = entry.servers.iter().map(|&s| BinId::new(s)).collect();
+            if entry.servers.iter().any(|&s| s >= self.servers) {
+                return Err(Error::InternalInvariant {
+                    detail: format!(
+                        "tenant {} references server beyond the declared count",
+                        entry.tenant
+                    ),
+                });
+            }
+            placement.place_tenant(&Tenant::new(TenantId::new(entry.tenant), load), &bins)?;
+        }
+        Ok(placement)
+    }
+}
+
+impl From<&Placement> for PlacementDump {
+    fn from(placement: &Placement) -> Self {
+        PlacementDump::from_placement(placement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Consolidator;
+    use crate::config::CubeFitConfig;
+    use crate::cubefit::CubeFit;
+
+    fn sample_placement() -> Placement {
+        let mut cf = CubeFit::new(
+            CubeFitConfig::builder().replication(2).classes(5).build().unwrap(),
+        );
+        for (id, load) in [(0u64, 0.6), (1, 0.3), (2, 0.6), (3, 0.78), (4, 0.12)] {
+            cf.place(Tenant::new(TenantId::new(id), Load::new(load).unwrap()))
+                .unwrap();
+        }
+        cf.placement().clone()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let original = sample_placement();
+        let dump = PlacementDump::from_placement(&original);
+        let rebuilt = dump.to_placement().unwrap();
+        assert_eq!(rebuilt.gamma(), original.gamma());
+        assert_eq!(rebuilt.tenant_count(), original.tenant_count());
+        assert_eq!(rebuilt.open_bins(), original.open_bins());
+        assert!((rebuilt.total_load() - original.total_load()).abs() < 1e-12);
+        // Shared loads and robustness re-derive identically.
+        for bin in original.bins().filter(|b| !b.is_empty()) {
+            assert!(
+                (rebuilt.level(bin.id()) - bin.level()).abs() < 1e-12,
+                "level mismatch on {}",
+                bin.id()
+            );
+            assert!(
+                (rebuilt.worst_failover(bin.id()) - original.worst_failover(bin.id())).abs()
+                    < 1e-12
+            );
+        }
+        assert_eq!(rebuilt.is_robust(), original.is_robust());
+    }
+
+    #[test]
+    fn rejects_inconsistent_dumps() {
+        let mut dump = PlacementDump::from_placement(&sample_placement());
+        dump.tenants[0].servers[0] = 999;
+        assert!(dump.to_placement().is_err());
+
+        let mut dump2 = PlacementDump::from_placement(&sample_placement());
+        dump2.tenants[0].load = 2.0;
+        assert!(dump2.to_placement().is_err());
+
+        let mut dump3 = PlacementDump::from_placement(&sample_placement());
+        dump3.gamma = 1;
+        assert!(dump3.to_placement().is_err());
+
+        let mut dump4 = PlacementDump::from_placement(&sample_placement());
+        let duplicated = dump4.tenants[0].clone();
+        dump4.tenants.push(duplicated);
+        assert!(dump4.to_placement().is_err());
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn json_roundtrip() {
+        let dump = PlacementDump::from_placement(&sample_placement());
+        let json = serde_json::to_string(&dump).unwrap();
+        let back: PlacementDump = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dump);
+    }
+}

@@ -1,0 +1,117 @@
+//! Error types for the placement substrate and algorithms.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by placement construction and the consolidation
+/// algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A tenant load outside the valid range `(0, 1]` was supplied.
+    InvalidLoad {
+        /// The offending value.
+        value: f64,
+    },
+    /// A replication factor outside the supported range was supplied.
+    InvalidReplication {
+        /// The offending value.
+        gamma: usize,
+    },
+    /// The number of classes `K` is too small for the requested
+    /// configuration.
+    InvalidClasses {
+        /// The offending value.
+        classes: usize,
+        /// Human-readable reason the value was rejected.
+        reason: &'static str,
+    },
+    /// The theoretical tiny-tenant policy requires `α_K ≥ γ`, i.e. `K`
+    /// large enough relative to the replication factor.
+    TinyPolicyUnsupported {
+        /// Number of classes configured.
+        classes: usize,
+        /// Replication factor configured.
+        gamma: usize,
+        /// The derived `α_K` value.
+        alpha: usize,
+    },
+    /// An interleaving parameter `μ` outside `(0, 1]` was supplied.
+    InvalidMu {
+        /// The offending value.
+        mu: f64,
+    },
+    /// A tenant id was used twice with the same consolidator.
+    DuplicateTenant {
+        /// The duplicated id.
+        tenant: crate::tenant::TenantId,
+    },
+    /// An internal invariant was violated; indicates a bug in this crate.
+    InternalInvariant {
+        /// Description of the violated invariant.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidLoad { value } => {
+                write!(f, "tenant load {value} is outside the valid range (0, 1]")
+            }
+            Error::InvalidReplication { gamma } => {
+                write!(f, "replication factor {gamma} is not supported (must be ≥ 2)")
+            }
+            Error::InvalidClasses { classes, reason } => {
+                write!(f, "class count {classes} rejected: {reason}")
+            }
+            Error::TinyPolicyUnsupported { classes, gamma, alpha } => write!(
+                f,
+                "theoretical tiny policy needs α_K ≥ γ but K={classes}, γ={gamma} gives α_K={alpha}"
+            ),
+            Error::InvalidMu { mu } => {
+                write!(f, "interleaving parameter {mu} is outside the valid range (0, 1]")
+            }
+            Error::DuplicateTenant { tenant } => {
+                write!(f, "tenant {tenant} was already placed")
+            }
+            Error::InternalInvariant { detail } => {
+                write!(f, "internal invariant violated: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::TenantId;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_style() {
+        let errors = [
+            Error::InvalidLoad { value: 2.0 },
+            Error::InvalidReplication { gamma: 1 },
+            Error::InvalidClasses { classes: 0, reason: "must be positive" },
+            Error::TinyPolicyUnsupported { classes: 10, gamma: 3, alpha: 2 },
+            Error::InvalidMu { mu: 0.0 },
+            Error::DuplicateTenant { tenant: TenantId::new(7) },
+            Error::InternalInvariant { detail: "oops".into() },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,169 @@
+//! Sorted index of bins by level.
+
+use crate::bin::BinId;
+use std::collections::BTreeSet;
+
+/// An ordered index of bins keyed by their current level, supporting
+/// descending (Best-Fit) and ascending scans in `O(log n)` per update.
+///
+/// Levels are non-negative finite floats, so their IEEE-754 bit patterns
+/// order identically to the values themselves.
+///
+/// ```
+/// use cubefit_core::level_index::LevelIndex;
+/// use cubefit_core::BinId;
+///
+/// let mut index = LevelIndex::default();
+/// index.insert(BinId::new(0), 0.3);
+/// index.insert(BinId::new(1), 0.7);
+/// assert_eq!(index.iter_desc().next(), Some(BinId::new(1)));
+/// index.update(BinId::new(0), 0.3, 0.9);
+/// assert_eq!(index.iter_desc().next(), Some(BinId::new(0)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LevelIndex {
+    by_level: BTreeSet<(u64, BinId)>,
+}
+
+impl LevelIndex {
+    /// Creates an empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        LevelIndex::default()
+    }
+
+    /// Adds `bin` with the given level.
+    pub fn insert(&mut self, bin: BinId, level: f64) {
+        self.by_level.insert((level.to_bits(), bin));
+    }
+
+    /// Re-keys `bin` after its level changed from `old` to `new`.
+    ///
+    /// The `(bin, old)` pair must be present (inserted earlier with exactly
+    /// that level); otherwise the index silently gains a duplicate entry,
+    /// which a `debug_assert` flags in test builds.
+    pub fn update(&mut self, bin: BinId, old: f64, new: f64) {
+        let removed = self.by_level.remove(&(old.to_bits(), bin));
+        debug_assert!(removed, "update of untracked bin {bin}");
+        self.by_level.insert((new.to_bits(), bin));
+    }
+
+    /// Removes `bin` (keyed at `level`) from the index.
+    pub fn remove(&mut self, bin: BinId, level: f64) -> bool {
+        self.by_level.remove(&(level.to_bits(), bin))
+    }
+
+    /// Whether `(bin, level)` is tracked.
+    #[must_use]
+    pub fn contains(&self, bin: BinId, level: f64) -> bool {
+        self.by_level.contains(&(level.to_bits(), bin))
+    }
+
+    /// Number of tracked bins.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_level.len()
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.by_level.is_empty()
+    }
+
+    /// Bins in descending level order (fullest first).
+    pub fn iter_desc(&self) -> impl Iterator<Item = BinId> + '_ {
+        self.by_level.iter().rev().map(|&(_, bin)| bin)
+    }
+
+    /// Bins in ascending level order (emptiest first).
+    pub fn iter_asc(&self) -> impl Iterator<Item = BinId> + '_ {
+        self.by_level.iter().map(|&(_, bin)| bin)
+    }
+
+    /// Bins with level at most `max_level`, in descending level order.
+    ///
+    /// Lets Best-Fit scans skip bins that a capacity check alone already
+    /// rules out.
+    pub fn iter_desc_at_most(&self, max_level: f64) -> impl Iterator<Item = BinId> + '_ {
+        let bound = (max_level.max(0.0).to_bits(), BinId::new(usize::MAX));
+        self.by_level.range(..=bound).rev().map(|&(_, bin)| bin)
+    }
+
+    /// Bins with key at least `min_key`, in ascending key order.
+    ///
+    /// When the index is keyed by *remaining slack* rather than level, this
+    /// yields tightest feasible fits first.
+    pub fn iter_asc_at_least(&self, min_key: f64) -> impl Iterator<Item = BinId> + '_ {
+        let bound = (min_key.max(0.0).to_bits(), BinId::new(0));
+        self.by_level.range(bound..).map(|&(_, bin)| bin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_level_then_updates() {
+        let mut idx = LevelIndex::new();
+        idx.insert(BinId::new(0), 0.5);
+        idx.insert(BinId::new(1), 0.4);
+        idx.insert(BinId::new(2), 0.6);
+        let desc: Vec<usize> = idx.iter_desc().map(|b| b.index()).collect();
+        assert_eq!(desc, vec![2, 0, 1]);
+        let asc: Vec<usize> = idx.iter_asc().map(|b| b.index()).collect();
+        assert_eq!(asc, vec![1, 0, 2]);
+        idx.update(BinId::new(1), 0.4, 0.7);
+        assert_eq!(idx.iter_desc().next(), Some(BinId::new(1)));
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut idx = LevelIndex::new();
+        idx.insert(BinId::new(3), 0.25);
+        assert!(idx.contains(BinId::new(3), 0.25));
+        assert!(!idx.contains(BinId::new(3), 0.5));
+        assert!(idx.remove(BinId::new(3), 0.25));
+        assert!(!idx.remove(BinId::new(3), 0.25));
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn bounded_descending_scan() {
+        let mut idx = LevelIndex::new();
+        idx.insert(BinId::new(0), 0.2);
+        idx.insert(BinId::new(1), 0.5);
+        idx.insert(BinId::new(2), 0.8);
+        let under: Vec<usize> = idx.iter_desc_at_most(0.6).map(|b| b.index()).collect();
+        assert_eq!(under, vec![1, 0]);
+        // Inclusive bound.
+        let exact: Vec<usize> = idx.iter_desc_at_most(0.5).map(|b| b.index()).collect();
+        assert_eq!(exact, vec![1, 0]);
+        assert!(idx.iter_desc_at_most(0.1).next().is_none());
+    }
+
+    #[test]
+    fn ascending_bounded_scan() {
+        let mut idx = LevelIndex::new();
+        idx.insert(BinId::new(0), 0.2);
+        idx.insert(BinId::new(1), 0.5);
+        idx.insert(BinId::new(2), 0.8);
+        let over: Vec<usize> = idx.iter_asc_at_least(0.4).map(|b| b.index()).collect();
+        assert_eq!(over, vec![1, 2]);
+        let all: Vec<usize> = idx.iter_asc_at_least(0.0).map(|b| b.index()).collect();
+        assert_eq!(all.len(), 3);
+        assert!(idx.iter_asc_at_least(0.9).next().is_none());
+    }
+
+    #[test]
+    fn equal_levels_are_both_kept() {
+        let mut idx = LevelIndex::new();
+        idx.insert(BinId::new(0), 0.5);
+        idx.insert(BinId::new(1), 0.5);
+        assert_eq!(idx.len(), 2);
+        let all: Vec<BinId> = idx.iter_desc().collect();
+        assert_eq!(all.len(), 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! Normalized load values.
+
+use crate::error::{Error, Result};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A normalized tenant load in the half-open interval `(0, 1]`.
+///
+/// Servers have unit capacity, so a load of `1.0` saturates a server by
+/// itself. Loads are validated at construction, which lets the rest of the
+/// crate assume well-formed values.
+///
+/// ```
+/// use cubefit_core::Load;
+///
+/// # fn main() -> Result<(), cubefit_core::Error> {
+/// let load = Load::new(0.25)?;
+/// assert_eq!(load.get(), 0.25);
+/// assert!(Load::new(0.0).is_err());
+/// assert!(Load::new(1.5).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Load(f64);
+
+impl Load {
+    /// Creates a load, validating that it lies in `(0, 1]` and is finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidLoad`] if `value` is not a finite number in
+    /// `(0, 1]`.
+    pub fn new(value: f64) -> Result<Self> {
+        if value.is_finite() && value > 0.0 && value <= 1.0 {
+            Ok(Load(value))
+        } else {
+            Err(Error::InvalidLoad { value })
+        }
+    }
+
+    /// Creates a load without validating the range.
+    ///
+    /// Intended for trusted constant inputs in tests and examples; invalid
+    /// values will surface as placement errors later rather than memory
+    /// unsafety.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `value` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new_unchecked(value: f64) -> Self {
+        debug_assert!(
+            value.is_finite() && value > 0.0 && value <= 1.0,
+            "load {value} outside (0, 1]"
+        );
+        Load(value)
+    }
+
+    /// Returns the underlying `f64` value.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The load carried by each of `gamma` replicas of a tenant with this
+    /// load (the tenant's clients are split evenly across replicas).
+    #[must_use]
+    pub fn replica_size(self, gamma: usize) -> f64 {
+        self.0 / gamma as f64
+    }
+}
+
+impl fmt::Display for Load {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Load {
+    type Error = Error;
+
+    fn try_from(value: f64) -> Result<Self> {
+        Load::new(value)
+    }
+}
+
+impl From<Load> for f64 {
+    fn from(load: Load) -> f64 {
+        load.0
+    }
+}
+
+impl Add for Load {
+    type Output = f64;
+
+    fn add(self, rhs: Load) -> f64 {
+        self.0 + rhs.0
+    }
+}
+
+impl Sub for Load {
+    type Output = f64;
+
+    fn sub(self, rhs: Load) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl Mul<f64> for Load {
+    type Output = f64;
+
+    fn mul(self, rhs: f64) -> f64 {
+        self.0 * rhs
+    }
+}
+
+impl Div<f64> for Load {
+    type Output = f64;
+
+    fn div(self, rhs: f64) -> f64 {
+        self.0 / rhs
+    }
+}
+
+impl AddAssign<Load> for f64 {
+    fn add_assign(&mut self, rhs: Load) {
+        *self += rhs.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_boundary_values() {
+        assert!(Load::new(1.0).is_ok());
+        assert!(Load::new(f64::MIN_POSITIVE).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Load::new(0.0).is_err());
+        assert!(Load::new(-0.1).is_err());
+        assert!(Load::new(1.0 + 1e-12).is_err());
+        assert!(Load::new(f64::NAN).is_err());
+        assert!(Load::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn replica_size_divides_evenly() {
+        let load = Load::new(0.9).unwrap();
+        assert!((load.replica_size(3) - 0.3).abs() < 1e-12);
+        assert!((load.replica_size(2) - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let load = Load::try_from(0.5).unwrap();
+        let value: f64 = load.into();
+        assert_eq!(value, 0.5);
+    }
+
+    #[test]
+    fn arithmetic_produces_plain_floats() {
+        let a = Load::new(0.5).unwrap();
+        let b = Load::new(0.25).unwrap();
+        assert_eq!(a + b, 0.75);
+        assert_eq!(a - b, 0.25);
+        assert_eq!(a * 2.0, 1.0);
+        assert_eq!(a / 2.0, 0.25);
+        let mut acc = 0.0_f64;
+        acc += a;
+        assert_eq!(acc, 0.5);
+    }
+
+    #[test]
+    fn display_shows_value() {
+        assert_eq!(Load::new(0.5).unwrap().to_string(), "0.5");
+    }
+}

@@ -1,0 +1,408 @@
+//! The *m-fit* predicate and stage-1 (mature-bin) placement.
+//!
+//! A mature bin `B` **m-fits** a replica `r` if `B` has room for `r` and,
+//! after placing `r`, the empty space of `B` is at least the total size of
+//! replicas shared between `B` and any set of `γ − 1` bins (paper §III).
+//! Stage 1 of CubeFit places a tenant's replicas into mature bins by Best
+//! Fit when *all* `γ` replicas m-fit; otherwise the tenant falls through
+//! to stage 2. Best Fit here selects the *tightest* robustly fitting bin —
+//! the bin whose remaining robust slack exceeds the replica by the least —
+//! which coincides with the paper's highest-level rule among bins of equal
+//! reserve and scales to data-center bin counts (see [`MatureSet`]).
+
+use crate::bin::BinId;
+use crate::class::ReplicaClass;
+use crate::config::Stage1Eligibility;
+use crate::placement::Placement;
+use crate::EPSILON;
+use std::collections::BTreeSet;
+
+/// Whether `bin` m-fits a replica of size `size`, assuming the tenant's
+/// other replicas are (tentatively) placed on `siblings`.
+///
+/// `siblings` affects the check because placing the tenant increases the
+/// shared load between `bin` and each sibling by `size`.
+///
+/// ```
+/// use cubefit_core::{mfit, Load, Placement, Tenant, TenantId};
+///
+/// # fn main() -> Result<(), cubefit_core::Error> {
+/// let mut p = Placement::new(2);
+/// let (s1, s2) = (p.open_bin(None), p.open_bin(None));
+/// p.place_tenant(&Tenant::new(TenantId::new(0), Load::new(0.7)?), &[s1, s2])?;
+/// // s1 is at level 0.35 sharing 0.35 with s2: a 0.3 replica still fits
+/// // (0.35+0.3+0.35 ≤ 1) but a 0.31 replica does not.
+/// assert!(mfit::m_fits(&p, s1, 0.3, &[]));
+/// assert!(!mfit::m_fits(&p, s1, 0.31, &[]));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn m_fits(placement: &Placement, bin: BinId, size: f64, siblings: &[BinId]) -> bool {
+    m_fits_with_growth(placement, bin, size, siblings, &[], 0.0)
+}
+
+/// [`m_fits`] with pending-growth accounting.
+///
+/// The active multi-replica (see [`crate::multireplica`]) keeps growing on
+/// its `γ` host bins after they mature, by up to `headroom` (its cap minus
+/// its current size). A guest admitted now must still fit once that growth
+/// materializes, so the check treats each host in `growth_hosts` as if its
+/// level — and its shared load with the other hosts — were already
+/// `headroom` higher.
+#[must_use]
+pub fn m_fits_with_growth(
+    placement: &Placement,
+    bin: BinId,
+    size: f64,
+    siblings: &[BinId],
+    growth_hosts: &[BinId],
+    headroom: f64,
+) -> bool {
+    let is_host = growth_hosts.contains(&bin);
+    let level = placement.level(bin) + if is_host { headroom } else { 0.0 };
+    if level + size > 1.0 + EPSILON {
+        return false;
+    }
+    // Stack-allocated adjustments: this is the hot path of every stage-1
+    // scan, and γ is tiny.
+    let mut adjustments = [(BinId::new(0), 0.0f64); 8];
+    let mut len = 0;
+    for &sibling in siblings {
+        if len < adjustments.len() {
+            adjustments[len] = (sibling, size);
+            len += 1;
+        }
+    }
+    if is_host {
+        for &host in growth_hosts {
+            if host != bin && len < adjustments.len() {
+                adjustments[len] = (host, headroom);
+                len += 1;
+            }
+        }
+    }
+    let failover = placement.worst_failover_with(bin, &adjustments[..len]);
+    level + size + failover <= 1.0 + EPSILON
+}
+
+/// The set of mature bins, keyed by their **robust slack**
+/// `max(0, 1 − level − worst_failover)` — the largest guest replica the bin
+/// could accept without violating its reserve (ignoring the guest's own
+/// sibling contribution, which the m-fit check adds per candidate).
+///
+/// Scanning bins with `slack ≥ size` in ascending order yields tightest
+/// feasible fits first — the Best-Fit criterion generalized to
+/// reserve-gated feasibility — and never wastes the scan budget on
+/// saturated bins, which a plain level ordering does once thousands of
+/// full-but-reserved bins pile up at the top.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MatureSet {
+    /// `(slack_bits, bin)` — slacks are clamped non-negative so the
+    /// IEEE-754 bit pattern orders identically to the float value.
+    by_slack: BTreeSet<(u64, BinId)>,
+    slack_of: std::collections::HashMap<BinId, f64>,
+}
+
+impl MatureSet {
+    fn key(slack: f64) -> u64 {
+        slack.max(0.0).to_bits()
+    }
+
+    /// Adds `bin` with the given robust slack.
+    pub(crate) fn insert(&mut self, bin: BinId, slack: f64) {
+        let clamped = slack.max(0.0);
+        self.by_slack.insert((Self::key(clamped), bin));
+        self.slack_of.insert(bin, clamped);
+    }
+
+    /// Re-keys `bin` after its slack changed; no-op for untracked bins.
+    pub(crate) fn update_slack(&mut self, bin: BinId, new_slack: f64) {
+        if let Some(old) = self.slack_of.get(&bin).copied() {
+            self.by_slack.remove(&(Self::key(old), bin));
+            self.insert(bin, new_slack);
+        }
+    }
+
+    #[allow(dead_code)] // exercised by unit tests; handy for debugging
+    pub(crate) fn contains(&self, bin: BinId) -> bool {
+        self.slack_of.contains_key(&bin)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.by_slack.len()
+    }
+
+    /// Bins with slack at least `min_slack`, tightest first.
+    pub(crate) fn iter_fitting(&self, min_slack: f64) -> impl Iterator<Item = BinId> + '_ {
+        self.by_slack
+            .range((Self::key(min_slack), BinId::new(0))..)
+            .map(|&(_, bin)| bin)
+    }
+}
+
+/// Attempts stage 1 for a tenant whose `γ` replicas each have size `size`
+/// and class `class`.
+///
+/// Returns the chosen bins (one per replica, distinct, tightest-fit
+/// order) if every replica m-fits, or `None` to fall through to stage 2.
+/// Does not mutate the placement; the caller commits the assignment.
+pub(crate) fn try_stage1(
+    placement: &Placement,
+    mature: &MatureSet,
+    eligibility: Stage1Eligibility,
+    class: ReplicaClass,
+    size: f64,
+    gamma: usize,
+    growth_hosts: &[BinId],
+    headroom: f64,
+    scan_limit: usize,
+) -> Option<Vec<BinId>> {
+    let mut chosen: Vec<BinId> = Vec::with_capacity(gamma);
+    for _ in 0..gamma {
+        let candidate = mature.iter_fitting(size).take(scan_limit).find(|&bin| {
+            if chosen.contains(&bin) {
+                return false;
+            }
+            if !eligible(placement, bin, class, eligibility) {
+                return false;
+            }
+            m_fits_with_growth(placement, bin, size, &chosen, growth_hosts, headroom)
+        });
+        match candidate {
+            Some(bin) => chosen.push(bin),
+            None => return None,
+        }
+    }
+    // Re-validate every chosen bin against the *complete* sibling set:
+    // later choices increase the shared load of earlier ones, which the
+    // per-replica scan could not yet see.
+    for (i, &bin) in chosen.iter().enumerate() {
+        let siblings: Vec<BinId> = chosen
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &b)| b)
+            .collect();
+        if !m_fits_with_growth(placement, bin, size, &siblings, growth_hosts, headroom) {
+            return None;
+        }
+    }
+    Some(chosen)
+}
+
+fn eligible(
+    placement: &Placement,
+    bin: BinId,
+    class: ReplicaClass,
+    eligibility: Stage1Eligibility,
+) -> bool {
+    match eligibility {
+        Stage1Eligibility::AnyMatureBin => true,
+        Stage1Eligibility::SmallerClassBins => placement
+            .bin(bin)
+            .class()
+            .is_some_and(|bin_class| bin_class < class),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::Load;
+    use crate::tenant::{Tenant, TenantId};
+
+    fn tenant(id: u64, load: f64) -> Tenant {
+        Tenant::new(TenantId::new(id), Load::new(load).unwrap())
+    }
+
+    /// Two mature class-1 bins each holding one 0.35 replica of the same
+    /// tenant (γ=2), mirroring a post-stage-2 state.
+    fn mature_pair() -> (Placement, MatureSet, Vec<BinId>) {
+        let mut p = Placement::new(2);
+        let b1 = p.open_bin(Some(ReplicaClass::new(1)));
+        let b2 = p.open_bin(Some(ReplicaClass::new(1)));
+        p.place_tenant(&tenant(0, 0.7), &[b1, b2]).unwrap();
+        let mut mature = MatureSet::default();
+        mature.insert(b1, 1.0 - p.level(b1) - p.worst_failover(b1));
+        mature.insert(b2, 1.0 - p.level(b2) - p.worst_failover(b2));
+        (p, mature, vec![b1, b2])
+    }
+
+    #[test]
+    fn m_fit_respects_shared_reserve() {
+        let (p, _, b) = mature_pair();
+        // level 0.35, shared 0.35 with peer: slack for m-fit is 0.3.
+        assert!(m_fits(&p, b[0], 0.3, &[]));
+        assert!(!m_fits(&p, b[0], 0.31, &[]));
+    }
+
+    #[test]
+    fn m_fit_accounts_for_tentative_siblings() {
+        let (p, _, b) = mature_pair();
+        // Placing both replicas of a 0.4 tenant (replicas 0.2) on b1, b2
+        // raises their mutual share to 0.55; 0.35+0.2+0.55 > 1.
+        assert!(m_fits(&p, b[0], 0.2, &[]));
+        assert!(!m_fits(&p, b[1], 0.2, &[b[0]]));
+        // A smaller tenant works: replicas 0.1, share 0.45, total 0.9.
+        assert!(m_fits(&p, b[1], 0.1, &[b[0]]));
+    }
+
+    #[test]
+    fn m_fit_rejects_plain_overflow() {
+        let (p, _, b) = mature_pair();
+        assert!(!m_fits(&p, b[0], 0.7, &[]));
+    }
+
+    #[test]
+    fn stage1_places_pair_on_distinct_bins() {
+        let (p, mature, b) = mature_pair();
+        let chosen = try_stage1(
+            &p,
+            &mature,
+            Stage1Eligibility::AnyMatureBin,
+            ReplicaClass::new(5),
+            0.1,
+            2,
+            &[],
+            0.0,
+            usize::MAX,
+        )
+        .expect("0.1 replicas m-fit");
+        assert_eq!(chosen.len(), 2);
+        assert_ne!(chosen[0], chosen[1]);
+        assert!(b.contains(&chosen[0]) && b.contains(&chosen[1]));
+    }
+
+    #[test]
+    fn stage1_full_sibling_revalidation_rejects() {
+        let (p, mature, _) = mature_pair();
+        // 0.2 replicas pass the sequential scan for the first bin but the
+        // pair violates the mutual-share reserve (caught by either the
+        // sibling-aware scan or the final re-validation).
+        assert!(try_stage1(
+            &p,
+            &mature,
+            Stage1Eligibility::AnyMatureBin,
+            ReplicaClass::new(3),
+            0.2,
+            2,
+            &[],
+            0.0,
+            usize::MAX,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn stage1_respects_class_eligibility() {
+        let (p, mature, _) = mature_pair();
+        // Bins are class 1; a class-1 replica is not "smaller".
+        assert!(try_stage1(
+            &p,
+            &mature,
+            Stage1Eligibility::SmallerClassBins,
+            ReplicaClass::new(1),
+            0.1,
+            2,
+            &[],
+            0.0,
+            usize::MAX,
+        )
+        .is_none());
+        assert!(try_stage1(
+            &p,
+            &mature,
+            Stage1Eligibility::SmallerClassBins,
+            ReplicaClass::new(2),
+            0.1,
+            2,
+            &[],
+            0.0,
+            usize::MAX,
+        )
+        .is_some());
+    }
+
+    #[test]
+    fn stage1_prefers_higher_level_bins() {
+        // Fig. 2 scenario: four mature class-1 bins, two fuller than the
+        // others; Best Fit picks the fuller pair.
+        let mut p = Placement::new(2);
+        let bins: Vec<BinId> = (0..4).map(|_| p.open_bin(Some(ReplicaClass::new(1)))).collect();
+        p.place_tenant(&tenant(0, 0.70), &[bins[0], bins[1]]).unwrap();
+        p.place_tenant(&tenant(1, 0.72), &[bins[2], bins[3]]).unwrap();
+        let mut mature = MatureSet::default();
+        for &b in &bins {
+            mature.insert(b, 1.0 - p.level(b) - p.worst_failover(b));
+        }
+        let chosen = try_stage1(
+            &p,
+            &mature,
+            Stage1Eligibility::AnyMatureBin,
+            ReplicaClass::new(8),
+            0.05,
+            2,
+            &[],
+            0.0,
+            usize::MAX,
+        )
+        .unwrap();
+        let mut sorted = chosen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![bins[2], bins[3]]);
+    }
+
+    #[test]
+    fn mature_set_orders_by_slack_and_updates() {
+        let mut mature = MatureSet::default();
+        let (a, b) = (BinId::new(0), BinId::new(1));
+        mature.insert(a, 0.5);
+        mature.insert(b, 0.4);
+        // Tightest (smallest slack ≥ request) first.
+        assert_eq!(mature.iter_fitting(0.1).next(), Some(b));
+        // Requests above a bin's slack skip it.
+        assert_eq!(mature.iter_fitting(0.45).next(), Some(a));
+        assert!(mature.iter_fitting(0.6).next().is_none());
+        mature.update_slack(b, 0.7);
+        assert_eq!(mature.iter_fitting(0.6).next(), Some(b));
+        assert!(mature.contains(a));
+        assert_eq!(mature.len(), 2);
+        // Negative slacks clamp to zero and drop out of positive queries.
+        mature.update_slack(a, -0.2);
+        assert!(mature.iter_fitting(0.01).next() != Some(a));
+        // Updating an untracked bin is a no-op.
+        mature.update_slack(BinId::new(9), 0.3);
+        assert_eq!(mature.len(), 2);
+    }
+
+    #[test]
+    fn growth_headroom_blocks_otherwise_fitting_guest() {
+        let (p, _, b) = mature_pair();
+        // Without growth a 0.25 replica fails anyway; a 0.2 replica passes
+        // on b1 alone but must fail once b1 can still grow by 0.15 (raising
+        // both its level and its share with b2).
+        assert!(m_fits_with_growth(&p, b[0], 0.2, &[], &[], 0.0));
+        assert!(!m_fits_with_growth(&p, b[0], 0.2, &[], &[b[0], b[1]], 0.15));
+        // A bin that is not a growth host is unaffected.
+        assert!(m_fits_with_growth(&p, b[0], 0.2, &[], &[b[1]], 0.15));
+    }
+
+    #[test]
+    fn stage1_fails_with_no_mature_bins() {
+        let p = Placement::new(2);
+        let mature = MatureSet::default();
+        assert!(try_stage1(
+            &p,
+            &mature,
+            Stage1Eligibility::AnyMatureBin,
+            ReplicaClass::new(2),
+            0.1,
+            2,
+            &[],
+            0.0,
+            usize::MAX,
+        )
+        .is_none());
+    }
+}

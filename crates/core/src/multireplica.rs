@@ -1,0 +1,209 @@
+//! Multi-replica aggregation for tiny (class-`K`) tenants (paper §III).
+//!
+//! Replicas smaller than `1/(K+γ−1)` are too small to justify their own
+//! slots. CubeFit groups them into **multi-replicas**: at any time there are
+//! `γ` active multi-replicas — one per cube group — that contain exactly the
+//! same set of tiny replicas and grow in place inside a slot of the target
+//! class. When adding a replica would push the multi-replica past its cap,
+//! the current one is sealed and a fresh one (holding just the new replica)
+//! is started in a newly assigned slot.
+//!
+//! Because the `γ` copies always hold identical replica sets, a
+//! multi-replica behaves exactly like a single replica of the target class
+//! with respect to the shared-load structure, so Lemma 1 and Theorem 1
+//! extend unchanged.
+
+use crate::bin::BinId;
+use crate::cube::{ClassGroups, SlotTarget};
+use crate::placement::Placement;
+
+/// Placement decision for one tiny tenant.
+#[derive(Debug, Clone)]
+pub(crate) struct MultiPlacement {
+    /// The `γ` bins hosting the active multi-replica (and thus this tenant).
+    pub bins: Vec<BinId>,
+    /// Slot assignments, present only when a fresh multi-replica was opened
+    /// by this tenant (the caller updates slot-occupancy/maturity from it).
+    pub new_slots: Option<Vec<SlotTarget>>,
+}
+
+/// State of the active multi-replica for the tiny class.
+#[derive(Debug, Clone)]
+pub(crate) struct MultiReplicaState {
+    /// Maximum total size of one multi-replica (the target-class slot size
+    /// under [`crate::TinyPolicy::ClassKMinus1`], `1/α_K` under
+    /// [`crate::TinyPolicy::Theoretical`]).
+    cap: f64,
+    active: Option<ActiveMulti>,
+    /// Sealed multi-replicas created so far (for stats and tests).
+    sealed: usize,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveMulti {
+    targets: Vec<SlotTarget>,
+    size: f64,
+    members: usize,
+}
+
+impl MultiReplicaState {
+    pub(crate) fn new(cap: f64) -> Self {
+        assert!(cap > 0.0);
+        MultiReplicaState { cap, active: None, sealed: 0 }
+    }
+
+    /// Number of multi-replicas sealed (completed) so far.
+    pub(crate) fn sealed(&self) -> usize {
+        self.sealed
+    }
+
+    /// Number of replicas in the active multi-replica (0 if none).
+    #[allow(dead_code)] // exercised by unit tests; handy for debugging
+    pub(crate) fn active_members(&self) -> usize {
+        self.active.as_ref().map_or(0, |a| a.members)
+    }
+
+    /// Current size of the active multi-replica (0 if none).
+    #[allow(dead_code)] // exercised by unit tests; handy for debugging
+    pub(crate) fn active_size(&self) -> f64 {
+        self.active.as_ref().map_or(0.0, |a| a.size)
+    }
+
+    /// The bins hosting the active multi-replica (empty if none).
+    pub(crate) fn active_hosts(&self) -> Vec<BinId> {
+        self.active
+            .as_ref()
+            .map_or_else(Vec::new, |a| a.targets.iter().map(|t| t.bin).collect())
+    }
+
+    /// How much the active multi-replica may still grow.
+    pub(crate) fn headroom(&self) -> f64 {
+        self.active.as_ref().map_or(0.0, |a| self.cap - a.size)
+    }
+
+    /// Chooses the bins for a tiny tenant whose replicas have size `size`,
+    /// opening a fresh multi-replica (drawing slots from `groups`) when the
+    /// active one would overflow its cap.
+    ///
+    /// The caller commits the tenant to the returned bins.
+    pub(crate) fn assign(
+        &mut self,
+        size: f64,
+        placement: &mut Placement,
+        groups: &mut ClassGroups,
+    ) -> MultiPlacement {
+        let needs_new = match &self.active {
+            None => true,
+            Some(active) => active.size + size > self.cap,
+        };
+        if needs_new {
+            if self.active.take().is_some() {
+                self.sealed += 1;
+            }
+            let targets = groups.assign(placement);
+            self.active = Some(ActiveMulti { targets, size: 0.0, members: 0 });
+        }
+        let active = self.active.as_mut().expect("just ensured active exists");
+        active.size += size;
+        active.members += 1;
+        MultiPlacement {
+            bins: active.targets.iter().map(|t| t.bin).collect(),
+            new_slots: needs_new.then(|| active.targets.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::Load;
+    use crate::tenant::{Tenant, TenantId};
+
+    fn place_tiny(
+        state: &mut MultiReplicaState,
+        groups: &mut ClassGroups,
+        placement: &mut Placement,
+        id: u64,
+        load: f64,
+    ) -> MultiPlacement {
+        let gamma = placement.gamma();
+        let tenant = Tenant::new(TenantId::new(id), Load::new(load).unwrap());
+        let decision = state.assign(tenant.replica_size(gamma), placement, groups);
+        placement.place_tenant(&tenant, &decision.bins).unwrap();
+        decision
+    }
+
+    #[test]
+    fn tenants_accumulate_into_one_multi_until_cap() {
+        let mut placement = Placement::new(2);
+        // Target class 4 (K=5, γ=2): cap = slot size 1/5.
+        let mut groups = ClassGroups::new(4, 2);
+        let mut state = MultiReplicaState::new(0.2);
+        // Tiny tenants with replica size 0.06 (load 0.12): three fit
+        // (0.18 ≤ 0.2), the fourth overflows and opens a new multi.
+        let first = place_tiny(&mut state, &mut groups, &mut placement, 0, 0.12);
+        assert!(first.new_slots.is_some());
+        for id in 1..3 {
+            let d = place_tiny(&mut state, &mut groups, &mut placement, id, 0.12);
+            assert!(d.new_slots.is_none());
+            assert_eq!(d.bins, first.bins);
+        }
+        assert_eq!(state.active_members(), 3);
+        assert!((state.active_size() - 0.18).abs() < 1e-12);
+        let fourth = place_tiny(&mut state, &mut groups, &mut placement, 3, 0.12);
+        assert!(fourth.new_slots.is_some());
+        assert_eq!(state.sealed(), 1);
+        assert_eq!(state.active_members(), 1);
+    }
+
+    #[test]
+    fn copies_share_identical_members() {
+        let mut placement = Placement::new(3);
+        let mut groups = ClassGroups::new(2, 3);
+        let mut state = MultiReplicaState::new(0.25);
+        for id in 0..3 {
+            place_tiny(&mut state, &mut groups, &mut placement, id, 0.09);
+        }
+        // All three tenants sit on the same 3 bins with pairwise shared
+        // load equal to the accumulated multi size.
+        let bins = placement.tenant_bins(TenantId::new(0)).unwrap().to_vec();
+        for id in 1..3 {
+            assert_eq!(placement.tenant_bins(TenantId::new(id)).unwrap(), &bins[..]);
+        }
+        let expected = 3.0 * 0.03;
+        assert!((placement.shared_load(bins[0], bins[1]) - expected).abs() < 1e-12);
+        assert!((placement.shared_load(bins[1], bins[2]) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_cap_fill_does_not_seal_early() {
+        let mut placement = Placement::new(2);
+        let mut groups = ClassGroups::new(4, 2);
+        let mut state = MultiReplicaState::new(0.2);
+        // Two replicas of exactly 0.1 fill the cap without overflowing.
+        place_tiny(&mut state, &mut groups, &mut placement, 0, 0.2);
+        let second = place_tiny(&mut state, &mut groups, &mut placement, 1, 0.2);
+        assert!(second.new_slots.is_none());
+        assert_eq!(state.sealed(), 0);
+        assert!((state.active_size() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sealed_multis_keep_their_load() {
+        let mut placement = Placement::new(2);
+        let mut groups = ClassGroups::new(4, 2);
+        let mut state = MultiReplicaState::new(0.2);
+        let first = place_tiny(&mut state, &mut groups, &mut placement, 0, 0.3);
+        let second = place_tiny(&mut state, &mut groups, &mut placement, 1, 0.3);
+        assert_ne!(
+            first.bins, second.bins,
+            "0.15-sized replicas overflow a 0.2 cap and open a new multi"
+        );
+        // The new multi occupies the next cube cell: slot 1 of the same
+        // group-1 bin plus a fresh group-2 bin. The sealed multi's load
+        // remains in place, so the shared bin carries both.
+        assert_eq!(first.bins[0], second.bins[0]);
+        assert!((placement.level(first.bins[0]) - 0.3).abs() < 1e-12);
+        assert!((placement.level(first.bins[1]) - 0.15).abs() < 1e-12);
+    }
+}

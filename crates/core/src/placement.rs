@@ -1,0 +1,436 @@
+//! Placement state shared by all consolidation algorithms.
+
+use crate::bin::{BinClass, BinData, BinId, BinSnapshot};
+use crate::error::{Error, Result};
+use crate::shared::SharedIndex;
+use crate::tenant::{Tenant, TenantId};
+use std::collections::HashMap;
+
+/// A tenant's record inside a placement.
+#[derive(Debug, Clone)]
+pub(crate) struct TenantRecord {
+    /// The tenant's full load (each replica carries `load / γ`).
+    pub load: f64,
+    /// The `γ` bins hosting the tenant's replicas.
+    pub bins: Vec<BinId>,
+}
+
+/// The assignment of tenant replicas to bins, with incremental bookkeeping
+/// of levels and pairwise shared loads.
+///
+/// A `Placement` is owned and mutated by a [`crate::Consolidator`]; it can
+/// also be driven directly for hand-built scenarios:
+///
+/// ```
+/// use cubefit_core::{Load, Placement, Tenant, TenantId};
+///
+/// # fn main() -> Result<(), cubefit_core::Error> {
+/// let mut placement = Placement::new(2);
+/// let (s1, s2) = (placement.open_bin(None), placement.open_bin(None));
+/// let tenant = Tenant::new(TenantId::new(0), Load::new(0.6)?);
+/// placement.place_tenant(&tenant, &[s1, s2])?;
+/// assert_eq!(placement.open_bins(), 2);
+/// assert!((placement.level(s1) - 0.3).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Placement {
+    gamma: usize,
+    bins: Vec<BinData>,
+    tenants: HashMap<TenantId, TenantRecord>,
+    arrival_order: Vec<TenantId>,
+    shared: SharedIndex,
+    total_load: f64,
+    nonempty_bins: usize,
+}
+
+impl Placement {
+    /// Creates an empty placement with replication factor `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma < 2`; algorithms validate their configuration before
+    /// constructing placements.
+    #[must_use]
+    pub fn new(gamma: usize) -> Self {
+        assert!(gamma >= 2, "replication factor must be at least 2");
+        Placement {
+            gamma,
+            bins: Vec::new(),
+            tenants: HashMap::new(),
+            arrival_order: Vec::new(),
+            shared: SharedIndex::new(gamma),
+            total_load: 0.0,
+            nonempty_bins: 0,
+        }
+    }
+
+    /// Replication factor `γ`.
+    #[must_use]
+    pub fn gamma(&self) -> usize {
+        self.gamma
+    }
+
+    /// Opens a new bin, optionally tagging it with a CubeFit class.
+    pub fn open_bin(&mut self, class: Option<BinClass>) -> BinId {
+        let id = BinId(self.bins.len());
+        self.bins.push(BinData::new(class));
+        self.shared.push_bin();
+        debug_assert_eq!(self.shared.len(), self.bins.len());
+        id
+    }
+
+    /// Places all `γ` replicas of `tenant` on the given bins, updating
+    /// levels and shared loads.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DuplicateTenant`] if the tenant was already placed;
+    /// * [`Error::InternalInvariant`] if the bin list does not contain
+    ///   exactly `γ` distinct, existing bins.
+    pub fn place_tenant(&mut self, tenant: &Tenant, bins: &[BinId]) -> Result<()> {
+        if self.tenants.contains_key(&tenant.id()) {
+            return Err(Error::DuplicateTenant { tenant: tenant.id() });
+        }
+        if bins.len() != self.gamma {
+            return Err(Error::InternalInvariant {
+                detail: format!("expected {} bins, got {}", self.gamma, bins.len()),
+            });
+        }
+        for (i, bin) in bins.iter().enumerate() {
+            if bin.0 >= self.bins.len() {
+                return Err(Error::InternalInvariant {
+                    detail: format!("{bin} does not exist"),
+                });
+            }
+            if bins[..i].contains(bin) {
+                return Err(Error::InternalInvariant {
+                    detail: format!("{bin} listed twice; replicas need distinct servers"),
+                });
+            }
+        }
+        let replica = tenant.replica_size(self.gamma);
+        for (i, &bin) in bins.iter().enumerate() {
+            let data = &mut self.bins[bin.0];
+            if data.contents.is_empty() {
+                self.nonempty_bins += 1;
+            }
+            data.level += replica;
+            data.contents.push((tenant.id(), replica));
+            for &other in &bins[i + 1..] {
+                self.shared.add(bin, other, replica);
+            }
+        }
+        self.total_load += tenant.load().get();
+        self.tenants.insert(
+            tenant.id(),
+            TenantRecord { load: tenant.load().get(), bins: bins.to_vec() },
+        );
+        self.arrival_order.push(tenant.id());
+        Ok(())
+    }
+
+    /// Read-only view of one bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` does not belong to this placement.
+    #[must_use]
+    pub fn bin(&self, bin: BinId) -> BinSnapshot<'_> {
+        BinSnapshot { id: bin, data: &self.bins[bin.0] }
+    }
+
+    /// Iterates over all bins ever opened (including empty ones).
+    pub fn bins(&self) -> impl Iterator<Item = BinSnapshot<'_>> {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, data)| BinSnapshot { id: BinId(i), data })
+    }
+
+    /// Number of bins ever opened (including still-empty cube slots).
+    #[must_use]
+    pub fn created_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Number of bins hosting at least one replica — the "servers used"
+    /// metric of the paper's evaluation.
+    #[must_use]
+    pub fn open_bins(&self) -> usize {
+        self.nonempty_bins
+    }
+
+    /// Total tenant load placed so far.
+    #[must_use]
+    pub fn total_load(&self) -> f64 {
+        self.total_load
+    }
+
+    /// Number of tenants placed.
+    #[must_use]
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The bins hosting `tenant`'s replicas, or `None` if unknown.
+    #[must_use]
+    pub fn tenant_bins(&self, tenant: TenantId) -> Option<&[BinId]> {
+        self.tenants.get(&tenant).map(|r| r.bins.as_slice())
+    }
+
+    /// The full load of `tenant`, or `None` if unknown.
+    #[must_use]
+    pub fn tenant_load(&self, tenant: TenantId) -> Option<f64> {
+        self.tenants.get(&tenant).map(|r| r.load)
+    }
+
+    /// Iterates over placed tenants in arrival order as
+    /// `(id, load, hosting_bins)`.
+    pub fn tenants(&self) -> impl Iterator<Item = (TenantId, f64, &[BinId])> {
+        self.arrival_order.iter().map(move |id| {
+            let rec = &self.tenants[id];
+            (*id, rec.load, rec.bins.as_slice())
+        })
+    }
+
+    /// Current load of `bin`.
+    #[must_use]
+    pub fn level(&self, bin: BinId) -> f64 {
+        self.bins[bin.0].level
+    }
+
+    /// Remaining capacity of `bin`.
+    #[must_use]
+    pub fn free(&self, bin: BinId) -> f64 {
+        1.0 - self.bins[bin.0].level
+    }
+
+    /// Shared load `|a ∩ b|`: the load on `a` of replicas whose tenant also
+    /// has a replica on `b`.
+    #[must_use]
+    pub fn shared_load(&self, a: BinId, b: BinId) -> f64 {
+        self.shared.get(a, b)
+    }
+
+    /// Worst-case failover load onto `bin`: the sum of its `γ − 1` largest
+    /// shared loads (the reserve the robustness condition requires).
+    #[must_use]
+    pub fn worst_failover(&self, bin: BinId) -> f64 {
+        self.shared.worst_failover(bin)
+    }
+
+    /// [`Self::worst_failover`] as if the shared loads of `bin` with the
+    /// given peers had already been increased by the given deltas.
+    #[must_use]
+    pub fn worst_failover_with(&self, bin: BinId, adjustments: &[(BinId, f64)]) -> f64 {
+        self.shared.worst_failover_with(bin, adjustments)
+    }
+
+    /// Sum of the `k` largest shared loads of `bin` after the tentative
+    /// `adjustments`, for `k ≤ γ − 1`.
+    ///
+    /// `k = 1` is the single-failure reserve used by baselines like RFI
+    /// that only protect against one server failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `k > γ − 1` (the cached top entries cannot
+    /// answer deeper queries).
+    #[must_use]
+    pub fn top_shared_sum_with(&self, bin: BinId, adjustments: &[(BinId, f64)], k: usize) -> f64 {
+        self.shared.top_shared_sum_with(bin, adjustments, k)
+    }
+
+    /// Conservative extra load redirected to `bin` when exactly the bins in
+    /// `failed` fail (each failed shared replica's full load lands here).
+    #[must_use]
+    pub fn failover_from(&self, bin: BinId, failed: &[BinId]) -> f64 {
+        self.shared.failover_from(bin, failed)
+    }
+
+    /// Iterates over `(peer, shared_load)` pairs for `bin`.
+    pub fn shared_peers(&self, bin: BinId) -> impl Iterator<Item = (BinId, f64)> + '_ {
+        self.shared.peers(bin)
+    }
+
+    /// Whether the placement satisfies the robustness condition of paper §II
+    /// for every bin (no overload under any `γ − 1` simultaneous failures).
+    ///
+    /// Shorthand for [`crate::validity::check`]`.is_robust()`.
+    #[must_use]
+    pub fn is_robust(&self) -> bool {
+        crate::validity::check(self).is_robust()
+    }
+
+    /// Aggregate statistics of the placement.
+    #[must_use]
+    pub fn stats(&self) -> PlacementStats {
+        let mut max_level: f64 = 0.0;
+        let mut min_level = f64::INFINITY;
+        let mut replicas = 0;
+        for bin in self.bins.iter().filter(|b| !b.contents.is_empty()) {
+            max_level = max_level.max(bin.level);
+            min_level = min_level.min(bin.level);
+            replicas += bin.contents.len();
+        }
+        if self.nonempty_bins == 0 {
+            min_level = 0.0;
+        }
+        PlacementStats {
+            tenants: self.tenants.len(),
+            replicas,
+            open_bins: self.nonempty_bins,
+            created_bins: self.bins.len(),
+            total_load: self.total_load,
+            mean_utilization: if self.nonempty_bins == 0 {
+                0.0
+            } else {
+                self.total_load / self.nonempty_bins as f64
+            },
+            max_level,
+            min_level,
+        }
+    }
+}
+
+/// Aggregate statistics of a [`Placement`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PlacementStats {
+    /// Tenants placed.
+    pub tenants: usize,
+    /// Total replicas hosted across all bins.
+    pub replicas: usize,
+    /// Bins hosting at least one replica ("servers used").
+    pub open_bins: usize,
+    /// Bins ever opened, including empty cube slots.
+    pub created_bins: usize,
+    /// Sum of tenant loads.
+    pub total_load: f64,
+    /// `total_load / open_bins`; the paper's "average server utilization".
+    pub mean_utilization: f64,
+    /// Highest bin level.
+    pub max_level: f64,
+    /// Lowest non-empty bin level.
+    pub min_level: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::Load;
+
+    fn tenant(id: u64, load: f64) -> Tenant {
+        Tenant::new(TenantId::new(id), Load::new(load).unwrap())
+    }
+
+    fn three_bin_placement() -> (Placement, Vec<BinId>) {
+        let mut p = Placement::new(2);
+        let bins: Vec<BinId> = (0..3).map(|_| p.open_bin(None)).collect();
+        (p, bins)
+    }
+
+    #[test]
+    fn placing_updates_levels_and_shared() {
+        let (mut p, b) = three_bin_placement();
+        p.place_tenant(&tenant(0, 0.6), &[b[0], b[1]]).unwrap();
+        p.place_tenant(&tenant(1, 0.4), &[b[1], b[2]]).unwrap();
+        assert!((p.level(b[0]) - 0.3).abs() < 1e-12);
+        assert!((p.level(b[1]) - 0.5).abs() < 1e-12);
+        assert!((p.shared_load(b[0], b[1]) - 0.3).abs() < 1e-12);
+        assert!((p.shared_load(b[1], b[2]) - 0.2).abs() < 1e-12);
+        assert_eq!(p.shared_load(b[0], b[2]), 0.0);
+        assert!((p.total_load() - 1.0).abs() < 1e-12);
+        assert_eq!(p.tenant_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_tenant_rejected() {
+        let (mut p, b) = three_bin_placement();
+        p.place_tenant(&tenant(0, 0.5), &[b[0], b[1]]).unwrap();
+        let err = p.place_tenant(&tenant(0, 0.5), &[b[1], b[2]]).unwrap_err();
+        assert!(matches!(err, Error::DuplicateTenant { .. }));
+    }
+
+    #[test]
+    fn wrong_bin_count_rejected() {
+        let (mut p, b) = three_bin_placement();
+        assert!(p.place_tenant(&tenant(0, 0.5), &[b[0]]).is_err());
+        assert!(p
+            .place_tenant(&tenant(1, 0.5), &[b[0], b[1], b[2]])
+            .is_err());
+    }
+
+    #[test]
+    fn repeated_bin_rejected() {
+        let (mut p, b) = three_bin_placement();
+        assert!(p.place_tenant(&tenant(0, 0.5), &[b[0], b[0]]).is_err());
+    }
+
+    #[test]
+    fn unknown_bin_rejected() {
+        let (mut p, b) = three_bin_placement();
+        assert!(p
+            .place_tenant(&tenant(0, 0.5), &[b[0], BinId::new(99)])
+            .is_err());
+    }
+
+    #[test]
+    fn open_bins_counts_only_nonempty() {
+        let (mut p, b) = three_bin_placement();
+        assert_eq!(p.open_bins(), 0);
+        assert_eq!(p.created_bins(), 3);
+        p.place_tenant(&tenant(0, 0.5), &[b[0], b[1]]).unwrap();
+        assert_eq!(p.open_bins(), 2);
+    }
+
+    #[test]
+    fn worst_failover_tracks_largest_peers() {
+        let mut p = Placement::new(3);
+        let b: Vec<BinId> = (0..5).map(|_| p.open_bin(None)).collect();
+        p.place_tenant(&tenant(0, 0.6), &[b[0], b[1], b[2]]).unwrap();
+        p.place_tenant(&tenant(1, 0.3), &[b[0], b[3], b[4]]).unwrap();
+        // bin 0 shares 0.2 with bins 1 and 2, and 0.1 with bins 3 and 4;
+        // γ−1 = 2 worst failures give 0.4.
+        assert!((p.worst_failover(b[0]) - 0.4).abs() < 1e-12);
+        assert!((p.failover_from(b[0], &[b[1], b[3]]) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tenants_iterate_in_arrival_order() {
+        let (mut p, b) = three_bin_placement();
+        p.place_tenant(&tenant(5, 0.5), &[b[0], b[1]]).unwrap();
+        p.place_tenant(&tenant(2, 0.4), &[b[1], b[2]]).unwrap();
+        let order: Vec<u64> = p.tenants().map(|(id, _, _)| id.get()).collect();
+        assert_eq!(order, vec![5, 2]);
+        assert_eq!(p.tenant_bins(TenantId::new(5)), Some(&[b[0], b[1]][..]));
+        assert_eq!(p.tenant_load(TenantId::new(2)), Some(0.4));
+        assert_eq!(p.tenant_bins(TenantId::new(99)), None);
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let (mut p, b) = three_bin_placement();
+        p.place_tenant(&tenant(0, 0.6), &[b[0], b[1]]).unwrap();
+        p.place_tenant(&tenant(1, 0.4), &[b[1], b[2]]).unwrap();
+        let s = p.stats();
+        assert_eq!(s.tenants, 2);
+        assert_eq!(s.replicas, 4);
+        assert_eq!(s.open_bins, 3);
+        assert!((s.total_load - 1.0).abs() < 1e-12);
+        assert!((s.mean_utilization - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.max_level - 0.5).abs() < 1e-12);
+        assert!((s.min_level - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_placement_stats() {
+        let p = Placement::new(2);
+        let s = p.stats();
+        assert_eq!(s.open_bins, 0);
+        assert_eq!(s.mean_utilization, 0.0);
+        assert_eq!(s.min_level, 0.0);
+    }
+}

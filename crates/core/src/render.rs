@@ -1,0 +1,162 @@
+//! Human-readable placement rendering.
+//!
+//! Debugging a packing is much easier when you can *see* it. This module
+//! renders a [`Placement`] as fixed-width text: one bar per server showing
+//! its fill level, class, failover reserve, and hosted tenants.
+
+use crate::placement::Placement;
+use std::fmt::Write as _;
+
+/// Width of the fill bar in characters.
+const BAR_WIDTH: usize = 40;
+
+/// Options for [`render`].
+#[derive(Debug, Clone, Copy)]
+pub struct RenderOptions {
+    /// Maximum number of servers to show (`usize::MAX` for all).
+    pub max_servers: usize,
+    /// Whether to list each server's tenants under its bar.
+    pub show_tenants: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions { max_servers: 24, show_tenants: false }
+    }
+}
+
+/// Renders `placement` as a fixed-width text diagram.
+///
+/// Each server line shows `[####reserve....]`: `#` is placed load, `~` the
+/// worst-case failover reserve the server must absorb, and `.` genuinely
+/// free space.
+///
+/// ```
+/// use cubefit_core::{render, Load, Placement, Tenant, TenantId};
+///
+/// # fn main() -> Result<(), cubefit_core::Error> {
+/// let mut p = Placement::new(2);
+/// let (a, b) = (p.open_bin(None), p.open_bin(None));
+/// p.place_tenant(&Tenant::new(TenantId::new(0), Load::new(0.6)?), &[a, b])?;
+/// let text = render::render(&p, render::RenderOptions::default());
+/// assert!(text.contains("server"));
+/// assert!(text.contains('#'));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn render(placement: &Placement, options: RenderOptions) -> String {
+    let mut out = String::new();
+    let stats = placement.stats();
+    let _ = writeln!(
+        out,
+        "{} tenants on {} servers (γ={}, utilization {:.1}%)",
+        stats.tenants,
+        stats.open_bins,
+        placement.gamma(),
+        stats.mean_utilization * 100.0
+    );
+    let mut shown = 0usize;
+    for bin in placement.bins().filter(|b| !b.is_empty()) {
+        if shown >= options.max_servers {
+            let _ = writeln!(out, "… {} more servers", stats.open_bins - shown);
+            break;
+        }
+        shown += 1;
+        let level = bin.level();
+        let reserve = placement.worst_failover(bin.id()).min(1.0 - level);
+        let filled = (level * BAR_WIDTH as f64).round() as usize;
+        let reserved = (reserve * BAR_WIDTH as f64).round() as usize;
+        let filled = filled.min(BAR_WIDTH);
+        let reserved = reserved.min(BAR_WIDTH - filled);
+        let free = BAR_WIDTH - filled - reserved;
+        let class = bin
+            .class()
+            .map_or_else(|| "  -   ".to_string(), |c| format!("{c:<6}"));
+        let _ = writeln!(
+            out,
+            "server {:>4} {class} [{}{}{}] level {:.3} reserve {:.3}",
+            bin.id().index(),
+            "#".repeat(filled),
+            "~".repeat(reserved),
+            ".".repeat(free),
+            level,
+            reserve,
+        );
+        if options.show_tenants {
+            let tenants: Vec<String> = bin
+                .contents()
+                .iter()
+                .map(|(t, load)| format!("{t}:{load:.3}"))
+                .collect();
+            let _ = writeln!(out, "            {}", tenants.join(" "));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Consolidator;
+    use crate::config::CubeFitConfig;
+    use crate::cubefit::CubeFit;
+    use crate::load::Load;
+    use crate::tenant::{Tenant, TenantId};
+
+    fn sample() -> Placement {
+        let mut cf = CubeFit::new(
+            CubeFitConfig::builder().replication(2).classes(5).build().unwrap(),
+        );
+        for (id, load) in [(0u64, 0.6), (1, 0.3), (2, 0.78), (3, 0.12)] {
+            cf.place(Tenant::new(TenantId::new(id), Load::new(load).unwrap())).unwrap();
+        }
+        cf.placement().clone()
+    }
+
+    #[test]
+    fn renders_every_used_server() {
+        let p = sample();
+        let text = render(&p, RenderOptions { max_servers: usize::MAX, show_tenants: false });
+        for bin in p.bins().filter(|b| !b.is_empty()) {
+            assert!(text.contains(&format!("server {:>4}", bin.id().index())));
+        }
+        assert!(text.contains("utilization"));
+    }
+
+    #[test]
+    fn bars_are_fixed_width() {
+        let p = sample();
+        let text = render(&p, RenderOptions::default());
+        for line in text.lines().filter(|l| l.contains('[')) {
+            let open = line.find('[').unwrap();
+            let close = line.find(']').unwrap();
+            assert_eq!(close - open - 1, BAR_WIDTH, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn truncates_to_max_servers() {
+        let p = sample();
+        let text = render(&p, RenderOptions { max_servers: 1, show_tenants: false });
+        assert!(text.contains("more servers"));
+        assert_eq!(text.lines().filter(|l| l.contains('[')).count(), 1);
+    }
+
+    #[test]
+    fn tenant_listing_is_optional() {
+        let p = sample();
+        let with = render(&p, RenderOptions { max_servers: 10, show_tenants: true });
+        let without = render(&p, RenderOptions { max_servers: 10, show_tenants: false });
+        assert!(with.contains("tenant#0"));
+        assert!(!without.contains("tenant#0"));
+    }
+
+    #[test]
+    fn empty_placement_renders_header_only() {
+        let p = Placement::new(2);
+        let text = render(&p, RenderOptions::default());
+        assert!(text.contains("0 tenants on 0 servers"));
+        assert_eq!(text.lines().count(), 1);
+    }
+}

@@ -1,0 +1,312 @@
+//! Incremental shared-load bookkeeping.
+//!
+//! For robustness checks, every algorithm needs the quantity
+//! `|Sᵢ ∩ Sⱼ|` — the total load, on bin `Sᵢ`, of replicas whose tenant also
+//! has a replica on bin `Sⱼ` (paper §II). Because replica loads within a
+//! tenant are equal, the matrix is symmetric, and because tenants are never
+//! removed, entries only ever grow. [`SharedIndex`] exploits both facts to
+//! answer "sum of the `γ−1` largest shared loads" — the failover reserve a
+//! bin must keep — in `O(1)` via a per-bin top-`k` cache.
+
+use crate::bin::BinId;
+use std::collections::HashMap;
+
+/// Per-bin cache of the `k` largest shared-load entries.
+#[derive(Debug, Clone, Default)]
+struct TopK {
+    /// `(load, peer)` pairs sorted descending by load; length ≤ k.
+    entries: Vec<(f64, BinId)>,
+}
+
+impl TopK {
+    /// Records that the shared load with `peer` is now `value`
+    /// (monotonically non-decreasing updates only).
+    fn update(&mut self, k: usize, peer: BinId, value: f64) {
+        if let Some(slot) = self.entries.iter_mut().find(|(_, p)| *p == peer) {
+            slot.0 = value;
+        } else if self.entries.len() < k {
+            self.entries.push((value, peer));
+        } else if let Some(min) = self
+            .entries
+            .iter_mut()
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("loads are finite"))
+        {
+            // Entries only grow, so every non-cached entry is ≤ the cached
+            // minimum; replacing the minimum preserves the top-k invariant.
+            if value > min.0 {
+                *min = (value, peer);
+            }
+        }
+        self.entries
+            .sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("loads are finite"));
+    }
+
+    fn sum(&self) -> f64 {
+        self.entries.iter().map(|(v, _)| v).sum()
+    }
+}
+
+/// Symmetric shared-load matrix with `O(1)` worst-failover queries.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SharedIndex {
+    /// `γ − 1`: how many simultaneous peer failures a bin must absorb.
+    k: usize,
+    /// `map[i][j] = |Sᵢ ∩ Sⱼ|` (stored for both orders).
+    map: Vec<HashMap<BinId, f64>>,
+    tops: Vec<TopK>,
+}
+
+impl SharedIndex {
+    pub(crate) fn new(gamma: usize) -> Self {
+        SharedIndex { k: gamma - 1, map: Vec::new(), tops: Vec::new() }
+    }
+
+    /// Registers a newly opened bin.
+    pub(crate) fn push_bin(&mut self) {
+        self.map.push(HashMap::new());
+        self.tops.push(TopK::default());
+    }
+
+    /// Number of bins tracked.
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Adds `delta` to the shared load between `a` and `b` (both orders).
+    pub(crate) fn add(&mut self, a: BinId, b: BinId, delta: f64) {
+        debug_assert_ne!(a, b, "a bin does not share load with itself");
+        for (x, y) in [(a, b), (b, a)] {
+            let entry = self.map[x.0].entry(y).or_insert(0.0);
+            *entry += delta;
+            let value = *entry;
+            self.tops[x.0].update(self.k, y, value);
+        }
+    }
+
+    /// Shared load `|a ∩ b|`.
+    pub(crate) fn get(&self, a: BinId, b: BinId) -> f64 {
+        self.map[a.0].get(&b).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of the `γ − 1` largest shared loads of `bin`: the worst-case
+    /// extra load redirected to `bin` by any `γ − 1` simultaneous failures.
+    pub(crate) fn worst_failover(&self, bin: BinId) -> f64 {
+        self.tops[bin.0].sum()
+    }
+
+    /// Sum of the `k` largest shared loads of `bin` (`k ≤ γ − 1`), as if the
+    /// shared loads with each peer in `adjustments` had already been
+    /// increased by the given deltas.
+    ///
+    /// `k = γ − 1` is the robustness reserve; `k = 1` is the single-failure
+    /// reserve used by the RFI baseline.
+    pub(crate) fn top_shared_sum_with(
+        &self,
+        bin: BinId,
+        adjustments: &[(BinId, f64)],
+        k: usize,
+    ) -> f64 {
+        debug_assert!(k <= self.k, "top cache only holds γ−1 entries");
+        let top = &self.tops[bin.0].entries;
+        // Fast path: no adjustments — the cache already holds the answer.
+        if adjustments.is_empty() {
+            return top.iter().take(k).map(|(v, _)| v).sum();
+        }
+        // Candidate set: cached top entries plus every adjusted peer; any
+        // other peer is ≤ the cached minimum and unadjusted. Kept on the
+        // stack — this runs in the inner loop of every placement scan.
+        fn push(candidates: &mut [(f64, BinId); 12], len: &mut usize, v: f64, p: BinId) {
+            if *len < candidates.len() {
+                candidates[*len] = (v, p);
+                *len += 1;
+            } else {
+                // Overflow (γ + adjustments > 12): replace the minimum,
+                // which cannot be among the top-k anyway (k ≤ γ−1 < 12).
+                let mi = candidates
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                if v > candidates[mi].0 {
+                    candidates[mi] = (v, p);
+                }
+            }
+        }
+        let mut candidates: [(f64, BinId); 12] = [(f64::NEG_INFINITY, BinId(usize::MAX)); 12];
+        let mut len = 0usize;
+        for &(v, p) in top {
+            let adj: f64 = adjustments.iter().filter(|(b, _)| *b == p).map(|(_, d)| d).sum();
+            push(&mut candidates, &mut len, v + adj, p);
+        }
+        for (i, &(p, _)) in adjustments.iter().enumerate() {
+            // Aggregate every delta targeting the same peer (a sibling
+            // adjustment and a growth-headroom adjustment can name the
+            // same bin) and emit one candidate per peer.
+            if p == bin
+                || top.iter().any(|(_, q)| *q == p)
+                || adjustments[..i].iter().any(|(q, _)| *q == p)
+            {
+                continue;
+            }
+            let total: f64 = adjustments.iter().filter(|(q, _)| *q == p).map(|(_, d)| d).sum();
+            push(&mut candidates, &mut len, self.get(bin, p) + total, p);
+        }
+        let slice = &mut candidates[..len];
+        slice.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
+        slice.iter().take(k).map(|(v, _)| v).sum()
+    }
+
+    /// Like [`Self::worst_failover`], but as if the shared loads of `bin`
+    /// with each peer in `adjustments` had already been increased by the
+    /// given deltas. Used for tentative m-fit checks without mutating state.
+    pub(crate) fn worst_failover_with(&self, bin: BinId, adjustments: &[(BinId, f64)]) -> f64 {
+        // Candidate set: cached top entries plus every adjusted peer. Any
+        // peer outside both is ≤ the cached minimum and unadjusted, so it
+        // cannot enter the adjusted top-k.
+        self.top_shared_sum_with(bin, adjustments, self.k)
+    }
+
+    /// Total shared load between `bin` and a specific set of failed peers
+    /// (the conservative failover estimate of paper §II).
+    pub(crate) fn failover_from(&self, bin: BinId, failed: &[BinId]) -> f64 {
+        failed.iter().filter(|f| **f != bin).map(|f| self.get(bin, *f)).sum()
+    }
+
+    /// Iterates over `(peer, shared_load)` entries of `bin`.
+    pub(crate) fn peers(&self, bin: BinId) -> impl Iterator<Item = (BinId, f64)> + '_ {
+        self.map[bin.0].iter().map(|(b, v)| (*b, *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid(i: usize) -> BinId {
+        BinId::new(i)
+    }
+
+    fn index_with_bins(gamma: usize, bins: usize) -> SharedIndex {
+        let mut idx = SharedIndex::new(gamma);
+        for _ in 0..bins {
+            idx.push_bin();
+        }
+        idx
+    }
+
+    #[test]
+    fn add_is_symmetric() {
+        let mut idx = index_with_bins(2, 3);
+        idx.add(bid(0), bid(1), 0.3);
+        assert_eq!(idx.get(bid(0), bid(1)), 0.3);
+        assert_eq!(idx.get(bid(1), bid(0)), 0.3);
+        assert_eq!(idx.get(bid(0), bid(2)), 0.0);
+    }
+
+    #[test]
+    fn worst_failover_gamma2_takes_max() {
+        let mut idx = index_with_bins(2, 4);
+        idx.add(bid(0), bid(1), 0.2);
+        idx.add(bid(0), bid(2), 0.5);
+        idx.add(bid(0), bid(3), 0.1);
+        assert!((idx.worst_failover(bid(0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_failover_gamma3_takes_top_two() {
+        let mut idx = index_with_bins(3, 4);
+        idx.add(bid(0), bid(1), 0.2);
+        idx.add(bid(0), bid(2), 0.5);
+        idx.add(bid(0), bid(3), 0.3);
+        assert!((idx.worst_failover(bid(0)) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn increments_accumulate_in_top_cache() {
+        let mut idx = index_with_bins(2, 3);
+        idx.add(bid(0), bid(1), 0.1);
+        idx.add(bid(0), bid(2), 0.15);
+        // Bump bin 1 past bin 2 through repeated increments.
+        idx.add(bid(0), bid(1), 0.1);
+        assert!((idx.worst_failover(bid(0)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_cache_matches_exhaustive_scan() {
+        // Randomized cross-check of the increase-only top-k maintenance.
+        let mut idx = index_with_bins(3, 8);
+        let mut truth = vec![vec![0.0f64; 8]; 8];
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed
+        };
+        for _ in 0..500 {
+            let a = (next() % 8) as usize;
+            let mut b = (next() % 8) as usize;
+            if a == b {
+                b = (b + 1) % 8;
+            }
+            let d = ((next() % 100) as f64 + 1.0) / 1000.0;
+            idx.add(bid(a), bid(b), d);
+            truth[a][b] += d;
+            truth[b][a] += d;
+        }
+        for i in 0..8 {
+            let mut row: Vec<f64> = truth[i].clone();
+            row.sort_by(|x, y| y.partial_cmp(x).unwrap());
+            let expected: f64 = row.iter().take(2).sum();
+            assert!(
+                (idx.worst_failover(bid(i)) - expected).abs() < 1e-9,
+                "bin {i}: cache {} vs truth {expected}",
+                idx.worst_failover(bid(i))
+            );
+        }
+    }
+
+    #[test]
+    fn tentative_adjustments_do_not_mutate() {
+        let mut idx = index_with_bins(2, 3);
+        idx.add(bid(0), bid(1), 0.2);
+        let with = idx.worst_failover_with(bid(0), &[(bid(2), 0.3)]);
+        assert!((with - 0.3).abs() < 1e-12);
+        assert!((idx.worst_failover(bid(0)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tentative_adjustment_on_existing_peer() {
+        let mut idx = index_with_bins(2, 3);
+        idx.add(bid(0), bid(1), 0.2);
+        idx.add(bid(0), bid(2), 0.25);
+        let with = idx.worst_failover_with(bid(0), &[(bid(1), 0.1)]);
+        assert!((with - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_adjustments_for_one_peer_are_summed() {
+        // A sibling adjustment and a growth-headroom adjustment can target
+        // the same peer; the failover estimate must add them, not take the
+        // larger of the two.
+        let mut idx = index_with_bins(2, 3);
+        idx.add(bid(0), bid(2), 0.05);
+        let f = idx.worst_failover_with(bid(0), &[(bid(1), 0.04), (bid(1), 0.03)]);
+        assert!((f - 0.07).abs() < 1e-12, "got {f}");
+        // With an existing entry for the peer, the base is included too.
+        idx.add(bid(0), bid(1), 0.1);
+        let f = idx.worst_failover_with(bid(0), &[(bid(1), 0.04), (bid(1), 0.03)]);
+        assert!((f - 0.17).abs() < 1e-12, "got {f}");
+    }
+
+    #[test]
+    fn failover_from_specific_set() {
+        let mut idx = index_with_bins(3, 4);
+        idx.add(bid(0), bid(1), 0.2);
+        idx.add(bid(0), bid(2), 0.5);
+        let f = idx.failover_from(bid(0), &[bid(1), bid(3)]);
+        assert!((f - 0.2).abs() < 1e-12);
+        // A bin in the failed set equal to the target is ignored.
+        let f = idx.failover_from(bid(0), &[bid(0), bid(2)]);
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+}

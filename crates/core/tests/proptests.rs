@@ -1,0 +1,158 @@
+//! Property-based tests of cubefit-core invariants (proptest).
+
+use cubefit_core::cube::CubeAddress;
+use cubefit_core::validity;
+use cubefit_core::{
+    Classifier, Consolidator, CubeFit, CubeFitConfig, Load, Placement, Tenant, TenantId,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Classifier: every replica size in (0, 1/γ] maps to exactly the class
+    /// whose interval contains it.
+    #[test]
+    fn classify_is_consistent_with_size_range(
+        classes in 2usize..20,
+        gamma in 2usize..4,
+        numer in 1u32..10_000,
+    ) {
+        let classifier = Classifier::new(classes, gamma);
+        let size = f64::from(numer) / 10_000.0 / gamma as f64;
+        let class = classifier.classify(size);
+        let (lo, hi) = classifier.size_range(class);
+        // Within tolerance of the declared interval (boundaries snap).
+        prop_assert!(size <= hi + 1e-9, "size {size} above class {class} hi {hi}");
+        if class.index() < classes {
+            prop_assert!(size > lo - 1e-9, "size {size} below class {class} lo {lo}");
+        }
+    }
+
+    /// Cube addressing is a bijection between counter values and cells, in
+    /// every group.
+    #[test]
+    fn cube_addresses_are_bijective(tau in 1usize..6, gamma in 2usize..4) {
+        let capacity = (tau as u64).pow(gamma as u32);
+        for shift in 0..gamma {
+            let mut seen = std::collections::HashSet::new();
+            for counter in 0..capacity {
+                let addr = CubeAddress::from_counter(counter, tau, gamma).shifted_right(shift);
+                prop_assert!(addr.bin_index() < tau.pow(gamma as u32 - 1));
+                prop_assert!(addr.slot_index() < tau);
+                prop_assert!(seen.insert((addr.bin_index(), addr.slot_index())));
+            }
+        }
+    }
+
+    /// Lemma 1 end-to-end: stage-2 CubeFit placements never let two bins
+    /// share replicas of more than one *stage-2* tenant.
+    #[test]
+    fn lemma1_holds_for_stage2_placements(
+        loads in prop::collection::vec(0.2f64..=1.0, 1..60),
+        gamma in 2usize..4,
+    ) {
+        // Disable stage 1 reuse paths by construction: loads ≥ 0.2 with
+        // γ ≤ 3 give replicas ≥ 0.066 (regular classes for K = 10), and we
+        // filter to tenants placed via the cube stage.
+        let config = CubeFitConfig::builder()
+            .replication(gamma)
+            .classes(10)
+            .build()
+            .unwrap();
+        let mut cf = CubeFit::new(config);
+        let mut stage2_bins: Vec<Vec<cubefit_core::BinId>> = Vec::new();
+        for (i, &load) in loads.iter().enumerate() {
+            let outcome = cf
+                .place(Tenant::new(TenantId::new(i as u64), Load::new(load).unwrap()))
+                .unwrap();
+            if outcome.stage == cubefit_core::PlacementStage::Cube {
+                stage2_bins.push(outcome.bins);
+            }
+        }
+        let mut pair_count: HashMap<(usize, usize), usize> = HashMap::new();
+        for bins in &stage2_bins {
+            for (i, a) in bins.iter().enumerate() {
+                for b in &bins[i + 1..] {
+                    let key = if a.index() < b.index() {
+                        (a.index(), b.index())
+                    } else {
+                        (b.index(), a.index())
+                    };
+                    *pair_count.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+        for (&(a, b), &count) in &pair_count {
+            prop_assert!(count <= 1, "bins {a},{b} share {count} stage-2 tenants");
+        }
+    }
+
+    /// The shared-load matrix always equals a from-scratch recomputation.
+    #[test]
+    fn shared_load_matrix_matches_ground_truth(
+        assignments in prop::collection::vec((0.01f64..=1.0, any::<u8>()), 1..40),
+    ) {
+        let gamma = 2;
+        let mut p = Placement::new(gamma);
+        let bins: Vec<_> = (0..8).map(|_| p.open_bin(None)).collect();
+        let mut truth: HashMap<(usize, usize), f64> = HashMap::new();
+        for (i, &(load, pick)) in assignments.iter().enumerate() {
+            let a = bins[(pick % 8) as usize];
+            let b = bins[((pick / 8 + 1 + pick % 7) % 8) as usize];
+            if a == b {
+                continue;
+            }
+            let tenant = Tenant::new(TenantId::new(i as u64), Load::new(load).unwrap());
+            p.place_tenant(&tenant, &[a, b]).unwrap();
+            let replica = load / gamma as f64;
+            *truth.entry((a.index().min(b.index()), a.index().max(b.index()))).or_insert(0.0) +=
+                replica;
+        }
+        for (&(a, b), &expected) in &truth {
+            let got = p.shared_load(cubefit_core::BinId::new(a), cubefit_core::BinId::new(b));
+            prop_assert!((got - expected).abs() < 1e-9, "{a},{b}: {got} vs {expected}");
+        }
+        // Worst failover equals the max row entry (γ−1 = 1).
+        for &bin in &bins {
+            let max_row = p
+                .shared_peers(bin)
+                .map(|(_, v)| v)
+                .fold(0.0f64, f64::max);
+            prop_assert!((p.worst_failover(bin) - max_row).abs() < 1e-9);
+        }
+    }
+
+    /// Failure simulation conserves load: total surviving load equals the
+    /// original total minus unavailable tenants' loads (even-split).
+    #[test]
+    fn even_split_failover_conserves_load(
+        loads in prop::collection::vec(0.01f64..=1.0, 1..50),
+        failures in prop::collection::vec(0usize..12, 1..3),
+    ) {
+        let config = CubeFitConfig::builder().replication(2).classes(5).build().unwrap();
+        let mut cf = CubeFit::new(config);
+        for (i, &load) in loads.iter().enumerate() {
+            cf.place(Tenant::new(TenantId::new(i as u64), Load::new(load).unwrap())).unwrap();
+        }
+        let p = cf.placement();
+        let bins: Vec<_> = p.bins().filter(|b| !b.is_empty()).map(|b| b.id()).collect();
+        let failed: Vec<_> = failures
+            .iter()
+            .map(|&f| bins[f % bins.len()])
+            .collect();
+        let impact = validity::simulate_failures(p, &failed, validity::FailoverSemantics::EvenSplit);
+        let surviving: f64 = impact.loads.iter().map(|(_, l)| l).sum();
+        let unavailable: f64 = impact
+            .unavailable_tenants
+            .iter()
+            .map(|t| p.tenant_load(*t).unwrap())
+            .sum();
+        // Loads on failed bins of *surviving* tenants redirect; unavailable
+        // tenants' full loads vanish with them.
+        let total: f64 = loads.iter().sum();
+        let expected = total - unavailable;
+        prop_assert!((surviving - expected).abs() < 1e-6, "{surviving} vs {expected}");
+    }
+}

@@ -1,0 +1,228 @@
+//! Multi-seed paired comparisons (the Fig. 6 protocol).
+//!
+//! The paper runs 10 independent simulations of 50,000 tenants per
+//! distribution and reports the *relative difference* in servers used,
+//! `(RFI − CUBEFIT) / CUBEFIT × 100%`, with 95% confidence intervals.
+//! This module generalizes that protocol to any pair of
+//! [`AlgorithmSpec`]s: runs are paired by seed (both algorithms see the
+//! same sequence), and the CI is computed over the per-seed relative
+//! differences.
+
+use crate::runner::{run_sequence, RunResult};
+use crate::spec::{AlgorithmSpec, DistributionSpec};
+use crate::stats::Summary;
+use cubefit_core::Result;
+use cubefit_workload::{LoadModel, SequenceBuilder, TenantSequence};
+
+/// Configuration of a paired comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ComparisonConfig {
+    /// Tenants per run (the paper uses 50,000).
+    pub tenants: usize,
+    /// Independent runs (the paper uses 10).
+    pub runs: usize,
+    /// Base RNG seed; run `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Normalization constant `C` (the paper uses 52).
+    pub max_clients: u32,
+}
+
+impl ComparisonConfig {
+    /// The paper's §V.C protocol: 10 runs × 50,000 tenants, `C = 52`.
+    #[must_use]
+    pub fn paper(base_seed: u64) -> Self {
+        ComparisonConfig { tenants: 50_000, runs: 10, base_seed, max_clients: 52 }
+    }
+
+    /// A scaled-down protocol for tests and examples.
+    #[must_use]
+    pub fn quick(base_seed: u64) -> Self {
+        ComparisonConfig { tenants: 2_000, runs: 3, base_seed, max_clients: 52 }
+    }
+}
+
+/// Outcome of a paired comparison between a `baseline` and a `candidate`.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ComparisonResult {
+    /// Distribution label.
+    pub distribution: String,
+    /// Baseline algorithm (e.g. RFI) summary of servers used.
+    pub baseline_servers: Summary,
+    /// Candidate algorithm (e.g. CubeFit) summary of servers used.
+    pub candidate_servers: Summary,
+    /// Per-seed relative difference `(baseline − candidate)/candidate`
+    /// in percent — the paper's Fig. 6 metric.
+    pub relative_difference_pct: Summary,
+    /// Mean placement wall time per run, per algorithm (milliseconds).
+    pub baseline_wall_ms: Summary,
+    /// Candidate placement wall time (milliseconds).
+    pub candidate_wall_ms: Summary,
+    /// Mean utilization summaries.
+    pub baseline_utilization: Summary,
+    /// Candidate utilization summary.
+    pub candidate_utilization: Summary,
+    /// Whether every run of both algorithms passed the robustness check
+    /// appropriate to its reserve (informational).
+    pub all_runs_recorded: usize,
+}
+
+impl ComparisonResult {
+    /// Mean number of servers the candidate saves per run.
+    #[must_use]
+    pub fn servers_saved(&self) -> f64 {
+        self.baseline_servers.mean - self.candidate_servers.mean
+    }
+}
+
+/// Generates the run-`i` sequence for a comparison.
+#[must_use]
+pub fn sequence_for(
+    distribution: &DistributionSpec,
+    config: &ComparisonConfig,
+    run: usize,
+) -> TenantSequence {
+    let dist = distribution.build(config.max_clients);
+    let model = LoadModel::normalized(config.max_clients);
+    SequenceBuilder::new(BoxedDistribution(dist), model)
+        .count(config.tenants)
+        .seed(config.base_seed + run as u64)
+        .build()
+}
+
+/// Adapter: `Box<dyn ClientDistribution>` as a `ClientDistribution`.
+#[derive(Debug)]
+struct BoxedDistribution(Box<dyn cubefit_workload::ClientDistribution>);
+
+impl cubefit_workload::ClientDistribution for BoxedDistribution {
+    fn sample_clients(&self, rng: &mut dyn rand::RngCore) -> u32 {
+        self.0.sample_clients(rng)
+    }
+
+    fn max_clients(&self) -> u32 {
+        self.0.max_clients()
+    }
+
+    fn label(&self) -> String {
+        self.0.label()
+    }
+}
+
+/// Runs the paired comparison of `baseline` vs `candidate` over
+/// `distribution`.
+///
+/// Runs execute in parallel (one thread per run, capped by available
+/// parallelism) since each is independent.
+///
+/// # Errors
+///
+/// Propagates the first algorithm error from any run.
+pub fn compare(
+    baseline: &AlgorithmSpec,
+    candidate: &AlgorithmSpec,
+    distribution: &DistributionSpec,
+    config: &ComparisonConfig,
+) -> Result<ComparisonResult> {
+    let results: Vec<Result<(RunResult, RunResult)>> = {
+        let mut slots: Vec<Option<Result<(RunResult, RunResult)>>> = Vec::new();
+        slots.resize_with(config.runs, || None);
+        crossbeam::thread::scope(|scope| {
+            for (run, slot) in slots.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    let sequence = sequence_for(distribution, config, run);
+                    let pair = run_sequence(baseline, &sequence)
+                        .and_then(|b| run_sequence(candidate, &sequence).map(|c| (b, c)));
+                    *slot = Some(pair);
+                });
+            }
+        })
+        .expect("comparison threads do not panic");
+        slots.into_iter().map(|s| s.expect("every run filled")).collect()
+    };
+
+    let mut baseline_servers = Vec::new();
+    let mut candidate_servers = Vec::new();
+    let mut relative = Vec::new();
+    let mut baseline_wall = Vec::new();
+    let mut candidate_wall = Vec::new();
+    let mut baseline_util = Vec::new();
+    let mut candidate_util = Vec::new();
+    for pair in results {
+        let (b, c) = pair?;
+        relative.push((b.servers as f64 - c.servers as f64) / c.servers as f64 * 100.0);
+        baseline_servers.push(b.servers as f64);
+        candidate_servers.push(c.servers as f64);
+        baseline_wall.push(b.wall.as_secs_f64() * 1e3);
+        candidate_wall.push(c.wall.as_secs_f64() * 1e3);
+        baseline_util.push(b.utilization);
+        candidate_util.push(c.utilization);
+    }
+    Ok(ComparisonResult {
+        distribution: distribution.label(),
+        all_runs_recorded: relative.len(),
+        baseline_servers: Summary::of(&baseline_servers),
+        candidate_servers: Summary::of(&candidate_servers),
+        relative_difference_pct: Summary::of(&relative),
+        baseline_wall_ms: Summary::of(&baseline_wall),
+        candidate_wall_ms: Summary::of(&candidate_wall),
+        baseline_utilization: Summary::of(&baseline_util),
+        candidate_utilization: Summary::of(&candidate_util),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cubefit_beats_rfi_on_uniform_quick() {
+        let result = compare(
+            &AlgorithmSpec::Rfi { gamma: 2, mu: 0.85 },
+            &AlgorithmSpec::CubeFit { gamma: 2, classes: 10 },
+            &DistributionSpec::Uniform { min: 1, max: 15 },
+            &ComparisonConfig::quick(7),
+        )
+        .unwrap();
+        assert_eq!(result.all_runs_recorded, 3);
+        assert!(
+            result.relative_difference_pct.mean > 0.0,
+            "relative difference {:?}",
+            result.relative_difference_pct
+        );
+        assert!(result.servers_saved() > 0.0);
+        assert!(result.candidate_utilization.mean > result.baseline_utilization.mean);
+    }
+
+    #[test]
+    fn paired_seeds_are_reproducible() {
+        let cfg = ComparisonConfig::quick(9);
+        let dist = DistributionSpec::Zipf { exponent: 3.0 };
+        let a = compare(
+            &AlgorithmSpec::Rfi { gamma: 2, mu: 0.85 },
+            &AlgorithmSpec::CubeFit { gamma: 2, classes: 10 },
+            &dist,
+            &cfg,
+        )
+        .unwrap();
+        let b = compare(
+            &AlgorithmSpec::Rfi { gamma: 2, mu: 0.85 },
+            &AlgorithmSpec::CubeFit { gamma: 2, classes: 10 },
+            &dist,
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(a.baseline_servers, b.baseline_servers);
+        assert_eq!(a.candidate_servers, b.candidate_servers);
+    }
+
+    #[test]
+    fn sequences_differ_across_runs() {
+        let cfg = ComparisonConfig::quick(1);
+        let dist = DistributionSpec::Uniform { min: 1, max: 15 };
+        let s0 = sequence_for(&dist, &cfg, 0);
+        let s1 = sequence_for(&dist, &cfg, 1);
+        assert_ne!(s0, s1);
+        assert_eq!(s0.len(), cfg.tenants);
+    }
+}

@@ -1,0 +1,37 @@
+//! # cubefit-sim
+//!
+//! Experiment harness for the CubeFit reproduction: everything §V of the
+//! paper does around the algorithms.
+//!
+//! * [`runner`] — drive any [`cubefit_core::Consolidator`] over a generated
+//!   tenant sequence, timing placement and collecting placement statistics;
+//! * [`spec`] — declarative [`spec::AlgorithmSpec`] /
+//!   [`spec::DistributionSpec`] descriptions so experiments are data, not
+//!   code;
+//! * [`experiment`] — multi-seed paired comparisons with 95% confidence
+//!   intervals (Fig. 6);
+//! * [`failure`] — the cluster failure experiment pipeline: fill 69
+//!   servers, select the worst-overload failure set, simulate, report p99
+//!   (Fig. 5);
+//! * [`cost`] — the EC2 cost model behind Table I;
+//! * [`stats`] — mean/stddev/CI helpers;
+//! * [`report`] — plain-text table rendering and JSON output for the bench
+//!   binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod cost;
+pub mod experiment;
+pub mod failure;
+pub mod report;
+pub mod runner;
+pub mod spec;
+pub mod stats;
+
+pub use cost::CostModel;
+pub use experiment::{compare, ComparisonConfig, ComparisonResult};
+pub use failure::{run_failure_experiment, FailureExperimentConfig, FailureOutcome};
+pub use runner::{run_sequence, RunResult};
+pub use spec::{AlgorithmSpec, DistributionSpec};
+pub use stats::Summary;

@@ -1,0 +1,158 @@
+//! Plain-text tables and JSON output for the bench binaries.
+
+use std::fmt::Write as _;
+
+/// A fixed-width plain-text table builder for experiment output.
+///
+/// ```
+/// use cubefit_sim::report::TextTable;
+///
+/// let mut table = TextTable::new(vec!["algorithm", "servers"]);
+/// table.row(vec!["cubefit".into(), "8445".into()]);
+/// table.row(vec!["rfi".into(), "10951".into()]);
+/// let rendered = table.render();
+/// assert!(rendered.contains("cubefit"));
+/// assert!(rendered.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a header separator.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            }
+            // Trim per-line trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a mean ± CI pair, e.g. `30.1 ± 1.2`.
+#[must_use]
+pub fn mean_ci(summary: &crate::stats::Summary, decimals: usize) -> String {
+    format!(
+        "{mean:.prec$} ± {ci:.prec$}",
+        mean = summary.mean,
+        ci = summary.ci95,
+        prec = decimals
+    )
+}
+
+/// Formats a dollar amount with thousands separators, e.g. `$18,045,004`.
+#[must_use]
+pub fn dollars(amount: f64) -> String {
+    let rounded = amount.round() as i64;
+    let digits = rounded.unsigned_abs().to_string();
+    let mut grouped = String::new();
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            grouped.push(',');
+        }
+        grouped.push(ch);
+    }
+    if rounded < 0 {
+        format!("-${grouped}")
+    } else {
+        format!("${grouped}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut table = TextTable::new(vec!["a", "metric"]);
+        table.row(vec!["x".into(), "1".into()]);
+        table.row(vec!["longer".into(), "22".into()]);
+        let rendered = table.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("longer"));
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut table = TextTable::new(vec!["a", "b", "c"]);
+        table.row(vec!["only".into()]);
+        assert!(table.render().contains("only"));
+    }
+
+    #[test]
+    fn mean_ci_formatting() {
+        let s = Summary { n: 10, mean: 30.123, stddev: 2.0, ci95: 1.456 };
+        assert_eq!(mean_ci(&s, 1), "30.1 ± 1.5");
+        assert_eq!(mean_ci(&s, 0), "30 ± 1");
+    }
+
+    #[test]
+    fn dollars_formatting() {
+        assert_eq!(dollars(18_045_004.4), "$18,045,004");
+        assert_eq!(dollars(496.0), "$496");
+        assert_eq!(dollars(1_000.0), "$1,000");
+        assert_eq!(dollars(-2_500.0), "-$2,500");
+        assert_eq!(dollars(0.0), "$0");
+    }
+}

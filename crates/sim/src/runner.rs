@@ -1,0 +1,116 @@
+//! Driving an algorithm over a tenant sequence.
+
+use crate::spec::AlgorithmSpec;
+use cubefit_core::{validity, Result};
+use cubefit_workload::TenantSequence;
+use std::time::{Duration, Instant};
+
+/// Result of one algorithm run over one tenant sequence.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct RunResult {
+    /// Algorithm label (from [`AlgorithmSpec::label`]).
+    pub algorithm: String,
+    /// Tenants placed.
+    pub tenants: usize,
+    /// Servers used (bins hosting at least one replica).
+    pub servers: usize,
+    /// Mean server utilization (`total_load / servers`).
+    pub utilization: f64,
+    /// Total tenant load placed.
+    pub total_load: f64,
+    /// Wall-clock time spent inside `place` calls ("time to consolidate",
+    /// reported alongside Fig. 6 in §V.C).
+    pub wall: Duration,
+    /// Whether the final placement satisfies the `γ − 1`-failure
+    /// robustness condition.
+    pub robust: bool,
+}
+
+impl RunResult {
+    /// Placement throughput in tenants per second.
+    #[must_use]
+    pub fn tenants_per_second(&self) -> f64 {
+        if self.wall.is_zero() {
+            f64::INFINITY
+        } else {
+            self.tenants as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// Runs a fresh instance of `spec` over `sequence`, returning placement
+/// statistics.
+///
+/// # Errors
+///
+/// Propagates configuration or placement errors from the algorithm.
+pub fn run_sequence(spec: &AlgorithmSpec, sequence: &TenantSequence) -> Result<RunResult> {
+    let mut algorithm = spec.build()?;
+    let start = Instant::now();
+    for tenant in sequence.tenants() {
+        algorithm.place(tenant)?;
+    }
+    let wall = start.elapsed();
+    let placement = algorithm.placement();
+    let stats = placement.stats();
+    Ok(RunResult {
+        algorithm: spec.label(),
+        tenants: stats.tenants,
+        servers: stats.open_bins,
+        utilization: stats.mean_utilization,
+        total_load: stats.total_load,
+        wall,
+        robust: validity::check(placement).is_robust(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubefit_workload::{LoadModel, SequenceBuilder};
+
+    fn sequence(n: usize, seed: u64) -> TenantSequence {
+        let dist = cubefit_workload::UniformClients::new(1, 15);
+        SequenceBuilder::new(dist, LoadModel::normalized(52))
+            .count(n)
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn cubefit_run_is_robust_and_beats_load_bound() {
+        let seq = sequence(500, 1);
+        let result =
+            run_sequence(&AlgorithmSpec::CubeFit { gamma: 2, classes: 10 }, &seq).unwrap();
+        assert!(result.robust);
+        assert_eq!(result.tenants, 500);
+        assert!(result.servers as f64 >= result.total_load);
+        assert!(result.utilization > 0.0 && result.utilization <= 1.0);
+        assert!(result.tenants_per_second() > 0.0);
+    }
+
+    #[test]
+    fn cubefit_uses_fewer_servers_than_rfi() {
+        // The headline claim (Fig. 6), at small scale.
+        let seq = sequence(2000, 2);
+        let cubefit =
+            run_sequence(&AlgorithmSpec::CubeFit { gamma: 2, classes: 10 }, &seq).unwrap();
+        let rfi = run_sequence(&AlgorithmSpec::Rfi { gamma: 2, mu: 0.85 }, &seq).unwrap();
+        assert!(
+            cubefit.servers < rfi.servers,
+            "cubefit {} vs rfi {}",
+            cubefit.servers,
+            rfi.servers
+        );
+    }
+
+    #[test]
+    fn identical_seed_identical_result() {
+        let seq = sequence(300, 3);
+        let a = run_sequence(&AlgorithmSpec::CubeFit { gamma: 2, classes: 10 }, &seq).unwrap();
+        let b = run_sequence(&AlgorithmSpec::CubeFit { gamma: 2, classes: 10 }, &seq).unwrap();
+        assert_eq!(a.servers, b.servers);
+        assert_eq!(a.total_load, b.total_load);
+    }
+}

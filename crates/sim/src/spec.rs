@@ -1,0 +1,230 @@
+//! Declarative experiment specifications.
+
+use cubefit_baselines::{BestFit, FirstFit, NextFit, RandomFit, Rfi, WorstFit};
+use cubefit_core::{Consolidator, CubeFit, CubeFitConfig, Result};
+use cubefit_workload::{
+    ClientDistribution, ConstantClients, LoadModel, UniformClients, ZipfClients,
+};
+
+/// A constructible description of a consolidation algorithm.
+///
+/// Experiments need to instantiate a *fresh* algorithm per run; a spec is
+/// the factory plus a stable label for reports.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum AlgorithmSpec {
+    /// CubeFit with `γ` replicas and `K` classes.
+    CubeFit {
+        /// Replication factor.
+        gamma: usize,
+        /// Number of size classes.
+        classes: usize,
+    },
+    /// The RFI baseline with `γ` replicas and interleaving parameter `μ`.
+    Rfi {
+        /// Replication factor.
+        gamma: usize,
+        /// Interleaving parameter (the paper recommends 0.85).
+        mu: f64,
+    },
+    /// Failover-aware Best Fit.
+    BestFit {
+        /// Replication factor.
+        gamma: usize,
+    },
+    /// Failover-aware First Fit.
+    FirstFit {
+        /// Replication factor.
+        gamma: usize,
+    },
+    /// Failover-aware Worst Fit.
+    WorstFit {
+        /// Replication factor.
+        gamma: usize,
+    },
+    /// Next Fit (bounded space).
+    NextFit {
+        /// Replication factor.
+        gamma: usize,
+    },
+    /// Random Fit with a probe seed.
+    RandomFit {
+        /// Replication factor.
+        gamma: usize,
+        /// RNG seed for probing.
+        seed: u64,
+    },
+}
+
+impl AlgorithmSpec {
+    /// Instantiates a fresh consolidator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors (bad `γ`, `K`, or `μ`).
+    pub fn build(&self) -> Result<Box<dyn Consolidator>> {
+        Ok(match *self {
+            AlgorithmSpec::CubeFit { gamma, classes } => Box::new(CubeFit::new(
+                CubeFitConfig::builder()
+                    .replication(gamma)
+                    .classes(classes)
+                    .build()?,
+            )),
+            AlgorithmSpec::Rfi { gamma, mu } => Box::new(Rfi::new(gamma, mu)?),
+            AlgorithmSpec::BestFit { gamma } => Box::new(BestFit::new(gamma)?),
+            AlgorithmSpec::FirstFit { gamma } => Box::new(FirstFit::new(gamma)?),
+            AlgorithmSpec::WorstFit { gamma } => Box::new(WorstFit::new(gamma)?),
+            AlgorithmSpec::NextFit { gamma } => Box::new(NextFit::new(gamma)?),
+            AlgorithmSpec::RandomFit { gamma, seed } => Box::new(RandomFit::new(gamma, seed)?),
+        })
+    }
+
+    /// Replication factor of the spec.
+    #[must_use]
+    pub fn gamma(&self) -> usize {
+        match *self {
+            AlgorithmSpec::CubeFit { gamma, .. }
+            | AlgorithmSpec::Rfi { gamma, .. }
+            | AlgorithmSpec::BestFit { gamma }
+            | AlgorithmSpec::FirstFit { gamma }
+            | AlgorithmSpec::WorstFit { gamma }
+            | AlgorithmSpec::NextFit { gamma }
+            | AlgorithmSpec::RandomFit { gamma, .. } => gamma,
+        }
+    }
+
+    /// Stable label for reports (e.g. `cubefit(γ=2,K=10)`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            AlgorithmSpec::CubeFit { gamma, classes } => {
+                format!("cubefit(γ={gamma},K={classes})")
+            }
+            AlgorithmSpec::Rfi { gamma, mu } => format!("rfi(γ={gamma},μ={mu})"),
+            AlgorithmSpec::BestFit { gamma } => format!("bestfit(γ={gamma})"),
+            AlgorithmSpec::FirstFit { gamma } => format!("firstfit(γ={gamma})"),
+            AlgorithmSpec::WorstFit { gamma } => format!("worstfit(γ={gamma})"),
+            AlgorithmSpec::NextFit { gamma } => format!("nextfit(γ={gamma})"),
+            AlgorithmSpec::RandomFit { gamma, seed } => {
+                format!("randomfit(γ={gamma},seed={seed})")
+            }
+        }
+    }
+}
+
+/// A constructible description of a tenant-load distribution, always paired
+/// with the normalization constant `C` (the paper uses `C = 52`).
+#[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum DistributionSpec {
+    /// Clients uniform over `min..=max`, loads `c/C` under the normalized
+    /// model (or `δ·c+β` when a testbed model is requested).
+    Uniform {
+        /// Minimum clients.
+        min: u32,
+        /// Maximum clients.
+        max: u32,
+    },
+    /// Clients zipfian over `1..=C` with the given exponent.
+    Zipf {
+        /// Zipf exponent.
+        exponent: f64,
+    },
+    /// Constant client count (worked examples).
+    Constant {
+        /// The fixed client count.
+        clients: u32,
+    },
+}
+
+impl DistributionSpec {
+    /// Builds the distribution for normalization constant `c`.
+    #[must_use]
+    pub fn build(&self, c: u32) -> Box<dyn ClientDistribution> {
+        match *self {
+            DistributionSpec::Uniform { min, max } => {
+                Box::new(UniformClients::new(min, max.min(c)))
+            }
+            DistributionSpec::Zipf { exponent } => Box::new(ZipfClients::new(exponent, c)),
+            DistributionSpec::Constant { clients } => Box::new(ConstantClients::new(clients)),
+        }
+    }
+
+    /// The normalized load model used by §V.C simulations (`load = c/C`).
+    #[must_use]
+    pub fn normalized_model(c: u32) -> LoadModel {
+        LoadModel::normalized(c)
+    }
+
+    /// Stable label for reports.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            DistributionSpec::Uniform { min, max } => format!("uniform({min}-{max})"),
+            DistributionSpec::Zipf { exponent } => format!("zipf({exponent})"),
+            DistributionSpec::Constant { clients } => format!("constant({clients})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubefit_core::{Load, Tenant};
+
+    #[test]
+    fn every_spec_builds_and_places() {
+        let specs = [
+            AlgorithmSpec::CubeFit { gamma: 2, classes: 5 },
+            AlgorithmSpec::Rfi { gamma: 2, mu: 0.85 },
+            AlgorithmSpec::BestFit { gamma: 2 },
+            AlgorithmSpec::FirstFit { gamma: 2 },
+            AlgorithmSpec::WorstFit { gamma: 2 },
+            AlgorithmSpec::NextFit { gamma: 2 },
+            AlgorithmSpec::RandomFit { gamma: 2, seed: 1 },
+        ];
+        for spec in &specs {
+            let mut algorithm = spec.build().unwrap();
+            algorithm
+                .place(Tenant::with_load(Load::new(0.4).unwrap()))
+                .unwrap();
+            assert_eq!(algorithm.placement().tenant_count(), 1);
+            assert_eq!(spec.gamma(), 2);
+            assert!(!spec.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn invalid_specs_error() {
+        assert!(AlgorithmSpec::CubeFit { gamma: 1, classes: 5 }.build().is_err());
+        assert!(AlgorithmSpec::Rfi { gamma: 2, mu: 2.0 }.build().is_err());
+    }
+
+    #[test]
+    fn distribution_specs_build() {
+        let mut rng = rand::thread_rng();
+        let u = DistributionSpec::Uniform { min: 1, max: 15 }.build(52);
+        assert!(u.sample_clients(&mut rng) <= 15);
+        let z = DistributionSpec::Zipf { exponent: 3.0 }.build(52);
+        assert!(z.sample_clients(&mut rng) <= 52);
+        assert_eq!(DistributionSpec::Uniform { min: 1, max: 15 }.label(), "uniform(1-15)");
+        assert_eq!(DistributionSpec::Zipf { exponent: 3.0 }.label(), "zipf(3)");
+    }
+
+    #[test]
+    fn uniform_is_clamped_to_c() {
+        let mut rng = rand::thread_rng();
+        let d = DistributionSpec::Uniform { min: 1, max: 100 }.build(52);
+        for _ in 0..100 {
+            assert!(d.sample_clients(&mut rng) <= 52);
+        }
+    }
+
+    #[test]
+    fn specs_serialize() {
+        let spec = AlgorithmSpec::CubeFit { gamma: 2, classes: 10 };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: AlgorithmSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

@@ -1,0 +1,100 @@
+//! Mean / standard deviation / confidence-interval helpers.
+
+/// Summary statistics of a sample with a 95% confidence interval on the
+/// mean (Student's t for small samples).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub stddev: f64,
+    /// Half-width of the 95% CI on the mean (0 for n < 2).
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `samples`.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Self {
+        let n = samples.len();
+        if n == 0 {
+            return Summary { n: 0, mean: 0.0, stddev: 0.0, ci95: 0.0 };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Summary { n, mean, stddev: 0.0, ci95: 0.0 };
+        }
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let stddev = var.sqrt();
+        let ci95 = t_value_95(n - 1) * stddev / (n as f64).sqrt();
+        Summary { n, mean, stddev, ci95 }
+    }
+
+    /// The CI bounds `(low, high)`.
+    #[must_use]
+    pub fn interval(&self) -> (f64, f64) {
+        (self.mean - self.ci95, self.mean + self.ci95)
+    }
+}
+
+/// Two-sided 95% Student's t critical value for the given degrees of
+/// freedom (normal approximation beyond 30).
+#[must_use]
+pub fn t_value_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        d if d <= 30 => TABLE[d - 1],
+        _ => 1.96,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = Summary::of(&[5.0; 10]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.interval(), (5.0, 5.0));
+    }
+
+    #[test]
+    fn summary_known_values() {
+        // Sample 1..=10: mean 5.5, stddev ≈ 3.0277, t(9) = 2.262.
+        let samples: Vec<f64> = (1..=10).map(f64::from).collect();
+        let s = Summary::of(&samples);
+        assert_eq!(s.n, 10);
+        assert!((s.mean - 5.5).abs() < 1e-12);
+        assert!((s.stddev - 3.02765).abs() < 1e-4);
+        let expected_ci = 2.262 * s.stddev / 10f64.sqrt();
+        assert!((s.ci95 - expected_ci).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(Summary::of(&[]).n, 0);
+        let one = Summary::of(&[3.0]);
+        assert_eq!(one.mean, 3.0);
+        assert_eq!(one.ci95, 0.0);
+    }
+
+    #[test]
+    fn t_values_decrease_with_df() {
+        assert!(t_value_95(1) > t_value_95(5));
+        assert!(t_value_95(5) > t_value_95(30));
+        assert_eq!(t_value_95(100), 1.96);
+        assert!((t_value_95(9) - 2.262).abs() < 1e-9);
+        assert!(t_value_95(0).is_infinite());
+    }
+}

@@ -1,0 +1,47 @@
+//! # cubefit-workload
+//!
+//! Tenant workload generation for the CubeFit experiments.
+//!
+//! The paper's system model (§IV) reduces a tenant to the in-memory load it
+//! places on a server via the linear model `load = δ·c + β`, where `c` is
+//! the tenant's number of concurrent clients. This crate layers:
+//!
+//! * [`LoadModel`] — the linear clients→load mapping, with the calibration
+//!   used in the paper's testbed (52 clients saturate a server at the 5 s
+//!   p99 SLA) and a *normalized* variant (`load = c/C`) used by the §V.C
+//!   simulation experiments;
+//! * [`ClientDistribution`] implementations — discrete uniform and zipfian
+//!   client counts (plus constants and mixtures) matching §V's
+//!   configurations;
+//! * [`SequenceBuilder`] — deterministic, seeded generation of tenant
+//!   arrival sequences;
+//! * [`trace`] — record/replay of generated sequences in JSON or a compact
+//!   binary format.
+//!
+//! ```
+//! use cubefit_workload::{LoadModel, SequenceBuilder, UniformClients};
+//!
+//! // The paper's first cluster experiment: clients uniform in 1..=15.
+//! let sequence = SequenceBuilder::new(UniformClients::new(1, 15), LoadModel::tpch_xeon())
+//!     .count(100)
+//!     .seed(42)
+//!     .build();
+//! assert_eq!(sequence.len(), 100);
+//! assert!(sequence.specs().iter().all(|s| s.clients >= 1 && s.clients <= 15));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod distribution;
+pub mod generator;
+pub mod model;
+pub mod trace;
+pub mod zipf;
+
+pub use distribution::{
+    ClientDistribution, ConstantClients, MixtureClients, UniformClients, ZipfClients,
+};
+pub use generator::{SequenceBuilder, TenantSequence, TenantSpec};
+pub use model::LoadModel;
+pub use zipf::ZipfTable;

@@ -1,0 +1,163 @@
+//! The linear clients→load model (paper §IV).
+
+use cubefit_core::Load;
+
+/// Linear tenant utilization model `load = δ·c + β`.
+///
+/// `δ` is the per-client capacity cost, `β` the fixed per-tenant overhead,
+/// and `max_clients` (`C` in the paper) the largest client count a
+/// dedicated server can sustain at the SLA. A load of `1.0` corresponds to
+/// the SLA boundary (p99 latency of 5 s in the paper's calibration).
+///
+/// ```
+/// use cubefit_workload::LoadModel;
+///
+/// let model = LoadModel::tpch_xeon();
+/// // 52 clients on one tenant saturate a server exactly.
+/// assert!((model.load(52).get() - 1.0).abs() < 1e-12);
+/// assert!(model.load(1).get() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LoadModel {
+    delta: f64,
+    beta: f64,
+    max_clients: u32,
+}
+
+impl LoadModel {
+    /// Creates a model from explicit `δ`, `β`, and `C`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are non-positive/negative or if a single client
+    /// would already overload a server (`δ + β > 1`).
+    #[must_use]
+    pub fn new(delta: f64, beta: f64, max_clients: u32) -> Self {
+        assert!(delta > 0.0, "per-client cost must be positive");
+        assert!(beta >= 0.0, "per-tenant overhead cannot be negative");
+        assert!(max_clients >= 1, "a server must support at least one client");
+        assert!(
+            delta + beta <= 1.0 + 1e-12,
+            "a single client may not overload a server"
+        );
+        LoadModel { delta, beta, max_clients }
+    }
+
+    /// The calibration of the paper's testbed (Intel Xeon, 12 cores, 32 GB,
+    /// TPC-H, 5 s p99 SLA): `C = 52` clients saturate a server, with a
+    /// per-tenant overhead equivalent to two clients —
+    /// `δ = 1/54`, `β = 2/54`, so `load(52) = 1.0` exactly.
+    #[must_use]
+    pub fn tpch_xeon() -> Self {
+        LoadModel::new(1.0 / 54.0, 2.0 / 54.0, 52)
+    }
+
+    /// The normalized model of the §V.C simulations: `load = c / C` with no
+    /// overhead (`δ = 1/C`, `β = 0`).
+    #[must_use]
+    pub fn normalized(max_clients: u32) -> Self {
+        assert!(max_clients >= 1);
+        LoadModel::new(1.0 / f64::from(max_clients), 0.0, max_clients)
+    }
+
+    /// Per-client capacity cost `δ`.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Per-tenant overhead `β`.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Maximum clients a dedicated server sustains at the SLA (`C`).
+    #[must_use]
+    pub fn max_clients(&self) -> u32 {
+        self.max_clients
+    }
+
+    /// The load a tenant with `clients` concurrent clients places on a
+    /// server, clamped to the valid `(0, 1]` range.
+    ///
+    /// The paper's model can exceed `1.0` for over-provisioned tenants;
+    /// placement requires loads in `(0, 1]`, so callers should keep client
+    /// counts within [`Self::max_clients`]. Values are clamped rather than
+    /// rejected so that distribution tails cannot crash an experiment.
+    #[must_use]
+    pub fn load(&self, clients: u32) -> Load {
+        let raw = self.delta * f64::from(clients) + self.beta;
+        Load::new(raw.clamp(f64::MIN_POSITIVE, 1.0)).expect("clamped into (0, 1]")
+    }
+
+    /// The raw (unclamped) model value `δ·c + β`; values above `1.0` mean
+    /// the configuration violates the SLA on a dedicated server.
+    #[must_use]
+    pub fn raw_load(&self, clients: u32) -> f64 {
+        self.delta * f64::from(clients) + self.beta
+    }
+
+    /// The largest client count whose load stays within `budget`.
+    ///
+    /// Inverse of [`Self::load`], useful for capacity planning and for the
+    /// cluster simulator's admission checks.
+    #[must_use]
+    pub fn clients_within(&self, budget: f64) -> u32 {
+        if budget <= self.beta {
+            return 0;
+        }
+        ((budget - self.beta) / self.delta).floor() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpch_calibration_saturates_at_52() {
+        let m = LoadModel::tpch_xeon();
+        assert!((m.load(52).get() - 1.0).abs() < 1e-12);
+        assert!(m.raw_load(53) > 1.0);
+        assert_eq!(m.max_clients(), 52);
+    }
+
+    #[test]
+    fn normalized_model_is_linear_fraction() {
+        let m = LoadModel::normalized(52);
+        assert!((m.load(13).get() - 0.25).abs() < 1e-12);
+        assert!((m.load(52).get() - 1.0).abs() < 1e-12);
+        assert_eq!(m.beta(), 0.0);
+    }
+
+    #[test]
+    fn load_is_clamped_to_valid_range() {
+        let m = LoadModel::normalized(10);
+        assert_eq!(m.load(25).get(), 1.0);
+    }
+
+    #[test]
+    fn clients_within_inverts_load() {
+        let m = LoadModel::tpch_xeon();
+        for c in 1..=52 {
+            let load = m.raw_load(c);
+            assert_eq!(m.clients_within(load + 1e-9), c);
+        }
+        assert_eq!(m.clients_within(0.0), 0);
+        assert_eq!(m.clients_within(m.beta()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overload")]
+    fn rejects_oversized_single_client() {
+        let _ = LoadModel::new(0.9, 0.2, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_delta() {
+        let _ = LoadModel::new(0.0, 0.1, 10);
+    }
+}

@@ -1,0 +1,181 @@
+//! Trace record/replay for tenant sequences.
+//!
+//! Experiments must be reproducible and shareable: this module serializes a
+//! [`TenantSequence`] to a compact binary wire format (and, with the `serde`
+//! feature, to JSON via `serde`). The binary layout is
+//!
+//! ```text
+//! magic  "CFT1"            4 bytes
+//! count  u32 little-endian
+//! per tenant:
+//!   id       u64 LE
+//!   clients  u32 LE
+//!   load     f64 LE bits
+//! ```
+
+use crate::generator::{TenantSequence, TenantSpec};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cubefit_core::{Load, Tenant, TenantId};
+use std::fmt;
+
+/// Magic prefix of the binary trace format (version 1).
+pub const MAGIC: &[u8; 4] = b"CFT1";
+
+/// Errors produced when decoding a binary trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// The buffer does not start with the `CFT1` magic.
+    BadMagic,
+    /// The buffer ended before the declared number of records.
+    Truncated,
+    /// A record carried a load outside `(0, 1]`.
+    InvalidLoad {
+        /// Index of the offending record.
+        index: usize,
+    },
+    /// Trailing bytes after the declared number of records.
+    TrailingBytes {
+        /// Number of unexpected trailing bytes.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "trace does not start with the CFT1 magic"),
+            TraceError::Truncated => write!(f, "trace ended before the declared record count"),
+            TraceError::InvalidLoad { index } => {
+                write!(f, "record {index} carries a load outside (0, 1]")
+            }
+            TraceError::TrailingBytes { extra } => {
+                write!(f, "{extra} unexpected trailing bytes after the last record")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Serializes a sequence to the binary trace format.
+#[must_use]
+pub fn encode(sequence: &TenantSequence) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + sequence.len() * 20);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(sequence.len() as u32);
+    for spec in sequence.specs() {
+        buf.put_u64_le(spec.tenant.id().get());
+        buf.put_u32_le(spec.clients);
+        buf.put_f64_le(spec.tenant.load().get());
+    }
+    buf.freeze()
+}
+
+/// Decodes a binary trace produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] when the buffer is malformed; see the variants
+/// for the specific conditions.
+pub fn decode(mut buf: impl Buf) -> Result<TenantSequence, TraceError> {
+    if buf.remaining() < MAGIC.len() + 4 {
+        return Err(TraceError::BadMagic);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut specs = Vec::with_capacity(count.min(1 << 20));
+    for index in 0..count {
+        if buf.remaining() < 20 {
+            return Err(TraceError::Truncated);
+        }
+        let id = buf.get_u64_le();
+        let clients = buf.get_u32_le();
+        let load = buf.get_f64_le();
+        let load = Load::new(load).map_err(|_| TraceError::InvalidLoad { index })?;
+        specs.push(TenantSpec { tenant: Tenant::new(TenantId::new(id), load), clients });
+    }
+    if buf.has_remaining() {
+        return Err(TraceError::TrailingBytes { extra: buf.remaining() });
+    }
+    Ok(TenantSequence::from_specs(specs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::UniformClients;
+    use crate::generator::SequenceBuilder;
+    use crate::model::LoadModel;
+
+    fn sample_sequence() -> TenantSequence {
+        SequenceBuilder::new(UniformClients::new(1, 15), LoadModel::tpch_xeon())
+            .count(25)
+            .seed(99)
+            .build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_sequence() {
+        let seq = sample_sequence();
+        let decoded = decode(encode(&seq)).unwrap();
+        assert_eq!(decoded, seq);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let seq = TenantSequence::default();
+        assert_eq!(decode(encode(&seq)).unwrap(), seq);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode(&sample_sequence()).to_vec();
+        bytes[0] = b'X';
+        assert_eq!(decode(&bytes[..]), Err(TraceError::BadMagic));
+        assert_eq!(decode(&b"ab"[..]), Err(TraceError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let bytes = encode(&sample_sequence());
+        let cut = &bytes[..bytes.len() - 5];
+        assert_eq!(decode(cut), Err(TraceError::Truncated));
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut bytes = encode(&sample_sequence()).to_vec();
+        bytes.push(0);
+        assert_eq!(decode(&bytes[..]), Err(TraceError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn rejects_invalid_load() {
+        let seq = sample_sequence();
+        let mut bytes = encode(&seq).to_vec();
+        // Overwrite the first record's load (offset 8 + 12) with 2.0.
+        let offset = 8 + 12;
+        bytes[offset..offset + 8].copy_from_slice(&2.0f64.to_le_bytes());
+        assert_eq!(decode(&bytes[..]), Err(TraceError::InvalidLoad { index: 0 }));
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(!TraceError::BadMagic.to_string().is_empty());
+        assert!(TraceError::TrailingBytes { extra: 3 }.to_string().contains('3'));
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn json_roundtrip() {
+        let seq = sample_sequence();
+        let json = serde_json::to_string(&seq).unwrap();
+        let back: TenantSequence = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, seq);
+    }
+}

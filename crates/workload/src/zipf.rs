@@ -1,0 +1,175 @@
+//! Zipfian sampling over `1..=n`.
+
+use rand::Rng;
+
+/// Precomputed zipfian distribution over `1..=n` with exponent `s`:
+/// `P(k) ∝ k^(−s)`.
+///
+/// The paper's zipfian experiments sample client counts from `1..=C`
+/// (`C = 52`) with exponent 3 (§V.A) and exponents swept in §V.C. A
+/// cumulative table plus binary search gives exact sampling in `O(log n)`.
+///
+/// ```
+/// use cubefit_workload::ZipfTable;
+/// use rand::SeedableRng;
+///
+/// let zipf = ZipfTable::new(52, 3.0);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let k = zipf.sample(&mut rng);
+/// assert!((1..=52).contains(&k));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    /// `cdf[i]` = P(k ≤ i+1), normalized so the last entry is 1.0.
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl ZipfTable {
+    /// Builds the table for values `1..=n` with the given exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `exponent` is negative or non-finite
+    /// (`exponent == 0` is allowed and degenerates to discrete uniform).
+    #[must_use]
+    pub fn new(n: u32, exponent: f64) -> Self {
+        assert!(n >= 1, "zipf needs at least one value");
+        assert!(
+            exponent.is_finite() && exponent >= 0.0,
+            "zipf exponent must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += f64::from(k).powf(-exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for entry in &mut cdf {
+            *entry /= total;
+        }
+        ZipfTable { cdf, exponent }
+    }
+
+    /// Number of values in the support.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.cdf.len() as u32
+    }
+
+    /// The exponent `s`.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability of value `k` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `1..=n`.
+    #[must_use]
+    pub fn pmf(&self, k: u32) -> f64 {
+        assert!((1..=self.n()).contains(&k), "value out of support");
+        let i = (k - 1) as usize;
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Draws one value from `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.gen();
+        // partition_point returns the count of entries < u, i.e. the index
+        // of the first cdf entry ≥ u; +1 converts to the 1-based value.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as u32
+    }
+
+    /// The distribution mean `Σ k·P(k)`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        (1..=self.n()).map(|k| f64::from(k) * self.pmf(k)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for s in [0.0, 1.0, 2.0, 3.0] {
+            let z = ZipfTable::new(52, s);
+            let total: f64 = (1..=52).map(|k| z.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "s={s}: total {total}");
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = ZipfTable::new(10, 0.0);
+        for k in 1..=10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_exponent_concentrates_on_one() {
+        let z1 = ZipfTable::new(52, 1.0);
+        let z3 = ZipfTable::new(52, 3.0);
+        assert!(z3.pmf(1) > z1.pmf(1));
+        assert!(z3.pmf(52) < z1.pmf(52));
+        // Exponent 3 over 1..=52 puts over 80% of mass on k=1.
+        assert!(z3.pmf(1) > 0.8);
+    }
+
+    #[test]
+    fn samples_match_pmf() {
+        let z = ZipfTable::new(8, 2.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 200_000;
+        let mut counts = [0usize; 8];
+        for _ in 0..n {
+            counts[(z.sample(&mut rng) - 1) as usize] += 1;
+        }
+        for k in 1..=8u32 {
+            let expected = z.pmf(k);
+            let observed = counts[(k - 1) as usize] as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "k={k}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let z = ZipfTable::new(3, 1.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            assert!((1..=3).contains(&z.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn mean_decreases_with_exponent() {
+        let m0 = ZipfTable::new(52, 0.0).mean();
+        let m1 = ZipfTable::new(52, 1.0).mean();
+        let m3 = ZipfTable::new(52, 3.0).mean();
+        assert!(m0 > m1 && m1 > m3);
+        assert!((m0 - 26.5).abs() < 1e-9);
+        assert!(m3 < 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "support")]
+    fn pmf_out_of_support_panics() {
+        let _ = ZipfTable::new(5, 1.0).pmf(6);
+    }
+}

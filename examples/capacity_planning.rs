@@ -1,0 +1,70 @@
+//! Capacity planning for a SaaS analytics provider: how many servers does a
+//! 20,000-tenant fleet need under each consolidation algorithm, and what
+//! does the choice cost per year?
+//!
+//! This is the workload the paper's introduction motivates: a cloud
+//! provider hosting in-memory analytics tenants with replication, sizing
+//! its fleet while guaranteeing the SLA under server failures.
+//!
+//! Run: `cargo run --release --example capacity_planning`
+
+use cubefit::sim::experiment::sequence_for;
+use cubefit::sim::report::{dollars, TextTable};
+use cubefit::sim::runner::run_sequence;
+use cubefit::sim::{AlgorithmSpec, ComparisonConfig, CostModel, DistributionSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ComparisonConfig { tenants: 20_000, runs: 1, base_seed: 2024, max_clients: 52 };
+    // Mostly small analytics tenants with a long tail of heavy ones.
+    let distribution = DistributionSpec::Zipf { exponent: 2.0 };
+    let sequence = sequence_for(&distribution, &config, 0);
+    println!(
+        "fleet: {} tenants, {} distribution, total load {:.0} server-equivalents\n",
+        sequence.len(),
+        distribution.label(),
+        sequence.total_load()
+    );
+
+    let algorithms = [
+        AlgorithmSpec::CubeFit { gamma: 2, classes: 10 },
+        AlgorithmSpec::Rfi { gamma: 2, mu: 0.85 },
+        AlgorithmSpec::BestFit { gamma: 2 },
+        AlgorithmSpec::NextFit { gamma: 2 },
+        AlgorithmSpec::RandomFit { gamma: 2, seed: 7 },
+    ];
+
+    let cost = CostModel::c4_4xlarge();
+    let mut table = TextTable::new(vec![
+        "algorithm",
+        "servers",
+        "utilization",
+        "yearly cost",
+        "robust",
+        "placement time",
+    ]);
+    let mut best: Option<(String, usize)> = None;
+    let mut worst_servers = 0usize;
+    for spec in &algorithms {
+        let result = run_sequence(spec, &sequence)?;
+        if best.as_ref().is_none_or(|(_, s)| result.servers < *s) {
+            best = Some((result.algorithm.clone(), result.servers));
+        }
+        worst_servers = worst_servers.max(result.servers);
+        table.row(vec![
+            result.algorithm.clone(),
+            result.servers.to_string(),
+            format!("{:.1}%", result.utilization * 100.0),
+            dollars(cost.yearly_cost(result.servers)),
+            result.robust.to_string(),
+            format!("{:.0?}", result.wall),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let (name, servers) = best.expect("at least one algorithm ran");
+    println!(
+        "{name} wins with {servers} servers — {} per year cheaper than the worst choice",
+        dollars(cost.yearly_savings(worst_servers, servers))
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Quickstart: consolidate a handful of tenants with CubeFit, verify the
+//! placement survives failures, and inspect what a worst-case failure does.
+//!
+//! Run: `cargo run --example quickstart`
+
+use cubefit::core::validity::{self, FailoverSemantics};
+use cubefit::core::{Consolidator, CubeFit, CubeFitConfig, Load, Tenant, TenantId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two replicas per tenant (tolerates one server failure), five size
+    // classes — the paper's small-deployment configuration.
+    let config = CubeFitConfig::builder().replication(2).classes(5).build()?;
+    let mut cubefit = CubeFit::new(config);
+
+    // The paper's running example sequence (Fig. 1):
+    // σ = ⟨a=0.6, b=0.3, c=0.6, d=0.78, e=0.12, f=0.36⟩.
+    let loads = [0.6, 0.3, 0.6, 0.78, 0.12, 0.36];
+    for (id, &load) in loads.iter().enumerate() {
+        let tenant = Tenant::new(TenantId::new(id as u64), Load::new(load)?);
+        let outcome = cubefit.place(tenant)?;
+        println!(
+            "placed {tenant} via {:?} on {:?}",
+            outcome.stage,
+            outcome.bins.iter().map(|b| b.index()).collect::<Vec<_>>()
+        );
+    }
+
+    let placement = cubefit.placement();
+    let stats = placement.stats();
+    println!(
+        "\n{} tenants on {} servers (mean utilization {:.1}%)",
+        stats.tenants,
+        stats.open_bins,
+        stats.mean_utilization * 100.0
+    );
+
+    // Theorem 1 in action: no single failure can overload any server.
+    assert!(placement.is_robust());
+    println!("placement is robust against any single server failure");
+
+    // What does the worst possible failure do?
+    let worst = validity::worst_failure_set(placement, 1, FailoverSemantics::EvenSplit);
+    let impact = validity::simulate_failures(placement, &worst, FailoverSemantics::EvenSplit);
+    println!(
+        "worst failure ({:?}) pushes the hottest survivor to load {:.3} — still ≤ 1",
+        worst.iter().map(|b| b.index()).collect::<Vec<_>>(),
+        impact.max_load()
+    );
+    assert!(!impact.has_overload());
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! # cubefit
+//!
+//! Facade crate for the CubeFit workspace: a reproduction of *"Robust
+//! Multi-Tenant Server Consolidation in the Cloud for Data Analytics
+//! Workloads"* (Mate, Daudjee, Kamali — ICDCS 2017).
+//!
+//! This crate re-exports the public APIs of every workspace member so that
+//! examples and downstream users can depend on a single crate:
+//!
+//! * [`core`] — the CubeFit algorithm and placement substrate;
+//! * [`baselines`] — RFI and classic bin-packing baselines;
+//! * [`workload`] — tenant load distributions and sequence generators;
+//! * [`cluster`] — the discrete-event cluster simulator;
+//! * [`sim`] — experiment runners, statistics, and the cost model;
+//! * [`analysis`] — competitive-ratio tooling (Theorem 2).
+//!
+//! ```
+//! use cubefit::core::{Consolidator, CubeFit, CubeFitConfig, Load, Tenant};
+//!
+//! # fn main() -> Result<(), cubefit::core::Error> {
+//! let mut cubefit = CubeFit::new(CubeFitConfig::default());
+//! cubefit.place(Tenant::with_load(Load::new(0.4)?))?;
+//! assert!(cubefit.placement().is_robust());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cubefit_analysis as analysis;
+pub use cubefit_baselines as baselines;
+pub use cubefit_cluster as cluster;
+pub use cubefit_core as core;
+pub use cubefit_sim as sim;
+pub use cubefit_workload as workload;

@@ -1,0 +1,281 @@
+//! Adversarial and boundary-condition integration tests: sequences crafted
+//! to stress class boundaries, cube-generation rollovers, multi-replica
+//! sealing, and the m-fit reserve logic.
+
+use cubefit::baselines::{offline, BestFit, NextFit, Rfi};
+use cubefit::core::validity::{self, FailoverSemantics};
+use cubefit::core::{
+    Consolidator, CubeFit, CubeFitConfig, Load, PlacementStage, Stage1Eligibility, Tenant,
+    TenantId, TinyPolicy,
+};
+
+fn tenant(id: u64, load: f64) -> Tenant {
+    Tenant::new(TenantId::new(id), Load::new(load).unwrap())
+}
+
+fn cubefit(gamma: usize, classes: usize) -> CubeFit {
+    CubeFit::new(
+        CubeFitConfig::builder()
+            .replication(gamma)
+            .classes(classes)
+            .build()
+            .unwrap(),
+    )
+}
+
+/// Loads sitting exactly on every class boundary (`replica = 1/m`).
+#[test]
+fn exact_class_boundary_loads() {
+    for gamma in [2usize, 3] {
+        let mut cf = cubefit(gamma, 10);
+        let mut id = 0;
+        // replica sizes 1/γ, 1/(γ+1), …, 1/(γ+12) — tenant load = γ·s.
+        for m in gamma..gamma + 13 {
+            for _ in 0..4 {
+                let load = gamma as f64 / m as f64;
+                cf.place(tenant(id, load.min(1.0))).unwrap();
+                id += 1;
+            }
+        }
+        let report = validity::check(cf.placement());
+        assert!(report.is_robust(), "γ={gamma}: margin {}", report.worst_margin);
+    }
+}
+
+/// A flood of identical tenants crossing many cube generations.
+#[test]
+fn generation_rollover_flood() {
+    // Class 2 (γ=2): τ^γ = 4 tenants per generation; 250 tenants cross
+    // 60+ generations.
+    let mut cf = cubefit(2, 10);
+    for id in 0..250 {
+        cf.place(tenant(id, 0.6)).unwrap();
+    }
+    let p = cf.placement();
+    assert!(p.is_robust());
+    // Each full bin holds 2 payload replicas of 0.3: level 0.6; at most a
+    // constant number of trailing bins are underfull.
+    let underfull = p
+        .bins()
+        .filter(|b| !b.is_empty() && b.level() < 0.6 - 1e-9)
+        .count();
+    assert!(underfull <= 4, "{underfull} underfull bins");
+}
+
+/// Alternating huge and tiny tenants exercise stage-1 + multi paths
+/// simultaneously.
+#[test]
+fn alternating_extremes() {
+    let mut cf = cubefit(2, 10);
+    for id in 0..300 {
+        let load = if id % 2 == 0 { 1.0 } else { 0.004 };
+        cf.place(tenant(id, load)).unwrap();
+    }
+    assert!(cf.placement().is_robust());
+    let stats = cf.stats();
+    assert!(stats.tiny_placements >= 150 - 1);
+}
+
+/// Descending then ascending staircase of loads.
+#[test]
+fn staircase_sequences() {
+    for direction in [false, true] {
+        let mut cf = cubefit(3, 7);
+        let mut loads: Vec<f64> = (1..=200).map(|i| i as f64 / 200.0).collect();
+        if direction {
+            loads.reverse();
+        }
+        for (id, load) in loads.into_iter().enumerate() {
+            cf.place(tenant(id as u64, load)).unwrap();
+        }
+        assert!(cf.placement().is_robust(), "direction {direction}");
+    }
+}
+
+/// Tiny tenants only — the multi-replica machinery alone must stay robust
+/// across hundreds of seals, under both policies.
+#[test]
+fn tiny_only_floods() {
+    for (policy, classes) in [(TinyPolicy::ClassKMinus1, 10), (TinyPolicy::Theoretical, 12)] {
+        let config = CubeFitConfig::builder()
+            .replication(2)
+            .classes(classes)
+            .tiny_policy(policy)
+            .build()
+            .unwrap();
+        let mut cf = CubeFit::new(config);
+        for id in 0..1000 {
+            // Sizes sweep the tiny range, including near the threshold.
+            let load = 0.001 + 0.0015 * (id % 100) as f64;
+            cf.place(tenant(id, load)).unwrap();
+        }
+        let report = validity::check(cf.placement());
+        assert!(report.is_robust(), "{policy:?}: margin {}", report.worst_margin);
+        assert!(cf.stats().sealed_multis > 10);
+    }
+}
+
+/// Worst-case failure sets never overload CubeFit, for every failure count
+/// up to γ−1 — and the bound is *tight* (some server is pushed close to
+/// capacity), showing the reserve is not wastefully conservative.
+#[test]
+fn failure_sweep_up_to_gamma_minus_one() {
+    let mut cf = cubefit(3, 5);
+    let mut state = 77u64;
+    for id in 0..300 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let load = (((state >> 11) as f64 / (1u64 << 53) as f64) * 0.999).max(1e-6);
+        cf.place(tenant(id, load)).unwrap();
+    }
+    for f in 1..=2usize {
+        let worst = validity::worst_failure_set(cf.placement(), f, FailoverSemantics::Conservative);
+        assert_eq!(worst.len(), f);
+        let impact =
+            validity::simulate_failures(cf.placement(), &worst, FailoverSemantics::Conservative);
+        assert!(!impact.has_overload(), "{f} failures overload");
+        assert!(
+            impact.max_load() > 0.7,
+            "{f} failures: worst load {} suspiciously low",
+            impact.max_load()
+        );
+    }
+}
+
+/// The same adversarial stream hits every algorithm; all placements honour
+/// their robustness contracts and respect the volume lower bound.
+#[test]
+fn cross_algorithm_adversarial_stream() {
+    // Sawtooth with boundary spikes.
+    let loads: Vec<f64> = (0..400)
+        .map(|i| match i % 5 {
+            0 => 1.0,
+            1 => 0.5,
+            2 => 1.0 / 3.0,
+            3 => 0.05,
+            _ => 0.66,
+        })
+        .collect();
+    let total: f64 = loads.iter().sum();
+
+    let mut algorithms: Vec<Box<dyn Consolidator>> = vec![
+        Box::new(cubefit(2, 10)),
+        Box::new(Rfi::new(2, 0.85).unwrap()),
+        Box::new(BestFit::new(2).unwrap()),
+        Box::new(NextFit::new(2).unwrap()),
+    ];
+    for algorithm in &mut algorithms {
+        for (id, &load) in loads.iter().enumerate() {
+            algorithm.place(tenant(id as u64, load)).unwrap();
+        }
+        assert!(
+            algorithm.placement().is_robust(),
+            "{} not robust",
+            algorithm.name()
+        );
+        assert!(algorithm.placement().open_bins() as f64 >= total);
+    }
+}
+
+/// Offline BFD sandwiches every online algorithm from below on generic
+/// input: online/offline ratios stay within the Theorem-2 ballpark.
+#[test]
+fn online_vs_offline_sandwich() {
+    let mut state = 4242u64;
+    let loads: Vec<f64> = (0..600)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((((state >> 11) as f64) / (1u64 << 53) as f64) * 0.4).max(1e-6)
+        })
+        .collect();
+    let ts: Vec<Tenant> = loads
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| tenant(i as u64, l))
+        .collect();
+
+    let offline_servers = offline::best_fit_decreasing(&ts, 2).unwrap().open_bins();
+    let mut cf = cubefit(2, 10);
+    for t in &ts {
+        cf.place(*t).unwrap();
+    }
+    let online_servers = cf.placement().open_bins();
+    let ratio = online_servers as f64 / offline_servers as f64;
+    assert!(
+        ratio < 1.7,
+        "online {online_servers} vs offline {offline_servers} (ratio {ratio:.3})"
+    );
+}
+
+/// Stage-1 eligibility ablation preserves robustness and the AnyMatureBin
+/// variant never uses more servers on a small-tenant stream.
+#[test]
+fn stage1_eligibility_variants_robust() {
+    let mut loads = Vec::new();
+    let mut state = 9u64;
+    for _ in 0..400 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        loads.push((((state >> 11) as f64 / (1u64 << 53) as f64) * 0.3).max(1e-6));
+    }
+    let mut servers = Vec::new();
+    for rule in [Stage1Eligibility::SmallerClassBins, Stage1Eligibility::AnyMatureBin] {
+        let config = CubeFitConfig::builder()
+            .replication(2)
+            .classes(10)
+            .stage1_eligibility(rule)
+            .build()
+            .unwrap();
+        let mut cf = CubeFit::new(config);
+        for (id, &load) in loads.iter().enumerate() {
+            cf.place(tenant(id as u64, load)).unwrap();
+        }
+        assert!(cf.placement().is_robust(), "{rule:?}");
+        servers.push(cf.placement().open_bins());
+    }
+    // Both are valid; neither should be wildly worse than the other.
+    let (a, b) = (servers[0] as f64, servers[1] as f64);
+    assert!((a / b).max(b / a) < 1.5, "smaller-class {a} vs any {b}");
+}
+
+/// Duplicate-id and near-zero loads are rejected/handled without breaking
+/// invariants mid-stream.
+#[test]
+fn error_paths_leave_state_intact() {
+    let mut cf = cubefit(2, 5);
+    cf.place(tenant(1, 0.5)).unwrap();
+    assert!(cf.place(tenant(1, 0.5)).is_err());
+    assert!(Load::new(0.0).is_err());
+    assert!(Load::new(-1.0).is_err());
+    cf.place(tenant(2, f64::MIN_POSITIVE.max(1e-300))).unwrap();
+    assert!(cf.placement().is_robust());
+    assert_eq!(cf.placement().tenant_count(), 2);
+}
+
+/// Large stress: 20,000 mixed tenants at γ=2 and γ=3 stay robust and the
+/// placement stats reconcile.
+#[test]
+fn large_mixed_stress() {
+    for gamma in [2usize, 3] {
+        let mut cf = cubefit(gamma, 10);
+        let mut state = 31u64 + gamma as u64;
+        let mut total = 0.0;
+        for id in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let u = ((state >> 11) as f64) / (1u64 << 53) as f64;
+            // Mixture: 70% small, 25% medium, 5% large.
+            let load = if u < 0.7 {
+                0.001 + u * 0.1
+            } else if u < 0.95 {
+                0.1 + (u - 0.7) * 1.6
+            } else {
+                (0.6 + (u - 0.95) * 8.0).min(1.0)
+            };
+            cf.place(tenant(id, load)).unwrap();
+            total += load;
+        }
+        let stats = cf.placement().stats();
+        assert!((stats.total_load - total).abs() < 1e-6);
+        assert_eq!(stats.tenants, 20_000);
+        let report = validity::check(cf.placement());
+        assert!(report.is_robust(), "γ={gamma}: margin {}", report.worst_margin);
+    }
+}

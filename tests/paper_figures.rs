@@ -1,0 +1,180 @@
+//! Integration tests reproducing the paper's worked examples (Figs. 1–3).
+
+use cubefit::core::validity::{self, FailoverSemantics};
+use cubefit::core::{
+    BinId, Consolidator, CubeFit, CubeFitConfig, Load, Placement, PlacementStage,
+    Stage1Eligibility, Tenant, TenantId,
+};
+
+fn tenant(id: u64, load: f64) -> Tenant {
+    Tenant::new(TenantId::new(id), Load::new(load).unwrap())
+}
+
+/// The paper's running sequence:
+/// σ = ⟨a=0.6, b=0.3, c=0.6, d=0.78, e=0.12, f=0.36⟩.
+const SIGMA: [f64; 6] = [0.6, 0.3, 0.6, 0.78, 0.12, 0.36];
+
+/// Fig. 1(a): a γ=2 packing of σ on five servers; the caption walks through
+/// the single-failure failovers.
+#[test]
+fn figure_1a_packing_is_robust_with_caption_failovers() {
+    let mut p = Placement::new(2);
+    let s: Vec<BinId> = (0..5).map(|_| p.open_bin(None)).collect();
+    // Assignment consistent with the caption: when S1 fails, a → S2
+    // (total 0.6+0.3), b and e → S3, f → S5.
+    p.place_tenant(&tenant(0, SIGMA[0]), &[s[0], s[1]]).unwrap(); // a
+    p.place_tenant(&tenant(1, SIGMA[1]), &[s[0], s[2]]).unwrap(); // b
+    p.place_tenant(&tenant(2, SIGMA[2]), &[s[1], s[2]]).unwrap(); // c
+    p.place_tenant(&tenant(3, SIGMA[3]), &[s[3], s[4]]).unwrap(); // d
+    p.place_tenant(&tenant(4, SIGMA[4]), &[s[0], s[2]]).unwrap(); // e
+    p.place_tenant(&tenant(5, SIGMA[5]), &[s[0], s[4]]).unwrap(); // f
+
+    assert!(p.is_robust(), "Fig. 1(a) is a valid robust packing");
+    assert_eq!(p.open_bins(), 5);
+
+    // Caption: "if S1 fails, the load of replica a redirects to S2; this
+    // gives a total load of 0.6 + 0.3 ≤ 1 for S2".
+    let impact = validity::simulate_failures(&p, &[s[0]], FailoverSemantics::EvenSplit);
+    let s2 = impact.loads.iter().find(|(b, _)| *b == s[1]).unwrap().1;
+    assert!((s2 - 0.9).abs() < 1e-12);
+    assert!(!impact.has_overload());
+    assert!(impact.unavailable_tenants.is_empty());
+}
+
+/// Fig. 1(b): a γ=3 packing of σ on six servers surviving any *two*
+/// simultaneous failures; the caption checks S1+S2 failing into S3.
+#[test]
+fn figure_1b_gamma3_packing_survives_double_failures() {
+    let mut p = Placement::new(3);
+    let s: Vec<BinId> = (0..6).map(|_| p.open_bin(None)).collect();
+    p.place_tenant(&tenant(0, SIGMA[0]), &[s[0], s[1], s[2]]).unwrap(); // a
+    p.place_tenant(&tenant(1, SIGMA[1]), &[s[0], s[3], s[5]]).unwrap(); // b
+    p.place_tenant(&tenant(2, SIGMA[2]), &[s[1], s[4], s[5]]).unwrap(); // c
+    p.place_tenant(&tenant(3, SIGMA[3]), &[s[2], s[3], s[4]]).unwrap(); // d
+    p.place_tenant(&tenant(4, SIGMA[4]), &[s[0], s[1], s[5]]).unwrap(); // e
+    p.place_tenant(&tenant(5, SIGMA[5]), &[s[0], s[3], s[5]]).unwrap(); // f
+
+    assert!(p.is_robust(), "Fig. 1(b) tolerates any two failures");
+
+    // Caption: "if S1 and S2 fail, the total load of replicas of a
+    // redirects to S3, resulting in a total load of 0.46 + 2 × 0.2 ≤ 1".
+    assert!((p.level(s[2]) - 0.46).abs() < 1e-12);
+    let impact =
+        validity::simulate_failures(&p, &[s[0], s[1]], FailoverSemantics::EvenSplit);
+    let s3 = impact.loads.iter().find(|(b, _)| *b == s[2]).unwrap().1;
+    assert!((s3 - (0.46 + 2.0 * 0.2)).abs() < 1e-12);
+    assert!(!impact.has_overload());
+
+    // Exhaustively: no pair of failures overloads any survivor.
+    for i in 0..6 {
+        for j in (i + 1)..6 {
+            let impact =
+                validity::simulate_failures(&p, &[s[i], s[j]], FailoverSemantics::Conservative);
+            assert!(!impact.has_overload(), "failing S{} and S{}", i + 1, j + 1);
+        }
+    }
+}
+
+/// Fig. 2: stage-1 behaviour. Class-1 tenants a, b open and mature four
+/// bins; tenant c m-fits the fuller pair (Best Fit); tenant d no longer
+/// fits there and lands on a's bins.
+#[test]
+fn figure_2_stage1_best_fit() {
+    let config = CubeFitConfig::builder()
+        .replication(2)
+        .classes(10)
+        .stage1_eligibility(Stage1Eligibility::SmallerClassBins)
+        .build()
+        .unwrap();
+    let mut cf = CubeFit::new(config);
+    let a = cf.place(tenant(0, 0.70)).unwrap();
+    let b = cf.place(tenant(1, 0.72)).unwrap();
+    assert_eq!(a.stage, PlacementStage::Cube);
+    assert_eq!(b.stage, PlacementStage::Cube);
+    assert_eq!(cf.placement().open_bins(), 4, "four mature class-1 bins");
+
+    let c = cf.place(tenant(2, 0.20)).unwrap();
+    assert_eq!(c.stage, PlacementStage::MatureFit);
+    let mut c_bins = c.bins.clone();
+    c_bins.sort_unstable();
+    let mut b_bins = b.bins.clone();
+    b_bins.sort_unstable();
+    assert_eq!(c_bins, b_bins, "Best Fit selects the fuller (b) pair");
+
+    let d = cf.place(tenant(3, 0.24)).unwrap();
+    assert_eq!(d.stage, PlacementStage::MatureFit);
+    let mut d_bins = d.bins.clone();
+    d_bins.sort_unstable();
+    let mut a_bins = a.bins.clone();
+    a_bins.sort_unstable();
+    assert_eq!(d_bins, a_bins, "only a's pair still m-fits d");
+    assert!(cf.placement().is_robust());
+}
+
+/// Fig. 3: 27 tenants of type τ=3 with γ=3 fill one cube generation of
+/// 3 groups × 9 bins; no two servers share replicas of more than one
+/// tenant (Lemma 1).
+#[test]
+fn figure_3_cube_placement_lemma1() {
+    let config = CubeFitConfig::builder().replication(3).classes(10).build().unwrap();
+    let mut cf = CubeFit::new(config);
+    // Tenant load 0.55 → replicas 0.1833 ∈ (1/6, 1/5] → class 3.
+    for id in 0..27 {
+        let outcome = cf.place(tenant(id, 0.55)).unwrap();
+        assert_eq!(outcome.stage, PlacementStage::Cube);
+    }
+    let p = cf.placement();
+    assert_eq!(p.open_bins(), 27, "3 groups × 9 bins, all used");
+
+    // Every bin holds exactly τ = 3 replicas.
+    for bin in p.bins().filter(|b| !b.is_empty()) {
+        assert_eq!(bin.replica_count(), 3);
+    }
+
+    // Lemma 1: any two bins share at most one tenant.
+    let bins: Vec<BinId> = p.bins().filter(|b| !b.is_empty()).map(|b| b.id()).collect();
+    for (i, &x) in bins.iter().enumerate() {
+        for &y in &bins[i + 1..] {
+            let x_tenants: std::collections::HashSet<TenantId> =
+                p.bin(x).contents().iter().map(|(t, _)| *t).collect();
+            let shared = p
+                .bin(y)
+                .contents()
+                .iter()
+                .filter(|(t, _)| x_tenants.contains(t))
+                .count();
+            assert!(shared <= 1, "bins {x} and {y} share {shared} tenants");
+        }
+    }
+    assert!(p.is_robust());
+
+    // And the paper's example coordinates: the tenant at counter value 1
+    // (I₃ = (001)₃) occupies cube cells (0,0,1), (1,0,0), (0,1,0).
+    use cubefit::core::cube::CubeAddress;
+    let addr = CubeAddress::from_counter(1, 3, 3);
+    assert_eq!(addr.digits(), &[0, 0, 1]);
+    assert_eq!(addr.shifted_right(1).digits(), &[1, 0, 0]);
+    assert_eq!(addr.shifted_right(2).digits(), &[0, 1, 0]);
+}
+
+/// CubeFit itself packs σ robustly at both replication factors.
+#[test]
+fn cubefit_places_sigma_robustly() {
+    for gamma in [2usize, 3] {
+        let config = CubeFitConfig::builder()
+            .replication(gamma)
+            .classes(5)
+            .build()
+            .unwrap();
+        let mut cf = CubeFit::new(config);
+        for (id, &load) in SIGMA.iter().enumerate() {
+            cf.place(tenant(id as u64, load)).unwrap();
+        }
+        let report = validity::check(cf.placement());
+        assert!(
+            report.is_robust(),
+            "γ={gamma}: worst margin {}",
+            report.worst_margin
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests of the core invariants, spanning crates.
+
+use cubefit::baselines::{BestFit, NextFit, Rfi};
+use cubefit::core::validity::{self, FailoverSemantics};
+use cubefit::core::{
+    Consolidator, CubeFit, CubeFitConfig, Load, Tenant, TenantId, TinyPolicy,
+};
+use cubefit::workload::{trace, LoadModel, SequenceBuilder, TenantSpec, UniformClients, ZipfTable};
+use proptest::prelude::*;
+
+fn tenants(loads: &[f64]) -> Vec<Tenant> {
+    loads
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| Tenant::new(TenantId::new(i as u64), Load::new(l).unwrap()))
+        .collect()
+}
+
+fn load_strategy() -> impl Strategy<Value = f64> {
+    // Loads spanning the full (0, 1] range including boundary-ish values.
+    prop_oneof![
+        (0.0001f64..=1.0),
+        Just(1.0),
+        Just(0.5),
+        Just(1.0 / 3.0),
+        (0.001f64..0.1),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1: CubeFit placements are robust for arbitrary loads, for
+    /// both replication factors and several class counts.
+    #[test]
+    fn cubefit_always_robust(
+        loads in prop::collection::vec(load_strategy(), 1..120),
+        gamma in 2usize..=3,
+        classes in prop_oneof![Just(5usize), Just(7), Just(10)],
+    ) {
+        let config = CubeFitConfig::builder()
+            .replication(gamma)
+            .classes(classes)
+            .build()
+            .unwrap();
+        let mut cf = CubeFit::new(config);
+        for t in tenants(&loads) {
+            cf.place(t).unwrap();
+        }
+        let report = validity::check(cf.placement());
+        prop_assert!(report.is_robust(), "worst margin {}", report.worst_margin);
+    }
+
+    /// The theoretical tiny policy is robust too.
+    #[test]
+    fn cubefit_theoretical_policy_robust(
+        loads in prop::collection::vec(0.0005f64..0.3, 1..100),
+    ) {
+        let config = CubeFitConfig::builder()
+            .replication(2)
+            .classes(12)
+            .tiny_policy(TinyPolicy::Theoretical)
+            .tiny_stage1(false)
+            .build()
+            .unwrap();
+        let mut cf = CubeFit::new(config);
+        for t in tenants(&loads) {
+            cf.place(t).unwrap();
+        }
+        prop_assert!(cf.placement().is_robust());
+    }
+
+    /// Every replica lands on γ distinct servers and totals are conserved.
+    #[test]
+    fn placement_conservation(
+        loads in prop::collection::vec(load_strategy(), 1..80),
+        gamma in 2usize..=3,
+    ) {
+        let config = CubeFitConfig::builder().replication(gamma).classes(5).build().unwrap();
+        let mut cf = CubeFit::new(config);
+        for t in tenants(&loads) {
+            let outcome = cf.place(t).unwrap();
+            let mut bins = outcome.bins.clone();
+            bins.sort_unstable();
+            bins.dedup();
+            prop_assert_eq!(bins.len(), gamma);
+        }
+        let p = cf.placement();
+        let total: f64 = loads.iter().sum();
+        prop_assert!((p.total_load() - total).abs() < 1e-9);
+        let level_sum: f64 = p.bins().map(|b| b.level()).sum();
+        prop_assert!((level_sum - total).abs() < 1e-9);
+    }
+
+    /// Baselines keep their promised robustness level.
+    #[test]
+    fn baselines_respect_reserves(
+        loads in prop::collection::vec(load_strategy(), 1..80),
+    ) {
+        let ts = tenants(&loads);
+        let mut best_fit = BestFit::new(3).unwrap();
+        let mut next_fit = NextFit::new(3).unwrap();
+        let mut rfi = Rfi::new(2, 0.85).unwrap();
+        for t in &ts {
+            best_fit.place(*t).unwrap();
+            next_fit.place(*t).unwrap();
+            rfi.place(*t).unwrap();
+        }
+        prop_assert!(best_fit.placement().is_robust());
+        prop_assert!(next_fit.placement().is_robust());
+        // γ = 2 single-failure reserve coincides with full robustness.
+        prop_assert!(rfi.placement().is_robust());
+    }
+
+    /// Conservative failover dominates even-split failover on every bin.
+    #[test]
+    fn conservative_dominates_even_split(
+        loads in prop::collection::vec(load_strategy(), 2..60),
+        failures in 1usize..=2,
+    ) {
+        let config = CubeFitConfig::builder().replication(3).classes(5).build().unwrap();
+        let mut cf = CubeFit::new(config);
+        for t in tenants(&loads) {
+            cf.place(t).unwrap();
+        }
+        let p = cf.placement();
+        let failed = validity::worst_failure_set(p, failures, FailoverSemantics::Conservative);
+        let cons = validity::simulate_failures(p, &failed, FailoverSemantics::Conservative);
+        let even = validity::simulate_failures(p, &failed, FailoverSemantics::EvenSplit);
+        for ((b1, l1), (b2, l2)) in cons.loads.iter().zip(even.loads.iter()) {
+            prop_assert_eq!(b1, b2);
+            prop_assert!(l1 + 1e-9 >= *l2, "conservative {l1} < even-split {l2}");
+        }
+        // Theorem 1 under the conservative bound for γ−1 failures.
+        if failures <= 2 {
+            prop_assert!(!cons.has_overload());
+        }
+    }
+
+    /// The per-bin robustness checker agrees with explicit enumeration of
+    /// all failure sets of size γ−1 on small instances.
+    #[test]
+    fn checker_matches_exhaustive_enumeration(
+        loads in prop::collection::vec(load_strategy(), 2..25),
+    ) {
+        // Build a deliberately unsafe packing half the time by using a
+        // single-failure reserve with γ = 3.
+        let mut packer = BestFit::with_reserve(3, cubefit::baselines::ReserveMode::SingleFailure)
+            .unwrap();
+        for t in tenants(&loads) {
+            packer.place(t).unwrap();
+        }
+        let p = packer.placement();
+        let report = validity::check(p);
+
+        // Exhaustive ground truth: any pair of failures overloading any bin?
+        let bins: Vec<_> = p.bins().filter(|b| !b.is_empty()).map(|b| b.id()).collect();
+        let mut any_overload = false;
+        for i in 0..bins.len() {
+            for j in (i + 1)..bins.len() {
+                let impact = validity::simulate_failures(
+                    p,
+                    &[bins[i], bins[j]],
+                    FailoverSemantics::Conservative,
+                );
+                any_overload |= impact.has_overload();
+            }
+        }
+        prop_assert_eq!(report.is_robust(), !any_overload);
+    }
+
+    /// Binary traces roundtrip exactly for arbitrary spec lists.
+    #[test]
+    fn trace_roundtrip(
+        specs in prop::collection::vec((0u64..10_000, 1u32..200, 0.0001f64..=1.0), 0..50),
+    ) {
+        let sequence: cubefit::workload::TenantSequence = specs
+            .iter()
+            .map(|&(id, clients, load)| TenantSpec {
+                tenant: Tenant::new(TenantId::new(id), Load::new(load).unwrap()),
+                clients,
+            })
+            .collect();
+        let decoded = trace::decode(trace::encode(&sequence)).unwrap();
+        prop_assert_eq!(decoded, sequence);
+    }
+
+    /// Zipf tables are proper distributions with monotone head mass.
+    #[test]
+    fn zipf_pmf_properties(n in 1u32..200, exponent in 0.0f64..4.0) {
+        let z = ZipfTable::new(n, exponent);
+        let total: f64 = (1..=n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        for k in 1..n {
+            prop_assert!(z.pmf(k) + 1e-12 >= z.pmf(k + 1), "pmf must be non-increasing");
+        }
+    }
+
+    /// Workload generation is a pure function of its inputs.
+    #[test]
+    fn generation_is_deterministic(seed in any::<u64>(), count in 0usize..200) {
+        let build = || {
+            SequenceBuilder::new(UniformClients::new(1, 52), LoadModel::normalized(52))
+                .count(count)
+                .seed(seed)
+                .build()
+        };
+        prop_assert_eq!(build(), build());
+    }
+}
