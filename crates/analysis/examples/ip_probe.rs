@@ -6,7 +6,11 @@ use cubefit_analysis::solver::{maximize_bin_weight, IpConfig};
 fn main() {
     for (g, k) in [(2usize, 200usize), (3, 200), (3, 500), (2, 50), (3, 50)] {
         let r = maximize_bin_weight(&IpConfig::new(g, k));
-        let nz: Vec<(usize, usize)> = r.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i + 1, c)).collect();
-        println!("γ={g} K={k}: obj={:.6} counts={:?} tiny={:.4} nodes={}", r.objective, nz, r.tiny_size, r.nodes);
+        let nz: Vec<(usize, usize)> =
+            r.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i + 1, c)).collect();
+        println!(
+            "γ={g} K={k}: obj={:.6} counts={:?} tiny={:.4} nodes={}",
+            r.objective, nz, r.tiny_size, r.nodes
+        );
     }
 }

@@ -27,10 +27,8 @@ pub fn two_phase(count: usize, gamma: usize, gap: f64) -> Vec<Tenant> {
     // Replica boundary 1/(2γ): tenant load boundary is 1/2.
     let mut tenants = Vec::with_capacity(2 * count);
     for i in 0..count {
-        tenants.push(Tenant::new(
-            TenantId::new(i as u64),
-            Load::new(0.5 - gap).expect("valid load"),
-        ));
+        tenants
+            .push(Tenant::new(TenantId::new(i as u64), Load::new(0.5 - gap).expect("valid load")));
     }
     for i in 0..count {
         tenants.push(Tenant::new(
@@ -73,13 +71,7 @@ mod tests {
     use cubefit_core::{Consolidator, CubeFit, CubeFitConfig};
 
     fn cubefit(gamma: usize) -> CubeFit {
-        CubeFit::new(
-            CubeFitConfig::builder()
-                .replication(gamma)
-                .classes(10)
-                .build()
-                .unwrap(),
-        )
+        CubeFit::new(CubeFitConfig::builder().replication(gamma).classes(10).build().unwrap())
     }
 
     #[test]

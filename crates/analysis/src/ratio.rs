@@ -35,11 +35,7 @@ pub fn empirical_ratio(
     }
     let servers = algorithm.placement().open_bins();
     let opt_lower_bound = bounds::best_bound(tenants, algorithm.gamma()).max(1);
-    Ok(EmpiricalRatio {
-        servers,
-        opt_lower_bound,
-        ratio: servers as f64 / opt_lower_bound as f64,
-    })
+    Ok(EmpiricalRatio { servers, opt_lower_bound, ratio: servers as f64 / opt_lower_bound as f64 })
 }
 
 #[cfg(test)]
@@ -68,9 +64,8 @@ mod tests {
     #[test]
     fn ratio_is_at_least_one() {
         let ts = tenants(&lcg_loads(3, 500, 0.999));
-        let mut cf = CubeFit::new(
-            CubeFitConfig::builder().replication(2).classes(10).build().unwrap(),
-        );
+        let mut cf =
+            CubeFit::new(CubeFitConfig::builder().replication(2).classes(10).build().unwrap());
         let r = empirical_ratio(&mut cf, &ts).unwrap();
         assert!(r.ratio >= 1.0);
         assert!(r.servers >= r.opt_lower_bound);
@@ -82,18 +77,16 @@ mod tests {
         // CubeFit packs densely: the empirical ratio should sit well under
         // 2 (the analytic bound region is ~1.6).
         let ts = tenants(&lcg_loads(5, 3000, 0.2));
-        let mut cf = CubeFit::new(
-            CubeFitConfig::builder().replication(2).classes(10).build().unwrap(),
-        );
+        let mut cf =
+            CubeFit::new(CubeFitConfig::builder().replication(2).classes(10).build().unwrap());
         let r = empirical_ratio(&mut cf, &ts).unwrap();
         assert!(r.ratio < 2.0, "ratio {}", r.ratio);
     }
 
     #[test]
     fn empty_input_yields_unit_denominator() {
-        let mut cf = CubeFit::new(
-            CubeFitConfig::builder().replication(2).classes(5).build().unwrap(),
-        );
+        let mut cf =
+            CubeFit::new(CubeFitConfig::builder().replication(2).classes(5).build().unwrap());
         let r = empirical_ratio(&mut cf, &[]).unwrap();
         assert_eq!(r.servers, 0);
         assert_eq!(r.opt_lower_bound, 1);

@@ -35,10 +35,7 @@ impl IpConfig {
     #[must_use]
     pub fn new(gamma: usize, classes: usize) -> Self {
         assert!(gamma >= 2);
-        assert!(
-            classes > gamma * gamma + gamma,
-            "Theorem 2 needs K > γ²+γ so that α_K ≥ γ"
-        );
+        assert!(classes > gamma * gamma + gamma, "Theorem 2 needs K > γ²+γ so that α_K ≥ γ");
         IpConfig { gamma, classes }
     }
 
@@ -188,12 +185,8 @@ mod tests {
         // class-1, one class-2, one class-8 replica); tiny fill adds ≈0.01.
         let r = maximize_bin_weight(&IpConfig::new(3, 200));
         assert!((r.objective - 1.6366).abs() < 0.01, "objective {}", r.objective);
-        let regular: f64 = r
-            .counts
-            .iter()
-            .enumerate()
-            .map(|(idx, &c)| c as f64 / (idx + 1) as f64)
-            .sum();
+        let regular: f64 =
+            r.counts.iter().enumerate().map(|(idx, &c)| c as f64 / (idx + 1) as f64).sum();
         assert!((regular - 1.625).abs() < 1e-9, "regular weight {regular}");
     }
 

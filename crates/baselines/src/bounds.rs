@@ -110,9 +110,8 @@ mod tests {
     fn bounds_never_exceed_a_feasible_solution() {
         use cubefit_core::{Consolidator, CubeFit, CubeFitConfig};
         let ts = tenants(&[0.6, 0.3, 0.6, 0.78, 0.12, 0.36]);
-        let mut cf = CubeFit::new(
-            CubeFitConfig::builder().replication(2).classes(5).build().unwrap(),
-        );
+        let mut cf =
+            CubeFit::new(CubeFitConfig::builder().replication(2).classes(5).build().unwrap());
         for t in &ts {
             cf.place(*t).unwrap();
         }

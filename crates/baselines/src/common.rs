@@ -1,6 +1,78 @@
-//! Shared feasibility logic for baseline packers.
+//! Shared feasibility logic and telemetry plumbing for baseline packers.
 
-use cubefit_core::{BinId, Placement, EPSILON};
+use cubefit_core::{BinId, Placement, Tenant, EPSILON};
+use cubefit_telemetry::{Counter, Recorder, TraceEvent};
+
+/// Telemetry handles shared by the baseline packers, resolved once when a
+/// recorder is attached so the hot path pays one branch when disabled.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BaselineTelemetry {
+    pub recorder: Recorder,
+    pub placements: Counter,
+    pub bins_opened: Counter,
+    pub fallbacks: Counter,
+}
+
+impl BaselineTelemetry {
+    pub fn resolve(recorder: Recorder, algorithm: &str, gamma: usize) -> Self {
+        let gamma = gamma.to_string();
+        let labels = [("algorithm", algorithm), ("gamma", gamma.as_str())];
+        BaselineTelemetry {
+            placements: recorder.counter("placements", &labels),
+            bins_opened: recorder.counter("bins_opened", &labels),
+            fallbacks: recorder.counter("fallbacks", &labels),
+            recorder,
+        }
+    }
+
+    /// Emits the arrival event for `tenant` before placement begins.
+    pub fn arrival(&self, tenant: &Tenant, seq: usize) {
+        self.recorder.emit(|| TraceEvent::TenantArrived {
+            tenant: tenant.id().get(),
+            load: tenant.load().get(),
+            seq: seq as u64,
+        });
+    }
+
+    /// The subset of `bins` still empty — i.e. about to receive their
+    /// first replica. Call before `place_tenant`, pass to [`Self::opened`]
+    /// afterwards so the trace's `BinOpened` count matches the servers a
+    /// run reports.
+    pub fn pending_opens(&self, placement: &Placement, bins: &[BinId]) -> Vec<BinId> {
+        if !self.recorder.is_enabled() {
+            return Vec::new();
+        }
+        bins.iter().copied().filter(|&b| placement.bin(b).is_empty()).collect()
+    }
+
+    /// Emits one `BinOpened` per newly non-empty bin.
+    pub fn opened(&self, placement: &Placement, pending: &[BinId]) {
+        if pending.is_empty() {
+            return;
+        }
+        self.bins_opened.add(pending.len() as u64);
+        let total = placement.open_bins();
+        let n = pending.len();
+        for (i, &bin) in pending.iter().enumerate() {
+            self.recorder.emit(|| TraceEvent::BinOpened {
+                bin: bin.index(),
+                class: None,
+                total_open: total - (n - 1 - i),
+            });
+        }
+    }
+
+    /// Emits the terminal `Placed` event and bumps the placements counter.
+    pub fn placed(&self, tenant: &Tenant, bins: &[BinId], opened: usize) {
+        self.placements.inc();
+        self.recorder.emit(|| TraceEvent::Placed {
+            tenant: tenant.id().get(),
+            bins: bins.iter().map(|b| b.index()).collect(),
+            stage: "Direct".to_owned(),
+            opened,
+        });
+    }
+}
 
 /// How much failover capacity a packer reserves on each server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -113,12 +185,8 @@ pub fn assignment_feasible(
     fill_cap: Option<f64>,
 ) -> bool {
     bins.iter().enumerate().all(|(i, &bin)| {
-        let siblings: Vec<BinId> = bins
-            .iter()
-            .enumerate()
-            .filter(|&(j, _)| j != i)
-            .map(|(_, &b)| b)
-            .collect();
+        let siblings: Vec<BinId> =
+            bins.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &b)| b).collect();
         feasible(placement, bin, size, &siblings, reserve, fill_cap)
     })
 }
@@ -170,14 +238,7 @@ mod tests {
         // Placing 0.25 on bin0 with a sibling on bin1 raises their mutual
         // share to 0.45: single-failure check 0.2+0.25+0.45 = 0.9 ≤ 1 ok,
         // but with another sibling on bin2 the γ−1 reserve is 0.9 → 1.35.
-        assert!(feasible(
-            &p,
-            bins[0],
-            0.25,
-            &[bins[1]],
-            ReserveMode::SingleFailure,
-            None
-        ));
+        assert!(feasible(&p, bins[0], 0.25, &[bins[1]], ReserveMode::SingleFailure, None));
         assert!(!feasible(
             &p,
             bins[0],

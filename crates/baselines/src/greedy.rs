@@ -9,11 +9,13 @@
 //! combination fails, the tenant falls back to `γ` fresh servers, which is
 //! always feasible.
 
-use crate::common::{assignment_feasible, extends_assignment, ReserveMode};
+use crate::common::{assignment_feasible, extends_assignment, BaselineTelemetry, ReserveMode};
 use cubefit_core::level_index::LevelIndex;
 use cubefit_core::{
     BinId, Consolidator, Error, Placement, PlacementOutcome, PlacementStage, Result, Tenant,
 };
+use cubefit_telemetry::{Recorder, TraceEvent};
+use std::cell::Cell;
 
 /// Which feasible server a greedy packer prefers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +39,7 @@ struct Greedy {
     preference: Preference,
     fallbacks: usize,
     scan_limit: usize,
+    telemetry: BaselineTelemetry,
 }
 
 impl Greedy {
@@ -52,31 +55,30 @@ impl Greedy {
             preference,
             fallbacks: 0,
             scan_limit: usize::MAX,
+            telemetry: BaselineTelemetry::default(),
         })
     }
 
-    fn pick(&self, size: f64, chosen: &[BinId]) -> Option<BinId> {
+    /// Returns the preferred feasible server plus how many candidates the
+    /// scan inspected (for `FitAttempt` trace events).
+    fn pick(&self, size: f64, chosen: &[BinId]) -> (Option<BinId>, usize) {
+        let scanned = Cell::new(0_usize);
         let ok = |bin: &BinId| {
+            scanned.set(scanned.get() + 1);
             !chosen.contains(bin)
                 && extends_assignment(&self.placement, chosen, *bin, size, self.reserve, None)
         };
         // Scans are budgeted: beyond `scan_limit` candidates the packer
         // opens a fresh server instead of searching exhaustively, keeping
         // placement O(1) amortized at data-center scale.
-        match self.preference {
-            Preference::Fullest => self
-                .index
-                .iter_desc_at_most(1.0 - size)
-                .take(self.scan_limit)
-                .find(|b| ok(b)),
+        let hit = match self.preference {
+            Preference::Fullest => {
+                self.index.iter_desc_at_most(1.0 - size).take(self.scan_limit).find(|b| ok(b))
+            }
             Preference::Emptiest => self.index.iter_asc().take(self.scan_limit).find(|b| ok(b)),
-            Preference::Oldest => self
-                .order
-                .iter()
-                .copied()
-                .take(self.scan_limit)
-                .find(|b| ok(b)),
-        }
+            Preference::Oldest => self.order.iter().copied().take(self.scan_limit).find(|b| ok(b)),
+        };
+        (hit, scanned.get())
     }
 
     fn open(&mut self) -> BinId {
@@ -92,11 +94,19 @@ impl Greedy {
         }
         let gamma = self.placement.gamma();
         let size = tenant.replica_size(gamma);
+        self.telemetry.arrival(&tenant, self.placement.tenant_count());
 
         let mut chosen: Vec<BinId> = Vec::with_capacity(gamma);
         let mut opened = 0;
-        for _ in 0..gamma {
-            match self.pick(size, &chosen) {
+        for replica in 0..gamma {
+            let (pick, scanned) = self.pick(size, &chosen);
+            self.telemetry.recorder.emit(|| TraceEvent::FitAttempt {
+                tenant: tenant.id().get(),
+                replica,
+                scanned,
+                opened_new: pick.is_none(),
+            });
+            match pick {
                 Some(bin) => chosen.push(bin),
                 None => {
                     chosen.push(self.open());
@@ -108,10 +118,14 @@ impl Greedy {
             // Later replicas invalidated an earlier server's reserve; the
             // always-feasible fallback uses γ fresh servers.
             self.fallbacks += 1;
+            self.telemetry.fallbacks.inc();
             chosen = (0..gamma).map(|_| self.open()).collect();
             opened = gamma;
         }
+        let pending = self.telemetry.pending_opens(&self.placement, &chosen);
         self.commit(&tenant, &chosen)?;
+        self.telemetry.opened(&self.placement, &pending);
+        self.telemetry.placed(&tenant, &chosen, opened);
         Ok(PlacementOutcome {
             tenant: tenant.id(),
             bins: chosen,
@@ -183,6 +197,14 @@ macro_rules! greedy_packer {
 
             fn name(&self) -> &'static str {
                 $label
+            }
+
+            fn set_recorder(&mut self, recorder: Recorder) {
+                self.inner.telemetry = crate::common::BaselineTelemetry::resolve(
+                    recorder,
+                    $label,
+                    self.inner.placement.gamma(),
+                );
             }
         }
     };
@@ -328,16 +350,39 @@ mod tests {
     fn duplicate_tenant_rejected() {
         let mut bf = BestFit::new(2).unwrap();
         bf.place(tenant(0, 0.2)).unwrap();
-        assert!(matches!(
-            bf.place(tenant(0, 0.2)),
-            Err(Error::DuplicateTenant { .. })
-        ));
+        assert!(matches!(bf.place(tenant(0, 0.2)), Err(Error::DuplicateTenant { .. })));
     }
 
     #[test]
     fn rejects_gamma_below_two() {
         assert!(BestFit::new(1).is_err());
         assert!(FirstFit::new(0).is_err());
+    }
+
+    #[test]
+    fn recorder_traces_fit_attempts_and_bin_opens() {
+        use cubefit_telemetry::{Recorder, TraceEvent, VecSink};
+        use std::sync::Arc;
+
+        let sink = Arc::new(VecSink::new());
+        let recorder = Recorder::with_sink(Arc::clone(&sink));
+        let mut bf = BestFit::new(2).unwrap();
+        bf.set_recorder(recorder.clone());
+        for (id, load) in lcg_loads(11, 60).into_iter().enumerate() {
+            bf.place(tenant(id as u64, load)).unwrap();
+        }
+        let events = sink.events();
+        let opened = events.iter().filter(|e| matches!(e, TraceEvent::BinOpened { .. })).count();
+        assert_eq!(opened, bf.placement().open_bins());
+        // γ fit attempts per tenant (the fallback path adds none).
+        let attempts = events.iter().filter(|e| matches!(e, TraceEvent::FitAttempt { .. })).count();
+        assert_eq!(attempts, 60 * 2);
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("placements", &[("algorithm", "bestfit")]), 60);
+        assert_eq!(
+            snap.counter("bins_opened", &[("algorithm", "bestfit")]) as usize,
+            bf.placement().open_bins()
+        );
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Next Fit adapted to replicated tenants.
 
-use crate::common::{assignment_feasible, ReserveMode};
+use crate::common::{assignment_feasible, BaselineTelemetry, ReserveMode};
 use cubefit_core::{
     BinId, Consolidator, Error, Placement, PlacementOutcome, PlacementStage, Result, Tenant,
 };
+use cubefit_telemetry::{Recorder, TraceEvent};
 
 /// **Next Fit**: keeps only the current window of `γ` servers open; a
 /// tenant that does not fit in the window closes it and opens a fresh one.
@@ -31,6 +32,7 @@ pub struct NextFit {
     placement: Placement,
     window: Option<Vec<BinId>>,
     reserve: ReserveMode,
+    telemetry: BaselineTelemetry,
 }
 
 impl NextFit {
@@ -47,6 +49,7 @@ impl NextFit {
             placement: Placement::new(gamma),
             window: None,
             reserve: ReserveMode::GammaMinusOne,
+            telemetry: BaselineTelemetry::default(),
         })
     }
 }
@@ -58,24 +61,38 @@ impl Consolidator for NextFit {
         }
         let gamma = self.placement.gamma();
         let size = tenant.replica_size(gamma);
+        self.telemetry.arrival(&tenant, self.placement.tenant_count());
 
         let fits_window = self.window.as_ref().is_some_and(|window| {
             assignment_feasible(&self.placement, window, size, self.reserve, None)
         });
+        self.telemetry.recorder.emit(|| TraceEvent::FitAttempt {
+            tenant: tenant.id().get(),
+            replica: 0,
+            scanned: self.window.as_ref().map_or(0, Vec::len),
+            opened_new: !fits_window,
+        });
         let mut opened = 0;
         if !fits_window {
+            // Bounded space: the outgoing window is closed for good.
+            if let Some(old) = self.window.take() {
+                for bin in old {
+                    let level = self.placement.level(bin);
+                    self.telemetry
+                        .recorder
+                        .emit(|| TraceEvent::BinClosed { bin: bin.index(), level });
+                }
+            }
             let fresh: Vec<BinId> = (0..gamma).map(|_| self.placement.open_bin(None)).collect();
             opened = gamma;
             self.window = Some(fresh);
         }
         let bins = self.window.clone().expect("window exists after refresh");
+        let pending = self.telemetry.pending_opens(&self.placement, &bins);
         self.placement.place_tenant(&tenant, &bins)?;
-        Ok(PlacementOutcome {
-            tenant: tenant.id(),
-            bins,
-            opened,
-            stage: PlacementStage::Direct,
-        })
+        self.telemetry.opened(&self.placement, &pending);
+        self.telemetry.placed(&tenant, &bins, opened);
+        Ok(PlacementOutcome { tenant: tenant.id(), bins, opened, stage: PlacementStage::Direct })
     }
 
     fn placement(&self) -> &Placement {
@@ -84,6 +101,10 @@ impl Consolidator for NextFit {
 
     fn name(&self) -> &'static str {
         "nextfit"
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.telemetry = BaselineTelemetry::resolve(recorder, "nextfit", self.placement.gamma());
     }
 }
 
@@ -116,7 +137,7 @@ mod tests {
         let mut nf = NextFit::new(2).unwrap();
         nf.place(tenant(0, 0.9)).unwrap(); // window A nearly full
         nf.place(tenant(1, 0.9)).unwrap(); // window B
-        // A tiny tenant would fit in window A, but Next Fit only looks at B.
+                                           // A tiny tenant would fit in window A, but Next Fit only looks at B.
         let c = nf.place(tenant(2, 0.05)).unwrap();
         let b_bins = nf.placement().tenant_bins(TenantId::new(1)).unwrap();
         assert_eq!(c.bins.as_slice(), b_bins);

@@ -1,11 +1,13 @@
 //! The RFI baseline (Schaffner et al., RTP — SIGMOD'13), as described in
 //! §V of the CubeFit paper.
 
-use crate::common::{assignment_feasible, extends_assignment, ReserveMode};
+use crate::common::{assignment_feasible, extends_assignment, BaselineTelemetry, ReserveMode};
 use cubefit_core::level_index::LevelIndex;
 use cubefit_core::{
     BinId, Consolidator, Error, Placement, PlacementOutcome, PlacementStage, Result, Tenant,
 };
+use cubefit_telemetry::{Recorder, TraceEvent};
+use std::cell::Cell;
 
 /// **RFI**: replica-level Best Fit with a *single-failure* failover reserve
 /// and an interleaving cap `μ`.
@@ -51,6 +53,7 @@ pub struct Rfi {
     mu: f64,
     fallbacks: usize,
     scan_limit: usize,
+    telemetry: BaselineTelemetry,
 }
 
 impl Rfi {
@@ -74,6 +77,7 @@ impl Rfi {
             mu,
             fallbacks: 0,
             scan_limit: usize::MAX,
+            telemetry: BaselineTelemetry::default(),
         })
     }
 
@@ -119,28 +123,33 @@ impl Consolidator for Rfi {
         }
         let gamma = self.placement.gamma();
         let size = tenant.replica_size(gamma);
+        self.telemetry.arrival(&tenant, self.placement.tenant_count());
 
         let mut chosen: Vec<BinId> = Vec::with_capacity(gamma);
         let mut opened = 0;
-        for _ in 0..gamma {
+        for replica in 0..gamma {
             // Tightest feasible server first: every candidate the slack
             // range yields already satisfies the μ cap and the reserve
             // (modulo sibling adjustments, which the check below adds).
-            let candidate = self
-                .index
-                .iter_asc_at_least(size)
-                .take(self.scan_limit)
-                .find(|&bin| {
-                    !chosen.contains(&bin)
-                        && extends_assignment(
-                            &self.placement,
-                            &chosen,
-                            bin,
-                            size,
-                            ReserveMode::SingleFailure,
-                            Some(self.mu),
-                        )
-                });
+            let scanned = Cell::new(0_usize);
+            let candidate = self.index.iter_asc_at_least(size).take(self.scan_limit).find(|&bin| {
+                scanned.set(scanned.get() + 1);
+                !chosen.contains(&bin)
+                    && extends_assignment(
+                        &self.placement,
+                        &chosen,
+                        bin,
+                        size,
+                        ReserveMode::SingleFailure,
+                        Some(self.mu),
+                    )
+            });
+            self.telemetry.recorder.emit(|| TraceEvent::FitAttempt {
+                tenant: tenant.id().get(),
+                replica,
+                scanned: scanned.get(),
+                opened_new: candidate.is_none(),
+            });
             match candidate {
                 Some(bin) => chosen.push(bin),
                 None => {
@@ -153,14 +162,18 @@ impl Consolidator for Rfi {
         // validate only the capacity/reserve condition for the whole set.
         if !assignment_feasible(&self.placement, &chosen, size, ReserveMode::SingleFailure, None) {
             self.fallbacks += 1;
+            self.telemetry.fallbacks.inc();
             chosen = (0..gamma).map(|_| self.open()).collect();
             opened = gamma;
         }
+        let pending = self.telemetry.pending_opens(&self.placement, &chosen);
         let old: Vec<(BinId, f64)> = chosen.iter().map(|&b| (b, self.slack(b))).collect();
         self.placement.place_tenant(&tenant, &chosen)?;
         for (bin, old_slack) in old {
             self.index.update(bin, old_slack, self.slack(bin));
         }
+        self.telemetry.opened(&self.placement, &pending);
+        self.telemetry.placed(&tenant, &chosen, opened);
         Ok(PlacementOutcome {
             tenant: tenant.id(),
             bins: chosen,
@@ -175,6 +188,10 @@ impl Consolidator for Rfi {
 
     fn name(&self) -> &'static str {
         "rfi"
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.telemetry = BaselineTelemetry::resolve(recorder, "rfi", self.placement.gamma());
     }
 }
 
@@ -225,12 +242,7 @@ mod tests {
         for bin in rfi.placement().bins() {
             // Multi-replica bins can exceed μ only via the fresh-server
             // path, whose first replica is at most 0.5 < 0.7.
-            assert!(
-                bin.level() <= 0.7 + 1e-9,
-                "{} at level {}",
-                bin.id(),
-                bin.level()
-            );
+            assert!(bin.level() <= 0.7 + 1e-9, "{} at level {}", bin.id(), bin.level());
         }
     }
 
@@ -272,10 +284,7 @@ mod tests {
     fn duplicate_rejected() {
         let mut rfi = Rfi::new(2, 0.85).unwrap();
         rfi.place(tenant(0, 0.4)).unwrap();
-        assert!(matches!(
-            rfi.place(tenant(0, 0.4)),
-            Err(Error::DuplicateTenant { .. })
-        ));
+        assert!(matches!(rfi.place(tenant(0, 0.4)), Err(Error::DuplicateTenant { .. })));
     }
 
     #[test]

@@ -10,9 +10,8 @@ use cubefit_sim::{ComparisonConfig, DistributionSpec};
 fn build_placement() -> Placement {
     let config = ComparisonConfig { tenants: 2_000, runs: 1, base_seed: 7, max_clients: 52 };
     let sequence = sequence_for(&DistributionSpec::Uniform { min: 1, max: 15 }, &config, 0);
-    let mut cubefit = CubeFit::new(
-        CubeFitConfig::builder().replication(2).classes(10).build().expect("valid"),
-    );
+    let mut cubefit =
+        CubeFit::new(CubeFitConfig::builder().replication(2).classes(10).build().expect("valid"));
     for tenant in sequence.tenants() {
         cubefit.place(tenant).expect("placement succeeds");
     }
@@ -21,11 +20,7 @@ fn build_placement() -> Placement {
 
 fn bench_queries(c: &mut Criterion) {
     let placement = build_placement();
-    let bins: Vec<BinId> = placement
-        .bins()
-        .filter(|b| !b.is_empty())
-        .map(|b| b.id())
-        .collect();
+    let bins: Vec<BinId> = placement.bins().filter(|b| !b.is_empty()).map(|b| b.id()).collect();
 
     c.bench_function("m_fits/no_siblings", |b| {
         let mut i = 0;
@@ -58,12 +53,8 @@ fn bench_queries(c: &mut Criterion) {
     c.bench_function("simulate_failures/pair", |b| {
         let failed = [bins[0], bins[1]];
         b.iter(|| {
-            validity::simulate_failures(
-                &placement,
-                &failed,
-                validity::FailoverSemantics::EvenSplit,
-            )
-            .max_load()
+            validity::simulate_failures(&placement, &failed, validity::FailoverSemantics::EvenSplit)
+                .max_load()
         });
     });
 }

@@ -10,14 +10,8 @@ use cubefit_workload::TenantSequence;
 fn sequences() -> Vec<(&'static str, TenantSequence)> {
     let config = ComparisonConfig { tenants: 5_000, runs: 1, base_seed: 42, max_clients: 52 };
     vec![
-        (
-            "uniform(1-15)",
-            sequence_for(&DistributionSpec::Uniform { min: 1, max: 15 }, &config, 0),
-        ),
-        (
-            "zipf(3)",
-            sequence_for(&DistributionSpec::Zipf { exponent: 3.0 }, &config, 0),
-        ),
+        ("uniform(1-15)", sequence_for(&DistributionSpec::Uniform { min: 1, max: 15 }, &config, 0)),
+        ("zipf(3)", sequence_for(&DistributionSpec::Zipf { exponent: 3.0 }, &config, 0)),
     ]
 }
 

@@ -2,9 +2,7 @@
 //! trace encode/decode.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use cubefit_workload::{
-    trace, LoadModel, SequenceBuilder, UniformClients, ZipfClients, ZipfTable,
-};
+use cubefit_workload::{trace, LoadModel, SequenceBuilder, UniformClients, ZipfClients, ZipfTable};
 
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload");

@@ -12,9 +12,7 @@
 //! Run: `cargo run --release -p cubefit-bench --bin ablation [-- --quick]`
 
 use cubefit_bench::{write_json, Mode};
-use cubefit_core::{
-    Consolidator, CubeFit, CubeFitConfig, Stage1Eligibility, TinyPolicy,
-};
+use cubefit_core::{Consolidator, CubeFit, CubeFitConfig, Stage1Eligibility, TinyPolicy};
 use cubefit_sim::experiment::sequence_for;
 use cubefit_sim::report::TextTable;
 use cubefit_sim::runner::run_sequence;
@@ -27,11 +25,7 @@ fn run_config(config: CubeFitConfig, sequence: &TenantSequence) -> (usize, f64, 
         algorithm.place(tenant).expect("placement succeeds");
     }
     let stats = algorithm.placement().stats();
-    (
-        stats.open_bins,
-        stats.mean_utilization,
-        algorithm.placement().is_robust(),
-    )
+    (stats.open_bins, stats.mean_utilization, algorithm.placement().is_robust())
 }
 
 fn main() {
@@ -72,8 +66,7 @@ fn main() {
     json.insert("mu_sweep".into(), rows.into());
 
     // --- tiny-tenant policy -------------------------------------------
-    let mut table =
-        TextTable::new(vec!["policy", "uniform servers", "zipf servers", "zipf util"]);
+    let mut table = TextTable::new(vec!["policy", "uniform servers", "zipf servers", "zipf util"]);
     let mut rows = Vec::new();
     let policies: [(&str, CubeFitConfig); 3] = [
         (
@@ -82,12 +75,7 @@ fn main() {
         ),
         (
             "classK-1, no tiny stage1 (Algorithm 1)",
-            CubeFitConfig::builder()
-                .replication(2)
-                .classes(10)
-                .tiny_stage1(false)
-                .build()
-                .unwrap(),
+            CubeFitConfig::builder().replication(2).classes(10).tiny_stage1(false).build().unwrap(),
         ),
         (
             "theoretical α_K multis",
@@ -104,12 +92,7 @@ fn main() {
         let (u, _, _) = run_config(cfg, &uniform);
         let (z, z_util, robust) = run_config(cfg, &zipf);
         assert!(robust);
-        table.row(vec![
-            label.to_string(),
-            u.to_string(),
-            z.to_string(),
-            format!("{z_util:.3}"),
-        ]);
+        table.row(vec![label.to_string(), u.to_string(), z.to_string(), format!("{z_util:.3}")]);
         rows.push(serde_json::json!({ "policy": label, "uniform": u, "zipf": z }));
     }
     println!("tiny-tenant policy:\n{}", table.render());

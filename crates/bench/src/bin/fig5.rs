@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p cubefit-bench --bin fig5 [-- --quick]`
 
-use cubefit_bench::{write_json, Mode};
+use cubefit_bench::{write_bench_metrics, write_json, Mode};
 use cubefit_cluster::SimConfig;
 use cubefit_sim::report::TextTable;
 use cubefit_sim::{
@@ -18,21 +18,16 @@ use cubefit_sim::{
 fn main() {
     let mode = Mode::from_args();
     let seed = 20170605; // ICDCS'17 session date; any fixed seed works.
-    let (servers, sim) = if mode.is_quick() {
-        (20, SimConfig::quick(seed))
-    } else {
-        (69, SimConfig::paper(seed))
-    };
+    let (servers, sim) =
+        if mode.is_quick() { (20, SimConfig::quick(seed)) } else { (69, SimConfig::paper(seed)) };
 
     let algorithms = [
         AlgorithmSpec::CubeFit { gamma: 2, classes: 5 },
         AlgorithmSpec::CubeFit { gamma: 3, classes: 5 },
         AlgorithmSpec::Rfi { gamma: 2, mu: 0.85 },
     ];
-    let distributions = [
-        DistributionSpec::Uniform { min: 1, max: 15 },
-        DistributionSpec::Zipf { exponent: 3.0 },
-    ];
+    let distributions =
+        [DistributionSpec::Uniform { min: 1, max: 15 }, DistributionSpec::Zipf { exponent: 3.0 }];
 
     println!("Fig. 5 — p99 latency under worst-case failures (SLA = 5 s)");
     println!(
@@ -98,4 +93,11 @@ fn main() {
     println!("paper: 1 failure → all configurations meet the SLA;");
     println!("       2 failures → only cubefit(γ=3) meets it (4.27 s uniform, 4.19 s zipf)");
     write_json("fig5", &serde_json::json!({ "mode": format!("{mode:?}"), "rows": json_rows }));
+    write_bench_metrics(
+        "fig5",
+        &AlgorithmSpec::CubeFit { gamma: 3, classes: 5 },
+        &DistributionSpec::Uniform { min: 1, max: 15 },
+        if mode.is_quick() { 2_000 } else { 20_000 },
+        seed,
+    );
 }

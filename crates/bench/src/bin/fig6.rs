@@ -11,7 +11,7 @@
 //!
 //! Run: `cargo run --release -p cubefit-bench --bin fig6 [-- --quick]`
 
-use cubefit_bench::{write_json, Mode};
+use cubefit_bench::{write_bench_metrics, write_json, Mode};
 use cubefit_sim::report::{mean_ci, TextTable};
 use cubefit_sim::{compare, AlgorithmSpec, ComparisonConfig, DistributionSpec};
 
@@ -74,4 +74,11 @@ fn main() {
     println!("paper: savings ≈ 25–35% across distributions (Fig. 6), growing as");
     println!("       the share of small tenants grows");
     write_json("fig6", &serde_json::json!({ "mode": format!("{mode:?}"), "rows": json_rows }));
+    write_bench_metrics(
+        "fig6",
+        &cubefit,
+        &DistributionSpec::Uniform { min: 1, max: 15 },
+        if mode.is_quick() { 2_000 } else { 20_000 },
+        config.base_seed,
+    );
 }

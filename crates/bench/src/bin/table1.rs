@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p cubefit-bench --bin table1 [-- --quick]`
 
-use cubefit_bench::{write_json, Mode};
+use cubefit_bench::{write_bench_metrics, write_json, Mode};
 use cubefit_sim::report::{dollars, TextTable};
 use cubefit_sim::{compare, AlgorithmSpec, ComparisonConfig, CostModel, DistributionSpec};
 
@@ -79,4 +79,11 @@ fn main() {
 
     println!("{}", table.render());
     write_json("table1", &serde_json::json!({ "mode": format!("{mode:?}"), "rows": json_rows }));
+    write_bench_metrics(
+        "table1",
+        &cubefit,
+        &DistributionSpec::Zipf { exponent: 3.0 },
+        if mode.is_quick() { 2_000 } else { 20_000 },
+        config.base_seed,
+    );
 }

@@ -21,6 +21,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+use cubefit_sim::{AlgorithmSpec, ComparisonConfig, DistributionSpec};
+use cubefit_telemetry::Recorder;
 use std::path::PathBuf;
 
 /// Run-mode for experiment binaries.
@@ -73,6 +75,39 @@ pub fn write_json(name: &str, value: &serde_json::Value) {
     match std::fs::write(&path, serde_json::to_string_pretty(value).expect("serializable")) {
         Ok(()) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Runs one instrumented placement pass and writes `BENCH_<name>.json`:
+/// wall-clock seconds, tenants/second, and the full decision-counter
+/// snapshot. Experiment binaries call this after their main artefact so
+/// every figure run leaves a machine-readable telemetry record behind.
+pub fn write_bench_metrics(
+    name: &str,
+    spec: &AlgorithmSpec,
+    distribution: &DistributionSpec,
+    tenants: usize,
+    seed: u64,
+) {
+    let config = ComparisonConfig { tenants, runs: 1, base_seed: seed, max_clients: 52 };
+    let sequence = cubefit_sim::experiment::sequence_for(distribution, &config, 0);
+    let recorder = Recorder::enabled();
+    match cubefit_sim::run_sequence_with(spec, &sequence, &recorder) {
+        Ok(result) => {
+            let value = serde_json::json!({
+                "algorithm": result.algorithm,
+                "distribution": distribution.label(),
+                "tenants": result.tenants,
+                "servers": result.servers,
+                "utilization": result.utilization,
+                "robust": result.robust,
+                "wall_seconds": result.wall.as_secs_f64(),
+                "tenants_per_second": result.tenants_per_second(),
+                "metrics": serde_json::to_value(&result.metrics).expect("serializable"),
+            });
+            write_json(&format!("BENCH_{name}"), &value);
+        }
+        Err(e) => eprintln!("instrumented bench run for {name} failed: {e}"),
     }
 }
 

@@ -70,9 +70,7 @@ impl ParsedArgs {
         let mut iter = tokens.into_iter().map(Into::into).peekable();
         while let Some(token) = iter.next() {
             if let Some(name) = token.strip_prefix("--") {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| ArgsError::MissingValue(name.to_string()))?;
+                let value = iter.next().ok_or_else(|| ArgsError::MissingValue(name.to_string()))?;
                 if parsed.flags.insert(name.to_string(), value).is_some() {
                     return Err(ArgsError::Duplicate(name.to_string()));
                 }
@@ -151,9 +149,8 @@ mod tests {
 
     #[test]
     fn parses_command_flags_and_positionals() {
-        let args =
-            ParsedArgs::parse(["place", "--gamma", "2", "trace.cft", "--algorithm", "rfi"])
-                .unwrap();
+        let args = ParsedArgs::parse(["place", "--gamma", "2", "trace.cft", "--algorithm", "rfi"])
+            .unwrap();
         assert_eq!(args.command.as_deref(), Some("place"));
         assert_eq!(args.positional, vec!["trace.cft"]);
         assert_eq!(args.get("gamma"), Some("2"));

@@ -19,18 +19,14 @@ pub const USAGE: &str = "check PLACEMENT.json [--failures F] [--render N]";
 /// on it).
 pub fn run(args: &ParsedArgs) -> Result<String, String> {
     args.expect_only(FLAGS).map_err(|e| e.to_string())?;
-    let path = args
-        .positional
-        .first()
-        .ok_or_else(|| format!("usage: {USAGE}"))?;
+    let path = args.positional.first().ok_or_else(|| format!("usage: {USAGE}"))?;
     let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let dump: PlacementDump =
         serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))?;
     let placement = dump.to_placement().map_err(|e| format!("rebuilding placement: {e}"))?;
 
-    let failures: usize = args
-        .get_or("failures", placement.gamma() - 1, "an integer")
-        .map_err(|e| e.to_string())?;
+    let failures: usize =
+        args.get_or("failures", placement.gamma() - 1, "an integer").map_err(|e| e.to_string())?;
 
     let mut output = String::new();
     let stats = placement.stats();
@@ -69,9 +65,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     ));
 
     if let Some(n) = args.get("render") {
-        let max_servers: usize = n
-            .parse()
-            .map_err(|_| "--render expects a server count".to_string())?;
+        let max_servers: usize =
+            n.parse().map_err(|_| "--render expects a server count".to_string())?;
         output.push('\n');
         output.push_str(&cubefit_core::render::render(
             &placement,
@@ -106,9 +101,8 @@ mod tests {
 
     #[test]
     fn robust_placement_passes() {
-        let mut cf = CubeFit::new(
-            CubeFitConfig::builder().replication(2).classes(5).build().unwrap(),
-        );
+        let mut cf =
+            CubeFit::new(CubeFitConfig::builder().replication(2).classes(5).build().unwrap());
         for id in 0..20u64 {
             cf.place(Tenant::new(TenantId::new(id), Load::new(0.3).unwrap())).unwrap();
         }

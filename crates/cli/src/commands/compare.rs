@@ -2,14 +2,16 @@
 
 use crate::args::ParsedArgs;
 use crate::spec_parse;
+use crate::telemetry_out;
 use cubefit_sim::report::TextTable;
 use cubefit_workload::trace;
 
 /// Flags accepted by `compare`.
-pub const FLAGS: &[&str] = &["trace", "algorithms", "gamma"];
+pub const FLAGS: &[&str] = &["trace", "algorithms", "gamma", "metrics-out", "trace-out"];
 
 /// Usage line shown in `--help`.
-pub const USAGE: &str = "compare --trace TRACE [--algorithms cubefit,rfi,bestfit] [--gamma G]";
+pub const USAGE: &str = "compare --trace TRACE [--algorithms cubefit,rfi,bestfit] [--gamma G] \
+                         [--metrics-out METRICS.json] [--trace-out EVENTS.jsonl]";
 
 /// Runs the command, returning its stdout table.
 ///
@@ -25,17 +27,18 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     let bytes = std::fs::read(trace_path).map_err(|e| format!("reading {trace_path}: {e}"))?;
     let sequence = trace::decode(&bytes[..]).map_err(|e| format!("decoding {trace_path}: {e}"))?;
 
-    let mut table = TextTable::new(vec![
-        "algorithm",
-        "servers",
-        "utilization",
-        "robust",
-        "placement time",
-    ]);
+    let mut table =
+        TextTable::new(vec!["algorithm", "servers", "utilization", "robust", "placement time"]);
+    let metrics_out = args.get("metrics-out");
+    let trace_out = args.get("trace-out");
+    // One recorder across all algorithms: counters stay separable via the
+    // `algorithm` label, and the trace interleaves the runs in order.
+    let recorder = telemetry_out::recorder_for(metrics_out, trace_out)?;
     let mut best: Option<(String, usize)> = None;
     for raw in list.split(',') {
         let spec = spec_parse::parse_algorithm(raw.trim(), gamma)?;
-        let result = cubefit_sim::run_sequence(&spec, &sequence).map_err(|e| e.to_string())?;
+        let result = cubefit_sim::run_sequence_with(&spec, &sequence, &recorder)
+            .map_err(|e| e.to_string())?;
         if best.as_ref().is_none_or(|(_, s)| result.servers < *s) {
             best = Some((result.algorithm.clone(), result.servers));
         }
@@ -47,9 +50,17 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
             format!("{:.1?}", result.wall),
         ]);
     }
+    recorder.flush();
     let mut output = table.render();
     if let Some((name, servers)) = best {
         output.push_str(&format!("\nbest: {name} with {servers} servers\n"));
+    }
+    if let Some(path) = metrics_out {
+        telemetry_out::write_metrics(path, &recorder.snapshot())?;
+        output.push_str(&format!("metrics written to {path}\n"));
+    }
+    if let Some(path) = trace_out {
+        output.push_str(&format!("decision trace written to {path}\n"));
     }
     Ok(output)
 }
@@ -73,7 +84,11 @@ mod tests {
         )
         .unwrap();
         let args = ParsedArgs::parse([
-            "compare", "--trace", &trace, "--algorithms", "cubefit:k=5,rfi,nextfit",
+            "compare",
+            "--trace",
+            &trace,
+            "--algorithms",
+            "cubefit:k=5,rfi,nextfit",
         ])
         .unwrap();
         let out = run(&args).unwrap();
@@ -84,12 +99,37 @@ mod tests {
     }
 
     #[test]
-    fn propagates_spec_errors() {
-        let trace = tmp("compare-err.cft");
+    fn metrics_out_separates_algorithms_by_label() {
+        use cubefit_telemetry::MetricsSnapshot;
+
+        let trace = tmp("compare-metrics.cft");
+        let metrics_path = tmp("compare-metrics.json");
         generate::run(
-            &ParsedArgs::parse(["generate", "--out", &trace, "--tenants", "5"]).unwrap(),
+            &ParsedArgs::parse(["generate", "--out", &trace, "--tenants", "50"]).unwrap(),
         )
         .unwrap();
+        let args = ParsedArgs::parse([
+            "compare",
+            "--trace",
+            &trace,
+            "--algorithms",
+            "cubefit,bestfit",
+            "--metrics-out",
+            &metrics_path,
+        ])
+        .unwrap();
+        run(&args).unwrap();
+        let metrics: MetricsSnapshot =
+            serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        assert_eq!(metrics.counter("placements", &[("algorithm", "cubefit")]), 50);
+        assert_eq!(metrics.counter("placements", &[("algorithm", "bestfit")]), 50);
+    }
+
+    #[test]
+    fn propagates_spec_errors() {
+        let trace = tmp("compare-err.cft");
+        generate::run(&ParsedArgs::parse(["generate", "--out", &trace, "--tenants", "5"]).unwrap())
+            .unwrap();
         let args =
             ParsedArgs::parse(["compare", "--trace", &trace, "--algorithms", "nope"]).unwrap();
         assert!(run(&args).is_err());

@@ -43,7 +43,14 @@ mod tests {
     fn writes_a_decodable_trace() {
         let path = tmp("gen.cft");
         let args = ParsedArgs::parse([
-            "generate", "--out", &path, "--tenants", "25", "--distribution", "zipf:3", "--seed",
+            "generate",
+            "--out",
+            &path,
+            "--tenants",
+            "25",
+            "--distribution",
+            "zipf:3",
+            "--seed",
             "9",
         ])
         .unwrap();

@@ -17,9 +17,8 @@ use crate::spec_parse;
 
 /// Builds the load model selected by `--model` (default `tpch`).
 pub(crate) fn model_from(args: &ParsedArgs) -> Result<LoadModel, String> {
-    let max_clients: u32 = args
-        .get_or("max-clients", 52u32, "an integer")
-        .map_err(|e| e.to_string())?;
+    let max_clients: u32 =
+        args.get_or("max-clients", 52u32, "an integer").map_err(|e| e.to_string())?;
     match args.get("model").unwrap_or("tpch") {
         "tpch" => Ok(LoadModel::tpch_xeon()),
         "normalized" => Ok(LoadModel::normalized(max_clients)),
@@ -31,9 +30,8 @@ pub(crate) fn model_from(args: &ParsedArgs) -> Result<LoadModel, String> {
 pub(crate) fn sequence_from(args: &ParsedArgs) -> Result<TenantSequence, String> {
     let distribution =
         spec_parse::parse_distribution(args.get("distribution").unwrap_or("uniform:1-15"))?;
-    let tenants: usize = args
-        .get_or("tenants", 1_000usize, "an integer")
-        .map_err(|e| e.to_string())?;
+    let tenants: usize =
+        args.get_or("tenants", 1_000usize, "an integer").map_err(|e| e.to_string())?;
     let seed: u64 = args.get_or("seed", 0u64, "an integer").map_err(|e| e.to_string())?;
     let model = model_from(args)?;
     let boxed = distribution.build(model.max_clients());

@@ -2,15 +2,17 @@
 
 use crate::args::ParsedArgs;
 use crate::spec_parse;
+use crate::telemetry_out;
 use cubefit_core::PlacementDump;
 use cubefit_workload::trace;
 
 /// Flags accepted by `place`.
-pub const FLAGS: &[&str] = &["trace", "algorithm", "gamma", "out"];
+pub const FLAGS: &[&str] = &["trace", "algorithm", "gamma", "out", "metrics-out", "trace-out"];
 
 /// Usage line shown in `--help`.
 pub const USAGE: &str =
-    "place --trace TRACE [--algorithm cubefit|cubefit:k=5|rfi|…] [--gamma G] [--out PLACEMENT.json]";
+    "place --trace TRACE [--algorithm cubefit|cubefit:k=5|rfi|…] [--gamma G] [--out PLACEMENT.json] \
+     [--metrics-out METRICS.json] [--trace-out EVENTS.jsonl]";
 
 /// Runs the command, returning its stdout text.
 ///
@@ -26,7 +28,12 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     let bytes = std::fs::read(trace_path).map_err(|e| format!("reading {trace_path}: {e}"))?;
     let sequence = trace::decode(&bytes[..]).map_err(|e| format!("decoding {trace_path}: {e}"))?;
 
-    let result = cubefit_sim::run_sequence(&spec, &sequence).map_err(|e| e.to_string())?;
+    let metrics_out = args.get("metrics-out");
+    let trace_out = args.get("trace-out");
+    let recorder = telemetry_out::recorder_for(metrics_out, trace_out)?;
+    let result =
+        cubefit_sim::run_sequence_with(&spec, &sequence, &recorder).map_err(|e| e.to_string())?;
+    recorder.flush();
     let mut output = format!(
         "{algo}: {tenants} tenants on {servers} servers \
          (utilization {util:.1}%, robust: {robust}, placed in {wall:.1?})\n",
@@ -38,6 +45,13 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         wall = result.wall,
     );
 
+    if let Some(path) = metrics_out {
+        telemetry_out::write_metrics(path, &result.metrics)?;
+        output.push_str(&format!("metrics written to {path}\n"));
+    }
+    if let Some(path) = trace_out {
+        output.push_str(&format!("decision trace written to {path}\n"));
+    }
     if let Some(out) = args.get("out") {
         // Re-run to obtain the placement itself (run_sequence reports
         // statistics only); placement is deterministic given the spec.
@@ -76,7 +90,13 @@ mod tests {
         let trace = make_trace("place-in.cft");
         let out = tmp("place-out.json");
         let args = ParsedArgs::parse([
-            "place", "--trace", &trace, "--algorithm", "cubefit:k=5", "--out", &out,
+            "place",
+            "--trace",
+            &trace,
+            "--algorithm",
+            "cubefit:k=5",
+            "--out",
+            &out,
         ])
         .unwrap();
         let text = run(&args).unwrap();
@@ -89,6 +109,44 @@ mod tests {
     }
 
     #[test]
+    fn trace_out_bin_opened_matches_reported_servers() {
+        use cubefit_telemetry::{MetricsSnapshot, TraceEvent};
+
+        let trace = make_trace("place-traceout.cft");
+        let events_path = tmp("place-events.jsonl");
+        let metrics_path = tmp("place-metrics.json");
+        let args = ParsedArgs::parse([
+            "place",
+            "--trace",
+            &trace,
+            "--trace-out",
+            &events_path,
+            "--metrics-out",
+            &metrics_path,
+        ])
+        .unwrap();
+        let text = run(&args).unwrap();
+        let servers: usize = text
+            .split(" servers")
+            .next()
+            .and_then(|s| s.rsplit(' ').next())
+            .unwrap()
+            .parse()
+            .unwrap();
+
+        let body = std::fs::read_to_string(&events_path).unwrap();
+        let events: Vec<TraceEvent> =
+            body.lines().map(|line| serde_json::from_str(line).unwrap()).collect();
+        let opened = events.iter().filter(|e| matches!(e, TraceEvent::BinOpened { .. })).count();
+        assert_eq!(opened, servers, "one BinOpened per reported server");
+        assert!(matches!(events.last(), Some(TraceEvent::RobustnessChecked { .. })));
+
+        let metrics: MetricsSnapshot =
+            serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        assert_eq!(metrics.counter("placements", &[]) as usize, 40);
+    }
+
+    #[test]
     fn reports_without_out_flag() {
         let trace = make_trace("place-noout.cft");
         let args = ParsedArgs::parse(["place", "--trace", &trace, "--algorithm", "rfi"]).unwrap();
@@ -98,8 +156,7 @@ mod tests {
     #[test]
     fn bad_algorithm_is_reported() {
         let trace = make_trace("place-bad.cft");
-        let args =
-            ParsedArgs::parse(["place", "--trace", &trace, "--algorithm", "magic"]).unwrap();
+        let args = ParsedArgs::parse(["place", "--trace", &trace, "--algorithm", "magic"]).unwrap();
         assert!(run(&args).unwrap_err().contains("unknown algorithm"));
     }
 }

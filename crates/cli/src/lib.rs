@@ -22,6 +22,7 @@
 pub mod args;
 pub mod commands;
 pub mod spec_parse;
+pub mod telemetry_out;
 
 use args::ParsedArgs;
 

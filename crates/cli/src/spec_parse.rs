@@ -38,14 +38,14 @@ fn split_spec(raw: &str) -> (String, HashMap<String, String>) {
 pub fn parse_algorithm(raw: &str, gamma: usize) -> Result<AlgorithmSpec, String> {
     let (name, options) = split_spec(raw);
     let get_usize = |key: &str, default: usize| -> Result<usize, String> {
-        options
-            .get(key)
-            .map_or(Ok(default), |v| v.parse().map_err(|_| format!("{raw}: {key} must be an integer")))
+        options.get(key).map_or(Ok(default), |v| {
+            v.parse().map_err(|_| format!("{raw}: {key} must be an integer"))
+        })
     };
     let get_f64 = |key: &str, default: f64| -> Result<f64, String> {
-        options
-            .get(key)
-            .map_or(Ok(default), |v| v.parse().map_err(|_| format!("{raw}: {key} must be a number")))
+        options.get(key).map_or(Ok(default), |v| {
+            v.parse().map_err(|_| format!("{raw}: {key} must be a number"))
+        })
     };
     match name.as_str() {
         "cubefit" => Ok(AlgorithmSpec::CubeFit { gamma, classes: get_usize("k", 10)? }),
@@ -94,17 +94,16 @@ pub fn parse_distribution(raw: &str) -> Result<DistributionSpec, String> {
             Ok(DistributionSpec::Zipf { exponent })
         }
         "constant" => {
-            let clients: u32 = bare
-                .parse()
-                .map_err(|_| format!("{raw}: constant expects a client count"))?;
+            let clients: u32 =
+                bare.parse().map_err(|_| format!("{raw}: constant expects a client count"))?;
             if clients == 0 {
                 return Err(format!("{raw}: client count must be positive"));
             }
             Ok(DistributionSpec::Constant { clients })
         }
-        other => Err(format!(
-            "unknown distribution '{other}' (expected uniform, zipf, or constant)"
-        )),
+        other => {
+            Err(format!("unknown distribution '{other}' (expected uniform, zipf, or constant)"))
+        }
     }
 }
 
@@ -144,7 +143,10 @@ mod tests {
             parse_distribution("uniform").unwrap(),
             DistributionSpec::Uniform { min: 1, max: 15 }
         );
-        assert_eq!(parse_distribution("zipf:2.5").unwrap(), DistributionSpec::Zipf { exponent: 2.5 });
+        assert_eq!(
+            parse_distribution("zipf:2.5").unwrap(),
+            DistributionSpec::Zipf { exponent: 2.5 }
+        );
         assert_eq!(parse_distribution("zipf").unwrap(), DistributionSpec::Zipf { exponent: 3.0 });
         assert_eq!(
             parse_distribution("constant:8").unwrap(),

@@ -1,0 +1,37 @@
+//! Shared `--metrics-out` / `--trace-out` plumbing for subcommands.
+
+use cubefit_telemetry::{JsonlSink, MetricsSnapshot, Recorder};
+use std::fs::File;
+use std::io::BufWriter;
+
+/// Builds the recorder implied by the two optional output flags: a
+/// JSONL-streaming recorder when `--trace-out` is set, a metrics-only
+/// recorder when just `--metrics-out` is set, and the disabled (zero-cost)
+/// recorder when neither is.
+///
+/// # Errors
+///
+/// Returns a message if the trace file cannot be created.
+pub fn recorder_for(
+    metrics_out: Option<&str>,
+    trace_out: Option<&str>,
+) -> Result<Recorder, String> {
+    match trace_out {
+        Some(path) => {
+            let file = File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+            Ok(Recorder::with_sink(JsonlSink::new(BufWriter::new(file))))
+        }
+        None if metrics_out.is_some() => Ok(Recorder::enabled()),
+        None => Ok(Recorder::disabled()),
+    }
+}
+
+/// Writes a pretty-printed metrics snapshot to `path`.
+///
+/// # Errors
+///
+/// Returns a message on serialization or I/O failure.
+pub fn write_metrics(path: &str, metrics: &MetricsSnapshot) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(metrics).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))
+}

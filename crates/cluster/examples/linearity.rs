@@ -18,13 +18,21 @@ fn main() {
             let need = target / model.delta();
             while equiv + per_tenant <= need {
                 let mut servers = vec![0usize];
-                for k in 0..gamma - 1 { servers.push(i + k); }
+                for k in 0..gamma - 1 {
+                    servers.push(i + k);
+                }
                 i += gamma - 1;
                 assignments.push(TenantAssignment::new(i as u64, 8, servers));
                 equiv += per_tenant;
             }
             let n = i + 1;
-            let mut sim = ClusterSim::new(n, assignments, &mix, &model, SimConfig { warmup_seconds: 60.0, measure_seconds: 120.0, seed: 42 });
+            let mut sim = ClusterSim::new(
+                n,
+                assignments,
+                &mix,
+                &model,
+                SimConfig { warmup_seconds: 60.0, measure_seconds: 120.0, seed: 42 },
+            );
             let load = sim.equivalent_concurrency(0) * model.delta();
             let report = sim.run();
             println!("γ={gamma} target={target:.2} load={load:.3} server0_p99={:.2} (linear would be {:.2})",

@@ -1,12 +1,20 @@
 //! Latency recording and percentile reports.
+//!
+//! Recording is backed by the workspace-wide log-bucketed
+//! [`Histogram`](cubefit_telemetry::Histogram): constant memory regardless
+//! of simulation length, exact count/sum/min/max, and quantiles within
+//! ≈2.2% relative error — far inside the slack of every latency assertion
+//! in the DES (the SLA threshold itself is a 5 s cliff).
+
+use cubefit_telemetry::{Histogram, HistogramSnapshot};
 
 /// Collects per-server query latencies during the measurement window and
 /// produces percentile summaries.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyRecorder {
-    samples: Vec<f64>,
-    /// Per-server samples, indexed by server.
-    per_server: Vec<Vec<f64>>,
+    overall: Histogram,
+    /// Per-server histograms, indexed by server.
+    per_server: Vec<Histogram>,
     recording: bool,
 }
 
@@ -30,36 +38,32 @@ impl LatencyRecorder {
     /// Records one latency measured on `server` if recording is active.
     pub fn record(&mut self, server: usize, latency: f64) {
         if self.recording {
-            self.samples.push(latency);
+            self.overall.record(latency);
             if server >= self.per_server.len() {
-                self.per_server.resize_with(server + 1, Vec::new);
+                self.per_server.resize_with(server + 1, Histogram::new);
             }
-            self.per_server[server].push(latency);
+            self.per_server[server].record(latency);
         }
     }
 
     /// Number of recorded samples.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.overall.count() as usize
     }
 
     /// Whether no samples were recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.overall.count() == 0
     }
 
     /// Finalizes into a cluster report.
     #[must_use]
     pub fn finish(self) -> ClusterReport {
         ClusterReport {
-            overall: LatencyReport::from_samples(self.samples),
-            per_server: self
-                .per_server
-                .into_iter()
-                .map(LatencyReport::from_samples)
-                .collect(),
+            overall: LatencyReport::from_histogram(self.overall),
+            per_server: self.per_server.into_iter().map(LatencyReport::from_histogram).collect(),
         }
     }
 }
@@ -83,10 +87,7 @@ impl ClusterReport {
     /// The highest per-server p99 — the SLA-relevant latency.
     #[must_use]
     pub fn worst_server_p99(&self) -> f64 {
-        self.per_server
-            .iter()
-            .map(LatencyReport::p99)
-            .fold(0.0, f64::max)
+        self.per_server.iter().map(LatencyReport::p99).fold(0.0, f64::max)
     }
 
     /// The server with the highest p99, if any samples exist.
@@ -126,30 +127,47 @@ impl ClusterReport {
     }
 }
 
-/// Sorted latency samples with percentile accessors.
+/// Latency distribution with percentile accessors, backed by a
+/// log-bucketed histogram (quantiles within ≈2.2% relative error;
+/// count/sum/min/max exact).
 #[derive(Debug, Clone, Default)]
 pub struct LatencyReport {
-    sorted: Vec<f64>,
+    histogram: Histogram,
 }
 
 impl LatencyReport {
     /// Builds a report from raw samples.
     #[must_use]
-    pub fn from_samples(mut samples: Vec<f64>) -> Self {
-        samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        LatencyReport { sorted: samples }
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        let histogram = Histogram::new();
+        for sample in samples {
+            histogram.record(sample);
+        }
+        LatencyReport { histogram }
+    }
+
+    /// Builds a report from an already-populated histogram.
+    #[must_use]
+    pub fn from_histogram(histogram: Histogram) -> Self {
+        LatencyReport { histogram }
     }
 
     /// Number of samples.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.sorted.len()
+        self.histogram.count() as usize
     }
 
     /// Whether the report is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.sorted.is_empty()
+        self.histogram.count() == 0
+    }
+
+    /// A serializable snapshot of the underlying histogram.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.histogram.snapshot()
     }
 
     /// The `q`-quantile (0 ≤ q ≤ 1) using the nearest-rank method;
@@ -161,11 +179,7 @@ impl LatencyReport {
     #[must_use]
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile out of range");
-        if self.sorted.is_empty() {
-            return 0.0;
-        }
-        let rank = ((q * self.sorted.len() as f64).ceil() as usize).max(1);
-        self.sorted[rank.min(self.sorted.len()) - 1]
+        self.histogram.quantile(q)
     }
 
     /// Median latency.
@@ -186,20 +200,16 @@ impl LatencyReport {
         self.quantile(0.99)
     }
 
-    /// Maximum latency.
+    /// Maximum latency (exact).
     #[must_use]
     pub fn max(&self) -> f64 {
-        self.sorted.last().copied().unwrap_or(0.0)
+        self.histogram.max()
     }
 
-    /// Mean latency.
+    /// Mean latency (exact).
     #[must_use]
     pub fn mean(&self) -> f64 {
-        if self.sorted.is_empty() {
-            0.0
-        } else {
-            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
-        }
+        self.histogram.mean()
     }
 
     /// Whether the p99 exceeds the given SLA.
@@ -260,13 +270,16 @@ mod tests {
 
     #[test]
     fn percentiles_nearest_rank() {
+        // Histogram-backed quantiles carry ≤2.2% relative bucket error;
+        // min/max are tracked exactly.
         let report = LatencyReport::from_samples((1..=100).map(f64::from).collect());
-        assert_eq!(report.p50(), 50.0);
-        assert_eq!(report.p95(), 95.0);
-        assert_eq!(report.p99(), 99.0);
+        let approx = |got: f64, exact: f64| (got - exact).abs() <= exact * 0.03;
+        assert!(approx(report.p50(), 50.0), "p50 {}", report.p50());
+        assert!(approx(report.p95(), 95.0), "p95 {}", report.p95());
+        assert!(approx(report.p99(), 99.0), "p99 {}", report.p99());
         assert_eq!(report.max(), 100.0);
-        assert_eq!(report.quantile(0.0), 1.0);
-        assert_eq!(report.quantile(1.0), 100.0);
+        assert!(approx(report.quantile(0.0), 1.0), "q0 {}", report.quantile(0.0));
+        assert!(approx(report.quantile(1.0), 100.0), "q1 {}", report.quantile(1.0));
     }
 
     #[test]
@@ -288,7 +301,8 @@ mod tests {
 
     #[test]
     fn sla_violation_detection() {
-        let report = LatencyReport::from_samples(vec![1.0; 98].into_iter().chain([6.0, 7.0]).collect());
+        let report =
+            LatencyReport::from_samples(vec![1.0; 98].into_iter().chain([6.0, 7.0]).collect());
         assert!(report.violates_sla(5.0));
         let ok = LatencyReport::from_samples(vec![1.0; 100]);
         assert!(!ok.violates_sla(5.0));

@@ -85,7 +85,6 @@ impl QueryMix {
         QueryMix { templates, cumulative, sla_seconds }
     }
 
-
     /// The templates after calibration.
     #[must_use]
     pub fn templates(&self) -> &[QueryTemplate] {
@@ -194,9 +193,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let median_template = m.templates()[10].work;
         let n = 50_000;
-        let light = (0..n)
-            .filter(|_| m.sample(&mut rng).0 <= median_template)
-            .count();
+        let light = (0..n).filter(|_| m.sample(&mut rng).0 <= median_template).count();
         assert!(light as f64 / n as f64 > 0.6);
     }
 

@@ -122,10 +122,7 @@ impl ServerSim {
             .jobs
             .iter()
             .min_by(|a, b| a.remaining.partial_cmp(&b.remaining).expect("finite work"))?;
-        Some((
-            self.last_advance + min.remaining.max(0.0) * self.divisor(),
-            min.id,
-        ))
+        Some((self.last_advance + min.remaining.max(0.0) * self.divisor(), min.id))
     }
 
     /// Completes job `job_id` at time `now`, returning it.

@@ -103,10 +103,7 @@ impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for a min-heap; tie-break on insertion order for
         // determinism.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.order.cmp(&self.order))
+        other.time.total_cmp(&self.time).then_with(|| other.order.cmp(&self.order))
     }
 }
 
@@ -217,12 +214,8 @@ impl ClusterSim {
     /// model.
     #[must_use]
     pub fn equivalent_concurrency(&self, s: usize) -> f64 {
-        let assigned: f64 = self
-            .clients
-            .iter()
-            .filter(|c| c.active && c.server == s)
-            .map(|c| c.weight)
-            .sum();
+        let assigned: f64 =
+            self.clients.iter().filter(|c| c.active && c.server == s).map(|c| c.weight).sum();
         assigned + self.servers[s].overhead()
     }
 
@@ -246,10 +239,8 @@ impl ClusterSim {
         for tenant in &self.tenants {
             let gamma = tenant.servers.len();
             let share = self.overhead_share / gamma as f64;
-            let (failed_reps, survivors): (Vec<usize>, Vec<usize>) = tenant
-                .servers
-                .iter()
-                .partition(|&&s| self.servers[s].is_failed());
+            let (failed_reps, survivors): (Vec<usize>, Vec<usize>) =
+                tenant.servers.iter().partition(|&&s| self.servers[s].is_failed());
             if failed_reps.is_empty() || survivors.is_empty() {
                 continue;
             }
@@ -548,8 +539,7 @@ mod tests {
             sim.run().p99()
         };
         let failed = {
-            let mut sim =
-                ClusterSim::new(3, assignments, &mix(), &model(), SimConfig::quick(6));
+            let mut sim = ClusterSim::new(3, assignments, &mix(), &model(), SimConfig::quick(6));
             sim.fail_servers(&[1]);
             sim.run().p99()
         };
@@ -561,8 +551,7 @@ mod tests {
     fn deterministic_given_seed() {
         let run = |seed| {
             let assignments = vec![TenantAssignment::new(0, 13, vec![0, 1])];
-            let mut sim =
-                ClusterSim::new(2, assignments, &mix(), &model(), SimConfig::quick(seed));
+            let mut sim = ClusterSim::new(2, assignments, &mix(), &model(), SimConfig::quick(seed));
             sim.run().p99()
         };
         assert_eq!(run(9), run(9));
@@ -574,8 +563,7 @@ mod tests {
         // concurrency.
         let p99_at = |clients: u32| {
             let assignments = vec![TenantAssignment::new(0, clients, vec![0, 1])];
-            let mut sim =
-                ClusterSim::new(2, assignments, &mix(), &model(), SimConfig::quick(10));
+            let mut sim = ClusterSim::new(2, assignments, &mix(), &model(), SimConfig::quick(10));
             sim.run().p99()
         };
         let low = p99_at(10);
@@ -592,8 +580,7 @@ mod tests {
         let mut p = Placement::new(2);
         let a = p.open_bin(None);
         let b = p.open_bin(None);
-        p.place_tenant(&Tenant::new(TenantId::new(5), Load::new(0.5).unwrap()), &[a, b])
-            .unwrap();
+        p.place_tenant(&Tenant::new(TenantId::new(5), Load::new(0.5).unwrap()), &[a, b]).unwrap();
         let assignments = assignments_from_placement(&p, &|_| 12);
         assert_eq!(assignments.len(), 1);
         assert_eq!(assignments[0].tenant_id, 5);

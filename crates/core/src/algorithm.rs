@@ -4,6 +4,7 @@ use crate::bin::BinId;
 use crate::error::Result;
 use crate::placement::Placement;
 use crate::tenant::{Tenant, TenantId};
+use cubefit_telemetry::Recorder;
 
 /// Which path of an algorithm placed a tenant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +74,14 @@ pub trait Consolidator {
 
     /// Short human-readable algorithm name (for reports and plots).
     fn name(&self) -> &'static str;
+
+    /// Attaches a telemetry recorder. Instrumented algorithms resolve
+    /// their counters and stream [`cubefit_telemetry::TraceEvent`]s into
+    /// it; the default implementation ignores the recorder, so plain
+    /// algorithms need no telemetry code.
+    fn set_recorder(&mut self, recorder: Recorder) {
+        let _ = recorder;
+    }
 }
 
 #[cfg(test)]
@@ -112,9 +121,10 @@ mod tests {
     fn trait_defaults_and_object_safety() {
         let mut boxed: Box<dyn Consolidator> = Box::new(FreshBins { placement: Placement::new(3) });
         assert_eq!(boxed.gamma(), 3);
-        let outcome = boxed
-            .place(Tenant::with_load(Load::new(0.3).unwrap()))
-            .unwrap();
+        // The default recorder hook is a no-op and keeps the trait
+        // object-safe.
+        boxed.set_recorder(Recorder::enabled());
+        let outcome = boxed.place(Tenant::with_load(Load::new(0.3).unwrap())).unwrap();
         assert_eq!(outcome.bins.len(), 3);
         assert_eq!(outcome.opened, 3);
         assert_eq!(outcome.stage, PlacementStage::Direct);

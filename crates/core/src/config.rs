@@ -126,10 +126,7 @@ impl CubeFitConfig {
     pub fn tiny_target(&self) -> (usize, f64) {
         match self.tiny_policy {
             TinyPolicy::Theoretical => {
-                let alpha = self
-                    .classifier()
-                    .alpha()
-                    .expect("validated at construction");
+                let alpha = self.classifier().alpha().expect("validated at construction");
                 (alpha - self.gamma + 1, 1.0 / alpha as f64)
             }
             TinyPolicy::ClassKMinus1 => {
@@ -142,9 +139,7 @@ impl CubeFitConfig {
 
 impl Default for CubeFitConfig {
     fn default() -> Self {
-        CubeFitConfig::builder()
-            .build()
-            .expect("default configuration is valid")
+        CubeFitConfig::builder().build().expect("default configuration is valid")
     }
 }
 
@@ -267,11 +262,7 @@ mod tests {
 
     #[test]
     fn builder_overrides_scan_and_tiny_stage1() {
-        let c = CubeFitConfig::builder()
-            .tiny_stage1(false)
-            .scan_limit(0)
-            .build()
-            .unwrap();
+        let c = CubeFitConfig::builder().tiny_stage1(false).scan_limit(0).build().unwrap();
         assert!(!c.tiny_stage1());
         assert_eq!(c.scan_limit(), 1, "limit is clamped to at least 1");
     }

@@ -75,9 +75,7 @@ impl CubeAddress {
     /// base-`τ` number.
     #[must_use]
     pub fn bin_index(&self) -> usize {
-        self.digits[..self.digits.len() - 1]
-            .iter()
-            .fold(0usize, |acc, d| acc * self.base + d)
+        self.digits[..self.digits.len() - 1].iter().fold(0usize, |acc, d| acc * self.base + d)
     }
 
     /// Index of the slot inside the bin: the last digit.
@@ -110,12 +108,7 @@ impl ClassGroups {
     pub(crate) fn new(tau: usize, gamma: usize) -> Self {
         assert!(tau >= 1 && gamma >= 2);
         let group_size = tau.pow(gamma as u32 - 1);
-        ClassGroups {
-            tau,
-            gamma,
-            counter: 0,
-            groups: vec![vec![None; group_size]; gamma],
-        }
+        ClassGroups { tau, gamma, counter: 0, groups: vec![vec![None; group_size]; gamma] }
     }
 
     /// Total cells per generation (`τ^γ`).
@@ -229,10 +222,7 @@ mod tests {
                 }
             }
             for ((a, b), count) in pair_counts {
-                assert!(
-                    count <= 1,
-                    "τ={tau} γ={gamma}: bins {a} and {b} share {count} tenants"
-                );
+                assert!(count <= 1, "τ={tau} γ={gamma}: bins {a} and {b} share {count} tenants");
             }
         }
     }

@@ -10,6 +10,7 @@ use crate::mfit::{self, MatureSet};
 use crate::multireplica::MultiReplicaState;
 use crate::placement::Placement;
 use crate::tenant::Tenant;
+use cubefit_telemetry::{Counter, Recorder, TraceEvent};
 use std::collections::BTreeMap;
 
 /// Online robust consolidator that places replicas of almost-equal size into
@@ -56,6 +57,21 @@ pub struct CubeFit {
     mature: MatureSet,
     multi: MultiReplicaState,
     counters: CubeFitStats,
+    instruments: Instruments,
+}
+
+/// Telemetry handles resolved once at [`Consolidator::set_recorder`] time so
+/// the hot path pays one branch per metric when telemetry is disabled.
+#[derive(Debug, Clone, Default)]
+struct Instruments {
+    recorder: Recorder,
+    stage1: Counter,
+    stage2: Counter,
+    tiny: Counter,
+    mfit_hits: Counter,
+    mfit_misses: Counter,
+    mfit_candidates: Counter,
+    bins_opened: Counter,
 }
 
 /// Counters describing how CubeFit placed its tenants.
@@ -87,6 +103,7 @@ impl CubeFit {
             mature: MatureSet::default(),
             multi: MultiReplicaState::new(cap),
             counters: CubeFitStats::default(),
+            instruments: Instruments::default(),
             config,
         }
     }
@@ -112,7 +129,7 @@ impl CubeFit {
     fn place_tiny(&mut self, tenant: &Tenant, size: f64) -> Result<PlacementOutcome> {
         if self.config.tiny_stage1() {
             let growth_hosts = self.multi.active_hosts();
-            if let Some(bins) = mfit::try_stage1(
+            let scan = mfit::try_stage1(
                 &self.placement,
                 &self.mature,
                 self.config.stage1_eligibility(),
@@ -122,9 +139,13 @@ impl CubeFit {
                 &growth_hosts,
                 self.multi.headroom(),
                 self.config.scan_limit(),
-            ) {
+            );
+            self.note_mfit(tenant, self.config.classes(), &scan);
+            if let Some(bins) = scan.bins {
                 self.commit(tenant, &bins)?;
                 self.counters.stage1_placements += 1;
+                self.instruments.stage1.inc();
+                self.emit_placed(tenant, &bins, PlacementStage::MatureFit, 0);
                 return Ok(PlacementOutcome {
                     tenant: tenant.id(),
                     bins,
@@ -146,11 +167,16 @@ impl CubeFit {
             .new_slots
             .as_ref()
             .map_or(0, |slots| slots.iter().filter(|t| t.opened).count());
+        if let Some(targets) = &decision.new_slots {
+            self.emit_slots(tenant, target_class, targets);
+        }
         self.commit(tenant, &decision.bins)?;
         if let Some(targets) = &decision.new_slots {
             self.note_slots(targets);
         }
         self.counters.tiny_placements += 1;
+        self.instruments.tiny.inc();
+        self.emit_placed(tenant, &decision.bins, PlacementStage::MultiReplica, opened);
         Ok(PlacementOutcome {
             tenant: tenant.id(),
             bins: decision.bins,
@@ -169,11 +195,74 @@ impl CubeFit {
     /// consistent (placement changes both the levels and the shared loads
     /// of exactly these bins).
     fn commit(&mut self, tenant: &Tenant, bins: &[BinId]) -> Result<()> {
+        // Snapshot empty→non-empty transitions before placing: one
+        // `BinOpened` event per bin that receives its first replica here,
+        // so a trace's `BinOpened` count equals the servers a run reports.
+        let newly_opened: Vec<(BinId, Option<usize>)> = if self.instruments.recorder.is_enabled() {
+            bins.iter()
+                .filter(|&&bin| self.placement.bin(bin).is_empty())
+                .map(|&bin| (bin, self.placement.bin(bin).class().map(|c| c.index())))
+                .collect()
+        } else {
+            Vec::new()
+        };
         self.placement.place_tenant(tenant, bins)?;
         for &bin in bins {
             self.mature.update_slack(bin, self.slack(bin));
         }
+        if !newly_opened.is_empty() {
+            self.instruments.bins_opened.add(newly_opened.len() as u64);
+            let total = self.placement.open_bins();
+            let pending = newly_opened.len();
+            for (i, (bin, class)) in newly_opened.into_iter().enumerate() {
+                self.instruments.recorder.emit(|| TraceEvent::BinOpened {
+                    bin: bin.index(),
+                    class,
+                    total_open: total - (pending - 1 - i),
+                });
+            }
+        }
         Ok(())
+    }
+
+    /// Records the outcome of one stage-1 m-fit scan.
+    fn note_mfit(&self, tenant: &Tenant, class: usize, scan: &mfit::Stage1Scan) {
+        let hit = scan.bins.is_some();
+        if hit {
+            self.instruments.mfit_hits.inc();
+        } else {
+            self.instruments.mfit_misses.inc();
+        }
+        self.instruments.mfit_candidates.add(scan.scanned as u64);
+        self.instruments.recorder.emit(|| TraceEvent::MfitOutcome {
+            tenant: tenant.id().get(),
+            class,
+            candidates_scanned: scan.scanned,
+            hit,
+        });
+    }
+
+    /// Emits the terminal `Placed` event for a tenant.
+    fn emit_placed(&self, tenant: &Tenant, bins: &[BinId], stage: PlacementStage, opened: usize) {
+        self.instruments.recorder.emit(|| TraceEvent::Placed {
+            tenant: tenant.id().get(),
+            bins: bins.iter().map(|b| b.index()).collect(),
+            stage: format!("{stage:?}"),
+            opened,
+        });
+    }
+
+    /// Emits one `SlotAssigned` event per stage-2 cube slot.
+    fn emit_slots(&self, tenant: &Tenant, class: usize, targets: &[SlotTarget]) {
+        for (level, target) in targets.iter().enumerate() {
+            self.instruments.recorder.emit(|| TraceEvent::SlotAssigned {
+                tenant: tenant.id().get(),
+                class,
+                level,
+                bin: target.bin.index(),
+                slot: target.slot,
+            });
+        }
     }
 
     /// Records stage-2 slot occupancy and promotes bins whose payload slots
@@ -185,11 +274,8 @@ impl CubeFit {
                 self.slots_filled.resize(index + 1, 0);
             }
             self.slots_filled[index] += 1;
-            let class = self
-                .placement
-                .bin(target.bin)
-                .class()
-                .expect("stage-2 bins are always classed");
+            let class =
+                self.placement.bin(target.bin).class().expect("stage-2 bins are always classed");
             if self.slots_filled[index] == self.classifier.payload_slots(class) {
                 self.mature.insert(target.bin, self.slack(target.bin));
             }
@@ -205,6 +291,12 @@ impl Consolidator for CubeFit {
         let gamma = self.config.gamma();
         let size = tenant.replica_size(gamma);
         let class = self.classifier.classify(size);
+        let seq = self.placement.tenant_count() as u64;
+        self.instruments.recorder.emit(|| TraceEvent::TenantArrived {
+            tenant: tenant.id().get(),
+            load: tenant.load().get(),
+            seq,
+        });
 
         if class.index() == self.config.classes() {
             return self.place_tiny(&tenant, size);
@@ -216,10 +308,11 @@ impl Consolidator for CubeFit {
         // Class-1 replicas have no strictly-smaller class to reuse, so the
         // scan is skipped outright under the default eligibility rule.
         let stage1_possible = class.index() > 1
-            || self.config.stage1_eligibility() != crate::config::Stage1Eligibility::SmallerClassBins;
+            || self.config.stage1_eligibility()
+                != crate::config::Stage1Eligibility::SmallerClassBins;
         if stage1_possible {
             let growth_hosts = self.multi.active_hosts();
-            if let Some(bins) = mfit::try_stage1(
+            let scan = mfit::try_stage1(
                 &self.placement,
                 &self.mature,
                 self.config.stage1_eligibility(),
@@ -229,9 +322,13 @@ impl Consolidator for CubeFit {
                 &growth_hosts,
                 self.multi.headroom(),
                 self.config.scan_limit(),
-            ) {
+            );
+            self.note_mfit(&tenant, class.index(), &scan);
+            if let Some(bins) = scan.bins {
                 self.commit(&tenant, &bins)?;
                 self.counters.stage1_placements += 1;
+                self.instruments.stage1.inc();
+                self.emit_placed(&tenant, &bins, PlacementStage::MatureFit, 0);
                 return Ok(PlacementOutcome {
                     tenant: tenant.id(),
                     bins,
@@ -243,16 +340,16 @@ impl Consolidator for CubeFit {
 
         // Stage 2: cube-addressed slots of the tenant's class.
         let tau = class.index();
-        let groups = self
-            .groups
-            .entry(tau)
-            .or_insert_with(|| ClassGroups::new(tau, gamma));
+        let groups = self.groups.entry(tau).or_insert_with(|| ClassGroups::new(tau, gamma));
         let targets = groups.assign(&mut self.placement);
         let bins: Vec<BinId> = targets.iter().map(|t| t.bin).collect();
         let opened = targets.iter().filter(|t| t.opened).count();
+        self.emit_slots(&tenant, tau, &targets);
         self.commit(&tenant, &bins)?;
         self.note_slots(&targets);
         self.counters.stage2_placements += 1;
+        self.instruments.stage2.inc();
+        self.emit_placed(&tenant, &bins, PlacementStage::Cube, opened);
         Ok(PlacementOutcome { tenant: tenant.id(), bins, opened, stage: PlacementStage::Cube })
     }
 
@@ -262,6 +359,31 @@ impl Consolidator for CubeFit {
 
     fn name(&self) -> &'static str {
         "cubefit"
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        let gamma = self.config.gamma().to_string();
+        let base = [("algorithm", "cubefit"), ("gamma", gamma.as_str())];
+        let staged = |stage: &str| {
+            let mut labels = base.to_vec();
+            labels.push(("stage", stage));
+            recorder.counter("placements", &labels)
+        };
+        let outcome = |hit: &str| {
+            let mut labels = base.to_vec();
+            labels.push(("hit", hit));
+            recorder.counter("mfit_outcomes", &labels)
+        };
+        self.instruments = Instruments {
+            stage1: staged("mature_fit"),
+            stage2: staged("cube"),
+            tiny: staged("multi_replica"),
+            mfit_hits: outcome("true"),
+            mfit_misses: outcome("false"),
+            mfit_candidates: recorder.counter("mfit_candidates_scanned", &base),
+            bins_opened: recorder.counter("bins_opened", &base),
+            recorder,
+        };
     }
 }
 
@@ -278,13 +400,7 @@ mod tests {
     }
 
     fn cubefit(gamma: usize, classes: usize) -> CubeFit {
-        CubeFit::new(
-            CubeFitConfig::builder()
-                .replication(gamma)
-                .classes(classes)
-                .build()
-                .unwrap(),
-        )
+        CubeFit::new(CubeFitConfig::builder().replication(gamma).classes(classes).build().unwrap())
     }
 
     #[test]
@@ -302,10 +418,7 @@ mod tests {
         let mut cf = cubefit(2, 5);
         cf.place(tenant(0, 0.5)).unwrap();
         let before = cf.placement().open_bins();
-        assert!(matches!(
-            cf.place(tenant(0, 0.5)),
-            Err(Error::DuplicateTenant { .. })
-        ));
+        assert!(matches!(cf.place(tenant(0, 0.5)), Err(Error::DuplicateTenant { .. })));
         assert_eq!(cf.placement().open_bins(), before);
         assert_eq!(cf.placement().tenant_count(), 1);
     }
@@ -481,6 +594,69 @@ mod tests {
         // Replica size exactly 1/2 → class 1; bin level 0.5 with reserve.
         assert!((cf.placement().level(outcome.bins[0]) - 0.5).abs() < 1e-12);
         assert!(cf.placement().is_robust());
+    }
+
+    #[test]
+    fn recorder_traces_every_placement_and_bin_open() {
+        use cubefit_telemetry::VecSink;
+        use std::sync::Arc;
+
+        let sink = Arc::new(VecSink::new());
+        let recorder = Recorder::with_sink(Arc::clone(&sink));
+        let mut cf = cubefit(2, 5);
+        cf.set_recorder(recorder.clone());
+        let loads = [0.9, 0.8, 0.3, 0.25, 0.05, 0.04, 0.6, 0.02];
+        for (id, &load) in loads.iter().enumerate() {
+            cf.place(tenant(id as u64, load)).unwrap();
+        }
+
+        let events = sink.events();
+        let count = |f: fn(&TraceEvent) -> bool| events.iter().filter(|e| f(e)).count();
+        // One BinOpened per server the placement reports — the trace-level
+        // invariant the CLI acceptance check relies on.
+        assert_eq!(
+            count(|e| matches!(e, TraceEvent::BinOpened { .. })),
+            cf.placement().open_bins()
+        );
+        assert_eq!(count(|e| matches!(e, TraceEvent::TenantArrived { .. })), loads.len());
+        assert_eq!(count(|e| matches!(e, TraceEvent::Placed { .. })), loads.len());
+        // Running totals in BinOpened events are strictly increasing.
+        let totals: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::BinOpened { total_open, .. } => Some(*total_open),
+                _ => None,
+            })
+            .collect();
+        assert!(totals.windows(2).all(|w| w[0] < w[1]), "totals {totals:?}");
+
+        // Counters mirror the stage partition in `stats()`.
+        let snap = recorder.snapshot();
+        let stats = cf.stats();
+        let stage = |s: &str| snap.counter("placements", &[("stage", s)]) as usize;
+        assert_eq!(stage("mature_fit"), stats.stage1_placements);
+        assert_eq!(stage("cube"), stats.stage2_placements);
+        assert_eq!(stage("multi_replica"), stats.tiny_placements);
+        assert_eq!(
+            snap.counter("bins_opened", &[("algorithm", "cubefit")]) as usize,
+            cf.placement().open_bins()
+        );
+        let hits = snap.counter("mfit_outcomes", &[("hit", "true")]) as usize;
+        assert_eq!(hits, stats.stage1_placements);
+    }
+
+    #[test]
+    fn disabled_recorder_changes_nothing() {
+        let mut traced = cubefit(2, 5);
+        traced.set_recorder(Recorder::disabled());
+        let mut plain = cubefit(2, 5);
+        for id in 0..50_u64 {
+            let load = 0.01 + 0.019 * (id % 50) as f64;
+            let a = traced.place(tenant(id, load)).unwrap();
+            let b = plain.place(tenant(id, load)).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(traced.stats(), plain.stats());
     }
 
     #[test]

@@ -102,12 +102,10 @@ mod tests {
     use crate::cubefit::CubeFit;
 
     fn sample_placement() -> Placement {
-        let mut cf = CubeFit::new(
-            CubeFitConfig::builder().replication(2).classes(5).build().unwrap(),
-        );
+        let mut cf =
+            CubeFit::new(CubeFitConfig::builder().replication(2).classes(5).build().unwrap());
         for (id, load) in [(0u64, 0.6), (1, 0.3), (2, 0.6), (3, 0.78), (4, 0.12)] {
-            cf.place(Tenant::new(TenantId::new(id), Load::new(load).unwrap()))
-                .unwrap();
+            cf.place(Tenant::new(TenantId::new(id), Load::new(load).unwrap())).unwrap();
         }
         cf.placement().clone()
     }

@@ -68,7 +68,7 @@ pub mod validity;
 
 pub use algorithm::{Consolidator, PlacementOutcome, PlacementStage};
 pub use bin::{BinClass, BinId, BinSnapshot};
-pub use class::{ReplicaClass, Classifier};
+pub use class::{Classifier, ReplicaClass};
 pub use config::{CubeFitConfig, CubeFitConfigBuilder, Stage1Eligibility, TinyPolicy};
 pub use cubefit::CubeFit;
 pub use dump::{DumpEntry, PlacementDump};

@@ -135,18 +135,28 @@ impl MatureSet {
 
     /// Bins with slack at least `min_slack`, tightest first.
     pub(crate) fn iter_fitting(&self, min_slack: f64) -> impl Iterator<Item = BinId> + '_ {
-        self.by_slack
-            .range((Self::key(min_slack), BinId::new(0))..)
-            .map(|&(_, bin)| bin)
+        self.by_slack.range((Self::key(min_slack), BinId::new(0))..).map(|&(_, bin)| bin)
     }
+}
+
+/// What a stage-1 attempt did: the chosen bins (if any) and how much scan
+/// work it cost, for decision tracing.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Stage1Scan {
+    /// The chosen bins (one per replica, distinct, tightest-fit order) if
+    /// every replica m-fit; `None` to fall through to stage 2.
+    pub bins: Option<Vec<BinId>>,
+    /// Mature candidate bins examined before the scan stopped.
+    pub scanned: usize,
 }
 
 /// Attempts stage 1 for a tenant whose `γ` replicas each have size `size`
 /// and class `class`.
 ///
-/// Returns the chosen bins (one per replica, distinct, tightest-fit
-/// order) if every replica m-fits, or `None` to fall through to stage 2.
 /// Does not mutate the placement; the caller commits the assignment.
+// Nine orthogonal knobs, all flowing straight from `CubeFit`'s config; a
+// one-use parameter struct would only rename them.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn try_stage1(
     placement: &Placement,
     mature: &MatureSet,
@@ -157,10 +167,12 @@ pub(crate) fn try_stage1(
     growth_hosts: &[BinId],
     headroom: f64,
     scan_limit: usize,
-) -> Option<Vec<BinId>> {
+) -> Stage1Scan {
+    let mut scanned = 0usize;
     let mut chosen: Vec<BinId> = Vec::with_capacity(gamma);
     for _ in 0..gamma {
         let candidate = mature.iter_fitting(size).take(scan_limit).find(|&bin| {
+            scanned += 1;
             if chosen.contains(&bin) {
                 return false;
             }
@@ -171,24 +183,20 @@ pub(crate) fn try_stage1(
         });
         match candidate {
             Some(bin) => chosen.push(bin),
-            None => return None,
+            None => return Stage1Scan { bins: None, scanned },
         }
     }
     // Re-validate every chosen bin against the *complete* sibling set:
     // later choices increase the shared load of earlier ones, which the
     // per-replica scan could not yet see.
     for (i, &bin) in chosen.iter().enumerate() {
-        let siblings: Vec<BinId> = chosen
-            .iter()
-            .enumerate()
-            .filter(|&(j, _)| j != i)
-            .map(|(_, &b)| b)
-            .collect();
+        let siblings: Vec<BinId> =
+            chosen.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &b)| b).collect();
         if !m_fits_with_growth(placement, bin, size, &siblings, growth_hosts, headroom) {
-            return None;
+            return Stage1Scan { bins: None, scanned };
         }
     }
-    Some(chosen)
+    Stage1Scan { bins: Some(chosen), scanned }
 }
 
 fn eligible(
@@ -199,10 +207,9 @@ fn eligible(
 ) -> bool {
     match eligibility {
         Stage1Eligibility::AnyMatureBin => true,
-        Stage1Eligibility::SmallerClassBins => placement
-            .bin(bin)
-            .class()
-            .is_some_and(|bin_class| bin_class < class),
+        Stage1Eligibility::SmallerClassBins => {
+            placement.bin(bin).class().is_some_and(|bin_class| bin_class < class)
+        }
     }
 }
 
@@ -268,6 +275,7 @@ mod tests {
             0.0,
             usize::MAX,
         )
+        .bins
         .expect("0.1 replicas m-fit");
         assert_eq!(chosen.len(), 2);
         assert_ne!(chosen[0], chosen[1]);
@@ -291,6 +299,7 @@ mod tests {
             0.0,
             usize::MAX,
         )
+        .bins
         .is_none());
     }
 
@@ -309,6 +318,7 @@ mod tests {
             0.0,
             usize::MAX,
         )
+        .bins
         .is_none());
         assert!(try_stage1(
             &p,
@@ -321,6 +331,7 @@ mod tests {
             0.0,
             usize::MAX,
         )
+        .bins
         .is_some());
     }
 
@@ -347,6 +358,7 @@ mod tests {
             0.0,
             usize::MAX,
         )
+        .bins
         .unwrap();
         let mut sorted = chosen.clone();
         sorted.sort_unstable();
@@ -403,6 +415,7 @@ mod tests {
             0.0,
             usize::MAX,
         )
+        .bins
         .is_none());
     }
 }

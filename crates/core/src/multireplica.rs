@@ -71,9 +71,7 @@ impl MultiReplicaState {
 
     /// The bins hosting the active multi-replica (empty if none).
     pub(crate) fn active_hosts(&self) -> Vec<BinId> {
-        self.active
-            .as_ref()
-            .map_or_else(Vec::new, |a| a.targets.iter().map(|t| t.bin).collect())
+        self.active.as_ref().map_or_else(Vec::new, |a| a.targets.iter().map(|t| t.bin).collect())
     }
 
     /// How much the active multi-replica may still grow.

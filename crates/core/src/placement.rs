@@ -100,9 +100,7 @@ impl Placement {
         }
         for (i, bin) in bins.iter().enumerate() {
             if bin.0 >= self.bins.len() {
-                return Err(Error::InternalInvariant {
-                    detail: format!("{bin} does not exist"),
-                });
+                return Err(Error::InternalInvariant { detail: format!("{bin} does not exist") });
             }
             if bins[..i].contains(bin) {
                 return Err(Error::InternalInvariant {
@@ -123,10 +121,8 @@ impl Placement {
             }
         }
         self.total_load += tenant.load().get();
-        self.tenants.insert(
-            tenant.id(),
-            TenantRecord { load: tenant.load().get(), bins: bins.to_vec() },
-        );
+        self.tenants
+            .insert(tenant.id(), TenantRecord { load: tenant.load().get(), bins: bins.to_vec() });
         self.arrival_order.push(tenant.id());
         Ok(())
     }
@@ -143,10 +139,7 @@ impl Placement {
 
     /// Iterates over all bins ever opened (including empty ones).
     pub fn bins(&self) -> impl Iterator<Item = BinSnapshot<'_>> {
-        self.bins
-            .iter()
-            .enumerate()
-            .map(|(i, data)| BinSnapshot { id: BinId(i), data })
+        self.bins.iter().enumerate().map(|(i, data)| BinSnapshot { id: BinId(i), data })
     }
 
     /// Number of bins ever opened (including still-empty cube slots).
@@ -358,9 +351,7 @@ mod tests {
     fn wrong_bin_count_rejected() {
         let (mut p, b) = three_bin_placement();
         assert!(p.place_tenant(&tenant(0, 0.5), &[b[0]]).is_err());
-        assert!(p
-            .place_tenant(&tenant(1, 0.5), &[b[0], b[1], b[2]])
-            .is_err());
+        assert!(p.place_tenant(&tenant(1, 0.5), &[b[0], b[1], b[2]]).is_err());
     }
 
     #[test]
@@ -372,9 +363,7 @@ mod tests {
     #[test]
     fn unknown_bin_rejected() {
         let (mut p, b) = three_bin_placement();
-        assert!(p
-            .place_tenant(&tenant(0, 0.5), &[b[0], BinId::new(99)])
-            .is_err());
+        assert!(p.place_tenant(&tenant(0, 0.5), &[b[0], BinId::new(99)]).is_err());
     }
 
     #[test]

@@ -56,13 +56,11 @@ pub fn render(placement: &Placement, options: RenderOptions) -> String {
         placement.gamma(),
         stats.mean_utilization * 100.0
     );
-    let mut shown = 0usize;
-    for bin in placement.bins().filter(|b| !b.is_empty()) {
+    for (shown, bin) in placement.bins().filter(|b| !b.is_empty()).enumerate() {
         if shown >= options.max_servers {
             let _ = writeln!(out, "… {} more servers", stats.open_bins - shown);
             break;
         }
-        shown += 1;
         let level = bin.level();
         let reserve = placement.worst_failover(bin.id()).min(1.0 - level);
         let filled = (level * BAR_WIDTH as f64).round() as usize;
@@ -70,9 +68,7 @@ pub fn render(placement: &Placement, options: RenderOptions) -> String {
         let filled = filled.min(BAR_WIDTH);
         let reserved = reserved.min(BAR_WIDTH - filled);
         let free = BAR_WIDTH - filled - reserved;
-        let class = bin
-            .class()
-            .map_or_else(|| "  -   ".to_string(), |c| format!("{c:<6}"));
+        let class = bin.class().map_or_else(|| "  -   ".to_string(), |c| format!("{c:<6}"));
         let _ = writeln!(
             out,
             "server {:>4} {class} [{}{}{}] level {:.3} reserve {:.3}",
@@ -84,11 +80,8 @@ pub fn render(placement: &Placement, options: RenderOptions) -> String {
             reserve,
         );
         if options.show_tenants {
-            let tenants: Vec<String> = bin
-                .contents()
-                .iter()
-                .map(|(t, load)| format!("{t}:{load:.3}"))
-                .collect();
+            let tenants: Vec<String> =
+                bin.contents().iter().map(|(t, load)| format!("{t}:{load:.3}")).collect();
             let _ = writeln!(out, "            {}", tenants.join(" "));
         }
     }
@@ -105,9 +98,8 @@ mod tests {
     use crate::tenant::{Tenant, TenantId};
 
     fn sample() -> Placement {
-        let mut cf = CubeFit::new(
-            CubeFitConfig::builder().replication(2).classes(5).build().unwrap(),
-        );
+        let mut cf =
+            CubeFit::new(CubeFitConfig::builder().replication(2).classes(5).build().unwrap());
         for (id, load) in [(0u64, 0.6), (1, 0.3), (2, 0.78), (3, 0.12)] {
             cf.place(Tenant::new(TenantId::new(id), Load::new(load).unwrap())).unwrap();
         }

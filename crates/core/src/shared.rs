@@ -26,10 +26,8 @@ impl TopK {
             slot.0 = value;
         } else if self.entries.len() < k {
             self.entries.push((value, peer));
-        } else if let Some(min) = self
-            .entries
-            .iter_mut()
-            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("loads are finite"))
+        } else if let Some(min) =
+            self.entries.iter_mut().min_by(|a, b| a.0.partial_cmp(&b.0).expect("loads are finite"))
         {
             // Entries only grow, so every non-cached entry is ≤ the cached
             // minimum; replacing the minimum preserves the top-k invariant.
@@ -37,8 +35,7 @@ impl TopK {
                 *min = (value, peer);
             }
         }
-        self.entries
-            .sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("loads are finite"));
+        self.entries.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("loads are finite"));
     }
 
     fn sum(&self) -> f64 {

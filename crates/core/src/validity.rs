@@ -150,15 +150,11 @@ pub fn simulate_failures(
             if !seen.insert(tenant) {
                 continue;
             }
-            let bins = placement
-                .tenant_bins(tenant)
-                .expect("bin contents reference placed tenants");
+            let bins =
+                placement.tenant_bins(tenant).expect("bin contents reference placed tenants");
             let failed_replicas = bins.iter().filter(|b| failed_set.contains(b)).count();
-            let survivors: Vec<BinId> = bins
-                .iter()
-                .copied()
-                .filter(|b| !failed_set.contains(b))
-                .collect();
+            let survivors: Vec<BinId> =
+                bins.iter().copied().filter(|b| !failed_set.contains(b)).collect();
             if survivors.is_empty() {
                 unavailable.push(tenant);
                 continue;
@@ -208,11 +204,8 @@ pub fn worst_failure_set(
     count: usize,
     semantics: FailoverSemantics,
 ) -> Vec<BinId> {
-    let candidates: Vec<BinId> = placement
-        .bins()
-        .filter(|b| !b.is_empty())
-        .map(|b| b.id())
-        .collect();
+    let candidates: Vec<BinId> =
+        placement.bins().filter(|b| !b.is_empty()).map(|b| b.id()).collect();
     if count == 0 || candidates.is_empty() {
         return Vec::new();
     }

@@ -17,8 +17,7 @@ pub const C4_4XLARGE_HOURLY_USD: f64 = 0.822;
 /// let savings = model.yearly_cost(2_506);
 /// assert!((savings - 18_045_004.0).abs() < 1_000.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CostModel {
     hourly_usd: f64,
 }

@@ -15,8 +15,7 @@ use cubefit_core::Result;
 use cubefit_workload::{LoadModel, SequenceBuilder, TenantSequence};
 
 /// Configuration of a paired comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ComparisonConfig {
     /// Tenants per run (the paper uses 50,000).
     pub tenants: usize,
@@ -43,8 +42,7 @@ impl ComparisonConfig {
 }
 
 /// Outcome of a paired comparison between a `baseline` and a `candidate`.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ComparisonResult {
     /// Distribution label.
     pub distribution: String,

@@ -167,13 +167,7 @@ pub fn run_failure_experiment(config: &FailureExperimentConfig) -> Result<Failur
 
     let model = LoadModel::tpch_xeon();
     let mix = QueryMix::tpch_like(&model, config.sla_seconds);
-    let mut sim = ClusterSim::new(
-        placement.created_bins(),
-        assignments,
-        &mix,
-        &model,
-        config.sim,
-    );
+    let mut sim = ClusterSim::new(placement.created_bins(), assignments, &mix, &model, config.sim);
     sim.fail_servers(&failed.iter().map(|b| b.index()).collect::<Vec<_>>());
     let unavailable = sim.unavailable_clients();
     let report = sim.run();
@@ -280,12 +274,9 @@ mod tests {
 
     #[test]
     fn zero_failures_baseline_is_healthy() {
-        let outcome = run_failure_experiment(&quick_config(
-            AlgorithmSpec::Rfi { gamma: 2, mu: 0.85 },
-            0,
-            12,
-        ))
-        .unwrap();
+        let outcome =
+            run_failure_experiment(&quick_config(AlgorithmSpec::Rfi { gamma: 2, mu: 0.85 }, 0, 12))
+                .unwrap();
         assert!(!outcome.sla_violated, "p99 {}", outcome.p99_seconds);
         assert_eq!(outcome.failures, 0);
     }

@@ -32,6 +32,6 @@ pub mod stats;
 pub use cost::CostModel;
 pub use experiment::{compare, ComparisonConfig, ComparisonResult};
 pub use failure::{run_failure_experiment, FailureExperimentConfig, FailureOutcome};
-pub use runner::{run_sequence, RunResult};
+pub use runner::{run_sequence, run_sequence_with, RunResult};
 pub use spec::{AlgorithmSpec, DistributionSpec};
 pub use stats::Summary;

@@ -24,10 +24,7 @@ impl TextTable {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        TextTable {
-            headers: headers.into_iter().map(Into::into).collect(),
-            rows: Vec::new(),
-        }
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
     }
 
     /// Appends a row; short rows are padded with empty cells.
@@ -86,12 +83,7 @@ impl TextTable {
 /// Formats a mean ± CI pair, e.g. `30.1 ± 1.2`.
 #[must_use]
 pub fn mean_ci(summary: &crate::stats::Summary, decimals: usize) -> String {
-    format!(
-        "{mean:.prec$} ± {ci:.prec$}",
-        mean = summary.mean,
-        ci = summary.ci95,
-        prec = decimals
-    )
+    format!("{mean:.prec$} ± {ci:.prec$}", mean = summary.mean, ci = summary.ci95, prec = decimals)
 }
 
 /// Formats a dollar amount with thousands separators, e.g. `$18,045,004`.
@@ -101,7 +93,7 @@ pub fn dollars(amount: f64) -> String {
     let digits = rounded.unsigned_abs().to_string();
     let mut grouped = String::new();
     for (i, ch) in digits.chars().enumerate() {
-        if i > 0 && (digits.len() - i) % 3 == 0 {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
             grouped.push(',');
         }
         grouped.push(ch);

@@ -10,8 +10,7 @@ use cubefit_workload::{
 ///
 /// Experiments need to instantiate a *fresh* algorithm per run; a spec is
 /// the factory plus a stable label for reports.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum AlgorithmSpec {
     /// CubeFit with `γ` replicas and `K` classes.
     CubeFit {
@@ -65,10 +64,7 @@ impl AlgorithmSpec {
     pub fn build(&self) -> Result<Box<dyn Consolidator>> {
         Ok(match *self {
             AlgorithmSpec::CubeFit { gamma, classes } => Box::new(CubeFit::new(
-                CubeFitConfig::builder()
-                    .replication(gamma)
-                    .classes(classes)
-                    .build()?,
+                CubeFitConfig::builder().replication(gamma).classes(classes).build()?,
             )),
             AlgorithmSpec::Rfi { gamma, mu } => Box::new(Rfi::new(gamma, mu)?),
             AlgorithmSpec::BestFit { gamma } => Box::new(BestFit::new(gamma)?),
@@ -114,8 +110,7 @@ impl AlgorithmSpec {
 
 /// A constructible description of a tenant-load distribution, always paired
 /// with the normalization constant `C` (the paper uses `C = 52`).
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum DistributionSpec {
     /// Clients uniform over `min..=max`, loads `c/C` under the normalized
     /// model (or `δ·c+β` when a testbed model is requested).
@@ -185,9 +180,7 @@ mod tests {
         ];
         for spec in &specs {
             let mut algorithm = spec.build().unwrap();
-            algorithm
-                .place(Tenant::with_load(Load::new(0.4).unwrap()))
-                .unwrap();
+            algorithm.place(Tenant::with_load(Load::new(0.4).unwrap())).unwrap();
             assert_eq!(algorithm.placement().tenant_count(), 1);
             assert_eq!(spec.gamma(), 2);
             assert!(!spec.label().is_empty());

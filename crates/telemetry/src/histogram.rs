@@ -1,0 +1,297 @@
+//! A log-bucketed, HDR-style histogram.
+//!
+//! Values are assigned to geometrically spaced buckets — 16 per octave,
+//! giving a worst-case relative quantile error of `2^(1/32) − 1 ≈ 2.2%`
+//! when estimates are taken at the bucket's geometric midpoint. All
+//! mutation is lock-free (`AtomicU64` per bucket plus atomic min/max/sum),
+//! so recording from concurrent simulation threads needs no coordination.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Buckets per factor-of-two range of values.
+const SUBBUCKETS_PER_OCTAVE: usize = 16;
+/// Smallest distinguishable value; anything at or below lands in bucket 0.
+const MIN_TRACKABLE: f64 = 1e-9;
+/// Octaves covered above [`MIN_TRACKABLE`] (up to ~1.15e9).
+const OCTAVES: usize = 60;
+/// Regular buckets; one extra slot catches overflow.
+const BUCKETS: usize = OCTAVES * SUBBUCKETS_PER_OCTAVE + 1;
+
+/// A fixed-range histogram of non-negative `f64` samples.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of samples, stored as `f64` bits and updated by CAS.
+    sum_bits: AtomicU64,
+    /// Minimum sample, as `f64` bits (`f64::INFINITY` when empty).
+    min_bits: AtomicU64,
+    /// Maximum sample, as `f64` bits (`0.0` when empty).
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    fn bucket_index(value: f64) -> usize {
+        if !value.is_finite() || value <= MIN_TRACKABLE {
+            return 0;
+        }
+        let octaves = (value / MIN_TRACKABLE).log2();
+        let index = (octaves * SUBBUCKETS_PER_OCTAVE as f64) as usize;
+        index.min(BUCKETS - 1)
+    }
+
+    /// The value range `[lo, hi)` covered by `index`, and its geometric
+    /// midpoint used for quantile estimates.
+    fn bucket_bounds(index: usize) -> (f64, f64) {
+        if index == 0 {
+            return (0.0, MIN_TRACKABLE);
+        }
+        let per = SUBBUCKETS_PER_OCTAVE as f64;
+        let lo = MIN_TRACKABLE * 2f64.powf(index as f64 / per);
+        let hi = MIN_TRACKABLE * 2f64.powf((index + 1) as f64 / per);
+        (lo, hi)
+    }
+
+    /// Records one sample. Negative, zero, and non-finite samples are
+    /// clamped into the lowest bucket (they still count toward `count`).
+    pub fn record(&self, value: f64) {
+        let value = if value.is_finite() && value > 0.0 { value } else { 0.0 };
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Atomic f64 accumulate / min / max via CAS on the bit patterns.
+        let _ = self.sum_bits.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+            Some((f64::from_bits(bits) + value).to_bits())
+        });
+        let _ = self.min_bits.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+            (value < f64::from_bits(bits)).then(|| value.to_bits())
+        });
+        let _ = self.max_bits.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+            (value > f64::from_bits(bits)).then(|| value.to_bits())
+        });
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Exact mean of recorded samples (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() / count as f64
+        }
+    }
+
+    /// Exact minimum sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        if min.is_finite() {
+            min
+        } else {
+            0.0
+        }
+    }
+
+    /// Exact maximum sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+
+    /// Nearest-rank quantile estimate for `q` in `[0, 1]`.
+    ///
+    /// The estimate is the geometric midpoint of the bucket holding the
+    /// ranked sample, clamped to the exact observed `[min, max]`, so the
+    /// relative error is bounded by half a bucket width (≈2.2%).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest rank, 1-based: smallest rank with cumulative ≥ q·count.
+        let rank = ((q * count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                let (lo, hi) = Self::bucket_bounds(index);
+                let estimate = if index == 0 { lo } else { (lo * hi).sqrt() };
+                return estimate.clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// A serializable snapshot (non-empty buckets only).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(index, bucket)| {
+                    let count = bucket.load(Ordering::Relaxed);
+                    (count > 0).then_some((index as u64, count))
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Clone for Histogram {
+    fn clone(&self) -> Self {
+        Histogram {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| AtomicU64::new(b.load(Ordering::Relaxed)))
+                .collect(),
+            count: AtomicU64::new(self.count.load(Ordering::Relaxed)),
+            sum_bits: AtomicU64::new(self.sum_bits.load(Ordering::Relaxed)),
+            min_bits: AtomicU64::new(self.min_bits.load(Ordering::Relaxed)),
+            max_bits: AtomicU64::new(self.max_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("mean", &self.mean())
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+/// Point-in-time contents of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Exact minimum.
+    pub min: f64,
+    /// Exact maximum.
+    pub max: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// Sparse `(bucket index, count)` pairs for non-empty buckets.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn mean_min_max_are_exact() {
+        let h = Histogram::new();
+        for v in [0.5, 1.5, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 4.0);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_tolerance() {
+        let h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(f64::from(i) / 1000.0);
+        }
+        for (q, exact) in [(0.5, 0.5), (0.9, 0.9), (0.99, 0.99)] {
+            let got = h.quantile(q);
+            assert!((got - exact).abs() <= exact * 0.03, "q{q}: got {got}, exact {exact}");
+        }
+    }
+
+    #[test]
+    fn degenerate_samples_clamp_to_lowest_bucket() {
+        let h = Histogram::new();
+        h.record(-3.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let h = Histogram::new();
+        for v in [0.001, 0.01, 0.25, 3.0, 3.0] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn huge_values_land_in_overflow_bucket() {
+        let h = Histogram::new();
+        h.record(1e300);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 1e300);
+        // The quantile clamps to the exact max.
+        assert_eq!(h.quantile(1.0), 1e300);
+    }
+}

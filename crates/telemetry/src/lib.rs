@@ -1,0 +1,34 @@
+//! Observability for the CubeFit workspace.
+//!
+//! Three pieces, designed to be cheap enough to leave compiled into hot
+//! paths:
+//!
+//! - a [`Registry`] of named [`Counter`]s, [`Gauge`]s, and log-bucketed
+//!   [`Histogram`]s with hierarchical labels (`algorithm`, `gamma`,
+//!   `class`, `server`), snapshotted into a serializable
+//!   [`MetricsSnapshot`];
+//! - a structured [`TraceEvent`] stream recording individual placement
+//!   decisions (tenant arrival, m-fit hit/miss, cube slot assignment, bin
+//!   open/close, robustness-check outcome), written as JSONL by a
+//!   [`TraceSink`];
+//! - a [`Recorder`] facade that algorithms hold. The default recorder is
+//!   disabled and every operation on it costs a single branch on an
+//!   `Option`, so instrumented code pays nothing measurable when
+//!   telemetry is off.
+//!
+//! The crate is a leaf: events carry raw `u64`/`usize` identifiers rather
+//! than core types, so every layer of the workspace (core, baselines,
+//! sim, cluster, CLI) can depend on it without cycles.
+
+mod histogram;
+mod recorder;
+mod registry;
+mod trace;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use recorder::Recorder;
+pub use registry::{
+    Counter, CounterSnapshot, Gauge, GaugeSnapshot, Labels, MetricsSnapshot, NamedHistogram,
+    Registry,
+};
+pub use trace::{JsonlSink, TraceEvent, TraceSink, VecSink};

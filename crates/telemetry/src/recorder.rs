@@ -1,0 +1,181 @@
+//! The [`Recorder`] facade instrumented code holds.
+
+use crate::histogram::Histogram;
+use crate::registry::{Counter, Gauge, MetricsSnapshot, Registry};
+use crate::trace::{TraceEvent, TraceSink};
+use std::sync::Arc;
+
+struct Inner {
+    registry: Registry,
+    sink: Option<Box<dyn TraceSink>>,
+}
+
+/// A cheap, cloneable handle to a metrics registry and an optional trace
+/// sink.
+///
+/// The default recorder is **disabled**: every operation short-circuits on
+/// one `Option` branch, and [`Recorder::emit`] takes a closure so event
+/// payloads are never even constructed. Algorithms can therefore keep a
+/// `Recorder` field unconditionally, including in benchmarks.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// A recorder that ignores everything (same as `Recorder::default()`).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// A recorder collecting metrics but writing no trace.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Recorder { inner: Some(Arc::new(Inner { registry: Registry::new(), sink: None })) }
+    }
+
+    /// A recorder collecting metrics and streaming events into `sink`.
+    #[must_use]
+    pub fn with_sink(sink: impl TraceSink + 'static) -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner { registry: Registry::new(), sink: Some(Box::new(sink)) })),
+        }
+    }
+
+    /// Whether this recorder collects anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records `event` if enabled and a sink is attached. The closure is
+    /// only called when the event will actually be written.
+    pub fn emit(&self, event: impl FnOnce() -> TraceEvent) {
+        if let Some(inner) = &self.inner {
+            if let Some(sink) = &inner.sink {
+                sink.record(&event());
+            }
+        }
+    }
+
+    /// Resolves a counter handle. Disabled recorders hand back a detached
+    /// counter that counts into nowhere, so call sites need no branching.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match &self.inner {
+            Some(inner) => inner.registry.counter(name, labels),
+            None => Counter::default(),
+        }
+    }
+
+    /// Resolves a gauge handle (detached when disabled).
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match &self.inner {
+            Some(inner) => inner.registry.gauge(name, labels),
+            None => Gauge::default(),
+        }
+    }
+
+    /// Resolves a histogram handle (detached when disabled).
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        match &self.inner {
+            Some(inner) => inner.registry.histogram(name, labels),
+            None => Arc::new(Histogram::new()),
+        }
+    }
+
+    /// Snapshots all metrics (empty when disabled).
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            Some(inner) => inner.registry.snapshot(),
+            None => MetricsSnapshot::default(),
+        }
+    }
+
+    /// Flushes the trace sink, if any.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            if let Some(sink) = &inner.sink {
+                sink.flush();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(inner) => f
+                .debug_struct("Recorder")
+                .field("enabled", &true)
+                .field("sink", &inner.sink.is_some())
+                .finish(),
+            None => f.debug_struct("Recorder").field("enabled", &false).finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::VecSink;
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let recorder = Recorder::default();
+        assert!(!recorder.is_enabled());
+        let counter = recorder.counter("x", &[]);
+        counter.inc();
+        // The count lands in a detached cell; the snapshot stays empty.
+        assert_eq!(counter.get(), 1);
+        assert_eq!(recorder.snapshot(), MetricsSnapshot::default());
+        let mut called = false;
+        recorder.emit(|| {
+            called = true;
+            TraceEvent::BinClosed { bin: 0, level: 0.0 }
+        });
+        assert!(!called, "disabled recorder must not build events");
+    }
+
+    #[test]
+    fn enabled_recorder_collects_metrics() {
+        let recorder = Recorder::enabled();
+        recorder.counter("placed", &[("algorithm", "cubefit")]).add(3);
+        recorder.gauge("utilization", &[]).set(0.5);
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("placed", &[("algorithm", "cubefit")]), 3);
+        assert_eq!(snap.gauges.len(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let recorder = Recorder::enabled();
+        let clone = recorder.clone();
+        clone.counter("n", &[]).inc();
+        assert_eq!(recorder.snapshot().counter("n", &[]), 1);
+    }
+
+    #[test]
+    fn sink_receives_events_without_metrics_interference() {
+        // Keep a second handle to the sink through an Arc wrapper.
+        struct Shared(StdArc<VecSink>);
+        impl crate::trace::TraceSink for Shared {
+            fn record(&self, event: &TraceEvent) {
+                self.0.record(event);
+            }
+        }
+        let sink = StdArc::new(VecSink::new());
+        let recorder = Recorder::with_sink(Shared(StdArc::clone(&sink)));
+        recorder.emit(|| TraceEvent::BinOpened { bin: 1, class: None, total_open: 1 });
+        recorder.flush();
+        assert_eq!(
+            sink.events(),
+            vec![TraceEvent::BinOpened { bin: 1, class: None, total_open: 1 }]
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Named metrics with hierarchical labels.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A label set, e.g. `[("algorithm", "cubefit"), ("gamma", "2")]`.
+///
+/// Labels are hierarchical by convention: `algorithm` → `gamma` → `class`
+/// → `server`, from coarsest to finest. They are stored sorted by key so
+/// the same set always maps to the same metric.
+pub type Labels = Vec<(String, String)>;
+
+fn normalized(labels: &[(&str, &str)]) -> Labels {
+    let mut labels: Labels = labels.iter().map(|&(k, v)| (k.to_owned(), v.to_owned())).collect();
+    labels.sort();
+    labels
+}
+
+/// A monotonically increasing metric. Cloning shares the underlying cell,
+/// so handles can be resolved once and kept on hot paths.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A metric holding the latest `f64` observation.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge { bits: Arc::new(AtomicU64::new(0.0f64.to_bits())) }
+    }
+}
+
+impl Gauge {
+    /// Replaces the value.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Owns every metric; hands out shared handles and takes snapshots.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<(String, Labels), Counter>>,
+    gauges: Mutex<BTreeMap<(String, Labels), Gauge>>,
+    histograms: Mutex<BTreeMap<(String, Labels), Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter for `name` + `labels`, created on first use.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.counters
+            .lock()
+            .expect("registry lock")
+            .entry((name.to_owned(), normalized(labels)))
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge for `name` + `labels`, created on first use.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.gauges
+            .lock()
+            .expect("registry lock")
+            .entry((name.to_owned(), normalized(labels)))
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram for `name` + `labels`, created on first use.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histograms
+            .lock()
+            .expect("registry lock")
+            .entry((name.to_owned(), normalized(labels)))
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// A point-in-time copy of every metric, ready to serialize.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|((name, labels), counter)| CounterSnapshot {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value: counter.get(),
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|((name, labels), gauge)| GaugeSnapshot {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value: gauge.get(),
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|((name, labels), histogram)| NamedHistogram {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    histogram: histogram.snapshot(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One counter in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label set.
+    pub labels: Labels,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// One gauge in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label set.
+    pub labels: Labels,
+    /// Value at snapshot time.
+    pub value: f64,
+}
+
+/// One histogram in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NamedHistogram {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label set.
+    pub labels: Labels,
+    /// Histogram contents.
+    pub histogram: HistogramSnapshot,
+}
+
+/// Everything a [`Registry`] held at snapshot time.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters, sorted by name then labels.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, sorted by name then labels.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, sorted by name then labels.
+    pub histograms: Vec<NamedHistogram>,
+}
+
+impl MetricsSnapshot {
+    /// The value of the counter `name` whose labels include `labels`
+    /// (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| {
+                c.name == name
+                    && labels
+                        .iter()
+                        .all(|&(k, v)| c.labels.iter().any(|(ck, cv)| ck == k && cv == v))
+            })
+            .map(|c| c.value)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_cells_per_label_set() {
+        let registry = Registry::new();
+        let a = registry.counter("placed", &[("algorithm", "cubefit")]);
+        let b = registry.counter("placed", &[("algorithm", "cubefit")]);
+        let other = registry.counter("placed", &[("algorithm", "rfi")]);
+        a.inc();
+        b.add(2);
+        other.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(other.get(), 1);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let registry = Registry::new();
+        let a = registry.counter("x", &[("gamma", "2"), ("algorithm", "cubefit")]);
+        registry.counter("x", &[("algorithm", "cubefit"), ("gamma", "2")]).inc();
+        assert_eq!(a.get(), 1);
+    }
+
+    #[test]
+    fn gauge_stores_latest() {
+        let registry = Registry::new();
+        let g = registry.gauge("utilization", &[]);
+        g.set(0.25);
+        g.set(0.75);
+        assert_eq!(g.get(), 0.75);
+    }
+
+    #[test]
+    fn snapshot_serializes_and_queries() {
+        let registry = Registry::new();
+        registry.counter("bins_opened", &[("algorithm", "cubefit")]).add(7);
+        registry.gauge("utilization", &[]).set(0.5);
+        registry.histogram("latency", &[("server", "3")]).record(0.010);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("bins_opened", &[("algorithm", "cubefit")]), 7);
+        assert_eq!(snap.counter("bins_opened", &[("algorithm", "rfi")]), 0);
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,222 @@
+//! Structured placement-decision events and JSONL sinks.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+/// One placement decision, with raw identifiers (`u64` tenant ids,
+/// `usize` bin/class/slot indices) so this crate stays a leaf.
+///
+/// Serialized externally tagged, one JSON object per line in a trace
+/// file, e.g. `{"BinOpened":{"bin":3,"class":2,"total_open":4}}`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum TraceEvent {
+    /// A tenant entered the consolidator.
+    TenantArrived {
+        /// Tenant id.
+        tenant: u64,
+        /// Tenant load in `(0, 1]`.
+        load: f64,
+        /// Arrival sequence number (0-based).
+        seq: u64,
+    },
+    /// Stage 1 ran the m-fit scan over mature bins.
+    MfitOutcome {
+        /// Tenant id.
+        tenant: u64,
+        /// Replica class being placed.
+        class: usize,
+        /// Mature candidate bins examined before the scan stopped.
+        candidates_scanned: usize,
+        /// Whether a full `γ`-set of mature bins was found.
+        hit: bool,
+    },
+    /// Stage 2 assigned a replica to a cube slot.
+    SlotAssigned {
+        /// Tenant id.
+        tenant: u64,
+        /// Replica class of the slot.
+        class: usize,
+        /// Replica index `j` — the cube group the slot belongs to.
+        level: usize,
+        /// Bin that received the replica.
+        bin: usize,
+        /// Slot index within the bin.
+        slot: usize,
+    },
+    /// A baseline packer scanned for a feasible server for one replica.
+    FitAttempt {
+        /// Tenant id.
+        tenant: u64,
+        /// Replica index within the tenant's `γ` set.
+        replica: usize,
+        /// Candidate servers inspected before the scan stopped.
+        scanned: usize,
+        /// Whether the scan failed and a fresh server was opened instead.
+        opened_new: bool,
+    },
+    /// A bin received its first replica (count of these events equals the
+    /// number of servers a run reports).
+    BinOpened {
+        /// The bin.
+        bin: usize,
+        /// Replica class the bin was built for (`None` for baseline bins
+        /// without a class).
+        class: Option<usize>,
+        /// Non-empty bins after this open.
+        total_open: usize,
+    },
+    /// A bin was closed to further placements (bounded-space packers
+    /// advancing their window, or a simulated server taken offline).
+    BinClosed {
+        /// The bin.
+        bin: usize,
+        /// Bin load level at close time.
+        level: f64,
+    },
+    /// A robustness check ran over a placement.
+    RobustnessChecked {
+        /// Whether the placement survives `γ−1` failures.
+        robust: bool,
+        /// Worst slack margin across bins (negative = violation).
+        worst_margin: f64,
+        /// Number of violating bins.
+        violations: usize,
+    },
+    /// A tenant finished placement.
+    Placed {
+        /// Tenant id.
+        tenant: u64,
+        /// Bins hosting the tenant's replicas.
+        bins: Vec<usize>,
+        /// Which algorithm path placed it (e.g. `MatureFit`, `Cube`).
+        stage: String,
+        /// Bins newly created for this tenant.
+        opened: usize,
+    },
+}
+
+/// Destination for a stream of [`TraceEvent`]s. `Send + Sync` so sinks can
+/// sit behind the `Arc` inside a cloned [`crate::Recorder`].
+pub trait TraceSink: Send + Sync {
+    /// Records one event.
+    fn record(&self, event: &TraceEvent);
+
+    /// Flushes buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for std::sync::Arc<S> {
+    fn record(&self, event: &TraceEvent) {
+        (**self).record(event);
+    }
+
+    fn flush(&self) {
+        (**self).flush();
+    }
+}
+
+/// Writes events as JSON Lines to any `Write` target.
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// A sink writing one JSON object per line to `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer: Mutex::new(writer) }
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&self, event: &TraceEvent) {
+        let line = serde_json::to_string(event).expect("trace events serialize");
+        let mut writer = self.writer.lock().expect("sink lock");
+        // A trace is advisory; ignore I/O errors rather than panicking
+        // mid-placement.
+        let _ = writeln!(writer, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("sink lock").flush();
+    }
+}
+
+/// Collects events in memory (tests and programmatic inspection).
+#[derive(Default)]
+pub struct VecSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// A copy of every event recorded so far.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("sink lock").clone()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&self, event: &TraceEvent) {
+        self.events.lock().expect("sink lock").push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::TenantArrived { tenant: 7, load: 0.25, seq: 0 },
+            TraceEvent::MfitOutcome { tenant: 7, class: 3, candidates_scanned: 5, hit: false },
+            TraceEvent::SlotAssigned { tenant: 7, class: 3, level: 1, bin: 2, slot: 4 },
+            TraceEvent::FitAttempt { tenant: 8, replica: 0, scanned: 12, opened_new: true },
+            TraceEvent::BinOpened { bin: 2, class: Some(3), total_open: 3 },
+            TraceEvent::BinOpened { bin: 9, class: None, total_open: 4 },
+            TraceEvent::BinClosed { bin: 2, level: 0.875 },
+            TraceEvent::RobustnessChecked { robust: true, worst_margin: 0.125, violations: 0 },
+            TraceEvent::Placed { tenant: 7, bins: vec![2, 5], stage: "Cube".to_owned(), opened: 1 },
+        ]
+    }
+
+    #[test]
+    fn every_variant_roundtrips_through_jsonl() {
+        for event in sample_events() {
+            let line = serde_json::to_string(&event).unwrap();
+            assert!(!line.contains('\n'));
+            let back: TraceEvent = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let sink = JsonlSink::new(Vec::new());
+        for event in sample_events() {
+            sink.record(&event);
+        }
+        let bytes = sink.writer.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), sample_events().len());
+        for (line, event) in lines.iter().zip(sample_events()) {
+            let back: TraceEvent = serde_json::from_str(line).unwrap();
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let sink = VecSink::new();
+        for event in sample_events() {
+            sink.record(&event);
+        }
+        assert_eq!(sink.events(), sample_events());
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for `cubefit-telemetry`: histogram quantiles against an
+//! exact sorted-vector oracle, and JSONL round-trips for randomly filled
+//! trace events of every variant.
+
+use cubefit_telemetry::{Histogram, TraceEvent};
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile over a sorted sample — the oracle the
+/// log-bucketed histogram approximates.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The histogram's bucket geometry (16 subbuckets per octave) bounds the
+/// relative error of any quantile by half a bucket width: 2^(1/16) − 1
+/// ≈ 4.4%, halved by midpoint reporting to ≈ 2.2%. Allow 3% for the
+/// rank-rounding interplay at bucket edges.
+const QUANTILE_TOLERANCE: f64 = 0.03;
+
+fn close(approx: f64, exact: f64) -> bool {
+    if exact == 0.0 {
+        return approx.abs() < 1e-12;
+    }
+    ((approx - exact) / exact).abs() <= QUANTILE_TOLERANCE
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantiles land within half a bucket of the exact nearest-rank
+    /// answer, across several orders of magnitude of input.
+    #[test]
+    fn quantiles_match_sorted_oracle(
+        raw in prop::collection::vec((1u32..1_000_000, 1u32..1_000), 1..400),
+    ) {
+        // Span ~9 decades: value = mantissa / divisor ∈ (1e-3, 1e6).
+        let samples: Vec<f64> =
+            raw.iter().map(|&(m, d)| f64::from(m) / f64::from(d)).collect();
+        let histogram = Histogram::new();
+        for &s in &samples {
+            histogram.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+
+        prop_assert_eq!(histogram.count(), samples.len() as u64);
+        let exact_sum: f64 = samples.iter().sum();
+        prop_assert!((histogram.sum() - exact_sum).abs() <= 1e-9 * exact_sum.abs().max(1.0));
+        prop_assert_eq!(histogram.min(), sorted[0]);
+        prop_assert_eq!(histogram.max(), sorted[sorted.len() - 1]);
+
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99] {
+            let approx = histogram.quantile(q);
+            let exact = exact_quantile(&sorted, q);
+            prop_assert!(
+                close(approx, exact),
+                "q={} approx={} exact={} over {} samples",
+                q, approx, exact, samples.len()
+            );
+        }
+    }
+
+    /// Identical samples collapse to a single bucket: every quantile is
+    /// that value exactly (the clamp to [min, max] takes over).
+    #[test]
+    fn constant_stream_has_flat_quantiles(
+        mantissa in 1u32..1_000_000,
+        count in 1usize..200,
+    ) {
+        let value = f64::from(mantissa) / 1_000.0;
+        let histogram = Histogram::new();
+        for _ in 0..count {
+            histogram.record(value);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            prop_assert_eq!(histogram.quantile(q), value);
+        }
+        prop_assert_eq!(histogram.count(), count as u64);
+    }
+
+    /// Snapshots agree with the live histogram they were taken from.
+    #[test]
+    fn snapshot_mirrors_live_histogram(
+        raw in prop::collection::vec(1u32..100_000, 1..200),
+    ) {
+        let histogram = Histogram::new();
+        for &m in &raw {
+            histogram.record(f64::from(m) / 100.0);
+        }
+        let snapshot = histogram.snapshot();
+        prop_assert_eq!(snapshot.count, histogram.count());
+        prop_assert_eq!(snapshot.min, histogram.min());
+        prop_assert_eq!(snapshot.max, histogram.max());
+        prop_assert_eq!(snapshot.p50, histogram.quantile(0.5));
+        prop_assert_eq!(snapshot.p90, histogram.quantile(0.9));
+        prop_assert_eq!(snapshot.p99, histogram.quantile(0.99));
+    }
+
+    /// Every trace-event variant survives a JSONL round-trip with
+    /// arbitrary field values, not just the fixed samples of the unit
+    /// tests.
+    #[test]
+    fn random_events_roundtrip_through_json(
+        tenant in 0u64..u64::MAX / 2,
+        bin in 0usize..1_000_000,
+        class in 0usize..64,
+        level_m in 0u32..1_000,
+        flag_bit in 0u32..2,
+        count in 0usize..10_000,
+    ) {
+        let flag = flag_bit == 1;
+        let level = f64::from(level_m) / 1_000.0;
+        let events = [
+            TraceEvent::TenantArrived { tenant, load: level, seq: tenant },
+            TraceEvent::MfitOutcome {
+                tenant,
+                class,
+                candidates_scanned: count,
+                hit: flag,
+            },
+            TraceEvent::SlotAssigned { tenant, class, level: class, bin, slot: count },
+            TraceEvent::FitAttempt { tenant, replica: class, scanned: count, opened_new: flag },
+            TraceEvent::BinOpened {
+                bin,
+                class: if flag { Some(class) } else { None },
+                total_open: count,
+            },
+            TraceEvent::BinClosed { bin, level },
+            TraceEvent::RobustnessChecked { robust: flag, worst_margin: level, violations: count },
+            TraceEvent::Placed {
+                tenant,
+                bins: vec![bin, bin + 1],
+                stage: "Cube".to_owned(),
+                opened: count,
+            },
+        ];
+        for event in &events {
+            let line = serde_json::to_string(event).unwrap();
+            prop_assert!(!line.contains('\n'), "JSONL lines must be single-line");
+            let back: TraceEvent = serde_json::from_str(&line).unwrap();
+            prop_assert_eq!(&back, event);
+        }
+    }
+}

@@ -163,19 +163,11 @@ impl ClientDistribution for MixtureClients {
             }
             pick -= weight;
         }
-        self.components
-            .last()
-            .expect("validated non-empty")
-            .1
-            .sample_clients(rng)
+        self.components.last().expect("validated non-empty").1.sample_clients(rng)
     }
 
     fn max_clients(&self) -> u32 {
-        self.components
-            .iter()
-            .map(|(_, d)| d.max_clients())
-            .max()
-            .expect("validated non-empty")
+        self.components.iter().map(|(_, d)| d.max_clients()).max().expect("validated non-empty")
     }
 
     fn label(&self) -> String {
@@ -232,9 +224,7 @@ mod tests {
         let d = ZipfClients::new(3.0, 52);
         let mut rng = rng();
         let n = 10_000;
-        let ones = (0..n)
-            .filter(|_| d.sample_clients(&mut rng) == 1)
-            .count();
+        let ones = (0..n).filter(|_| d.sample_clients(&mut rng) == 1).count();
         assert!(ones as f64 / n as f64 > 0.75);
         assert_eq!(d.max_clients(), 52);
     }

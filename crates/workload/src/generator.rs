@@ -195,9 +195,7 @@ mod tests {
     #[test]
     fn loads_follow_model() {
         let model = LoadModel::normalized(52);
-        let seq = SequenceBuilder::new(ConstantClients::new(13), model)
-            .count(5)
-            .build();
+        let seq = SequenceBuilder::new(ConstantClients::new(13), model).count(5).build();
         for spec in &seq {
             assert_eq!(spec.clients, 13);
             assert!((spec.load().get() - 0.25).abs() < 1e-12);
@@ -231,12 +229,8 @@ mod tests {
         let seq = SequenceBuilder::new(ConstantClients::new(2), LoadModel::normalized(4))
             .count(4)
             .build();
-        let filtered: TenantSequence = seq
-            .specs()
-            .iter()
-            .copied()
-            .filter(|s| s.tenant.id().get() % 2 == 0)
-            .collect();
+        let filtered: TenantSequence =
+            seq.specs().iter().copied().filter(|s| s.tenant.id().get() % 2 == 0).collect();
         assert_eq!(filtered.len(), 2);
         assert!(!filtered.is_empty());
         let tenants: Vec<Tenant> = seq.tenants().collect();

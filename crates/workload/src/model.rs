@@ -37,10 +37,7 @@ impl LoadModel {
         assert!(delta > 0.0, "per-client cost must be positive");
         assert!(beta >= 0.0, "per-tenant overhead cannot be negative");
         assert!(max_clients >= 1, "a server must support at least one client");
-        assert!(
-            delta + beta <= 1.0 + 1e-12,
-            "a single client may not overload a server"
-        );
+        assert!(delta + beta <= 1.0 + 1e-12, "a single client may not overload a server");
         LoadModel { delta, beta, max_clients }
     }
 

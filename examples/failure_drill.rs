@@ -9,7 +9,9 @@
 
 use cubefit::cluster::SimConfig;
 use cubefit::sim::report::TextTable;
-use cubefit::sim::{run_failure_experiment, AlgorithmSpec, DistributionSpec, FailureExperimentConfig};
+use cubefit::sim::{
+    run_failure_experiment, AlgorithmSpec, DistributionSpec, FailureExperimentConfig,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let servers = 16;

@@ -1,0 +1,60 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::thread::scope` on top of `std::thread::scope`
+//! (stable since Rust 1.63), matching the call shape this workspace uses:
+//! `scope(|s| { s.spawn(move |_| ...); }).expect(...)`.
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope handle passed to the closure given to [`scope`].
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a unit argument in
+        /// place of crossbeam's nested scope handle (unused by callers that
+        /// write `move |_| ...`).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(()))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads may borrow from the
+    /// enclosing stack frame; all threads are joined before returning.
+    ///
+    /// # Errors
+    ///
+    /// Unlike real crossbeam this never returns `Err`: a panicking child
+    /// thread propagates its panic at the end of the scope (std semantics).
+    /// The `Result` return type keeps call sites (`.expect(...)`) source
+    /// compatible.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_fill_disjoint_slots() {
+        let mut slots: Vec<Option<usize>> = vec![None; 8];
+        super::thread::scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                scope.spawn(move |_| *slot = Some(i * i));
+            }
+        })
+        .expect("threads do not panic");
+        for (i, slot) in slots.iter().enumerate() {
+            assert_eq!(*slot, Some(i * i));
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Offline shim for the `rand` crate (0.8 API subset).
+//!
+//! Implements the traits and extension methods this workspace calls:
+//! [`RngCore`], [`SeedableRng`] (including the PCG32-based
+//! `seed_from_u64` default that matches `rand_core` 0.6 bit-for-bit), and
+//! the [`Rng`] extension trait with `gen`, `gen_bool`, and `gen_range` for
+//! the types used here.
+
+/// The core trait every random number generator implements.
+///
+/// Object-safe, so generators can be driven through `&mut dyn RngCore`.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fallible [`Self::fill_bytes`]; the shim never fails.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// Error type for fallible generation (never produced by the shim).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via the same PCG32 stream
+    /// `rand_core` 0.6 uses, so seeded sequences match the real crates.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+mod sealed {
+    /// Types `Rng::gen` can produce in this shim.
+    pub trait Standard {
+        fn from_rng<R: super::RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for f64 {
+        fn from_rng<R: super::RngCore + ?Sized>(rng: &mut R) -> Self {
+            // 53 random bits mapped to [0, 1) — the rand 0.8 Standard
+            // distribution for f64.
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    impl Standard for f32 {
+        fn from_rng<R: super::RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u32() >> 8) as f32 / (1u32 << 24) as f32
+        }
+    }
+
+    impl Standard for u32 {
+        fn from_rng<R: super::RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl Standard for u64 {
+        fn from_rng<R: super::RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Standard for bool {
+        fn from_rng<R: super::RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    /// Ranges `Rng::gen_range` accepts in this shim.
+    pub trait SampleRange<T> {
+        fn sample<R: super::RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for std::ops::Range<$t> {
+                fn sample<R: super::RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range in gen_range");
+                    let span = (self.end - self.start) as u64;
+                    // Unbiased via rejection of the wrap-around zone.
+                    let zone = u64::MAX - u64::MAX % span;
+                    loop {
+                        let raw = rng.next_u64();
+                        if raw < zone {
+                            return self.start + (raw % span) as $t;
+                        }
+                    }
+                }
+            }
+
+            impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+                fn sample<R: super::RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range in gen_range");
+                    if start == <$t>::MIN && end == <$t>::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let span = (end - start) as u64 + 1;
+                    let zone = u64::MAX - u64::MAX % span;
+                    loop {
+                        let raw = rng.next_u64();
+                        if raw < zone {
+                            return start + (raw % span) as $t;
+                        }
+                    }
+                }
+            }
+        )*};
+    }
+
+    int_range!(usize, u64, u32, u16, u8);
+
+    impl SampleRange<f64> for std::ops::Range<f64> {
+        fn sample<R: super::RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "empty range in gen_range");
+            let unit = <f64 as Standard>::from_rng(rng);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+}
+
+/// Convenience extension methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from the standard distribution
+    /// (`f64`/`f32` uniform in `[0, 1)`, integers full-range, fair `bool`).
+    fn gen<T: sealed::Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, Range: sealed::SampleRange<T>>(&mut self, range: Range) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        <f64 as sealed::Standard>::from_rng(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Minimal `rand::rngs` namespace.
+pub mod rngs {
+    /// A non-deterministic convenience generator (see [`crate::thread_rng`]).
+    ///
+    /// SplitMix64 over a per-instance seed; not cryptographic, which
+    /// matches how the workspace uses `thread_rng` (smoke tests only).
+    #[derive(Debug, Clone)]
+    pub struct ThreadRng {
+        state: u64,
+    }
+
+    impl ThreadRng {
+        pub(crate) fn new(state: u64) -> Self {
+            ThreadRng { state }
+        }
+    }
+
+    impl crate::RngCore for ThreadRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let raw = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&raw[..chunk.len()]);
+            }
+        }
+    }
+}
+
+/// A freshly seeded convenience generator (distinct per call).
+#[must_use]
+pub fn thread_rng() -> rngs::ThreadRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let tick = std::time::SystemTime::UNIX_EPOCH
+        .elapsed()
+        .map_or(0, |d| d.subsec_nanos() as u64 ^ d.as_secs());
+    rngs::ThreadRng::new(tick ^ COUNTER.fetch_add(0x9E37_79B9, Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64: decent diffusion for the statistical checks below.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let raw = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&raw[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval() {
+        let mut rng = Counter(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_support() {
+        let mut rng = Counter(2);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_range_inclusive_hits_both_ends() {
+        let mut rng = Counter(3);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..10_000 {
+            match rng.gen_range(0u32..=3) {
+                0 => lo = true,
+                3 => hi = true,
+                _ => {}
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn dyn_rng_core_usable() {
+        let mut rng = Counter(4);
+        let dynref: &mut dyn RngCore = &mut rng;
+        assert!(dynref.next_u64() != dynref.next_u64());
+        let mut bytes = [0u8; 5];
+        dynref.fill_bytes(&mut bytes);
+        dynref.try_fill_bytes(&mut bytes).unwrap();
+    }
+}

@@ -1,0 +1,447 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Generates impls of the shim `serde::Serialize` / `serde::Deserialize`
+//! traits (the simplified `Value`-based model) for the shapes this
+//! workspace derives on:
+//!
+//! - structs with named fields        → JSON objects
+//! - newtype tuple structs            → transparent (the inner value)
+//! - multi-field tuple structs        → JSON arrays
+//! - enums with unit variants         → `"Variant"` strings
+//! - enums with struct variants       → `{"Variant": {..fields..}}`
+//! - enums with newtype variants      → `{"Variant": value}`
+//!
+//! which matches serde's externally-tagged default representation.
+//! Parsing is hand-rolled over `proc_macro::TokenTree` (no syn/quote);
+//! generics and `#[serde(...)]` attributes are not supported — the
+//! workspace uses neither.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// `struct S { a: T, b: U }`
+    NamedStruct(Vec<String>),
+    /// `struct S(T);` — serialized transparently.
+    Newtype,
+    /// `struct S(T, U);` — serialized as an array.
+    Tuple(usize),
+    /// `struct S;`
+    Unit,
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Skips `#[...]` outer attributes starting at `i`; returns the new index.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)` visibility at `i`.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(i) {
+        if ident.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parses the field names of a named-fields body: `a: T, b: U<V, W>, ...`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i);
+        i = skip_visibility(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde shim derive: expected field name, got {:?}", tokens[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        // Skip `:` then the type, up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple body: `T, U<V, W>, ...`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    for (i, token) in tokens.iter().enumerate() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            // A trailing comma does not start a new field.
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 && i + 1 < tokens.len() => {
+                count += 1;
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde shim derive: expected variant name, got {:?}", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                match count_tuple_fields(g.stream()) {
+                    1 => VariantKind::Newtype,
+                    n => panic!("serde shim derive: {n}-field tuple variant {name} unsupported"),
+                }
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+    let TokenTree::Ident(keyword) = &tokens[i] else {
+        panic!("serde shim derive: expected struct/enum, got {:?}", tokens[i]);
+    };
+    let keyword = keyword.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde shim derive: expected type name, got {:?}", tokens[i]);
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type {name} unsupported");
+        }
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                match count_tuple_fields(g.stream()) {
+                    1 => Shape::Newtype,
+                    n => Shape::Tuple(n),
+                }
+            }
+            _ => Shape::Unit,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut code = String::from("let mut map = ::serde::Map::new();\n");
+            for f in fields {
+                code.push_str(&format!(
+                    "map.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            code.push_str("::serde::Value::Object(map)");
+            code
+        }
+        Shape::Newtype => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => format!("::serde::Value::String(::std::string::String::from(\"{name}\"))"),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{vname}(inner) => {{\n\
+                         let mut map = ::serde::Map::new();\n\
+                         map.insert(::std::string::String::from(\"{vname}\"), \
+                         ::serde::Serialize::to_value(inner));\n\
+                         ::serde::Value::Object(map)\n}}\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let bindings = fields.join(", ");
+                        let mut inserts = String::new();
+                        for f in fields {
+                            inserts.push_str(&format!(
+                                "inner.insert(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {bindings} }} => {{\n\
+                             let mut inner = ::serde::Map::new();\n\
+                             {inserts}\
+                             let mut map = ::serde::Map::new();\n\
+                             map.insert(::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Object(inner));\n\
+                             ::serde::Value::Object(map)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(\
+                     map.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                     .map_err(|e| e.context(\"{name}.{f}\"))?,\n"
+                ));
+            }
+            format!(
+                "match value {{\n\
+                 ::serde::Value::Object(map) => ::std::result::Result::Ok({name} {{\n\
+                 {inits}}}),\n\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"expected object for {name}, got {{other:?}}\"))),\n}}"
+            )
+        }
+        Shape::Newtype => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)\
+             .map_err(|e| e.context(\"{name}\"))?))"
+        ),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(&items[{i}])\
+                         .map_err(|e| e.context(\"{name}.{i}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                 ::serde::Value::Array(items) if items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({items})),\n\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"expected {n}-element array for {name}, got {{other:?}}\"))),\n}}",
+                items = items.join(", ")
+            )
+        }
+        Shape::Unit => format!(
+            "match value {{\n\
+             ::serde::Value::String(s) if s == \"{name}\" => \
+             ::std::result::Result::Ok({name}),\n\
+             ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+             other => ::std::result::Result::Err(::serde::DeError::custom(\
+             format!(\"expected unit struct {name}, got {{other:?}}\"))),\n}}"
+        ),
+        Shape::Enum(variants) => {
+            let unit: Vec<&Variant> =
+                variants.iter().filter(|v| matches!(v.kind, VariantKind::Unit)).collect();
+            let tagged: Vec<&Variant> =
+                variants.iter().filter(|v| !matches!(v.kind, VariantKind::Unit)).collect();
+
+            let string_arm = if unit.is_empty() {
+                format!(
+                    "::serde::Value::String(other) => \
+                     ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown variant {{other}} for {name}\"))),\n"
+                )
+            } else {
+                let mut arms = String::new();
+                for v in &unit {
+                    arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n",
+                        vname = v.name
+                    ));
+                }
+                format!(
+                    "::serde::Value::String(s) => match s.as_str() {{\n{arms}\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown variant {{other}} for {name}\"))),\n}},\n"
+                )
+            };
+
+            let object_arm = if tagged.is_empty() {
+                format!(
+                    "::serde::Value::Object(_) => \
+                     ::std::result::Result::Err(::serde::DeError::custom(\
+                     \"expected variant string for {name}, got object\".to_owned())),\n"
+                )
+            } else {
+                let mut chain = String::new();
+                for (i, v) in tagged.iter().enumerate() {
+                    let vname = &v.name;
+                    let keyword = if i == 0 { "if" } else { "else if" };
+                    match &v.kind {
+                        VariantKind::Newtype => chain.push_str(&format!(
+                            "{keyword} let ::std::option::Option::Some(inner) = \
+                             map.get(\"{vname}\") {{\n\
+                             ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(inner)\
+                             .map_err(|e| e.context(\"{name}::{vname}\"))?))\n}}\n"
+                        )),
+                        VariantKind::Struct(fields) => {
+                            let mut inits = String::new();
+                            for f in fields {
+                                inits.push_str(&format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     fields.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                                     .map_err(|e| e.context(\"{name}::{vname}.{f}\"))?,\n"
+                                ));
+                            }
+                            chain.push_str(&format!(
+                                "{keyword} let ::std::option::Option::Some(inner) = \
+                                 map.get(\"{vname}\") {{\n\
+                                 match inner {{\n\
+                                 ::serde::Value::Object(fields) => \
+                                 ::std::result::Result::Ok({name}::{vname} {{\n{inits}}}),\n\
+                                 other => ::std::result::Result::Err(\
+                                 ::serde::DeError::custom(format!(\
+                                 \"expected object for variant {name}::{vname}, \
+                                 got {{other:?}}\"))),\n}}\n}}\n"
+                            ));
+                        }
+                        VariantKind::Unit => unreachable!("filtered above"),
+                    }
+                }
+                format!(
+                    "::serde::Value::Object(map) => {{\n{chain}\
+                     else {{\n::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown variant object for {name}: {{map:?}}\")))\n}}\n}}\n"
+                )
+            };
+
+            format!(
+                "match value {{\n{string_arm}{object_arm}\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"expected string or object for {name}, got {{other:?}}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Derives the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item).parse().expect("serde shim derive: generated Serialize impl parses")
+}
+
+/// Derives the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("serde shim derive: generated Deserialize impl parses")
+}

@@ -14,13 +14,7 @@ fn tenant(id: u64, load: f64) -> Tenant {
 }
 
 fn cubefit(gamma: usize, classes: usize) -> CubeFit {
-    CubeFit::new(
-        CubeFitConfig::builder()
-            .replication(gamma)
-            .classes(classes)
-            .build()
-            .unwrap(),
-    )
+    CubeFit::new(CubeFitConfig::builder().replication(gamma).classes(classes).build().unwrap())
 }
 
 /// Loads sitting exactly on every class boundary (`replica = 1/m`).
@@ -55,10 +49,7 @@ fn generation_rollover_flood() {
     assert!(p.is_robust());
     // Each full bin holds 2 payload replicas of 0.3: level 0.6; at most a
     // constant number of trailing bins are underfull.
-    let underfull = p
-        .bins()
-        .filter(|b| !b.is_empty() && b.level() < 0.6 - 1e-9)
-        .count();
+    let underfull = p.bins().filter(|b| !b.is_empty() && b.level() < 0.6 - 1e-9).count();
     assert!(underfull <= 4, "{underfull} underfull bins");
 }
 
@@ -167,11 +158,7 @@ fn cross_algorithm_adversarial_stream() {
         for (id, &load) in loads.iter().enumerate() {
             algorithm.place(tenant(id as u64, load)).unwrap();
         }
-        assert!(
-            algorithm.placement().is_robust(),
-            "{} not robust",
-            algorithm.name()
-        );
+        assert!(algorithm.placement().is_robust(), "{} not robust", algorithm.name());
         assert!(algorithm.placement().open_bins() as f64 >= total);
     }
 }
@@ -187,11 +174,7 @@ fn online_vs_offline_sandwich() {
             ((((state >> 11) as f64) / (1u64 << 53) as f64) * 0.4).max(1e-6)
         })
         .collect();
-    let ts: Vec<Tenant> = loads
-        .iter()
-        .enumerate()
-        .map(|(i, &l)| tenant(i as u64, l))
-        .collect();
+    let ts: Vec<Tenant> = loads.iter().enumerate().map(|(i, &l)| tenant(i as u64, l)).collect();
 
     let offline_servers = offline::best_fit_decreasing(&ts, 2).unwrap().open_bins();
     let mut cf = cubefit(2, 10);
@@ -200,10 +183,7 @@ fn online_vs_offline_sandwich() {
     }
     let online_servers = cf.placement().open_bins();
     let ratio = online_servers as f64 / offline_servers as f64;
-    assert!(
-        ratio < 1.7,
-        "online {online_servers} vs offline {offline_servers} (ratio {ratio:.3})"
-    );
+    assert!(ratio < 1.7, "online {online_servers} vs offline {offline_servers} (ratio {ratio:.3})");
 }
 
 /// Stage-1 eligibility ablation preserves robustness and the AnyMatureBin

@@ -7,8 +7,8 @@ use cubefit::core::{Consolidator, TenantId};
 use cubefit::sim::experiment::sequence_for;
 use cubefit::sim::runner::run_sequence;
 use cubefit::sim::{
-    compare, run_failure_experiment, AlgorithmSpec, ComparisonConfig, CostModel,
-    DistributionSpec, FailureExperimentConfig,
+    compare, run_failure_experiment, AlgorithmSpec, ComparisonConfig, CostModel, DistributionSpec,
+    FailureExperimentConfig,
 };
 use cubefit::workload::LoadModel;
 use std::collections::HashMap;
@@ -18,10 +18,9 @@ fn headline_result_cubefit_beats_rfi() {
     // The paper's central claim at reduced scale: CubeFit uses fewer
     // servers than RFI on both evaluation distributions.
     let config = ComparisonConfig { tenants: 4_000, runs: 2, base_seed: 5, max_clients: 52 };
-    for distribution in [
-        DistributionSpec::Uniform { min: 1, max: 15 },
-        DistributionSpec::Zipf { exponent: 3.0 },
-    ] {
+    for distribution in
+        [DistributionSpec::Uniform { min: 1, max: 15 }, DistributionSpec::Zipf { exponent: 3.0 }]
+    {
         let result = compare(
             &AlgorithmSpec::Rfi { gamma: 2, mu: 0.85 },
             &AlgorithmSpec::CubeFit { gamma: 2, classes: 10 },
@@ -56,11 +55,7 @@ fn every_algorithm_handles_the_same_sequence() {
     ] {
         let result = run_sequence(&spec, &sequence).unwrap();
         assert_eq!(result.tenants, 800, "{}", result.algorithm);
-        assert!(
-            result.servers >= lower_bound,
-            "{} undercut the volume bound",
-            result.algorithm
-        );
+        assert!(result.servers >= lower_bound, "{} undercut the volume bound", result.algorithm);
         assert!(result.utilization > 0.0 && result.utilization <= 1.0);
     }
 }
@@ -86,20 +81,11 @@ fn placement_to_cluster_pipeline() {
     let assignments = assignments_from_placement(placement, &|id| clients[&id]);
     let model = LoadModel::tpch_xeon();
     let mix = QueryMix::tpch_like(&model, 5.0);
-    let mut sim = ClusterSim::new(
-        placement.created_bins(),
-        assignments,
-        &mix,
-        &model,
-        SimConfig::quick(77),
-    );
+    let mut sim =
+        ClusterSim::new(placement.created_bins(), assignments, &mix, &model, SimConfig::quick(77));
     let report = sim.run();
     assert!(!report.is_empty());
-    assert!(
-        !report.violates_sla(5.0),
-        "healthy cluster p99 {} exceeds SLA",
-        report.p99()
-    );
+    assert!(!report.violates_sla(5.0), "healthy cluster p99 {} exceeds SLA", report.p99());
 }
 
 #[test]
@@ -119,11 +105,7 @@ fn figure5_shape_rfi_fails_two_failures_cubefit3_survives() {
         .unwrap()
     };
     let cubefit3 = run(AlgorithmSpec::CubeFit { gamma: 3, classes: 5 });
-    assert!(
-        !cubefit3.sla_violated,
-        "cubefit γ=3 p99 {}",
-        cubefit3.p99_seconds
-    );
+    assert!(!cubefit3.sla_violated, "cubefit γ=3 p99 {}", cubefit3.p99_seconds);
     assert!(cubefit3.worst_model_load <= 1.0 + 1e-9);
 
     let rfi = run(AlgorithmSpec::Rfi { gamma: 2, mu: 0.85 });
@@ -151,8 +133,7 @@ fn worst_failure_set_is_worse_than_random_set() {
         validity::simulate_failures(p, &worst, FailoverSemantics::EvenSplit).max_load();
     let bins: Vec<_> = p.bins().filter(|b| !b.is_empty()).map(|b| b.id()).collect();
     for pair in bins.windows(2).take(10) {
-        let load =
-            validity::simulate_failures(p, pair, FailoverSemantics::EvenSplit).max_load();
+        let load = validity::simulate_failures(p, pair, FailoverSemantics::EvenSplit).max_load();
         assert!(worst_load + 1e-9 >= load);
     }
 }
@@ -187,11 +168,7 @@ fn analysis_bounds_cover_observed_ratio() {
     let config = ComparisonConfig { tenants: 3_000, runs: 1, base_seed: 2, max_clients: 52 };
     let sequence = sequence_for(&DistributionSpec::Uniform { min: 1, max: 15 }, &config, 0);
     let mut cf = cubefit::core::CubeFit::new(
-        cubefit::core::CubeFitConfig::builder()
-            .replication(2)
-            .classes(10)
-            .build()
-            .unwrap(),
+        cubefit::core::CubeFitConfig::builder().replication(2).classes(10).build().unwrap(),
     );
     let tenants: Vec<_> = sequence.tenants().collect();
     let observed = empirical_ratio(&mut cf, &tenants).unwrap();

@@ -59,8 +59,7 @@ fn figure_1b_gamma3_packing_survives_double_failures() {
     // Caption: "if S1 and S2 fail, the total load of replicas of a
     // redirects to S3, resulting in a total load of 0.46 + 2 × 0.2 ≤ 1".
     assert!((p.level(s[2]) - 0.46).abs() < 1e-12);
-    let impact =
-        validity::simulate_failures(&p, &[s[0], s[1]], FailoverSemantics::EvenSplit);
+    let impact = validity::simulate_failures(&p, &[s[0], s[1]], FailoverSemantics::EvenSplit);
     let s3 = impact.loads.iter().find(|(b, _)| *b == s[2]).unwrap().1;
     assert!((s3 - (0.46 + 2.0 * 0.2)).abs() < 1e-12);
     assert!(!impact.has_overload());
@@ -137,12 +136,7 @@ fn figure_3_cube_placement_lemma1() {
         for &y in &bins[i + 1..] {
             let x_tenants: std::collections::HashSet<TenantId> =
                 p.bin(x).contents().iter().map(|(t, _)| *t).collect();
-            let shared = p
-                .bin(y)
-                .contents()
-                .iter()
-                .filter(|(t, _)| x_tenants.contains(t))
-                .count();
+            let shared = p.bin(y).contents().iter().filter(|(t, _)| x_tenants.contains(t)).count();
             assert!(shared <= 1, "bins {x} and {y} share {shared} tenants");
         }
     }
@@ -161,20 +155,12 @@ fn figure_3_cube_placement_lemma1() {
 #[test]
 fn cubefit_places_sigma_robustly() {
     for gamma in [2usize, 3] {
-        let config = CubeFitConfig::builder()
-            .replication(gamma)
-            .classes(5)
-            .build()
-            .unwrap();
+        let config = CubeFitConfig::builder().replication(gamma).classes(5).build().unwrap();
         let mut cf = CubeFit::new(config);
         for (id, &load) in SIGMA.iter().enumerate() {
             cf.place(tenant(id as u64, load)).unwrap();
         }
         let report = validity::check(cf.placement());
-        assert!(
-            report.is_robust(),
-            "γ={gamma}: worst margin {}",
-            report.worst_margin
-        );
+        assert!(report.is_robust(), "γ={gamma}: worst margin {}", report.worst_margin);
     }
 }

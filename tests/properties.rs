@@ -2,9 +2,7 @@
 
 use cubefit::baselines::{BestFit, NextFit, Rfi};
 use cubefit::core::validity::{self, FailoverSemantics};
-use cubefit::core::{
-    Consolidator, CubeFit, CubeFitConfig, Load, Tenant, TenantId, TinyPolicy,
-};
+use cubefit::core::{Consolidator, CubeFit, CubeFitConfig, Load, Tenant, TenantId, TinyPolicy};
 use cubefit::workload::{trace, LoadModel, SequenceBuilder, TenantSpec, UniformClients, ZipfTable};
 use proptest::prelude::*;
 
@@ -18,13 +16,7 @@ fn tenants(loads: &[f64]) -> Vec<Tenant> {
 
 fn load_strategy() -> impl Strategy<Value = f64> {
     // Loads spanning the full (0, 1] range including boundary-ish values.
-    prop_oneof![
-        (0.0001f64..=1.0),
-        Just(1.0),
-        Just(0.5),
-        Just(1.0 / 3.0),
-        (0.001f64..0.1),
-    ]
+    prop_oneof![(0.0001f64..=1.0), Just(1.0), Just(0.5), Just(1.0 / 3.0), (0.001f64..0.1),]
 }
 
 proptest! {
