@@ -1,0 +1,131 @@
+//! Differential proptest suite: random tenant streams through every
+//! algorithm, for replication factors up to 16, each placement
+//! cross-checked against the from-scratch oracle.
+//!
+//! Three detection channels:
+//!
+//! 1. [`AuditedConsolidator`] panics mid-stream if the incremental
+//!    bookkeeping (levels, shared loads, cached failover reserves) drifts
+//!    from the oracle's recomputation;
+//! 2. the final `Placement::is_robust()` verdict must agree with
+//!    [`Oracle::is_robust`];
+//! 3. algorithms that reserve for `γ − 1` failures must actually end up
+//!    robust — the channel that catches *decision-path* truncation, where
+//!    the bookkeeping is consistent but a feasibility check dropped
+//!    siblings and accepted an unsound assignment.
+
+use cubefit_audit::audited_algorithms;
+use cubefit_core::{Consolidator, Load, Oracle, Tenant, TenantId};
+use proptest::prelude::*;
+
+fn tenants(loads: &[f64]) -> Vec<Tenant> {
+    loads
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| Tenant::new(TenantId::new(i as u64), Load::new(l).unwrap()))
+        .collect()
+}
+
+fn load_strategy() -> impl Strategy<Value = f64> {
+    // Full (0, 1] range with boundary-ish spikes, plus a band of small
+    // loads so large-γ streams pack many tenants per bin.
+    prop_oneof![0.0001f64..=1.0, Just(1.0), Just(0.5), Just(1.0 / 3.0), 0.001f64..0.1,]
+}
+
+/// RFI only promises a single-failure reserve, so it is the one algorithm
+/// allowed to produce non-robust placements for `γ > 2`.
+fn must_be_robust(name: &str, gamma: usize) -> bool {
+    name != "rfi" || gamma == 2
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Incremental bookkeeping and final robustness verdicts agree with
+    /// the oracle for every algorithm across the whole γ range.
+    #[test]
+    fn incremental_agrees_with_oracle_for_all_algorithms(
+        loads in prop::collection::vec(load_strategy(), 1..28),
+        gamma in 2usize..=16,
+        seed in any::<u64>(),
+    ) {
+        for mut algo in audited_algorithms(gamma, seed) {
+            // The audit inside `place` panics with a replayable trace on
+            // any bookkeeping divergence.
+            for t in tenants(&loads) {
+                algo.place(t).unwrap();
+            }
+            let placement = algo.placement();
+            let oracle = Oracle::rebuild(placement);
+            prop_assert_eq!(
+                placement.is_robust(),
+                oracle.is_robust(),
+                "{} at gamma {}: incremental robustness verdict diverged",
+                algo.name(),
+                gamma
+            );
+            if must_be_robust(algo.name(), gamma) {
+                prop_assert!(
+                    placement.is_robust(),
+                    "{} at gamma {}: γ−1 reserve violated (margin {})",
+                    algo.name(),
+                    gamma,
+                    oracle.worst_margin()
+                );
+            }
+        }
+    }
+
+    /// Dense small-load streams at the top of the γ range — the regime
+    /// where the old 8/12-entry fast-path buffers truncated.
+    #[test]
+    fn large_gamma_dense_streams_stay_sound(
+        loads in prop::collection::vec(0.005f64..0.12, 4..40),
+        gamma in 10usize..=16,
+        seed in any::<u64>(),
+    ) {
+        for mut algo in audited_algorithms(gamma, seed) {
+            for t in tenants(&loads) {
+                algo.place(t).unwrap();
+            }
+            let oracle = Oracle::rebuild(algo.placement());
+            prop_assert_eq!(algo.placement().is_robust(), oracle.is_robust());
+            if must_be_robust(algo.name(), gamma) {
+                prop_assert!(algo.placement().is_robust(), "{}", algo.name());
+            }
+        }
+    }
+}
+
+/// Deterministic γ = 12 regression for the sibling-truncation bug.
+///
+/// Tenant 0 (load 0.4) fills 12 bins with replicas of 1/30 each. Tenant 1
+/// (load 0.72, replica 0.06) must NOT share those bins: the true reserve
+/// check is 0.4 + 12·0.06 = 1.12 > 1. With the old 8-entry adjustment
+/// buffer the check counted only 8 of 11 siblings (0.4 + 9·0.06 = 0.94),
+/// every greedy packer reused the 12 bins, and the resulting placement
+/// violated Theorem 1 — silently, because the bookkeeping itself was
+/// consistent.
+#[test]
+fn gamma_twelve_regression_truncated_reserve() {
+    let gamma = 12;
+    for mut algo in audited_algorithms(gamma, 11) {
+        algo.place(Tenant::new(TenantId::new(0), Load::new(0.4).unwrap())).unwrap();
+        algo.place(Tenant::new(TenantId::new(1), Load::new(0.72).unwrap())).unwrap();
+        let oracle = Oracle::rebuild(algo.placement());
+        assert_eq!(
+            algo.placement().is_robust(),
+            oracle.is_robust(),
+            "{}: robustness verdict diverged",
+            algo.name()
+        );
+        if must_be_robust(algo.name(), gamma) {
+            assert!(
+                algo.placement().is_robust(),
+                "{}: accepted a placement that cannot absorb 11 failures (margin {})",
+                algo.name(),
+                oracle.worst_margin()
+            );
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! Shared feasibility logic and telemetry plumbing for baseline packers.
 
+use cubefit_core::smallbuf::SmallBuf;
 use cubefit_core::{BinId, Placement, Tenant, EPSILON};
 use cubefit_telemetry::{Counter, Recorder, TraceEvent};
 
@@ -121,16 +122,17 @@ pub fn feasible(
     if level + size > 1.0 + EPSILON {
         return false;
     }
-    // Stack-allocated adjustments: this runs millions of times inside
-    // Best-Fit scans, and γ is tiny.
-    let mut adjustments = [(BinId::new(0), 0.0f64); 8];
-    let count = siblings.len().min(adjustments.len());
-    for (slot, &sibling) in adjustments.iter_mut().zip(siblings.iter()) {
-        *slot = (sibling, size);
+    // Inline-first adjustments: this runs millions of times inside
+    // Best-Fit scans and γ is tiny for the paper's configurations, but the
+    // buffer spills to the heap for large γ — truncating siblings here
+    // silently shrinks the failover reserve.
+    let mut adjustments: SmallBuf<(BinId, f64), 8> = SmallBuf::new((BinId::new(0), 0.0));
+    for &sibling in siblings {
+        adjustments.push((sibling, size));
     }
     let failover = placement.top_shared_sum_with(
         bin,
-        &adjustments[..count],
+        adjustments.as_slice(),
         reserve.failures_covered(placement.gamma()),
     );
     level + size + failover <= 1.0 + EPSILON
@@ -157,19 +159,14 @@ pub fn extends_assignment(
         return false;
     }
     chosen.iter().enumerate().all(|(i, &bin)| {
-        let mut siblings = [BinId::new(0); 8];
-        let mut len = 0;
+        let mut siblings: SmallBuf<BinId, 8> = SmallBuf::new(BinId::new(0));
         for (j, &b) in chosen.iter().enumerate() {
-            if j != i && len < siblings.len() {
-                siblings[len] = b;
-                len += 1;
+            if j != i {
+                siblings.push(b);
             }
         }
-        if len < siblings.len() {
-            siblings[len] = candidate;
-            len += 1;
-        }
-        feasible(placement, bin, size, &siblings[..len], reserve, fill_cap)
+        siblings.push(candidate);
+        feasible(placement, bin, size, siblings.as_slice(), reserve, fill_cap)
     })
 }
 
@@ -260,6 +257,41 @@ mod tests {
         assert!(feasible(&p, a, 0.3, &[], ReserveMode::GammaMinusOne, None));
         assert!(!assignment_feasible(&p, &[a, b], 0.3, ReserveMode::GammaMinusOne, None));
         assert!(assignment_feasible(&p, &[a, b], 0.1, ReserveMode::GammaMinusOne, None));
+    }
+
+    #[test]
+    fn feasible_counts_all_siblings_at_large_gamma() {
+        // Regression for the 8-entry adjustment truncation (mirror of the
+        // m-fit fix): at γ = 12 a full sibling set has 11 entries. True
+        // worst case for a 0.06 guest replica on every bin of a 0.4-load
+        // tenant is 0.4 + 12·0.06 = 1.12 > 1; counting only 8 siblings
+        // gave 0.94 and accepted it.
+        let gamma = 12;
+        let mut p = Placement::new(gamma);
+        let bins: Vec<BinId> = (0..gamma).map(|_| p.open_bin(None)).collect();
+        p.place_tenant(&tenant(0, 0.4), &bins).unwrap();
+        assert!(!feasible(&p, bins[0], 0.06, &bins[1..], ReserveMode::GammaMinusOne, None));
+        assert!(feasible(&p, bins[0], 0.05, &bins[1..], ReserveMode::GammaMinusOne, None));
+        // extends_assignment forwards the full sibling set too.
+        assert!(!extends_assignment(
+            &p,
+            &bins[1..],
+            bins[0],
+            0.06,
+            ReserveMode::GammaMinusOne,
+            None
+        ));
+        assert!(extends_assignment(
+            &p,
+            &bins[1..],
+            bins[0],
+            0.05,
+            ReserveMode::GammaMinusOne,
+            None
+        ));
+        // The whole-assignment re-validation agrees.
+        assert!(!assignment_feasible(&p, &bins, 0.06, ReserveMode::GammaMinusOne, None));
+        assert!(assignment_feasible(&p, &bins, 0.05, ReserveMode::GammaMinusOne, None));
     }
 
     #[test]

@@ -288,6 +288,51 @@ mod tests {
     }
 
     #[test]
+    fn fallback_abandons_fresh_bins_without_counting_them() {
+        use cubefit_telemetry::{Recorder, TraceEvent, VecSink};
+        use std::sync::Arc;
+
+        // Hand-built fallback trigger (γ = 2, μ = 0.85):
+        // t0, t1 (load 1.0) fill two saturated pairs; t2 (0.6) opens the
+        // pair (4, 5) at level 0.3 sharing 0.3. t3 (0.72, replica 0.36):
+        // replica 1 fits bin 4 (0.3+0.36+0.3 = 0.96) but replica 2 finds
+        // no partner (bin 5 would reach 0.3+0.36+0.66 = 1.32), so the
+        // per-replica loop opens fresh bin 6 — and the whole-assignment
+        // check then rejects [4, 6] (0.3+0.36+0.36 = 1.02 > 1), forcing
+        // the all-fresh fallback onto bins 7 and 8. Bin 6 is abandoned.
+        let sink = Arc::new(VecSink::new());
+        let mut rfi = Rfi::new(2, 0.85).unwrap();
+        rfi.set_recorder(Recorder::with_sink(Arc::clone(&sink)));
+        for (id, load) in [1.0, 1.0, 0.6].into_iter().enumerate() {
+            rfi.place(tenant(id as u64, load)).unwrap();
+        }
+        let outcome = rfi.place(tenant(3, 0.72)).unwrap();
+
+        assert_eq!(rfi.fallbacks(), 1);
+        // The outcome reports only the fallback pair; the abandoned bin 6
+        // is excluded from both the bin list and the opened count.
+        assert_eq!(outcome.bins, vec![BinId::new(7), BinId::new(8)]);
+        assert_eq!(outcome.opened, 2);
+        let p = rfi.placement();
+        assert_eq!(p.created_bins(), 9);
+        assert_eq!(p.open_bins(), 8);
+        assert!(p.bin(BinId::new(6)).is_empty(), "abandoned bin must stay empty");
+        // The abandoned bin stays in the index at full fresh slack, so
+        // later tenants can still use it.
+        assert!(rfi.index.contains(BinId::new(6), 0.85));
+        // PR-1 invariant: the trace's BinOpened count equals the final
+        // open-server count — abandoned bins never emit BinOpened.
+        let events = sink.events();
+        let opened = events.iter().filter(|e| matches!(e, TraceEvent::BinOpened { .. })).count();
+        assert_eq!(opened, p.open_bins());
+        // And a later tenant whose replica (0.45) exceeds every used bin's
+        // slack reuses the abandoned bin instead of opening two more.
+        let outcome = rfi.place(tenant(4, 0.9)).unwrap();
+        assert!(outcome.bins.contains(&BinId::new(6)), "bins {:?}", outcome.bins);
+        assert_eq!(outcome.opened, 1);
+    }
+
+    #[test]
     fn replicas_land_on_distinct_servers() {
         let mut rfi = Rfi::new(3, 0.85).unwrap();
         let outcome = rfi.place(tenant(0, 0.9)).unwrap();

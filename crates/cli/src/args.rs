@@ -8,6 +8,11 @@
 use std::collections::HashMap;
 use std::fmt;
 
+/// Flags that take no value (`--audit`), as opposed to the default
+/// `--name value` form. A switch's presence is queried with
+/// [`ParsedArgs::has`]; its stored value is the empty string.
+const SWITCHES: &[&str] = &["audit"];
+
 /// A parsed command line: subcommand, positionals, and `--flag value`
 /// pairs.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -70,7 +75,11 @@ impl ParsedArgs {
         let mut iter = tokens.into_iter().map(Into::into).peekable();
         while let Some(token) = iter.next() {
             if let Some(name) = token.strip_prefix("--") {
-                let value = iter.next().ok_or_else(|| ArgsError::MissingValue(name.to_string()))?;
+                let value = if SWITCHES.contains(&name) {
+                    String::new()
+                } else {
+                    iter.next().ok_or_else(|| ArgsError::MissingValue(name.to_string()))?
+                };
                 if parsed.flags.insert(name.to_string(), value).is_some() {
                     return Err(ArgsError::Duplicate(name.to_string()));
                 }
@@ -87,6 +96,13 @@ impl ParsedArgs {
     #[must_use]
     pub fn get(&self, flag: &str) -> Option<&str> {
         self.flags.get(flag).map(String::as_str)
+    }
+
+    /// Whether `flag` was given (the query for valueless switches such as
+    /// `--audit`).
+    #[must_use]
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
     }
 
     /// A required string flag.
@@ -156,6 +172,23 @@ mod tests {
         assert_eq!(args.get("gamma"), Some("2"));
         assert_eq!(args.get("algorithm"), Some("rfi"));
         assert_eq!(args.get("missing"), None);
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        // `--audit` must not swallow the following positional.
+        let args = ParsedArgs::parse(["check", "--audit", "dump.json"]).unwrap();
+        assert!(args.has("audit"));
+        assert_eq!(args.positional, vec!["dump.json"]);
+        // Trailing position works too, and absence is reported.
+        let args = ParsedArgs::parse(["check", "dump.json", "--audit"]).unwrap();
+        assert!(args.has("audit"));
+        assert!(!args.has("render"));
+        assert_eq!(args.positional, vec!["dump.json"]);
+        assert_eq!(
+            ParsedArgs::parse(["check", "--audit", "--audit"]),
+            Err(ArgsError::Duplicate("audit".into()))
+        );
     }
 
     #[test]

@@ -84,6 +84,33 @@ pub trait Consolidator {
     }
 }
 
+impl Consolidator for Box<dyn Consolidator> {
+    /// Delegates to the boxed algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the boxed algorithm's errors untouched.
+    fn place(&mut self, tenant: Tenant) -> Result<PlacementOutcome> {
+        (**self).place(tenant)
+    }
+
+    fn placement(&self) -> &Placement {
+        (**self).placement()
+    }
+
+    fn gamma(&self) -> usize {
+        (**self).gamma()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        (**self).set_recorder(recorder);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,7 +22,11 @@
 //!   multi-replica aggregation for tiny tenants;
 //! * the [`Consolidator`] trait that baselines (see `cubefit-baselines`)
 //!   implement so that experiment harnesses can drive any algorithm
-//!   uniformly.
+//!   uniformly;
+//! * the differential audit [`oracle`]: a from-scratch reference
+//!   recomputation of levels, shared loads and failover reserves, plus
+//!   [`AuditedConsolidator`], which cross-checks any algorithm's
+//!   incremental bookkeeping after every placement.
 //!
 //! ## Quickstart
 //!
@@ -60,9 +64,11 @@ pub mod level_index;
 pub mod load;
 pub mod mfit;
 pub mod multireplica;
+pub mod oracle;
 pub mod placement;
 pub mod render;
 pub mod shared;
+pub mod smallbuf;
 pub mod tenant;
 pub mod validity;
 
@@ -74,6 +80,7 @@ pub use cubefit::CubeFit;
 pub use dump::{DumpEntry, PlacementDump};
 pub use error::{Error, Result};
 pub use load::Load;
+pub use oracle::{AuditedConsolidator, Divergence, DivergenceKind, Oracle};
 pub use placement::{Placement, PlacementStats};
 pub use tenant::{Tenant, TenantId};
 pub use validity::{FailureImpact, RobustnessReport};

@@ -14,6 +14,7 @@ use crate::bin::BinId;
 use crate::class::ReplicaClass;
 use crate::config::Stage1Eligibility;
 use crate::placement::Placement;
+use crate::smallbuf::SmallBuf;
 use crate::EPSILON;
 use std::collections::BTreeSet;
 
@@ -64,25 +65,22 @@ pub fn m_fits_with_growth(
     if level + size > 1.0 + EPSILON {
         return false;
     }
-    // Stack-allocated adjustments: this is the hot path of every stage-1
-    // scan, and γ is tiny.
-    let mut adjustments = [(BinId::new(0), 0.0f64); 8];
-    let mut len = 0;
+    // Inline-first adjustments: this is the hot path of every stage-1 scan
+    // and γ is tiny for the paper's configurations, but the buffer spills
+    // to the heap for large γ — truncating entries here silently shrinks
+    // the failover reserve and admits non-robust placements.
+    let mut adjustments: SmallBuf<(BinId, f64), 8> = SmallBuf::new((BinId::new(0), 0.0));
     for &sibling in siblings {
-        if len < adjustments.len() {
-            adjustments[len] = (sibling, size);
-            len += 1;
-        }
+        adjustments.push((sibling, size));
     }
     if is_host {
         for &host in growth_hosts {
-            if host != bin && len < adjustments.len() {
-                adjustments[len] = (host, headroom);
-                len += 1;
+            if host != bin {
+                adjustments.push((host, headroom));
             }
         }
     }
-    let failover = placement.worst_failover_with(bin, &adjustments[..len]);
+    let failover = placement.worst_failover_with(bin, adjustments.as_slice());
     level + size + failover <= 1.0 + EPSILON
 }
 
@@ -398,6 +396,47 @@ mod tests {
         assert!(!m_fits_with_growth(&p, b[0], 0.2, &[], &[b[0], b[1]], 0.15));
         // A bin that is not a growth host is unaffected.
         assert!(m_fits_with_growth(&p, b[0], 0.2, &[], &[b[1]], 0.15));
+    }
+
+    #[test]
+    fn m_fit_keeps_all_siblings_at_large_gamma() {
+        // Regression for the 8-entry adjustment truncation: at γ = 12 a
+        // full sibling set has 11 entries. A tenant of load 0.4 occupies
+        // all 12 bins (replica 1/30 each, every pair sharing 1/30); adding
+        // a guest of replica size s to all of them makes every bin's true
+        // worst case 12·(0.4/12 + s) = 0.4 + 12s. With s = 0.06 that is
+        // 1.12 > 1, but counting only 8 of the 11 siblings gives
+        // 0.4 + 9·0.06 = 0.94 ≤ 1 — a silent robustness violation.
+        let gamma = 12;
+        let mut p = Placement::new(gamma);
+        let bins: Vec<BinId> = (0..gamma).map(|_| p.open_bin(None)).collect();
+        p.place_tenant(&tenant(0, 0.4), &bins).unwrap();
+        assert!(!m_fits(&p, bins[0], 0.06, &bins[1..]), "truncated reserve admitted an overload");
+        // A guest that genuinely fits is still admitted: 0.4 + 12s ≤ 1
+        // for s = 0.05.
+        assert!(m_fits(&p, bins[0], 0.05, &bins[1..]));
+    }
+
+    #[test]
+    fn growth_adjustments_survive_large_sibling_sets() {
+        // Siblings plus growth hosts past the inline capacity must all be
+        // counted. γ = 10: 6 siblings + 9 growth-host adjustments = 15.
+        let gamma = 10;
+        let mut p = Placement::new(gamma);
+        let bins: Vec<BinId> = (0..gamma).map(|_| p.open_bin(None)).collect();
+        p.place_tenant(&tenant(0, 0.3), &bins).unwrap();
+        // All bins are growth hosts with headroom h: the target's level and
+        // its shares with the other 9 hosts rise by h; 6 siblings add s.
+        // Worst case on bins[0] with s = 0.04, h = 0.03:
+        //   level 0.03 + h + s
+        //   + 6·(0.03 + s + h)  (sibling hosts)
+        //   + 3·(0.03 + h)     (remaining hosts)
+        // = 0.3 + 10h + 7s = 0.88 ≤ 1, so it fits — but only barely:
+        // s = 0.06 gives 1.02 and must be rejected even though dropping
+        // the adjustments past entry 8 would accept it.
+        let siblings = &bins[1..7];
+        assert!(m_fits_with_growth(&p, bins[0], 0.04, siblings, &bins, 0.03));
+        assert!(!m_fits_with_growth(&p, bins[0], 0.06, siblings, &bins, 0.03));
     }
 
     #[test]

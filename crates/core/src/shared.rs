@@ -9,6 +9,7 @@
 //! bin must keep — in `O(1)` via a per-bin top-`k` cache.
 
 use crate::bin::BinId;
+use crate::smallbuf::SmallBuf;
 use std::collections::HashMap;
 
 /// Per-bin cache of the `k` largest shared-load entries.
@@ -21,21 +22,38 @@ struct TopK {
 impl TopK {
     /// Records that the shared load with `peer` is now `value`
     /// (monotonically non-decreasing updates only).
+    ///
+    /// Maintains the descending-order invariant with at most one bubble
+    /// pass: updates only grow an entry, so the touched entry can only move
+    /// toward the front, and the minimum is always the last entry.
     fn update(&mut self, k: usize, peer: BinId, value: f64) {
-        if let Some(slot) = self.entries.iter_mut().find(|(_, p)| *p == peer) {
-            slot.0 = value;
+        debug_assert!(k >= 1, "γ ≥ 2 implies a non-empty top cache");
+        let pos = if let Some(i) = self.entries.iter().position(|(_, p)| *p == peer) {
+            self.entries[i].0 = value;
+            i
         } else if self.entries.len() < k {
             self.entries.push((value, peer));
-        } else if let Some(min) =
-            self.entries.iter_mut().min_by(|a, b| a.0.partial_cmp(&b.0).expect("loads are finite"))
-        {
+            self.entries.len() - 1
+        } else {
             // Entries only grow, so every non-cached entry is ≤ the cached
-            // minimum; replacing the minimum preserves the top-k invariant.
-            if value > min.0 {
-                *min = (value, peer);
+            // minimum (the last entry); replacing it preserves the top-k
+            // invariant.
+            let last = self.entries.len() - 1;
+            if value <= self.entries[last].0 {
+                return;
             }
+            self.entries[last] = (value, peer);
+            last
+        };
+        let mut i = pos;
+        while i > 0 && self.entries[i - 1].0 < self.entries[i].0 {
+            self.entries.swap(i - 1, i);
+            i -= 1;
         }
-        self.entries.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("loads are finite"));
+        debug_assert!(
+            self.entries.windows(2).all(|w| w[0].0 >= w[1].0),
+            "top cache must stay sorted descending"
+        );
     }
 
     fn sum(&self) -> f64 {
@@ -110,31 +128,15 @@ impl SharedIndex {
             return top.iter().take(k).map(|(v, _)| v).sum();
         }
         // Candidate set: cached top entries plus every adjusted peer; any
-        // other peer is ≤ the cached minimum and unadjusted. Kept on the
-        // stack — this runs in the inner loop of every placement scan.
-        fn push(candidates: &mut [(f64, BinId); 12], len: &mut usize, v: f64, p: BinId) {
-            if *len < candidates.len() {
-                candidates[*len] = (v, p);
-                *len += 1;
-            } else {
-                // Overflow (γ + adjustments > 12): replace the minimum,
-                // which cannot be among the top-k anyway (k ≤ γ−1 < 12).
-                let mi = candidates
-                    .iter()
-                    .enumerate()
-                    .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
-                    .map(|(i, _)| i)
-                    .expect("non-empty");
-                if v > candidates[mi].0 {
-                    candidates[mi] = (v, p);
-                }
-            }
-        }
-        let mut candidates: [(f64, BinId); 12] = [(f64::NEG_INFINITY, BinId(usize::MAX)); 12];
-        let mut len = 0usize;
+        // other peer is ≤ the cached minimum and unadjusted, so it cannot
+        // enter the adjusted top-k. The buffer holds *every* candidate —
+        // up to γ−1 cached entries plus one per adjustment — staying on the
+        // stack for the paper's small γ and spilling to the heap when γ
+        // outgrows the inline capacity (γ is unbounded; see DESIGN.md §9).
+        let mut candidates: SmallBuf<(f64, BinId), 16> = SmallBuf::new((0.0, BinId(usize::MAX)));
         for &(v, p) in top {
             let adj: f64 = adjustments.iter().filter(|(b, _)| *b == p).map(|(_, d)| d).sum();
-            push(&mut candidates, &mut len, v + adj, p);
+            candidates.push((v + adj, p));
         }
         for (i, &(p, _)) in adjustments.iter().enumerate() {
             // Aggregate every delta targeting the same peer (a sibling
@@ -147,9 +149,9 @@ impl SharedIndex {
                 continue;
             }
             let total: f64 = adjustments.iter().filter(|(q, _)| *q == p).map(|(_, d)| d).sum();
-            push(&mut candidates, &mut len, self.get(bin, p) + total, p);
+            candidates.push((self.get(bin, p) + total, p));
         }
-        let slice = &mut candidates[..len];
+        let slice = candidates.as_mut_slice();
         slice.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
         slice.iter().take(k).map(|(v, _)| v).sum()
     }
@@ -260,6 +262,72 @@ mod tests {
                 idx.worst_failover(bid(i))
             );
         }
+    }
+
+    #[test]
+    fn top_cache_matches_exhaustive_scan_large_gamma() {
+        // Same cross-check at γ = 14 (k = 13): exercises the single-swap
+        // bubble maintenance and the spill path of the candidate buffer.
+        const BINS: usize = 16;
+        let mut idx = index_with_bins(14, BINS);
+        let mut truth = vec![vec![0.0f64; BINS]; BINS];
+        let mut seed = 0x2545f4914f6cdd1du64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed
+        };
+        for _ in 0..800 {
+            let a = (next() % BINS as u64) as usize;
+            let mut b = (next() % BINS as u64) as usize;
+            if a == b {
+                b = (b + 1) % BINS;
+            }
+            let d = ((next() % 100) as f64 + 1.0) / 1000.0;
+            idx.add(bid(a), bid(b), d);
+            truth[a][b] += d;
+            truth[b][a] += d;
+        }
+        for i in 0..BINS {
+            let mut row: Vec<f64> = truth[i].clone();
+            row.sort_by(|x, y| y.partial_cmp(x).unwrap());
+            let expected: f64 = row.iter().take(13).sum();
+            assert!(
+                (idx.worst_failover(bid(i)) - expected).abs() < 1e-9,
+                "bin {i}: cache {} vs truth {expected}",
+                idx.worst_failover(bid(i))
+            );
+            // Tentative queries agree with a from-scratch adjusted scan.
+            let adj = [(bid((i + 1) % BINS), 0.017), (bid((i + 2) % BINS), 0.031)];
+            let mut adjusted = truth[i].clone();
+            for &(p, d) in &adj {
+                adjusted[p.0] += d;
+            }
+            adjusted.sort_by(|x, y| y.partial_cmp(x).unwrap());
+            let expected: f64 = adjusted.iter().take(13).sum();
+            let got = idx.worst_failover_with(bid(i), &adj);
+            assert!((got - expected).abs() < 1e-9, "bin {i}: adjusted {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn candidate_set_grows_past_twelve_entries() {
+        // Regression for the fixed 12-slot candidate buffer: with γ = 14
+        // the top cache holds k = 13 entries, so even a single adjustment
+        // overflowed the old buffer and dropped the smallest candidates,
+        // under-estimating the reserve.
+        let mut idx = index_with_bins(14, 15);
+        for p in 1..=13usize {
+            idx.add(bid(0), bid(p), p as f64 / 100.0);
+        }
+        // Adjust the smallest cached peer upward by 0.001.
+        let got = idx.worst_failover_with(bid(0), &[(bid(1), 0.001)]);
+        let expected: f64 = (1..=13).map(|p| p as f64 / 100.0).sum::<f64>() + 0.001;
+        assert!((got - expected).abs() < 1e-9, "got {got}, expected {expected}");
+        // A new 14th peer below every cached entry must still be ranked
+        // (it loses to the cached ones, not to buffer truncation).
+        let got = idx.worst_failover_with(bid(0), &[(bid(14), 0.005)]);
+        let expected: f64 = (1..=13).map(|p| p as f64 / 100.0).sum::<f64>();
+        assert!((got - expected).abs() < 1e-9, "got {got}, expected {expected}");
     }
 
     #[test]

@@ -206,10 +206,13 @@ pub fn worst_failure_set(
 ) -> Vec<BinId> {
     let candidates: Vec<BinId> =
         placement.bins().filter(|b| !b.is_empty()).map(|b| b.id()).collect();
-    if count == 0 || candidates.is_empty() {
+    if count == 0 || candidates.len() <= 1 {
+        // With at most one non-empty bin there is no failure set that
+        // leaves a survivor to overload: failing the only bin would leave
+        // nothing to measure, so the worst set is empty.
         return Vec::new();
     }
-    let count = count.min(candidates.len().saturating_sub(1).max(1));
+    let count = count.min(candidates.len() - 1);
 
     const BUDGET: u128 = 100_000;
     if combinations(candidates.len(), count) <= BUDGET {
@@ -411,6 +414,23 @@ mod tests {
         assert!(worst_failure_set(&p, 2, FailoverSemantics::Conservative).is_empty());
         let (p, _) = figure_1a();
         assert!(worst_failure_set(&p, 0, FailoverSemantics::Conservative).is_empty());
+    }
+
+    #[test]
+    fn worst_failure_set_always_leaves_a_survivor() {
+        // The clamp's intent is "at least one survivor". A one-candidate
+        // state is unreachable via `place_tenant` (every tenant fills
+        // γ ≥ 2 bins) but guarded against regardless: it returns the
+        // empty set instead of failing the only bin. With two candidates,
+        // any requested count must fail exactly one bin.
+        let mut p = Placement::new(2);
+        let a = p.open_bin(None);
+        let b = p.open_bin(None);
+        p.place_tenant(&tenant(0, 0.5), &[a, b]).unwrap();
+        for count in 1..=5 {
+            let set = worst_failure_set(&p, count, FailoverSemantics::Conservative);
+            assert_eq!(set.len(), 1, "count {count} must leave a survivor");
+        }
     }
 
     #[test]
