@@ -1,0 +1,236 @@
+//! Churn differential suite: random interleavings of arrivals, departures
+//! and failure/recovery events through every algorithm, cross-checked
+//! against the from-scratch oracle.
+//!
+//! The placement-time suite (`differential.rs`) catches bookkeeping drift
+//! on the grow-only path; this suite targets the *mutating* paths added by
+//! the churn engine — [`Consolidator::remove`] must unwind levels, shared
+//! loads and every derived index, and [`Consolidator::recover`] must
+//! re-home orphans through the same robustness predicate placement uses.
+//! Each algorithm runs inside [`cubefit_core::AuditedConsolidator`], which
+//! replays removals and recoveries against the oracle unconditionally and
+//! asserts failed servers end up empty.
+
+use cubefit_audit::{algorithms, audited_algorithms};
+use cubefit_core::oracle::AUDIT_TOLERANCE;
+use cubefit_core::{BinId, Consolidator, Load, Oracle, Tenant, TenantId};
+use proptest::prelude::*;
+
+/// RFI only promises a single-failure reserve, so it is the one algorithm
+/// allowed to produce non-robust placements for `γ > 2`.
+fn must_be_robust(name: &str, gamma: usize) -> bool {
+    name != "rfi" || gamma == 2
+}
+
+/// Self-contained LCG so the op interleaving is a pure function of the
+/// proptest-drawn seed (the shim draws only scalars, not op sequences).
+struct OpRng(u64);
+
+impl OpRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() % (1u64 << 53)) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Drives `ops` seeded operations through `algo`: ~15% failure/recovery
+/// events (1..=γ−1 loaded servers each), ~30% departures, the rest
+/// arrivals with loads in `(0, max_load]`.
+///
+/// With `expect_robust`, the γ−1 reserve is asserted after *every*
+/// operation — recovery runs to completion inside each failure event, so
+/// the placement must never be caught non-robust between ops (this is the
+/// regression net for the perturbed-cube bug, where an unchecked stage-2
+/// slot assignment after a recovery silently broke Theorem 1).
+fn churn(algo: &mut dyn Consolidator, ops: usize, seed: u64, max_load: f64, expect_robust: bool) {
+    let mut rng = OpRng(seed | 1);
+    let mut alive: Vec<TenantId> = Vec::new();
+    let mut next_id = 0u64;
+    let gamma = algo.gamma();
+    for _ in 0..ops {
+        let roll = rng.below(100);
+        let loaded: Vec<BinId> =
+            algo.placement().bins().filter(|b| b.level() > 0.0).map(|b| b.id()).collect();
+        if roll < 15 && !loaded.is_empty() {
+            let cap = (gamma - 1).min(loaded.len()).min(3);
+            let count = 1 + rng.below(cap);
+            let mut pool = loaded;
+            let mut failed = Vec::with_capacity(count);
+            for _ in 0..count {
+                failed.push(pool.swap_remove(rng.below(pool.len())));
+            }
+            let report = algo.recover(&failed).expect("recovery must succeed");
+            let expected: usize = failed.len(); // every failed bin was loaded
+            assert!(
+                report.replicas_migrated >= expected.min(1),
+                "{}: failed {} loaded bins but migrated {} replicas",
+                algo.name(),
+                failed.len(),
+                report.replicas_migrated
+            );
+        } else if roll < 45 && !alive.is_empty() {
+            let idx = rng.below(alive.len());
+            let tenant = alive.swap_remove(idx);
+            algo.remove(tenant).expect("alive tenants must be removable");
+        } else {
+            let load = (rng.unit() * max_load).max(1e-4);
+            let tenant = Tenant::new(TenantId::new(next_id), Load::new(load).unwrap());
+            next_id += 1;
+            algo.place(tenant).expect("arrivals must place");
+            alive.push(tenant.id());
+        }
+        if expect_robust {
+            assert!(
+                algo.placement().is_robust(),
+                "{}: placement lost the γ−1 reserve mid-churn",
+                algo.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Interleaved churn at the paper's replication factors: bookkeeping
+    /// stays oracle-consistent through every mutation, and every algorithm
+    /// that reserves for `γ − 1` failures is robust whenever no failure is
+    /// outstanding (recovery runs to completion inside each event).
+    #[test]
+    fn interleaved_churn_agrees_with_oracle(
+        gamma in 2usize..=3,
+        ops in 20usize..90,
+        seed in any::<u64>(),
+    ) {
+        for mut algo in audited_algorithms(gamma, seed) {
+            let expect_robust = must_be_robust(algo.name(), gamma);
+            churn(&mut algo, ops, seed, 1.0, expect_robust);
+            let oracle = Oracle::rebuild(algo.placement());
+            prop_assert_eq!(
+                algo.placement().is_robust(),
+                oracle.is_robust(),
+                "{} at gamma {}: robustness verdict diverged after churn",
+                algo.name(),
+                gamma
+            );
+            if must_be_robust(algo.name(), gamma) {
+                prop_assert!(
+                    algo.placement().is_robust(),
+                    "{} at gamma {}: churn broke the γ−1 reserve (margin {})",
+                    algo.name(),
+                    gamma,
+                    oracle.worst_margin()
+                );
+            }
+        }
+    }
+
+    /// Dense small-load churn at the top of the γ range — removals and
+    /// recoveries exercise the same wide-sibling paths where fixed-size
+    /// fast-path buffers used to truncate silently.
+    #[test]
+    fn large_gamma_churn_stays_sound(
+        gamma in 10usize..=16,
+        ops in 15usize..60,
+        seed in any::<u64>(),
+    ) {
+        for mut algo in audited_algorithms(gamma, seed) {
+            let expect_robust = must_be_robust(algo.name(), gamma);
+            churn(&mut algo, ops, seed, 0.12, expect_robust);
+            let oracle = Oracle::rebuild(algo.placement());
+            prop_assert_eq!(algo.placement().is_robust(), oracle.is_robust());
+            if must_be_robust(algo.name(), gamma) {
+                prop_assert!(algo.placement().is_robust(), "{}", algo.name());
+            }
+        }
+    }
+
+    /// The removal path alone, checked without the audited wrapper: after
+    /// any arrive/depart sequence the incremental levels, pairwise shared
+    /// loads and cached failover reserves match a from-scratch oracle
+    /// rebuild within `AUDIT_TOLERANCE` (1e-9).
+    #[test]
+    fn arrive_depart_matches_oracle_rebuild(
+        loads in prop::collection::vec(0.001f64..1.0, 2..40),
+        gamma in 2usize..=6,
+        seed in any::<u64>(),
+    ) {
+        for mut algo in algorithms(gamma, seed) {
+            let mut rng = OpRng(seed | 1);
+            let mut alive: Vec<TenantId> = Vec::new();
+            for (i, &load) in loads.iter().enumerate() {
+                let tenant = Tenant::new(TenantId::new(i as u64), Load::new(load).unwrap());
+                algo.place(tenant).unwrap();
+                alive.push(tenant.id());
+                if rng.below(100) < 35 {
+                    let idx = rng.below(alive.len());
+                    algo.remove(alive.swap_remove(idx)).unwrap();
+                }
+            }
+            let placement = algo.placement();
+            let oracle = Oracle::rebuild(placement);
+            let bins: Vec<BinId> = placement.bins().map(|b| b.id()).collect();
+            for &bin in &bins {
+                prop_assert!(
+                    (placement.level(bin) - oracle.level(bin)).abs() <= AUDIT_TOLERANCE,
+                    "{}: level of bin {} drifted after departures",
+                    algo.name(),
+                    bin.index()
+                );
+                prop_assert!(
+                    (placement.worst_failover(bin) - oracle.worst_failover(bin)).abs()
+                        <= AUDIT_TOLERANCE,
+                    "{}: failover reserve of bin {} drifted after departures",
+                    algo.name(),
+                    bin.index()
+                );
+            }
+            for (i, &a) in bins.iter().enumerate() {
+                for &b in &bins[i + 1..] {
+                    prop_assert!(
+                        (placement.shared_load(a, b) - oracle.shared_load(a, b)).abs()
+                            <= AUDIT_TOLERANCE,
+                        "{}: shared load ({}, {}) drifted after departures",
+                        algo.name(),
+                        a.index(),
+                        b.index()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic γ = 2 churn regression: departures that empty servers must
+/// leave them reusable, and a recovery immediately after a departure must
+/// not resurrect the departed tenant's shared loads.
+#[test]
+fn depart_then_recover_does_not_resurrect_shared_load() {
+    for mut algo in audited_algorithms(2, 5) {
+        for id in 0..12u64 {
+            algo.place(Tenant::new(TenantId::new(id), Load::new(0.3).unwrap())).unwrap();
+        }
+        for id in [1u64, 4, 7] {
+            algo.remove(TenantId::new(id)).unwrap();
+        }
+        let victim =
+            algo.placement().bins().find(|b| b.level() > 0.0).map(|b| b.id()).expect("loaded bin");
+        algo.recover(&[victim]).unwrap();
+        assert_eq!(algo.placement().level(victim), 0.0, "{}", algo.name());
+        let oracle = Oracle::rebuild(algo.placement());
+        assert_eq!(algo.placement().is_robust(), oracle.is_robust(), "{}", algo.name());
+        assert!(algo.placement().is_robust(), "{}", algo.name());
+        // The departed tenants stay gone.
+        for id in [1u64, 4, 7] {
+            assert!(algo.placement().tenant_bins(TenantId::new(id)).is_none());
+        }
+    }
+}

@@ -10,9 +10,12 @@
 //! always feasible.
 
 use crate::common::{assignment_feasible, extends_assignment, BaselineTelemetry, ReserveMode};
+use cubefit_core::algorithm::RemovalOutcome;
 use cubefit_core::level_index::LevelIndex;
+use cubefit_core::recovery::{self, RecoveryReport};
 use cubefit_core::{
     BinId, Consolidator, Error, Placement, PlacementOutcome, PlacementStage, Result, Tenant,
+    TenantId,
 };
 use cubefit_telemetry::{Recorder, TraceEvent};
 use std::cell::Cell;
@@ -142,6 +145,73 @@ impl Greedy {
         }
         Ok(())
     }
+
+    fn remove(&mut self, tenant: TenantId) -> Result<RemovalOutcome> {
+        let old: Vec<(BinId, f64)> = self
+            .placement
+            .tenant_bins(tenant)
+            .ok_or(Error::UnknownTenant { tenant })?
+            .iter()
+            .map(|&b| (b, self.placement.level(b)))
+            .collect();
+        let (load, bins) = self.placement.remove_tenant(tenant)?;
+        // Emptied bins stay in the level index (at level 0) and in the
+        // opening order, so later arrivals reuse them before opening new
+        // servers.
+        for (bin, old_level) in old {
+            self.index.update(bin, old_level, self.placement.level(bin));
+        }
+        self.telemetry.recorder.emit(|| TraceEvent::TenantDeparted { tenant: tenant.get(), load });
+        Ok(RemovalOutcome { tenant, load, bins })
+    }
+
+    /// Re-homes orphaned replicas using the packer's own preference order
+    /// (fullest / oldest / emptiest feasible survivor), under the full
+    /// `γ − 1` reserve so recovery never weakens robustness regardless of
+    /// the configured [`ReserveMode`].
+    fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport> {
+        let orphan_list = recovery::orphans(&self.placement, failed);
+        let mut report = RecoveryReport::default();
+        let mut affected: Vec<TenantId> = Vec::new();
+        let gamma = self.placement.gamma() as f64;
+        for (tenant, from) in orphan_list {
+            if !affected.contains(&tenant) {
+                affected.push(tenant);
+            }
+            let load = self.placement.tenant_load(tenant).expect("orphaned tenants are placed");
+            let replica = load / gamma;
+            let candidates: Vec<BinId> = match self.preference {
+                Preference::Fullest => {
+                    self.index.iter_desc_at_most(1.0 - replica).take(self.scan_limit).collect()
+                }
+                Preference::Emptiest => self.index.iter_asc().take(self.scan_limit).collect(),
+                Preference::Oldest => self.order.iter().copied().take(self.scan_limit).collect(),
+            };
+            let target = recovery::pick_target(&self.placement, tenant, from, failed, candidates);
+            let to = match target {
+                Some(bin) => bin,
+                None => {
+                    report.bins_opened += 1;
+                    self.open()
+                }
+            };
+            let old_from = self.placement.level(from);
+            let old_to = self.placement.level(to);
+            self.placement.move_replica(tenant, from, to)?;
+            self.index.update(from, old_from, self.placement.level(from));
+            self.index.update(to, old_to, self.placement.level(to));
+            report.replicas_migrated += 1;
+            report.moved_load += replica;
+            self.telemetry.recorder.emit(|| TraceEvent::ReplicaMigrated {
+                tenant: tenant.get(),
+                from: from.index(),
+                to: to.index(),
+                load: replica,
+            });
+        }
+        report.tenants_affected = affected.len();
+        Ok(report)
+    }
 }
 
 macro_rules! greedy_packer {
@@ -189,6 +259,18 @@ macro_rules! greedy_packer {
         impl Consolidator for $name {
             fn place(&mut self, tenant: Tenant) -> Result<PlacementOutcome> {
                 self.inner.place(tenant)
+            }
+
+            fn remove(&mut self, tenant: TenantId) -> Result<RemovalOutcome> {
+                self.inner.remove(tenant)
+            }
+
+            fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport> {
+                self.inner.recover(failed)
+            }
+
+            fn clone_box(&self) -> Box<dyn Consolidator> {
+                Box::new(self.clone())
             }
 
             fn placement(&self) -> &Placement {
@@ -383,6 +465,62 @@ mod tests {
             snap.counter("bins_opened", &[("algorithm", "bestfit")]) as usize,
             bf.placement().open_bins()
         );
+    }
+
+    #[test]
+    fn removal_frees_bins_for_reuse() {
+        let mut bf = BestFit::new(2).unwrap();
+        bf.place(tenant(0, 0.9)).unwrap();
+        bf.place(tenant(1, 0.9)).unwrap();
+        let before = bf.placement().created_bins();
+        bf.remove(cubefit_core::TenantId::new(0)).unwrap();
+        // The freed servers absorb the next tenant without opening more.
+        let outcome = bf.place(tenant(2, 0.9)).unwrap();
+        assert_eq!(outcome.opened, 0);
+        assert_eq!(bf.placement().created_bins(), before);
+        assert!(bf.placement().is_robust());
+        assert!(cubefit_core::oracle::audit(bf.placement()).is_ok());
+        assert!(matches!(
+            bf.remove(cubefit_core::TenantId::new(0)),
+            Err(Error::UnknownTenant { .. })
+        ));
+    }
+
+    #[test]
+    fn all_greedy_packers_recover_robustly() {
+        let loads = lcg_loads(17, 120);
+        let mut packers: Vec<Box<dyn Consolidator>> = vec![
+            Box::new(BestFit::new(3).unwrap()),
+            Box::new(FirstFit::new(3).unwrap()),
+            Box::new(WorstFit::new(3).unwrap()),
+        ];
+        for packer in &mut packers {
+            for (id, &load) in loads.iter().enumerate() {
+                packer.place(tenant(id as u64, load)).unwrap();
+            }
+            // Fail the two fullest bins (worst case for γ=3).
+            let mut bins: Vec<(f64, cubefit_core::BinId)> =
+                packer.placement().bins().map(|b| (b.level(), b.id())).collect();
+            bins.sort_by(|a, b| b.0.total_cmp(&a.0));
+            let failed: Vec<cubefit_core::BinId> = bins.iter().take(2).map(|&(_, b)| b).collect();
+            let report = packer.recover(&failed).unwrap();
+            assert!(report.replicas_migrated > 0, "{}", packer.name());
+            for &bin in &failed {
+                assert_eq!(packer.placement().level(bin), 0.0, "{}", packer.name());
+            }
+            assert!(packer.placement().is_robust(), "{}", packer.name());
+            assert!(cubefit_core::oracle::audit(packer.placement()).is_ok());
+        }
+    }
+
+    #[test]
+    fn clone_box_forks_greedy_state() {
+        let mut ff = FirstFit::new(2).unwrap();
+        ff.place(tenant(0, 0.4)).unwrap();
+        let mut fork = ff.clone_box();
+        fork.place(tenant(1, 0.4)).unwrap();
+        assert_eq!(ff.placement().tenant_count(), 1);
+        assert_eq!(fork.placement().tenant_count(), 2);
     }
 
     #[test]

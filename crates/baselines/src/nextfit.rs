@@ -1,8 +1,11 @@
 //! Next Fit adapted to replicated tenants.
 
 use crate::common::{assignment_feasible, BaselineTelemetry, ReserveMode};
+use cubefit_core::algorithm::RemovalOutcome;
+use cubefit_core::recovery::{self, RecoveryReport};
 use cubefit_core::{
     BinId, Consolidator, Error, Placement, PlacementOutcome, PlacementStage, Result, Tenant,
+    TenantId,
 };
 use cubefit_telemetry::{Recorder, TraceEvent};
 
@@ -95,6 +98,43 @@ impl Consolidator for NextFit {
         Ok(PlacementOutcome { tenant: tenant.id(), bins, opened, stage: PlacementStage::Direct })
     }
 
+    fn remove(&mut self, tenant: TenantId) -> Result<RemovalOutcome> {
+        // Next Fit keeps no derived index; the window stays put (bounded
+        // space never revisits closed bins, even freshly emptied ones).
+        let (load, bins) = self.placement.remove_tenant(tenant)?;
+        self.telemetry.recorder.emit(|| TraceEvent::TenantDeparted { tenant: tenant.get(), load });
+        Ok(RemovalOutcome { tenant, load, bins })
+    }
+
+    /// Re-homes orphans scanning all bins in opening order (recovery is an
+    /// offline repair pass, exempt from the bounded-space window). A failed
+    /// window server closes the window for good.
+    fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport> {
+        if self.window.as_ref().is_some_and(|w| w.iter().any(|b| failed.contains(b))) {
+            self.window = None;
+        }
+        let telemetry = &self.telemetry;
+        recovery::recover_replicas(
+            &mut self.placement,
+            failed,
+            |p, t, from, _| {
+                recovery::pick_target(p, t, from, failed, (0..p.created_bins()).map(BinId::new))
+            },
+            |_, tenant, from, to, replica| {
+                telemetry.recorder.emit(|| TraceEvent::ReplicaMigrated {
+                    tenant: tenant.get(),
+                    from: from.index(),
+                    to: to.index(),
+                    load: replica,
+                });
+            },
+        )
+    }
+
+    fn clone_box(&self) -> Box<dyn Consolidator> {
+        Box::new(self.clone())
+    }
+
     fn placement(&self) -> &Placement {
         &self.placement
     }
@@ -158,5 +198,35 @@ mod tests {
     #[test]
     fn rejects_gamma_below_two() {
         assert!(NextFit::new(1).is_err());
+    }
+
+    #[test]
+    fn removal_does_not_reopen_closed_windows() {
+        let mut nf = NextFit::new(2).unwrap();
+        let a = nf.place(tenant(0, 0.9)).unwrap(); // window A
+        nf.place(tenant(1, 0.9)).unwrap(); // window B
+        nf.remove(TenantId::new(0)).unwrap();
+        // Window A is empty again, but bounded space ignores it.
+        let c = nf.place(tenant(2, 0.9)).unwrap();
+        assert!(c.bins.iter().all(|b| !a.bins.contains(b)));
+        assert!(cubefit_core::oracle::audit(nf.placement()).is_ok());
+    }
+
+    #[test]
+    fn failed_window_is_closed_and_recovery_restores_robustness() {
+        let mut nf = NextFit::new(2).unwrap();
+        nf.place(tenant(0, 0.6)).unwrap();
+        let b = nf.place(tenant(1, 0.9)).unwrap(); // current window
+        let failed = vec![b.bins[0]];
+        let report = nf.recover(&failed).unwrap();
+        assert_eq!(report.replicas_migrated, 1);
+        assert_eq!(nf.placement().level(failed[0]), 0.0);
+        assert!(nf.placement().is_robust());
+        assert!(cubefit_core::oracle::audit(nf.placement()).is_ok());
+        // The next arrival opens a fresh window rather than touching the
+        // half-failed one.
+        let c = nf.place(tenant(2, 0.1)).unwrap();
+        assert_eq!(c.opened, 2);
+        assert!(!c.bins.contains(&failed[0]));
     }
 }

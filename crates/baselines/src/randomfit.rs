@@ -1,8 +1,11 @@
 //! Random Fit: a randomized sanity-check baseline.
 
 use crate::common::{assignment_feasible, feasible, ReserveMode};
+use cubefit_core::algorithm::RemovalOutcome;
+use cubefit_core::recovery::{self, RecoveryReport};
 use cubefit_core::{
     BinId, Consolidator, Error, Placement, PlacementOutcome, PlacementStage, Result, Tenant,
+    TenantId,
 };
 use rand::{Rng, SeedableRng};
 
@@ -13,7 +16,7 @@ use rand::{Rng, SeedableRng};
 /// Deliberately unsophisticated — it provides a floor that any reasonable
 /// policy should beat, and doubles as a randomized robustness fuzzer (every
 /// placement it produces still honours the `γ − 1`-failure reserve).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RandomFit {
     placement: Placement,
     rng: rand_chacha::ChaCha8Rng,
@@ -104,6 +107,32 @@ impl Consolidator for RandomFit {
         })
     }
 
+    fn remove(&mut self, tenant: TenantId) -> Result<RemovalOutcome> {
+        let (load, bins) = self.placement.remove_tenant(tenant)?;
+        Ok(RemovalOutcome { tenant, load, bins })
+    }
+
+    /// Re-homes orphans onto randomly probed feasible survivors (same probe
+    /// budget as placement), opening a fresh server when every probe misses.
+    fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport> {
+        let RandomFit { placement, rng, probes, .. } = self;
+        recovery::recover_replicas(
+            placement,
+            failed,
+            |p, t, from, _| {
+                let existing = p.created_bins();
+                (0..*probes)
+                    .map(|_| BinId::new(rng.gen_range(0..existing)))
+                    .find(|&bin| !failed.contains(&bin) && recovery::move_feasible(p, t, from, bin))
+            },
+            |_, _, _, _, _| {},
+        )
+    }
+
+    fn clone_box(&self) -> Box<dyn Consolidator> {
+        Box::new(self.clone())
+    }
+
     fn placement(&self) -> &Placement {
         &self.placement
     }
@@ -167,5 +196,43 @@ mod tests {
     #[test]
     fn rejects_gamma_below_two() {
         assert!(RandomFit::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn churn_stays_robust_and_audited() {
+        let mut rf = RandomFit::new(3, 11).unwrap();
+        let mut state = 5u64;
+        for id in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let load = (((state >> 11) as f64 / (1u64 << 53) as f64) * 0.999).max(1e-6);
+            rf.place(tenant(id, load)).unwrap();
+            if id % 4 == 3 {
+                rf.remove(TenantId::new(id - 2)).unwrap();
+            }
+        }
+        assert!(rf.placement().is_robust());
+        assert!(cubefit_core::oracle::audit(rf.placement()).is_ok());
+        let failed = vec![BinId::new(0), BinId::new(1)];
+        rf.recover(&failed).unwrap();
+        for &bin in &failed {
+            assert_eq!(rf.placement().level(bin), 0.0);
+        }
+        assert!(rf.placement().is_robust());
+        assert!(cubefit_core::oracle::audit(rf.placement()).is_ok());
+    }
+
+    #[test]
+    fn clone_box_forks_rng_state() {
+        let mut rf = RandomFit::new(2, 3).unwrap();
+        for id in 0..20 {
+            rf.place(tenant(id, 0.3)).unwrap();
+        }
+        let mut fork = rf.clone_box();
+        // Identical continued streams: same RNG state ⇒ same decisions.
+        for id in 20..40 {
+            let a = rf.place(tenant(id, 0.25)).unwrap();
+            let b = fork.place(tenant(id, 0.25)).unwrap();
+            assert_eq!(a.bins, b.bins);
+        }
     }
 }

@@ -2,9 +2,12 @@
 //! §V of the CubeFit paper.
 
 use crate::common::{assignment_feasible, extends_assignment, BaselineTelemetry, ReserveMode};
+use cubefit_core::algorithm::RemovalOutcome;
 use cubefit_core::level_index::LevelIndex;
+use cubefit_core::recovery::{self, RecoveryReport};
 use cubefit_core::{
     BinId, Consolidator, Error, Placement, PlacementOutcome, PlacementStage, Result, Tenant,
+    TenantId,
 };
 use cubefit_telemetry::{Recorder, TraceEvent};
 use std::cell::Cell;
@@ -182,6 +185,80 @@ impl Consolidator for Rfi {
         })
     }
 
+    fn remove(&mut self, tenant: TenantId) -> Result<RemovalOutcome> {
+        // Removal shrinks the levels of exactly the tenant's bins, and the
+        // shared loads of exactly the pairs among them — no other bin's
+        // slack key moves, so only these keys are refreshed.
+        let old: Vec<(BinId, f64)> = self
+            .placement
+            .tenant_bins(tenant)
+            .ok_or(Error::UnknownTenant { tenant })?
+            .iter()
+            .map(|&b| (b, self.slack(b)))
+            .collect();
+        let (load, bins) = self.placement.remove_tenant(tenant)?;
+        for (bin, old_slack) in old {
+            self.index.update(bin, old_slack, self.slack(bin));
+        }
+        self.telemetry.recorder.emit(|| TraceEvent::TenantDeparted { tenant: tenant.get(), load });
+        Ok(RemovalOutcome { tenant, load, bins })
+    }
+
+    /// Re-homes orphaned replicas tightest-feasible-first through the full
+    /// `γ − 1` move predicate — stricter than RFI's single-failure
+    /// placement reserve, so recovery never weakens whatever robustness the
+    /// placement had (and for `γ = 2` the two predicates coincide).
+    fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport> {
+        let orphan_list = recovery::orphans(&self.placement, failed);
+        let mut report = RecoveryReport::default();
+        let mut affected: Vec<TenantId> = Vec::new();
+        let gamma = self.placement.gamma() as f64;
+        for (tenant, from) in orphan_list {
+            if !affected.contains(&tenant) {
+                affected.push(tenant);
+            }
+            let load = self.placement.tenant_load(tenant).expect("orphaned tenants are placed");
+            let replica = load / gamma;
+            let candidates: Vec<BinId> =
+                self.index.iter_asc_at_least(replica).take(self.scan_limit).collect();
+            let target = recovery::pick_target(&self.placement, tenant, from, failed, candidates);
+            let to = match target {
+                Some(bin) => bin,
+                None => {
+                    report.bins_opened += 1;
+                    self.open()
+                }
+            };
+            // The move shifts the levels of `from`/`to` and the shared
+            // loads between them and every sibling; re-key all of them.
+            let mut touched: Vec<BinId> =
+                self.placement.tenant_bins(tenant).expect("still placed").to_vec();
+            touched.push(from);
+            touched.push(to);
+            touched.sort_unstable();
+            touched.dedup();
+            let old: Vec<(BinId, f64)> = touched.iter().map(|&b| (b, self.slack(b))).collect();
+            self.placement.move_replica(tenant, from, to)?;
+            for (bin, old_slack) in old {
+                self.index.update(bin, old_slack, self.slack(bin));
+            }
+            report.replicas_migrated += 1;
+            report.moved_load += replica;
+            self.telemetry.recorder.emit(|| TraceEvent::ReplicaMigrated {
+                tenant: tenant.get(),
+                from: from.index(),
+                to: to.index(),
+                load: replica,
+            });
+        }
+        report.tenants_affected = affected.len();
+        Ok(report)
+    }
+
+    fn clone_box(&self) -> Box<dyn Consolidator> {
+        Box::new(self.clone())
+    }
+
     fn placement(&self) -> &Placement {
         &self.placement
     }
@@ -330,6 +407,51 @@ mod tests {
         let outcome = rfi.place(tenant(4, 0.9)).unwrap();
         assert!(outcome.bins.contains(&BinId::new(6)), "bins {:?}", outcome.bins);
         assert_eq!(outcome.opened, 1);
+    }
+
+    #[test]
+    fn removal_rekeys_slack_index() {
+        let mut rfi = Rfi::new(2, 0.85).unwrap();
+        for (id, load) in lcg_loads(12, 150).into_iter().enumerate() {
+            rfi.place(tenant(id as u64, load)).unwrap();
+        }
+        for id in (0..150).step_by(3) {
+            rfi.remove(TenantId::new(id)).unwrap();
+        }
+        // Every slack key in the index must match a fresh recomputation.
+        for bin in rfi.placement().bins() {
+            assert!(
+                rfi.index.contains(bin.id(), rfi.slack(bin.id())),
+                "stale slack key for {}",
+                bin.id()
+            );
+        }
+        assert!(cubefit_core::oracle::audit(rfi.placement()).is_ok());
+        assert!(rfi.placement().is_robust());
+        // Freed capacity is actually reusable.
+        let before = rfi.placement().created_bins();
+        rfi.place(tenant(1000, 0.2)).unwrap();
+        assert_eq!(rfi.placement().created_bins(), before);
+    }
+
+    #[test]
+    fn gamma2_recovery_restores_robustness() {
+        let mut rfi = Rfi::new(2, 0.85).unwrap();
+        for (id, load) in lcg_loads(13, 200).into_iter().enumerate() {
+            rfi.place(tenant(id as u64, load)).unwrap();
+        }
+        let mut bins: Vec<(f64, BinId)> =
+            rfi.placement().bins().map(|b| (b.level(), b.id())).collect();
+        bins.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let failed = vec![bins[0].1];
+        let report = rfi.recover(&failed).unwrap();
+        assert!(report.replicas_migrated > 0);
+        assert_eq!(rfi.placement().level(failed[0]), 0.0);
+        assert!(rfi.placement().is_robust());
+        assert!(cubefit_core::oracle::audit(rfi.placement()).is_ok());
+        for bin in rfi.placement().bins() {
+            assert!(rfi.index.contains(bin.id(), rfi.slack(bin.id())));
+        }
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! `cubefit churn` — seeded churn-and-recovery chaos runs.
+
+use crate::args::ParsedArgs;
+use crate::spec_parse;
+use crate::telemetry_out;
+use cubefit_sim::churn::{run_churn_with, ChurnConfig};
+
+/// Flags accepted by `churn`.
+pub const FLAGS: &[&str] = &[
+    "algorithm",
+    "gamma",
+    "distribution",
+    "ops",
+    "seed",
+    "departures",
+    "failures",
+    "max-failures",
+    "audit",
+    "out",
+    "metrics-out",
+    "trace-out",
+];
+
+/// Usage line shown in `--help`.
+pub const USAGE: &str = "churn [--algorithm cubefit] [--gamma G] [--distribution uniform:1-15] \
+                         [--ops N] [--seed S] [--departures PCT] [--failures PCT] \
+                         [--max-failures F] [--audit] [--out REPORT.json] \
+                         [--metrics-out METRICS.json] [--trace-out EVENTS.jsonl]";
+
+/// Runs the command, returning the JSON churn report (or a summary when
+/// `--out` redirects the report to a file).
+///
+/// # Errors
+///
+/// Returns a message for bad flags, bad specs, or I/O failures.
+pub fn run(args: &ParsedArgs) -> Result<String, String> {
+    args.expect_only(FLAGS).map_err(|e| e.to_string())?;
+    let gamma: usize = args.get_or("gamma", 2usize, "an integer").map_err(|e| e.to_string())?;
+    let algorithm = spec_parse::parse_algorithm(args.get("algorithm").unwrap_or("cubefit"), gamma)?;
+    let distribution =
+        spec_parse::parse_distribution(args.get("distribution").unwrap_or("uniform:1-15"))?;
+    let ops: usize = args.get_or("ops", 500usize, "an integer").map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 0u64, "an integer").map_err(|e| e.to_string())?;
+    let departure_percent: u32 =
+        args.get_or("departures", 25u32, "a percentage").map_err(|e| e.to_string())?;
+    let failure_percent: u32 =
+        args.get_or("failures", 10u32, "a percentage").map_err(|e| e.to_string())?;
+    if departure_percent + failure_percent > 100 {
+        return Err(format!(
+            "--departures {departure_percent} plus --failures {failure_percent} exceeds 100%"
+        ));
+    }
+    let max_failures: usize = args
+        .get_or("max-failures", algorithm.gamma().saturating_sub(1).max(1), "an integer")
+        .map_err(|e| e.to_string())?;
+    if max_failures >= algorithm.gamma() {
+        return Err(format!(
+            "--max-failures {max_failures} would breach availability: at most γ−1 = {} servers \
+             may fail per event",
+            algorithm.gamma() - 1
+        ));
+    }
+
+    let config = ChurnConfig {
+        algorithm,
+        distribution,
+        ops,
+        seed,
+        departure_percent,
+        failure_percent,
+        max_failures,
+        audit: args.has("audit"),
+    };
+    let metrics_out = args.get("metrics-out");
+    let trace_out = args.get("trace-out");
+    let recorder = telemetry_out::recorder_for(metrics_out, trace_out)?;
+    let report = run_churn_with(&config, recorder.clone()).map_err(|e| e.to_string())?;
+    recorder.flush();
+
+    let json = report.to_json();
+    let mut output = String::new();
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        output.push_str(&format!(
+            "{}: {} arrivals, {} departures, {} failure events; \
+             recovery moved {} replicas ({:.3} load, {} bins opened); \
+             degraded {:.0}s total (max {:.0}s); robust: {}\n",
+            report.algorithm,
+            report.arrivals,
+            report.departures,
+            report.failure_events.len(),
+            report.recovery.replicas_migrated,
+            report.recovery.moved_load,
+            report.recovery.bins_opened,
+            report.degraded_seconds_total,
+            report.degraded_seconds_max,
+            report.robust,
+        ));
+        output.push_str(&format!("churn report written to {path}\n"));
+    } else {
+        output.push_str(&json);
+        output.push('\n');
+    }
+    if let Some(path) = metrics_out {
+        telemetry_out::write_metrics(path, &recorder.snapshot())?;
+        output.push_str(&format!("metrics written to {path}\n"));
+    }
+    if let Some(path) = trace_out {
+        output.push_str(&format!("decision trace written to {path}\n"));
+    }
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubefit_sim::churn::ChurnReport;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("cubefit-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn emits_json_with_recovery_cost_and_degraded_window() {
+        let args = ParsedArgs::parse([
+            "churn",
+            "--algorithm",
+            "cubefit:k=5",
+            "--gamma",
+            "3",
+            "--ops",
+            "150",
+            "--seed",
+            "7",
+            "--audit",
+        ])
+        .unwrap();
+        let out = run(&args).unwrap();
+        let report: ChurnReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(report.gamma, 3);
+        assert_eq!(report.arrivals + report.departures + report.failure_events.len(), 150);
+        assert!(report.robust);
+        assert!(out.contains("degraded_seconds_total"));
+        assert!(out.contains("replicas_migrated"));
+    }
+
+    #[test]
+    fn out_flag_writes_report_and_prints_summary() {
+        let path = tmp("churn-report.json");
+        let args =
+            ParsedArgs::parse(["churn", "--ops", "120", "--seed", "3", "--out", &path]).unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("churn report written to"));
+        assert!(out.contains("degraded"));
+        let report: ChurnReport =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(report.seed, 3);
+    }
+
+    #[test]
+    fn rejects_availability_breaching_failure_count() {
+        let args = ParsedArgs::parse(["churn", "--gamma", "2", "--max-failures", "2"]).unwrap();
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("γ−1"), "{err}");
+    }
+
+    #[test]
+    fn rejects_overweight_op_mix() {
+        let args = ParsedArgs::parse(["churn", "--departures", "70", "--failures", "40"]).unwrap();
+        assert!(run(&args).unwrap_err().contains("exceeds 100%"));
+    }
+
+    #[test]
+    fn trace_out_captures_failure_events() {
+        let trace_path = tmp("churn-events.jsonl");
+        let args = ParsedArgs::parse([
+            "churn",
+            "--ops",
+            "150",
+            "--seed",
+            "21",
+            "--failures",
+            "20",
+            "--trace-out",
+            &trace_path,
+        ])
+        .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("decision trace written to"));
+        let events = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(events.contains("servers_failed") || events.contains("ServersFailed"));
+        assert!(events.contains("recovery_completed") || events.contains("RecoveryCompleted"));
+    }
+}

@@ -5,6 +5,7 @@
 //! tested without spawning processes.
 
 pub mod check;
+pub mod churn;
 pub mod compare;
 pub mod generate;
 pub mod place;

@@ -11,6 +11,7 @@
 //! $ cubefit check fleet.json
 //! $ cubefit compare --trace fleet.cft --algorithms cubefit,rfi,bestfit
 //! $ cubefit simulate fleet.json --trace fleet.cft --failures 1
+//! $ cubefit churn --algorithm cubefit --gamma 3 --ops 2000 --audit
 //! ```
 //!
 //! Every subcommand is a pure function from parsed arguments to output
@@ -32,12 +33,13 @@ pub fn help() -> String {
     format!(
         "cubefit — robust multi-tenant server consolidation (ICDCS 2017 reproduction)\n\n\
          USAGE:\n  cubefit <COMMAND> [FLAGS]\n\n\
-         COMMANDS:\n  {}\n  {}\n  {}\n  {}\n  {}\n  help\n",
+         COMMANDS:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  help\n",
         commands::generate::USAGE,
         commands::place::USAGE,
         commands::check::USAGE,
         commands::compare::USAGE,
         commands::simulate::USAGE,
+        commands::churn::USAGE,
     )
 }
 
@@ -54,6 +56,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, String> {
         Some("check") => commands::check::run(args),
         Some("compare") => commands::compare::run(args),
         Some("simulate") => commands::simulate::run(args),
+        Some("churn") => commands::churn::run(args),
         Some("help") | None => Ok(help()),
         Some(other) => Err(format!("unknown command '{other}'\n\n{}", help())),
     }
@@ -66,7 +69,7 @@ mod tests {
     #[test]
     fn help_lists_every_command() {
         let text = help();
-        for command in ["generate", "place", "check", "compare", "simulate"] {
+        for command in ["generate", "place", "check", "compare", "simulate", "churn"] {
             assert!(text.contains(command), "help missing {command}");
         }
     }

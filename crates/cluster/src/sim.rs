@@ -228,23 +228,28 @@ impl ClusterSim {
     /// stop issuing queries.
     pub fn fail_servers(&mut self, failed: &[usize]) {
         let mut lost_clients: Vec<u32> = Vec::new();
+        let mut newly_failed: Vec<usize> = Vec::new();
         for &s in failed {
             if self.servers[s].is_failed() {
                 continue;
             }
             lost_clients.extend(self.servers[s].fail(self.now));
+            newly_failed.push(s);
         }
-        // Move overhead: each tenant replica on a failed server shifts its
-        // overhead share onto the surviving replicas.
+        // Move overhead: each tenant replica on a *newly* failed server
+        // shifts its overhead share onto the surviving replicas. Replicas
+        // that failed in an earlier call already moved their share then —
+        // re-counting them would inflate survivor overhead on every call.
         for tenant in &self.tenants {
             let gamma = tenant.servers.len();
             let share = self.overhead_share / gamma as f64;
-            let (failed_reps, survivors): (Vec<usize>, Vec<usize>) =
-                tenant.servers.iter().partition(|&&s| self.servers[s].is_failed());
-            if failed_reps.is_empty() || survivors.is_empty() {
+            let fresh = tenant.servers.iter().filter(|s| newly_failed.contains(s)).count();
+            let survivors: Vec<usize> =
+                tenant.servers.iter().copied().filter(|&s| !self.servers[s].is_failed()).collect();
+            if fresh == 0 || survivors.is_empty() {
                 continue;
             }
-            let moved = share * failed_reps.len() as f64 / survivors.len() as f64;
+            let moved = share * fresh as f64 / survivors.len() as f64;
             for &s in &survivors {
                 self.servers[s].add_overhead(moved);
             }
@@ -508,6 +513,37 @@ mod tests {
         assert_eq!(sim.unavailable_clients(), 0);
         let report = sim.run();
         assert!(!report.is_empty());
+    }
+
+    #[test]
+    fn repeated_fail_servers_does_not_double_count_overhead() {
+        let assignments = vec![TenantAssignment::new(0, 20, vec![0, 1, 2])];
+        let mut sim = ClusterSim::new(3, assignments, &mix(), &model(), SimConfig::quick(4));
+        sim.fail_servers(&[2]);
+        let after_first = sim.equivalent_concurrency(0);
+        // Failing the same server again must be a complete no-op: the
+        // replica's overhead share already moved in the first call.
+        sim.fail_servers(&[2]);
+        assert!(
+            (sim.equivalent_concurrency(0) - after_first).abs() < 1e-12,
+            "repeat call changed overhead: {} vs {after_first}",
+            sim.equivalent_concurrency(0)
+        );
+        // An incremental second failure moves only the newly failed
+        // replica's base share (1/3 of the tenant overhead) onto the last
+        // survivor — not the previously failed replica's share again.
+        let share = model().beta() / model().delta() / 3.0;
+        let before_second = sim.equivalent_concurrency(0);
+        sim.fail_servers(&[1]);
+        // Server 1 held its 20 original sub-clients plus 10 re-pinned from
+        // server 2, each of weight 1/3 — all land on the last survivor.
+        let clients_moved: f64 = 30.0 / 3.0;
+        let gained = sim.equivalent_concurrency(0) - before_second;
+        assert!(
+            (gained - (share + clients_moved)).abs() < 1e-9,
+            "gained {gained}, expected {}",
+            share + clients_moved
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::bin::BinId;
 use crate::error::Result;
 use crate::placement::Placement;
+use crate::recovery::RecoveryReport;
 use crate::tenant::{Tenant, TenantId};
 use cubefit_telemetry::Recorder;
 
@@ -34,10 +35,25 @@ pub struct PlacementOutcome {
     pub stage: PlacementStage,
 }
 
+/// What a tenant's departure released.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RemovalOutcome {
+    /// The departed tenant.
+    pub tenant: TenantId,
+    /// The tenant's full load (now released).
+    pub load: f64,
+    /// The `γ` bins that hosted the tenant's replicas.
+    pub bins: Vec<BinId>,
+}
+
 /// An online consolidation algorithm.
 ///
 /// Implementations receive tenants one at a time (the online model of
 /// paper §II) and must immediately and irrevocably assign all `γ` replicas.
+/// Tenants may also *depart* ([`Consolidator::remove`]), and servers may
+/// fail ([`Consolidator::recover`]); implementations keep their derived
+/// indexes consistent through both so robustness holds under churn.
 /// The trait is object-safe so harnesses can drive a heterogeneous set of
 /// algorithms:
 ///
@@ -63,6 +79,34 @@ pub trait Consolidator {
     /// invariant is violated; well-formed tenants are otherwise always
     /// accepted (algorithms may always open fresh servers).
     fn place(&mut self, tenant: Tenant) -> Result<PlacementOutcome>;
+
+    /// Removes a departed tenant's `γ` replicas, releasing their load and
+    /// updating any internal indexes the algorithm keeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::UnknownTenant`] if the tenant is not
+    /// currently placed.
+    fn remove(&mut self, tenant: TenantId) -> Result<RemovalOutcome>;
+
+    /// Re-places every replica orphaned by the simultaneous failure of the
+    /// given bins onto surviving (or newly opened) bins, through the same
+    /// robustness predicate the algorithm places with, so that Theorem 1
+    /// holds again once recovery completes.
+    ///
+    /// Failed bins end up hosting nothing; callers model them as repaired
+    /// (or decommissioned and their ids recycled) afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement-substrate invariant violations; a recovery
+    /// target always exists because fresh bins accept any replica.
+    fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport>;
+
+    /// Clones the algorithm — placement, indexes, RNG state and all — into
+    /// a new boxed trait object. Harnesses use this for tentative
+    /// placements (e.g. overflow probing) without replaying history.
+    fn clone_box(&self) -> Box<dyn Consolidator>;
 
     /// Read access to the placement built so far.
     fn placement(&self) -> &Placement;
@@ -94,6 +138,18 @@ impl Consolidator for Box<dyn Consolidator> {
         (**self).place(tenant)
     }
 
+    fn remove(&mut self, tenant: TenantId) -> Result<RemovalOutcome> {
+        (**self).remove(tenant)
+    }
+
+    fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport> {
+        (**self).recover(failed)
+    }
+
+    fn clone_box(&self) -> Box<dyn Consolidator> {
+        (**self).clone_box()
+    }
+
     fn placement(&self) -> &Placement {
         (**self).placement()
     }
@@ -118,6 +174,7 @@ mod tests {
 
     /// Minimal consolidator used to exercise trait defaults: every tenant
     /// gets γ fresh bins.
+    #[derive(Clone)]
     struct FreshBins {
         placement: Placement,
     }
@@ -133,6 +190,32 @@ mod tests {
                 bins,
                 stage: PlacementStage::Direct,
             })
+        }
+
+        fn remove(&mut self, tenant: TenantId) -> Result<RemovalOutcome> {
+            let (load, bins) = self.placement.remove_tenant(tenant)?;
+            Ok(RemovalOutcome { tenant, load, bins })
+        }
+
+        fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport> {
+            crate::recovery::recover_replicas(
+                &mut self.placement,
+                failed,
+                |p, t, from, _| {
+                    crate::recovery::pick_target(
+                        p,
+                        t,
+                        from,
+                        failed,
+                        (0..p.created_bins()).map(BinId::new),
+                    )
+                },
+                |_, _, _, _, _| {},
+            )
+        }
+
+        fn clone_box(&self) -> Box<dyn Consolidator> {
+            Box::new(self.clone())
         }
 
         fn placement(&self) -> &Placement {
@@ -157,5 +240,27 @@ mod tests {
         assert_eq!(outcome.stage, PlacementStage::Direct);
         assert_eq!(boxed.name(), "fresh-bins");
         assert!(boxed.placement().is_robust());
+    }
+
+    #[test]
+    fn churn_methods_through_trait_objects() {
+        let mut boxed: Box<dyn Consolidator> = Box::new(FreshBins { placement: Placement::new(2) });
+        let a = boxed.place(Tenant::with_load(Load::new(0.4).unwrap())).unwrap();
+        let b = boxed.place(Tenant::with_load(Load::new(0.6).unwrap())).unwrap();
+        // A clone is an independent fork of the whole state.
+        let mut fork = boxed.clone_box();
+        fork.remove(a.tenant).unwrap();
+        assert_eq!(fork.placement().tenant_count(), 1);
+        assert_eq!(boxed.placement().tenant_count(), 2);
+        // Removal through the box delegates and reports the freed replicas.
+        let removed = boxed.remove(b.tenant).unwrap();
+        assert_eq!(removed.bins, b.bins);
+        assert!((removed.load - 0.6).abs() < 1e-12);
+        assert!(matches!(boxed.remove(b.tenant), Err(crate::error::Error::UnknownTenant { .. })));
+        // Recovery through the box re-homes the orphaned replica.
+        let report = boxed.recover(&[a.bins[0]]).unwrap();
+        assert_eq!(report.replicas_migrated, 1);
+        assert!(boxed.placement().is_robust());
+        assert_eq!(boxed.placement().level(a.bins[0]), 0.0);
     }
 }

@@ -1,6 +1,6 @@
 //! The CubeFit consolidation algorithm (paper §III, Algorithm 1).
 
-use crate::algorithm::{Consolidator, PlacementOutcome, PlacementStage};
+use crate::algorithm::{Consolidator, PlacementOutcome, PlacementStage, RemovalOutcome};
 use crate::bin::BinId;
 use crate::class::Classifier;
 use crate::config::CubeFitConfig;
@@ -9,9 +9,10 @@ use crate::error::{Error, Result};
 use crate::mfit::{self, MatureSet};
 use crate::multireplica::MultiReplicaState;
 use crate::placement::Placement;
-use crate::tenant::Tenant;
+use crate::recovery::{self, RecoveryReport};
+use crate::tenant::{Tenant, TenantId};
 use cubefit_telemetry::{Counter, Recorder, TraceEvent};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Online robust consolidator that places replicas of almost-equal size into
 /// the same bins via cube addressing, and reuses mature-bin leftover space
@@ -56,8 +57,37 @@ pub struct CubeFit {
     slots_filled: Vec<usize>,
     mature: MatureSet,
     multi: MultiReplicaState,
+    /// Which path placed each live tenant, so a departure knows what to
+    /// reclaim (cube tenants release their whole cell to the free list).
+    placed_via: HashMap<TenantId, PlacedVia>,
+    /// Reclaimed cube cells per class index: the `γ`-bin tuples departed
+    /// stage-2 tenants vacated. A later tenant of the same class reuses a
+    /// whole cell — inheriting the departed tenant's sharing structure, so
+    /// Lemma 1's "no two bins share more than one tenant" survives reuse —
+    /// after an explicit m-fit-style re-check, because stage-1 guests may
+    /// have consumed the vacated space in the meantime.
+    free_cells: BTreeMap<usize, Vec<Vec<BinId>>>,
+    /// Whether a recovery has ever migrated replicas. Migration re-points a
+    /// tenant's shared loads at bins outside its cube cell, which can merge
+    /// two of a sibling's failover partners into one — so cube tuples are no
+    /// longer robust *by construction* and every stage-2 assignment must
+    /// pass the same predicate stage 1 uses (see [`CubeFit::place`]).
+    cube_perturbed: bool,
     counters: CubeFitStats,
     instruments: Instruments,
+}
+
+/// How a live tenant was placed (what its departure must undo).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlacedVia {
+    /// Stage 1: guest in mature-bin leftover space; nothing to reclaim
+    /// beyond the load itself.
+    MatureFit,
+    /// Stage 2: owns a whole cube cell of this class.
+    Cube(usize),
+    /// Member of a (possibly sealed) multi-replica; the cell is shared
+    /// with the other members, so no cell is reclaimed.
+    Multi,
 }
 
 /// Telemetry handles resolved once at [`Consolidator::set_recorder`] time so
@@ -88,6 +118,9 @@ pub struct CubeFitStats {
     pub mature_bins: usize,
     /// Multi-replicas sealed so far.
     pub sealed_multis: usize,
+    /// Stage-2 placements that reused a cell reclaimed from a departed
+    /// tenant instead of advancing the cube counter.
+    pub cells_reused: usize,
 }
 
 impl CubeFit {
@@ -102,6 +135,9 @@ impl CubeFit {
             slots_filled: Vec::new(),
             mature: MatureSet::default(),
             multi: MultiReplicaState::new(cap),
+            placed_via: HashMap::new(),
+            free_cells: BTreeMap::new(),
+            cube_perturbed: false,
             counters: CubeFitStats::default(),
             instruments: Instruments::default(),
             config,
@@ -143,6 +179,7 @@ impl CubeFit {
             self.note_mfit(tenant, self.config.classes(), &scan);
             if let Some(bins) = scan.bins {
                 self.commit(tenant, &bins)?;
+                self.placed_via.insert(tenant.id(), PlacedVia::MatureFit);
                 self.counters.stage1_placements += 1;
                 self.instruments.stage1.inc();
                 self.emit_placed(tenant, &bins, PlacementStage::MatureFit, 0);
@@ -156,6 +193,12 @@ impl CubeFit {
         }
         let (target_class, _) = self.config.tiny_target();
         let gamma = self.config.gamma();
+        if self.cube_perturbed && self.multi.needs_new(size) {
+            // A fresh multi-replica grows in place up to its cap, so on a
+            // perturbed cube its cell must afford the full cap up front.
+            let targets = self.checked_cube_tuple(target_class, self.multi.cap());
+            self.multi.open_with(targets);
+        }
         // Multi-replicas draw slots from the same cube groups as regular
         // replicas of the target class, preserving Lemma 1 across both.
         let groups = self
@@ -171,6 +214,7 @@ impl CubeFit {
             self.emit_slots(tenant, target_class, targets);
         }
         self.commit(tenant, &decision.bins)?;
+        self.placed_via.insert(tenant.id(), PlacedVia::Multi);
         if let Some(targets) = &decision.new_slots {
             self.note_slots(targets);
         }
@@ -266,7 +310,9 @@ impl CubeFit {
     }
 
     /// Records stage-2 slot occupancy and promotes bins whose payload slots
-    /// are now all filled to the mature set.
+    /// are now all filled to the mature set. Already-mature bins (possible
+    /// once departures decrement and cell reuse re-increments the counts)
+    /// are left alone so their slack key is not duplicated.
     fn note_slots(&mut self, targets: &[SlotTarget]) {
         for target in targets {
             let index = target.bin.index();
@@ -276,10 +322,91 @@ impl CubeFit {
             self.slots_filled[index] += 1;
             let class =
                 self.placement.bin(target.bin).class().expect("stage-2 bins are always classed");
-            if self.slots_filled[index] == self.classifier.payload_slots(class) {
+            if self.slots_filled[index] == self.classifier.payload_slots(class)
+                && !self.mature.contains(target.bin)
+            {
                 self.mature.insert(target.bin, self.slack(target.bin));
             }
         }
+    }
+
+    /// The first reclaimed cell of class `tau` whose every bin still
+    /// m-fits a replica of `size` (stage-1 guests may have eaten the
+    /// vacated space). Infeasible cells stay in the list — a later, lighter
+    /// tenant or a departure can make them viable again.
+    fn take_free_cell(&mut self, tau: usize, size: f64) -> Option<Vec<BinId>> {
+        let growth_hosts = self.multi.active_hosts();
+        let headroom = self.multi.headroom();
+        let placement = &self.placement;
+        let cells = self.free_cells.get_mut(&tau)?;
+        let pos = cells.iter().position(|cell| {
+            cell.iter().enumerate().all(|(i, &bin)| {
+                let siblings: Vec<BinId> =
+                    cell.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &b)| b).collect();
+                mfit::m_fits_with_growth(placement, bin, size, &siblings, &growth_hosts, headroom)
+            })
+        })?;
+        Some(cells.swap_remove(pos))
+    }
+
+    /// Re-occupies the slots of a reused cell, restoring maturity to bins
+    /// whose payload slots are full again.
+    fn note_refill(&mut self, bins: &[BinId]) {
+        for &bin in bins {
+            let index = bin.index();
+            if index >= self.slots_filled.len() {
+                self.slots_filled.resize(index + 1, 0);
+            }
+            self.slots_filled[index] += 1;
+            if let Some(class) = self.placement.bin(bin).class() {
+                if self.slots_filled[index] == self.classifier.payload_slots(class)
+                    && !self.mature.contains(bin)
+                {
+                    self.mature.insert(bin, self.slack(bin));
+                }
+            }
+        }
+    }
+
+    /// Whether every bin of a prospective cube tuple m-fits a replica of
+    /// `size` alongside the rest of the tuple — the check cell reuse
+    /// already performs, applied to freshly assigned tuples once recovery
+    /// has voided the cube's by-construction guarantee.
+    fn tuple_feasible(&self, bins: &[BinId], size: f64) -> bool {
+        let growth_hosts = self.multi.active_hosts();
+        let headroom = self.multi.headroom();
+        bins.iter().enumerate().all(|(i, &bin)| {
+            let siblings: Vec<BinId> =
+                bins.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &b)| b).collect();
+            mfit::m_fits_with_growth(&self.placement, bin, size, &siblings, &growth_hosts, headroom)
+        })
+    }
+
+    /// Draws the next class-`tau` cube tuple that robustly fits a replica
+    /// of `size`, used instead of a bare `groups.assign` once recovery has
+    /// perturbed the cube. Infeasible tuples are banked as reclaimed cells
+    /// (a departure or a lighter tenant can revive them) and the cube
+    /// advances; if no tuple passes within the scan limit the caller gets a
+    /// dedicated tuple of fresh bins, which trivially satisfies the
+    /// reserve.
+    fn checked_cube_tuple(&mut self, tau: usize, size: f64) -> Vec<SlotTarget> {
+        let gamma = self.config.gamma();
+        for _ in 0..self.config.scan_limit().max(1) {
+            let groups = self.groups.entry(tau).or_insert_with(|| ClassGroups::new(tau, gamma));
+            let targets = groups.assign(&mut self.placement);
+            let bins: Vec<BinId> = targets.iter().map(|t| t.bin).collect();
+            if self.tuple_feasible(&bins, size) {
+                return targets;
+            }
+            self.free_cells.entry(tau).or_default().push(bins);
+        }
+        (0..gamma)
+            .map(|_| SlotTarget {
+                bin: self.placement.open_bin(Some(crate::class::ReplicaClass::new(tau))),
+                slot: 0,
+                opened: true,
+            })
+            .collect()
     }
 }
 
@@ -338,19 +465,144 @@ impl Consolidator for CubeFit {
             }
         }
 
-        // Stage 2: cube-addressed slots of the tenant's class.
+        // Stage 2: cube-addressed slots of the tenant's class — reusing a
+        // reclaimed cell of the class when one still robustly fits. The
+        // reused tuple reproduces the departed tenant's pairwise sharing
+        // structure, so Lemma 1 is preserved without advancing the cube.
         let tau = class.index();
-        let groups = self.groups.entry(tau).or_insert_with(|| ClassGroups::new(tau, gamma));
-        let targets = groups.assign(&mut self.placement);
+        if let Some(bins) = self.take_free_cell(tau, size) {
+            let opened = bins.iter().filter(|&&b| self.placement.bin(b).is_empty()).count();
+            self.commit(&tenant, &bins)?;
+            self.note_refill(&bins);
+            self.placed_via.insert(tenant.id(), PlacedVia::Cube(tau));
+            self.counters.stage2_placements += 1;
+            self.counters.cells_reused += 1;
+            self.instruments.stage2.inc();
+            self.emit_placed(&tenant, &bins, PlacementStage::Cube, opened);
+            return Ok(PlacementOutcome {
+                tenant: tenant.id(),
+                bins,
+                opened,
+                stage: PlacementStage::Cube,
+            });
+        }
+        // Until a recovery migrates replicas, cube tuples are robust by
+        // construction (Lemma 1) and the next tuple is taken as-is; after
+        // one, each tuple must pass the m-fit predicate first.
+        let targets = if self.cube_perturbed {
+            self.checked_cube_tuple(tau, size)
+        } else {
+            let groups = self.groups.entry(tau).or_insert_with(|| ClassGroups::new(tau, gamma));
+            groups.assign(&mut self.placement)
+        };
         let bins: Vec<BinId> = targets.iter().map(|t| t.bin).collect();
         let opened = targets.iter().filter(|t| t.opened).count();
         self.emit_slots(&tenant, tau, &targets);
         self.commit(&tenant, &bins)?;
         self.note_slots(&targets);
+        self.placed_via.insert(tenant.id(), PlacedVia::Cube(tau));
         self.counters.stage2_placements += 1;
         self.instruments.stage2.inc();
         self.emit_placed(&tenant, &bins, PlacementStage::Cube, opened);
         Ok(PlacementOutcome { tenant: tenant.id(), bins, opened, stage: PlacementStage::Cube })
+    }
+
+    fn remove(&mut self, tenant: TenantId) -> Result<RemovalOutcome> {
+        let (load, bins) = self.placement.remove_tenant(tenant)?;
+        let via = self.placed_via.remove(&tenant).unwrap_or(PlacedVia::MatureFit);
+        // Removal shrinks levels and shared loads of exactly these bins.
+        for &bin in &bins {
+            self.mature.update_slack(bin, self.slack(bin));
+        }
+        if let PlacedVia::Cube(tau) = via {
+            // The vacated cell (the tenant's bins at departure time, which
+            // after migrations may differ from the original cube tuple —
+            // reuse re-checks feasibility either way) becomes available to
+            // future same-class tenants. Slot counts drop with it; a bin
+            // whose count falls below payload stays in the mature set — its
+            // slack key already reflects the freed space, and every stage-1
+            // admission is predicate-checked.
+            for &bin in &bins {
+                let index = bin.index();
+                if index < self.slots_filled.len() {
+                    self.slots_filled[index] = self.slots_filled[index].saturating_sub(1);
+                }
+            }
+            self.free_cells.entry(tau).or_default().push(bins.clone());
+        }
+        // Departed multi members keep their reservation in the active
+        // multi-replica's size on purpose: the cap-based growth accounting
+        // stays an upper bound, which only errs toward extra reserve.
+        self.instruments
+            .recorder
+            .emit(|| TraceEvent::TenantDeparted { tenant: tenant.get(), load });
+        Ok(RemovalOutcome { tenant, load, bins })
+    }
+
+    fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport> {
+        let orphan_list = recovery::orphans(&self.placement, failed);
+        let mut report = RecoveryReport::default();
+        let mut affected: Vec<TenantId> = Vec::new();
+        let gamma = self.config.gamma() as f64;
+        for (tenant, from) in orphan_list {
+            if !affected.contains(&tenant) {
+                affected.push(tenant);
+            }
+            let load = self.placement.tenant_load(tenant).expect("orphaned tenants are placed");
+            let replica = load / gamma;
+            // Re-home through the stage-1 host set: mature bins, tightest
+            // feasible first, skipping the active multi-replica's hosts
+            // (whose pending growth the move predicate does not price in).
+            let growth_hosts = self.multi.active_hosts();
+            let target = recovery::pick_target(
+                &self.placement,
+                tenant,
+                from,
+                failed,
+                self.mature
+                    .iter_fitting(replica)
+                    .filter(|bin| !growth_hosts.contains(bin))
+                    .take(self.config.scan_limit()),
+            );
+            let to = match target {
+                Some(bin) => bin,
+                None => {
+                    report.bins_opened += 1;
+                    self.placement.open_bin(None)
+                }
+            };
+            self.placement.move_replica(tenant, from, to)?;
+            report.replicas_migrated += 1;
+            report.moved_load += replica;
+            // The move changes the source's and target's levels plus the
+            // shared loads of every sibling; re-key them all.
+            self.mature.update_slack(from, self.slack(from));
+            let bins: Vec<BinId> =
+                self.placement.tenant_bins(tenant).expect("still placed").to_vec();
+            for bin in bins {
+                self.mature.update_slack(bin, self.slack(bin));
+            }
+            self.instruments.recorder.emit(|| TraceEvent::ReplicaMigrated {
+                tenant: tenant.get(),
+                from: from.index(),
+                to: to.index(),
+                load: replica,
+            });
+        }
+        if report.replicas_migrated > 0 {
+            // The moves above re-pointed shared loads outside cube cells:
+            // stage 2 must predicate-check every tuple from now on, and the
+            // active multi-replica — whose future growth was priced against
+            // the pre-failure sharing structure — stops growing.
+            self.cube_perturbed = true;
+            self.multi.seal_active();
+        }
+        report.tenants_affected = affected.len();
+        Ok(report)
+    }
+
+    fn clone_box(&self) -> Box<dyn Consolidator> {
+        Box::new(self.clone())
     }
 
     fn placement(&self) -> &Placement {
@@ -664,5 +916,145 @@ mod tests {
         let cf = cubefit(2, 5);
         assert_eq!(cf.name(), "cubefit");
         assert_eq!(cf.gamma(), 2);
+    }
+
+    #[test]
+    fn departed_cube_cell_is_reused_by_same_class() {
+        // γ=2, class 2 (replica ∈ (1/4, 1/3]). Fill one full generation of
+        // 4 tenants, remove one, and the next same-class arrival must land
+        // in the vacated cell instead of advancing the cube.
+        let mut cf = cubefit(2, 10);
+        for id in 0..4 {
+            cf.place(tenant(id, 0.6)).unwrap();
+        }
+        let bins_before = cf.placement().open_bins();
+        let removed = cf.remove(TenantId::new(1)).unwrap();
+        assert!((removed.load - 0.6).abs() < 1e-12);
+        let outcome = cf.place(tenant(10, 0.6)).unwrap();
+        assert_eq!(outcome.stage, PlacementStage::Cube);
+        assert_eq!(outcome.opened, 0, "reuse must not open bins");
+        let mut got = outcome.bins.clone();
+        got.sort_unstable();
+        let mut vacated = removed.bins.clone();
+        vacated.sort_unstable();
+        assert_eq!(got, vacated, "new tenant lands in the vacated cell");
+        assert_eq!(cf.placement().open_bins(), bins_before);
+        assert_eq!(cf.stats().cells_reused, 1);
+        assert!(cf.placement().is_robust());
+        assert!(crate::oracle::audit(cf.placement()).is_ok());
+    }
+
+    #[test]
+    fn infeasible_free_cell_is_skipped_not_lost() {
+        // Mature a cell's bins with stage-1 guests after the owner departs;
+        // if the guests consumed the slack, reuse must fall back to fresh
+        // cube slots rather than overload the cell.
+        let mut cf = cubefit(2, 10);
+        for id in 0..4 {
+            cf.place(tenant(id, 0.6)).unwrap();
+        }
+        cf.remove(TenantId::new(0)).unwrap();
+        // Occupy the vacated pair's slack via stage-1 guests (replica 0.1
+        // each m-fits the now-emptier bins).
+        for id in 20..26 {
+            cf.place(tenant(id, 0.2)).unwrap();
+        }
+        // Whatever path the next class-2 tenant takes, the invariants hold.
+        cf.place(tenant(30, 0.6)).unwrap();
+        assert!(cf.placement().is_robust());
+        assert!(crate::oracle::audit(cf.placement()).is_ok());
+    }
+
+    #[test]
+    fn removal_keeps_indexes_consistent_under_interleaving() {
+        let mut cf = cubefit(3, 5);
+        let mut state = 0xfeed_u64;
+        let mut alive: Vec<u64> = Vec::new();
+        let mut departed: Vec<u64> = Vec::new();
+        for id in 0..300_u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let load = 0.01 + ((state >> 11) as f64 / (1u64 << 53) as f64) * 0.95;
+            cf.place(tenant(id, load)).unwrap();
+            alive.push(id);
+            // Depart roughly every third arrival, from the middle.
+            if id % 3 == 2 {
+                let victim = alive.remove(alive.len() / 2);
+                cf.remove(TenantId::new(victim)).unwrap();
+                departed.push(victim);
+            }
+        }
+        assert_eq!(cf.placement().tenant_count(), alive.len());
+        assert!(cf.placement().is_robust());
+        assert!(crate::oracle::audit(cf.placement()).is_ok());
+        // Departed ids are re-admissible.
+        cf.place(tenant(departed[0], 0.4)).unwrap();
+        assert!(crate::oracle::audit(cf.placement()).is_ok());
+    }
+
+    #[test]
+    fn recovery_restores_theorem1_after_gamma_minus_one_failures() {
+        let mut cf = cubefit(3, 5);
+        let mut state = 0xbeef_u64;
+        for id in 0..120 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let load = 0.05 + ((state >> 11) as f64 / (1u64 << 53) as f64) * 0.9;
+            cf.place(tenant(id, load)).unwrap();
+        }
+        // Fail the worst γ−1 = 2 servers the validity checker can find.
+        let failed = validity::worst_failure_set(
+            cf.placement(),
+            2,
+            validity::FailoverSemantics::Conservative,
+        );
+        let orphaned = recovery::orphans(cf.placement(), &failed).len();
+        let report = cf.recover(&failed).unwrap();
+        assert_eq!(report.replicas_migrated, orphaned);
+        assert!(report.moved_load > 0.0);
+        for &bin in &failed {
+            assert_eq!(cf.placement().level(bin), 0.0, "failed bin {bin} must end empty");
+        }
+        for (_, _, bins) in cf.placement().tenants() {
+            assert_eq!(bins.len(), 3, "every tenant keeps γ distinct replicas");
+            assert!(failed.iter().all(|f| !bins.contains(f)));
+        }
+        assert!(cf.placement().is_robust(), "recovery must re-establish Theorem 1");
+        assert!(crate::oracle::audit(cf.placement()).is_ok());
+        // The substrate stays placeable after recovery.
+        cf.place(tenant(500, 0.5)).unwrap();
+        assert!(cf.placement().is_robust());
+    }
+
+    #[test]
+    fn clone_box_forks_cube_state_independently() {
+        let mut cf = cubefit(2, 10);
+        for id in 0..4 {
+            cf.place(tenant(id, 0.6)).unwrap();
+        }
+        let mut fork = cf.clone_box();
+        fork.remove(TenantId::new(0)).unwrap();
+        fork.place(tenant(9, 0.6)).unwrap();
+        assert_eq!(cf.placement().tenant_count(), 4);
+        assert_eq!(fork.placement().tenant_count(), 4);
+        assert!(cf.placement().tenant_bins(TenantId::new(0)).is_some());
+        assert!(fork.placement().tenant_bins(TenantId::new(0)).is_none());
+        assert!(crate::oracle::audit(cf.placement()).is_ok());
+        assert!(crate::oracle::audit(fork.placement()).is_ok());
+    }
+
+    #[test]
+    fn churn_emits_departure_and_migration_events() {
+        use cubefit_telemetry::VecSink;
+        use std::sync::Arc;
+
+        let sink = Arc::new(VecSink::new());
+        let mut cf = cubefit(2, 5);
+        cf.set_recorder(Recorder::with_sink(Arc::clone(&sink)));
+        let a = cf.place(tenant(0, 0.5)).unwrap();
+        cf.place(tenant(1, 0.7)).unwrap();
+        cf.remove(TenantId::new(1)).unwrap();
+        cf.recover(&[a.bins[0]]).unwrap();
+        let events = sink.events();
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::TenantDeparted { tenant: 1, .. })));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::ReplicaMigrated { tenant: 0, .. })));
     }
 }

@@ -48,6 +48,12 @@ pub enum Error {
         /// The duplicated id.
         tenant: crate::tenant::TenantId,
     },
+    /// An operation referenced a tenant the placement does not contain
+    /// (e.g. removing an id that never arrived or already departed).
+    UnknownTenant {
+        /// The unknown id.
+        tenant: crate::tenant::TenantId,
+    },
     /// An internal invariant was violated; indicates a bug in this crate.
     InternalInvariant {
         /// Description of the violated invariant.
@@ -77,6 +83,9 @@ impl fmt::Display for Error {
             Error::DuplicateTenant { tenant } => {
                 write!(f, "tenant {tenant} was already placed")
             }
+            Error::UnknownTenant { tenant } => {
+                write!(f, "tenant {tenant} is not in the placement")
+            }
             Error::InternalInvariant { detail } => {
                 write!(f, "internal invariant violated: {detail}")
             }
@@ -100,6 +109,7 @@ mod tests {
             Error::TinyPolicyUnsupported { classes: 10, gamma: 3, alpha: 2 },
             Error::InvalidMu { mu: 0.0 },
             Error::DuplicateTenant { tenant: TenantId::new(7) },
+            Error::UnknownTenant { tenant: TenantId::new(8) },
             Error::InternalInvariant { detail: "oops".into() },
         ];
         for e in errors {

@@ -66,13 +66,14 @@ pub mod mfit;
 pub mod multireplica;
 pub mod oracle;
 pub mod placement;
+pub mod recovery;
 pub mod render;
 pub mod shared;
 pub mod smallbuf;
 pub mod tenant;
 pub mod validity;
 
-pub use algorithm::{Consolidator, PlacementOutcome, PlacementStage};
+pub use algorithm::{Consolidator, PlacementOutcome, PlacementStage, RemovalOutcome};
 pub use bin::{BinClass, BinId, BinSnapshot};
 pub use class::{Classifier, ReplicaClass};
 pub use config::{CubeFitConfig, CubeFitConfigBuilder, Stage1Eligibility, TinyPolicy};
@@ -82,6 +83,7 @@ pub use error::{Error, Result};
 pub use load::Load;
 pub use oracle::{AuditedConsolidator, Divergence, DivergenceKind, Oracle};
 pub use placement::{Placement, PlacementStats};
+pub use recovery::RecoveryReport;
 pub use tenant::{Tenant, TenantId};
 pub use validity::{FailureImpact, RobustnessReport};
 

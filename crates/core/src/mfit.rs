@@ -122,7 +122,6 @@ impl MatureSet {
         }
     }
 
-    #[allow(dead_code)] // exercised by unit tests; handy for debugging
     pub(crate) fn contains(&self, bin: BinId) -> bool {
         self.slack_of.contains_key(&bin)
     }

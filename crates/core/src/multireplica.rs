@@ -44,6 +44,10 @@ struct ActiveMulti {
     targets: Vec<SlotTarget>,
     size: f64,
     members: usize,
+    /// Whether the cell's slot assignments are still unreported: the first
+    /// member's [`MultiPlacement`] carries them so the caller can update
+    /// slot occupancy and maturity exactly once per cell.
+    fresh: bool,
 }
 
 impl MultiReplicaState {
@@ -79,6 +83,34 @@ impl MultiReplicaState {
         self.active.as_ref().map_or(0.0, |a| self.cap - a.size)
     }
 
+    /// Maximum total size of one multi-replica.
+    pub(crate) fn cap(&self) -> f64 {
+        self.cap
+    }
+
+    /// Whether adding a replica of `size` would open a fresh multi-replica
+    /// (and thus draw a new cube cell).
+    pub(crate) fn needs_new(&self, size: f64) -> bool {
+        self.active.as_ref().is_none_or(|a| a.size + size > self.cap)
+    }
+
+    /// Seals the active multi-replica, if any, without starting a new one.
+    /// Used after recovery moves: the sealed copies keep their load, but
+    /// the next tiny tenant opens a fresh cell through the caller's
+    /// feasibility-checked path.
+    pub(crate) fn seal_active(&mut self) {
+        if self.active.take().is_some() {
+            self.sealed += 1;
+        }
+    }
+
+    /// Starts a fresh multi-replica in a cell the caller has already
+    /// assigned (and feasibility-checked), sealing any active one.
+    pub(crate) fn open_with(&mut self, targets: Vec<SlotTarget>) {
+        self.seal_active();
+        self.active = Some(ActiveMulti { targets, size: 0.0, members: 0, fresh: true });
+    }
+
     /// Chooses the bins for a tiny tenant whose replicas have size `size`,
     /// opening a fresh multi-replica (drawing slots from `groups`) when the
     /// active one would overflow its cap.
@@ -95,18 +127,17 @@ impl MultiReplicaState {
             Some(active) => active.size + size > self.cap,
         };
         if needs_new {
-            if self.active.take().is_some() {
-                self.sealed += 1;
-            }
+            self.seal_active();
             let targets = groups.assign(placement);
-            self.active = Some(ActiveMulti { targets, size: 0.0, members: 0 });
+            self.active = Some(ActiveMulti { targets, size: 0.0, members: 0, fresh: true });
         }
         let active = self.active.as_mut().expect("just ensured active exists");
+        let report_slots = std::mem::take(&mut active.fresh);
         active.size += size;
         active.members += 1;
         MultiPlacement {
             bins: active.targets.iter().map(|t| t.bin).collect(),
-            new_slots: needs_new.then(|| active.targets.clone()),
+            new_slots: report_slots.then(|| active.targets.clone()),
         }
     }
 }

@@ -14,11 +14,12 @@
 //! --audit` command catch unsound-but-plausible placements the moment they
 //! are produced, with a replayable JSON trace.
 
-use crate::algorithm::{Consolidator, PlacementOutcome};
+use crate::algorithm::{Consolidator, PlacementOutcome, RemovalOutcome};
 use crate::bin::BinId;
 use crate::error::Result;
 use crate::placement::Placement;
-use crate::tenant::Tenant;
+use crate::recovery::RecoveryReport;
+use crate::tenant::{Tenant, TenantId};
 use crate::EPSILON;
 use std::collections::HashMap;
 use std::fmt;
@@ -364,6 +365,23 @@ impl<A: Consolidator> AuditedConsolidator<A> {
     pub fn audits(&self) -> usize {
         self.placed / self.stride
     }
+
+    /// Audits the current placement, panicking with a replayable dump on
+    /// divergence. `context` names the operation that just ran.
+    fn audit_or_panic(&self, context: &str) {
+        if let Err(divergences) = audit(self.inner.placement()) {
+            let mut report =
+                format!("placement audit failed for `{}` after {context}:\n", self.inner.name());
+            for d in &divergences {
+                report.push_str("  ");
+                report.push_str(&d.to_string());
+                report.push('\n');
+            }
+            report.push_str("replay with `cubefit check --audit` on:\n");
+            report.push_str(&replay_json(self.inner.placement()));
+            panic!("{report}");
+        }
+    }
 }
 
 impl<A: Consolidator> Consolidator for AuditedConsolidator<A> {
@@ -382,24 +400,60 @@ impl<A: Consolidator> Consolidator for AuditedConsolidator<A> {
         let outcome = self.inner.place(tenant)?;
         self.placed += 1;
         if self.placed.is_multiple_of(self.stride) {
-            if let Err(divergences) = audit(self.inner.placement()) {
-                let mut report = format!(
-                    "placement audit failed for `{}` after tenant {} (placement #{}):\n",
-                    self.inner.name(),
-                    id.get(),
-                    self.placed
-                );
-                for d in &divergences {
-                    report.push_str("  ");
-                    report.push_str(&d.to_string());
-                    report.push('\n');
-                }
-                report.push_str("replay with `cubefit check --audit` on:\n");
-                report.push_str(&replay_json(self.inner.placement()));
-                panic!("{report}");
-            }
+            self.audit_or_panic(&format!("tenant {} (placement #{})", id.get(), self.placed));
         }
         Ok(outcome)
+    }
+
+    /// Removes via the wrapped algorithm, then audits unconditionally
+    /// (departures are rare relative to placements, and decrement paths
+    /// are where incremental bookkeeping is most fragile).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the wrapped algorithm's errors untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the divergence list and a replayable dump if the
+    /// incremental bookkeeping disagrees with the oracle after removal.
+    fn remove(&mut self, tenant: TenantId) -> Result<RemovalOutcome> {
+        let outcome = self.inner.remove(tenant)?;
+        self.audit_or_panic(&format!("removal of tenant {}", tenant.get()));
+        Ok(outcome)
+    }
+
+    /// Recovers via the wrapped algorithm, then audits unconditionally and
+    /// checks the recovery postcondition that every failed bin ends empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the wrapped algorithm's errors untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics on oracle divergence, or if a failed bin still carries load
+    /// after recovery returned.
+    fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport> {
+        let report = self.inner.recover(failed)?;
+        self.audit_or_panic(&format!("recovery from {} failed bin(s)", failed.len()));
+        for &bin in failed {
+            let level = self.inner.placement().level(bin);
+            assert!(
+                level == 0.0,
+                "recovery for `{}` left failed bin {bin} at level {level}",
+                self.inner.name()
+            );
+        }
+        Ok(report)
+    }
+
+    fn clone_box(&self) -> Box<dyn Consolidator> {
+        Box::new(AuditedConsolidator {
+            inner: self.inner.clone_box(),
+            stride: self.stride,
+            placed: self.placed,
+        })
     }
 
     fn placement(&self) -> &Placement {
@@ -503,28 +557,53 @@ mod tests {
         assert!(json.starts_with("{\"gamma\":2,\"servers\":4"));
     }
 
+    #[derive(Clone)]
+    struct FreshBins(Placement);
+    impl Consolidator for FreshBins {
+        fn place(&mut self, tenant: Tenant) -> Result<PlacementOutcome> {
+            let gamma = self.0.gamma();
+            let bins: Vec<BinId> = (0..gamma).map(|_| self.0.open_bin(None)).collect();
+            self.0.place_tenant(&tenant, &bins)?;
+            Ok(PlacementOutcome {
+                tenant: tenant.id(),
+                opened: bins.len(),
+                bins,
+                stage: crate::algorithm::PlacementStage::Direct,
+            })
+        }
+        fn remove(&mut self, tenant: TenantId) -> Result<RemovalOutcome> {
+            let (load, bins) = self.0.remove_tenant(tenant)?;
+            Ok(RemovalOutcome { tenant, load, bins })
+        }
+        fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport> {
+            crate::recovery::recover_replicas(
+                &mut self.0,
+                failed,
+                |p, t, from, _| {
+                    crate::recovery::pick_target(
+                        p,
+                        t,
+                        from,
+                        failed,
+                        (0..p.created_bins()).map(BinId::new),
+                    )
+                },
+                |_, _, _, _, _| {},
+            )
+        }
+        fn clone_box(&self) -> Box<dyn Consolidator> {
+            Box::new(self.clone())
+        }
+        fn placement(&self) -> &Placement {
+            &self.0
+        }
+        fn name(&self) -> &'static str {
+            "fresh-bins"
+        }
+    }
+
     #[test]
     fn audited_wrapper_is_transparent() {
-        struct FreshBins(Placement);
-        impl Consolidator for FreshBins {
-            fn place(&mut self, tenant: Tenant) -> Result<PlacementOutcome> {
-                let gamma = self.0.gamma();
-                let bins: Vec<BinId> = (0..gamma).map(|_| self.0.open_bin(None)).collect();
-                self.0.place_tenant(&tenant, &bins)?;
-                Ok(PlacementOutcome {
-                    tenant: tenant.id(),
-                    opened: bins.len(),
-                    bins,
-                    stage: crate::algorithm::PlacementStage::Direct,
-                })
-            }
-            fn placement(&self) -> &Placement {
-                &self.0
-            }
-            fn name(&self) -> &'static str {
-                "fresh-bins"
-            }
-        }
         let mut audited = AuditedConsolidator::with_stride(FreshBins(Placement::new(2)), 2);
         for id in 0..5u64 {
             let outcome = audited.place(tenant(id, 0.4)).unwrap();
@@ -537,9 +616,31 @@ mod tests {
     }
 
     #[test]
+    fn audited_wrapper_replays_removal_and_recovery() {
+        let mut audited = AuditedConsolidator::new(FreshBins(Placement::new(2)));
+        let a = audited.place(tenant(0, 0.5)).unwrap();
+        let b = audited.place(tenant(1, 0.7)).unwrap();
+        audited.place(tenant(2, 0.3)).unwrap();
+        let removed = audited.remove(TenantId::new(2)).unwrap();
+        assert!((removed.load - 0.3).abs() < 1e-12);
+        assert!(audited.remove(TenantId::new(2)).is_err());
+        let report = audited.recover(&[a.bins[0], b.bins[1]]).unwrap();
+        assert_eq!(report.replicas_migrated, 2);
+        assert_eq!(audited.placement().level(a.bins[0]), 0.0);
+        assert_eq!(audited.placement().level(b.bins[1]), 0.0);
+        assert!(audited.placement().is_robust());
+        // A fork through the audited wrapper remains independently audited.
+        let mut fork = audited.clone_box();
+        fork.remove(TenantId::new(0)).unwrap();
+        assert_eq!(fork.placement().tenant_count(), 1);
+        assert_eq!(audited.placement().tenant_count(), 2);
+    }
+
+    #[test]
     fn duplicate_tenant_error_propagates_unaudited() {
         let mut p = Placement::new(2);
         let bins: Vec<BinId> = (0..2).map(|_| p.open_bin(None)).collect();
+        #[derive(Clone)]
         struct Fixed(Placement, Vec<BinId>);
         impl Consolidator for Fixed {
             fn place(&mut self, tenant: Tenant) -> Result<PlacementOutcome> {
@@ -550,6 +651,16 @@ mod tests {
                     opened: 0,
                     stage: crate::algorithm::PlacementStage::Direct,
                 })
+            }
+            fn remove(&mut self, tenant: TenantId) -> Result<RemovalOutcome> {
+                let (load, bins) = self.0.remove_tenant(tenant)?;
+                Ok(RemovalOutcome { tenant, load, bins })
+            }
+            fn recover(&mut self, _failed: &[BinId]) -> Result<RecoveryReport> {
+                Ok(RecoveryReport::default())
+            }
+            fn clone_box(&self) -> Box<dyn Consolidator> {
+                Box::new(self.clone())
             }
             fn placement(&self) -> &Placement {
                 &self.0

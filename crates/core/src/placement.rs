@@ -127,6 +127,92 @@ impl Placement {
         Ok(())
     }
 
+    /// Removes all `γ` replicas of `tenant`, decrementing levels, shared
+    /// loads and the total load. Bins the tenant occupied stay open (they
+    /// may still host other replicas, and bin ids are stable), but a bin
+    /// emptied by the removal stops counting toward [`Self::open_bins`].
+    ///
+    /// Returns the removed tenant's load and hosting bins so callers
+    /// (algorithms with derived indexes) can re-key exactly the affected
+    /// bins.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTenant`] if `tenant` is not in the placement.
+    pub fn remove_tenant(&mut self, tenant: TenantId) -> Result<(f64, Vec<BinId>)> {
+        let record = self.tenants.remove(&tenant).ok_or(Error::UnknownTenant { tenant })?;
+        let replica = record.load / self.gamma as f64;
+        for (i, &bin) in record.bins.iter().enumerate() {
+            let data = &mut self.bins[bin.0];
+            data.level = (data.level - replica).max(0.0);
+            data.contents.retain(|(id, _)| *id != tenant);
+            if data.contents.is_empty() {
+                data.level = 0.0;
+                self.nonempty_bins -= 1;
+            }
+            for &other in &record.bins[i + 1..] {
+                self.shared.sub(bin, other, replica);
+            }
+        }
+        self.total_load = (self.total_load - record.load).max(0.0);
+        self.arrival_order.retain(|id| *id != tenant);
+        Ok((record.load, record.bins))
+    }
+
+    /// Moves one replica of `tenant` from bin `from` to bin `to`, shifting
+    /// its level and pairwise shared loads with the tenant's other bins.
+    /// This is the recovery primitive: re-homing a replica orphaned by a
+    /// server failure without disturbing the tenant's surviving replicas.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnknownTenant`] if `tenant` is not in the placement;
+    /// * [`Error::InternalInvariant`] if `from` does not host the tenant,
+    ///   `to` already does (replicas need distinct servers), or `to` does
+    ///   not exist.
+    pub fn move_replica(&mut self, tenant: TenantId, from: BinId, to: BinId) -> Result<()> {
+        let record = self.tenants.get(&tenant).ok_or(Error::UnknownTenant { tenant })?;
+        if to.0 >= self.bins.len() {
+            return Err(Error::InternalInvariant { detail: format!("{to} does not exist") });
+        }
+        if !record.bins.contains(&from) {
+            return Err(Error::InternalInvariant {
+                detail: format!("tenant {tenant} has no replica on {from}"),
+            });
+        }
+        if record.bins.contains(&to) {
+            return Err(Error::InternalInvariant {
+                detail: format!("tenant {tenant} already has a replica on {to}"),
+            });
+        }
+        let replica = record.load / self.gamma as f64;
+        let siblings: Vec<BinId> = record.bins.iter().copied().filter(|&b| b != from).collect();
+        let source = &mut self.bins[from.0];
+        source.level = (source.level - replica).max(0.0);
+        source.contents.retain(|(id, _)| *id != tenant);
+        if source.contents.is_empty() {
+            source.level = 0.0;
+            self.nonempty_bins -= 1;
+        }
+        let target = &mut self.bins[to.0];
+        if target.contents.is_empty() {
+            self.nonempty_bins += 1;
+        }
+        target.level += replica;
+        target.contents.push((tenant, replica));
+        for &sibling in &siblings {
+            self.shared.sub(from, sibling, replica);
+            self.shared.add(to, sibling, replica);
+        }
+        let record = self.tenants.get_mut(&tenant).expect("checked above");
+        for bin in &mut record.bins {
+            if *bin == from {
+                *bin = to;
+            }
+        }
+        Ok(())
+    }
+
     /// Read-only view of one bin.
     ///
     /// # Panics
@@ -373,6 +459,75 @@ mod tests {
         assert_eq!(p.created_bins(), 3);
         p.place_tenant(&tenant(0, 0.5), &[b[0], b[1]]).unwrap();
         assert_eq!(p.open_bins(), 2);
+    }
+
+    #[test]
+    fn remove_tenant_reverses_placement() {
+        let (mut p, b) = three_bin_placement();
+        p.place_tenant(&tenant(0, 0.6), &[b[0], b[1]]).unwrap();
+        p.place_tenant(&tenant(1, 0.4), &[b[1], b[2]]).unwrap();
+        let (load, bins) = p.remove_tenant(TenantId::new(0)).unwrap();
+        assert!((load - 0.6).abs() < 1e-12);
+        assert_eq!(bins, vec![b[0], b[1]]);
+        assert_eq!(p.level(b[0]), 0.0);
+        assert!((p.level(b[1]) - 0.2).abs() < 1e-12);
+        assert_eq!(p.shared_load(b[0], b[1]), 0.0);
+        assert!((p.shared_load(b[1], b[2]) - 0.2).abs() < 1e-12);
+        assert_eq!(p.open_bins(), 2, "emptied bin stops counting as open");
+        assert_eq!(p.tenant_count(), 1);
+        assert!((p.total_load() - 0.4).abs() < 1e-12);
+        assert_eq!(p.tenant_bins(TenantId::new(0)), None);
+        let order: Vec<u64> = p.tenants().map(|(id, _, _)| id.get()).collect();
+        assert_eq!(order, vec![1], "departed tenants leave the arrival order");
+    }
+
+    #[test]
+    fn remove_unknown_tenant_errors() {
+        let (mut p, b) = three_bin_placement();
+        p.place_tenant(&tenant(0, 0.5), &[b[0], b[1]]).unwrap();
+        assert!(matches!(p.remove_tenant(TenantId::new(9)), Err(Error::UnknownTenant { .. })));
+        p.remove_tenant(TenantId::new(0)).unwrap();
+        assert!(matches!(p.remove_tenant(TenantId::new(0)), Err(Error::UnknownTenant { .. }),));
+    }
+
+    #[test]
+    fn removed_id_can_be_placed_again() {
+        let (mut p, b) = three_bin_placement();
+        p.place_tenant(&tenant(0, 0.5), &[b[0], b[1]]).unwrap();
+        p.remove_tenant(TenantId::new(0)).unwrap();
+        p.place_tenant(&tenant(0, 0.3), &[b[1], b[2]]).unwrap();
+        assert!((p.total_load() - 0.3).abs() < 1e-12);
+        assert_eq!(p.tenant_bins(TenantId::new(0)), Some(&[b[1], b[2]][..]));
+    }
+
+    #[test]
+    fn move_replica_shifts_level_and_shared() {
+        let mut p = Placement::new(3);
+        let b: Vec<BinId> = (0..5).map(|_| p.open_bin(None)).collect();
+        p.place_tenant(&tenant(0, 0.6), &[b[0], b[1], b[2]]).unwrap();
+        p.place_tenant(&tenant(1, 0.3), &[b[0], b[1], b[4]]).unwrap();
+        p.move_replica(TenantId::new(0), b[0], b[3]).unwrap();
+        assert!((p.level(b[0]) - 0.1).abs() < 1e-12, "only tenant 1's replica remains");
+        assert!((p.level(b[3]) - 0.2).abs() < 1e-12);
+        assert_eq!(p.shared_load(b[0], b[2]), 0.0);
+        assert!((p.shared_load(b[3], b[1]) - 0.2).abs() < 1e-12);
+        assert!((p.shared_load(b[3], b[2]) - 0.2).abs() < 1e-12);
+        assert!((p.shared_load(b[0], b[1]) - 0.1).abs() < 1e-12);
+        assert_eq!(p.tenant_bins(TenantId::new(0)), Some(&[b[3], b[1], b[2]][..]));
+        assert!((p.total_load() - 0.9).abs() < 1e-12, "moves do not change total load");
+    }
+
+    #[test]
+    fn move_replica_rejects_bad_endpoints() {
+        let (mut p, b) = three_bin_placement();
+        p.place_tenant(&tenant(0, 0.5), &[b[0], b[1]]).unwrap();
+        assert!(matches!(
+            p.move_replica(TenantId::new(9), b[0], b[2]),
+            Err(Error::UnknownTenant { .. })
+        ));
+        assert!(p.move_replica(TenantId::new(0), b[2], b[0]).is_err());
+        assert!(p.move_replica(TenantId::new(0), b[0], b[1]).is_err());
+        assert!(p.move_replica(TenantId::new(0), b[0], BinId::new(99)).is_err());
     }
 
     #[test]

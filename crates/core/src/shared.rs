@@ -3,10 +3,14 @@
 //! For robustness checks, every algorithm needs the quantity
 //! `|Sᵢ ∩ Sⱼ|` — the total load, on bin `Sᵢ`, of replicas whose tenant also
 //! has a replica on bin `Sⱼ` (paper §II). Because replica loads within a
-//! tenant are equal, the matrix is symmetric, and because tenants are never
-//! removed, entries only ever grow. [`SharedIndex`] exploits both facts to
-//! answer "sum of the `γ−1` largest shared loads" — the failover reserve a
-//! bin must keep — in `O(1)` via a per-bin top-`k` cache.
+//! tenant are equal, the matrix is symmetric. [`SharedIndex`] answers "sum
+//! of the `γ−1` largest shared loads" — the failover reserve a bin must
+//! keep — in `O(1)` via a per-bin top-`k` cache. Placements grow an entry
+//! in `O(k)` ([`SharedIndex::add`]); tenant departures and replica
+//! migrations shrink entries ([`SharedIndex::sub`]), which rebuilds the two
+//! affected caches from their full matrix rows — churn is rare relative to
+//! the reserve queries issued on every placement scan, so the asymmetric
+//! cost lands on the right side.
 
 use crate::bin::BinId;
 use crate::smallbuf::SmallBuf;
@@ -56,6 +60,18 @@ impl TopK {
         );
     }
 
+    /// Rebuilds the cache from a bin's full matrix row after a decrement.
+    ///
+    /// A shrinking entry can fall out of the top `k` and let a previously
+    /// uncached peer in, which the bubble maintenance of [`TopK::update`]
+    /// cannot discover; a full re-sort of the row is the only sound answer.
+    fn rebuild<'a>(&mut self, k: usize, row: impl Iterator<Item = (&'a BinId, &'a f64)>) {
+        self.entries.clear();
+        self.entries.extend(row.map(|(p, v)| (*v, *p)));
+        self.entries.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        self.entries.truncate(k);
+    }
+
     fn sum(&self) -> f64 {
         self.entries.iter().map(|(v, _)| v).sum()
     }
@@ -95,6 +111,29 @@ impl SharedIndex {
             *entry += delta;
             let value = *entry;
             self.tops[x.0].update(self.k, y, value);
+        }
+    }
+
+    /// Subtracts `delta` from the shared load between `a` and `b` (both
+    /// orders), rebuilding the two affected top caches.
+    ///
+    /// Entries that reach zero (within float drift) are dropped from the
+    /// matrix so churned-out peers do not accumulate as dead weight.
+    pub(crate) fn sub(&mut self, a: BinId, b: BinId, delta: f64) {
+        debug_assert_ne!(a, b, "a bin does not share load with itself");
+        for (x, y) in [(a, b), (b, a)] {
+            let entry = self.map[x.0].entry(y).or_insert(0.0);
+            *entry -= delta;
+            debug_assert!(
+                *entry > -1e-9,
+                "shared load {x}↔{y} went negative ({}): decrement exceeds recorded share",
+                *entry
+            );
+            if *entry <= 1e-12 {
+                self.map[x.0].remove(&y);
+            }
+            let (row, tops) = (&self.map[x.0], &mut self.tops[x.0]);
+            tops.rebuild(self.k, row.iter());
         }
     }
 
@@ -229,6 +268,80 @@ mod tests {
         // Bump bin 1 past bin 2 through repeated increments.
         idx.add(bid(0), bid(1), 0.1);
         assert!((idx.worst_failover(bid(0)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_is_symmetric_and_drops_spent_entries() {
+        let mut idx = index_with_bins(2, 3);
+        idx.add(bid(0), bid(1), 0.3);
+        idx.sub(bid(0), bid(1), 0.1);
+        assert!((idx.get(bid(0), bid(1)) - 0.2).abs() < 1e-12);
+        assert!((idx.get(bid(1), bid(0)) - 0.2).abs() < 1e-12);
+        idx.sub(bid(1), bid(0), 0.2);
+        assert_eq!(idx.get(bid(0), bid(1)), 0.0);
+        assert_eq!(idx.worst_failover(bid(0)), 0.0);
+        assert_eq!(idx.peers(bid(0)).count(), 0, "spent entries must leave the matrix");
+    }
+
+    #[test]
+    fn sub_promotes_previously_uncached_peer() {
+        // γ = 2 caches a single entry; shrinking it below an uncached peer
+        // must surface that peer — impossible without the row rebuild.
+        let mut idx = index_with_bins(2, 4);
+        idx.add(bid(0), bid(1), 0.5);
+        idx.add(bid(0), bid(2), 0.4);
+        idx.add(bid(0), bid(3), 0.3);
+        assert!((idx.worst_failover(bid(0)) - 0.5).abs() < 1e-12);
+        idx.sub(bid(0), bid(1), 0.5);
+        assert!((idx.worst_failover(bid(0)) - 0.4).abs() < 1e-12);
+        idx.sub(bid(0), bid(2), 0.2);
+        assert!((idx.worst_failover(bid(0)) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interleaved_add_sub_matches_exhaustive_scan() {
+        // Randomized churn cross-check: adds and bounded subs against a
+        // dense truth matrix, for both a small and a large top cache.
+        for (gamma, bins) in [(3usize, 8usize), (14, 16)] {
+            let k = gamma - 1;
+            let mut idx = index_with_bins(gamma, bins);
+            let mut truth = vec![vec![0.0f64; bins]; bins];
+            let mut seed = 0x1234_5678_9abc_def0u64 ^ (gamma as u64);
+            let mut next = || {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                seed
+            };
+            for _ in 0..900 {
+                let a = (next() % bins as u64) as usize;
+                let mut b = (next() % bins as u64) as usize;
+                if a == b {
+                    b = (b + 1) % bins;
+                }
+                if next() % 3 == 0 && truth[a][b] > 0.0 {
+                    // Subtract an exact recorded fraction (half or all of
+                    // the current share) so entries can hit zero.
+                    let d = if next() % 2 == 0 { truth[a][b] } else { truth[a][b] / 2.0 };
+                    idx.sub(bid(a), bid(b), d);
+                    truth[a][b] -= d;
+                    truth[b][a] = truth[a][b];
+                } else {
+                    let d = ((next() % 100) as f64 + 1.0) / 1000.0;
+                    idx.add(bid(a), bid(b), d);
+                    truth[a][b] += d;
+                    truth[b][a] = truth[a][b];
+                }
+            }
+            for i in 0..bins {
+                let mut row: Vec<f64> = truth[i].clone();
+                row.sort_by(|x, y| y.partial_cmp(x).unwrap());
+                let expected: f64 = row.iter().take(k).sum();
+                assert!(
+                    (idx.worst_failover(bid(i)) - expected).abs() < 1e-9,
+                    "γ={gamma} bin {i}: cache {} vs truth {expected}",
+                    idx.worst_failover(bid(i))
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,390 @@
+//! Seeded churn-and-recovery chaos harness.
+//!
+//! Drives a single consolidator through a reproducible interleaving of
+//! tenant arrivals, tenant departures and server-failure events (each
+//! immediately followed by online re-replication), then reports the
+//! aggregate recovery cost and the modeled *degraded window* — the time
+//! during which the γ−1-failure guarantee of Theorem 1 is suspended while
+//! orphaned replicas are being rebuilt.
+//!
+//! Every decision is drawn from one seeded RNG, so a run is a pure function
+//! of its [`ChurnConfig`]: the same seed replays the same op sequence on
+//! every algorithm, which is what makes cross-algorithm churn comparisons
+//! (and bug reproduction from a JSON report) meaningful.
+//!
+//! With [`ChurnConfig::audit`] set, the consolidator runs inside
+//! [`AuditedConsolidator`], so every arrival at the audit stride and every
+//! departure/recovery is replayed against the quadratic oracle — the chaos
+//! harness then doubles as a differential fuzzer.
+
+use crate::spec::{AlgorithmSpec, DistributionSpec};
+use cubefit_core::oracle::AuditedConsolidator;
+use cubefit_core::recovery::{self, RecoveryReport};
+use cubefit_core::{BinId, Consolidator, Result, Tenant, TenantId};
+use cubefit_telemetry::{Recorder, TraceEvent};
+use cubefit_workload::LoadModel;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Modeled seconds of fixed per-replica restore work (catalog updates,
+/// opening the replication stream, warming the page cache).
+pub const REPLICA_RESTORE_SECONDS: f64 = 30.0;
+
+/// Modeled seconds to stream one full server's worth of normalized load
+/// (load 1.0) to its new home; a replica of load `ℓ` streams in `ℓ ×` this.
+pub const LOAD_TRANSFER_SECONDS: f64 = 600.0;
+
+/// Deterministic degraded-window model for one failure event: replicas are
+/// rebuilt sequentially, each paying a fixed setup cost plus transfer time
+/// proportional to its load. Wall-clock-free by design so churn runs are
+/// reproducible byte-for-byte.
+#[must_use]
+pub fn degraded_seconds(recovery: &RecoveryReport) -> f64 {
+    recovery.replicas_migrated as f64 * REPLICA_RESTORE_SECONDS
+        + recovery.moved_load * LOAD_TRANSFER_SECONDS
+}
+
+/// Configuration of one churn run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChurnConfig {
+    /// Algorithm under churn.
+    pub algorithm: AlgorithmSpec,
+    /// Client-count distribution for arriving tenants.
+    pub distribution: DistributionSpec,
+    /// Total operations (arrivals + departures + failure events).
+    pub ops: usize,
+    /// Seed driving the op mix, arrival loads, departure and failure picks.
+    pub seed: u64,
+    /// Percent of ops that are departures (when any tenant is alive).
+    pub departure_percent: u32,
+    /// Percent of ops that are failure events (when any bin is loaded).
+    pub failure_percent: u32,
+    /// Servers failed per event, clamped to `1..=γ−1` so every tenant
+    /// keeps a live replica.
+    pub max_failures: usize,
+    /// Replay placements, departures and recoveries against the quadratic
+    /// oracle (panics on divergence — the chaos harness as a fuzzer).
+    pub audit: bool,
+}
+
+impl ChurnConfig {
+    /// A balanced default mix: 25% departures, 10% failure events.
+    #[must_use]
+    pub fn balanced(algorithm: AlgorithmSpec, ops: usize, seed: u64) -> Self {
+        ChurnConfig {
+            max_failures: algorithm.gamma().saturating_sub(1).max(1),
+            algorithm,
+            distribution: DistributionSpec::Uniform { min: 1, max: 15 },
+            ops,
+            seed,
+            departure_percent: 25,
+            failure_percent: 10,
+            audit: false,
+        }
+    }
+}
+
+/// One server-failure event and its recovery, as it happened.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FailureEvent {
+    /// Zero-based op index at which the failure struck.
+    pub at_op: usize,
+    /// Bins (servers) failed simultaneously.
+    pub failed_bins: Vec<usize>,
+    /// Replicas orphaned by the failure.
+    pub orphaned: usize,
+    /// Cost of re-homing them.
+    pub recovery: RecoveryReport,
+    /// Modeled repair time ([`degraded_seconds`]).
+    pub degraded_seconds: f64,
+    /// Whether Theorem 1 held again once recovery completed.
+    pub robust_after: bool,
+}
+
+/// Everything a churn run produced, JSON-serializable for reports.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChurnReport {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Replication factor.
+    pub gamma: usize,
+    /// Seed that reproduces the run.
+    pub seed: u64,
+    /// Operations executed.
+    pub ops: usize,
+    /// Tenant arrivals.
+    pub arrivals: usize,
+    /// Tenant departures.
+    pub departures: usize,
+    /// Total load removed by departures.
+    pub departed_load: f64,
+    /// Each failure event in order.
+    pub failure_events: Vec<FailureEvent>,
+    /// Run-level aggregate recovery cost.
+    pub recovery: RecoveryReport,
+    /// Sum of all degraded windows (modeled seconds).
+    pub degraded_seconds_total: f64,
+    /// Longest single degraded window (modeled seconds).
+    pub degraded_seconds_max: f64,
+    /// Tenants alive at the end.
+    pub final_tenants: usize,
+    /// Servers in use at the end.
+    pub final_open_bins: usize,
+    /// Total placed load at the end.
+    pub final_load: f64,
+    /// Whether the final placement satisfies Theorem 1.
+    pub robust: bool,
+}
+
+impl ChurnReport {
+    /// Pretty JSON rendering for the `cubefit churn` CLI.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_owned())
+    }
+}
+
+/// Runs a churn experiment with telemetry disabled.
+///
+/// # Errors
+///
+/// Propagates algorithm construction and placement/removal/recovery errors.
+pub fn run_churn(config: &ChurnConfig) -> Result<ChurnReport> {
+    run_churn_with(config, Recorder::disabled())
+}
+
+/// Runs a churn experiment, emitting [`TraceEvent::ServersFailed`],
+/// [`TraceEvent::RecoveryCompleted`] and the consolidator's own events
+/// through `recorder`.
+///
+/// # Errors
+///
+/// Propagates algorithm construction and placement/removal/recovery errors.
+pub fn run_churn_with(config: &ChurnConfig, recorder: Recorder) -> Result<ChurnReport> {
+    let gamma = config.algorithm.gamma();
+    let mut consolidator: Box<dyn Consolidator> = if config.audit {
+        Box::new(AuditedConsolidator::new(config.algorithm.build()?))
+    } else {
+        config.algorithm.build()?
+    };
+    consolidator.set_recorder(recorder.clone());
+
+    let model = LoadModel::tpch_xeon();
+    let distribution = config.distribution.build(model.max_clients());
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+    let mut alive: Vec<TenantId> = Vec::new();
+    let mut next_id: u64 = 0;
+    let mut report = ChurnReport {
+        algorithm: config.algorithm.label(),
+        gamma,
+        seed: config.seed,
+        ops: config.ops,
+        arrivals: 0,
+        departures: 0,
+        departed_load: 0.0,
+        failure_events: Vec::new(),
+        recovery: RecoveryReport::default(),
+        degraded_seconds_total: 0.0,
+        degraded_seconds_max: 0.0,
+        final_tenants: 0,
+        final_open_bins: 0,
+        final_load: 0.0,
+        robust: false,
+    };
+
+    let depart_band = config.failure_percent + config.departure_percent;
+    for op in 0..config.ops {
+        let roll = rng.gen_range(0..100u32);
+        let loaded_bins: Vec<BinId> = consolidator
+            .placement()
+            .bins()
+            .filter(|bin| bin.level() > 0.0)
+            .map(|bin| bin.id())
+            .collect();
+        if roll < config.failure_percent && !loaded_bins.is_empty() {
+            let event = fail_and_recover(
+                &mut *consolidator,
+                &loaded_bins,
+                config.max_failures.clamp(1, gamma - 1),
+                op,
+                &mut rng,
+                &recorder,
+            )?;
+            report.recovery.absorb(&event.recovery);
+            report.degraded_seconds_total += event.degraded_seconds;
+            report.degraded_seconds_max = report.degraded_seconds_max.max(event.degraded_seconds);
+            report.failure_events.push(event);
+        } else if roll < depart_band && !alive.is_empty() {
+            let idx = rng.gen_range(0..alive.len());
+            let tenant = alive.swap_remove(idx);
+            let outcome = consolidator.remove(tenant)?;
+            report.departures += 1;
+            report.departed_load += outcome.load;
+        } else {
+            let clients = distribution.sample_clients(&mut rng);
+            let tenant = Tenant::new(TenantId::new(next_id), model.load(clients));
+            next_id += 1;
+            consolidator.place(tenant)?;
+            alive.push(tenant.id());
+            report.arrivals += 1;
+        }
+    }
+
+    let placement = consolidator.placement();
+    report.final_tenants = placement.tenant_count();
+    report.final_open_bins = placement.open_bins();
+    report.final_load = placement.total_load();
+    report.robust = placement.is_robust();
+    Ok(report)
+}
+
+/// Fails up to `max_failures` distinct loaded bins and immediately runs
+/// online re-replication, emitting the failure/recovery trace events.
+fn fail_and_recover(
+    consolidator: &mut dyn Consolidator,
+    loaded_bins: &[BinId],
+    max_failures: usize,
+    at_op: usize,
+    rng: &mut ChaCha8Rng,
+    recorder: &Recorder,
+) -> Result<FailureEvent> {
+    let count = rng.gen_range(1..=max_failures.min(loaded_bins.len()));
+    let mut pool: Vec<BinId> = loaded_bins.to_vec();
+    let mut failed: Vec<BinId> = Vec::with_capacity(count);
+    for _ in 0..count {
+        failed.push(pool.swap_remove(rng.gen_range(0..pool.len())));
+    }
+    failed.sort_unstable();
+
+    let orphaned = recovery::orphans(consolidator.placement(), &failed).len();
+    recorder.emit(|| TraceEvent::ServersFailed {
+        bins: failed.iter().map(|b| b.index()).collect(),
+        orphaned,
+    });
+    let recovered = consolidator.recover(&failed)?;
+    recorder.emit(|| TraceEvent::RecoveryCompleted {
+        replicas_migrated: recovered.replicas_migrated,
+        moved_load: recovered.moved_load,
+        bins_opened: recovered.bins_opened,
+    });
+    let window = degraded_seconds(&recovered);
+    Ok(FailureEvent {
+        at_op,
+        failed_bins: failed.iter().map(|b| b.index()).collect(),
+        orphaned,
+        recovery: recovered,
+        degraded_seconds: window,
+        robust_after: consolidator.placement().is_robust(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(algorithm: AlgorithmSpec, seed: u64) -> ChurnConfig {
+        ChurnConfig { audit: true, ..ChurnConfig::balanced(algorithm, 120, seed) }
+    }
+
+    #[test]
+    fn churn_is_deterministic_for_a_seed() {
+        let config = quick(AlgorithmSpec::CubeFit { gamma: 2, classes: 5 }, 7);
+        let a = run_churn(&config).unwrap();
+        let b = run_churn(&config).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.arrivals + a.departures + a.failure_events.len(), config.ops);
+    }
+
+    /// Regression: seed 9 at γ = 3 used to leave 11 of 96 failure events
+    /// non-robust — after a recovery migrated replicas, stage-2 cube-slot
+    /// assignments landed on perturbed bins without a feasibility check and
+    /// broke Theorem 1 by ~5e-2. Every recovery must now end robust.
+    #[test]
+    fn stage2_placements_after_recovery_stay_robust() {
+        let config =
+            ChurnConfig { ops: 800, ..quick(AlgorithmSpec::CubeFit { gamma: 3, classes: 5 }, 9) };
+        let report = run_churn(&config).unwrap();
+        assert!(!report.failure_events.is_empty());
+        for event in &report.failure_events {
+            assert!(event.robust_after, "non-robust recovery at op {}", event.at_op);
+        }
+        assert!(report.robust);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = run_churn(&quick(AlgorithmSpec::CubeFit { gamma: 2, classes: 5 }, 1)).unwrap();
+        let b = run_churn(&quick(AlgorithmSpec::CubeFit { gamma: 2, classes: 5 }, 2)).unwrap();
+        assert_ne!(
+            (a.arrivals, a.final_open_bins, a.final_tenants),
+            (b.arrivals, b.final_open_bins, b.final_tenants),
+            "two seeds should not replay the same run"
+        );
+    }
+
+    #[test]
+    fn every_algorithm_survives_audited_churn() {
+        let specs = [
+            AlgorithmSpec::CubeFit { gamma: 3, classes: 5 },
+            AlgorithmSpec::Rfi { gamma: 2, mu: 0.85 },
+            AlgorithmSpec::BestFit { gamma: 3 },
+            AlgorithmSpec::FirstFit { gamma: 2 },
+            AlgorithmSpec::WorstFit { gamma: 2 },
+            AlgorithmSpec::NextFit { gamma: 3 },
+            AlgorithmSpec::RandomFit { gamma: 2, seed: 9 },
+        ];
+        for spec in specs {
+            let report = run_churn(&quick(spec, 13)).unwrap();
+            assert!(report.robust, "{} not robust after churn", report.algorithm);
+            for event in &report.failure_events {
+                assert!(event.robust_after, "{} degraded after recovery", report.algorithm);
+                assert_eq!(event.recovery.replicas_migrated, event.orphaned);
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_window_model_is_linear_in_cost() {
+        let small = RecoveryReport {
+            tenants_affected: 1,
+            replicas_migrated: 1,
+            moved_load: 0.1,
+            bins_opened: 0,
+        };
+        let mut big = small;
+        big.replicas_migrated = 4;
+        big.moved_load = 0.4;
+        assert!((degraded_seconds(&small) - (30.0 + 60.0)).abs() < 1e-12);
+        assert!((degraded_seconds(&big) - 4.0 * degraded_seconds(&small)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let config = quick(AlgorithmSpec::FirstFit { gamma: 2 }, 21);
+        let report = run_churn(&config).unwrap();
+        assert!(!report.failure_events.is_empty(), "seed 21 should inject failures");
+        let json = report.to_json();
+        let back: ChurnReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(json.contains("degraded_seconds_total"));
+    }
+
+    #[test]
+    fn telemetry_emits_failure_and_recovery_events() {
+        use cubefit_telemetry::VecSink;
+        use std::sync::Arc;
+
+        let sink = Arc::new(VecSink::new());
+        let recorder = Recorder::with_sink(Arc::clone(&sink));
+        let config = quick(AlgorithmSpec::CubeFit { gamma: 2, classes: 5 }, 21);
+        let report = run_churn_with(&config, recorder).unwrap();
+        let events = sink.events();
+        let failures =
+            events.iter().filter(|e| matches!(e, TraceEvent::ServersFailed { .. })).count();
+        let recoveries =
+            events.iter().filter(|e| matches!(e, TraceEvent::RecoveryCompleted { .. })).count();
+        assert_eq!(failures, report.failure_events.len());
+        assert_eq!(recoveries, report.failure_events.len());
+    }
+}

@@ -121,17 +121,20 @@ pub fn fill_servers(
     let mut admitted: Vec<TenantSpec> = Vec::new();
     let mut consolidator = algorithm.build()?;
     for spec in sequence.specs() {
-        // Tentative placement on a scratch copy is unavailable through the
-        // object-safe trait, so replay on overflow instead: place, and if
-        // the budget is exceeded, rebuild from the admitted prefix.
-        consolidator.place(spec.tenant)?;
-        if consolidator.placement().open_bins() > server_budget {
-            let mut rebuilt = algorithm.build()?;
-            for prior in &admitted {
-                rebuilt.place(prior.tenant)?;
+        // Near the budget, place on a `clone_box` scratch copy first so an
+        // overshooting tenant is simply not admitted — no O(n²) replay of
+        // the admitted prefix. A placement opens at most γ bins, so far
+        // from the budget the tentative copy is skipped entirely.
+        let gamma = consolidator.gamma();
+        if consolidator.placement().open_bins() + gamma > server_budget {
+            let mut tentative = consolidator.clone_box();
+            tentative.place(spec.tenant)?;
+            if tentative.placement().open_bins() > server_budget {
+                break;
             }
-            consolidator = rebuilt;
-            break;
+            consolidator = tentative;
+        } else {
+            consolidator.place(spec.tenant)?;
         }
         admitted.push(*spec);
         if consolidator.placement().open_bins() == server_budget {
@@ -163,6 +166,14 @@ pub fn run_failure_experiment(config: &FailureExperimentConfig) -> Result<Failur
 
     let clients: HashMap<TenantId, u32> =
         admitted.iter().map(|s| (s.tenant.id(), s.clients)).collect();
+    // Every placed tenant must have a client count; a mismatch between the
+    // placement and the admitted specs is a caller bug surfaced as an
+    // error, not an opaque panic inside the assignment closure.
+    for (id, _, _) in placement.tenants() {
+        if !clients.contains_key(&id) {
+            return Err(cubefit_core::Error::UnknownTenant { tenant: id });
+        }
+    }
     let assignments = assignments_from_placement(placement, &|id| clients[&id]);
 
     let model = LoadModel::tpch_xeon();
@@ -270,6 +281,26 @@ mod tests {
         ))
         .unwrap();
         assert!(!outcome.sla_violated, "p99 {}", outcome.p99_seconds);
+    }
+
+    #[test]
+    fn run_is_deterministic_for_a_seed() {
+        let run = || {
+            run_failure_experiment(&quick_config(
+                AlgorithmSpec::CubeFit { gamma: 2, classes: 5 },
+                1,
+                12,
+            ))
+            .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.tenants, b.tenants);
+        assert_eq!(a.servers_used, b.servers_used);
+        assert_eq!(a.unavailable_clients, b.unavailable_clients);
+        assert_eq!(a.sla_violated, b.sla_violated);
+        assert!((a.p99_seconds - b.p99_seconds).abs() < 1e-12);
+        assert!((a.mean_seconds - b.mean_seconds).abs() < 1e-12);
+        assert!((a.worst_model_load - b.worst_model_load).abs() < 1e-12);
     }
 
     #[test]

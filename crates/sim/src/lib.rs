@@ -13,6 +13,9 @@
 //! * [`failure`] — the cluster failure experiment pipeline: fill 69
 //!   servers, select the worst-overload failure set, simulate, report p99
 //!   (Fig. 5);
+//! * [`churn`] — seeded arrival/departure/failure interleavings with
+//!   online re-replication, recovery-cost accounting and the modeled
+//!   degraded-window metric;
 //! * [`cost`] — the EC2 cost model behind Table I;
 //! * [`stats`] — mean/stddev/CI helpers;
 //! * [`report`] — plain-text table rendering and JSON output for the bench
@@ -21,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod churn;
 pub mod cost;
 pub mod experiment;
 pub mod failure;
@@ -29,6 +33,7 @@ pub mod runner;
 pub mod spec;
 pub mod stats;
 
+pub use churn::{run_churn, run_churn_with, ChurnConfig, ChurnReport};
 pub use cost::CostModel;
 pub use experiment::{compare, ComparisonConfig, ComparisonResult};
 pub use failure::{run_failure_experiment, FailureExperimentConfig, FailureOutcome};

@@ -82,6 +82,40 @@ pub enum TraceEvent {
         /// Number of violating bins.
         violations: usize,
     },
+    /// A tenant departed, releasing its `γ` replicas.
+    TenantDeparted {
+        /// Tenant id.
+        tenant: u64,
+        /// Full tenant load released.
+        load: f64,
+    },
+    /// A set of servers failed simultaneously (a churn-harness event).
+    ServersFailed {
+        /// The failed bins.
+        bins: Vec<usize>,
+        /// Replicas orphaned by the failure.
+        orphaned: usize,
+    },
+    /// Recovery re-homed one orphaned replica.
+    ReplicaMigrated {
+        /// Tenant id.
+        tenant: u64,
+        /// Failed bin the replica left.
+        from: usize,
+        /// Surviving (or fresh) bin that received it.
+        to: usize,
+        /// Replica load moved.
+        load: f64,
+    },
+    /// Recovery after one failure event completed.
+    RecoveryCompleted {
+        /// Replicas migrated off failed servers.
+        replicas_migrated: usize,
+        /// Total replica load moved.
+        moved_load: f64,
+        /// Fresh bins opened during recovery.
+        bins_opened: usize,
+    },
     /// A tenant finished placement.
     Placed {
         /// Tenant id.
@@ -182,6 +216,14 @@ mod tests {
             TraceEvent::BinClosed { bin: 2, level: 0.875 },
             TraceEvent::RobustnessChecked { robust: true, worst_margin: 0.125, violations: 0 },
             TraceEvent::Placed { tenant: 7, bins: vec![2, 5], stage: "Cube".to_owned(), opened: 1 },
+            TraceEvent::TenantDeparted { tenant: 7, load: 0.25 },
+            TraceEvent::ServersFailed { bins: vec![2, 5], orphaned: 3 },
+            TraceEvent::ReplicaMigrated { tenant: 8, from: 2, to: 6, load: 0.125 },
+            TraceEvent::RecoveryCompleted {
+                replicas_migrated: 3,
+                moved_load: 0.375,
+                bins_opened: 1,
+            },
         ]
     }
 

@@ -338,16 +338,23 @@ pub struct ProptestConfig {
 }
 
 impl ProptestConfig {
-    /// A config running `cases` cases per property.
+    /// A config running `cases` cases per property. As with upstream
+    /// proptest, a `PROPTEST_CASES` environment variable overrides the
+    /// in-code count (CI nightlies raise it for deeper sweeps).
     #[must_use]
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig { cases: env_cases().unwrap_or(cases) }
     }
+}
+
+/// The `PROPTEST_CASES` override, if set and parseable.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        ProptestConfig { cases: env_cases().unwrap_or(64) }
     }
 }
 
