@@ -1,0 +1,234 @@
+//! Defrag differential suite: fragment every algorithm's placement with
+//! departure-heavy churn, then plan and apply a defragmentation round and
+//! check each migration against the from-scratch oracle.
+//!
+//! The churn suite (`churn_differential.rs`) covers `remove`/`recover`;
+//! this suite targets the *migration* path added by the defrag engine —
+//! [`Consolidator::migrate`] must re-key every derived index, each planned
+//! step must satisfy [`move_feasible`] in the state it executes in, the
+//! placement must hold the γ−1 reserve after **every** step, and a defrag
+//! round must never increase the open-bin count.
+
+use cubefit_audit::{algorithms, audited_algorithms};
+use cubefit_core::recovery::move_feasible;
+use cubefit_core::{Consolidator, Load, Oracle, Tenant, TenantId};
+use cubefit_defrag::{apply, plan, MigrationBudget};
+use cubefit_telemetry::Recorder;
+use proptest::prelude::*;
+
+/// RFI only promises a single-failure reserve, so it is the one algorithm
+/// allowed to produce non-robust placements for `γ > 2`.
+fn must_be_robust(name: &str, gamma: usize) -> bool {
+    name != "rfi" || gamma == 2
+}
+
+/// Self-contained LCG so the op interleaving is a pure function of the
+/// proptest-drawn seed (the shim draws only scalars, not op sequences).
+struct OpRng(u64);
+
+impl OpRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() % (1u64 << 53)) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Fragments `algo`: `arrivals` seeded placements followed by removing
+/// roughly 40% of the tenants, which strands low-fill servers.
+fn fragment(algo: &mut dyn Consolidator, arrivals: usize, seed: u64, max_load: f64) {
+    let mut rng = OpRng(seed | 1);
+    let mut alive: Vec<TenantId> = Vec::new();
+    for id in 0..arrivals as u64 {
+        let load = (rng.unit() * max_load).max(1e-4);
+        let tenant = Tenant::new(TenantId::new(id), Load::new(load).unwrap());
+        algo.place(tenant).expect("arrivals must place");
+        alive.push(tenant.id());
+    }
+    let departures = (arrivals * 2) / 5;
+    for _ in 0..departures.min(alive.len().saturating_sub(1)) {
+        let idx = rng.below(alive.len());
+        algo.remove(alive.swap_remove(idx)).expect("alive tenants must be removable");
+    }
+}
+
+/// Draws a migration budget from the seed: unlimited, move-capped, or
+/// load-capped, so all three budget paths see proptest coverage.
+fn budget_for(seed: u64) -> MigrationBudget {
+    match seed % 3 {
+        0 => MigrationBudget::unlimited(),
+        1 => MigrationBudget::moves(8 + (seed % 24) as usize),
+        _ => MigrationBudget::load(0.5 + (seed % 8) as f64 * 0.5),
+    }
+}
+
+/// Replays `algo`'s defrag plan step by step, asserting the Theorem-1
+/// migration predicate, the γ−1 reserve, and monotone open-bin count after
+/// every single move — then checks the final state against the oracle.
+fn defrag_stepwise(algo: &mut dyn Consolidator, budget: MigrationBudget, expect_robust: bool) {
+    let defrag = plan(algo.placement(), budget);
+    let mut open_bins = algo.placement().fragmentation().open_bins;
+    for (index, step) in defrag.steps.iter().enumerate() {
+        assert!(
+            move_feasible(algo.placement(), step.tenant, step.from, step.to),
+            "{}: step {index} of the plan is infeasible in the state it executes in",
+            algo.name()
+        );
+        algo.migrate(step.tenant, step.from, step.to).expect("feasible migrations must apply");
+        if expect_robust {
+            assert!(
+                algo.placement().is_robust(),
+                "{}: placement lost the γ−1 reserve after defrag step {index}",
+                algo.name()
+            );
+        }
+        let now_open = algo.placement().fragmentation().open_bins;
+        assert!(
+            now_open <= open_bins,
+            "{}: defrag step {index} increased open bins ({open_bins} -> {now_open})",
+            algo.name()
+        );
+        open_bins = now_open;
+    }
+    assert_eq!(
+        algo.placement().fragmentation().open_bins,
+        defrag.open_bins_after,
+        "{}: plan's predicted open-bin count diverged from replay",
+        algo.name()
+    );
+    let oracle = Oracle::rebuild(algo.placement());
+    assert_eq!(
+        algo.placement().is_robust(),
+        oracle.is_robust(),
+        "{}: robustness verdict diverged after defrag",
+        algo.name()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Paper-range replication: every algorithm's fragmented placement can
+    /// be defragmented step-by-robust-step under any budget flavor, with
+    /// bookkeeping audited against the oracle after every migration.
+    #[test]
+    fn defrag_is_stepwise_robust_at_paper_gammas(
+        gamma in 2usize..=3,
+        arrivals in 20usize..70,
+        seed in any::<u64>(),
+    ) {
+        for mut algo in audited_algorithms(gamma, seed) {
+            let expect_robust = must_be_robust(algo.name(), gamma);
+            fragment(&mut algo, arrivals, seed, 1.0);
+            defrag_stepwise(&mut algo, budget_for(seed), expect_robust);
+        }
+    }
+
+    /// Dense small-load fragmentation at the top of the γ range — migration
+    /// re-keying walks the same wide-sibling shared-load paths where
+    /// fixed-size fast-path buffers used to truncate silently.
+    #[test]
+    fn large_gamma_defrag_stays_sound(
+        gamma in 10usize..=16,
+        arrivals in 15usize..50,
+        seed in any::<u64>(),
+    ) {
+        for mut algo in audited_algorithms(gamma, seed) {
+            let expect_robust = must_be_robust(algo.name(), gamma);
+            fragment(&mut algo, arrivals, seed, 0.12);
+            defrag_stepwise(&mut algo, budget_for(seed), expect_robust);
+        }
+    }
+
+    /// Remove→re-add cycles neither break robustness nor leak bins: after
+    /// departures and equivalent re-arrivals the departed tenants are fully
+    /// gone, every survivor holds exactly γ replicas, and an unlimited
+    /// defrag round brings the open-bin count back to within one server of
+    /// the pre-cycle count (the cycle's fragmentation is recoverable, not
+    /// permanently leaked capacity).
+    #[test]
+    fn remove_then_readd_cycle_does_not_leak_bins(
+        gamma in 2usize..=3,
+        loads in prop::collection::vec(0.02f64..0.6, 8..40),
+        seed in any::<u64>(),
+    ) {
+        for mut algo in algorithms(gamma, seed) {
+            let mut rng = OpRng(seed | 1);
+            for (i, &load) in loads.iter().enumerate() {
+                let tenant = Tenant::new(TenantId::new(i as u64), Load::new(load).unwrap());
+                algo.place(tenant).unwrap();
+            }
+            // Remove a random half, then re-add tenants with the same loads
+            // under fresh ids.
+            let mut alive: Vec<usize> = (0..loads.len()).collect();
+            let mut removed_loads: Vec<f64> = Vec::new();
+            for _ in 0..loads.len() / 2 {
+                let idx = rng.below(alive.len());
+                let victim = alive.swap_remove(idx);
+                removed_loads.push(loads[victim]);
+                algo.remove(TenantId::new(victim as u64)).unwrap();
+                prop_assert!(
+                    algo.placement().tenant_bins(TenantId::new(victim as u64)).is_none(),
+                    "{}: departed tenant still placed", algo.name()
+                );
+            }
+            for (j, &load) in removed_loads.iter().enumerate() {
+                let id = TenantId::new((loads.len() + j) as u64);
+                algo.place(Tenant::new(id, Load::new(load).unwrap())).unwrap();
+                prop_assert_eq!(
+                    algo.placement().tenant_bins(id).map(<[_]>::len),
+                    Some(gamma),
+                    "{}: re-added tenant not fully replicated", algo.name()
+                );
+            }
+            if must_be_robust(algo.name(), gamma) {
+                prop_assert!(
+                    algo.placement().is_robust(),
+                    "{}: remove/re-add cycle broke the γ−1 reserve", algo.name()
+                );
+            }
+            // Defrag must be able to recover the cycle's fragmentation.
+            let open_before_defrag = algo.placement().fragmentation().open_bins;
+            let defrag = plan(algo.placement(), MigrationBudget::unlimited());
+            let outcome = apply(&mut *algo, &defrag, &Recorder::disabled()).unwrap();
+            prop_assert!(!outcome.aborted, "{}: fresh plan may not abort", algo.name());
+            prop_assert!(
+                algo.placement().fragmentation().open_bins <= open_before_defrag,
+                "{}: defrag increased open bins after a remove/re-add cycle", algo.name()
+            );
+        }
+    }
+}
+
+/// Deterministic regression pinning a fragmented seed: CubeFit at γ = 2
+/// after 60 arrivals and 24 departures strands enough low-fill servers that
+/// a finite-budget defrag closes at least one of them, and the executor's
+/// outcome matches the plan it was handed.
+#[test]
+fn pinned_fragmented_seed_closes_a_server_under_finite_budget() {
+    for mut algo in audited_algorithms(2, 17) {
+        fragment(&mut algo, 60, 17, 1.0);
+        let before = algo.placement().fragmentation();
+        let defrag = plan(algo.placement(), MigrationBudget::moves(64));
+        assert!(
+            defrag.servers_closed() >= 1,
+            "{}: pinned seed no longer fragments into a closable state",
+            algo.name()
+        );
+        let outcome = apply(&mut algo, &defrag, &Recorder::disabled()).unwrap();
+        assert!(!outcome.aborted, "{}", algo.name());
+        assert_eq!(outcome.applied_steps, defrag.steps.len(), "{}", algo.name());
+        assert_eq!(outcome.servers_closed, defrag.servers_closed(), "{}", algo.name());
+        let after = algo.placement().fragmentation();
+        assert_eq!(after.open_bins, before.open_bins - outcome.servers_closed, "{}", algo.name());
+        assert!(after.fragmentation_ratio <= before.fragmentation_ratio, "{}", algo.name());
+        assert!(algo.placement().is_robust(), "{}", algo.name());
+    }
+}

@@ -212,6 +212,25 @@ impl Greedy {
         report.tenants_affected = affected.len();
         Ok(report)
     }
+
+    /// Applies a planned migration. Only the level-keyed index entries of
+    /// the two endpoints move — shared loads are not part of the key.
+    fn migrate(&mut self, tenant: TenantId, from: BinId, to: BinId) -> Result<()> {
+        let gamma = self.placement.gamma() as f64;
+        let load = self.placement.tenant_load(tenant).ok_or(Error::UnknownTenant { tenant })?;
+        let old_from = self.placement.level(from);
+        let old_to = self.placement.level(to);
+        self.placement.move_replica(tenant, from, to)?;
+        self.index.update(from, old_from, self.placement.level(from));
+        self.index.update(to, old_to, self.placement.level(to));
+        self.telemetry.recorder.emit(|| TraceEvent::ReplicaMigrated {
+            tenant: tenant.get(),
+            from: from.index(),
+            to: to.index(),
+            load: load / gamma,
+        });
+        Ok(())
+    }
 }
 
 macro_rules! greedy_packer {
@@ -267,6 +286,10 @@ macro_rules! greedy_packer {
 
             fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport> {
                 self.inner.recover(failed)
+            }
+
+            fn migrate(&mut self, tenant: TenantId, from: BinId, to: BinId) -> Result<()> {
+                self.inner.migrate(tenant, from, to)
             }
 
             fn clone_box(&self) -> Box<dyn Consolidator> {

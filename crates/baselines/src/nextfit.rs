@@ -131,6 +131,25 @@ impl Consolidator for NextFit {
         )
     }
 
+    /// Applies a planned migration. Draining a window server closes the
+    /// window for good — bounded space never re-places into a bin a defrag
+    /// pass is emptying.
+    fn migrate(&mut self, tenant: TenantId, from: BinId, to: BinId) -> Result<()> {
+        let gamma = self.placement.gamma() as f64;
+        let load = self.placement.tenant_load(tenant).ok_or(Error::UnknownTenant { tenant })?;
+        if self.window.as_ref().is_some_and(|w| w.contains(&from)) {
+            self.window = None;
+        }
+        self.placement.move_replica(tenant, from, to)?;
+        self.telemetry.recorder.emit(|| TraceEvent::ReplicaMigrated {
+            tenant: tenant.get(),
+            from: from.index(),
+            to: to.index(),
+            load: load / gamma,
+        });
+        Ok(())
+    }
+
     fn clone_box(&self) -> Box<dyn Consolidator> {
         Box::new(self.clone())
     }

@@ -129,6 +129,11 @@ impl Consolidator for RandomFit {
         )
     }
 
+    fn migrate(&mut self, tenant: TenantId, from: BinId, to: BinId) -> Result<()> {
+        // No derived index to re-key; the placement substrate does it all.
+        self.placement.move_replica(tenant, from, to)
+    }
+
     fn clone_box(&self) -> Box<dyn Consolidator> {
         Box::new(self.clone())
     }

@@ -255,6 +255,31 @@ impl Consolidator for Rfi {
         Ok(report)
     }
 
+    fn migrate(&mut self, tenant: TenantId, from: BinId, to: BinId) -> Result<()> {
+        let gamma = self.placement.gamma() as f64;
+        let load = self.placement.tenant_load(tenant).ok_or(Error::UnknownTenant { tenant })?;
+        // Same re-key footprint as a recovery move: the endpoints' levels
+        // change plus the shared loads between them and every sibling.
+        let mut touched: Vec<BinId> =
+            self.placement.tenant_bins(tenant).expect("just looked up").to_vec();
+        touched.push(from);
+        touched.push(to);
+        touched.sort_unstable();
+        touched.dedup();
+        let old: Vec<(BinId, f64)> = touched.iter().map(|&b| (b, self.slack(b))).collect();
+        self.placement.move_replica(tenant, from, to)?;
+        for (bin, old_slack) in old {
+            self.index.update(bin, old_slack, self.slack(bin));
+        }
+        self.telemetry.recorder.emit(|| TraceEvent::ReplicaMigrated {
+            tenant: tenant.get(),
+            from: from.index(),
+            to: to.index(),
+            load: load / gamma,
+        });
+        Ok(())
+    }
+
     fn clone_box(&self) -> Box<dyn Consolidator> {
         Box::new(self.clone())
     }

@@ -11,7 +11,7 @@ use std::fmt;
 /// Flags that take no value (`--audit`), as opposed to the default
 /// `--name value` form. A switch's presence is queried with
 /// [`ParsedArgs::has`]; its stored value is the empty string.
-const SWITCHES: &[&str] = &["audit"];
+const SWITCHES: &[&str] = &["audit", "dry-run"];
 
 /// A parsed command line: subcommand, positionals, and `--flag value`
 /// pairs.
@@ -180,6 +180,10 @@ mod tests {
         let args = ParsedArgs::parse(["check", "--audit", "dump.json"]).unwrap();
         assert!(args.has("audit"));
         assert_eq!(args.positional, vec!["dump.json"]);
+        // Same for `--dry-run`.
+        let args = ParsedArgs::parse(["defrag", "--dry-run", "--seed", "3"]).unwrap();
+        assert!(args.has("dry-run"));
+        assert_eq!(args.get("seed"), Some("3"));
         // Trailing position works too, and absence is reported.
         let args = ParsedArgs::parse(["check", "dump.json", "--audit"]).unwrap();
         assert!(args.has("audit"));

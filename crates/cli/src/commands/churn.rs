@@ -3,6 +3,7 @@
 use crate::args::ParsedArgs;
 use crate::spec_parse;
 use crate::telemetry_out;
+use cubefit_defrag::MigrationBudget;
 use cubefit_sim::churn::{run_churn_with, ChurnConfig};
 
 /// Flags accepted by `churn`.
@@ -15,6 +16,9 @@ pub const FLAGS: &[&str] = &[
     "departures",
     "failures",
     "max-failures",
+    "defrag-every",
+    "defrag-moves",
+    "defrag-load",
     "audit",
     "out",
     "metrics-out",
@@ -24,8 +28,31 @@ pub const FLAGS: &[&str] = &[
 /// Usage line shown in `--help`.
 pub const USAGE: &str = "churn [--algorithm cubefit] [--gamma G] [--distribution uniform:1-15] \
                          [--ops N] [--seed S] [--departures PCT] [--failures PCT] \
-                         [--max-failures F] [--audit] [--out REPORT.json] \
+                         [--max-failures F] [--defrag-every N] [--defrag-moves M] \
+                         [--defrag-load L] [--audit] [--out REPORT.json] \
                          [--metrics-out METRICS.json] [--trace-out EVENTS.jsonl]";
+
+/// Parses the shared `--defrag-moves` / `--defrag-load` budget flags.
+pub(crate) fn budget_from(args: &ParsedArgs) -> Result<MigrationBudget, String> {
+    let max_moves = match args.get("defrag-moves") {
+        None => None,
+        Some(_) => {
+            Some(args.get_or("defrag-moves", 0usize, "an integer").map_err(|e| e.to_string())?)
+        }
+    };
+    let max_load = match args.get("defrag-load") {
+        None => None,
+        Some(_) => {
+            let load: f64 =
+                args.get_or("defrag-load", 0.0f64, "a number").map_err(|e| e.to_string())?;
+            if load < 0.0 {
+                return Err(format!("--defrag-load {load} must be non-negative"));
+            }
+            Some(load)
+        }
+    };
+    Ok(MigrationBudget { max_moves, max_load })
+}
 
 /// Runs the command, returning the JSON churn report (or a summary when
 /// `--out` redirects the report to a file).
@@ -70,6 +97,10 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         failure_percent,
         max_failures,
         audit: args.has("audit"),
+        defrag_every: args
+            .get_or("defrag-every", 0usize, "an integer")
+            .map_err(|e| e.to_string())?,
+        defrag_budget: budget_from(args)?,
     };
     let metrics_out = args.get("metrics-out");
     let trace_out = args.get("trace-out");
@@ -82,10 +113,13 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     if let Some(path) = args.get("out") {
         std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
         output.push_str(&format!(
-            "{}: {} arrivals, {} departures, {} failure events; \
+            "{} (seed {}): {} arrivals, {} departures, {} failure events; \
              recovery moved {} replicas ({:.3} load, {} bins opened); \
-             degraded {:.0}s total (max {:.0}s); robust: {}\n",
+             degraded {:.0}s total (max {:.0}s); \
+             final: {} tenants on {} bins, utilization {:.3}, \
+             fragmentation ratio {:.2}; robust: {}\n",
             report.algorithm,
+            report.seed,
             report.arrivals,
             report.departures,
             report.failure_events.len(),
@@ -94,8 +128,19 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
             report.recovery.bins_opened,
             report.degraded_seconds_total,
             report.degraded_seconds_max,
+            report.final_tenants,
+            report.final_open_bins,
+            report.fragmentation.mean_fill,
+            report.fragmentation.fragmentation_ratio,
             report.robust,
         ));
+        if !report.defrag_epochs.is_empty() {
+            output.push_str(&format!(
+                "defrag: {} epochs closed {} servers\n",
+                report.defrag_epochs.len(),
+                report.servers_closed_by_defrag,
+            ));
+        }
         output.push_str(&format!("churn report written to {path}\n"));
     } else {
         output.push_str(&json);
@@ -154,9 +199,56 @@ mod tests {
         let out = run(&args).unwrap();
         assert!(out.contains("churn report written to"));
         assert!(out.contains("degraded"));
+        // The stdout summary surfaces seed, final bin count and
+        // utilization, not just event counts.
+        assert!(out.contains("(seed 3)"), "{out}");
+        assert!(out.contains("bins, utilization"), "{out}");
         let report: ChurnReport =
             serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(report.seed, 3);
+        assert_eq!(report.fragmentation.open_bins, report.final_open_bins);
+    }
+
+    #[test]
+    fn defrag_every_runs_epochs_under_a_budget() {
+        let path = tmp("churn-defrag-report.json");
+        let args = ParsedArgs::parse([
+            "churn",
+            "--ops",
+            "200",
+            "--seed",
+            "17",
+            "--departures",
+            "40",
+            "--failures",
+            "0",
+            "--defrag-every",
+            "50",
+            "--defrag-moves",
+            "64",
+            "--audit",
+            "--out",
+            &path,
+        ])
+        .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("defrag:"), "{out}");
+        let report: ChurnReport =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(report.defrag_epochs.len(), 4);
+        for epoch in &report.defrag_epochs {
+            assert!(epoch.outcome.applied_steps <= 64);
+        }
+        assert!(report.robust);
+    }
+
+    #[test]
+    fn rejects_negative_defrag_load() {
+        let args = ParsedArgs::parse(["churn", "--defrag-load", "-1"]);
+        // "--defrag-load -1" parses ("-1" is the value, not a flag), so the
+        // rejection comes from the range check.
+        let err = run(&args.unwrap()).unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! `cubefit defrag` — plan and apply robustness-preserving
+//! defragmentation on a seeded fragmentation scenario.
+//!
+//! The command drives a churn run (by default departure-heavy, so the
+//! placement ends fragmented), then computes a [`cubefit_defrag::DefragPlan`]
+//! under the `--defrag-moves` / `--defrag-load` budget and — unless
+//! `--dry-run` is given — applies it through the live consolidator,
+//! re-checking every migration and rolling back atomically on infeasibility.
+//! With `--audit` every mutation (churn *and* migration) is replayed
+//! against the from-scratch oracle.
+
+use crate::args::ParsedArgs;
+use crate::commands::churn::budget_from;
+use crate::spec_parse;
+use crate::telemetry_out;
+use cubefit_defrag::DefragOutcome;
+use cubefit_sim::churn::{run_churn_consolidator, ChurnConfig};
+
+/// Flags accepted by `defrag`.
+pub const FLAGS: &[&str] = &[
+    "algorithm",
+    "gamma",
+    "distribution",
+    "ops",
+    "seed",
+    "departures",
+    "failures",
+    "defrag-moves",
+    "defrag-load",
+    "dry-run",
+    "audit",
+    "out",
+    "metrics-out",
+    "trace-out",
+];
+
+/// Usage line shown in `--help`.
+pub const USAGE: &str = "defrag [--algorithm cubefit] [--gamma G] [--distribution uniform:1-15] \
+                         [--ops N] [--seed S] [--departures PCT] [--failures PCT] \
+                         [--defrag-moves M] [--defrag-load L] [--dry-run] [--audit] \
+                         [--out REPORT.json] [--metrics-out METRICS.json] \
+                         [--trace-out EVENTS.jsonl]";
+
+/// Runs the command, returning a combined JSON document (scenario, plan,
+/// outcome, fragmentation before/after) or a summary when `--out`
+/// redirects the document to a file.
+///
+/// # Errors
+///
+/// Returns a message for bad flags, bad specs, or I/O failures.
+pub fn run(args: &ParsedArgs) -> Result<String, String> {
+    args.expect_only(FLAGS).map_err(|e| e.to_string())?;
+    let gamma: usize = args.get_or("gamma", 2usize, "an integer").map_err(|e| e.to_string())?;
+    let algorithm = spec_parse::parse_algorithm(args.get("algorithm").unwrap_or("cubefit"), gamma)?;
+    let distribution =
+        spec_parse::parse_distribution(args.get("distribution").unwrap_or("uniform:1-15"))?;
+    let ops: usize = args.get_or("ops", 400usize, "an integer").map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 0u64, "an integer").map_err(|e| e.to_string())?;
+    // Departure-heavy defaults: defrag is only interesting once churn has
+    // stranded low-fill servers.
+    let departure_percent: u32 =
+        args.get_or("departures", 40u32, "a percentage").map_err(|e| e.to_string())?;
+    let failure_percent: u32 =
+        args.get_or("failures", 0u32, "a percentage").map_err(|e| e.to_string())?;
+    if departure_percent + failure_percent > 100 {
+        return Err(format!(
+            "--departures {departure_percent} plus --failures {failure_percent} exceeds 100%"
+        ));
+    }
+    let budget = budget_from(args)?;
+    let dry_run = args.has("dry-run");
+
+    let config = ChurnConfig {
+        algorithm,
+        distribution,
+        ops,
+        seed,
+        departure_percent,
+        failure_percent,
+        max_failures: 1,
+        audit: args.has("audit"),
+        defrag_every: 0,
+        defrag_budget: cubefit_defrag::MigrationBudget::default(),
+    };
+    let metrics_out = args.get("metrics-out");
+    let trace_out = args.get("trace-out");
+    let recorder = telemetry_out::recorder_for(metrics_out, trace_out)?;
+    let (report, mut consolidator) =
+        run_churn_consolidator(&config, recorder.clone()).map_err(|e| e.to_string())?;
+
+    let plan = cubefit_defrag::plan(consolidator.placement(), budget);
+    let outcome: Option<DefragOutcome> = if dry_run {
+        None
+    } else {
+        Some(
+            cubefit_defrag::apply(&mut *consolidator, &plan, &recorder)
+                .map_err(|e| e.to_string())?,
+        )
+    };
+    recorder.flush();
+    let after = consolidator.placement().fragmentation();
+    let robust = consolidator.placement().is_robust();
+
+    let document = serde_json::json!({
+        "algorithm": report.algorithm.clone(),
+        "gamma": report.gamma,
+        "seed": report.seed,
+        "ops": ops,
+        "dry_run": dry_run,
+        "churn_arrivals": report.arrivals,
+        "churn_departures": report.departures,
+        "plan": plan,
+        "outcome": outcome,
+        "fragmentation_after": after,
+        "robust": robust,
+    });
+    let json =
+        serde_json::to_string_pretty(&document).map_err(|e| format!("encoding report: {e}"))?;
+
+    let mut output = String::new();
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        output.push_str(&summary(&report.algorithm, report.seed, &plan, outcome.as_ref(), robust));
+        output.push_str(&format!("defrag report written to {path}\n"));
+    } else {
+        output.push_str(&json);
+        output.push('\n');
+    }
+    if let Some(path) = metrics_out {
+        telemetry_out::write_metrics(path, &recorder.snapshot())?;
+        output.push_str(&format!("metrics written to {path}\n"));
+    }
+    if let Some(path) = trace_out {
+        output.push_str(&format!("decision trace written to {path}\n"));
+    }
+    Ok(output)
+}
+
+/// One-paragraph human summary of a plan/apply round.
+fn summary(
+    algorithm: &str,
+    seed: u64,
+    plan: &cubefit_defrag::DefragPlan,
+    outcome: Option<&DefragOutcome>,
+    robust: bool,
+) -> String {
+    let mut text = format!(
+        "{algorithm} (seed {seed}): planned {} migrations ({:.3} load) closing {} of {} bins, \
+         fragmentation ratio {:.2} -> {:.2}\n",
+        plan.steps.len(),
+        plan.moved_load,
+        plan.servers_closed(),
+        plan.open_bins_before,
+        plan.fragmentation_before.fragmentation_ratio,
+        plan.fragmentation_after.fragmentation_ratio,
+    );
+    match outcome {
+        None => text.push_str("dry-run: plan not applied\n"),
+        Some(o) if o.aborted => text.push_str(&format!(
+            "aborted at step {} and rolled back; placement unchanged; robust: {robust}\n",
+            o.aborted_at.unwrap_or(0),
+        )),
+        Some(o) => text.push_str(&format!(
+            "applied {} migrations, closed {} servers; robust: {robust}\n",
+            o.applied_steps, o.servers_closed,
+        )),
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubefit_defrag::DefragPlan;
+    use serde_json::Value;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("cubefit-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn field<'a>(doc: &'a Value, key: &str) -> &'a Value {
+        let Value::Object(map) = doc else { panic!("expected object") };
+        map.get(key).unwrap_or_else(|| panic!("missing field {key}"))
+    }
+
+    #[test]
+    fn audited_defrag_closes_servers_on_fragmented_scenario() {
+        let args = ParsedArgs::parse([
+            "defrag",
+            "--ops",
+            "300",
+            "--seed",
+            "17",
+            "--departures",
+            "40",
+            "--defrag-moves",
+            "64",
+            "--audit",
+        ])
+        .unwrap();
+        let out = run(&args).unwrap();
+        let doc: Value = serde_json::from_str(&out).unwrap();
+        let outcome: DefragOutcome = serde_json::from_value(field(&doc, "outcome")).unwrap();
+        assert!(outcome.servers_closed >= 1, "expected at least one closed server: {out}");
+        assert!(!outcome.aborted);
+        assert_eq!(field(&doc, "robust"), &Value::Bool(true));
+        let plan: DefragPlan = serde_json::from_value(field(&doc, "plan")).unwrap();
+        assert!(plan.open_bins_after < plan.open_bins_before);
+    }
+
+    #[test]
+    fn dry_run_plans_without_applying() {
+        let args = ParsedArgs::parse([
+            "defrag",
+            "--ops",
+            "300",
+            "--seed",
+            "17",
+            "--departures",
+            "40",
+            "--dry-run",
+        ])
+        .unwrap();
+        let out = run(&args).unwrap();
+        let doc: Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(field(&doc, "dry_run"), &Value::Bool(true));
+        assert_eq!(field(&doc, "outcome"), &Value::Null);
+        let plan: DefragPlan = serde_json::from_value(field(&doc, "plan")).unwrap();
+        assert!(!plan.is_empty(), "the fragmented scenario should yield a non-empty plan");
+        // The placement was left untouched, so the live fragmentation
+        // statistics must match the plan's *before* snapshot.
+        assert_eq!(
+            field(&doc, "fragmentation_after"),
+            &serde_json::to_value(&plan.fragmentation_before).unwrap(),
+        );
+    }
+
+    #[test]
+    fn migration_budget_caps_the_plan() {
+        let args = ParsedArgs::parse([
+            "defrag",
+            "--ops",
+            "300",
+            "--seed",
+            "17",
+            "--departures",
+            "40",
+            "--defrag-moves",
+            "2",
+            "--dry-run",
+        ])
+        .unwrap();
+        let out = run(&args).unwrap();
+        let doc: Value = serde_json::from_str(&out).unwrap();
+        let plan: DefragPlan = serde_json::from_value(field(&doc, "plan")).unwrap();
+        assert!(plan.steps.len() <= 2, "budget of 2 moves exceeded: {} steps", plan.steps.len());
+        assert_eq!(plan.budget.max_moves, Some(2));
+    }
+
+    #[test]
+    fn out_flag_writes_document_and_prints_summary() {
+        let path = tmp("defrag-report.json");
+        let args = ParsedArgs::parse([
+            "defrag",
+            "--ops",
+            "300",
+            "--seed",
+            "17",
+            "--departures",
+            "40",
+            "--out",
+            &path,
+        ])
+        .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("(seed 17): planned"), "{out}");
+        assert!(out.contains("fragmentation ratio"), "{out}");
+        assert!(out.contains("defrag report written to"), "{out}");
+        let doc: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(field(&doc, "dry_run"), &Value::Bool(false));
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_overweight_mix() {
+        let args = ParsedArgs::parse(["defrag", "--frobnicate", "1"]).unwrap();
+        assert!(run(&args).is_err());
+        let args = ParsedArgs::parse(["defrag", "--departures", "80", "--failures", "30"]).unwrap();
+        assert!(run(&args).unwrap_err().contains("exceeds 100%"));
+    }
+}

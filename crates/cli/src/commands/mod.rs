@@ -7,6 +7,7 @@
 pub mod check;
 pub mod churn;
 pub mod compare;
+pub mod defrag;
 pub mod generate;
 pub mod place;
 pub mod simulate;

@@ -33,13 +33,14 @@ pub fn help() -> String {
     format!(
         "cubefit — robust multi-tenant server consolidation (ICDCS 2017 reproduction)\n\n\
          USAGE:\n  cubefit <COMMAND> [FLAGS]\n\n\
-         COMMANDS:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  help\n",
+         COMMANDS:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  help\n",
         commands::generate::USAGE,
         commands::place::USAGE,
         commands::check::USAGE,
         commands::compare::USAGE,
         commands::simulate::USAGE,
         commands::churn::USAGE,
+        commands::defrag::USAGE,
     )
 }
 
@@ -57,6 +58,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, String> {
         Some("compare") => commands::compare::run(args),
         Some("simulate") => commands::simulate::run(args),
         Some("churn") => commands::churn::run(args),
+        Some("defrag") => commands::defrag::run(args),
         Some("help") | None => Ok(help()),
         Some(other) => Err(format!("unknown command '{other}'\n\n{}", help())),
     }
@@ -69,7 +71,7 @@ mod tests {
     #[test]
     fn help_lists_every_command() {
         let text = help();
-        for command in ["generate", "place", "check", "compare", "simulate", "churn"] {
+        for command in ["generate", "place", "check", "compare", "simulate", "churn", "defrag"] {
             assert!(text.contains(command), "help missing {command}");
         }
     }

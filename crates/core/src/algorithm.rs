@@ -103,6 +103,22 @@ pub trait Consolidator {
     /// target always exists because fresh bins accept any replica.
     fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport>;
 
+    /// Moves one live replica of `tenant` from bin `from` to bin `to`,
+    /// keeping every derived index the algorithm maintains consistent —
+    /// the planned-migration primitive behind defragmentation.
+    ///
+    /// Unlike [`Consolidator::recover`], the source bin is healthy: the
+    /// caller (e.g. a defrag executor) is responsible for checking
+    /// [`crate::recovery::move_feasible`] *before* migrating; the method
+    /// itself applies the move unconditionally so that a rollback (the
+    /// inverse move sequence) is always possible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::Placement::move_replica`] endpoint violations
+    /// (unknown tenant, `from` not hosting it, `to` already hosting it).
+    fn migrate(&mut self, tenant: TenantId, from: BinId, to: BinId) -> Result<()>;
+
     /// Clones the algorithm — placement, indexes, RNG state and all — into
     /// a new boxed trait object. Harnesses use this for tentative
     /// placements (e.g. overflow probing) without replaying history.
@@ -144,6 +160,10 @@ impl Consolidator for Box<dyn Consolidator> {
 
     fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport> {
         (**self).recover(failed)
+    }
+
+    fn migrate(&mut self, tenant: TenantId, from: BinId, to: BinId) -> Result<()> {
+        (**self).migrate(tenant, from, to)
     }
 
     fn clone_box(&self) -> Box<dyn Consolidator> {
@@ -214,6 +234,10 @@ mod tests {
             )
         }
 
+        fn migrate(&mut self, tenant: TenantId, from: BinId, to: BinId) -> Result<()> {
+            self.placement.move_replica(tenant, from, to)
+        }
+
         fn clone_box(&self) -> Box<dyn Consolidator> {
             Box::new(self.clone())
         }
@@ -262,5 +286,20 @@ mod tests {
         assert_eq!(report.replicas_migrated, 1);
         assert!(boxed.placement().is_robust());
         assert_eq!(boxed.placement().level(a.bins[0]), 0.0);
+    }
+
+    #[test]
+    fn migrate_through_trait_objects() {
+        let mut boxed: Box<dyn Consolidator> = Box::new(FreshBins { placement: Placement::new(2) });
+        let a = boxed.place(Tenant::with_load(Load::new(0.4).unwrap())).unwrap();
+        let b = boxed.place(Tenant::with_load(Load::new(0.2).unwrap())).unwrap();
+        boxed.migrate(a.tenant, a.bins[0], b.bins[0]).unwrap();
+        assert_eq!(boxed.placement().level(a.bins[0]), 0.0);
+        assert!((boxed.placement().level(b.bins[0]) - 0.3).abs() < 1e-12);
+        // Endpoint misuse propagates as an error through the box.
+        assert!(boxed.migrate(a.tenant, a.bins[0], b.bins[1]).is_err());
+        // The inverse move restores the original placement.
+        boxed.migrate(a.tenant, b.bins[0], a.bins[0]).unwrap();
+        assert!((boxed.placement().level(a.bins[0]) - 0.2).abs() < 1e-12);
     }
 }

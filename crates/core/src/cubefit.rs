@@ -601,6 +601,33 @@ impl Consolidator for CubeFit {
         Ok(report)
     }
 
+    fn migrate(&mut self, tenant: TenantId, from: BinId, to: BinId) -> Result<()> {
+        let gamma = self.config.gamma() as f64;
+        let load = self.placement.tenant_load(tenant).ok_or(Error::UnknownTenant { tenant })?;
+        let replica = load / gamma;
+        self.placement.move_replica(tenant, from, to)?;
+        // Same re-key footprint as a recovery move: the source's and
+        // target's levels change plus the shared loads of every sibling.
+        self.mature.update_slack(from, self.slack(from));
+        let bins: Vec<BinId> = self.placement.tenant_bins(tenant).expect("still placed").to_vec();
+        for bin in bins {
+            self.mature.update_slack(bin, self.slack(bin));
+        }
+        self.instruments.recorder.emit(|| TraceEvent::ReplicaMigrated {
+            tenant: tenant.get(),
+            from: from.index(),
+            to: to.index(),
+            load: replica,
+        });
+        // A planned migration re-points shared loads outside cube cells
+        // exactly like a recovery move does, so the same guard applies:
+        // predicate-check future cube tuples and stop the active
+        // multi-replica's growth.
+        self.cube_perturbed = true;
+        self.multi.seal_active();
+        Ok(())
+    }
+
     fn clone_box(&self) -> Box<dyn Consolidator> {
         Box::new(self.clone())
     }

@@ -82,7 +82,7 @@ pub use dump::{DumpEntry, PlacementDump};
 pub use error::{Error, Result};
 pub use load::Load;
 pub use oracle::{AuditedConsolidator, Divergence, DivergenceKind, Oracle};
-pub use placement::{Placement, PlacementStats};
+pub use placement::{FragmentationStats, Placement, PlacementStats};
 pub use recovery::RecoveryReport;
 pub use tenant::{Tenant, TenantId};
 pub use validity::{FailureImpact, RobustnessReport};

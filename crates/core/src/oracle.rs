@@ -448,6 +448,25 @@ impl<A: Consolidator> Consolidator for AuditedConsolidator<A> {
         Ok(report)
     }
 
+    /// Migrates via the wrapped algorithm, then audits unconditionally —
+    /// every planned defrag move is replayed against the oracle, so a
+    /// migration that corrupts a derived index is caught at the exact step
+    /// that applied it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the wrapped algorithm's errors untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the divergence list and a replayable dump if the
+    /// incremental bookkeeping disagrees with the oracle after the move.
+    fn migrate(&mut self, tenant: TenantId, from: BinId, to: BinId) -> Result<()> {
+        self.inner.migrate(tenant, from, to)?;
+        self.audit_or_panic(&format!("migration of tenant {} from {from} to {to}", tenant.get()));
+        Ok(())
+    }
+
     fn clone_box(&self) -> Box<dyn Consolidator> {
         Box::new(AuditedConsolidator {
             inner: self.inner.clone_box(),
@@ -591,6 +610,9 @@ mod tests {
                 |_, _, _, _, _| {},
             )
         }
+        fn migrate(&mut self, tenant: TenantId, from: BinId, to: BinId) -> Result<()> {
+            self.0.move_replica(tenant, from, to)
+        }
         fn clone_box(&self) -> Box<dyn Consolidator> {
             Box::new(self.clone())
         }
@@ -658,6 +680,9 @@ mod tests {
             }
             fn recover(&mut self, _failed: &[BinId]) -> Result<RecoveryReport> {
                 Ok(RecoveryReport::default())
+            }
+            fn migrate(&mut self, tenant: TenantId, from: BinId, to: BinId) -> Result<()> {
+                self.0.move_replica(tenant, from, to)
             }
             fn clone_box(&self) -> Box<dyn Consolidator> {
                 Box::new(self.clone())

@@ -372,6 +372,35 @@ impl Placement {
             min_level,
         }
     }
+
+    /// Fragmentation statistics: how far the placement's open-bin count has
+    /// drifted above the `⌈total_load⌉` lower bound, plus the fill
+    /// distribution defragmentation drains from.
+    #[must_use]
+    pub fn fragmentation(&self) -> FragmentationStats {
+        let mut levels: Vec<f64> =
+            self.bins.iter().filter(|b| !b.contents.is_empty()).map(|b| b.level).collect();
+        levels.sort_by(|a, b| a.partial_cmp(b).expect("levels are finite"));
+        let open_bins = levels.len();
+        let mean_fill = if open_bins == 0 { 0.0 } else { self.total_load / open_bins as f64 };
+        // p10 via the nearest-rank method on the ascending fill list; with
+        // no open bins both percentile and ratio degenerate to 0/1.
+        let p10_fill = if open_bins == 0 {
+            0.0
+        } else {
+            let rank = ((open_bins as f64) * 0.10).ceil().max(1.0) as usize;
+            levels[rank - 1]
+        };
+        let floor = self.total_load.ceil().max(1.0);
+        let fragmentation_ratio = if open_bins == 0 { 1.0 } else { open_bins as f64 / floor };
+        FragmentationStats {
+            open_bins,
+            total_load: self.total_load,
+            mean_fill,
+            p10_fill,
+            fragmentation_ratio,
+        }
+    }
 }
 
 /// Aggregate statistics of a [`Placement`].
@@ -394,6 +423,29 @@ pub struct PlacementStats {
     pub max_level: f64,
     /// Lowest non-empty bin level.
     pub min_level: f64,
+}
+
+/// Fragmentation statistics of a [`Placement`].
+///
+/// `⌈total_load⌉` is a lower bound on servers for any placement (even
+/// without replication or failover reserves), so
+/// `fragmentation_ratio = open_bins / ⌈total_load⌉` measures drift above
+/// the ideal: 1.0 is unimprovable, and values ≫ 1 mark placements that
+/// departures have hollowed out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FragmentationStats {
+    /// Bins hosting at least one replica.
+    pub open_bins: usize,
+    /// Sum of tenant loads.
+    pub total_load: f64,
+    /// `total_load / open_bins` (0 when no bins are open).
+    pub mean_fill: f64,
+    /// 10th-percentile bin fill (nearest rank, ascending) — the thin tail
+    /// defragmentation drains first.
+    pub p10_fill: f64,
+    /// `open_bins / max(⌈total_load⌉, 1)`; 1.0 when no bins are open.
+    pub fragmentation_ratio: f64,
 }
 
 #[cfg(test)]
@@ -567,6 +619,34 @@ mod tests {
         assert!((s.mean_utilization - 1.0 / 3.0).abs() < 1e-12);
         assert!((s.max_level - 0.5).abs() < 1e-12);
         assert!((s.min_level - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fragmentation_tracks_open_bin_drift() {
+        let mut p = Placement::new(2);
+        let b: Vec<BinId> = (0..12).map(|_| p.open_bin(None)).collect();
+        // Ten thin bins (0.05 each side) and one half-full pair: total load
+        // 1.0, so the ceil lower bound is 1 server but 12 are open.
+        for i in 0..5 {
+            p.place_tenant(&tenant(i, 0.1), &[b[2 * i as usize], b[2 * i as usize + 1]]).unwrap();
+        }
+        p.place_tenant(&tenant(9, 0.5), &[b[10], b[11]]).unwrap();
+        let f = p.fragmentation();
+        assert_eq!(f.open_bins, 12);
+        assert!((f.total_load - 1.0).abs() < 1e-12);
+        assert!((f.mean_fill - 1.0 / 12.0).abs() < 1e-12);
+        assert!((f.p10_fill - 0.05).abs() < 1e-12);
+        assert!((f.fragmentation_ratio - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fragmentation_of_empty_placement_degenerates() {
+        let p = Placement::new(2);
+        let f = p.fragmentation();
+        assert_eq!(f.open_bins, 0);
+        assert_eq!(f.mean_fill, 0.0);
+        assert_eq!(f.p10_fill, 0.0);
+        assert!((f.fragmentation_ratio - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Migration budgets: bounding the data-copy cost of a defrag pass.
+
+/// Bounds on how much a defragmentation plan may move.
+///
+/// Each replica migration streams that replica's data to its new home, so
+/// operators cap defrag both by move *count* (per-migration fixed costs:
+/// catalog updates, connection draining) and by total replica *load* moved
+/// (bytes on the wire). `None` means unlimited on that axis; the planner
+/// honours whichever limits are set, and a whole-bin drain is only
+/// committed if every one of its moves fits the remaining budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MigrationBudget {
+    /// Maximum number of replica moves, or `None` for unlimited.
+    pub max_moves: Option<usize>,
+    /// Maximum total replica load moved, or `None` for unlimited.
+    pub max_load: Option<f64>,
+}
+
+impl MigrationBudget {
+    /// No limits: drain everything the feasibility predicate allows.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        MigrationBudget::default()
+    }
+
+    /// Caps the number of replica moves.
+    #[must_use]
+    pub fn moves(max_moves: usize) -> Self {
+        MigrationBudget { max_moves: Some(max_moves), max_load: None }
+    }
+
+    /// Caps the total replica load moved.
+    #[must_use]
+    pub fn load(max_load: f64) -> Self {
+        MigrationBudget { max_moves: None, max_load: Some(max_load) }
+    }
+
+    /// Whether a further `steps` moves totalling `load` still fit after
+    /// `used_moves`/`used_load` have been consumed.
+    #[must_use]
+    pub fn admits(&self, used_moves: usize, used_load: f64, steps: usize, load: f64) -> bool {
+        if let Some(max) = self.max_moves {
+            if used_moves + steps > max {
+                return false;
+            }
+        }
+        if let Some(max) = self.max_load {
+            // A small tolerance so a drain summing exactly to the cap is
+            // not rejected for rounding.
+            if used_load + load > max + cubefit_core::EPSILON {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_admits_everything() {
+        let b = MigrationBudget::unlimited();
+        assert!(b.admits(1_000_000, 1e9, 1_000_000, 1e9));
+    }
+
+    #[test]
+    fn move_cap_is_exact() {
+        let b = MigrationBudget::moves(5);
+        assert!(b.admits(3, 0.0, 2, 10.0));
+        assert!(!b.admits(3, 0.0, 3, 0.0));
+    }
+
+    #[test]
+    fn load_cap_tolerates_rounding_at_the_boundary() {
+        let b = MigrationBudget::load(0.3);
+        assert!(b.admits(0, 0.1 + 0.2 - 0.1, 9, 0.1));
+        assert!(!b.admits(0, 0.25, 1, 0.1));
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let b = MigrationBudget { max_moves: Some(7), max_load: Some(1.5) };
+        let json = serde_json::to_string(&b).unwrap();
+        let back: MigrationBudget = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+    }
+}

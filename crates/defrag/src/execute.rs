@@ -1,0 +1,199 @@
+//! Applying a [`DefragPlan`] to a live consolidator, atomically.
+
+use crate::plan::DefragPlan;
+use cubefit_core::recovery::move_feasible;
+use cubefit_core::{Consolidator, Result};
+use cubefit_telemetry::{Recorder, TraceEvent};
+
+/// What applying a [`DefragPlan`] actually did.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DefragOutcome {
+    /// Steps applied and kept (0 after an abort — the rollback undid them).
+    pub applied_steps: usize,
+    /// Replica load moved and kept.
+    pub moved_load: f64,
+    /// Servers drained to empty.
+    pub servers_closed: usize,
+    /// Whether the plan was aborted and rolled back.
+    pub aborted: bool,
+    /// Step index that failed its feasibility re-check, if any.
+    pub aborted_at: Option<usize>,
+}
+
+/// Applies `plan` through the consolidator's [`Consolidator::migrate`]
+/// primitive.
+///
+/// Every step is re-checked with [`move_feasible`] against the *live*
+/// placement immediately before it is applied — the placement may have
+/// drifted since planning (arrivals, departures, failures). The first step
+/// that fails the re-check aborts the whole plan **atomically**: already
+/// applied steps are rolled back in reverse order via inverse migrations,
+/// which retraces previously visited (hence robust) states, and the
+/// consolidator ends exactly where it started.
+///
+/// Emits [`TraceEvent::DefragPlanned`] once, [`TraceEvent::ServerClosed`]
+/// per drained bin, and updates the `defrag_open_bins` / `defrag_mean_fill`
+/// / `defrag_fragmentation_ratio` gauges from the final placement.
+///
+/// # Errors
+///
+/// Propagates [`Consolidator::migrate`] errors — these indicate endpoint
+/// invariant violations the feasibility re-check cannot see (a concurrent
+/// structural mutation mid-apply), not a planned abort.
+pub fn apply(
+    consolidator: &mut dyn Consolidator,
+    plan: &DefragPlan,
+    recorder: &Recorder,
+) -> Result<DefragOutcome> {
+    recorder.emit(|| TraceEvent::DefragPlanned {
+        steps: plan.steps.len(),
+        moved_load: plan.moved_load,
+        bins_to_close: plan.closes.len(),
+        open_bins: consolidator.placement().open_bins(),
+    });
+
+    let mut outcome = DefragOutcome {
+        applied_steps: 0,
+        moved_load: 0.0,
+        servers_closed: 0,
+        aborted: false,
+        aborted_at: None,
+    };
+    for (index, step) in plan.steps.iter().enumerate() {
+        if !move_feasible(consolidator.placement(), step.tenant, step.from, step.to) {
+            for undone in plan.steps[..index].iter().rev() {
+                consolidator.migrate(undone.tenant, undone.to, undone.from)?;
+            }
+            outcome = DefragOutcome {
+                applied_steps: 0,
+                moved_load: 0.0,
+                servers_closed: 0,
+                aborted: true,
+                aborted_at: Some(index),
+            };
+            break;
+        }
+        consolidator.migrate(step.tenant, step.from, step.to)?;
+        outcome.applied_steps += 1;
+        outcome.moved_load += step.load;
+        if consolidator.placement().level(step.from) == 0.0 {
+            outcome.servers_closed += 1;
+            let total_open = consolidator.placement().open_bins();
+            let level =
+                plan.closes.iter().find(|c| c.bin == step.from).map_or(step.load, |c| c.level);
+            recorder.emit(|| TraceEvent::ServerClosed {
+                bin: step.from.index(),
+                level,
+                total_open,
+            });
+        }
+    }
+
+    let fragmentation = consolidator.placement().fragmentation();
+    recorder.gauge("defrag_open_bins", &[]).set(fragmentation.open_bins as f64);
+    recorder.gauge("defrag_mean_fill", &[]).set(fragmentation.mean_fill);
+    recorder.gauge("defrag_fragmentation_ratio", &[]).set(fragmentation.fragmentation_ratio);
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::MigrationBudget;
+    use crate::plan::plan;
+    use cubefit_core::{CubeFit, CubeFitConfig, Load, Tenant, TenantId};
+    use cubefit_telemetry::VecSink;
+    use std::sync::Arc;
+
+    fn tenant(id: u64, load: f64) -> Tenant {
+        Tenant::new(TenantId::new(id), Load::new(load).unwrap())
+    }
+
+    /// Churns a CubeFit instance into fragmentation: place many tenants,
+    /// then remove most of them.
+    fn fragmented_cubefit() -> CubeFit {
+        let config = CubeFitConfig::builder().replication(2).classes(5).build().unwrap();
+        let mut cubefit = CubeFit::new(config);
+        for id in 0..40 {
+            cubefit.place(tenant(id, 0.05 + 0.02 * (id % 10) as f64)).unwrap();
+        }
+        for id in 0..40 {
+            if id % 3 != 0 {
+                cubefit.remove(TenantId::new(id)).unwrap();
+            }
+        }
+        cubefit
+    }
+
+    #[test]
+    fn applying_a_plan_closes_servers_and_stays_robust() {
+        let mut cubefit = fragmented_cubefit();
+        let before = cubefit.placement().open_bins();
+        let defrag = plan(cubefit.placement(), MigrationBudget::unlimited());
+        assert!(defrag.servers_closed() >= 1, "churned placement should be compressible");
+        let outcome = apply(&mut cubefit, &defrag, &Recorder::disabled()).unwrap();
+        assert!(!outcome.aborted);
+        assert_eq!(outcome.applied_steps, defrag.steps.len());
+        assert_eq!(outcome.servers_closed, defrag.servers_closed());
+        assert_eq!(cubefit.placement().open_bins(), before - outcome.servers_closed);
+        assert_eq!(cubefit.placement().open_bins(), defrag.open_bins_after);
+        assert!(cubefit.placement().is_robust());
+        // The incremental indexes survived the migrations.
+        assert!(cubefit_core::oracle::audit(cubefit.placement()).is_ok());
+    }
+
+    #[test]
+    fn stale_plan_aborts_atomically() {
+        let mut cubefit = fragmented_cubefit();
+        let defrag = plan(cubefit.placement(), MigrationBudget::unlimited());
+        assert!(defrag.steps.len() >= 2, "need a multi-step plan to test mid-plan aborts");
+        // Invalidate a later step by removing its tenant after planning:
+        // the feasibility re-check fails mid-plan and everything rolls back.
+        let victim = defrag.steps.last().unwrap().tenant;
+        let before_levels: Vec<f64> = cubefit.placement().bins().map(|b| b.level()).collect();
+        cubefit.remove(victim).unwrap();
+        let after_removal: Vec<f64> = cubefit.placement().bins().map(|b| b.level()).collect();
+        let outcome = apply(&mut cubefit, &defrag, &Recorder::disabled()).unwrap();
+        assert!(outcome.aborted);
+        assert_eq!(outcome.applied_steps, 0);
+        assert_eq!(outcome.servers_closed, 0);
+        let rolled_back: Vec<f64> = cubefit.placement().bins().map(|b| b.level()).collect();
+        assert_ne!(before_levels, after_removal, "the removal must have changed something");
+        for (a, b) in after_removal.iter().zip(&rolled_back) {
+            assert!((a - b).abs() < 1e-12, "rollback must restore pre-apply levels");
+        }
+        assert!(cubefit.placement().is_robust());
+        assert!(cubefit_core::oracle::audit(cubefit.placement()).is_ok());
+    }
+
+    #[test]
+    fn emits_planned_and_server_closed_events() {
+        let mut cubefit = fragmented_cubefit();
+        let defrag = plan(cubefit.placement(), MigrationBudget::unlimited());
+        let sink = Arc::new(VecSink::new());
+        let recorder = Recorder::with_sink(Arc::clone(&sink));
+        let outcome = apply(&mut cubefit, &defrag, &recorder).unwrap();
+        let events = sink.events();
+        assert_eq!(
+            events.iter().filter(|e| matches!(e, TraceEvent::DefragPlanned { .. })).count(),
+            1
+        );
+        assert_eq!(
+            events.iter().filter(|e| matches!(e, TraceEvent::ServerClosed { .. })).count(),
+            outcome.servers_closed
+        );
+        let snapshot = recorder.snapshot();
+        assert!(!snapshot.gauges.is_empty(), "fragmentation gauges must be set");
+    }
+
+    #[test]
+    fn empty_plan_is_a_no_op() {
+        let mut cubefit = fragmented_cubefit();
+        let defrag = plan(cubefit.placement(), MigrationBudget::moves(0));
+        let before = cubefit.placement().open_bins();
+        let outcome = apply(&mut cubefit, &defrag, &Recorder::disabled()).unwrap();
+        assert_eq!(outcome.applied_steps, 0);
+        assert!(!outcome.aborted);
+        assert_eq!(cubefit.placement().open_bins(), before);
+    }
+}

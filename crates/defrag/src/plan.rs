@@ -1,0 +1,296 @@
+//! The migration planner: turning a fragmented placement into an ordered
+//! list of Theorem-1-safe drain moves.
+
+use crate::budget::MigrationBudget;
+use cubefit_core::recovery::move_feasible;
+use cubefit_core::{BinId, FragmentationStats, Placement, TenantId};
+
+/// One planned replica migration.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DefragStep {
+    /// The tenant whose replica moves.
+    pub tenant: TenantId,
+    /// The bin being drained.
+    pub from: BinId,
+    /// The mature bin receiving the replica.
+    pub to: BinId,
+    /// Replica load moved (`tenant_load / γ`).
+    pub load: f64,
+}
+
+/// A bin the plan drains to empty, with its pre-drain level.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PlannedClose {
+    /// The bin scheduled for closing.
+    pub bin: BinId,
+    /// Its load level before the drain.
+    pub level: f64,
+}
+
+/// An executable defragmentation plan.
+///
+/// Steps are ordered so that applying them sequentially through
+/// [`cubefit_core::Placement::move_replica`] keeps every intermediate
+/// placement Theorem-1 robust: each step was validated with
+/// [`move_feasible`] against the simulated state it executes in, and a
+/// drain move only ever shrinks the source bin's own reserve. Whole-bin
+/// atomicity is decided at *planning* time — a bin appears in
+/// [`DefragPlan::closes`] only if every one of its replicas drains within
+/// the budget, so a plan never half-empties a server.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DefragPlan {
+    /// Replication factor of the placement the plan was computed for.
+    pub gamma: usize,
+    /// Budget the plan was computed under.
+    pub budget: MigrationBudget,
+    /// Migration steps in execution order.
+    pub steps: Vec<DefragStep>,
+    /// Bins the plan empties, in drain order.
+    pub closes: Vec<PlannedClose>,
+    /// Total replica load the plan moves.
+    pub moved_load: f64,
+    /// Open bins before the plan.
+    pub open_bins_before: usize,
+    /// Open bins once the plan has been applied.
+    pub open_bins_after: usize,
+    /// Fragmentation statistics before the plan.
+    pub fragmentation_before: FragmentationStats,
+    /// Predicted fragmentation statistics after the plan.
+    pub fragmentation_after: FragmentationStats,
+}
+
+impl DefragPlan {
+    /// Whether the plan contains no migrations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Servers the plan closes.
+    #[must_use]
+    pub fn servers_closed(&self) -> usize {
+        self.closes.len()
+    }
+
+    /// Pretty JSON rendering for reports.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_owned())
+    }
+}
+
+/// Computes a defragmentation plan for `placement` under `budget`.
+///
+/// The planner simulates on a clone: it repeatedly picks the lowest-fill
+/// open bin not yet ruled out and tries to drain *all* of its replicas into
+/// the fullest feasible survivors (largest replica first, so an undrainable
+/// bin fails fast). A bin whose drain does not complete — some replica has
+/// no feasible target, or the remaining budget cannot cover the whole
+/// bin — is abandoned without committing any of its moves. Draining only
+/// ever removes bins, and no step opens one, so the planned placement never
+/// has more open bins than the input.
+#[must_use]
+pub fn plan(placement: &Placement, budget: MigrationBudget) -> DefragPlan {
+    let fragmentation_before = placement.fragmentation();
+    let mut sim = placement.clone();
+    let mut steps: Vec<DefragStep> = Vec::new();
+    let mut closes: Vec<PlannedClose> = Vec::new();
+    let mut moved_load = 0.0;
+    let mut ruled_out: Vec<BinId> = Vec::new();
+
+    loop {
+        if !budget.admits(steps.len(), moved_load, 1, 0.0) {
+            break;
+        }
+        // Lowest-fill open bin still worth trying. Once a drain succeeds,
+        // survivors only get fuller, so a bin that failed before cannot
+        // succeed later — ruled-out bins stay ruled out.
+        let candidate = sim
+            .bins()
+            .filter(|b| b.level() > 0.0 && !ruled_out.contains(&b.id()))
+            .min_by(|a, b| {
+                a.level()
+                    .partial_cmp(&b.level())
+                    .expect("levels are finite")
+                    .then(a.id().cmp(&b.id()))
+            })
+            .map(|b| (b.id(), b.level()));
+        let Some((bin, level)) = candidate else { break };
+        ruled_out.push(bin);
+        if let Some((drained, bin_steps, bin_load)) =
+            drain_bin(&sim, bin, &budget, steps.len(), moved_load)
+        {
+            sim = drained;
+            moved_load += bin_load;
+            steps.extend(bin_steps);
+            closes.push(PlannedClose { bin, level });
+        }
+    }
+
+    let fragmentation_after = sim.fragmentation();
+    DefragPlan {
+        gamma: placement.gamma(),
+        budget,
+        steps,
+        closes,
+        moved_load,
+        open_bins_before: placement.open_bins(),
+        open_bins_after: sim.open_bins(),
+        fragmentation_before,
+        fragmentation_after,
+    }
+}
+
+/// Tries to drain every replica of `bin` on a trial clone of `sim`,
+/// returning the advanced placement and the drain's steps — or `None` if
+/// any replica lacks a feasible target or the whole bin does not fit the
+/// remaining budget (whole-bin atomicity).
+fn drain_bin(
+    sim: &Placement,
+    bin: BinId,
+    budget: &MigrationBudget,
+    used_moves: usize,
+    used_load: f64,
+) -> Option<(Placement, Vec<DefragStep>, f64)> {
+    let mut replicas: Vec<(TenantId, f64)> = sim.bin(bin).contents().to_vec();
+    if !budget.admits(
+        used_moves,
+        used_load,
+        replicas.len(),
+        replicas.iter().map(|(_, load)| load).sum(),
+    ) {
+        return None;
+    }
+    // Largest replica first: the hardest move fails before cheap ones are
+    // simulated, and big replicas get first pick of the remaining space.
+    replicas.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("loads are finite").then(a.0.cmp(&b.0)));
+
+    let mut trial = sim.clone();
+    let mut steps = Vec::with_capacity(replicas.len());
+    let mut bin_load = 0.0;
+    for (tenant, replica) in replicas {
+        // Fullest feasible survivor first — drain into mature bins, never
+        // into the bin being emptied (`to != bin` is implied by
+        // `move_feasible` rejecting `to`s the tenant already occupies, but
+        // the filter keeps the scan honest even for level-0 edge cases).
+        let mut targets: Vec<(BinId, f64)> = trial
+            .bins()
+            .filter(|b| b.level() > 0.0 && b.id() != bin)
+            .map(|b| (b.id(), b.level()))
+            .collect();
+        targets
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("levels are finite").then(a.0.cmp(&b.0)));
+        let to =
+            targets.iter().map(|&(id, _)| id).find(|&to| move_feasible(&trial, tenant, bin, to))?;
+        trial.move_replica(tenant, bin, to).expect("move_feasible implies valid endpoints");
+        steps.push(DefragStep { tenant, from: bin, to, load: replica });
+        bin_load += replica;
+    }
+    Some((trial, steps, bin_load))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubefit_core::{Load, Tenant};
+
+    fn tenant(id: u64, load: f64) -> Tenant {
+        Tenant::new(TenantId::new(id), Load::new(load).unwrap())
+    }
+
+    /// Two half-full bin pairs plus one thin pair: the thin pair drains
+    /// into the fuller pairs and both of its bins close.
+    fn fragmented_placement() -> Placement {
+        let mut p = Placement::new(2);
+        let b: Vec<BinId> = (0..6).map(|_| p.open_bin(None)).collect();
+        p.place_tenant(&tenant(0, 0.8), &[b[0], b[1]]).unwrap();
+        p.place_tenant(&tenant(1, 0.8), &[b[2], b[3]]).unwrap();
+        p.place_tenant(&tenant(2, 0.1), &[b[4], b[5]]).unwrap();
+        p
+    }
+
+    #[test]
+    fn drains_thin_bins_and_closes_them() {
+        let p = fragmented_placement();
+        let plan = plan(&p, MigrationBudget::unlimited());
+        assert_eq!(plan.open_bins_before, 6);
+        assert_eq!(plan.open_bins_after, 4);
+        assert_eq!(plan.servers_closed(), 2);
+        assert_eq!(plan.steps.len(), 2);
+        assert!((plan.moved_load - 0.1).abs() < 1e-12);
+        assert!(
+            plan.fragmentation_after.fragmentation_ratio
+                < plan.fragmentation_before.fragmentation_ratio
+        );
+        // Replaying the plan on the substrate lands on a robust placement
+        // with the predicted bin count.
+        let mut replay = p;
+        for step in &plan.steps {
+            assert!(move_feasible(&replay, step.tenant, step.from, step.to));
+            replay.move_replica(step.tenant, step.from, step.to).unwrap();
+            assert!(replay.is_robust(), "intermediate state must stay robust");
+        }
+        assert_eq!(replay.open_bins(), plan.open_bins_after);
+    }
+
+    #[test]
+    fn zero_move_budget_yields_empty_plan() {
+        let plan = plan(&fragmented_placement(), MigrationBudget::moves(0));
+        assert!(plan.is_empty());
+        assert_eq!(plan.open_bins_after, plan.open_bins_before);
+    }
+
+    #[test]
+    fn whole_bin_atomicity_under_move_budget() {
+        // One move of budget cannot fully drain the 2-replica-wide thin
+        // pair's bins... but each thin *bin* holds a single replica, so one
+        // move drains exactly one bin and the second bin must be left
+        // entirely alone.
+        let plan = plan(&fragmented_placement(), MigrationBudget::moves(1));
+        assert_eq!(plan.steps.len(), 1);
+        assert_eq!(plan.servers_closed(), 1);
+        assert_eq!(plan.open_bins_after, 5);
+    }
+
+    #[test]
+    fn load_budget_caps_total_moved_load() {
+        let plan = plan(&fragmented_placement(), MigrationBudget::load(0.05));
+        // Each thin replica is 0.05; both fit only if the cap were 0.1.
+        assert_eq!(plan.steps.len(), 1);
+        assert!((plan.moved_load - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_increases_bin_count_or_opens_bins() {
+        let mut p = Placement::new(3);
+        let b: Vec<BinId> = (0..9).map(|_| p.open_bin(None)).collect();
+        for i in 0..3 {
+            let bins = [b[3 * i], b[3 * i + 1], b[3 * i + 2]];
+            p.place_tenant(&tenant(i as u64, 0.3 + 0.2 * i as f64), &bins).unwrap();
+        }
+        let created = p.created_bins();
+        let plan = plan(&p, MigrationBudget::unlimited());
+        assert!(plan.open_bins_after <= plan.open_bins_before);
+        for step in &plan.steps {
+            assert!(step.to.index() < created, "plans must never open bins");
+        }
+    }
+
+    #[test]
+    fn full_placement_produces_empty_plan() {
+        let mut p = Placement::new(2);
+        let b: Vec<BinId> = (0..2).map(|_| p.open_bin(None)).collect();
+        p.place_tenant(&tenant(0, 1.0), &[b[0], b[1]]).unwrap();
+        let plan = plan(&p, MigrationBudget::unlimited());
+        assert!(plan.is_empty());
+        assert_eq!(plan.servers_closed(), 0);
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = plan(&fragmented_placement(), MigrationBudget::moves(8));
+        let json = plan.to_json();
+        let back: DefragPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

@@ -20,7 +20,8 @@
 use crate::spec::{AlgorithmSpec, DistributionSpec};
 use cubefit_core::oracle::AuditedConsolidator;
 use cubefit_core::recovery::{self, RecoveryReport};
-use cubefit_core::{BinId, Consolidator, Result, Tenant, TenantId};
+use cubefit_core::{BinId, Consolidator, FragmentationStats, Result, Tenant, TenantId};
+use cubefit_defrag::{DefragOutcome, MigrationBudget};
 use cubefit_telemetry::{Recorder, TraceEvent};
 use cubefit_workload::LoadModel;
 use rand::{Rng, SeedableRng};
@@ -65,6 +66,11 @@ pub struct ChurnConfig {
     /// Replay placements, departures and recoveries against the quadratic
     /// oracle (panics on divergence — the chaos harness as a fuzzer).
     pub audit: bool,
+    /// Run a defragmentation epoch (plan + atomic apply) every N ops;
+    /// `0` disables defrag entirely.
+    pub defrag_every: usize,
+    /// Migration budget for each defrag epoch.
+    pub defrag_budget: MigrationBudget,
 }
 
 impl ChurnConfig {
@@ -80,6 +86,8 @@ impl ChurnConfig {
             departure_percent: 25,
             failure_percent: 10,
             audit: false,
+            defrag_every: 0,
+            defrag_budget: MigrationBudget::default(),
         }
     }
 }
@@ -101,6 +109,21 @@ pub struct FailureEvent {
     pub robust_after: bool,
 }
 
+/// One defragmentation epoch of a churn run, as it happened.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DefragEpoch {
+    /// Zero-based op index after which the epoch ran.
+    pub at_op: usize,
+    /// Steps the planner scheduled.
+    pub planned_steps: usize,
+    /// What applying the plan actually did (atomic abort included).
+    pub outcome: DefragOutcome,
+    /// Open bins before the epoch.
+    pub open_bins_before: usize,
+    /// Open bins after the epoch.
+    pub open_bins_after: usize,
+}
+
 /// Everything a churn run produced, JSON-serializable for reports.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ChurnReport {
@@ -120,6 +143,10 @@ pub struct ChurnReport {
     pub departed_load: f64,
     /// Each failure event in order.
     pub failure_events: Vec<FailureEvent>,
+    /// Each defragmentation epoch in order (empty when defrag is off).
+    pub defrag_epochs: Vec<DefragEpoch>,
+    /// Servers closed by defragmentation across the whole run.
+    pub servers_closed_by_defrag: usize,
     /// Run-level aggregate recovery cost.
     pub recovery: RecoveryReport,
     /// Sum of all degraded windows (modeled seconds).
@@ -132,6 +159,8 @@ pub struct ChurnReport {
     pub final_open_bins: usize,
     /// Total placed load at the end.
     pub final_load: f64,
+    /// Fragmentation statistics of the final placement.
+    pub fragmentation: FragmentationStats,
     /// Whether the final placement satisfies Theorem 1.
     pub robust: bool,
 }
@@ -161,6 +190,20 @@ pub fn run_churn(config: &ChurnConfig) -> Result<ChurnReport> {
 ///
 /// Propagates algorithm construction and placement/removal/recovery errors.
 pub fn run_churn_with(config: &ChurnConfig, recorder: Recorder) -> Result<ChurnReport> {
+    run_churn_consolidator(config, recorder).map(|(report, _)| report)
+}
+
+/// [`run_churn_with`], additionally handing back the consolidator in its
+/// final state so callers (e.g. `cubefit defrag`) can keep mutating the
+/// churned placement the report describes.
+///
+/// # Errors
+///
+/// Propagates algorithm construction and placement/removal/recovery errors.
+pub fn run_churn_consolidator(
+    config: &ChurnConfig,
+    recorder: Recorder,
+) -> Result<(ChurnReport, Box<dyn Consolidator>)> {
     let gamma = config.algorithm.gamma();
     let mut consolidator: Box<dyn Consolidator> = if config.audit {
         Box::new(AuditedConsolidator::new(config.algorithm.build()?))
@@ -184,12 +227,21 @@ pub fn run_churn_with(config: &ChurnConfig, recorder: Recorder) -> Result<ChurnR
         departures: 0,
         departed_load: 0.0,
         failure_events: Vec::new(),
+        defrag_epochs: Vec::new(),
+        servers_closed_by_defrag: 0,
         recovery: RecoveryReport::default(),
         degraded_seconds_total: 0.0,
         degraded_seconds_max: 0.0,
         final_tenants: 0,
         final_open_bins: 0,
         final_load: 0.0,
+        fragmentation: FragmentationStats {
+            open_bins: 0,
+            total_load: 0.0,
+            mean_fill: 0.0,
+            p10_fill: 0.0,
+            fragmentation_ratio: 1.0,
+        },
         robust: false,
     };
 
@@ -229,14 +281,41 @@ pub fn run_churn_with(config: &ChurnConfig, recorder: Recorder) -> Result<ChurnR
             alive.push(tenant.id());
             report.arrivals += 1;
         }
+        if config.defrag_every > 0 && (op + 1) % config.defrag_every == 0 {
+            let epoch = defrag_epoch(&mut consolidator, config.defrag_budget, op, &recorder)?;
+            report.servers_closed_by_defrag += epoch.outcome.servers_closed;
+            report.defrag_epochs.push(epoch);
+        }
     }
 
     let placement = consolidator.placement();
     report.final_tenants = placement.tenant_count();
     report.final_open_bins = placement.open_bins();
     report.final_load = placement.total_load();
+    report.fragmentation = placement.fragmentation();
     report.robust = placement.is_robust();
-    Ok(report)
+    Ok((report, consolidator))
+}
+
+/// Plans and atomically applies one defragmentation pass. Under `--audit`
+/// the consolidator is an [`AuditedConsolidator`], so every migration the
+/// epoch applies is replayed against the oracle.
+fn defrag_epoch(
+    consolidator: &mut Box<dyn Consolidator>,
+    budget: MigrationBudget,
+    at_op: usize,
+    recorder: &Recorder,
+) -> Result<DefragEpoch> {
+    let open_bins_before = consolidator.placement().open_bins();
+    let plan = cubefit_defrag::plan(consolidator.placement(), budget);
+    let outcome = cubefit_defrag::apply(&mut **consolidator, &plan, recorder)?;
+    Ok(DefragEpoch {
+        at_op,
+        planned_steps: plan.steps.len(),
+        outcome,
+        open_bins_before,
+        open_bins_after: consolidator.placement().open_bins(),
+    })
 }
 
 /// Fails up to `max_failures` distinct loaded bins and immediately runs
@@ -368,6 +447,78 @@ mod tests {
         let back: ChurnReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
         assert!(json.contains("degraded_seconds_total"));
+        assert!(json.contains("fragmentation_ratio"), "fragmentation stats belong in the report");
+        assert!(json.contains("\"seed\""), "the seed makes reports replayable");
+    }
+
+    /// A departure-heavy config that fragments placements: 40% of ops are
+    /// departures, no failures (defrag effects stay isolated).
+    fn fragmenting(algorithm: AlgorithmSpec, seed: u64) -> ChurnConfig {
+        ChurnConfig {
+            departure_percent: 40,
+            failure_percent: 0,
+            audit: true,
+            ..ChurnConfig::balanced(algorithm, 300, seed)
+        }
+    }
+
+    /// Deterministic regression pinning a fragmented seed: with ≥30%
+    /// departures, periodic defrag epochs must close at least one server
+    /// under a finite migration budget, stay robust, and never increase
+    /// the open-bin count.
+    #[test]
+    fn defrag_epochs_close_servers_in_fragmented_runs() {
+        let config = ChurnConfig {
+            defrag_every: 50,
+            defrag_budget: MigrationBudget { max_moves: Some(64), max_load: Some(4.0) },
+            ..fragmenting(AlgorithmSpec::CubeFit { gamma: 2, classes: 5 }, 17)
+        };
+        let report = run_churn(&config).unwrap();
+        assert!(!report.defrag_epochs.is_empty());
+        assert!(
+            report.servers_closed_by_defrag >= 1,
+            "seed 17 must stay a fragmented regression scenario"
+        );
+        for epoch in &report.defrag_epochs {
+            assert!(!epoch.outcome.aborted, "nothing mutates between plan and apply here");
+            assert!(epoch.open_bins_after <= epoch.open_bins_before);
+            assert_eq!(
+                epoch.open_bins_before - epoch.open_bins_after,
+                epoch.outcome.servers_closed
+            );
+        }
+        assert!(report.robust);
+        // Defrag must strictly improve on the same run without it.
+        let without = run_churn(&ChurnConfig { defrag_every: 0, ..config }).unwrap();
+        assert!(report.final_open_bins <= without.final_open_bins);
+        assert!(
+            report.fragmentation.fragmentation_ratio <= without.fragmentation.fragmentation_ratio
+        );
+    }
+
+    #[test]
+    fn defrag_is_deterministic_and_audited_for_every_algorithm() {
+        let specs = [
+            AlgorithmSpec::CubeFit { gamma: 2, classes: 5 },
+            AlgorithmSpec::Rfi { gamma: 2, mu: 0.85 },
+            AlgorithmSpec::BestFit { gamma: 2 },
+            AlgorithmSpec::FirstFit { gamma: 2 },
+            AlgorithmSpec::WorstFit { gamma: 2 },
+            AlgorithmSpec::NextFit { gamma: 2 },
+            AlgorithmSpec::RandomFit { gamma: 2, seed: 9 },
+        ];
+        for spec in specs {
+            let config = ChurnConfig {
+                ops: 150,
+                defrag_every: 30,
+                defrag_budget: MigrationBudget::moves(32),
+                ..fragmenting(spec, 23)
+            };
+            let a = run_churn(&config).unwrap();
+            let b = run_churn(&config).unwrap();
+            assert_eq!(a, b, "{} defrag must be deterministic", a.algorithm);
+            assert!(a.robust, "{} not robust after defragged churn", a.algorithm);
+        }
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub mod runner;
 pub mod spec;
 pub mod stats;
 
-pub use churn::{run_churn, run_churn_with, ChurnConfig, ChurnReport};
+pub use churn::{
+    run_churn, run_churn_consolidator, run_churn_with, ChurnConfig, ChurnReport, DefragEpoch,
+};
 pub use cost::CostModel;
 pub use experiment::{compare, ComparisonConfig, ComparisonResult};
 pub use failure::{run_failure_experiment, FailureExperimentConfig, FailureOutcome};

@@ -116,6 +116,27 @@ pub enum TraceEvent {
         /// Fresh bins opened during recovery.
         bins_opened: usize,
     },
+    /// A defragmentation plan was computed over a live placement.
+    DefragPlanned {
+        /// Replica moves in the plan.
+        steps: usize,
+        /// Total replica load the plan moves.
+        moved_load: f64,
+        /// Bins the plan drains to empty (candidates for closing).
+        bins_to_close: usize,
+        /// Open bins at planning time.
+        open_bins: usize,
+    },
+    /// A drained server was closed by a defragmentation pass (its last
+    /// replica migrated away).
+    ServerClosed {
+        /// The emptied bin.
+        bin: usize,
+        /// Bin load level before the drain began.
+        level: f64,
+        /// Non-empty bins remaining after the close.
+        total_open: usize,
+    },
     /// A tenant finished placement.
     Placed {
         /// Tenant id.
@@ -224,6 +245,8 @@ mod tests {
                 moved_load: 0.375,
                 bins_opened: 1,
             },
+            TraceEvent::DefragPlanned { steps: 4, moved_load: 0.5, bins_to_close: 2, open_bins: 7 },
+            TraceEvent::ServerClosed { bin: 5, level: 0.125, total_open: 6 },
         ]
     }
 

@@ -12,6 +12,8 @@
 //! * [`workload`] — tenant load distributions and sequence generators;
 //! * [`cluster`] — the discrete-event cluster simulator;
 //! * [`sim`] — experiment runners, statistics, and the cost model;
+//! * [`defrag`] — robustness-preserving defragmentation and migration
+//!   planning;
 //! * [`analysis`] — competitive-ratio tooling (Theorem 2).
 //!
 //! ```
@@ -32,5 +34,6 @@ pub use cubefit_analysis as analysis;
 pub use cubefit_baselines as baselines;
 pub use cubefit_cluster as cluster;
 pub use cubefit_core as core;
+pub use cubefit_defrag as defrag;
 pub use cubefit_sim as sim;
 pub use cubefit_workload as workload;

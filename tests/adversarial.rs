@@ -5,8 +5,7 @@
 use cubefit::baselines::{offline, BestFit, NextFit, Rfi};
 use cubefit::core::validity::{self, FailoverSemantics};
 use cubefit::core::{
-    Consolidator, CubeFit, CubeFitConfig, Load, PlacementStage, Stage1Eligibility, Tenant,
-    TenantId, TinyPolicy,
+    Consolidator, CubeFit, CubeFitConfig, Load, Stage1Eligibility, Tenant, TenantId, TinyPolicy,
 };
 
 fn tenant(id: u64, load: f64) -> Tenant {

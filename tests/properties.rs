@@ -16,7 +16,7 @@ fn tenants(loads: &[f64]) -> Vec<Tenant> {
 
 fn load_strategy() -> impl Strategy<Value = f64> {
     // Loads spanning the full (0, 1] range including boundary-ish values.
-    prop_oneof![(0.0001f64..=1.0), Just(1.0), Just(0.5), Just(1.0 / 3.0), (0.001f64..0.1),]
+    prop_oneof![0.0001f64..=1.0, Just(1.0), Just(0.5), Just(1.0 / 3.0), 0.001f64..0.1,]
 }
 
 proptest! {
