@@ -14,9 +14,10 @@
 //! nothing even for `K` in the hundreds.
 
 use crate::weights::WeightFunction;
-
-/// Infinitesimal used for the open class boundaries (`size = 1/(γ+i) + ε`).
-const EPS: f64 = 1e-9;
+/// Infinitesimal used for the open class boundaries (`size = 1/(γ+i) + ε`) —
+/// the workspace-wide capacity tolerance, so "just over the class boundary"
+/// and "just at capacity" mean the same thing everywhere.
+use cubefit_core::EPSILON as EPS;
 
 /// Problem instance: replication factor and class count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -10,7 +10,7 @@
 //! always feasible.
 
 use crate::common::{assignment_feasible, extends_assignment, BaselineTelemetry, ReserveMode};
-use cubefit_core::algorithm::RemovalOutcome;
+use cubefit_core::algorithm::{LoadUpdateOutcome, RemovalOutcome};
 use cubefit_core::level_index::LevelIndex;
 use cubefit_core::recovery::{self, RecoveryReport};
 use cubefit_core::{
@@ -165,6 +165,23 @@ impl Greedy {
         Ok(RemovalOutcome { tenant, load, bins })
     }
 
+    fn update_load(&mut self, tenant: TenantId, new_load: f64) -> Result<LoadUpdateOutcome> {
+        // Only the tenant's own bins change level, so only their index keys
+        // move — the same footprint as a removal.
+        let old: Vec<(BinId, f64)> = self
+            .placement
+            .tenant_bins(tenant)
+            .ok_or(Error::UnknownTenant { tenant })?
+            .iter()
+            .map(|&b| (b, self.placement.level(b)))
+            .collect();
+        let (old_load, bins) = self.placement.update_load(tenant, new_load)?;
+        for (bin, old_level) in old {
+            self.index.update(bin, old_level, self.placement.level(bin));
+        }
+        Ok(LoadUpdateOutcome { tenant, old_load, new_load, bins })
+    }
+
     /// Re-homes orphaned replicas using the packer's own preference order
     /// (fullest / oldest / emptiest feasible survivor), under the full
     /// `γ − 1` reserve so recovery never weakens robustness regardless of
@@ -282,6 +299,10 @@ macro_rules! greedy_packer {
 
             fn remove(&mut self, tenant: TenantId) -> Result<RemovalOutcome> {
                 self.inner.remove(tenant)
+            }
+
+            fn update_load(&mut self, tenant: TenantId, new_load: f64) -> Result<LoadUpdateOutcome> {
+                self.inner.update_load(tenant, new_load)
             }
 
             fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport> {

@@ -45,6 +45,7 @@ pub mod randomfit;
 pub mod rfi;
 
 pub use common::ReserveMode;
+pub use cubefit_core::EPSILON;
 pub use greedy::{BestFit, FirstFit, WorstFit};
 pub use nextfit::NextFit;
 pub use randomfit::RandomFit;

@@ -1,7 +1,7 @@
 //! Next Fit adapted to replicated tenants.
 
 use crate::common::{assignment_feasible, BaselineTelemetry, ReserveMode};
-use cubefit_core::algorithm::RemovalOutcome;
+use cubefit_core::algorithm::{LoadUpdateOutcome, RemovalOutcome};
 use cubefit_core::recovery::{self, RecoveryReport};
 use cubefit_core::{
     BinId, Consolidator, Error, Placement, PlacementOutcome, PlacementStage, Result, Tenant,
@@ -104,6 +104,12 @@ impl Consolidator for NextFit {
         let (load, bins) = self.placement.remove_tenant(tenant)?;
         self.telemetry.recorder.emit(|| TraceEvent::TenantDeparted { tenant: tenant.get(), load });
         Ok(RemovalOutcome { tenant, load, bins })
+    }
+
+    fn update_load(&mut self, tenant: TenantId, new_load: f64) -> Result<LoadUpdateOutcome> {
+        // No derived index to re-key; the window stays put.
+        let (old_load, bins) = self.placement.update_load(tenant, new_load)?;
+        Ok(LoadUpdateOutcome { tenant, old_load, new_load, bins })
     }
 
     /// Re-homes orphans scanning all bins in opening order (recovery is an

@@ -1,7 +1,7 @@
 //! Random Fit: a randomized sanity-check baseline.
 
 use crate::common::{assignment_feasible, feasible, ReserveMode};
-use cubefit_core::algorithm::RemovalOutcome;
+use cubefit_core::algorithm::{LoadUpdateOutcome, RemovalOutcome};
 use cubefit_core::recovery::{self, RecoveryReport};
 use cubefit_core::{
     BinId, Consolidator, Error, Placement, PlacementOutcome, PlacementStage, Result, Tenant,
@@ -110,6 +110,11 @@ impl Consolidator for RandomFit {
     fn remove(&mut self, tenant: TenantId) -> Result<RemovalOutcome> {
         let (load, bins) = self.placement.remove_tenant(tenant)?;
         Ok(RemovalOutcome { tenant, load, bins })
+    }
+
+    fn update_load(&mut self, tenant: TenantId, new_load: f64) -> Result<LoadUpdateOutcome> {
+        let (old_load, bins) = self.placement.update_load(tenant, new_load)?;
+        Ok(LoadUpdateOutcome { tenant, old_load, new_load, bins })
     }
 
     /// Re-homes orphans onto randomly probed feasible survivors (same probe

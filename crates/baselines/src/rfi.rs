@@ -2,7 +2,7 @@
 //! §V of the CubeFit paper.
 
 use crate::common::{assignment_feasible, extends_assignment, BaselineTelemetry, ReserveMode};
-use cubefit_core::algorithm::RemovalOutcome;
+use cubefit_core::algorithm::{LoadUpdateOutcome, RemovalOutcome};
 use cubefit_core::level_index::LevelIndex;
 use cubefit_core::recovery::{self, RecoveryReport};
 use cubefit_core::{
@@ -202,6 +202,24 @@ impl Consolidator for Rfi {
         }
         self.telemetry.recorder.emit(|| TraceEvent::TenantDeparted { tenant: tenant.get(), load });
         Ok(RemovalOutcome { tenant, load, bins })
+    }
+
+    fn update_load(&mut self, tenant: TenantId, new_load: f64) -> Result<LoadUpdateOutcome> {
+        // A load change has the same re-key footprint as a removal: the
+        // tenant's bins shift level, and only pairs among them shift shared
+        // load, so only those slack keys are refreshed.
+        let old: Vec<(BinId, f64)> = self
+            .placement
+            .tenant_bins(tenant)
+            .ok_or(Error::UnknownTenant { tenant })?
+            .iter()
+            .map(|&b| (b, self.slack(b)))
+            .collect();
+        let (old_load, bins) = self.placement.update_load(tenant, new_load)?;
+        for (bin, old_slack) in old {
+            self.index.update(bin, old_slack, self.slack(bin));
+        }
+        Ok(LoadUpdateOutcome { tenant, old_load, new_load, bins })
     }
 
     /// Re-homes orphaned replicas tightest-feasible-first through the full

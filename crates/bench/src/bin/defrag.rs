@@ -29,6 +29,7 @@ fn scenario(ops: usize) -> ChurnConfig {
         audit: false,
         defrag_every: 0,
         defrag_budget: MigrationBudget::default(),
+        drift: None,
     }
 }
 

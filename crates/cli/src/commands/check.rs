@@ -231,6 +231,25 @@ mod tests {
         assert!(err.contains("rebuilding placement"));
     }
 
+    /// Regression: dumps carrying out-of-range loads (a zero from a buggy
+    /// writer, a >1 load from a drifted trace) must be rejected with the
+    /// typed load-validation error, not silently rebuilt.
+    #[test]
+    fn rejects_dumps_with_invalid_loads() {
+        for bad_load in ["0.0", "-0.25", "2.0"] {
+            let path = tmp(&format!("check-bad-load-{bad_load}.json"));
+            let json = format!(
+                r#"{{"gamma":2,"servers":2,"tenants":[{{"tenant":0,"load":{bad_load},"servers":[0,1]}}]}}"#
+            );
+            std::fs::write(&path, json).unwrap();
+            let err = run(&ParsedArgs::parse(["check", path.as_str()]).unwrap()).unwrap_err();
+            assert!(
+                err.contains("outside the valid range"),
+                "load {bad_load} must hit the typed validation error, got: {err}"
+            );
+        }
+    }
+
     #[test]
     fn missing_file_is_an_error() {
         let args = ParsedArgs::parse(["check", "/nonexistent.json"]).unwrap();

@@ -3,8 +3,9 @@
 use crate::args::ParsedArgs;
 use crate::spec_parse;
 use crate::telemetry_out;
+use cubefit_core::monitor::DEFAULT_AT_RISK_SLACK;
 use cubefit_defrag::MigrationBudget;
-use cubefit_sim::churn::{run_churn_with, ChurnConfig};
+use cubefit_sim::churn::{run_churn_with, ChurnConfig, DriftConfig};
 
 /// Flags accepted by `churn`.
 pub const FLAGS: &[&str] = &[
@@ -19,6 +20,12 @@ pub const FLAGS: &[&str] = &[
     "defrag-every",
     "defrag-moves",
     "defrag-load",
+    "drift",
+    "profile",
+    "mitigate-every",
+    "mitigate-moves",
+    "mitigate-load",
+    "slack",
     "audit",
     "out",
     "metrics-out",
@@ -29,7 +36,9 @@ pub const FLAGS: &[&str] = &[
 pub const USAGE: &str = "churn [--algorithm cubefit] [--gamma G] [--distribution uniform:1-15] \
                          [--ops N] [--seed S] [--departures PCT] [--failures PCT] \
                          [--max-failures F] [--defrag-every N] [--defrag-moves M] \
-                         [--defrag-load L] [--audit] [--out REPORT.json] \
+                         [--defrag-load L] [--drift] [--profile burst:m=20,p=0.01] \
+                         [--mitigate-every N] [--mitigate-moves M] [--mitigate-load L] \
+                         [--slack S] [--audit] [--out REPORT.json] \
                          [--metrics-out METRICS.json] [--trace-out EVENTS.jsonl]";
 
 /// Parses the shared `--defrag-moves` / `--defrag-load` budget flags.
@@ -52,6 +61,44 @@ pub(crate) fn budget_from(args: &ParsedArgs) -> Result<MigrationBudget, String> 
         }
     };
     Ok(MigrationBudget { max_moves, max_load })
+}
+
+/// Parses the shared drift flags (`--profile`, `--mitigate-every`,
+/// `--mitigate-moves`, `--mitigate-load`, `--slack`) into a [`DriftConfig`].
+/// The mitigation budget defaults to unlimited: `--mitigate-every` without
+/// a cap means "repair everything at the stride".
+pub(crate) fn drift_from(args: &ParsedArgs) -> Result<DriftConfig, String> {
+    let profile = spec_parse::parse_drift_profile(args.get("profile").unwrap_or("burst"))?;
+    let mitigate_every: usize =
+        args.get_or("mitigate-every", 0usize, "an integer").map_err(|e| e.to_string())?;
+    let at_risk_slack: f64 =
+        args.get_or("slack", DEFAULT_AT_RISK_SLACK, "a number").map_err(|e| e.to_string())?;
+    if !(0.0..1.0).contains(&at_risk_slack) {
+        return Err(format!("--slack {at_risk_slack} must lie in [0, 1)"));
+    }
+    let max_moves = match args.get("mitigate-moves") {
+        None => None,
+        Some(_) => {
+            Some(args.get_or("mitigate-moves", 0usize, "an integer").map_err(|e| e.to_string())?)
+        }
+    };
+    let max_load = match args.get("mitigate-load") {
+        None => None,
+        Some(_) => {
+            let load: f64 =
+                args.get_or("mitigate-load", 0.0f64, "a number").map_err(|e| e.to_string())?;
+            if load < 0.0 {
+                return Err(format!("--mitigate-load {load} must be non-negative"));
+            }
+            Some(load)
+        }
+    };
+    Ok(DriftConfig {
+        profile,
+        mitigate_every,
+        budget: MigrationBudget { max_moves, max_load },
+        at_risk_slack,
+    })
 }
 
 /// Runs the command, returning the JSON churn report (or a summary when
@@ -101,6 +148,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
             .get_or("defrag-every", 0usize, "an integer")
             .map_err(|e| e.to_string())?,
         defrag_budget: budget_from(args)?,
+        drift: if args.has("drift") { Some(drift_from(args)?) } else { None },
     };
     let metrics_out = args.get("metrics-out");
     let trace_out = args.get("trace-out");
@@ -139,6 +187,18 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
                 "defrag: {} epochs closed {} servers\n",
                 report.defrag_epochs.len(),
                 report.servers_closed_by_defrag,
+            ));
+        }
+        if report.drift_updates > 0 {
+            output.push_str(&format!(
+                "drift: {} load updates, {} invariant violations detected; \
+                 mitigation: {} epochs cured {} servers, final: {} violated / {} at risk\n",
+                report.drift_updates,
+                report.drift_violations,
+                report.mitigation_epochs.len(),
+                report.servers_cured_by_mitigation,
+                report.final_violated,
+                report.final_at_risk,
             ));
         }
         output.push_str(&format!("churn report written to {path}\n"));

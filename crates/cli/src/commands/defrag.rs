@@ -81,6 +81,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         audit: args.has("audit"),
         defrag_every: 0,
         defrag_budget: cubefit_defrag::MigrationBudget::default(),
+        drift: None,
     };
     let metrics_out = args.get("metrics-out");
     let trace_out = args.get("trace-out");

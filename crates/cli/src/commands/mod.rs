@@ -8,6 +8,7 @@ pub mod check;
 pub mod churn;
 pub mod compare;
 pub mod defrag;
+pub mod drift;
 pub mod generate;
 pub mod place;
 pub mod simulate;

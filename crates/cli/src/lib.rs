@@ -33,7 +33,7 @@ pub fn help() -> String {
     format!(
         "cubefit — robust multi-tenant server consolidation (ICDCS 2017 reproduction)\n\n\
          USAGE:\n  cubefit <COMMAND> [FLAGS]\n\n\
-         COMMANDS:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  help\n",
+         COMMANDS:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  help\n",
         commands::generate::USAGE,
         commands::place::USAGE,
         commands::check::USAGE,
@@ -41,6 +41,7 @@ pub fn help() -> String {
         commands::simulate::USAGE,
         commands::churn::USAGE,
         commands::defrag::USAGE,
+        commands::drift::USAGE,
     )
 }
 
@@ -59,6 +60,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, String> {
         Some("simulate") => commands::simulate::run(args),
         Some("churn") => commands::churn::run(args),
         Some("defrag") => commands::defrag::run(args),
+        Some("drift") => commands::drift::run(args),
         Some("help") | None => Ok(help()),
         Some(other) => Err(format!("unknown command '{other}'\n\n{}", help())),
     }
@@ -71,7 +73,9 @@ mod tests {
     #[test]
     fn help_lists_every_command() {
         let text = help();
-        for command in ["generate", "place", "check", "compare", "simulate", "churn", "defrag"] {
+        for command in
+            ["generate", "place", "check", "compare", "simulate", "churn", "defrag", "drift"]
+        {
             assert!(text.contains(command), "help missing {command}");
         }
     }

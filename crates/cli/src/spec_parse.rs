@@ -4,9 +4,11 @@
 //!
 //! * algorithms — `cubefit`, `cubefit:K=5`, `rfi`, `rfi:mu=0.9`,
 //!   `bestfit`, `firstfit`, `worstfit`, `nextfit`, `randomfit:seed=3`;
-//! * distributions — `uniform:1-15`, `zipf:3`, `constant:8`.
+//! * distributions — `uniform:1-15`, `zipf:3`, `constant:8`;
+//! * drift profiles — `walk`, `walk:4`, `burst`, `burst:m=20,p=0.01`.
 
 use cubefit_sim::{AlgorithmSpec, DistributionSpec};
+use cubefit_workload::DriftProfile;
 use std::collections::HashMap;
 
 /// Parses `name[:k=v[,k=v…]]` into name + options.
@@ -107,6 +109,41 @@ pub fn parse_distribution(raw: &str) -> Result<DistributionSpec, String> {
     }
 }
 
+/// Parses a drift-profile spec string: `walk[:MAX_STEP]` for a symmetric
+/// client-count random walk, `burst[:m=MAGNITUDE,p=PROBABILITY]` for
+/// flash-crowd bursts that decay back to baseline.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown names or bad options.
+pub fn parse_drift_profile(raw: &str) -> Result<DriftProfile, String> {
+    let (name, options) = split_spec(raw);
+    let bare = options.get("").cloned().unwrap_or_default();
+    match name.as_str() {
+        "walk" => {
+            let max_step: u32 = if bare.is_empty() {
+                2
+            } else {
+                bare.parse().map_err(|_| format!("{raw}: walk expects an integer step size"))?
+            };
+            Ok(DriftProfile::RandomWalk { max_step })
+        }
+        "burst" => {
+            let magnitude: u32 = options.get("m").map_or(Ok(20), |v| {
+                v.parse().map_err(|_| format!("{raw}: m must be an integer client count"))
+            })?;
+            let probability: f64 = options.get("p").map_or(Ok(0.01), |v| {
+                v.parse().map_err(|_| format!("{raw}: p must be a number"))
+            })?;
+            if !(0.0..=1.0).contains(&probability) {
+                return Err(format!("{raw}: p must lie in [0, 1]"));
+            }
+            Ok(DriftProfile::Burst { magnitude, probability })
+        }
+        other => Err(format!("unknown drift profile '{other}' (expected walk or burst)")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +194,25 @@ mod tests {
         assert!(parse_distribution("pareto:2").is_err());
         assert!(parse_distribution("zipf:-1").is_err());
         assert!(parse_distribution("constant:0").is_err());
+    }
+
+    #[test]
+    fn drift_profile_specs() {
+        assert_eq!(parse_drift_profile("walk").unwrap(), DriftProfile::RandomWalk { max_step: 2 });
+        assert_eq!(
+            parse_drift_profile("walk:5").unwrap(),
+            DriftProfile::RandomWalk { max_step: 5 }
+        );
+        assert_eq!(
+            parse_drift_profile("burst").unwrap(),
+            DriftProfile::Burst { magnitude: 20, probability: 0.01 }
+        );
+        assert_eq!(
+            parse_drift_profile("burst:m=12,p=0.05").unwrap(),
+            DriftProfile::Burst { magnitude: 12, probability: 0.05 }
+        );
+        assert!(parse_drift_profile("tides").is_err());
+        assert!(parse_drift_profile("walk:fast").is_err());
+        assert!(parse_drift_profile("burst:p=1.5").is_err());
     }
 }

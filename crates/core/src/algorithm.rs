@@ -47,6 +47,29 @@ pub struct RemovalOutcome {
     pub bins: Vec<BinId>,
 }
 
+/// What an in-place load re-estimation changed.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LoadUpdateOutcome {
+    /// The drifting tenant.
+    pub tenant: TenantId,
+    /// The load the placement tracked before the update.
+    pub old_load: f64,
+    /// The re-estimated load now in effect.
+    pub new_load: f64,
+    /// The `γ` bins hosting the tenant's replicas (unchanged by the
+    /// update).
+    pub bins: Vec<BinId>,
+}
+
+impl LoadUpdateOutcome {
+    /// Signed full-tenant load change (`new − old`).
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.new_load - self.old_load
+    }
+}
+
 /// An online consolidation algorithm.
 ///
 /// Implementations receive tenants one at a time (the online model of
@@ -102,6 +125,24 @@ pub trait Consolidator {
     /// Propagates placement-substrate invariant violations; a recovery
     /// target always exists because fresh bins accept any replica.
     fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport>;
+
+    /// Re-estimates `tenant`'s load in place (its replicas stay where they
+    /// are), keeping every derived index the algorithm maintains
+    /// consistent — the load-drift primitive.
+    ///
+    /// An upward drift can push hosting bins past the Theorem-1 reserve;
+    /// the method still applies the measurement (declared loads track
+    /// reality, not the other way around) and callers watch the resulting
+    /// health with [`crate::monitor::classify`] and react with the
+    /// mitigation planner.
+    ///
+    /// # Errors
+    ///
+    /// * [`crate::Error::InvalidLoad`] if `new_load` is not a finite number
+    ///   in `(0, 1]`;
+    /// * [`crate::Error::UnknownTenant`] if the tenant is not currently
+    ///   placed.
+    fn update_load(&mut self, tenant: TenantId, new_load: f64) -> Result<LoadUpdateOutcome>;
 
     /// Moves one live replica of `tenant` from bin `from` to bin `to`,
     /// keeping every derived index the algorithm maintains consistent —
@@ -160,6 +201,10 @@ impl Consolidator for Box<dyn Consolidator> {
 
     fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport> {
         (**self).recover(failed)
+    }
+
+    fn update_load(&mut self, tenant: TenantId, new_load: f64) -> Result<LoadUpdateOutcome> {
+        (**self).update_load(tenant, new_load)
     }
 
     fn migrate(&mut self, tenant: TenantId, from: BinId, to: BinId) -> Result<()> {
@@ -234,6 +279,11 @@ mod tests {
             )
         }
 
+        fn update_load(&mut self, tenant: TenantId, new_load: f64) -> Result<LoadUpdateOutcome> {
+            let (old_load, bins) = self.placement.update_load(tenant, new_load)?;
+            Ok(LoadUpdateOutcome { tenant, old_load, new_load, bins })
+        }
+
         fn migrate(&mut self, tenant: TenantId, from: BinId, to: BinId) -> Result<()> {
             self.placement.move_replica(tenant, from, to)
         }
@@ -286,6 +336,27 @@ mod tests {
         assert_eq!(report.replicas_migrated, 1);
         assert!(boxed.placement().is_robust());
         assert_eq!(boxed.placement().level(a.bins[0]), 0.0);
+    }
+
+    #[test]
+    fn update_load_through_trait_objects() {
+        let mut boxed: Box<dyn Consolidator> = Box::new(FreshBins { placement: Placement::new(2) });
+        let a = boxed.place(Tenant::with_load(Load::new(0.4).unwrap())).unwrap();
+        let outcome = boxed.update_load(a.tenant, 0.6).unwrap();
+        assert!((outcome.old_load - 0.4).abs() < 1e-12);
+        assert!((outcome.new_load - 0.6).abs() < 1e-12);
+        assert!((outcome.delta() - 0.2).abs() < 1e-12);
+        assert_eq!(outcome.bins, a.bins);
+        assert!((boxed.placement().level(a.bins[0]) - 0.3).abs() < 1e-12);
+        // Typed validation propagates through the box.
+        assert!(matches!(
+            boxed.update_load(a.tenant, f64::NAN),
+            Err(crate::error::Error::InvalidLoad { .. })
+        ));
+        assert!(matches!(
+            boxed.update_load(TenantId::new(77), 0.5),
+            Err(crate::error::Error::UnknownTenant { .. })
+        ));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The CubeFit consolidation algorithm (paper §III, Algorithm 1).
 
-use crate::algorithm::{Consolidator, PlacementOutcome, PlacementStage, RemovalOutcome};
+use crate::algorithm::{
+    Consolidator, LoadUpdateOutcome, PlacementOutcome, PlacementStage, RemovalOutcome,
+};
 use crate::bin::BinId;
 use crate::class::Classifier;
 use crate::config::CubeFitConfig;
@@ -539,6 +541,24 @@ impl Consolidator for CubeFit {
         Ok(RemovalOutcome { tenant, load, bins })
     }
 
+    fn update_load(&mut self, tenant: TenantId, new_load: f64) -> Result<LoadUpdateOutcome> {
+        let (old_load, bins) = self.placement.update_load(tenant, new_load)?;
+        // The drift changes exactly these bins' levels and the shared loads
+        // among them; their mature slack keys must follow.
+        for &bin in &bins {
+            self.mature.update_slack(bin, self.slack(bin));
+        }
+        if new_load > old_load {
+            // Upward drift inflates replica sizes beyond what the cube's
+            // by-construction feasibility priced in: predicate-check every
+            // future cube tuple and stop the active multi-replica's growth.
+            // Downward drift only adds slack, so the fast path survives it.
+            self.cube_perturbed = true;
+            self.multi.seal_active();
+        }
+        Ok(LoadUpdateOutcome { tenant, old_load, new_load, bins })
+    }
+
     fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport> {
         let orphan_list = recovery::orphans(&self.placement, failed);
         let mut report = RecoveryReport::default();
@@ -715,6 +735,40 @@ mod tests {
         assert!(cf.placement().is_robust());
         let stats = cf.stats();
         assert_eq!(stats.stage2_placements + stats.stage1_placements, 4);
+    }
+
+    #[test]
+    fn update_load_rekeys_mature_slack_and_stays_auditable() {
+        let mut cf = cubefit(2, 10);
+        for id in 0..8 {
+            cf.place(tenant(id, 0.3 + 0.05 * (id % 4) as f64)).unwrap();
+        }
+        // Upward drift: mature slack shrinks and the cube fast path is off.
+        cf.update_load(TenantId::new(0), 0.7).unwrap();
+        assert!(cf.cube_perturbed, "upward drift must perturb the cube");
+        assert!(crate::oracle::audit(cf.placement()).is_ok());
+        // Downward drift: slack grows back; placements still work and the
+        // incremental indexes stay consistent with the oracle.
+        cf.update_load(TenantId::new(1), 0.05).unwrap();
+        assert!(crate::oracle::audit(cf.placement()).is_ok());
+        for id in 8..20 {
+            cf.place(tenant(id, 0.2 + 0.04 * (id % 5) as f64)).unwrap();
+        }
+        assert!(cf.placement().is_robust());
+        assert!(crate::oracle::audit(cf.placement()).is_ok());
+        let drifted = cf.placement().tenant_load(TenantId::new(0));
+        assert_eq!(drifted, Some(0.7));
+    }
+
+    #[test]
+    fn downward_drift_alone_keeps_cube_fast_path() {
+        let mut cf = cubefit(2, 5);
+        for id in 0..4 {
+            cf.place(tenant(id, 0.6)).unwrap();
+        }
+        cf.update_load(TenantId::new(2), 0.4).unwrap();
+        assert!(!cf.cube_perturbed, "shrinking loads only add slack");
+        assert!(crate::oracle::audit(cf.placement()).is_ok());
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod error;
 pub mod level_index;
 pub mod load;
 pub mod mfit;
+pub mod monitor;
 pub mod multireplica;
 pub mod oracle;
 pub mod placement;
@@ -73,7 +74,9 @@ pub mod smallbuf;
 pub mod tenant;
 pub mod validity;
 
-pub use algorithm::{Consolidator, PlacementOutcome, PlacementStage, RemovalOutcome};
+pub use algorithm::{
+    Consolidator, LoadUpdateOutcome, PlacementOutcome, PlacementStage, RemovalOutcome,
+};
 pub use bin::{BinClass, BinId, BinSnapshot};
 pub use class::{Classifier, ReplicaClass};
 pub use config::{CubeFitConfig, CubeFitConfigBuilder, Stage1Eligibility, TinyPolicy};
@@ -81,6 +84,7 @@ pub use cubefit::CubeFit;
 pub use dump::{DumpEntry, PlacementDump};
 pub use error::{Error, Result};
 pub use load::Load;
+pub use monitor::{MonitorReport, ServerHealth, ServerState};
 pub use oracle::{AuditedConsolidator, Divergence, DivergenceKind, Oracle};
 pub use placement::{FragmentationStats, Placement, PlacementStats};
 pub use recovery::RecoveryReport;

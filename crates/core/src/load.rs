@@ -22,8 +22,25 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub};
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Load(f64);
+
+// Serialized as a bare float. Deserialization routes through [`Load::new`]
+// so an out-of-range value on the wire is a typed decode error, never a
+// `Load` that skipped validation.
+#[cfg(feature = "serde")]
+impl serde::Serialize for Load {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::from(self.0)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Deserialize for Load {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let raw = <f64 as serde::Deserialize>::from_value(value)?;
+        Load::new(raw).map_err(|err| serde::DeError::custom(err.to_string()))
+    }
+}
 
 impl Load {
     /// Creates a load, validating that it lies in `(0, 1]` and is finite.
@@ -38,24 +55,6 @@ impl Load {
         } else {
             Err(Error::InvalidLoad { value })
         }
-    }
-
-    /// Creates a load without validating the range.
-    ///
-    /// Intended for trusted constant inputs in tests and examples; invalid
-    /// values will surface as placement errors later rather than memory
-    /// unsafety.
-    ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if `value` is outside `(0, 1]`.
-    #[must_use]
-    pub fn new_unchecked(value: f64) -> Self {
-        debug_assert!(
-            value.is_finite() && value > 0.0 && value <= 1.0,
-            "load {value} outside (0, 1]"
-        );
-        Load(value)
     }
 
     /// Returns the underlying `f64` value.
@@ -179,5 +178,19 @@ mod tests {
     #[test]
     fn display_shows_value() {
         assert_eq!(Load::new(0.5).unwrap().to_string(), "0.5");
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn serde_validates_on_deserialize() {
+        let load: Load = serde_json::from_str("0.5").unwrap();
+        assert_eq!(load.get(), 0.5);
+        assert_eq!(serde_json::to_string(&load).unwrap(), "0.5");
+        // Out-of-range wire values are rejected with the typed message, not
+        // smuggled past validation.
+        for bad in ["0.0", "-0.25", "2.0"] {
+            let err = serde_json::from_str::<Load>(bad).unwrap_err();
+            assert!(err.to_string().contains("outside the valid range"), "{bad}: {err}");
+        }
     }
 }

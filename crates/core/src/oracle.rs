@@ -14,7 +14,7 @@
 //! --audit` command catch unsound-but-plausible placements the moment they
 //! are produced, with a replayable JSON trace.
 
-use crate::algorithm::{Consolidator, PlacementOutcome, RemovalOutcome};
+use crate::algorithm::{Consolidator, LoadUpdateOutcome, PlacementOutcome, RemovalOutcome};
 use crate::bin::BinId;
 use crate::error::Result;
 use crate::placement::Placement;
@@ -448,6 +448,25 @@ impl<A: Consolidator> Consolidator for AuditedConsolidator<A> {
         Ok(report)
     }
 
+    /// Applies the load re-estimate via the wrapped algorithm, then audits
+    /// unconditionally — drift steps re-weight the shared-load matrix along
+    /// both add and sub paths, exactly where incremental bookkeeping is
+    /// most fragile, so every drift step is replayed against the oracle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the wrapped algorithm's errors untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the divergence list and a replayable dump if the
+    /// incremental bookkeeping disagrees with the oracle after the update.
+    fn update_load(&mut self, tenant: TenantId, new_load: f64) -> Result<LoadUpdateOutcome> {
+        let outcome = self.inner.update_load(tenant, new_load)?;
+        self.audit_or_panic(&format!("load update of tenant {} to {new_load}", tenant.get()));
+        Ok(outcome)
+    }
+
     /// Migrates via the wrapped algorithm, then audits unconditionally —
     /// every planned defrag move is replayed against the oracle, so a
     /// migration that corrupts a derived index is caught at the exact step
@@ -610,6 +629,10 @@ mod tests {
                 |_, _, _, _, _| {},
             )
         }
+        fn update_load(&mut self, tenant: TenantId, new_load: f64) -> Result<LoadUpdateOutcome> {
+            let (old_load, bins) = self.0.update_load(tenant, new_load)?;
+            Ok(LoadUpdateOutcome { tenant, old_load, new_load, bins })
+        }
         fn migrate(&mut self, tenant: TenantId, from: BinId, to: BinId) -> Result<()> {
             self.0.move_replica(tenant, from, to)
         }
@@ -659,6 +682,24 @@ mod tests {
     }
 
     #[test]
+    fn audited_wrapper_replays_load_updates() {
+        let mut audited = AuditedConsolidator::new(FreshBins(Placement::new(2)));
+        let a = audited.place(tenant(0, 0.5)).unwrap();
+        audited.place(tenant(1, 0.3)).unwrap();
+        let outcome = audited.update_load(TenantId::new(0), 0.9).unwrap();
+        assert!((outcome.old_load - 0.5).abs() < 1e-12);
+        assert_eq!(outcome.bins, a.bins);
+        assert!((audited.placement().level(a.bins[0]) - 0.45).abs() < 1e-12);
+        // Downward drift audits too.
+        audited.update_load(TenantId::new(0), 0.1).unwrap();
+        assert!((audited.placement().level(a.bins[0]) - 0.05).abs() < 1e-12);
+        // Invalid updates propagate as errors without tripping the audit.
+        assert!(audited.update_load(TenantId::new(0), 0.0).is_err());
+        assert!(audited.update_load(TenantId::new(9), 0.5).is_err());
+        assert!(audit(audited.placement()).is_ok());
+    }
+
+    #[test]
     fn duplicate_tenant_error_propagates_unaudited() {
         let mut p = Placement::new(2);
         let bins: Vec<BinId> = (0..2).map(|_| p.open_bin(None)).collect();
@@ -680,6 +721,14 @@ mod tests {
             }
             fn recover(&mut self, _failed: &[BinId]) -> Result<RecoveryReport> {
                 Ok(RecoveryReport::default())
+            }
+            fn update_load(
+                &mut self,
+                tenant: TenantId,
+                new_load: f64,
+            ) -> Result<LoadUpdateOutcome> {
+                let (old_load, bins) = self.0.update_load(tenant, new_load)?;
+                Ok(LoadUpdateOutcome { tenant, old_load, new_load, bins })
             }
             fn migrate(&mut self, tenant: TenantId, from: BinId, to: BinId) -> Result<()> {
                 self.0.move_replica(tenant, from, to)

@@ -159,6 +159,56 @@ impl Placement {
         Ok((record.load, record.bins))
     }
 
+    /// Re-estimates `tenant`'s load in place: every one of its `γ` replicas
+    /// changes from `old/γ` to `new_load/γ`, shifting bin levels, pairwise
+    /// shared loads and the total load incrementally. The hosting bins do
+    /// not change — this is the load-drift primitive, not a migration.
+    ///
+    /// The new load passes the same typed admission validation as
+    /// [`crate::Load::new`], so NaN, non-positive and above-capacity values
+    /// are rejected with an error in release builds too. Note that a drift
+    /// *upward* can push bins past the Theorem-1 reserve; callers watch for
+    /// that with [`crate::monitor::classify`] and react with the mitigation
+    /// planner rather than this method refusing the update (the load is a
+    /// measurement, not a request).
+    ///
+    /// Returns the previous load and the hosting bins so algorithms with
+    /// derived indexes can re-key exactly the affected bins.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidLoad`] if `new_load` is not a finite number in
+    ///   `(0, 1]`;
+    /// * [`Error::UnknownTenant`] if `tenant` is not in the placement.
+    pub fn update_load(&mut self, tenant: TenantId, new_load: f64) -> Result<(f64, Vec<BinId>)> {
+        let new_load = crate::load::Load::new(new_load)?.get();
+        let record = self.tenants.get(&tenant).ok_or(Error::UnknownTenant { tenant })?;
+        let old_load = record.load;
+        let bins = record.bins.clone();
+        let delta = (new_load - old_load) / self.gamma as f64;
+        for (i, &bin) in bins.iter().enumerate() {
+            let data = &mut self.bins[bin.0];
+            data.level = (data.level + delta).max(0.0);
+            for entry in &mut data.contents {
+                if entry.0 == tenant {
+                    entry.1 += delta;
+                }
+            }
+            if delta != 0.0 {
+                for &other in &bins[i + 1..] {
+                    if delta > 0.0 {
+                        self.shared.add(bin, other, delta);
+                    } else {
+                        self.shared.sub(bin, other, -delta);
+                    }
+                }
+            }
+        }
+        self.total_load = (self.total_load - old_load + new_load).max(0.0);
+        self.tenants.get_mut(&tenant).expect("checked above").load = new_load;
+        Ok((old_load, bins))
+    }
+
     /// Moves one replica of `tenant` from bin `from` to bin `to`, shifting
     /// its level and pairwise shared loads with the tenant's other bins.
     /// This is the recovery primitive: re-homing a replica orphaned by a
@@ -580,6 +630,56 @@ mod tests {
         assert!(p.move_replica(TenantId::new(0), b[2], b[0]).is_err());
         assert!(p.move_replica(TenantId::new(0), b[0], b[1]).is_err());
         assert!(p.move_replica(TenantId::new(0), b[0], BinId::new(99)).is_err());
+    }
+
+    #[test]
+    fn update_load_shifts_levels_shared_and_total() {
+        let (mut p, b) = three_bin_placement();
+        p.place_tenant(&tenant(0, 0.6), &[b[0], b[1]]).unwrap();
+        p.place_tenant(&tenant(1, 0.4), &[b[1], b[2]]).unwrap();
+        let (old, bins) = p.update_load(TenantId::new(0), 0.8).unwrap();
+        assert!((old - 0.6).abs() < 1e-12);
+        assert_eq!(bins, vec![b[0], b[1]]);
+        assert!((p.level(b[0]) - 0.4).abs() < 1e-12);
+        assert!((p.level(b[1]) - 0.6).abs() < 1e-12);
+        assert!((p.shared_load(b[0], b[1]) - 0.4).abs() < 1e-12);
+        assert!((p.shared_load(b[1], b[2]) - 0.2).abs() < 1e-12, "other tenants untouched");
+        assert!((p.total_load() - 1.2).abs() < 1e-12);
+        assert_eq!(p.tenant_load(TenantId::new(0)), Some(0.8));
+        // Downward drift reverses symmetrically.
+        p.update_load(TenantId::new(0), 0.2).unwrap();
+        assert!((p.level(b[0]) - 0.1).abs() < 1e-12);
+        assert!((p.shared_load(b[0], b[1]) - 0.1).abs() < 1e-12);
+        assert!((p.total_load() - 0.6).abs() < 1e-12);
+        // The incremental bookkeeping still matches a from-scratch rebuild.
+        assert!(crate::oracle::audit(&p).is_ok());
+    }
+
+    #[test]
+    fn update_load_rejects_invalid_values() {
+        let (mut p, b) = three_bin_placement();
+        p.place_tenant(&tenant(0, 0.5), &[b[0], b[1]]).unwrap();
+        for bad in [0.0, -0.3, 1.0 + 1e-6, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(p.update_load(TenantId::new(0), bad), Err(Error::InvalidLoad { .. })),
+                "load {bad} must be rejected"
+            );
+        }
+        assert!(matches!(p.update_load(TenantId::new(9), 0.5), Err(Error::UnknownTenant { .. })));
+        // Failed updates leave the placement untouched.
+        assert_eq!(p.tenant_load(TenantId::new(0)), Some(0.5));
+        assert!((p.level(b[0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_load_to_same_value_is_a_no_op() {
+        let (mut p, b) = three_bin_placement();
+        p.place_tenant(&tenant(0, 0.5), &[b[0], b[1]]).unwrap();
+        let (old, _) = p.update_load(TenantId::new(0), 0.5).unwrap();
+        assert!((old - 0.5).abs() < 1e-12);
+        assert!((p.level(b[0]) - 0.25).abs() < 1e-12);
+        assert!((p.shared_load(b[0], b[1]) - 0.25).abs() < 1e-12);
+        assert!(crate::oracle::audit(&p).is_ok());
     }
 
     #[test]

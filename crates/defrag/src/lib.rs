@@ -55,8 +55,14 @@
 
 pub mod budget;
 pub mod execute;
+pub mod mitigate;
 pub mod plan;
 
 pub use budget::MigrationBudget;
+pub use cubefit_core::EPSILON;
 pub use execute::{apply, DefragOutcome};
+pub use mitigate::{
+    apply_mitigation, plan_mitigation, plan_mitigation_with, MitigationOutcome, MitigationPlan,
+    ResidualRisk,
+};
 pub use plan::{plan, DefragPlan, DefragStep, PlannedClose};

@@ -18,12 +18,13 @@
 //! harness then doubles as a differential fuzzer.
 
 use crate::spec::{AlgorithmSpec, DistributionSpec};
+use cubefit_core::monitor::{classify_with, DEFAULT_AT_RISK_SLACK};
 use cubefit_core::oracle::AuditedConsolidator;
 use cubefit_core::recovery::{self, RecoveryReport};
 use cubefit_core::{BinId, Consolidator, FragmentationStats, Result, Tenant, TenantId};
-use cubefit_defrag::{DefragOutcome, MigrationBudget};
+use cubefit_defrag::{DefragOutcome, MigrationBudget, MitigationOutcome};
 use cubefit_telemetry::{Recorder, TraceEvent};
-use cubefit_workload::LoadModel;
+use cubefit_workload::{DriftEngine, DriftProfile, LoadModel};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -71,6 +72,44 @@ pub struct ChurnConfig {
     pub defrag_every: usize,
     /// Migration budget for each defrag epoch.
     pub defrag_budget: MigrationBudget,
+    /// Per-tenant load drift between ops (`None` keeps loads static, the
+    /// pre-drift behaviour).
+    pub drift: Option<DriftConfig>,
+}
+
+/// Load-drift settings for a churn run: how tenant loads evolve, how often
+/// a mitigation epoch runs, and under what migration budget.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DriftConfig {
+    /// How tracked client counts evolve each op.
+    pub profile: DriftProfile,
+    /// Run a mitigation epoch (monitor + plan + atomic apply) every N ops;
+    /// `0` leaves drift unmitigated (the monitor still records violations).
+    pub mitigate_every: usize,
+    /// Migration budget for each mitigation epoch.
+    pub budget: MigrationBudget,
+    /// Margin below which the invariant monitor flags a server as at risk.
+    pub at_risk_slack: f64,
+}
+
+impl DriftConfig {
+    /// A symmetric client-count random walk with no mitigation — the
+    /// "watch it break" configuration.
+    #[must_use]
+    pub fn random_walk(max_step: u32) -> Self {
+        DriftConfig {
+            profile: DriftProfile::RandomWalk { max_step },
+            mitigate_every: 0,
+            budget: MigrationBudget::unlimited(),
+            at_risk_slack: DEFAULT_AT_RISK_SLACK,
+        }
+    }
+
+    /// The same walk with a mitigation epoch every `every` ops.
+    #[must_use]
+    pub fn mitigated(max_step: u32, every: usize, budget: MigrationBudget) -> Self {
+        DriftConfig { mitigate_every: every, budget, ..DriftConfig::random_walk(max_step) }
+    }
 }
 
 impl ChurnConfig {
@@ -88,6 +127,7 @@ impl ChurnConfig {
             audit: false,
             defrag_every: 0,
             defrag_budget: MigrationBudget::default(),
+            drift: None,
         }
     }
 }
@@ -124,6 +164,22 @@ pub struct DefragEpoch {
     pub open_bins_after: usize,
 }
 
+/// One invariant-mitigation epoch of a churn run, as it happened. Epochs
+/// where the monitor found nothing to repair are not recorded.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MitigationEpoch {
+    /// Zero-based op index after which the epoch ran.
+    pub at_op: usize,
+    /// Servers the monitor flagged (violated + at risk) at planning time.
+    pub attention_before: usize,
+    /// Servers violated at planning time.
+    pub violated_before: usize,
+    /// Steps the planner scheduled under the epoch budget.
+    pub planned_steps: usize,
+    /// What applying the plan actually did, including the honest residue.
+    pub outcome: MitigationOutcome,
+}
+
 /// Everything a churn run produced, JSON-serializable for reports.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ChurnReport {
@@ -147,6 +203,15 @@ pub struct ChurnReport {
     pub defrag_epochs: Vec<DefragEpoch>,
     /// Servers closed by defragmentation across the whole run.
     pub servers_closed_by_defrag: usize,
+    /// Load-drift updates applied through `Consolidator::update_load`.
+    pub drift_updates: usize,
+    /// Servers the invariant monitor newly caught in violation (each
+    /// emitted once as [`TraceEvent::InvariantViolated`]).
+    pub drift_violations: usize,
+    /// Each mitigation epoch that found work, in order.
+    pub mitigation_epochs: Vec<MitigationEpoch>,
+    /// Flagged servers restored to safe margins by mitigation, run-wide.
+    pub servers_cured_by_mitigation: usize,
     /// Run-level aggregate recovery cost.
     pub recovery: RecoveryReport,
     /// Sum of all degraded windows (modeled seconds).
@@ -161,6 +226,10 @@ pub struct ChurnReport {
     pub final_load: f64,
     /// Fragmentation statistics of the final placement.
     pub fragmentation: FragmentationStats,
+    /// Servers violated in the final placement (monitor view).
+    pub final_violated: usize,
+    /// Servers at risk in the final placement (monitor view).
+    pub final_at_risk: usize,
     /// Whether the final placement satisfies Theorem 1.
     pub robust: bool,
 }
@@ -229,6 +298,10 @@ pub fn run_churn_consolidator(
         failure_events: Vec::new(),
         defrag_epochs: Vec::new(),
         servers_closed_by_defrag: 0,
+        drift_updates: 0,
+        drift_violations: 0,
+        mitigation_epochs: Vec::new(),
+        servers_cured_by_mitigation: 0,
         recovery: RecoveryReport::default(),
         degraded_seconds_total: 0.0,
         degraded_seconds_max: 0.0,
@@ -242,8 +315,18 @@ pub fn run_churn_consolidator(
             p10_fill: 0.0,
             fragmentation_ratio: 1.0,
         },
+        final_violated: 0,
+        final_at_risk: 0,
         robust: false,
     };
+
+    // Drift draws from its own seeded stream so enabling it never perturbs
+    // the op mix: a drifted run replays the exact arrival/departure/failure
+    // sequence of its static twin.
+    let mut drift_engine = config.drift.map(|d| {
+        DriftEngine::new(model, d.profile, config.seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    });
+    let mut known_violated: Vec<BinId> = Vec::new();
 
     let depart_band = config.failure_percent + config.departure_percent;
     for op in 0..config.ops {
@@ -271,6 +354,9 @@ pub fn run_churn_consolidator(
             let idx = rng.gen_range(0..alive.len());
             let tenant = alive.swap_remove(idx);
             let outcome = consolidator.remove(tenant)?;
+            if let Some(engine) = drift_engine.as_mut() {
+                engine.forget(tenant);
+            }
             report.departures += 1;
             report.departed_load += outcome.load;
         } else {
@@ -278,8 +364,22 @@ pub fn run_churn_consolidator(
             let tenant = Tenant::new(TenantId::new(next_id), model.load(clients));
             next_id += 1;
             consolidator.place(tenant)?;
+            if let Some(engine) = drift_engine.as_mut() {
+                engine.track(tenant.id(), clients);
+            }
             alive.push(tenant.id());
             report.arrivals += 1;
+        }
+        if let (Some(engine), Some(drift)) = (drift_engine.as_mut(), config.drift) {
+            drift_op(
+                &mut consolidator,
+                engine,
+                &drift,
+                op,
+                &recorder,
+                &mut known_violated,
+                &mut report,
+            )?;
         }
         if config.defrag_every > 0 && (op + 1) % config.defrag_every == 0 {
             let epoch = defrag_epoch(&mut consolidator, config.defrag_budget, op, &recorder)?;
@@ -293,8 +393,74 @@ pub fn run_churn_consolidator(
     report.final_open_bins = placement.open_bins();
     report.final_load = placement.total_load();
     report.fragmentation = placement.fragmentation();
+    let slack = config.drift.map_or(DEFAULT_AT_RISK_SLACK, |d| d.at_risk_slack);
+    let monitor = classify_with(placement, slack);
+    report.final_violated = monitor.violated.len();
+    report.final_at_risk = monitor.at_risk.len();
     report.robust = placement.is_robust();
     Ok((report, consolidator))
+}
+
+/// One post-op drift tick: advance every tracked tenant, replay the load
+/// updates through the consolidator (audited under `--audit`), let the
+/// monitor flag newly violated servers, and — at the mitigation stride —
+/// plan and atomically apply a mitigation epoch.
+fn drift_op(
+    consolidator: &mut Box<dyn Consolidator>,
+    engine: &mut DriftEngine,
+    drift: &DriftConfig,
+    op: usize,
+    recorder: &Recorder,
+    known_violated: &mut Vec<BinId>,
+    report: &mut ChurnReport,
+) -> Result<()> {
+    for update in engine.step() {
+        let outcome = consolidator.update_load(update.tenant, update.load)?;
+        recorder.emit(|| TraceEvent::LoadDrifted {
+            tenant: update.tenant.get(),
+            old_load: outcome.old_load,
+            new_load: outcome.new_load,
+            at: update.at,
+        });
+        report.drift_updates += 1;
+    }
+
+    // Emit each violated server once, when the monitor first catches it;
+    // a server that recovers and relapses is emitted again.
+    let monitor = classify_with(consolidator.placement(), drift.at_risk_slack);
+    for &(bin, deficit) in &monitor.violated {
+        if !known_violated.contains(&bin) {
+            recorder.emit(|| TraceEvent::InvariantViolated {
+                bin: bin.index(),
+                level: consolidator.placement().level(bin),
+                deficit,
+            });
+            report.drift_violations += 1;
+        }
+    }
+    *known_violated = monitor.violated.iter().map(|&(bin, _)| bin).collect();
+
+    if drift.mitigate_every > 0 && (op + 1).is_multiple_of(drift.mitigate_every) {
+        let plan = cubefit_defrag::plan_mitigation_with(
+            consolidator.placement(),
+            drift.budget,
+            drift.at_risk_slack,
+        );
+        if plan.attention_before > 0 {
+            let outcome = cubefit_defrag::apply_mitigation(&mut **consolidator, &plan, recorder)?;
+            // A cured server that later relapses is a fresh violation.
+            *known_violated = outcome.residual.violated.iter().map(|&(bin, _)| bin).collect();
+            report.servers_cured_by_mitigation += outcome.cured;
+            report.mitigation_epochs.push(MitigationEpoch {
+                at_op: op,
+                attention_before: plan.attention_before,
+                violated_before: plan.violated_before,
+                planned_steps: plan.steps.len(),
+                outcome,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Plans and atomically applies one defragmentation pass. Under `--audit`
@@ -519,6 +685,127 @@ mod tests {
             assert_eq!(a, b, "{} defrag must be deterministic", a.algorithm);
             assert!(a.robust, "{} not robust after defragged churn", a.algorithm);
         }
+    }
+
+    /// Flash-crowd drift: tenants burst well above baseline and decay
+    /// back, so packed-tight bins drift into Theorem-1 violations while
+    /// total load stays bounded (a curable scenario — unlike an unbounded
+    /// random walk, which eventually overloads the cluster globally).
+    fn bursty(mitigate_every: usize, budget: MigrationBudget) -> DriftConfig {
+        DriftConfig {
+            profile: DriftProfile::Burst { magnitude: 20, probability: 0.01 },
+            mitigate_every,
+            budget,
+            at_risk_slack: DEFAULT_AT_RISK_SLACK,
+        }
+    }
+
+    fn drifting(algorithm: AlgorithmSpec, seed: u64) -> ChurnConfig {
+        ChurnConfig {
+            departure_percent: 15,
+            failure_percent: 0,
+            audit: true,
+            drift: Some(bursty(0, MigrationBudget::unlimited())),
+            ..ChurnConfig::balanced(algorithm, 200, seed)
+        }
+    }
+
+    /// Pinned regression for the drift acceptance scenario: seed 31 under
+    /// unmitigated burst drift must leave the final placement violated
+    /// (the monitor caught servers mid-run), and the same run with
+    /// sufficient mitigation budget must end with zero violated servers.
+    #[test]
+    fn unmitigated_drift_violates_and_mitigation_cures() {
+        let unmitigated = drifting(AlgorithmSpec::CubeFit { gamma: 2, classes: 5 }, 31);
+        let broken = run_churn(&unmitigated).unwrap();
+        assert!(broken.drift_updates > 0, "seed 31 must actually drift");
+        assert!(
+            broken.drift_violations > 0 && broken.final_violated > 0 && !broken.robust,
+            "seed 31 must stay a drift-violation regression scenario: {} violations, {} final",
+            broken.drift_violations,
+            broken.final_violated
+        );
+
+        let mitigated =
+            ChurnConfig { drift: Some(bursty(10, MigrationBudget::unlimited())), ..unmitigated };
+        let cured = run_churn(&mitigated).unwrap();
+        assert!(!cured.mitigation_epochs.is_empty());
+        assert!(cured.servers_cured_by_mitigation > 0);
+        assert_eq!(
+            cured.final_violated,
+            0,
+            "sufficient budget must clear every violation: {:?}",
+            cured.mitigation_epochs.last()
+        );
+        // Same op mix: drift never perturbs the arrival/departure sequence.
+        assert_eq!((broken.arrivals, broken.departures), (cured.arrivals, cured.departures));
+    }
+
+    #[test]
+    fn insufficient_mitigation_budget_degrades_gracefully() {
+        let config = ChurnConfig {
+            drift: Some(bursty(10, MigrationBudget::moves(1))),
+            ..drifting(AlgorithmSpec::CubeFit { gamma: 2, classes: 5 }, 31)
+        };
+        let report = run_churn(&config).unwrap();
+        assert!(!report.mitigation_epochs.is_empty());
+        for epoch in &report.mitigation_epochs {
+            assert!(epoch.planned_steps <= 1, "budget caps every epoch");
+            assert!(!epoch.outcome.aborted, "nothing drifts between plan and apply");
+        }
+        // The honest residue matches the monitor's view of the run's end.
+        let last = report.mitigation_epochs.last().unwrap();
+        if last.at_op + 1 == report.ops {
+            assert_eq!(last.outcome.residual.violated.len(), report.final_violated);
+        }
+    }
+
+    #[test]
+    fn drift_is_deterministic_and_audited_for_every_algorithm() {
+        let specs = [
+            AlgorithmSpec::CubeFit { gamma: 2, classes: 5 },
+            AlgorithmSpec::Rfi { gamma: 2, mu: 0.85 },
+            AlgorithmSpec::BestFit { gamma: 2 },
+            AlgorithmSpec::FirstFit { gamma: 2 },
+            AlgorithmSpec::WorstFit { gamma: 2 },
+            AlgorithmSpec::NextFit { gamma: 2 },
+            AlgorithmSpec::RandomFit { gamma: 2, seed: 9 },
+        ];
+        for spec in specs {
+            let config = ChurnConfig {
+                ops: 120,
+                drift: Some(DriftConfig::mitigated(4, 15, MigrationBudget::moves(16))),
+                ..drifting(spec, 37)
+            };
+            let a = run_churn(&config).unwrap();
+            let b = run_churn(&config).unwrap();
+            assert_eq!(a, b, "{} drift must be deterministic", a.algorithm);
+            assert!(a.drift_updates > 0, "{} saw no drift", a.algorithm);
+        }
+    }
+
+    #[test]
+    fn drift_telemetry_emits_load_and_violation_events() {
+        use cubefit_telemetry::VecSink;
+        use std::sync::Arc;
+
+        let sink = Arc::new(VecSink::new());
+        let recorder = Recorder::with_sink(Arc::clone(&sink));
+        let config = ChurnConfig {
+            drift: Some(bursty(10, MigrationBudget::unlimited())),
+            ..drifting(AlgorithmSpec::CubeFit { gamma: 2, classes: 5 }, 31)
+        };
+        let report = run_churn_with(&config, recorder).unwrap();
+        let events = sink.events();
+        let drifted = events.iter().filter(|e| matches!(e, TraceEvent::LoadDrifted { .. })).count();
+        let violated =
+            events.iter().filter(|e| matches!(e, TraceEvent::InvariantViolated { .. })).count();
+        let planned =
+            events.iter().filter(|e| matches!(e, TraceEvent::MitigationPlanned { .. })).count();
+        assert_eq!(drifted, report.drift_updates);
+        assert_eq!(violated, report.drift_violations);
+        assert_eq!(planned, report.mitigation_epochs.len());
+        assert!(violated > 0 && planned > 0);
     }
 
     #[test]

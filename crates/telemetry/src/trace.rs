@@ -137,6 +137,40 @@ pub enum TraceEvent {
         /// Non-empty bins remaining after the close.
         total_open: usize,
     },
+    /// A tenant's measured load drifted and the placement was re-weighted
+    /// in place.
+    LoadDrifted {
+        /// Tenant id.
+        tenant: u64,
+        /// Load before the drift step.
+        old_load: f64,
+        /// Load after the drift step.
+        new_load: f64,
+        /// Drift-engine logical timestamp of the update.
+        at: u64,
+    },
+    /// The invariant monitor found a server whose Theorem-1 margin is
+    /// negative: a `γ−1`-failure set exists that overloads it.
+    InvariantViolated {
+        /// The violated bin.
+        bin: usize,
+        /// Bin load level at detection time.
+        level: f64,
+        /// How far past capacity the worst failure set pushes the bin.
+        deficit: f64,
+    },
+    /// A mitigation plan was computed over the monitor's at-risk and
+    /// violated servers.
+    MitigationPlanned {
+        /// Replica moves in the plan.
+        steps: usize,
+        /// Total replica load the plan moves.
+        moved_load: f64,
+        /// Servers the plan restores to a safe margin.
+        cured: usize,
+        /// Servers left violated or at risk after exhausting the budget.
+        residual: usize,
+    },
     /// A tenant finished placement.
     Placed {
         /// Tenant id.
@@ -247,6 +281,9 @@ mod tests {
             },
             TraceEvent::DefragPlanned { steps: 4, moved_load: 0.5, bins_to_close: 2, open_bins: 7 },
             TraceEvent::ServerClosed { bin: 5, level: 0.125, total_open: 6 },
+            TraceEvent::LoadDrifted { tenant: 8, old_load: 0.25, new_load: 0.375, at: 12 },
+            TraceEvent::InvariantViolated { bin: 6, level: 0.75, deficit: 0.0625 },
+            TraceEvent::MitigationPlanned { steps: 3, moved_load: 0.25, cured: 2, residual: 1 },
         ]
     }
 

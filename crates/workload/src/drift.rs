@@ -1,0 +1,324 @@
+//! Seeded per-tenant load-drift processes.
+//!
+//! The paper's system model treats a tenant's load as a *measurement* of
+//! the linear model `load = δ·c + β` at its current client count `c`
+//! (§IV). Client counts are not static: analytics tenants ramp up, burst,
+//! and cool down. This module generates deterministic, seeded drift
+//! processes over client counts and maps them through a [`LoadModel`] into
+//! timestamped [`LoadUpdate`] events that a consolidator replays via
+//! `Consolidator::update_load`.
+//!
+//! Two profiles are provided:
+//!
+//! * [`DriftProfile::RandomWalk`] — every step moves each tenant's client
+//!   count by a uniform amount in `[-max_step, +max_step]`, clamped to
+//!   `[1, C]`. Models slow organic growth/decline.
+//! * [`DriftProfile::Burst`] — with probability `probability` a tenant
+//!   jumps `magnitude` clients above its baseline (a flash crowd); on
+//!   non-burst steps the count decays halfway back toward the baseline.
+//!   Models spiky dashboards-at-9am workloads.
+//!
+//! ```
+//! use cubefit_workload::{DriftEngine, DriftProfile, LoadModel};
+//! use cubefit_core::TenantId;
+//!
+//! let mut engine = DriftEngine::new(
+//!     LoadModel::normalized(52),
+//!     DriftProfile::RandomWalk { max_step: 3 },
+//!     42,
+//! );
+//! engine.track(TenantId::new(0), 26);
+//! let updates = engine.step();
+//! for update in &updates {
+//!     assert!(update.load > 0.0 && update.load <= 1.0);
+//! }
+//! ```
+
+use crate::generator::TenantSequence;
+use crate::model::LoadModel;
+use cubefit_core::TenantId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One timestamped load-drift event: at step `at`, `tenant`'s client count
+/// became `clients`, so its measured load became `load`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LoadUpdate {
+    /// Logical timestamp: the engine step that produced this event.
+    pub at: u64,
+    /// The drifting tenant.
+    pub tenant: TenantId,
+    /// The tenant's new client count.
+    pub clients: u32,
+    /// The new load, mapped through the engine's [`LoadModel`] (always in
+    /// `(0, 1]`).
+    pub load: f64,
+}
+
+/// How client counts evolve from one step to the next.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DriftProfile {
+    /// Symmetric random walk: each step the count moves by a uniform
+    /// amount in `[-max_step, +max_step]`, clamped to `[1, C]`.
+    RandomWalk {
+        /// Largest per-step client-count change.
+        max_step: u32,
+    },
+    /// Burst/decay: with probability `probability` the count jumps to
+    /// `baseline + magnitude` (clamped to `C`); otherwise it halves its
+    /// distance to the baseline (rounding the remaining distance down, so
+    /// decay always completes).
+    Burst {
+        /// Clients added above the baseline when a burst fires.
+        magnitude: u32,
+        /// Per-step probability of a burst, in `[0, 1]`.
+        probability: f64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TenantDrift {
+    tenant: TenantId,
+    baseline: u32,
+    clients: u32,
+}
+
+/// Deterministic, seeded drift generator over a set of tracked tenants.
+///
+/// The engine owns a fixed-algorithm ChaCha8 stream, so a given
+/// `(model, profile, seed, track-order)` quadruple replays the same drift
+/// history on every platform. Tenants are stepped in tracking order; each
+/// [`Self::step`] advances the logical clock by one and returns an event
+/// for every tenant whose *load* actually changed (a client-count move too
+/// small to change the measured load is not reported).
+#[derive(Debug, Clone)]
+pub struct DriftEngine {
+    model: LoadModel,
+    profile: DriftProfile,
+    rng: ChaCha8Rng,
+    tenants: Vec<TenantDrift>,
+    clock: u64,
+}
+
+impl DriftEngine {
+    /// Creates an engine with no tracked tenants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile's burst `probability` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(model: LoadModel, profile: DriftProfile, seed: u64) -> Self {
+        if let DriftProfile::Burst { probability, .. } = profile {
+            assert!((0.0..=1.0).contains(&probability), "burst probability must lie in [0, 1]");
+        }
+        DriftEngine {
+            model,
+            profile,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            tenants: Vec::new(),
+            clock: 0,
+        }
+    }
+
+    /// The engine's clients→load model.
+    #[must_use]
+    pub fn model(&self) -> &LoadModel {
+        &self.model
+    }
+
+    /// Starts drifting `tenant` from `clients` (also its burst baseline).
+    /// Re-tracking a tenant resets its state.
+    pub fn track(&mut self, tenant: TenantId, clients: u32) {
+        let clients = clients.clamp(1, self.model.max_clients());
+        self.forget(tenant);
+        self.tenants.push(TenantDrift { tenant, baseline: clients, clients });
+    }
+
+    /// Tracks every tenant of a generated arrival sequence at its generated
+    /// client count.
+    pub fn track_sequence(&mut self, sequence: &TenantSequence) {
+        for spec in sequence {
+            self.track(spec.tenant.id(), spec.clients);
+        }
+    }
+
+    /// Stops drifting `tenant` (e.g. after a churn departure). Unknown
+    /// tenants are ignored.
+    pub fn forget(&mut self, tenant: TenantId) {
+        self.tenants.retain(|t| t.tenant != tenant);
+    }
+
+    /// Number of tenants currently drifting.
+    #[must_use]
+    pub fn tracked(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The logical clock: how many steps have run.
+    #[must_use]
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advances every tracked tenant by one drift step, returning an event
+    /// for each tenant whose measured load changed.
+    pub fn step(&mut self) -> Vec<LoadUpdate> {
+        self.clock += 1;
+        let max_clients = self.model.max_clients();
+        let mut updates = Vec::new();
+        // Split borrows: the profile/model are Copy, the RNG is stepped
+        // once per tenant regardless of outcome so drift histories stay
+        // aligned when tenants depart.
+        let profile = self.profile;
+        for state in &mut self.tenants {
+            let next = match profile {
+                DriftProfile::RandomWalk { max_step } => {
+                    if max_step == 0 {
+                        state.clients
+                    } else {
+                        let offset = self.rng.gen_range(0..=2 * max_step);
+                        // offset in [0, 2s] maps to a move in [-s, +s].
+                        (state.clients + offset).saturating_sub(max_step)
+                    }
+                }
+                DriftProfile::Burst { magnitude, probability } => {
+                    if self.rng.gen_bool(probability) {
+                        state.baseline.saturating_add(magnitude)
+                    } else if state.clients > state.baseline {
+                        state.baseline + (state.clients - state.baseline) / 2
+                    } else {
+                        state.baseline - (state.baseline - state.clients) / 2
+                    }
+                }
+            };
+            let next = next.clamp(1, max_clients);
+            if next == state.clients {
+                continue;
+            }
+            let old_load = self.model.load(state.clients).get();
+            state.clients = next;
+            let load = self.model.load(next).get();
+            if (load - old_load).abs() > f64::EPSILON {
+                updates.push(LoadUpdate {
+                    at: self.clock,
+                    tenant: state.tenant,
+                    clients: next,
+                    load,
+                });
+            }
+        }
+        updates
+    }
+
+    /// Runs `steps` steps, concatenating all events in timestamp order.
+    pub fn run(&mut self, steps: u64) -> Vec<LoadUpdate> {
+        let mut all = Vec::new();
+        for _ in 0..steps {
+            all.extend(self.step());
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::UniformClients;
+    use crate::generator::SequenceBuilder;
+
+    fn engine(profile: DriftProfile, seed: u64) -> DriftEngine {
+        DriftEngine::new(LoadModel::normalized(52), profile, seed)
+    }
+
+    #[test]
+    fn random_walk_is_deterministic_and_in_range() {
+        let build = |seed| {
+            let mut e = engine(DriftProfile::RandomWalk { max_step: 4 }, seed);
+            for id in 0..20 {
+                e.track(TenantId::new(id), 10 + (id as u32 % 30));
+            }
+            e.run(50)
+        };
+        let a = build(7);
+        assert_eq!(a, build(7));
+        assert_ne!(a, build(8));
+        assert!(!a.is_empty());
+        for update in &a {
+            assert!(update.load > 0.0 && update.load <= 1.0, "load {}", update.load);
+            assert!(update.clients >= 1 && update.clients <= 52);
+            assert!(update.at >= 1 && update.at <= 50);
+        }
+        // Timestamps are non-decreasing.
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn burst_profile_jumps_and_decays() {
+        let mut e = engine(DriftProfile::Burst { magnitude: 20, probability: 1.0 }, 3);
+        e.track(TenantId::new(1), 5);
+        let up = e.step();
+        assert_eq!(up.len(), 1);
+        assert_eq!(up[0].clients, 25);
+
+        let mut e = engine(DriftProfile::Burst { magnitude: 20, probability: 0.0 }, 3);
+        e.track(TenantId::new(1), 5);
+        assert!(e.step().is_empty(), "at baseline with no burst, nothing drifts");
+    }
+
+    #[test]
+    fn burst_decay_returns_to_baseline() {
+        let mut e = engine(DriftProfile::Burst { magnitude: 16, probability: 0.0 }, 0);
+        e.track(TenantId::new(1), 8);
+        // Force the tenant off baseline by re-tracking at the burst peak…
+        e.track(TenantId::new(1), 8);
+        e.tenants[0].clients = 24;
+        let mut last = 24;
+        for _ in 0..10 {
+            e.step();
+            let now = e.tenants[0].clients;
+            assert!(now <= last, "decay is monotone toward baseline");
+            last = now;
+        }
+        assert_eq!(last, 8, "decay completes");
+    }
+
+    #[test]
+    fn forget_stops_and_track_resets() {
+        let mut e = engine(DriftProfile::RandomWalk { max_step: 3 }, 1);
+        e.track(TenantId::new(1), 10);
+        e.track(TenantId::new(2), 10);
+        assert_eq!(e.tracked(), 2);
+        e.forget(TenantId::new(1));
+        assert_eq!(e.tracked(), 1);
+        let updates = e.run(20);
+        assert!(updates.iter().all(|u| u.tenant == TenantId::new(2)));
+        // Re-tracking replaces, not duplicates.
+        e.track(TenantId::new(2), 30);
+        assert_eq!(e.tracked(), 1);
+    }
+
+    #[test]
+    fn tracks_generated_sequences_and_clamps() {
+        let seq = SequenceBuilder::new(UniformClients::new(1, 15), LoadModel::normalized(52))
+            .count(30)
+            .seed(11)
+            .build();
+        let mut e = engine(DriftProfile::RandomWalk { max_step: 52 }, 5);
+        e.track_sequence(&seq);
+        assert_eq!(e.tracked(), 30);
+        for update in e.run(10) {
+            assert!(update.clients >= 1 && update.clients <= 52);
+            assert!(update.load > 0.0 && update.load <= 1.0);
+        }
+        assert_eq!(e.clock(), 10);
+    }
+
+    #[test]
+    fn zero_step_walk_never_drifts() {
+        let mut e = engine(DriftProfile::RandomWalk { max_step: 0 }, 9);
+        e.track(TenantId::new(4), 26);
+        assert!(e.run(25).is_empty());
+    }
+}

@@ -15,6 +15,9 @@
 //!   configurations;
 //! * [`SequenceBuilder`] — deterministic, seeded generation of tenant
 //!   arrival sequences;
+//! * [`DriftEngine`] — seeded per-tenant load drift (client-count random
+//!   walks and burst/decay profiles) emitting timestamped [`LoadUpdate`]
+//!   events for `Consolidator::update_load`;
 //! * [`trace`] — record/replay of generated sequences in JSON or a compact
 //!   binary format.
 //!
@@ -34,6 +37,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod distribution;
+pub mod drift;
 pub mod generator;
 pub mod model;
 pub mod trace;
@@ -42,6 +46,7 @@ pub mod zipf;
 pub use distribution::{
     ClientDistribution, ConstantClients, MixtureClients, UniformClients, ZipfClients,
 };
+pub use drift::{DriftEngine, DriftProfile, LoadUpdate};
 pub use generator::{SequenceBuilder, TenantSequence, TenantSpec};
 pub use model::LoadModel;
 pub use zipf::ZipfTable;
