@@ -1,0 +1,149 @@
+//! `cubefit analyze` — streaming JSONL trace analysis in O(open-servers)
+//! memory.
+
+use crate::args::ParsedArgs;
+use cubefit_telemetry::{analyze_reader, AnalyzeConfig};
+use std::fs::File;
+use std::io::BufReader;
+
+/// Flags accepted by `analyze`.
+pub const FLAGS: &[&str] = &["trace", "op-window", "bin-group", "out", "json", "expect-clean"];
+
+/// Usage line shown in `--help`.
+pub const USAGE: &str = "analyze TRACE.jsonl [--op-window N] [--bin-group N] \
+                         [--out REPORT.json] [--json] [--expect-clean]";
+
+/// Runs the command: streams the trace once through the analyzer and
+/// prints the human report (or the JSON report with `--json`).
+///
+/// # Errors
+///
+/// Returns a message for bad flags, unreadable traces — or, with
+/// `--expect-clean`, a trace containing violations, divergences,
+/// malformed lines, or a dirty final audit (so CI exits non-zero).
+pub fn run(args: &ParsedArgs) -> Result<String, String> {
+    args.expect_only(FLAGS).map_err(|e| e.to_string())?;
+    let path = match (args.positional.first(), args.get("trace")) {
+        (Some(p), _) => p.as_str(),
+        (None, Some(p)) => p,
+        (None, None) => return Err(format!("usage: {USAGE}")),
+    };
+    let config = AnalyzeConfig {
+        op_window: args.get_or("op-window", 10_000u64, "an integer").map_err(|e| e.to_string())?,
+        bin_group: args.get_or("bin-group", 8usize, "an integer").map_err(|e| e.to_string())?,
+    };
+    if config.op_window == 0 || config.bin_group == 0 {
+        return Err("--op-window and --bin-group must be positive".to_owned());
+    }
+    // BufReader + line-at-a-time analyzer: the trace never lives in
+    // memory, only the open-server set and bounded aggregates do.
+    let file = File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    let report = analyze_reader(BufReader::new(file), config)?;
+
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    let mut output = String::new();
+    if let Some(out_path) = args.get("out") {
+        std::fs::write(out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
+        output.push_str(&format!("analysis written to {out_path}\n"));
+    }
+    if args.has("json") {
+        output.push_str(&json);
+        output.push('\n');
+    } else {
+        output.push_str(&report.render());
+    }
+    if args.has("expect-clean") && !report.is_clean() {
+        return Err(format!(
+            "{output}trace is NOT clean: {} violations, {} divergences, {} malformed lines, \
+             final audit clean: {:?}",
+            report.violations_total,
+            report.divergences_total,
+            report.malformed_lines,
+            report.final_audit_clean,
+        ));
+    }
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubefit_telemetry::TraceReport;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("cubefit-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn soak_trace(name: &str, inject: Option<u64>) -> String {
+        let path = tmp(name);
+        let mut argv = vec![
+            "soak".to_owned(),
+            "--ops".to_owned(),
+            "1200".to_owned(),
+            "--seed".to_owned(),
+            "11".to_owned(),
+            "--checkpoint-every".to_owned(),
+            "100".to_owned(),
+            "--out".to_owned(),
+            tmp(&format!("{name}.report.json")),
+            "--trace-out".to_owned(),
+            path.clone(),
+        ];
+        if let Some(op) = inject {
+            argv.push("--inject-at".to_owned());
+            argv.push(op.to_string());
+            argv.push("--scenario-out".to_owned());
+            argv.push(tmp(&format!("{name}.scenario.json")));
+        }
+        let args = ParsedArgs::parse(argv).unwrap();
+        let result = super::super::soak::run(&args);
+        assert_eq!(result.is_err(), inject.is_some(), "{result:?}");
+        path
+    }
+
+    #[test]
+    fn analyzes_a_real_soak_trace_end_to_end() {
+        let trace = soak_trace("analyze-clean.jsonl", None);
+        let out_path = tmp("analyze-clean-report.json");
+        let args =
+            ParsedArgs::parse(["analyze", &trace, "--expect-clean", "--out", &out_path]).unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("analysis written to"), "{out}");
+        assert!(out.contains("events:"), "{out}");
+        let report: TraceReport =
+            serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert!(report.is_clean());
+        assert!(report.events.contains_key("SoakCheckpoint"), "{:?}", report.events);
+        assert!(report.audits > 0);
+        assert_eq!(report.final_audit_clean, Some(true));
+        assert!(!report.fragmentation.is_empty());
+    }
+
+    #[test]
+    fn expect_clean_fails_on_a_violating_trace() {
+        // Op 731 hits a well-populated placement (shared bins), so the
+        // inflated tenants push levels strictly past 1 — a violation, not
+        // just margin-zero at-risk.
+        let trace = soak_trace("analyze-dirty.jsonl", Some(731));
+        let args = ParsedArgs::parse(["analyze", &trace, "--expect-clean"]).unwrap();
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("NOT clean"), "{err}");
+        // Without the gate the same trace still analyzes fine.
+        let args = ParsedArgs::parse(["analyze", &trace, "--json"]).unwrap();
+        let out = run(&args).unwrap();
+        let report: TraceReport = serde_json::from_str(&out).unwrap();
+        assert!(report.violations_total > 0);
+    }
+
+    #[test]
+    fn rejects_missing_trace_and_bad_windows() {
+        let args = ParsedArgs::parse(["analyze"]).unwrap();
+        assert!(run(&args).unwrap_err().contains("usage"));
+        let args = ParsedArgs::parse(["analyze", "x.jsonl", "--op-window", "0"]).unwrap();
+        assert!(run(&args).unwrap_err().contains("positive"));
+        let args = ParsedArgs::parse(["analyze", "/nonexistent/trace.jsonl"]).unwrap();
+        assert!(run(&args).unwrap_err().contains("opening"));
+    }
+}

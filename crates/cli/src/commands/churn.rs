@@ -154,7 +154,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     let trace_out = args.get("trace-out");
     let recorder = telemetry_out::recorder_for(metrics_out, trace_out)?;
     let report = run_churn_with(&config, recorder.clone()).map_err(|e| e.to_string())?;
-    recorder.flush();
+    recorder.flush()?;
 
     let json = report.to_json();
     let mut output = String::new();

@@ -50,7 +50,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
             format!("{:.1?}", result.wall),
         ]);
     }
-    recorder.flush();
+    recorder.flush()?;
     let mut output = table.render();
     if let Some((name, servers)) = best {
         output.push_str(&format!("\nbest: {name} with {servers} servers\n"));

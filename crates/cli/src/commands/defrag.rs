@@ -98,7 +98,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
                 .map_err(|e| e.to_string())?,
         )
     };
-    recorder.flush();
+    recorder.flush()?;
     let after = consolidator.placement().fragmentation();
     let robust = consolidator.placement().is_robust();
 

@@ -1,0 +1,187 @@
+//! `cubefit metrics` — offline rollup/diff views over metrics snapshots
+//! written by `--metrics-out`.
+
+use crate::args::ParsedArgs;
+use cubefit_telemetry::MetricsSnapshot;
+
+/// Flags accepted by `metrics`.
+pub const FLAGS: &[&str] = &["in", "diff", "rollup", "tree", "out", "json"];
+
+/// Usage line shown in `--help`.
+pub const USAGE: &str = "metrics METRICS.json [--diff EARLIER.json] [--rollup k1,k2] \
+                         [--tree k1,k2] [--out ROLLED.json] [--json]";
+
+fn load(path: &str) -> Result<MetricsSnapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("bad metrics file {path}: {e}"))
+}
+
+fn split_keys(raw: &str) -> Vec<&str> {
+    raw.split(',').map(str::trim).filter(|k| !k.is_empty()).collect()
+}
+
+/// Flat text rendering of a (rolled-up) snapshot: one line per metric
+/// cell, labels inline.
+fn render_flat(snapshot: &MetricsSnapshot) -> String {
+    fn labels(pairs: &[(String, String)]) -> String {
+        if pairs.is_empty() {
+            String::new()
+        } else {
+            let inner: Vec<String> = pairs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+    let mut out = String::new();
+    for c in &snapshot.counters {
+        out.push_str(&format!("counter {}{} = {}\n", c.name, labels(&c.labels), c.value));
+    }
+    for g in &snapshot.gauges {
+        out.push_str(&format!("gauge   {}{} = {:.4}\n", g.name, labels(&g.labels), g.value));
+    }
+    for h in &snapshot.histograms {
+        out.push_str(&format!(
+            "hist    {}{} : count {} sum {:.6} p50 {:.6} p99 {:.6}\n",
+            h.name,
+            labels(&h.labels),
+            h.histogram.count,
+            h.histogram.sum,
+            h.histogram.p50,
+            h.histogram.p99,
+        ));
+    }
+    out
+}
+
+/// Runs the command: loads a snapshot, optionally subtracts an earlier one
+/// (`--diff`), then prints either a hierarchical rollup tree (`--tree`) or
+/// a flat rollup onto the given label keys (`--rollup`, default: grand
+/// totals per metric name).
+///
+/// # Errors
+///
+/// Returns a message for bad flags, unreadable/malformed snapshot files,
+/// or combining `--rollup` with `--tree`.
+pub fn run(args: &ParsedArgs) -> Result<String, String> {
+    args.expect_only(FLAGS).map_err(|e| e.to_string())?;
+    let path = match (args.positional.first(), args.get("in")) {
+        (Some(p), _) => p.as_str(),
+        (None, Some(p)) => p,
+        (None, None) => return Err(format!("usage: {USAGE}")),
+    };
+    if args.get("rollup").is_some() && args.get("tree").is_some() {
+        return Err("--rollup and --tree are mutually exclusive".to_owned());
+    }
+    let mut snapshot = load(path)?;
+    if let Some(earlier_path) = args.get("diff") {
+        let earlier = load(earlier_path)?;
+        snapshot = snapshot.diff(&earlier);
+    }
+
+    let mut output = String::new();
+    let rolled;
+    if let Some(raw) = args.get("tree") {
+        let hierarchy = split_keys(raw);
+        let tree = snapshot.rollup_tree(&hierarchy);
+        output.push_str(&tree.render());
+        rolled = tree.metrics;
+    } else {
+        let keys = args.get("rollup").map(split_keys).unwrap_or_default();
+        rolled = snapshot.rollup(&keys);
+        if args.has("json") {
+            output.push_str(&serde_json::to_string_pretty(&rolled).map_err(|e| e.to_string())?);
+            output.push('\n');
+        } else {
+            output.push_str(&render_flat(&rolled));
+        }
+    }
+    if let Some(out_path) = args.get("out") {
+        let json = serde_json::to_string_pretty(&rolled).map_err(|e| e.to_string())?;
+        std::fs::write(out_path, json).map_err(|e| format!("writing {out_path}: {e}"))?;
+        output.push_str(&format!("rollup written to {out_path}\n"));
+    }
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("cubefit-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    /// Runs a short soak with `--metrics-out` to get a real snapshot file.
+    fn metrics_file(name: &str) -> String {
+        let path = tmp(name);
+        let args = ParsedArgs::parse([
+            "soak",
+            "--ops",
+            "400",
+            "--seed",
+            "5",
+            "--out",
+            &tmp(&format!("{name}.report.json")),
+            "--metrics-out",
+            &path,
+        ])
+        .unwrap();
+        super::super::soak::run(&args).unwrap();
+        path
+    }
+
+    #[test]
+    fn rolls_a_real_snapshot_onto_prefix_keys() {
+        let path = metrics_file("metrics-roll.json");
+        // Grand totals: every cell collapses to one line per metric name.
+        let args = ParsedArgs::parse(["metrics", &path]).unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("counter "), "{out}");
+        // Per-algorithm rollup keeps the algorithm label.
+        let args = ParsedArgs::parse(["metrics", &path, "--rollup", "algorithm"]).unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("{algorithm=") || out.contains("counter "), "{out}");
+        // JSON output parses back into a snapshot.
+        let args = ParsedArgs::parse(["metrics", &path, "--json"]).unwrap();
+        let rolled: MetricsSnapshot = serde_json::from_str(&run(&args).unwrap()).unwrap();
+        assert!(!rolled.counters.is_empty());
+    }
+
+    #[test]
+    fn tree_renders_a_hierarchy_and_out_writes_json() {
+        let path = metrics_file("metrics-tree.json");
+        let rolled_path = tmp("metrics-rolled.json");
+        let args =
+            ParsedArgs::parse(["metrics", &path, "--tree", "algorithm", "--out", &rolled_path])
+                .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.starts_with("total"), "{out}");
+        assert!(out.contains("rollup written to"), "{out}");
+        let rolled: MetricsSnapshot =
+            serde_json::from_str(&std::fs::read_to_string(&rolled_path).unwrap()).unwrap();
+        assert!(!rolled.counters.is_empty());
+    }
+
+    #[test]
+    fn diff_subtracts_the_earlier_snapshot() {
+        let path = metrics_file("metrics-diff.json");
+        // Diffing a snapshot against itself zeroes every counter.
+        let args = ParsedArgs::parse(["metrics", &path, "--diff", &path, "--json"]).unwrap();
+        let rolled: MetricsSnapshot = serde_json::from_str(&run(&args).unwrap()).unwrap();
+        assert!(rolled.counters.iter().all(|c| c.value == 0), "{rolled:?}");
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        let args = ParsedArgs::parse(["metrics"]).unwrap();
+        assert!(run(&args).unwrap_err().contains("usage"));
+        let args =
+            ParsedArgs::parse(["metrics", "m.json", "--rollup", "a", "--tree", "b"]).unwrap();
+        assert!(run(&args).unwrap_err().contains("mutually exclusive"));
+        let bad = tmp("metrics-bad.json");
+        std::fs::write(&bad, "nope").unwrap();
+        let args = ParsedArgs::parse(["metrics", &bad]).unwrap();
+        assert!(run(&args).unwrap_err().contains("bad metrics file"));
+    }
+}

@@ -4,14 +4,18 @@
 //! output (errors as `String` messages), so the whole CLI surface is unit
 //! tested without spawning processes.
 
+pub mod analyze;
 pub mod check;
 pub mod churn;
 pub mod compare;
 pub mod defrag;
 pub mod drift;
 pub mod generate;
+pub mod metrics;
 pub mod place;
+pub mod replay;
 pub mod simulate;
+pub mod soak;
 
 use cubefit_workload::{LoadModel, SequenceBuilder, TenantSequence};
 

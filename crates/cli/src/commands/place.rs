@@ -33,7 +33,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     let recorder = telemetry_out::recorder_for(metrics_out, trace_out)?;
     let result =
         cubefit_sim::run_sequence_with(&spec, &sequence, &recorder).map_err(|e| e.to_string())?;
-    recorder.flush();
+    recorder.flush()?;
     let mut output = format!(
         "{algo}: {tenants} tenants on {servers} servers \
          (utilization {util:.1}%, robust: {robust}, placed in {wall:.1?})\n",

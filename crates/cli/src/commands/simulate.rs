@@ -101,7 +101,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
             worst_margin: check.worst_margin,
             violations: check.violations.len(),
         });
-        sink.flush();
+        sink.flush()?;
         extra.push_str(&format!("failure trace written to {path}\n"));
     }
 

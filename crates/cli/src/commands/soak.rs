@@ -1,0 +1,241 @@
+//! `cubefit soak` — long-horizon audited soak runs with shrinking repros.
+
+use crate::args::ParsedArgs;
+use crate::spec_parse;
+use crate::telemetry_out;
+use cubefit_sim::soak::{run_soak_with, SoakConfig};
+
+/// Flags accepted by `soak`.
+pub const FLAGS: &[&str] = &[
+    "algorithm",
+    "gamma",
+    "distribution",
+    "ops",
+    "seed",
+    "departures",
+    "failures",
+    "max-failures",
+    "audit-every",
+    "checkpoint-every",
+    "defrag-every",
+    "defrag-moves",
+    "defrag-load",
+    "drift",
+    "profile",
+    "mitigate-every",
+    "mitigate-moves",
+    "mitigate-load",
+    "slack",
+    "inject-at",
+    "fail-on-violation",
+    "out",
+    "scenario-out",
+    "metrics-out",
+    "trace-out",
+];
+
+/// Usage line shown in `--help`.
+pub const USAGE: &str = "soak [--algorithm cubefit] [--gamma G] [--ops N] [--seed S] \
+                         [--departures PCT] [--failures PCT] [--audit-every N] \
+                         [--checkpoint-every N] [--defrag-every N] [--drift] \
+                         [--inject-at OP] [--fail-on-violation BOOL] [--out REPORT.json] \
+                         [--scenario-out SCENARIO.json] [--metrics-out M.json] \
+                         [--trace-out EVENTS.jsonl]";
+
+/// Builds a [`SoakConfig`] from parsed flags (shared with `replay`'s
+/// documentation of the scenario format).
+pub(crate) fn config_from(args: &ParsedArgs) -> Result<SoakConfig, String> {
+    let gamma: usize = args.get_or("gamma", 2usize, "an integer").map_err(|e| e.to_string())?;
+    let algorithm = spec_parse::parse_algorithm(args.get("algorithm").unwrap_or("cubefit"), gamma)?;
+    let distribution =
+        spec_parse::parse_distribution(args.get("distribution").unwrap_or("uniform:1-15"))?;
+    let ops: u64 = args.get_or("ops", 100_000u64, "an integer").map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 0u64, "an integer").map_err(|e| e.to_string())?;
+    let mut config = SoakConfig::steady(algorithm, ops, seed);
+    config.distribution = distribution;
+    config.departure_percent = args
+        .get_or("departures", config.departure_percent, "a percentage")
+        .map_err(|e| e.to_string())?;
+    config.failure_percent = args
+        .get_or("failures", config.failure_percent, "a percentage")
+        .map_err(|e| e.to_string())?;
+    if config.departure_percent + config.failure_percent > 100 {
+        return Err(format!(
+            "--departures {} plus --failures {} exceeds 100%",
+            config.departure_percent, config.failure_percent
+        ));
+    }
+    config.max_failures = args
+        .get_or("max-failures", config.max_failures, "an integer")
+        .map_err(|e| e.to_string())?;
+    if config.max_failures >= config.algorithm.gamma() {
+        return Err(format!(
+            "--max-failures {} would breach availability: at most γ−1 = {} servers may fail \
+             per event",
+            config.max_failures,
+            config.algorithm.gamma() - 1
+        ));
+    }
+    config.audit_every =
+        args.get_or("audit-every", config.audit_every, "an integer").map_err(|e| e.to_string())?;
+    config.checkpoint_every = args
+        .get_or("checkpoint-every", config.checkpoint_every, "an integer")
+        .map_err(|e| e.to_string())?;
+    config.defrag_every =
+        args.get_or("defrag-every", 0u64, "an integer").map_err(|e| e.to_string())?;
+    config.defrag_budget = super::churn::budget_from(args)?;
+    config.drift = if args.has("drift") { Some(super::churn::drift_from(args)?) } else { None };
+    config.inject_at = match args.get("inject-at") {
+        None => None,
+        Some(_) => Some(args.get_or("inject-at", 0u64, "an op index").map_err(|e| e.to_string())?),
+    };
+    // Drifted runs expect transient violations (mitigation trails the
+    // drift), so only static-load runs fail on one by default.
+    config.fail_on_violation = args
+        .get_or("fail-on-violation", config.drift.is_none(), "true or false")
+        .map_err(|e| e.to_string())?;
+    Ok(config)
+}
+
+/// Runs the command. A clean soak returns its report; a soak that detects
+/// an audit failure or invariant violation writes the replayable scenario
+/// file and returns an error so scripted runs exit non-zero.
+///
+/// # Errors
+///
+/// Returns a message for bad flags, bad specs, I/O failures — or a failed
+/// soak (after writing the scenario file).
+pub fn run(args: &ParsedArgs) -> Result<String, String> {
+    args.expect_only(FLAGS).map_err(|e| e.to_string())?;
+    let config = config_from(args)?;
+    let metrics_out = args.get("metrics-out");
+    let trace_out = args.get("trace-out");
+    let recorder = telemetry_out::recorder_for(metrics_out, trace_out)?;
+    let report = run_soak_with(&config, recorder.clone()).map_err(|e| e.to_string())?;
+    recorder.flush()?;
+
+    let mut output = String::new();
+    let json = report.to_json();
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        output.push_str(&format!("soak report written to {path}\n"));
+    } else {
+        output.push_str(&json);
+        output.push('\n');
+    }
+    if let Some(path) = metrics_out {
+        telemetry_out::write_metrics(path, &recorder.snapshot())?;
+        output.push_str(&format!("metrics written to {path}\n"));
+    }
+    if let Some(path) = trace_out {
+        output.push_str(&format!("soak trace written to {path}\n"));
+    }
+    output.push_str(&format!(
+        "{} (seed {}): {}/{} ops — {} arrivals, {} departures, {} failure events; \
+         {} audits ({} failed), {} checkpoints, {} violations; \
+         final: {} tenants on {} bins, fragmentation {:.3}, robust {}\n",
+        report.algorithm,
+        report.seed,
+        report.ops_run,
+        report.ops_requested,
+        report.arrivals,
+        report.departures,
+        report.failure_events,
+        report.audits,
+        report.audit_failures,
+        report.checkpoints,
+        report.violations,
+        report.final_tenants,
+        report.final_open_bins,
+        report.final_fragmentation,
+        report.robust,
+    ));
+
+    match (&report.failure, &report.scenario) {
+        (Some(failure), Some(scenario)) => {
+            let path = args.get("scenario-out").unwrap_or("cubefit-soak-scenario.json");
+            std::fs::write(path, scenario.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+            Err(format!(
+                "{output}soak FAILED at op {}: {}\n\
+                 replayable scenario (ops {}..={}) written to {path}\n\
+                 shrink it with: cubefit replay {path} --shrink",
+                failure.op, failure.reason, scenario.window_lo, scenario.window_hi,
+            ))
+        }
+        _ => Ok(output),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubefit_sim::soak::{SoakReport, SoakScenario};
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("cubefit-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn clean_soak_reports_audits_and_checkpoints() {
+        let out_path = tmp("soak-report.json");
+        let args = ParsedArgs::parse([
+            "soak",
+            "--ops",
+            "1500",
+            "--seed",
+            "11",
+            "--audit-every",
+            "300",
+            "--checkpoint-every",
+            "150",
+            "--out",
+            &out_path,
+        ])
+        .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("soak report written to"), "{out}");
+        assert!(out.contains("robust true"), "{out}");
+        let report: SoakReport =
+            serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert_eq!(report.ops_run, 1500);
+        assert!(report.failure.is_none());
+        assert_eq!(report.final_audit_divergences, Some(0));
+        assert!(report.audits >= 5);
+    }
+
+    #[test]
+    fn injected_fault_writes_scenario_and_fails_the_command() {
+        let scenario_path = tmp("soak-scenario.json");
+        let args = ParsedArgs::parse([
+            "soak",
+            "--ops",
+            "2000",
+            "--seed",
+            "11",
+            "--checkpoint-every",
+            "100",
+            "--inject-at",
+            "731",
+            "--scenario-out",
+            &scenario_path,
+        ])
+        .unwrap();
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("soak FAILED"), "{err}");
+        assert!(err.contains("replayable scenario"), "{err}");
+        let scenario =
+            SoakScenario::from_json(&std::fs::read_to_string(&scenario_path).unwrap()).unwrap();
+        assert!(scenario.window_lo <= 731 && 731 <= scenario.window_hi);
+        assert_eq!(scenario.config.inject_at, Some(731));
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_mixes() {
+        let args = ParsedArgs::parse(["soak", "--frobnicate", "1"]).unwrap();
+        assert!(run(&args).is_err());
+        let args = ParsedArgs::parse(["soak", "--departures", "80", "--failures", "30"]).unwrap();
+        assert!(run(&args).unwrap_err().contains("exceeds 100%"));
+    }
+}

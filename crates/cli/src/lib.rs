@@ -12,6 +12,9 @@
 //! $ cubefit compare --trace fleet.cft --algorithms cubefit,rfi,bestfit
 //! $ cubefit simulate fleet.json --trace fleet.cft --failures 1
 //! $ cubefit churn --algorithm cubefit --gamma 3 --ops 2000 --audit
+//! $ cubefit soak --ops 1000000 --seed 7 --trace-out soak.jsonl
+//! $ cubefit analyze soak.jsonl --expect-clean
+//! $ cubefit replay cubefit-soak-scenario.json --shrink
 //! ```
 //!
 //! Every subcommand is a pure function from parsed arguments to output
@@ -33,7 +36,7 @@ pub fn help() -> String {
     format!(
         "cubefit — robust multi-tenant server consolidation (ICDCS 2017 reproduction)\n\n\
          USAGE:\n  cubefit <COMMAND> [FLAGS]\n\n\
-         COMMANDS:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  help\n",
+         COMMANDS:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  help\n",
         commands::generate::USAGE,
         commands::place::USAGE,
         commands::check::USAGE,
@@ -42,6 +45,10 @@ pub fn help() -> String {
         commands::churn::USAGE,
         commands::defrag::USAGE,
         commands::drift::USAGE,
+        commands::soak::USAGE,
+        commands::analyze::USAGE,
+        commands::replay::USAGE,
+        commands::metrics::USAGE,
     )
 }
 
@@ -61,6 +68,10 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, String> {
         Some("churn") => commands::churn::run(args),
         Some("defrag") => commands::defrag::run(args),
         Some("drift") => commands::drift::run(args),
+        Some("soak") => commands::soak::run(args),
+        Some("analyze") => commands::analyze::run(args),
+        Some("replay") => commands::replay::run(args),
+        Some("metrics") => commands::metrics::run(args),
         Some("help") | None => Ok(help()),
         Some(other) => Err(format!("unknown command '{other}'\n\n{}", help())),
     }
@@ -73,9 +84,10 @@ mod tests {
     #[test]
     fn help_lists_every_command() {
         let text = help();
-        for command in
-            ["generate", "place", "check", "compare", "simulate", "churn", "defrag", "drift"]
-        {
+        for command in [
+            "generate", "place", "check", "compare", "simulate", "churn", "defrag", "drift",
+            "soak", "analyze", "replay", "metrics",
+        ] {
             assert!(text.contains(command), "help missing {command}");
         }
     }

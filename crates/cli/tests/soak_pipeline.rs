@@ -1,0 +1,87 @@
+//! End-to-end observability pipeline through the public `dispatch`
+//! surface: soak → streamed trace → analyze → metrics rollup, and the
+//! failure path soak → scenario → replay → shrink → pinned regression.
+
+use cubefit_cli::args::ParsedArgs;
+use cubefit_cli::dispatch;
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("cubefit-cli-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+fn run(argv: &[&str]) -> Result<String, String> {
+    dispatch(&ParsedArgs::parse(argv.iter().copied()).unwrap())
+}
+
+#[test]
+fn clean_soak_analyzes_clean_and_rolls_up() {
+    let trace = tmp("pipeline.jsonl");
+    let metrics = tmp("pipeline-metrics.json");
+    let report = tmp("pipeline-report.json");
+    let analysis = tmp("pipeline-analysis.json");
+
+    let out = run(&[
+        "soak",
+        "--ops",
+        "3000",
+        "--seed",
+        "42",
+        "--audit-every",
+        "500",
+        "--checkpoint-every",
+        "250",
+        "--out",
+        &report,
+        "--trace-out",
+        &trace,
+        "--metrics-out",
+        &metrics,
+    ])
+    .unwrap();
+    assert!(out.contains("robust true"), "{out}");
+
+    // The analyzer must agree the streamed trace is clean — the same gate
+    // CI's soak-smoke job relies on.
+    let out = run(&["analyze", &trace, "--expect-clean", "--out", &analysis]).unwrap();
+    assert!(out.contains("events:"), "{out}");
+
+    // The rollup view consumes the metrics snapshot the run wrote.
+    let out = run(&["metrics", &metrics, "--tree", "algorithm"]).unwrap();
+    assert!(out.starts_with("total"), "{out}");
+    // Diff of a snapshot against itself zeroes the interval.
+    let out = run(&["metrics", &metrics, "--diff", &metrics, "--json"]).unwrap();
+    assert!(out.contains("\"counters\""), "{out}");
+}
+
+#[test]
+fn failing_soak_shrinks_to_a_pinned_regression() {
+    let scenario = tmp("pipeline-scenario.json");
+    let pinned = tmp("pipeline-pinned.json");
+
+    let err = run(&[
+        "soak",
+        "--ops",
+        "2000",
+        "--seed",
+        "11",
+        "--checkpoint-every",
+        "100",
+        "--inject-at",
+        "731",
+        "--out",
+        &tmp("pipeline-fail-report.json"),
+        "--scenario-out",
+        &scenario,
+    ])
+    .unwrap_err();
+    assert!(err.contains("soak FAILED"), "{err}");
+
+    let out = run(&["replay", &scenario, "--shrink", "--out", &pinned]).unwrap();
+    assert!(out.contains("first failing op is 731"), "{out}");
+
+    // The pinned one-op scenario is itself a standing regression test.
+    let out = run(&["replay", &pinned]).unwrap();
+    assert!(out.contains("failure at op 731"), "{out}");
+}

@@ -466,7 +466,7 @@ fn drift_op(
 /// Plans and atomically applies one defragmentation pass. Under `--audit`
 /// the consolidator is an [`AuditedConsolidator`], so every migration the
 /// epoch applies is replayed against the oracle.
-fn defrag_epoch(
+pub(crate) fn defrag_epoch(
     consolidator: &mut Box<dyn Consolidator>,
     budget: MigrationBudget,
     at_op: usize,
@@ -486,7 +486,7 @@ fn defrag_epoch(
 
 /// Fails up to `max_failures` distinct loaded bins and immediately runs
 /// online re-replication, emitting the failure/recovery trace events.
-fn fail_and_recover(
+pub(crate) fn fail_and_recover(
     consolidator: &mut dyn Consolidator,
     loaded_bins: &[BinId],
     max_failures: usize,

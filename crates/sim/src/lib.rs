@@ -16,6 +16,9 @@
 //! * [`churn`] — seeded arrival/departure/failure interleavings with
 //!   online re-replication, recovery-cost accounting and the modeled
 //!   degraded-window metric;
+//! * [`soak`] — the long-horizon variant: million-op steady-state runs
+//!   with sampled oracle audits, streaming checkpoints, and failure
+//!   scenarios that replay and shrink to pinned regressions;
 //! * [`cost`] — the EC2 cost model behind Table I;
 //! * [`stats`] — mean/stddev/CI helpers;
 //! * [`report`] — plain-text table rendering and JSON output for the bench
@@ -30,6 +33,7 @@ pub mod experiment;
 pub mod failure;
 pub mod report;
 pub mod runner;
+pub mod soak;
 pub mod spec;
 pub mod stats;
 
@@ -40,5 +44,9 @@ pub use cost::CostModel;
 pub use experiment::{compare, ComparisonConfig, ComparisonResult};
 pub use failure::{run_failure_experiment, FailureExperimentConfig, FailureOutcome};
 pub use runner::{run_sequence, run_sequence_with, RunResult};
+pub use soak::{
+    replay, run_soak, run_soak_with, shrink, ShrinkOutcome, SoakConfig, SoakFailure, SoakReport,
+    SoakScenario,
+};
 pub use spec::{AlgorithmSpec, DistributionSpec};
 pub use stats::Summary;

@@ -1,0 +1,744 @@
+//! Long-horizon soak harness: 1M+ op churn + drift + failure + defrag
+//! runs with *sampled* oracle audits and shrinking failure repros.
+//!
+//! The churn harness ([`crate::churn`]) audits every mutation, which is
+//! perfect for a 2 000-op differential fuzz but quadratic-cost-prohibitive
+//! at a million ops. The soak harness instead:
+//!
+//! - uses a steady-state op mix (departures ≈ arrivals) so the tenant
+//!   population random-walks instead of growing linearly, keeping the
+//!   oracle's O(bins²) rebuild affordable when it *does* run;
+//! - audits only every [`SoakConfig::audit_every`]-th op, plus on every
+//!   invariant *edge* (the monitor's robust/at-risk/violated state
+//!   changing between checkpoints), plus one full audit of the final
+//!   state;
+//! - emits compact [`TraceEvent::SoakCheckpoint`] summaries through the
+//!   streaming recorder so `cubefit analyze` can reconstruct timelines
+//!   without replaying the run;
+//! - on the first audit failure or invariant violation, stops and hands
+//!   back a [`SoakScenario`] — seed, full config, suspect op window —
+//!   that [`replay`] reproduces deterministically and [`shrink`] bisects
+//!   down to the single first failing op, the pinned regression.
+//!
+//! Determinism contract: a soak run is a pure function of its
+//! [`SoakConfig`]. The replay/shrink paths drive the *same* inner loop
+//! with the same RNG draw order — extra checking never consumes
+//! randomness — so a scenario file reproduces byte-for-byte.
+
+use crate::churn::{defrag_epoch, fail_and_recover, DriftConfig};
+use crate::spec::{AlgorithmSpec, DistributionSpec};
+use cubefit_core::monitor::{classify_with, DEFAULT_AT_RISK_SLACK};
+use cubefit_core::{oracle, BinId, Consolidator, Result, Tenant, TenantId};
+use cubefit_defrag::MigrationBudget;
+use cubefit_telemetry::{Recorder, TraceEvent};
+use cubefit_workload::{DriftEngine, LoadModel};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of one soak run — the whole file is the repro.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SoakConfig {
+    /// Algorithm under soak.
+    pub algorithm: AlgorithmSpec,
+    /// Client-count distribution for arriving tenants.
+    pub distribution: DistributionSpec,
+    /// Total mutation ops (arrivals + departures + failure events).
+    pub ops: u64,
+    /// Seed driving the op mix, arrival loads, departure and failure picks.
+    pub seed: u64,
+    /// Percent of ops that are departures. Soak defaults keep this close
+    /// to the arrival share so the population stays bounded.
+    pub departure_percent: u32,
+    /// Percent of ops that are failure events.
+    pub failure_percent: u32,
+    /// Servers failed per event, clamped to `1..=γ−1`.
+    pub max_failures: usize,
+    /// Run a sampled oracle audit every N ops (`0` disables audits,
+    /// including the final full audit).
+    pub audit_every: u64,
+    /// Emit a [`TraceEvent::SoakCheckpoint`] and grade the placement with
+    /// the invariant monitor every N ops (`0` falls back to 1 000).
+    pub checkpoint_every: u64,
+    /// Run a defragmentation epoch every N ops (`0` disables defrag).
+    pub defrag_every: u64,
+    /// Migration budget for each defrag epoch.
+    pub defrag_budget: MigrationBudget,
+    /// Per-tenant load drift between ops (`None` keeps loads static).
+    pub drift: Option<DriftConfig>,
+    /// Deliberately break Theorem 1 at this op by re-estimating a few
+    /// tenants to full-server load — the acceptance hook proving the
+    /// scenario/replay/shrink loop finds real injected faults.
+    pub inject_at: Option<u64>,
+    /// Whether a monitor-detected violation fails the run (and produces a
+    /// scenario). Keep `true` for static loads, where a violation is
+    /// always a bug; drifted runs expect transient violations and set it
+    /// `false` unless mitigation is supposed to keep up.
+    pub fail_on_violation: bool,
+}
+
+impl SoakConfig {
+    /// Steady-state defaults: arrivals ≈ departures (47% each), 6%
+    /// failure events, audits every 1 000 ops, checkpoints every 500.
+    #[must_use]
+    pub fn steady(algorithm: AlgorithmSpec, ops: u64, seed: u64) -> Self {
+        SoakConfig {
+            max_failures: algorithm.gamma().saturating_sub(1).max(1),
+            algorithm,
+            distribution: DistributionSpec::Uniform { min: 1, max: 15 },
+            ops,
+            seed,
+            departure_percent: 47,
+            failure_percent: 6,
+            audit_every: 1_000,
+            checkpoint_every: 500,
+            defrag_every: 0,
+            defrag_budget: MigrationBudget::default(),
+            drift: None,
+            inject_at: None,
+            fail_on_violation: true,
+        }
+    }
+
+    fn checkpoint_stride(&self) -> u64 {
+        if self.checkpoint_every == 0 {
+            1_000
+        } else {
+            self.checkpoint_every
+        }
+    }
+}
+
+/// First failure a soak run (or replay) hit.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SoakFailure {
+    /// Op index (0-based) at which the failure was detected.
+    pub op: u64,
+    /// What failed: audit divergences or monitor violations.
+    pub reason: String,
+}
+
+/// A compact, replayable repro: the config (with its seed) plus the op
+/// window suspected to contain the fault. Written to disk by `cubefit
+/// soak` on failure; consumed by `cubefit replay`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SoakScenario {
+    /// Full run configuration (a pure function of which is the run).
+    pub config: SoakConfig,
+    /// First op of the suspect window (the last op known clean, plus 1,
+    /// saturating to 0).
+    pub window_lo: u64,
+    /// Last op of the suspect window (the op the failure was detected at).
+    pub window_hi: u64,
+    /// What the original run reported.
+    pub reason: String,
+}
+
+impl SoakScenario {
+    /// Pretty JSON for the scenario file.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_owned())
+    }
+
+    /// Parses a scenario file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the deserialization error text for malformed files.
+    pub fn from_json(text: &str) -> std::result::Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("bad scenario file: {e}"))
+    }
+}
+
+/// Everything a soak run produced.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SoakReport {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Replication factor.
+    pub gamma: usize,
+    /// Seed that reproduces the run.
+    pub seed: u64,
+    /// Ops requested.
+    pub ops_requested: u64,
+    /// Ops actually executed (less than requested when the run failed).
+    pub ops_run: u64,
+    /// Tenant arrivals.
+    pub arrivals: u64,
+    /// Tenant departures.
+    pub departures: u64,
+    /// Server-failure events.
+    pub failure_events: u64,
+    /// Defrag epochs run.
+    pub defrag_epochs: u64,
+    /// Load-drift updates applied.
+    pub drift_updates: u64,
+    /// Sampled + edge audits run (excluding the final full audit).
+    pub audits: u64,
+    /// Audits that found divergences.
+    pub audit_failures: u64,
+    /// Checkpoints emitted.
+    pub checkpoints: u64,
+    /// Servers the monitor newly caught violated across the run.
+    pub violations: u64,
+    /// Tenants alive at the end.
+    pub final_tenants: usize,
+    /// Servers in use at the end.
+    pub final_open_bins: usize,
+    /// Total placed load at the end.
+    pub final_load: f64,
+    /// Fragmentation ratio of the final placement.
+    pub final_fragmentation: f64,
+    /// Whether the final placement satisfies Theorem 1.
+    pub robust: bool,
+    /// Divergences the final full audit found (`None` when audits are off
+    /// or the run stopped early).
+    pub final_audit_divergences: Option<usize>,
+    /// First failure, when the run did not stay clean.
+    pub failure: Option<SoakFailure>,
+    /// Replayable repro for the failure, when there is one.
+    pub scenario: Option<SoakScenario>,
+}
+
+impl SoakReport {
+    /// Pretty JSON rendering for the `cubefit soak` CLI.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_owned())
+    }
+}
+
+/// How the inner loop checks for failures.
+enum CheckMode {
+    /// Normal soak: strided checkpoints + sampled/edge audits.
+    Sampled,
+    /// Replay: grade (and audit, when enabled) after **every** op inside
+    /// the window, stopping at the first failure.
+    Window { lo: u64, hi: u64 },
+}
+
+/// Runs a soak experiment with telemetry disabled.
+///
+/// # Errors
+///
+/// Propagates algorithm construction and mutation errors. A detected
+/// invariant/audit failure is NOT an error: it is reported in
+/// [`SoakReport::failure`] with a replayable scenario.
+pub fn run_soak(config: &SoakConfig) -> Result<SoakReport> {
+    run_soak_with(config, Recorder::disabled())
+}
+
+/// Runs a soak experiment, streaming checkpoints, audits and the
+/// consolidator's own events through `recorder`.
+///
+/// # Errors
+///
+/// Propagates algorithm construction and mutation errors.
+pub fn run_soak_with(config: &SoakConfig, recorder: Recorder) -> Result<SoakReport> {
+    run_loop(config, recorder, config.ops, &CheckMode::Sampled)
+}
+
+/// Replays a scenario: re-runs the deterministic prefix up to
+/// `window_hi`, grading after every op inside the window, and returns the
+/// first failure found (or `None` if the scenario does not reproduce).
+///
+/// # Errors
+///
+/// Propagates algorithm construction and mutation errors.
+pub fn replay(scenario: &SoakScenario) -> Result<Option<SoakFailure>> {
+    let report = run_loop(
+        &scenario.config,
+        Recorder::disabled(),
+        scenario.window_hi.saturating_add(1),
+        &CheckMode::Window { lo: scenario.window_lo, hi: scenario.window_hi },
+    )?;
+    Ok(report.failure)
+}
+
+/// Outcome of shrinking a scenario.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ShrinkOutcome {
+    /// The minimal pinned regression: a one-op window containing the
+    /// first op whose prefix fails.
+    pub pinned: SoakScenario,
+    /// The failure the pinned op produces.
+    pub failure: SoakFailure,
+    /// Replay probes the bisection spent.
+    pub probes: u32,
+}
+
+/// Bisects a scenario's op window down to the first failing op.
+///
+/// The predicate "replaying ops `0..=n` (checking inside
+/// `[window_lo, n]`) fails" is monotone in `n` — checks never mutate
+/// state, so a failure detected at op `k` is detected by every probe with
+/// `n ≥ k` — which makes binary search sound.
+///
+/// # Errors
+///
+/// Returns an error string when the scenario does not reproduce at its
+/// own upper bound (a stale or corrupted scenario file), and propagates
+/// mutation errors.
+pub fn shrink(scenario: &SoakScenario) -> std::result::Result<ShrinkOutcome, String> {
+    let probe = |n: u64| -> std::result::Result<Option<SoakFailure>, String> {
+        let prefix = SoakScenario {
+            config: scenario.config.clone(),
+            window_lo: scenario.window_lo,
+            window_hi: n,
+            reason: scenario.reason.clone(),
+        };
+        replay(&prefix).map_err(|e| e.to_string())
+    };
+
+    let mut probes = 0u32;
+    probes += 1;
+    let Some(mut failure) = probe(scenario.window_hi)? else {
+        return Err(format!(
+            "scenario does not reproduce: replay of ops {}..={} found no failure",
+            scenario.window_lo, scenario.window_hi
+        ));
+    };
+
+    // Invariant: P(hi) fails (with `failure` its report), P(lo − 1) is
+    // unknown-but-assumed-clean below window_lo.
+    let mut lo = scenario.window_lo;
+    let mut hi = failure.op;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        probes += 1;
+        match probe(mid)? {
+            Some(found) => {
+                hi = found.op.min(mid);
+                failure = found;
+            }
+            None => lo = mid + 1,
+        }
+    }
+
+    Ok(ShrinkOutcome {
+        pinned: SoakScenario {
+            config: scenario.config.clone(),
+            window_lo: hi,
+            window_hi: hi,
+            reason: failure.reason.clone(),
+        },
+        failure,
+        probes,
+    })
+}
+
+/// The shared inner loop behind [`run_soak_with`], [`replay`] and
+/// [`shrink`] probes. `limit` caps the ops executed; `mode` selects
+/// sampled or per-op-in-window checking. RNG draw order is identical in
+/// every mode.
+#[allow(clippy::too_many_lines)]
+fn run_loop(
+    config: &SoakConfig,
+    recorder: Recorder,
+    limit: u64,
+    mode: &CheckMode,
+) -> Result<SoakReport> {
+    let gamma = config.algorithm.gamma();
+    let mut consolidator: Box<dyn Consolidator> = config.algorithm.build()?;
+    consolidator.set_recorder(recorder.clone());
+
+    let model = LoadModel::tpch_xeon();
+    let distribution = config.distribution.build(model.max_clients());
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    // Same decoupling as churn: drift draws never perturb the op mix.
+    let mut drift_engine = config.drift.map(|d| {
+        DriftEngine::new(model, d.profile, config.seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    });
+
+    let mut report = SoakReport {
+        algorithm: config.algorithm.label(),
+        gamma,
+        seed: config.seed,
+        ops_requested: config.ops,
+        ops_run: 0,
+        arrivals: 0,
+        departures: 0,
+        failure_events: 0,
+        defrag_epochs: 0,
+        drift_updates: 0,
+        audits: 0,
+        audit_failures: 0,
+        checkpoints: 0,
+        violations: 0,
+        final_tenants: 0,
+        final_open_bins: 0,
+        final_load: 0.0,
+        final_fragmentation: 1.0,
+        robust: false,
+        final_audit_divergences: None,
+        failure: None,
+        scenario: None,
+    };
+
+    let slack = config.drift.map_or(DEFAULT_AT_RISK_SLACK, |d| d.at_risk_slack);
+    let checkpoint_stride = config.checkpoint_stride();
+    let mut alive: Vec<TenantId> = Vec::new();
+    let mut next_id: u64 = 0;
+    let mut known_violated: Vec<BinId> = Vec::new();
+    // Invariant-edge detection: 0 = robust, 1 = at risk, 2 = violated.
+    let mut last_state: u8 = 0;
+    let mut last_clean_op: u64 = 0;
+
+    let depart_band = config.failure_percent + config.departure_percent;
+    let total = config.ops.min(limit);
+    for op in 0..total {
+        let roll = rng.gen_range(0..100u32);
+        // `alive` non-empty ⇔ some bin is loaded (every live tenant keeps
+        // γ positive-load replicas), so the O(bins) loaded-bin scan only
+        // runs on the ~failure_percent of ops that actually fail servers —
+        // the churn harness pays it on every op.
+        if roll < config.failure_percent && !alive.is_empty() {
+            let loaded_bins: Vec<BinId> = consolidator
+                .placement()
+                .bins()
+                .filter(|bin| bin.level() > 0.0)
+                .map(|bin| bin.id())
+                .collect();
+            fail_and_recover(
+                &mut *consolidator,
+                &loaded_bins,
+                config.max_failures.clamp(1, gamma.saturating_sub(1).max(1)),
+                usize::try_from(op).unwrap_or(usize::MAX),
+                &mut rng,
+                &recorder,
+            )?;
+            report.failure_events += 1;
+        } else if roll < depart_band && !alive.is_empty() {
+            let idx = rng.gen_range(0..alive.len());
+            let tenant = alive.swap_remove(idx);
+            consolidator.remove(tenant)?;
+            if let Some(engine) = drift_engine.as_mut() {
+                engine.forget(tenant);
+            }
+            report.departures += 1;
+        } else {
+            let clients = distribution.sample_clients(&mut rng);
+            let tenant = Tenant::new(TenantId::new(next_id), model.load(clients));
+            next_id += 1;
+            consolidator.place(tenant)?;
+            if let Some(engine) = drift_engine.as_mut() {
+                engine.track(tenant.id(), clients);
+            }
+            alive.push(tenant.id());
+            report.arrivals += 1;
+        }
+        report.ops_run = op + 1;
+
+        if let Some(engine) = drift_engine.as_mut() {
+            for update in engine.step() {
+                let outcome = consolidator.update_load(update.tenant, update.load)?;
+                recorder.emit(|| TraceEvent::LoadDrifted {
+                    tenant: update.tenant.get(),
+                    old_load: outcome.old_load,
+                    new_load: outcome.new_load,
+                    at: update.at,
+                });
+                report.drift_updates += 1;
+            }
+            if let Some(drift) = config.drift {
+                if drift.mitigate_every > 0 && ((op + 1) % drift.mitigate_every as u64 == 0) {
+                    let plan = cubefit_defrag::plan_mitigation_with(
+                        consolidator.placement(),
+                        drift.budget,
+                        drift.at_risk_slack,
+                    );
+                    if plan.attention_before > 0 {
+                        cubefit_defrag::apply_mitigation(&mut *consolidator, &plan, &recorder)?;
+                    }
+                }
+            }
+        }
+
+        if config.defrag_every > 0 && (op + 1) % config.defrag_every == 0 {
+            defrag_epoch(
+                &mut consolidator,
+                config.defrag_budget,
+                usize::try_from(op).unwrap_or(usize::MAX),
+                &recorder,
+            )?;
+            report.defrag_epochs += 1;
+        }
+
+        // Deliberate fault injection: re-estimate the three lowest-id
+        // alive tenants to full-server load. A legal mutation (drift
+        // tracks reality) that puts every hosting bin past the Theorem-1
+        // margin. The inflated tenants leave the departure pool so the
+        // fault persists until a checkpoint catches it — a runaway
+        // workload, not a blip that self-heals before detection.
+        if config.inject_at == Some(op) {
+            let mut targets: Vec<TenantId> = alive.clone();
+            targets.sort_unstable();
+            for tenant in targets.into_iter().take(3) {
+                consolidator.update_load(tenant, 1.0)?;
+                alive.retain(|&t| t != tenant);
+            }
+        }
+
+        let checking_window = match mode {
+            CheckMode::Sampled => false,
+            CheckMode::Window { lo, hi } => op >= *lo && op <= *hi,
+        };
+        let at_checkpoint = (op + 1) % checkpoint_stride == 0 || op + 1 == total;
+
+        // Invariant monitor: every op inside a replay window, else at the
+        // checkpoint stride.
+        let mut edge = false;
+        if checking_window || at_checkpoint {
+            let monitor = classify_with(consolidator.placement(), slack);
+            for &(bin, deficit) in &monitor.violated {
+                if !known_violated.contains(&bin) {
+                    recorder.emit(|| TraceEvent::InvariantViolated {
+                        bin: bin.index(),
+                        level: consolidator.placement().level(bin),
+                        deficit,
+                    });
+                    report.violations += 1;
+                }
+            }
+            known_violated = monitor.violated.iter().map(|&(bin, _)| bin).collect();
+            let state = if !monitor.violated.is_empty() {
+                2u8
+            } else if !monitor.at_risk.is_empty() {
+                1
+            } else {
+                0
+            };
+            edge = state != last_state;
+            last_state = state;
+
+            if at_checkpoint {
+                let placement = consolidator.placement();
+                let frag = placement.fragmentation();
+                recorder.emit(|| TraceEvent::SoakCheckpoint {
+                    op,
+                    tenants: placement.tenant_count(),
+                    open_bins: placement.open_bins(),
+                    fragmentation: frag.fragmentation_ratio,
+                    at_risk: monitor.at_risk.len(),
+                    violated: monitor.violated.len(),
+                });
+                report.checkpoints += 1;
+            }
+
+            if config.fail_on_violation && !monitor.violated.is_empty() {
+                fail_run(
+                    &mut report,
+                    config,
+                    op,
+                    last_clean_op,
+                    format!(
+                        "invariant violated: {} server(s) past the Theorem-1 margin \
+                         (worst deficit {:.6})",
+                        monitor.violated.len(),
+                        monitor.violated.first().map_or(0.0, |&(_, d)| d),
+                    ),
+                );
+                break;
+            }
+            if state == 0 && !checking_window {
+                last_clean_op = op;
+            }
+        }
+
+        // Sampled oracle audit: at the stride, on every invariant edge,
+        // and per-op inside a replay window.
+        let audit_due = config.audit_every > 0
+            && (checking_window || edge || (op + 1) % config.audit_every == 0);
+        if audit_due {
+            let divergences = match oracle::audit(consolidator.placement()) {
+                Ok(()) => 0,
+                Err(list) => list.len(),
+            };
+            report.audits += 1;
+            recorder.emit(|| TraceEvent::AuditCompleted { op, divergences, full: false });
+            if divergences > 0 {
+                report.audit_failures += 1;
+                fail_run(
+                    &mut report,
+                    config,
+                    op,
+                    last_clean_op,
+                    format!("oracle audit found {divergences} divergence(s)"),
+                );
+                break;
+            }
+        }
+    }
+
+    let placement = consolidator.placement();
+    report.final_tenants = placement.tenant_count();
+    report.final_open_bins = placement.open_bins();
+    report.final_load = placement.total_load();
+    report.final_fragmentation = placement.fragmentation().fragmentation_ratio;
+    report.robust = placement.is_robust();
+
+    // Full audit of the final state — only when the run survived to the
+    // end with audits enabled (a failed run already carries its repro).
+    if config.audit_every > 0 && report.failure.is_none() && report.ops_run == config.ops {
+        let divergences = match oracle::audit(placement) {
+            Ok(()) => 0,
+            Err(list) => list.len(),
+        };
+        report.final_audit_divergences = Some(divergences);
+        let at_op = report.ops_run.saturating_sub(1);
+        recorder.emit(|| TraceEvent::AuditCompleted { op: at_op, divergences, full: true });
+        if divergences > 0 {
+            report.audit_failures += 1;
+            fail_run(
+                &mut report,
+                config,
+                at_op,
+                last_clean_op,
+                format!("final full audit found {divergences} divergence(s)"),
+            );
+        }
+    }
+    Ok(report)
+}
+
+/// Records the first failure and its replayable scenario on the report.
+fn fail_run(
+    report: &mut SoakReport,
+    config: &SoakConfig,
+    op: u64,
+    last_clean_op: u64,
+    reason: String,
+) {
+    if report.failure.is_some() {
+        return;
+    }
+    report.failure = Some(SoakFailure { op, reason: reason.clone() });
+    // The window opens just past the last checkpoint the monitor graded
+    // clean (op 0 when there was none) and closes at the detection op.
+    let window_lo = if last_clean_op == 0 { 0 } else { (last_clean_op + 1).min(op) };
+    report.scenario =
+        Some(SoakScenario { config: config.clone(), window_lo, window_hi: op, reason });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(ops: u64, seed: u64) -> SoakConfig {
+        SoakConfig {
+            audit_every: 200,
+            checkpoint_every: 100,
+            ..SoakConfig::steady(AlgorithmSpec::CubeFit { gamma: 2, classes: 5 }, ops, seed)
+        }
+    }
+
+    #[test]
+    fn steady_soak_is_clean_and_deterministic() {
+        let config = quick(2_000, 11);
+        let a = run_soak(&config).unwrap();
+        let b = run_soak(&config).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.ops_run, 2_000);
+        assert!(a.failure.is_none(), "clean seed must stay clean: {:?}", a.failure);
+        assert_eq!(a.final_audit_divergences, Some(0));
+        assert!(a.robust);
+        assert!(a.audits >= 2_000 / 200);
+        assert!(a.checkpoints >= 2_000 / 100);
+        // Steady-state mix keeps the population bounded (the whole point).
+        assert!(a.final_tenants < 600, "population must stay bounded: {}", a.final_tenants);
+    }
+
+    #[test]
+    fn injected_violation_produces_replayable_scenario() {
+        let config = SoakConfig { inject_at: Some(731), ..quick(2_000, 11) };
+        let report = run_soak(&config).unwrap();
+        let failure = report.failure.expect("injection must be detected");
+        assert!(failure.reason.contains("invariant violated"), "{}", failure.reason);
+        // Detection happens at the first checkpoint at or after the
+        // injection, never before it.
+        assert!(failure.op >= 731);
+        assert!(report.ops_run < config.ops, "the run stops at the failure");
+
+        let scenario = report.scenario.expect("failure must carry a scenario");
+        assert!(scenario.window_lo <= 731 && 731 <= scenario.window_hi);
+        let replayed = replay(&scenario).unwrap().expect("scenario must reproduce");
+        // Replay checks every op in the window, so it catches the fault at
+        // the injection op itself, no later than the soak detection.
+        assert_eq!(replayed.op, 731);
+    }
+
+    #[test]
+    fn shrink_pins_the_first_failing_op() {
+        let config = SoakConfig { inject_at: Some(731), ..quick(2_000, 11) };
+        let report = run_soak(&config).unwrap();
+        let scenario = report.scenario.expect("failure must carry a scenario");
+        let outcome = shrink(&scenario).unwrap();
+        assert_eq!(outcome.pinned.window_lo, outcome.pinned.window_hi);
+        assert_eq!(outcome.pinned.window_hi, 731, "shrink must land on the injection op");
+        assert!(outcome.probes >= 2);
+        // The pinned one-op scenario still reproduces.
+        let confirmed = replay(&outcome.pinned).unwrap().expect("pinned repro");
+        assert_eq!(confirmed.op, 731);
+        // And it round-trips through its file format.
+        let back = SoakScenario::from_json(&outcome.pinned.to_json()).unwrap();
+        assert_eq!(back, outcome.pinned);
+    }
+
+    #[test]
+    fn shrink_rejects_a_scenario_that_does_not_reproduce() {
+        let clean = SoakScenario {
+            config: quick(500, 11),
+            window_lo: 0,
+            window_hi: 499,
+            reason: "stale".to_owned(),
+        };
+        let err = shrink(&clean).expect_err("clean runs must not shrink");
+        assert!(err.contains("does not reproduce"), "{err}");
+    }
+
+    #[test]
+    fn soak_emits_checkpoints_and_audits_through_the_recorder() {
+        use cubefit_telemetry::VecSink;
+        use std::sync::Arc;
+
+        let sink = Arc::new(VecSink::new());
+        let recorder = Recorder::with_sink(Arc::clone(&sink));
+        let config = quick(600, 3);
+        let report = run_soak_with(&config, recorder).unwrap();
+        let events = sink.events();
+        let checkpoints =
+            events.iter().filter(|e| matches!(e, TraceEvent::SoakCheckpoint { .. })).count() as u64;
+        let audits = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::AuditCompleted { full: false, .. }))
+            .count() as u64;
+        let full_audits = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::AuditCompleted { full: true, .. }))
+            .count();
+        assert_eq!(checkpoints, report.checkpoints);
+        assert_eq!(audits, report.audits);
+        assert_eq!(full_audits, 1);
+    }
+
+    #[test]
+    fn soak_report_round_trips_through_json() {
+        let report = run_soak(&quick(400, 5)).unwrap();
+        let back: SoakReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn defrag_and_failures_interleave_without_divergence() {
+        let config = SoakConfig {
+            defrag_every: 250,
+            defrag_budget: MigrationBudget::moves(32),
+            ..quick(1_500, 29)
+        };
+        let report = run_soak(&config).unwrap();
+        assert!(report.failure_events > 0, "seed 29 must inject failures");
+        assert!(report.defrag_epochs >= 5);
+        assert!(report.failure.is_none(), "audited soak must stay clean: {:?}", report.failure);
+        assert_eq!(report.final_audit_divergences, Some(0));
+    }
+}

@@ -153,6 +153,33 @@ impl Histogram {
         self.max()
     }
 
+    /// Absorbs every sample of `other` into `self` by adding log-bucket
+    /// counts — the merge primitive behind label rollups. Count and sum
+    /// merge exactly; quantile estimates of the merged histogram carry the
+    /// same one-bucket error bound as single-histogram estimates because
+    /// both sides share the same fixed bucket boundaries.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        let other_sum = other.sum();
+        let _ = self.sum_bits.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+            Some((f64::from_bits(bits) + other_sum).to_bits())
+        });
+        let other_min = f64::from_bits(other.min_bits.load(Ordering::Relaxed));
+        let _ = self.min_bits.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+            (other_min < f64::from_bits(bits)).then(|| other_min.to_bits())
+        });
+        let other_max = other.max();
+        let _ = self.max_bits.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+            (other_max > f64::from_bits(bits)).then(|| other_max.to_bits())
+        });
+    }
+
     /// A serializable snapshot (non-empty buckets only).
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -224,6 +251,100 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// An empty snapshot (what an untouched histogram reports).
+    #[must_use]
+    pub fn empty() -> Self {
+        Histogram::new().snapshot()
+    }
+
+    /// Nearest-rank quantile estimate over the sparse buckets, clamped to
+    /// the recorded `[min, max]` — the same estimator [`Histogram`] uses,
+    /// usable after [`HistogramSnapshot::merge`] recombines buckets.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for &(index, count) in &self.buckets {
+            cumulative += count;
+            if cumulative >= rank {
+                let (lo, hi) = Histogram::bucket_bounds(index as usize);
+                let estimate = if index == 0 { lo } else { (lo * hi).sqrt() };
+                return estimate.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges `other` into `self` on log-bucket counts: counts and sums
+    /// add exactly, min/max widen, and the quantile estimates are
+    /// recomputed from the combined buckets (same one-bucket error bound,
+    /// since every histogram shares the fixed bucket boundaries).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        let mut merged: std::collections::BTreeMap<u64, u64> =
+            self.buckets.iter().copied().collect();
+        for &(index, count) in &other.buckets {
+            *merged.entry(index).or_insert(0) += count;
+        }
+        self.buckets = merged.into_iter().collect();
+        self.min = if self.count == 0 { other.min } else { self.min.min(other.min) };
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+        self.p50 = self.quantile(0.50);
+        self.p90 = self.quantile(0.90);
+        self.p99 = self.quantile(0.99);
+    }
+
+    /// The samples recorded since `earlier` was taken, assuming `earlier`
+    /// is a previous snapshot of the same histogram: bucket counts
+    /// subtract saturating, count/sum subtract, and min/max are re-derived
+    /// from the surviving delta buckets' bounds (the exact extremes of the
+    /// interval are unknowable from cumulative snapshots).
+    #[must_use]
+    pub fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let before: std::collections::BTreeMap<u64, u64> =
+            earlier.buckets.iter().copied().collect();
+        let buckets: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .filter_map(|&(index, count)| {
+                let remaining = count.saturating_sub(before.get(&index).copied().unwrap_or(0));
+                (remaining > 0).then_some((index, remaining))
+            })
+            .collect();
+        let count = self.count.saturating_sub(earlier.count);
+        let (min, max) = match (buckets.first(), buckets.last()) {
+            (Some(&(first, _)), Some(&(last, _))) => (
+                Histogram::bucket_bounds(first as usize).0.max(self.min),
+                Histogram::bucket_bounds(last as usize).1.min(self.max),
+            ),
+            _ => (0.0, 0.0),
+        };
+        let mut delta = HistogramSnapshot {
+            count,
+            sum: if count == 0 { 0.0 } else { self.sum - earlier.sum },
+            min,
+            max,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            buckets,
+        };
+        delta.p50 = delta.quantile(0.50);
+        delta.p90 = delta.quantile(0.90);
+        delta.p99 = delta.quantile(0.99);
+        delta
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +404,81 @@ mod tests {
         let text = serde_json::to_string(&snap).unwrap();
         let back: HistogramSnapshot = serde_json::from_str(&text).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn merge_equals_histogram_of_concatenated_samples() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let both = Histogram::new();
+        for i in 1..=500 {
+            let v = f64::from(i) / 250.0;
+            a.record(v);
+            both.record(v);
+        }
+        for i in 1..=300 {
+            let v = f64::from(i) * 0.01;
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        let merged = a.snapshot();
+        let expected = both.snapshot();
+        assert_eq!(merged.buckets, expected.buckets, "bucket counts merge exactly");
+        assert_eq!(merged.count, expected.count);
+        assert_eq!(merged.min, expected.min);
+        assert_eq!(merged.max, expected.max);
+        // Sums agree up to float addition order.
+        assert!((merged.sum - expected.sum).abs() < 1e-9);
+        assert_eq!(
+            (merged.p50, merged.p90, merged.p99),
+            (expected.p50, expected.p90, expected.p99)
+        );
+    }
+
+    #[test]
+    fn snapshot_merge_recomputes_quantiles() {
+        let lo = Histogram::new();
+        let hi = Histogram::new();
+        for i in 1..=100 {
+            lo.record(f64::from(i) / 1000.0); // 0.001..0.1
+            hi.record(f64::from(i) / 10.0); // 0.1..10
+        }
+        let mut merged = lo.snapshot();
+        merged.merge(&hi.snapshot());
+        assert_eq!(merged.count, 200);
+        assert!((merged.sum - (lo.snapshot().sum + hi.snapshot().sum)).abs() < 1e-12);
+        assert_eq!(merged.min, 0.001);
+        assert_eq!(merged.max, 10.0);
+        // The merged median sits at the seam between the two populations.
+        assert!(merged.p50 >= 0.09 && merged.p50 <= 0.12, "p50 {}", merged.p50);
+        // Merging an empty snapshot is a no-op.
+        let before = merged.clone();
+        merged.merge(&HistogramSnapshot::empty());
+        assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_the_interval() {
+        let h = Histogram::new();
+        for v in [0.01, 0.02, 0.04] {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        for v in [1.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        let delta = h.snapshot().diff(&earlier);
+        assert_eq!(delta.count, 3);
+        assert!((delta.sum - 7.0).abs() < 1e-12);
+        // The delta's extremes come from the surviving buckets, so they
+        // bracket the true interval values.
+        assert!(delta.min <= 1.0 && delta.min > 0.04, "min {}", delta.min);
+        assert!(delta.max >= 4.0 && delta.max < 8.0, "max {}", delta.max);
+        assert!(delta.p50 >= 1.0 && delta.p50 <= 4.3, "p50 {}", delta.p50);
+        // Diffing a snapshot against itself leaves nothing.
+        let snap = h.snapshot();
+        assert_eq!(snap.diff(&snap).count, 0);
     }
 
     #[test]

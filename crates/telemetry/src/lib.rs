@@ -20,15 +20,20 @@
 //! than core types, so every layer of the workspace (core, baselines,
 //! sim, cluster, CLI) can depend on it without cycles.
 
+mod analyze;
 mod histogram;
 mod recorder;
 mod registry;
 mod trace;
 
+pub use analyze::{
+    analyze_reader, AnalyzeConfig, FragPoint, HeatmapCell, TimelinePoint, TraceAnalyzer,
+    TraceReport,
+};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use recorder::Recorder;
 pub use registry::{
     Counter, CounterSnapshot, Gauge, GaugeSnapshot, Labels, MetricsSnapshot, NamedHistogram,
-    Registry,
+    Registry, RollupNode,
 };
-pub use trace::{JsonlSink, TraceEvent, TraceSink, VecSink};
+pub use trace::{JsonlSink, TraceEvent, TraceSink, VecSink, VARIANT_NAMES};

@@ -96,13 +96,16 @@ impl Recorder {
         }
     }
 
-    /// Flushes the trace sink, if any.
-    pub fn flush(&self) {
+    /// Flushes the trace sink, if any, surfacing any I/O error the sink
+    /// accumulated (a truncated trace file, a full disk). Disabled
+    /// recorders and recorders without a sink always succeed.
+    pub fn flush(&self) -> Result<(), String> {
         if let Some(inner) = &self.inner {
             if let Some(sink) = &inner.sink {
-                sink.flush();
+                return sink.flush();
             }
         }
+        Ok(())
     }
 }
 
@@ -172,7 +175,7 @@ mod tests {
         let sink = StdArc::new(VecSink::new());
         let recorder = Recorder::with_sink(Shared(StdArc::clone(&sink)));
         recorder.emit(|| TraceEvent::BinOpened { bin: 1, class: None, total_open: 1 });
-        recorder.flush();
+        assert_eq!(recorder.flush(), Ok(()));
         assert_eq!(
             sink.events(),
             vec![TraceEvent::BinOpened { bin: 1, class: None, total_open: 1 }]

@@ -113,6 +113,20 @@ impl Registry {
             .clone()
     }
 
+    /// [`MetricsSnapshot::rollup`] over a fresh snapshot: every metric
+    /// aggregated onto the label keys in `keys`.
+    #[must_use]
+    pub fn rollup(&self, keys: &[&str]) -> MetricsSnapshot {
+        self.snapshot().rollup(keys)
+    }
+
+    /// [`MetricsSnapshot::rollup_tree`] over a fresh snapshot: the full
+    /// hierarchy of group-level aggregates for `hierarchy`.
+    #[must_use]
+    pub fn rollup_tree(&self, hierarchy: &[&str]) -> RollupNode {
+        self.snapshot().rollup_tree(hierarchy)
+    }
+
     /// A point-in-time copy of every metric, ready to serialize.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -198,6 +212,12 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<NamedHistogram>,
 }
 
+/// Restricts a sorted label set to the keys in `keys` (order preserved —
+/// labels are already sorted by key).
+fn project(labels: &Labels, keys: &[&str]) -> Labels {
+    labels.iter().filter(|(k, _)| keys.contains(&k.as_str())).cloned().collect()
+}
+
 impl MetricsSnapshot {
     /// The value of the counter `name` whose labels include `labels`
     /// (0 when absent).
@@ -213,6 +233,218 @@ impl MetricsSnapshot {
             })
             .map(|c| c.value)
             .sum()
+    }
+
+    /// The sum of every gauge `name` whose labels include `labels`
+    /// (0 when absent). Gauges aggregate by sum: the workspace's gauges
+    /// are occupancy-style quantities (servers, violated bins, load) for
+    /// which group totals are the meaningful rollup.
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        self.gauges
+            .iter()
+            .filter(|g| {
+                g.name == name
+                    && labels
+                        .iter()
+                        .all(|&(k, v)| g.labels.iter().any(|(gk, gv)| gk == k && gv == v))
+            })
+            .map(|g| g.value)
+            .sum()
+    }
+
+    /// Aggregates every metric onto the label keys in `keys`, dropping all
+    /// other labels: counters and gauges sum, histograms merge on
+    /// log-bucket counts. `rollup(&[])` collapses each metric name to one
+    /// grand total; `rollup(&["algorithm"])` yields per-algorithm totals
+    /// regardless of how many finer labels (`class`, `bin_group`, …) the
+    /// recording sites attached.
+    #[must_use]
+    pub fn rollup(&self, keys: &[&str]) -> MetricsSnapshot {
+        let mut counters: BTreeMap<(String, Labels), u64> = BTreeMap::new();
+        for c in &self.counters {
+            *counters.entry((c.name.clone(), project(&c.labels, keys))).or_insert(0) += c.value;
+        }
+        let mut gauges: BTreeMap<(String, Labels), f64> = BTreeMap::new();
+        for g in &self.gauges {
+            *gauges.entry((g.name.clone(), project(&g.labels, keys))).or_insert(0.0) += g.value;
+        }
+        let mut histograms: BTreeMap<(String, Labels), HistogramSnapshot> = BTreeMap::new();
+        for h in &self.histograms {
+            histograms
+                .entry((h.name.clone(), project(&h.labels, keys)))
+                .or_insert_with(HistogramSnapshot::empty)
+                .merge(&h.histogram);
+        }
+        MetricsSnapshot {
+            counters: counters
+                .into_iter()
+                .map(|((name, labels), value)| CounterSnapshot { name, labels, value })
+                .collect(),
+            gauges: gauges
+                .into_iter()
+                .map(|((name, labels), value)| GaugeSnapshot { name, labels, value })
+                .collect(),
+            histograms: histograms
+                .into_iter()
+                .map(|((name, labels), histogram)| NamedHistogram { name, labels, histogram })
+                .collect(),
+        }
+    }
+
+    /// What happened between `earlier` and `self` (two snapshots of the
+    /// same registry): counter deltas (saturating, so a restarted registry
+    /// reads as zero rather than wrapping), gauges at their later value,
+    /// histogram interval deltas via [`HistogramSnapshot::diff`]. Metrics
+    /// absent from `earlier` count from zero.
+    #[must_use]
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters_before: BTreeMap<(&str, &Labels), u64> =
+            earlier.counters.iter().map(|c| ((c.name.as_str(), &c.labels), c.value)).collect();
+        let histograms_before: BTreeMap<(&str, &Labels), &HistogramSnapshot> = earlier
+            .histograms
+            .iter()
+            .map(|h| ((h.name.as_str(), &h.labels), &h.histogram))
+            .collect();
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|c| CounterSnapshot {
+                    name: c.name.clone(),
+                    labels: c.labels.clone(),
+                    value: c.value.saturating_sub(
+                        counters_before.get(&(c.name.as_str(), &c.labels)).copied().unwrap_or(0),
+                    ),
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|h| NamedHistogram {
+                    name: h.name.clone(),
+                    labels: h.labels.clone(),
+                    histogram: match histograms_before.get(&(h.name.as_str(), &h.labels)) {
+                        Some(before) => h.histogram.diff(before),
+                        None => h.histogram.clone(),
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds the rollup tree for a label hierarchy, coarsest key first.
+    ///
+    /// The root aggregates everything; each level splits on the next key
+    /// in `hierarchy`, so with `["algorithm", "class"]` the root holds
+    /// grand totals, its children per-algorithm totals, and their children
+    /// per-algorithm-per-class totals. A metric that lacks the split key
+    /// of some level stays aggregated in that level's node and descends no
+    /// further.
+    #[must_use]
+    pub fn rollup_tree(&self, hierarchy: &[&str]) -> RollupNode {
+        fn build(
+            metrics: &MetricsSnapshot,
+            hierarchy: &[&str],
+            depth: usize,
+            path: &[&str],
+            key: String,
+            value: String,
+        ) -> RollupNode {
+            let rolled = metrics.rollup(path);
+            let children = match hierarchy.get(depth) {
+                None => Vec::new(),
+                Some(&split) => {
+                    let mut values: Vec<String> = Vec::new();
+                    for labels in metrics
+                        .counters
+                        .iter()
+                        .map(|c| &c.labels)
+                        .chain(metrics.gauges.iter().map(|g| &g.labels))
+                        .chain(metrics.histograms.iter().map(|h| &h.labels))
+                    {
+                        if let Some((_, v)) = labels.iter().find(|(k, _)| k == split) {
+                            if !values.contains(v) {
+                                values.push(v.clone());
+                            }
+                        }
+                    }
+                    values.sort();
+                    let mut child_path: Vec<&str> = path.to_vec();
+                    child_path.push(split);
+                    values
+                        .into_iter()
+                        .map(|v| {
+                            let subset = metrics.filtered(split, &v);
+                            build(&subset, hierarchy, depth + 1, &child_path, split.to_owned(), v)
+                        })
+                        .collect()
+                }
+            };
+            RollupNode { key, value, metrics: rolled, children }
+        }
+        build(self, hierarchy, 0, &[], String::new(), String::new())
+    }
+
+    /// The subset of metrics carrying label `key == value`.
+    fn filtered(&self, key: &str, value: &str) -> MetricsSnapshot {
+        let matches = |labels: &Labels| labels.iter().any(|(k, v)| k == key && v == value);
+        MetricsSnapshot {
+            counters: self.counters.iter().filter(|c| matches(&c.labels)).cloned().collect(),
+            gauges: self.gauges.iter().filter(|g| matches(&g.labels)).cloned().collect(),
+            histograms: self.histograms.iter().filter(|h| matches(&h.labels)).cloned().collect(),
+        }
+    }
+}
+
+/// One node of a [`MetricsSnapshot::rollup_tree`]: the aggregate of every
+/// metric in its subtree, split further by the next hierarchy key.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RollupNode {
+    /// Label key this node's `value` belongs to (empty at the root).
+    pub key: String,
+    /// Label value selecting this subtree (empty at the root).
+    pub value: String,
+    /// Metrics aggregated over the whole subtree, labels projected onto
+    /// the hierarchy prefix ending at this node.
+    pub metrics: MetricsSnapshot,
+    /// Child nodes for the next hierarchy key, sorted by label value.
+    pub children: Vec<RollupNode>,
+}
+
+impl RollupNode {
+    /// Renders the tree as an indented text outline of counter totals —
+    /// the human-readable rollup view the CLI prints.
+    #[must_use]
+    pub fn render(&self) -> String {
+        fn walk(node: &RollupNode, depth: usize, out: &mut String) {
+            let indent = "  ".repeat(depth);
+            let label = if node.key.is_empty() {
+                "total".to_owned()
+            } else {
+                format!("{}={}", node.key, node.value)
+            };
+            out.push_str(&format!("{indent}{label}\n"));
+            for c in &node.metrics.counters {
+                out.push_str(&format!("{indent}  {} = {}\n", c.name, c.value));
+            }
+            for g in &node.metrics.gauges {
+                out.push_str(&format!("{indent}  {} = {:.4}\n", g.name, g.value));
+            }
+            for h in &node.metrics.histograms {
+                out.push_str(&format!(
+                    "{indent}  {} : count {} p50 {:.6} p99 {:.6}\n",
+                    h.name, h.histogram.count, h.histogram.p50, h.histogram.p99
+                ));
+            }
+            for child in &node.children {
+                walk(child, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        walk(self, 0, &mut out);
+        out
     }
 }
 
@@ -262,5 +494,102 @@ mod tests {
         let text = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
         assert_eq!(back, snap);
+    }
+
+    /// A registry populated with metrics at `{algorithm, class}` granularity,
+    /// the shape the consolidators actually emit.
+    fn labelled_registry() -> Registry {
+        let registry = Registry::new();
+        for (algo, class, placed, lat) in
+            [("cubefit", "0", 5u64, 0.010), ("cubefit", "1", 3, 0.020), ("rfi", "0", 2, 0.040)]
+        {
+            registry.counter("placed", &[("algorithm", algo), ("class", class)]).add(placed);
+            registry.histogram("latency", &[("algorithm", algo), ("class", class)]).record(lat);
+        }
+        registry.gauge("servers", &[("algorithm", "cubefit")]).set(4.0);
+        registry.gauge("servers", &[("algorithm", "rfi")]).set(6.0);
+        // A metric with no `class` label at all: must survive rollups intact.
+        registry.counter("audits", &[]).add(9);
+        registry
+    }
+
+    #[test]
+    fn rollup_aggregates_onto_prefix_keys() {
+        let registry = labelled_registry();
+        let per_algo = registry.rollup(&["algorithm"]);
+        assert_eq!(per_algo.counter("placed", &[("algorithm", "cubefit")]), 8);
+        assert_eq!(per_algo.counter("placed", &[("algorithm", "rfi")]), 2);
+        assert_eq!(per_algo.counter("audits", &[]), 9);
+        // Class labels are gone: exactly one cubefit `placed` row remains.
+        let cubefit_rows = per_algo
+            .counters
+            .iter()
+            .filter(|c| c.name == "placed" && c.labels.iter().any(|(_, v)| v == "cubefit"))
+            .count();
+        assert_eq!(cubefit_rows, 1);
+        // Histograms merged: both cubefit samples in one histogram.
+        let merged = per_algo
+            .histograms
+            .iter()
+            .find(|h| {
+                h.name == "latency" && h.labels == vec![("algorithm".into(), "cubefit".into())]
+            })
+            .expect("merged cubefit latency histogram");
+        assert_eq!(merged.histogram.count, 2);
+
+        let grand = registry.rollup(&[]);
+        assert_eq!(grand.counter("placed", &[]), 10);
+        assert_eq!(grand.gauge("servers", &[]), 10.0);
+        let total_latency = grand.histograms.iter().find(|h| h.name == "latency").expect("latency");
+        assert_eq!(total_latency.histogram.count, 3);
+    }
+
+    #[test]
+    fn diff_reports_only_the_interval() {
+        let registry = Registry::new();
+        let placed = registry.counter("placed", &[]);
+        let latency = registry.histogram("latency", &[]);
+        placed.add(4);
+        latency.record(0.010);
+        let before = registry.snapshot();
+        placed.add(6);
+        latency.record(0.030);
+        registry.counter("failures", &[]).inc();
+        let after = registry.snapshot();
+        let delta = after.diff(&before);
+        assert_eq!(delta.counter("placed", &[]), 6);
+        // Counter absent from `before` counts from zero.
+        assert_eq!(delta.counter("failures", &[]), 1);
+        let lat = delta.histograms.iter().find(|h| h.name == "latency").unwrap();
+        assert_eq!(lat.histogram.count, 1);
+    }
+
+    #[test]
+    fn rollup_tree_splits_by_hierarchy_level() {
+        let registry = labelled_registry();
+        let tree = registry.rollup_tree(&["algorithm", "class"]);
+        assert_eq!(tree.key, "");
+        assert_eq!(tree.metrics.counter("placed", &[]), 10);
+        assert_eq!(tree.children.len(), 2);
+        let cubefit = tree.children.iter().find(|c| c.value == "cubefit").expect("cubefit child");
+        assert_eq!(cubefit.key, "algorithm");
+        assert_eq!(cubefit.metrics.counter("placed", &[("algorithm", "cubefit")]), 8);
+        // `audits` has no algorithm label: aggregated at the root only.
+        assert_eq!(cubefit.metrics.counter("audits", &[]), 0);
+        let classes: Vec<&str> = cubefit.children.iter().map(|c| c.value.as_str()).collect();
+        assert_eq!(classes, ["0", "1"]);
+        let class0 = &cubefit.children[0];
+        assert_eq!(
+            class0.metrics.counter("placed", &[("algorithm", "cubefit"), ("class", "0")]),
+            5
+        );
+        assert!(class0.children.is_empty());
+        // The tree serializes (the CLI ships it as JSON) and renders.
+        let text = serde_json::to_string(&tree).unwrap();
+        let back: RollupNode = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, tree);
+        let rendered = tree.render();
+        assert!(rendered.contains("algorithm=cubefit"));
+        assert!(rendered.contains("class=1"));
     }
 }

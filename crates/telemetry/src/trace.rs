@@ -182,6 +182,91 @@ pub enum TraceEvent {
         /// Bins newly created for this tenant.
         opened: usize,
     },
+    /// Periodic soak-harness checkpoint: a compact summary of live state
+    /// so a streaming analyzer can rebuild timelines without replaying
+    /// the run.
+    SoakCheckpoint {
+        /// Mutation-op index the checkpoint was taken at.
+        op: u64,
+        /// Live tenants.
+        tenants: usize,
+        /// Non-empty bins.
+        open_bins: usize,
+        /// Wasted capacity across open bins, `1 − load/open_bins`.
+        fragmentation: f64,
+        /// Bins within the monitor's at-risk slack band.
+        at_risk: usize,
+        /// Bins with a negative Theorem-1 margin.
+        violated: usize,
+    },
+    /// A sampled (or final full) oracle audit finished.
+    AuditCompleted {
+        /// Mutation-op index the audit ran at.
+        op: u64,
+        /// Structural divergences found (0 = clean).
+        divergences: usize,
+        /// Whether this was the exhaustive final audit rather than a
+        /// sampled mid-run one.
+        full: bool,
+    },
+}
+
+/// Names of every [`TraceEvent`] variant, in declaration order. Paired
+/// with [`TraceEvent::variant_name`] so tests can assert exhaustive
+/// serde coverage: adding a variant without extending the sample-event
+/// list fails CI rather than shipping an unserializable event.
+pub const VARIANT_NAMES: &[&str] = &[
+    "TenantArrived",
+    "MfitOutcome",
+    "SlotAssigned",
+    "FitAttempt",
+    "BinOpened",
+    "BinClosed",
+    "RobustnessChecked",
+    "TenantDeparted",
+    "ServersFailed",
+    "ReplicaMigrated",
+    "RecoveryCompleted",
+    "DefragPlanned",
+    "ServerClosed",
+    "LoadDrifted",
+    "InvariantViolated",
+    "MitigationPlanned",
+    "Placed",
+    "SoakCheckpoint",
+    "AuditCompleted",
+];
+
+impl TraceEvent {
+    /// The externally-tagged variant name this event serializes under.
+    ///
+    /// The match is exhaustive on purpose: a new variant fails to compile
+    /// here until it is named, and the test suite then requires it in
+    /// both [`VARIANT_NAMES`] and the round-trip sample set.
+    #[must_use]
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            TraceEvent::TenantArrived { .. } => "TenantArrived",
+            TraceEvent::MfitOutcome { .. } => "MfitOutcome",
+            TraceEvent::SlotAssigned { .. } => "SlotAssigned",
+            TraceEvent::FitAttempt { .. } => "FitAttempt",
+            TraceEvent::BinOpened { .. } => "BinOpened",
+            TraceEvent::BinClosed { .. } => "BinClosed",
+            TraceEvent::RobustnessChecked { .. } => "RobustnessChecked",
+            TraceEvent::TenantDeparted { .. } => "TenantDeparted",
+            TraceEvent::ServersFailed { .. } => "ServersFailed",
+            TraceEvent::ReplicaMigrated { .. } => "ReplicaMigrated",
+            TraceEvent::RecoveryCompleted { .. } => "RecoveryCompleted",
+            TraceEvent::DefragPlanned { .. } => "DefragPlanned",
+            TraceEvent::ServerClosed { .. } => "ServerClosed",
+            TraceEvent::LoadDrifted { .. } => "LoadDrifted",
+            TraceEvent::InvariantViolated { .. } => "InvariantViolated",
+            TraceEvent::MitigationPlanned { .. } => "MitigationPlanned",
+            TraceEvent::Placed { .. } => "Placed",
+            TraceEvent::SoakCheckpoint { .. } => "SoakCheckpoint",
+            TraceEvent::AuditCompleted { .. } => "AuditCompleted",
+        }
+    }
 }
 
 /// Destination for a stream of [`TraceEvent`]s. `Send + Sync` so sinks can
@@ -190,8 +275,13 @@ pub trait TraceSink: Send + Sync {
     /// Records one event.
     fn record(&self, event: &TraceEvent);
 
-    /// Flushes buffered output (no-op by default).
-    fn flush(&self) {}
+    /// Flushes buffered output and reports any I/O error accumulated
+    /// since the previous flush (no-op by default). Sinks that cannot
+    /// fail `record` mid-placement latch the first error and surface it
+    /// here, so a truncated trace cannot pass silently.
+    fn flush(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 impl<S: TraceSink + ?Sized> TraceSink for std::sync::Arc<S> {
@@ -199,20 +289,34 @@ impl<S: TraceSink + ?Sized> TraceSink for std::sync::Arc<S> {
         (**self).record(event);
     }
 
-    fn flush(&self) {
-        (**self).flush();
+    fn flush(&self) -> Result<(), String> {
+        (**self).flush()
     }
 }
 
 /// Writes events as JSON Lines to any `Write` target.
+///
+/// `record` never panics mid-placement: the first write error is latched
+/// and returned by the next [`TraceSink::flush`]. Dropping the sink
+/// flushes the writer so short traces are not left sitting in an OS
+/// buffer (errors at drop time are unrecoverable and ignored — call
+/// `flush` first when the trace matters).
 pub struct JsonlSink<W: Write + Send> {
     writer: Mutex<W>,
+    error: Mutex<Option<String>>,
 }
 
 impl<W: Write + Send> JsonlSink<W> {
     /// A sink writing one JSON object per line to `writer`.
     pub fn new(writer: W) -> Self {
-        JsonlSink { writer: Mutex::new(writer) }
+        JsonlSink { writer: Mutex::new(writer), error: Mutex::new(None) }
+    }
+
+    fn latch_error(&self, context: &str, err: &std::io::Error) {
+        let mut slot = self.error.lock().expect("sink error lock");
+        if slot.is_none() {
+            *slot = Some(format!("trace sink {context}: {err}"));
+        }
     }
 }
 
@@ -220,13 +324,28 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
     fn record(&self, event: &TraceEvent) {
         let line = serde_json::to_string(event).expect("trace events serialize");
         let mut writer = self.writer.lock().expect("sink lock");
-        // A trace is advisory; ignore I/O errors rather than panicking
-        // mid-placement.
-        let _ = writeln!(writer, "{line}");
+        if let Err(err) = writeln!(writer, "{line}") {
+            drop(writer);
+            self.latch_error("write failed", &err);
+        }
     }
 
-    fn flush(&self) {
-        let _ = self.writer.lock().expect("sink lock").flush();
+    fn flush(&self) -> Result<(), String> {
+        if let Err(err) = self.writer.lock().expect("sink lock").flush() {
+            self.latch_error("flush failed", &err);
+        }
+        match self.error.lock().expect("sink error lock").take() {
+            Some(message) => Err(message),
+            None => Ok(()),
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        if let Ok(writer) = self.writer.get_mut() {
+            let _ = writer.flush();
+        }
     }
 }
 
@@ -257,10 +376,14 @@ impl TraceSink for VecSink {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
+    use std::sync::Arc;
 
-    fn sample_events() -> Vec<TraceEvent> {
+    /// One instance of **every** `TraceEvent` variant. The exhaustiveness
+    /// test below fails if a variant is missing, so serde coverage for a
+    /// new event cannot be forgotten.
+    pub(crate) fn sample_events() -> Vec<TraceEvent> {
         vec![
             TraceEvent::TenantArrived { tenant: 7, load: 0.25, seq: 0 },
             TraceEvent::MfitOutcome { tenant: 7, class: 3, candidates_scanned: 5, hit: false },
@@ -284,7 +407,31 @@ mod tests {
             TraceEvent::LoadDrifted { tenant: 8, old_load: 0.25, new_load: 0.375, at: 12 },
             TraceEvent::InvariantViolated { bin: 6, level: 0.75, deficit: 0.0625 },
             TraceEvent::MitigationPlanned { steps: 3, moved_load: 0.25, cured: 2, residual: 1 },
+            TraceEvent::SoakCheckpoint {
+                op: 1000,
+                tenants: 250,
+                open_bins: 40,
+                fragmentation: 0.125,
+                at_risk: 2,
+                violated: 0,
+            },
+            TraceEvent::AuditCompleted { op: 1000, divergences: 0, full: false },
         ]
+    }
+
+    #[test]
+    fn sample_events_cover_every_variant() {
+        let sampled: Vec<&str> = sample_events().iter().map(TraceEvent::variant_name).collect();
+        for name in VARIANT_NAMES {
+            assert!(
+                sampled.contains(name),
+                "TraceEvent::{name} has no round-trip sample: add one to sample_events()"
+            );
+        }
+        // And the name list itself cannot drift stale.
+        for name in &sampled {
+            assert!(VARIANT_NAMES.contains(name), "{name} missing from VARIANT_NAMES");
+        }
     }
 
     #[test]
@@ -292,18 +439,41 @@ mod tests {
         for event in sample_events() {
             let line = serde_json::to_string(&event).unwrap();
             assert!(!line.contains('\n'));
+            assert!(
+                line.contains(&format!("\"{}\"", event.variant_name())),
+                "externally tagged form should name the variant: {line}"
+            );
             let back: TraceEvent = serde_json::from_str(&line).unwrap();
             assert_eq!(back, event);
         }
     }
 
+    /// A `Write` target the test can still read after the sink (which now
+    /// owns a `Drop` impl) goes away.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("buf lock").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
     #[test]
     fn jsonl_sink_writes_one_line_per_event() {
-        let sink = JsonlSink::new(Vec::new());
+        let buf = SharedBuf::default();
+        let sink = JsonlSink::new(buf.clone());
         for event in sample_events() {
             sink.record(&event);
         }
-        let bytes = sink.writer.into_inner().unwrap();
+        assert_eq!(sink.flush(), Ok(()));
+        drop(sink);
+        let bytes = buf.0.lock().expect("buf lock").clone();
         let text = String::from_utf8(bytes).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), sample_events().len());
@@ -311,6 +481,53 @@ mod tests {
             let back: TraceEvent = serde_json::from_str(line).unwrap();
             assert_eq!(back, event);
         }
+    }
+
+    /// A writer that fails every operation, to exercise the error latch.
+    struct BrokenWriter;
+
+    impl Write for BrokenWriter {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(std::io::ErrorKind::Other, "disk full"))
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Err(std::io::Error::new(std::io::ErrorKind::Other, "disk full"))
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_surfaces_write_errors_at_flush() {
+        let sink = JsonlSink::new(BrokenWriter);
+        sink.record(&TraceEvent::BinClosed { bin: 0, level: 0.5 });
+        let err = sink.flush().expect_err("write error must surface");
+        assert!(err.contains("disk full"), "unexpected error text: {err}");
+        // The latch is consumed: a later flush reports only new failures
+        // (here the flush itself still fails).
+        let err2 = sink.flush().expect_err("flush error must surface");
+        assert!(err2.contains("flush failed"), "unexpected error text: {err2}");
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        struct FlushProbe(Arc<Mutex<bool>>);
+
+        impl Write for FlushProbe {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+
+            fn flush(&mut self) -> std::io::Result<()> {
+                *self.0.lock().expect("probe lock") = true;
+                Ok(())
+            }
+        }
+
+        let flushed = Arc::new(Mutex::new(false));
+        let sink = JsonlSink::new(FlushProbe(Arc::clone(&flushed)));
+        sink.record(&TraceEvent::BinClosed { bin: 0, level: 0.5 });
+        drop(sink);
+        assert!(*flushed.lock().expect("probe lock"), "drop must flush the writer");
     }
 
     #[test]

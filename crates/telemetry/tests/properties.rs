@@ -98,6 +98,75 @@ proptest! {
         prop_assert_eq!(snapshot.p99, histogram.quantile(0.99));
     }
 
+    /// Merging two histograms is indistinguishable from recording the
+    /// concatenated sample stream: counts, min and max are exact, sums
+    /// agree to float addition order, and — because both sides share the
+    /// same log-bucket geometry and merge adds bucket counts — every
+    /// quantile matches the concatenated histogram *exactly* and stays
+    /// within a bucket of the exact sorted oracle.
+    #[test]
+    fn merge_equals_histogram_of_concatenated_samples(
+        left_raw in prop::collection::vec((1u32..1_000_000, 1u32..1_000), 1..200),
+        right_raw in prop::collection::vec((1u32..1_000_000, 1u32..1_000), 1..200),
+    ) {
+        let to_samples = |raw: &[(u32, u32)]| -> Vec<f64> {
+            raw.iter().map(|&(m, d)| f64::from(m) / f64::from(d)).collect()
+        };
+        let left_samples = to_samples(&left_raw);
+        let right_samples = to_samples(&right_raw);
+
+        let left = Histogram::new();
+        let right = Histogram::new();
+        let concatenated = Histogram::new();
+        for &s in &left_samples {
+            left.record(s);
+            concatenated.record(s);
+        }
+        for &s in &right_samples {
+            right.record(s);
+            concatenated.record(s);
+        }
+        left.merge(&right);
+
+        prop_assert_eq!(left.count(), concatenated.count());
+        prop_assert_eq!(left.min(), concatenated.min());
+        prop_assert_eq!(left.max(), concatenated.max());
+        let exact_sum: f64 = left_samples.iter().chain(&right_samples).sum();
+        prop_assert!((left.sum() - exact_sum).abs() <= 1e-9 * exact_sum.abs().max(1.0));
+
+        let mut sorted: Vec<f64> =
+            left_samples.iter().chain(&right_samples).copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            // Bucket counts are identical, so the merged histogram and the
+            // concatenated one report the same estimate bit-for-bit.
+            prop_assert_eq!(left.quantile(q), concatenated.quantile(q));
+            let exact = exact_quantile(&sorted, q);
+            prop_assert!(
+                close(left.quantile(q), exact),
+                "q={} merged={} exact={}", q, left.quantile(q), exact
+            );
+        }
+
+        // The snapshot-level merge agrees with the live-histogram merge.
+        let mut snap = Histogram::new().snapshot();
+        for &s in &left_samples {
+            let h = Histogram::new();
+            h.record(s);
+            snap.merge(&h.snapshot());
+        }
+        for &s in &right_samples {
+            let h = Histogram::new();
+            h.record(s);
+            snap.merge(&h.snapshot());
+        }
+        prop_assert_eq!(snap.count, left.count());
+        prop_assert_eq!(snap.min, left.min());
+        prop_assert_eq!(snap.max, left.max());
+        prop_assert_eq!(snap.p50, left.quantile(0.5));
+        prop_assert_eq!(snap.p99, left.quantile(0.99));
+    }
+
     /// Every trace-event variant survives a JSONL round-trip with
     /// arbitrary field values, not just the fixed samples of the unit
     /// tests.
