@@ -57,7 +57,7 @@ fn fragmentation_oracle(placement: &Placement) -> FragmentationStats {
         }
     }
     let mut fills: Vec<f64> = levels.values().copied().collect();
-    fills.sort_by(|a, b| a.partial_cmp(b).expect("levels are finite"));
+    fills.sort_by(f64::total_cmp);
     let open_bins = fills.len();
     let mean_fill = if open_bins == 0 { 0.0 } else { total_load / open_bins as f64 };
     let p10_fill = if open_bins == 0 {

@@ -1,0 +1,236 @@
+//! Differential proptest suite for the sharded placement backend and the
+//! batch mutation API.
+//!
+//! Two equivalence contracts, each checked across all seven algorithms:
+//!
+//! 1. **Sharded == single-backend.** A consolidator switched to an
+//!    `N`-shard backend (`N ∈ {1, 2, 4, 8}`) before any ops must produce a
+//!    bit-identical placement (same [`PlacementDump`], same robustness
+//!    verdict) for the same mixed place/remove/update-load stream as the
+//!    default single backend. The sharded run must additionally pass the
+//!    parallel oracle audit and per-shard reconciliation.
+//! 2. **Batch == sequential.** `place_batch` / `update_load_batch` /
+//!    `remove_batch` must leave exactly the state a hand-written per-op
+//!    loop leaves.
+
+use cubefit_audit::algorithms;
+use cubefit_core::{oracle, Consolidator, Load, PlacementDump, Tenant, TenantId};
+use proptest::prelude::*;
+
+/// One step of a mixed mutation stream. Indices are resolved against the
+/// set of currently-live tenants at apply time, so every generated stream
+/// is valid by construction.
+#[derive(Debug, Clone)]
+enum Op {
+    Place(f64),
+    Remove(usize),
+    Update(usize, f64),
+}
+
+fn load_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![0.0001f64..=1.0, Just(1.0), Just(0.5), Just(1.0 / 3.0), 0.001f64..0.1,]
+}
+
+/// Raw op encoding: `(selector, load, index)`. Selectors 0–2 are places
+/// (weighting the stream 3:1:1 toward growth), 3 removes, 4 updates.
+fn op_strategy() -> impl Strategy<Value = (usize, f64, usize)> {
+    (0usize..5, load_strategy(), any::<usize>())
+}
+
+fn decode_ops(raw: &[(usize, f64, usize)]) -> Vec<Op> {
+    raw.iter()
+        .map(|&(selector, load, index)| match selector {
+            0..=2 => Op::Place(load),
+            3 => Op::Remove(index),
+            _ => Op::Update(index, load),
+        })
+        .collect()
+}
+
+fn gamma_strategy() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(2), Just(3), Just(12)]
+}
+
+/// Drives `ops` through `algo`, resolving remove/update indices against the
+/// live-tenant set. Deterministic: two algorithm instances fed the same
+/// stream perform the exact same sequence of placement-substrate calls.
+fn apply_ops(algo: &mut dyn Consolidator, ops: &[Op]) {
+    let mut live: Vec<TenantId> = Vec::new();
+    let mut next_id = 0u64;
+    for op in ops {
+        match op {
+            Op::Place(load) => {
+                let tenant = Tenant::new(TenantId::new(next_id), Load::new(*load).unwrap());
+                next_id += 1;
+                algo.place(tenant).unwrap();
+                live.push(TenantId::new(next_id - 1));
+            }
+            Op::Remove(index) => {
+                if !live.is_empty() {
+                    let tenant = live.remove(index % live.len());
+                    algo.remove(tenant).unwrap();
+                }
+            }
+            Op::Update(index, load) => {
+                if !live.is_empty() {
+                    let tenant = live[index % live.len()];
+                    algo.update_load(tenant, *load).unwrap();
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every algorithm produces a bit-identical placement on sharded
+    /// backends, and the sharded state passes reconciliation plus the
+    /// parallel oracle audit.
+    #[test]
+    fn sharded_backend_matches_single(
+        raw_ops in prop::collection::vec(op_strategy(), 1..28),
+        gamma in gamma_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let ops = decode_ops(&raw_ops);
+        for baseline in algorithms(gamma, seed) {
+            let name = baseline.name();
+            let mut single = baseline;
+            apply_ops(single.as_mut(), &ops);
+            let expected_dump = PlacementDump::from_placement(single.placement());
+            let expected_robust = single.placement().is_robust();
+
+            for shards in [1usize, 2, 4, 8] {
+                let mut sharded = algorithms(gamma, seed)
+                    .into_iter()
+                    .find(|a| a.name() == name)
+                    .expect("algorithm present in registry");
+                sharded.set_shards(shards);
+                apply_ops(sharded.as_mut(), &ops);
+
+                let dump = PlacementDump::from_placement(sharded.placement());
+                prop_assert_eq!(
+                    &dump, &expected_dump,
+                    "{} at gamma {} with {} shard(s): placement diverged",
+                    name, gamma, shards
+                );
+                prop_assert_eq!(
+                    sharded.placement().is_robust(), expected_robust,
+                    "{} at gamma {} with {} shard(s): robustness verdict diverged",
+                    name, gamma, shards
+                );
+                let audit = oracle::audit_sharded(sharded.placement(), 4);
+                prop_assert!(
+                    audit.is_ok(),
+                    "{} at gamma {} with {} shard(s): {}",
+                    name, gamma, shards,
+                    audit.err().map(|e| e.to_string()).unwrap_or_default()
+                );
+            }
+        }
+    }
+
+    /// The batch mutation API is state-equivalent to per-op loops for every
+    /// algorithm, on both single and sharded backends.
+    #[test]
+    fn batch_apis_match_sequential_loops(
+        loads in prop::collection::vec(load_strategy(), 4..24),
+        updates in prop::collection::vec(load_strategy(), 1..8),
+        gamma in gamma_strategy(),
+        seed in any::<u64>(),
+        shards in prop_oneof![Just(0usize), Just(4)],
+    ) {
+        let tenants: Vec<Tenant> = loads
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| Tenant::new(TenantId::new(i as u64), Load::new(l).unwrap()))
+            .collect();
+        // Update the first `updates.len()` tenants, remove every third one.
+        let update_ops: Vec<(TenantId, f64)> = updates
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (TenantId::new((i % loads.len()) as u64), l))
+            .collect();
+        let removals: Vec<TenantId> = (0..loads.len())
+            .step_by(3)
+            .map(|i| TenantId::new(i as u64))
+            .collect();
+
+        for baseline in algorithms(gamma, seed) {
+            let name = baseline.name();
+            let mut sequential = baseline;
+            if shards > 0 {
+                sequential.set_shards(shards);
+            }
+            for t in tenants.clone() {
+                sequential.place(t).unwrap();
+            }
+            for &(tenant, load) in &update_ops {
+                sequential.update_load(tenant, load).unwrap();
+            }
+            for &tenant in &removals {
+                sequential.remove(tenant).unwrap();
+            }
+
+            let mut batched = algorithms(gamma, seed)
+                .into_iter()
+                .find(|a| a.name() == name)
+                .expect("algorithm present in registry");
+            if shards > 0 {
+                batched.set_shards(shards);
+            }
+            let outcomes = batched.place_batch(tenants.clone()).unwrap();
+            prop_assert_eq!(outcomes.len(), tenants.len());
+            // Duplicate update targets deliberately stay in the stream:
+            // they exercise the second-touch path of the deferred re-key
+            // bookkeeping (RFI's first-touch slack capture in particular).
+            batched.update_load_batch(&update_ops).unwrap();
+            batched.remove_batch(&removals).unwrap();
+
+            prop_assert_eq!(
+                PlacementDump::from_placement(batched.placement()),
+                PlacementDump::from_placement(sequential.placement()),
+                "{} at gamma {} ({} shards): batch APIs diverged from sequential loops",
+                name, gamma, shards
+            );
+            prop_assert_eq!(
+                batched.placement().is_robust(),
+                sequential.placement().is_robust()
+            );
+        }
+    }
+}
+
+/// Deterministic smoke: a 60-op interleaved stream at γ = 12 across 8
+/// shards matches the single backend exactly and passes both per-shard
+/// reconciliation and the parallel oracle audit. (Failure recovery under
+/// churn is covered separately by `churn_differential`.)
+#[test]
+fn gamma_twelve_sharded_interleaved_regression() {
+    let ops: Vec<Op> = (0..60)
+        .map(|i| match i % 5 {
+            0 | 1 | 2 => Op::Place(0.01 + (i as f64 % 13.0) * 0.05),
+            3 => Op::Update(i / 2, 0.2),
+            _ => Op::Remove(i / 3),
+        })
+        .collect();
+    for baseline in algorithms(12, 7) {
+        let name = baseline.name();
+        let mut single = baseline;
+        apply_ops(single.as_mut(), &ops);
+        let expected = PlacementDump::from_placement(single.placement());
+        let mut sharded = algorithms(12, 7).into_iter().find(|a| a.name() == name).unwrap();
+        sharded.set_shards(8);
+        apply_ops(sharded.as_mut(), &ops);
+        assert_eq!(
+            PlacementDump::from_placement(sharded.placement()),
+            expected,
+            "{name}: sharded placement diverged"
+        );
+        sharded.placement().reconcile_shards().into_iter().for_each(|failure| {
+            panic!("{name}: reconcile failure: {failure}");
+        });
+        oracle::audit_sharded(sharded.placement(), 8).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}

@@ -182,6 +182,34 @@ impl Greedy {
         Ok(LoadUpdateOutcome { tenant, old_load, new_load, bins })
     }
 
+    /// Batch fast paths. Greedy removals and load updates never query the
+    /// failover reserve (their index footprint is the level-keyed
+    /// [`LevelIndex`] plus authoritative placement levels), so whole
+    /// batches run in the backend's deferred-maintenance mode and pay one
+    /// failover-cache rebuild per touched bin instead of one per op.
+    fn remove_batch(&mut self, tenants: &[TenantId]) -> Result<Vec<RemovalOutcome>> {
+        self.placement.begin_batch();
+        let result = tenants.iter().map(|tenant| self.remove(*tenant)).collect();
+        self.placement.end_batch();
+        result
+    }
+
+    fn update_load_batch(&mut self, updates: &[(TenantId, f64)]) -> Result<Vec<LoadUpdateOutcome>> {
+        self.placement.begin_batch();
+        let result =
+            updates.iter().map(|(tenant, load)| self.update_load(*tenant, *load)).collect();
+        self.placement.end_batch();
+        result
+    }
+
+    /// Placement decisions query the reserve per replica, so batched
+    /// placement keeps the sequential decision loop and only amortizes the
+    /// tenant-table growth.
+    fn place_batch(&mut self, tenants: Vec<Tenant>) -> Result<Vec<PlacementOutcome>> {
+        self.placement.reserve_tenants(tenants.len());
+        tenants.into_iter().map(|tenant| self.place(tenant)).collect()
+    }
+
     /// Re-homes orphaned replicas using the packer's own preference order
     /// (fullest / oldest / emptiest feasible survivor), under the full
     /// `γ − 1` reserve so recovery never weakens robustness regardless of
@@ -303,6 +331,25 @@ macro_rules! greedy_packer {
 
             fn update_load(&mut self, tenant: TenantId, new_load: f64) -> Result<LoadUpdateOutcome> {
                 self.inner.update_load(tenant, new_load)
+            }
+
+            fn place_batch(&mut self, tenants: Vec<Tenant>) -> Result<Vec<PlacementOutcome>> {
+                self.inner.place_batch(tenants)
+            }
+
+            fn remove_batch(&mut self, tenants: &[TenantId]) -> Result<Vec<RemovalOutcome>> {
+                self.inner.remove_batch(tenants)
+            }
+
+            fn update_load_batch(
+                &mut self,
+                updates: &[(TenantId, f64)],
+            ) -> Result<Vec<LoadUpdateOutcome>> {
+                self.inner.update_load_batch(updates)
+            }
+
+            fn set_shards(&mut self, shards: usize) {
+                self.inner.placement.set_shards(shards);
             }
 
             fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport> {

@@ -32,7 +32,7 @@ pub fn best_fit_decreasing_with_reserve(
     reserve: ReserveMode,
 ) -> Result<Placement> {
     let mut sorted: Vec<Tenant> = tenants.to_vec();
-    sorted.sort_by(|a, b| b.load().get().partial_cmp(&a.load().get()).expect("loads are finite"));
+    sorted.sort_by(|a, b| b.load().get().total_cmp(&a.load().get()));
     let mut packer = BestFit::with_reserve(gamma, reserve)?;
     for tenant in sorted {
         packer.place(tenant)?;

@@ -117,6 +117,27 @@ impl Consolidator for RandomFit {
         Ok(LoadUpdateOutcome { tenant, old_load, new_load, bins })
     }
 
+    fn remove_batch(&mut self, tenants: &[TenantId]) -> Result<Vec<RemovalOutcome>> {
+        // No derived index and no reserve queries: the whole batch runs in
+        // the backend's deferred-maintenance mode.
+        self.placement.begin_batch();
+        let result = tenants.iter().map(|tenant| self.remove(*tenant)).collect();
+        self.placement.end_batch();
+        result
+    }
+
+    fn update_load_batch(&mut self, updates: &[(TenantId, f64)]) -> Result<Vec<LoadUpdateOutcome>> {
+        self.placement.begin_batch();
+        let result =
+            updates.iter().map(|(tenant, load)| self.update_load(*tenant, *load)).collect();
+        self.placement.end_batch();
+        result
+    }
+
+    fn set_shards(&mut self, shards: usize) {
+        self.placement.set_shards(shards);
+    }
+
     /// Re-homes orphans onto randomly probed feasible survivors (same probe
     /// budget as placement), opening a fresh server when every probe misses.
     fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport> {

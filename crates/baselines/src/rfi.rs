@@ -11,6 +11,7 @@ use cubefit_core::{
 };
 use cubefit_telemetry::{Recorder, TraceEvent};
 use std::cell::Cell;
+use std::collections::HashMap;
 
 /// **RFI**: replica-level Best Fit with a *single-failure* failover reserve
 /// and an interleaving cap `μ`.
@@ -56,6 +57,12 @@ pub struct Rfi {
     mu: f64,
     fallbacks: usize,
     scan_limit: usize,
+    /// When `Some`, removals and load updates record each touched bin's
+    /// pre-batch slack key (captured at first touch, while the bin's
+    /// failover cache is still clean) instead of re-keying immediately; the
+    /// batch fast path re-keys every recorded bin once at the end. `None`
+    /// outside batches.
+    deferred_rekey: Option<HashMap<BinId, f64>>,
     telemetry: BaselineTelemetry,
 }
 
@@ -80,6 +87,7 @@ impl Rfi {
             mu,
             fallbacks: 0,
             scan_limit: usize::MAX,
+            deferred_rekey: None,
             telemetry: BaselineTelemetry::default(),
         })
     }
@@ -116,6 +124,44 @@ impl Rfi {
         let bin = self.placement.open_bin(None);
         self.index.insert(bin, self.slack(bin));
         bin
+    }
+
+    /// Captures the slack keys of `bins` before a removal/load update
+    /// mutates them. Outside a batch, returns them for the caller's
+    /// immediate per-op re-key. Inside a batch, records each bin's key at
+    /// *first touch* — while its failover cache is still clean, so the
+    /// query is valid and equals the key currently stored in the index —
+    /// and returns `None` (the batch re-keys once at the end).
+    fn note_old_slacks(&mut self, bins: &[BinId]) -> Option<Vec<(BinId, f64)>> {
+        match self.deferred_rekey.as_ref() {
+            None => Some(bins.iter().map(|&b| (b, self.slack(b))).collect()),
+            Some(pending) => {
+                let missing: Vec<BinId> =
+                    bins.iter().copied().filter(|b| !pending.contains_key(b)).collect();
+                let slacks: Vec<(BinId, f64)> =
+                    missing.into_iter().map(|b| (b, self.slack(b))).collect();
+                self.deferred_rekey.as_mut().expect("checked above").extend(slacks);
+                None
+            }
+        }
+    }
+
+    /// Runs `ops` with slack re-keys deferred and the placement backend in
+    /// deferred-maintenance mode, then re-keys every touched bin once
+    /// (deterministic bin order) from its recorded pre-batch key to its
+    /// final slack.
+    fn batched<T>(&mut self, ops: impl FnOnce(&mut Self) -> Result<Vec<T>>) -> Result<Vec<T>> {
+        self.placement.begin_batch();
+        self.deferred_rekey = Some(HashMap::new());
+        let result = ops(self);
+        let pending = self.deferred_rekey.take().expect("batch mode set above");
+        self.placement.end_batch();
+        let mut pending: Vec<(BinId, f64)> = pending.into_iter().collect();
+        pending.sort_unstable_by_key(|(bin, _)| *bin);
+        for (bin, old_slack) in pending {
+            self.index.update(bin, old_slack, self.slack(bin));
+        }
+        result
     }
 }
 
@@ -189,16 +235,14 @@ impl Consolidator for Rfi {
         // Removal shrinks the levels of exactly the tenant's bins, and the
         // shared loads of exactly the pairs among them — no other bin's
         // slack key moves, so only these keys are refreshed.
-        let old: Vec<(BinId, f64)> = self
-            .placement
-            .tenant_bins(tenant)
-            .ok_or(Error::UnknownTenant { tenant })?
-            .iter()
-            .map(|&b| (b, self.slack(b)))
-            .collect();
+        let touched: Vec<BinId> =
+            self.placement.tenant_bins(tenant).ok_or(Error::UnknownTenant { tenant })?.to_vec();
+        let old = self.note_old_slacks(&touched);
         let (load, bins) = self.placement.remove_tenant(tenant)?;
-        for (bin, old_slack) in old {
-            self.index.update(bin, old_slack, self.slack(bin));
+        if let Some(old) = old {
+            for (bin, old_slack) in old {
+                self.index.update(bin, old_slack, self.slack(bin));
+            }
         }
         self.telemetry.recorder.emit(|| TraceEvent::TenantDeparted { tenant: tenant.get(), load });
         Ok(RemovalOutcome { tenant, load, bins })
@@ -208,18 +252,37 @@ impl Consolidator for Rfi {
         // A load change has the same re-key footprint as a removal: the
         // tenant's bins shift level, and only pairs among them shift shared
         // load, so only those slack keys are refreshed.
-        let old: Vec<(BinId, f64)> = self
-            .placement
-            .tenant_bins(tenant)
-            .ok_or(Error::UnknownTenant { tenant })?
-            .iter()
-            .map(|&b| (b, self.slack(b)))
-            .collect();
+        let touched: Vec<BinId> =
+            self.placement.tenant_bins(tenant).ok_or(Error::UnknownTenant { tenant })?.to_vec();
+        let old = self.note_old_slacks(&touched);
         let (old_load, bins) = self.placement.update_load(tenant, new_load)?;
-        for (bin, old_slack) in old {
-            self.index.update(bin, old_slack, self.slack(bin));
+        if let Some(old) = old {
+            for (bin, old_slack) in old {
+                self.index.update(bin, old_slack, self.slack(bin));
+            }
         }
         Ok(LoadUpdateOutcome { tenant, old_load, new_load, bins })
+    }
+
+    fn place_batch(&mut self, tenants: Vec<Tenant>) -> Result<Vec<PlacementOutcome>> {
+        // Placement decisions query the reserve per replica, so the loop
+        // stays sequential; the batch only amortizes table growth.
+        self.placement.reserve_tenants(tenants.len());
+        tenants.into_iter().map(|tenant| self.place(tenant)).collect()
+    }
+
+    fn remove_batch(&mut self, tenants: &[TenantId]) -> Result<Vec<RemovalOutcome>> {
+        self.batched(|this| tenants.iter().map(|tenant| this.remove(*tenant)).collect())
+    }
+
+    fn update_load_batch(&mut self, updates: &[(TenantId, f64)]) -> Result<Vec<LoadUpdateOutcome>> {
+        self.batched(|this| {
+            updates.iter().map(|(tenant, load)| this.update_load(*tenant, *load)).collect()
+        })
+    }
+
+    fn set_shards(&mut self, shards: usize) {
+        self.placement.set_shards(shards);
     }
 
     /// Re-homes orphaned replicas tightest-feasible-first through the full

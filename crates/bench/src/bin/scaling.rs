@@ -2,17 +2,36 @@
 //!
 //! The paper notes that CubeFit's "asymptotic performance … is
 //! significantly better when there is a large number of tenants to
-//! consolidate on a large number of servers". This sweep quantifies that:
-//! servers used, savings over RFI, and placement wall time as the tenant
-//! count grows from 1,000 to 100,000.
+//! consolidate on a large number of servers". Two sweeps quantify that:
+//!
+//! 1. the comparative sweep — servers used, savings over RFI, and
+//!    placement wall time as the tenant count grows from 1,000 to
+//!    100,000 (single backend, per-op placement, as in the paper);
+//! 2. the sharded throughput sweep — CubeFit on the hash-partitioned
+//!    backend with the batch placement API, up to 1,000,000 tenants,
+//!    each run cross-checked by the parallel oracle audit. The sweep
+//!    pins a placements/second floor; dropping below it fails the run
+//!    so a fast-path regression cannot land silently.
 //!
 //! Run: `cargo run --release -p cubefit-bench --bin scaling [-- --quick]`
 
 use cubefit_bench::{write_json, Mode};
+use cubefit_core::oracle;
 use cubefit_sim::experiment::sequence_for;
 use cubefit_sim::report::TextTable;
 use cubefit_sim::runner::run_sequence;
 use cubefit_sim::{AlgorithmSpec, ComparisonConfig, DistributionSpec};
+use std::time::Instant;
+
+/// Shards for the throughput sweep (and workers for the parallel audit).
+const SHARDS: usize = 8;
+/// Tenants per `place_batch` call in the throughput sweep.
+const BATCH: usize = 4096;
+/// Pinned placement-throughput floor for the largest sweep size,
+/// placements/second. Release builds on the reference machine sustain
+/// well above this; the margin absorbs CI-machine noise while still
+/// catching an order-of-magnitude fast-path regression.
+const THROUGHPUT_FLOOR: f64 = 20_000.0;
 
 fn main() {
     let mode = Mode::from_args();
@@ -67,4 +86,90 @@ fn main() {
     println!("paper (§V.C): asymptotic performance improves with scale; savings grow");
     println!("with the tenant population while CubeFit's placement cost stays near-linear.");
     write_json("scaling", &serde_json::json!({ "mode": format!("{mode:?}"), "rows": json_rows }));
+
+    // ---- Sharded throughput sweep -------------------------------------
+    let sweep_sizes: &[usize] =
+        if mode.is_quick() { &[100_000] } else { &[250_000, 500_000, 1_000_000] };
+    println!(
+        "\nSharded throughput sweep — {SHARDS} shards, batch {BATCH}, \
+         parallel oracle audit ({SHARDS} workers)\n"
+    );
+    let mut sweep_table = TextTable::new(vec![
+        "tenants",
+        "servers",
+        "place (s)",
+        "placements/s",
+        "audit (s)",
+        "robust",
+    ]);
+    let mut sweep_rows = Vec::new();
+    let mut last_throughput = 0.0f64;
+
+    for &tenants in sweep_sizes {
+        let config = ComparisonConfig { tenants, runs: 1, base_seed: 23, max_clients: 52 };
+        let sequence = sequence_for(&distribution, &config, 0);
+        let mut algorithm = cubefit.build().expect("valid spec");
+        algorithm.set_shards(SHARDS);
+        let stream: Vec<_> = sequence.tenants().collect();
+        let start = Instant::now();
+        for chunk in stream.chunks(BATCH) {
+            algorithm.place_batch(chunk.to_vec()).expect("placement succeeds");
+        }
+        let wall = start.elapsed();
+        let throughput = tenants as f64 / wall.as_secs_f64();
+        last_throughput = throughput;
+
+        let audit_start = Instant::now();
+        oracle::audit_sharded(algorithm.placement(), SHARDS)
+            .unwrap_or_else(|e| panic!("sharded audit at {tenants} tenants: {e}"));
+        let audit_wall = audit_start.elapsed();
+        let robust = algorithm.placement().is_robust();
+        assert!(robust, "sharded CubeFit placement must stay robust at {tenants} tenants");
+
+        sweep_table.row(vec![
+            tenants.to_string(),
+            algorithm.placement().open_bins().to_string(),
+            format!("{:.2}", wall.as_secs_f64()),
+            format!("{throughput:.0}"),
+            format!("{:.2}", audit_wall.as_secs_f64()),
+            robust.to_string(),
+        ]);
+        sweep_rows.push(serde_json::json!({
+            "tenants": tenants,
+            "servers": algorithm.placement().open_bins(),
+            "shards": SHARDS,
+            "batch": BATCH,
+            "place_seconds": wall.as_secs_f64(),
+            "placements_per_second": throughput,
+            "audit_seconds": audit_wall.as_secs_f64(),
+            "robust": robust,
+        }));
+    }
+
+    println!("{}", sweep_table.render());
+    let floor_met = last_throughput >= THROUGHPUT_FLOOR;
+    println!(
+        "throughput floor: {THROUGHPUT_FLOOR:.0} placements/s — measured {last_throughput:.0} \
+         at the largest size ({})",
+        if floor_met { "PASS" } else { "FAIL" }
+    );
+    write_json(
+        "BENCH_scaling",
+        &serde_json::json!({
+            "mode": format!("{mode:?}"),
+            "shards": SHARDS,
+            "batch": BATCH,
+            "rows": sweep_rows,
+            "placements_per_second": last_throughput,
+            "throughput_floor": THROUGHPUT_FLOOR,
+            "floor_met": floor_met,
+        }),
+    );
+    if !floor_met {
+        eprintln!(
+            "FAIL: sharded placement throughput {last_throughput:.0}/s fell below the pinned \
+             floor {THROUGHPUT_FLOOR:.0}/s"
+        );
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,107 @@
+//! Benchmark trend gate binary.
+//!
+//! Compares fresh `BENCH_*.json` records against cached baselines and
+//! exits non-zero on a throughput regression beyond the threshold.
+//!
+//! ```text
+//! cargo run --release -p cubefit-bench --bin trend -- \
+//!     --compare baseline/BENCH_soak.json results/BENCH_soak.json \
+//!         soak.ops_per_second,analyze.lines_per_second \
+//!     --compare baseline/BENCH_scaling.json results/BENCH_scaling.json \
+//!         placements_per_second \
+//!     [--threshold 0.15]
+//! ```
+//!
+//! Each `--compare` takes a baseline path (may not exist yet — first
+//! runs pass), a current path (must exist), and a comma-separated list
+//! of dotted metric keys. Higher is better for every key.
+
+use cubefit_bench::trend::{self, FileSpec, DEFAULT_THRESHOLD};
+
+fn parse_args(args: &[String]) -> Result<(Vec<FileSpec>, f64), String> {
+    let mut specs = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--compare" => {
+                let chunk = args
+                    .get(i + 1..i + 4)
+                    .ok_or("--compare needs BASELINE CURRENT KEY[,KEY...]")?;
+                specs.push(FileSpec {
+                    baseline: chunk[0].clone(),
+                    current: chunk[1].clone(),
+                    keys: chunk[2].split(',').map(str::to_string).collect(),
+                });
+                i += 4;
+            }
+            "--threshold" => {
+                threshold = args
+                    .get(i + 1)
+                    .and_then(|t| t.parse().ok())
+                    .ok_or("--threshold needs a fraction, e.g. 0.15")?;
+                i += 2;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if specs.is_empty() {
+        return Err("at least one --compare is required".to_string());
+    }
+    Ok((specs, threshold))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (specs, threshold) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("trend: {e}");
+            std::process::exit(2);
+        }
+    };
+    match trend::run(&specs, threshold) {
+        Ok((lines, all_pass)) => {
+            println!("benchmark trend gate (allowed drop {:.0}%)", threshold * 100.0);
+            for line in &lines {
+                println!("  {line}");
+            }
+            if all_pass {
+                println!("trend gate: PASS");
+            } else {
+                eprintln!("trend gate: FAIL — throughput regressed beyond the threshold");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("trend: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_compare_specs_and_threshold() {
+        let (specs, threshold) =
+            parse_args(&strs(&["--compare", "a.json", "b.json", "x.y,z", "--threshold", "0.2"]))
+                .unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].keys, vec!["x.y", "z"]);
+        assert!((threshold - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_empty_and_unknown_args() {
+        assert!(parse_args(&[]).unwrap_err().contains("--compare"));
+        assert!(parse_args(&strs(&["--bogus"])).unwrap_err().contains("unknown"));
+        assert!(parse_args(&strs(&["--compare", "a"])).unwrap_err().contains("needs"));
+    }
+}

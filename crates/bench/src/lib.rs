@@ -25,6 +25,8 @@ use cubefit_sim::{AlgorithmSpec, ComparisonConfig, DistributionSpec};
 use cubefit_telemetry::Recorder;
 use std::path::PathBuf;
 
+pub mod trend;
+
 /// Run-mode for experiment binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {

@@ -1,0 +1,229 @@
+//! Benchmark trend gate: compare successive `BENCH_*.json` records and
+//! fail on throughput regressions.
+//!
+//! Every experiment binary leaves a machine-readable record under
+//! `results/` (e.g. `BENCH_soak.json`, `BENCH_scaling.json`). CI caches
+//! the previous run's records and calls the `trend` binary with pairs of
+//! (baseline, current) files plus the dotted keys to compare. A tracked
+//! metric that drops by more than the allowed fraction (default 15%)
+//! fails the gate; higher-is-better semantics are assumed for every key.
+//!
+//! The comparison is deliberately one-sided: improvements and baseline
+//! absences (first run on a fresh cache, a newly added metric) pass, so
+//! the gate never blocks the build that *introduces* a benchmark.
+
+use std::fmt;
+
+/// Default allowed fractional drop before the gate fails (15%).
+pub const DEFAULT_THRESHOLD: f64 = 0.15;
+
+/// Outcome of one metric comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Metric held (within threshold, improved, or no baseline to hold).
+    Pass {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Metric regressed beyond the threshold.
+    Regressed {
+        /// Baseline value.
+        baseline: f64,
+        /// Current value.
+        current: f64,
+        /// Fractional drop, e.g. `0.2` for a 20% regression.
+        drop: f64,
+    },
+}
+
+impl Verdict {
+    /// Whether this verdict passes the gate.
+    #[must_use]
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Verdict::Pass { .. })
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Pass { detail } => write!(f, "PASS ({detail})"),
+            Verdict::Regressed { baseline, current, drop } => write!(
+                f,
+                "FAIL ({current:.1} vs baseline {baseline:.1}: -{:.1}% > allowed)",
+                drop * 100.0
+            ),
+        }
+    }
+}
+
+/// Looks up a dotted key (e.g. `soak.ops_per_second`) in a parsed JSON
+/// value. Array elements are addressed by numeric segments
+/// (`rows.2.placements_per_second`). Returns `None` for missing paths or
+/// non-numeric leaves.
+#[must_use]
+pub fn lookup(value: &serde_json::Value, dotted: &str) -> Option<f64> {
+    let mut node = value;
+    for segment in dotted.split('.') {
+        node = match node {
+            serde_json::Value::Object(map) => map.get(segment)?,
+            serde_json::Value::Array(items) => items.get(segment.parse::<usize>().ok()?)?,
+            _ => return None,
+        };
+    }
+    match node {
+        serde_json::Value::Number(n) => Some(n.as_f64()),
+        _ => None,
+    }
+}
+
+/// Compares `current` against `baseline` for one dotted key.
+///
+/// Missing baseline (no file yet, or the key is new) passes — the gate
+/// only ever compares like against like. A missing *current* key fails:
+/// the metric existed before, so its disappearance is itself a
+/// regression signal.
+#[must_use]
+pub fn compare_metric(
+    baseline: Option<&serde_json::Value>,
+    current: &serde_json::Value,
+    key: &str,
+    threshold: f64,
+) -> Verdict {
+    let Some(old) = baseline.and_then(|b| lookup(b, key)) else {
+        return Verdict::Pass { detail: "no baseline".to_string() };
+    };
+    let Some(new) = lookup(current, key) else {
+        return Verdict::Regressed { baseline: old, current: f64::NAN, drop: 1.0 };
+    };
+    if old <= 0.0 {
+        return Verdict::Pass { detail: "baseline not positive".to_string() };
+    }
+    let drop = (old - new) / old;
+    if drop > threshold {
+        Verdict::Regressed { baseline: old, current: new, drop }
+    } else {
+        Verdict::Pass { detail: format!("{new:.1} vs baseline {old:.1}") }
+    }
+}
+
+/// One (baseline-path, current-path, keys) comparison spec as parsed from
+/// the `trend` binary's command line.
+#[derive(Debug, Clone)]
+pub struct FileSpec {
+    /// Path to the cached baseline record (may not exist yet).
+    pub baseline: String,
+    /// Path to the freshly produced record.
+    pub current: String,
+    /// Dotted keys to compare between the two.
+    pub keys: Vec<String>,
+}
+
+/// Runs the gate over `specs`, returning per-key report lines and whether
+/// every metric passed.
+///
+/// # Errors
+///
+/// Returns a message if a *current* file is missing or unparseable —
+/// the benchmark that should have produced it did not run.
+pub fn run(specs: &[FileSpec], threshold: f64) -> Result<(Vec<String>, bool), String> {
+    let mut lines = Vec::new();
+    let mut all_pass = true;
+    for spec in specs {
+        let baseline: Option<serde_json::Value> = std::fs::read_to_string(&spec.baseline)
+            .ok()
+            .and_then(|text| serde_json::from_str(&text).ok());
+        let current_text = std::fs::read_to_string(&spec.current)
+            .map_err(|e| format!("reading {}: {e}", spec.current))?;
+        let current: serde_json::Value = serde_json::from_str(&current_text)
+            .map_err(|e| format!("parsing {}: {e}", spec.current))?;
+        for key in &spec.keys {
+            let verdict = compare_metric(baseline.as_ref(), &current, key, threshold);
+            all_pass &= verdict.is_pass();
+            lines.push(format!("{}: {key}: {verdict}", spec.current));
+        }
+    }
+    Ok((lines, all_pass))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json(text: &str) -> serde_json::Value {
+        serde_json::from_str(text).unwrap()
+    }
+
+    #[test]
+    fn lookup_walks_objects_and_arrays() {
+        let v = json(r#"{"soak":{"ops_per_second":100.0},"rows":[{"x":1.0},{"x":2.5}]}"#);
+        assert_eq!(lookup(&v, "soak.ops_per_second"), Some(100.0));
+        assert_eq!(lookup(&v, "rows.1.x"), Some(2.5));
+        assert_eq!(lookup(&v, "rows.9.x"), None);
+        assert_eq!(lookup(&v, "soak.missing"), None);
+        assert_eq!(lookup(&v, "soak"), None, "non-numeric leaf is not a metric");
+    }
+
+    #[test]
+    fn within_threshold_passes_and_beyond_fails() {
+        let old = json(r#"{"t":100.0}"#);
+        let held = compare_metric(Some(&old), &json(r#"{"t":90.0}"#), "t", 0.15);
+        assert!(held.is_pass(), "{held}");
+        let regressed = compare_metric(Some(&old), &json(r#"{"t":80.0}"#), "t", 0.15);
+        assert!(!regressed.is_pass());
+        assert!(regressed.to_string().contains("-20.0%"), "{regressed}");
+    }
+
+    #[test]
+    fn improvements_always_pass() {
+        let old = json(r#"{"t":100.0}"#);
+        assert!(compare_metric(Some(&old), &json(r#"{"t":500.0}"#), "t", 0.15).is_pass());
+    }
+
+    #[test]
+    fn missing_baseline_passes_missing_current_fails() {
+        let current = json(r#"{"t":100.0}"#);
+        assert!(compare_metric(None, &current, "t", 0.15).is_pass());
+        let old = json(r#"{"t":100.0,"gone":5.0}"#);
+        assert!(compare_metric(Some(&old), &current, "t", 0.15).is_pass());
+        assert!(!compare_metric(Some(&old), &current, "gone", 0.15).is_pass());
+    }
+
+    #[test]
+    fn run_reads_files_and_aggregates() {
+        let dir = std::env::temp_dir().join("cubefit-trend-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        std::fs::write(&base, r#"{"soak":{"ops_per_second":100000.0}}"#).unwrap();
+        std::fs::write(&cur, r#"{"soak":{"ops_per_second":95000.0}}"#).unwrap();
+        let spec = FileSpec {
+            baseline: base.to_string_lossy().into_owned(),
+            current: cur.to_string_lossy().into_owned(),
+            keys: vec!["soak.ops_per_second".to_string()],
+        };
+        let (lines, ok) = run(std::slice::from_ref(&spec), DEFAULT_THRESHOLD).unwrap();
+        assert!(ok, "{lines:?}");
+        assert_eq!(lines.len(), 1);
+
+        std::fs::write(&cur, r#"{"soak":{"ops_per_second":10000.0}}"#).unwrap();
+        let (lines, ok) = run(std::slice::from_ref(&spec), DEFAULT_THRESHOLD).unwrap();
+        assert!(!ok, "{lines:?}");
+
+        // First run with no cached baseline must pass.
+        let fresh =
+            FileSpec { baseline: dir.join("nope.json").to_string_lossy().into_owned(), ..spec };
+        let (_, ok) = run(&[fresh], DEFAULT_THRESHOLD).unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn run_fails_on_missing_current_file() {
+        let spec = FileSpec {
+            baseline: "/nonexistent-base.json".to_string(),
+            current: "/nonexistent-cur.json".to_string(),
+            keys: vec!["t".to_string()],
+        };
+        assert!(run(&[spec], DEFAULT_THRESHOLD).unwrap_err().contains("reading"));
+    }
+}

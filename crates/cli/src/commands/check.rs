@@ -250,6 +250,19 @@ mod tests {
         }
     }
 
+    /// Regression: a dump carrying a bare `NaN` load token (the classic
+    /// artefact of a writer formatting `f64::NAN` with `{}`) must surface a
+    /// typed parse error — never reach a comparator and never panic. JSON has
+    /// no NaN literal, so this is rejected at the parsing layer.
+    #[test]
+    fn rejects_dumps_with_nan_loads() {
+        let path = tmp("check-nan-load.json");
+        let json = r#"{"gamma":2,"servers":2,"tenants":[{"tenant":0,"load":NaN,"servers":[0,1]}]}"#;
+        std::fs::write(&path, json).unwrap();
+        let err = run(&ParsedArgs::parse(["check", path.as_str()]).unwrap()).unwrap_err();
+        assert!(err.contains("parsing"), "NaN load must hit the typed parse error, got: {err}");
+    }
+
     #[test]
     fn missing_file_is_an_error() {
         let args = ParsedArgs::parse(["check", "/nonexistent.json"]).unwrap();

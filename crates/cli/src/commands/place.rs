@@ -7,12 +7,13 @@ use cubefit_core::PlacementDump;
 use cubefit_workload::trace;
 
 /// Flags accepted by `place`.
-pub const FLAGS: &[&str] = &["trace", "algorithm", "gamma", "out", "metrics-out", "trace-out"];
+pub const FLAGS: &[&str] =
+    &["trace", "algorithm", "gamma", "out", "metrics-out", "trace-out", "shards", "batch"];
 
 /// Usage line shown in `--help`.
 pub const USAGE: &str =
     "place --trace TRACE [--algorithm cubefit|cubefit:k=5|rfi|…] [--gamma G] [--out PLACEMENT.json] \
-     [--metrics-out METRICS.json] [--trace-out EVENTS.jsonl]";
+     [--metrics-out METRICS.json] [--trace-out EVENTS.jsonl] [--shards N] [--batch B]";
 
 /// Runs the command, returning its stdout text.
 ///
@@ -28,11 +29,26 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     let bytes = std::fs::read(trace_path).map_err(|e| format!("reading {trace_path}: {e}"))?;
     let sequence = trace::decode(&bytes[..]).map_err(|e| format!("decoding {trace_path}: {e}"))?;
 
+    let shards: usize = args.get_or("shards", 0usize, "an integer").map_err(|e| e.to_string())?;
+    let batch: usize = args.get_or("batch", 0usize, "an integer").map_err(|e| e.to_string())?;
+    let batched = shards > 1 || batch > 0;
+
     let metrics_out = args.get("metrics-out");
     let trace_out = args.get("trace-out");
+    if batched && (metrics_out.is_some() || trace_out.is_some()) {
+        return Err(
+            "--shards/--batch use the batch fast paths, which skip per-decision telemetry; \
+             drop --metrics-out/--trace-out or run without sharding"
+                .to_string(),
+        );
+    }
     let recorder = telemetry_out::recorder_for(metrics_out, trace_out)?;
-    let result =
-        cubefit_sim::run_sequence_with(&spec, &sequence, &recorder).map_err(|e| e.to_string())?;
+    let result = if batched {
+        cubefit_sim::run_sequence_batched(&spec, &sequence, shards, batch)
+            .map_err(|e| e.to_string())?
+    } else {
+        cubefit_sim::run_sequence_with(&spec, &sequence, &recorder).map_err(|e| e.to_string())?
+    };
     recorder.flush()?;
     let mut output = format!(
         "{algo}: {tenants} tenants on {servers} servers \
@@ -44,6 +60,13 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         robust = result.robust,
         wall = result.wall,
     );
+    if batched {
+        output.push_str(&format!(
+            "backend: {} shard(s), batch size {}\n",
+            shards.max(1),
+            if batch == 0 { result.tenants } else { batch },
+        ));
+    }
 
     if let Some(path) = metrics_out {
         telemetry_out::write_metrics(path, &result.metrics)?;
@@ -54,10 +77,16 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     }
     if let Some(out) = args.get("out") {
         // Re-run to obtain the placement itself (run_sequence reports
-        // statistics only); placement is deterministic given the spec.
+        // statistics only); placement is deterministic given the spec,
+        // and identical whether or not sharding/batching was used.
         let mut algorithm = spec.build().map_err(|e| e.to_string())?;
-        for tenant in sequence.tenants() {
-            algorithm.place(tenant).map_err(|e| e.to_string())?;
+        if shards > 1 {
+            algorithm.set_shards(shards);
+        }
+        let tenants: Vec<_> = sequence.tenants().collect();
+        let chunk = if batch == 0 { tenants.len().max(1) } else { batch };
+        for slice in tenants.chunks(chunk) {
+            algorithm.place_batch(slice.to_vec()).map_err(|e| e.to_string())?;
         }
         let dump = PlacementDump::from_placement(algorithm.placement());
         let json = serde_json::to_string_pretty(&dump).map_err(|e| e.to_string())?;
@@ -144,6 +173,54 @@ mod tests {
         let metrics: MetricsSnapshot =
             serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
         assert_eq!(metrics.counter("placements", &[]) as usize, 40);
+    }
+
+    /// `--shards`/`--batch` are throughput levers: the dumped placement
+    /// must be byte-identical to the default single-backend run.
+    #[test]
+    fn sharded_batched_placement_matches_default() {
+        let trace = make_trace("place-sharded.cft");
+        let plain_out = tmp("place-plain.json");
+        let sharded_out = tmp("place-sharded.json");
+        let plain =
+            run(&ParsedArgs::parse(["place", "--trace", &trace, "--out", &plain_out]).unwrap())
+                .unwrap();
+        let sharded = run(&ParsedArgs::parse([
+            "place",
+            "--trace",
+            &trace,
+            "--out",
+            &sharded_out,
+            "--shards",
+            "4",
+            "--batch",
+            "16",
+        ])
+        .unwrap())
+        .unwrap();
+        assert!(sharded.contains("4 shard(s), batch size 16"));
+        assert!(!plain.contains("shard(s)"));
+        assert_eq!(
+            std::fs::read_to_string(&plain_out).unwrap(),
+            std::fs::read_to_string(&sharded_out).unwrap(),
+            "sharding/batching must not change placement decisions"
+        );
+    }
+
+    #[test]
+    fn batched_mode_rejects_telemetry_flags() {
+        let trace = make_trace("place-sharded-telemetry.cft");
+        let args = ParsedArgs::parse([
+            "place",
+            "--trace",
+            &trace,
+            "--shards",
+            "4",
+            "--metrics-out",
+            &tmp("m.json"),
+        ])
+        .unwrap();
+        assert!(run(&args).unwrap_err().contains("telemetry"));
     }
 
     #[test]

@@ -124,7 +124,7 @@ impl QueryMix {
 /// Weighted percentile of template works (sorted by work ascending).
 fn weighted_percentile(templates: &[QueryTemplate], q: f64) -> f64 {
     let mut sorted: Vec<&QueryTemplate> = templates.iter().collect();
-    sorted.sort_by(|a, b| a.work.partial_cmp(&b.work).expect("finite work"));
+    sorted.sort_by(|a, b| a.work.total_cmp(&b.work));
     let total: f64 = sorted.iter().map(|t| t.weight).sum();
     let mut acc = 0.0;
     for t in &sorted {

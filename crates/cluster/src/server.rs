@@ -118,10 +118,7 @@ impl ServerSim {
     /// set stays unchanged, with the id of that job.
     #[must_use]
     pub fn next_completion(&self) -> Option<(f64, u64)> {
-        let min = self
-            .jobs
-            .iter()
-            .min_by(|a, b| a.remaining.partial_cmp(&b.remaining).expect("finite work"))?;
+        let min = self.jobs.iter().min_by(|a, b| a.remaining.total_cmp(&b.remaining))?;
         Some((self.last_advance + min.remaining.max(0.0) * self.divisor(), min.id))
     }
 

@@ -144,6 +144,61 @@ pub trait Consolidator {
     ///   placed.
     fn update_load(&mut self, tenant: TenantId, new_load: f64) -> Result<LoadUpdateOutcome>;
 
+    /// Places a batch of tenants, in order, as if [`Consolidator::place`]
+    /// had been called once per tenant.
+    ///
+    /// The default implementation *is* that sequential loop, so every
+    /// algorithm supports batching out of the box. Implementations may
+    /// override it with an amortized index-maintenance fast path, but the
+    /// resulting placement (bins chosen, outcomes, robustness verdict) must
+    /// be identical to the sequential loop — batching is a throughput
+    /// optimization, never a semantic change.
+    ///
+    /// # Errors
+    ///
+    /// Fail-fast: the first per-tenant error aborts the batch. Tenants
+    /// placed before the failing one stay placed (exactly as if the caller
+    /// had looped manually).
+    fn place_batch(&mut self, tenants: Vec<Tenant>) -> Result<Vec<PlacementOutcome>> {
+        tenants.into_iter().map(|tenant| self.place(tenant)).collect()
+    }
+
+    /// Removes a batch of departed tenants, in order, as if
+    /// [`Consolidator::remove`] had been called once per tenant. Same
+    /// equivalence and fail-fast contract as [`Consolidator::place_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Fail-fast on the first [`crate::Error::UnknownTenant`]; earlier
+    /// removals in the batch stay applied.
+    fn remove_batch(&mut self, tenants: &[TenantId]) -> Result<Vec<RemovalOutcome>> {
+        tenants.iter().map(|tenant| self.remove(*tenant)).collect()
+    }
+
+    /// Applies a batch of load re-estimations, in order, as if
+    /// [`Consolidator::update_load`] had been called once per entry. Same
+    /// equivalence and fail-fast contract as [`Consolidator::place_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Fail-fast on the first invalid load or unknown tenant; earlier
+    /// updates in the batch stay applied.
+    fn update_load_batch(&mut self, updates: &[(TenantId, f64)]) -> Result<Vec<LoadUpdateOutcome>> {
+        updates.iter().map(|(tenant, load)| self.update_load(*tenant, *load)).collect()
+    }
+
+    /// Re-partitions the algorithm's placement across `shards` derived-index
+    /// shards (see [`crate::backend`]); 0 or 1 selects the single backend.
+    ///
+    /// Bit-identical cross-shard-count behaviour is only guaranteed when
+    /// called before any tenant is placed (see
+    /// [`crate::Placement::set_shards`]). The default implementation
+    /// ignores the request — algorithms that own a [`Placement`] override
+    /// it by delegating.
+    fn set_shards(&mut self, shards: usize) {
+        let _ = shards;
+    }
+
     /// Moves one live replica of `tenant` from bin `from` to bin `to`,
     /// keeping every derived index the algorithm maintains consistent —
     /// the planned-migration primitive behind defragmentation.
@@ -205,6 +260,22 @@ impl Consolidator for Box<dyn Consolidator> {
 
     fn update_load(&mut self, tenant: TenantId, new_load: f64) -> Result<LoadUpdateOutcome> {
         (**self).update_load(tenant, new_load)
+    }
+
+    fn place_batch(&mut self, tenants: Vec<Tenant>) -> Result<Vec<PlacementOutcome>> {
+        (**self).place_batch(tenants)
+    }
+
+    fn remove_batch(&mut self, tenants: &[TenantId]) -> Result<Vec<RemovalOutcome>> {
+        (**self).remove_batch(tenants)
+    }
+
+    fn update_load_batch(&mut self, updates: &[(TenantId, f64)]) -> Result<Vec<LoadUpdateOutcome>> {
+        (**self).update_load_batch(updates)
+    }
+
+    fn set_shards(&mut self, shards: usize) {
+        (**self).set_shards(shards);
     }
 
     fn migrate(&mut self, tenant: TenantId, from: BinId, to: BinId) -> Result<()> {
@@ -357,6 +428,47 @@ mod tests {
             boxed.update_load(TenantId::new(77), 0.5),
             Err(crate::error::Error::UnknownTenant { .. })
         ));
+    }
+
+    #[test]
+    fn batch_defaults_match_sequential_loops() {
+        let mut batched: Box<dyn Consolidator> =
+            Box::new(FreshBins { placement: Placement::new(2) });
+        let mut sequential = batched.clone_box();
+        let tenants: Vec<Tenant> =
+            [0.4, 0.2, 0.7].iter().map(|l| Tenant::with_load(Load::new(*l).unwrap())).collect();
+        let batch = batched.place_batch(tenants.clone()).unwrap();
+        let seq: Vec<PlacementOutcome> =
+            tenants.into_iter().map(|t| sequential.place(t).unwrap()).collect();
+        assert_eq!(batch, seq);
+        let ids: Vec<TenantId> = batch.iter().map(|o| o.tenant).collect();
+        let updates: Vec<(TenantId, f64)> = ids.iter().map(|id| (*id, 0.5)).collect();
+        let batch_updates = batched.update_load_batch(&updates).unwrap();
+        let seq_updates: Vec<LoadUpdateOutcome> =
+            ids.iter().map(|id| sequential.update_load(*id, 0.5).unwrap()).collect();
+        assert_eq!(batch_updates, seq_updates);
+        let batch_removals = batched.remove_batch(&ids[..2]).unwrap();
+        let seq_removals: Vec<RemovalOutcome> =
+            ids[..2].iter().map(|id| sequential.remove(*id).unwrap()).collect();
+        assert_eq!(batch_removals, seq_removals);
+        assert_eq!(batched.placement().tenant_count(), 1);
+    }
+
+    #[test]
+    fn batch_defaults_fail_fast_keeping_prior_ops() {
+        let mut boxed: Box<dyn Consolidator> = Box::new(FreshBins { placement: Placement::new(2) });
+        let a = Tenant::with_load(Load::new(0.4).unwrap());
+        let b = Tenant::with_load(Load::new(0.2).unwrap());
+        // Re-placing `a` mid-batch errors, but `a` and `b` placed before the
+        // duplicate stay placed.
+        let result = boxed.place_batch(vec![a.clone(), b, a]);
+        assert!(matches!(result, Err(crate::error::Error::DuplicateTenant { .. })));
+        assert_eq!(boxed.placement().tenant_count(), 2);
+        assert!(matches!(
+            boxed.remove_batch(&[a.id(), TenantId::new(9999)]),
+            Err(crate::error::Error::UnknownTenant { .. })
+        ));
+        assert_eq!(boxed.placement().tenant_count(), 1);
     }
 
     #[test]

@@ -1,0 +1,485 @@
+//! Pluggable derived-index backends for [`crate::Placement`].
+//!
+//! Every consolidation algorithm reads the same derived state — per-bin
+//! levels, the pairwise shared-load matrix, and cached top-`γ−1` failover
+//! reserves — through [`crate::Placement`]'s query surface. This module
+//! extracts the *ownership* of that state behind the [`PlacementBackend`]
+//! trait so the storage layout can scale independently of the placement
+//! logic:
+//!
+//! * [`SingleBackend`] — one global [`SharedIndex`]; the original layout,
+//!   and still the default.
+//! * [`ShardedBackend`] — tenants are partitioned across `N` placement
+//!   shards by tenant id (`id mod N`). Each shard owns a shard-local
+//!   [`SharedIndex`] and level vector covering exactly its own tenants'
+//!   replicas, which is the unit of parallel audit
+//!   ([`crate::Oracle::rebuild_sharded`]) and the natural unit of future
+//!   distribution. A *merged* [`SharedIndex`] receives the same delta
+//!   stream in the same operation order as [`SingleBackend`] would, so
+//!   every query — and therefore every placement decision and the
+//!   Theorem-1 `γ−1` reserve verdict — is bit-identical to the
+//!   single-backend answer. Cross-shard failover accounting is reconciled
+//!   at shard boundaries by [`PlacementBackend::reconcile`]: the sum of
+//!   the per-shard matrices and level vectors must equal the merged state
+//!   within [`RECONCILE_TOLERANCE`].
+//!
+//! Backends also expose a deferred *mutation batch* mode
+//! ([`PlacementBackend::begin_batch`] / [`PlacementBackend::end_batch`])
+//! that postpones top-`k` cache rebuilds across a removal or load-update
+//! batch: decrements rebuild two full matrix rows each, so a batch that
+//! touches the same bins repeatedly rebuilds each dirty row once instead
+//! of once per operation. No failover queries may be issued between the
+//! two calls (debug builds assert this); the final state is equivalent to
+//! the sequential schedule because both sides apply the same matrix
+//! deltas and the caches are a pure function of the matrix rows.
+
+use crate::bin::BinId;
+use crate::shared::SharedIndex;
+use crate::tenant::TenantId;
+
+/// Tolerance for cross-shard reconciliation: per-shard sums and the merged
+/// state accumulate the same replica deltas in different association
+/// orders, so honest divergence is a dropped/duplicated term, far above
+/// rounding noise.
+pub const RECONCILE_TOLERANCE: f64 = 1e-9;
+
+/// Storage + query layer for a placement's derived indexes (levels,
+/// shared-load matrix, cached failover reserves).
+///
+/// Mutations carry the owning [`TenantId`] so partitioned backends can
+/// route the delta to the tenant's shard; query methods always answer from
+/// the merged (whole-placement) view so callers never need shard
+/// awareness.
+pub trait PlacementBackend: std::fmt::Debug + Send + Sync {
+    /// Registers a newly opened bin with every shard and the merged view.
+    fn push_bin(&mut self);
+
+    /// Number of bins tracked (equals the placement's created bins).
+    fn bin_count(&self) -> usize;
+
+    /// Adds `delta` to the shared load between `a` and `b` (both orders)
+    /// on behalf of `tenant`.
+    fn add_shared(&mut self, tenant: TenantId, a: BinId, b: BinId, delta: f64);
+
+    /// Subtracts `delta` from the shared load between `a` and `b` (both
+    /// orders) on behalf of `tenant`.
+    fn sub_shared(&mut self, tenant: TenantId, a: BinId, b: BinId, delta: f64);
+
+    /// Records a level delta of `tenant`'s replica on `bin` (negative for
+    /// removals). Backends without per-shard level accounting may ignore
+    /// this — the placement keeps the authoritative merged levels.
+    fn add_level(&mut self, tenant: TenantId, bin: BinId, delta: f64);
+
+    /// Shared load `|a ∩ b|` from the merged view.
+    fn shared_load(&self, a: BinId, b: BinId) -> f64;
+
+    /// Sum of the `γ − 1` largest shared loads of `bin` (merged view).
+    fn worst_failover(&self, bin: BinId) -> f64;
+
+    /// Sum of the `k` largest shared loads of `bin` after tentative
+    /// `adjustments` (merged view, `k ≤ γ − 1`).
+    fn top_shared_sum_with(&self, bin: BinId, adjustments: &[(BinId, f64)], k: usize) -> f64;
+
+    /// Total shared load between `bin` and a specific failed set.
+    fn failover_from(&self, bin: BinId, failed: &[BinId]) -> f64;
+
+    /// `(peer, shared_load)` entries of `bin` from the merged view.
+    fn peers(&self, bin: BinId) -> Vec<(BinId, f64)>;
+
+    /// Enters deferred-maintenance mode: top-`k` caches stop updating and
+    /// rows touched by mutations are recorded instead. Failover queries
+    /// are invalid until [`Self::end_batch`].
+    fn begin_batch(&mut self);
+
+    /// Leaves deferred-maintenance mode, rebuilding every dirty top-`k`
+    /// cache from its matrix row exactly once.
+    fn end_batch(&mut self);
+
+    /// Number of placement shards (1 for the single backend).
+    fn shard_count(&self) -> usize;
+
+    /// The shard owning `tenant`'s derived state.
+    fn shard_of(&self, tenant: TenantId) -> usize;
+
+    /// Cross-shard reconciliation: verifies that per-shard state sums to
+    /// the merged state (levels against `levels`, the authoritative per-bin
+    /// levels) within [`RECONCILE_TOLERANCE`]. Returns human-readable
+    /// divergence descriptions; empty means reconciled. The single backend
+    /// is trivially reconciled.
+    fn reconcile(&self, levels: &[f64]) -> Vec<String>;
+
+    /// Clones the backend behind a fresh box ([`crate::Placement`] is
+    /// `Clone`; trait objects cannot derive it).
+    fn clone_box(&self) -> Box<dyn PlacementBackend>;
+}
+
+/// The original single-index layout: one global [`SharedIndex`], no
+/// per-tenant routing.
+#[derive(Debug, Clone)]
+pub struct SingleBackend {
+    shared: SharedIndex,
+}
+
+impl SingleBackend {
+    /// Creates an empty single-index backend for replication factor
+    /// `gamma`.
+    #[must_use]
+    pub fn new(gamma: usize) -> Self {
+        SingleBackend { shared: SharedIndex::new(gamma) }
+    }
+}
+
+impl PlacementBackend for SingleBackend {
+    fn push_bin(&mut self) {
+        self.shared.push_bin();
+    }
+
+    fn bin_count(&self) -> usize {
+        self.shared.len()
+    }
+
+    fn add_shared(&mut self, _tenant: TenantId, a: BinId, b: BinId, delta: f64) {
+        self.shared.add(a, b, delta);
+    }
+
+    fn sub_shared(&mut self, _tenant: TenantId, a: BinId, b: BinId, delta: f64) {
+        self.shared.sub(a, b, delta);
+    }
+
+    fn add_level(&mut self, _tenant: TenantId, _bin: BinId, _delta: f64) {}
+
+    fn shared_load(&self, a: BinId, b: BinId) -> f64 {
+        self.shared.get(a, b)
+    }
+
+    fn worst_failover(&self, bin: BinId) -> f64 {
+        self.shared.worst_failover(bin)
+    }
+
+    fn top_shared_sum_with(&self, bin: BinId, adjustments: &[(BinId, f64)], k: usize) -> f64 {
+        self.shared.top_shared_sum_with(bin, adjustments, k)
+    }
+
+    fn failover_from(&self, bin: BinId, failed: &[BinId]) -> f64 {
+        self.shared.failover_from(bin, failed)
+    }
+
+    fn peers(&self, bin: BinId) -> Vec<(BinId, f64)> {
+        self.shared.peers(bin).collect()
+    }
+
+    fn begin_batch(&mut self) {
+        self.shared.begin_deferred();
+    }
+
+    fn end_batch(&mut self) {
+        self.shared.end_deferred();
+    }
+
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    fn shard_of(&self, _tenant: TenantId) -> usize {
+        0
+    }
+
+    fn reconcile(&self, _levels: &[f64]) -> Vec<String> {
+        Vec::new()
+    }
+
+    fn clone_box(&self) -> Box<dyn PlacementBackend> {
+        Box::new(self.clone())
+    }
+}
+
+/// One placement shard: the derived state contributed by the tenants this
+/// shard owns.
+#[derive(Debug, Clone)]
+struct Shard {
+    shared: SharedIndex,
+    levels: Vec<f64>,
+}
+
+/// Hash-partitioned backend: per-shard derived state plus a merged view
+/// that stays bit-identical to [`SingleBackend`].
+///
+/// Routing is `tenant_id mod shards` — tenant ids are dense in every
+/// workload generator, so the modulus spreads load evenly without a hash
+/// round.
+#[derive(Debug, Clone)]
+pub struct ShardedBackend {
+    shards: Vec<Shard>,
+    merged: SharedIndex,
+}
+
+impl ShardedBackend {
+    /// Creates an empty backend with `shards` partitions for replication
+    /// factor `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn new(gamma: usize, shards: usize) -> Self {
+        assert!(shards >= 1, "a sharded backend needs at least one shard");
+        ShardedBackend {
+            shards: (0..shards)
+                .map(|_| Shard { shared: SharedIndex::new(gamma), levels: Vec::new() })
+                .collect(),
+            merged: SharedIndex::new(gamma),
+        }
+    }
+}
+
+impl PlacementBackend for ShardedBackend {
+    fn push_bin(&mut self) {
+        self.merged.push_bin();
+        for shard in &mut self.shards {
+            shard.shared.push_bin();
+            shard.levels.push(0.0);
+        }
+    }
+
+    fn bin_count(&self) -> usize {
+        self.merged.len()
+    }
+
+    fn add_shared(&mut self, tenant: TenantId, a: BinId, b: BinId, delta: f64) {
+        self.merged.add(a, b, delta);
+        let shard = self.shard_of(tenant);
+        self.shards[shard].shared.add(a, b, delta);
+    }
+
+    fn sub_shared(&mut self, tenant: TenantId, a: BinId, b: BinId, delta: f64) {
+        self.merged.sub(a, b, delta);
+        let shard = self.shard_of(tenant);
+        self.shards[shard].shared.sub(a, b, delta);
+    }
+
+    fn add_level(&mut self, tenant: TenantId, bin: BinId, delta: f64) {
+        let shard = self.shard_of(tenant);
+        self.shards[shard].levels[bin.0] += delta;
+    }
+
+    fn shared_load(&self, a: BinId, b: BinId) -> f64 {
+        self.merged.get(a, b)
+    }
+
+    fn worst_failover(&self, bin: BinId) -> f64 {
+        self.merged.worst_failover(bin)
+    }
+
+    fn top_shared_sum_with(&self, bin: BinId, adjustments: &[(BinId, f64)], k: usize) -> f64 {
+        self.merged.top_shared_sum_with(bin, adjustments, k)
+    }
+
+    fn failover_from(&self, bin: BinId, failed: &[BinId]) -> f64 {
+        self.merged.failover_from(bin, failed)
+    }
+
+    fn peers(&self, bin: BinId) -> Vec<(BinId, f64)> {
+        self.merged.peers(bin).collect()
+    }
+
+    fn begin_batch(&mut self) {
+        self.merged.begin_deferred();
+        for shard in &mut self.shards {
+            shard.shared.begin_deferred();
+        }
+    }
+
+    fn end_batch(&mut self) {
+        self.merged.end_deferred();
+        for shard in &mut self.shards {
+            shard.shared.end_deferred();
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, tenant: TenantId) -> usize {
+        (tenant.get() % self.shards.len() as u64) as usize
+    }
+
+    fn reconcile(&self, levels: &[f64]) -> Vec<String> {
+        let mut divergences = Vec::new();
+        let bins = self.merged.len();
+        for bin in 0..bins {
+            let id = BinId(bin);
+            // Levels: the shard contributions must sum to the placement's
+            // authoritative level. Bins hard-reset to 0.0 on emptying keep
+            // residual float dust in the shard sums; the tolerance absorbs
+            // it.
+            let shard_level: f64 = self.shards.iter().map(|s| s.levels[bin]).sum();
+            let expected = levels.get(bin).copied().unwrap_or(0.0);
+            if (shard_level - expected).abs() > RECONCILE_TOLERANCE {
+                divergences
+                    .push(format!("level({id}): shard sum {shard_level} vs merged {expected}"));
+            }
+            // Shared rows, merged → shards: every merged entry must equal
+            // the sum of the shard entries…
+            for (peer, merged_value) in self.merged.peers(id) {
+                let shard_value: f64 = self.shards.iter().map(|s| s.shared.get(id, peer)).sum();
+                if (shard_value - merged_value).abs() > RECONCILE_TOLERANCE {
+                    divergences.push(format!(
+                        "shared({id}, {peer}): shard sum {shard_value} vs merged {merged_value}"
+                    ));
+                }
+            }
+            // …and shards → merged: a shard entry with no merged
+            // counterpart is a routing bug (the merged map drops entries
+            // that decrement to zero, so compare values, not presence).
+            for shard in &self.shards {
+                for (peer, value) in shard.shared.peers(id) {
+                    if value > RECONCILE_TOLERANCE && self.merged.get(id, peer) == 0.0 {
+                        let shard_value: f64 =
+                            self.shards.iter().map(|s| s.shared.get(id, peer)).sum();
+                        if shard_value.abs() > RECONCILE_TOLERANCE {
+                            divergences.push(format!(
+                                "shared({id}, {peer}): shard sum {shard_value} missing from merged"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        divergences.sort();
+        divergences.dedup();
+        divergences
+    }
+
+    fn clone_box(&self) -> Box<dyn PlacementBackend> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(i: u64) -> TenantId {
+        TenantId::new(i)
+    }
+
+    fn bid(i: usize) -> BinId {
+        BinId::new(i)
+    }
+
+    fn mirrored(gamma: usize, shards: usize, bins: usize) -> (SingleBackend, ShardedBackend) {
+        let mut single = SingleBackend::new(gamma);
+        let mut sharded = ShardedBackend::new(gamma, shards);
+        for _ in 0..bins {
+            single.push_bin();
+            sharded.push_bin();
+        }
+        (single, sharded)
+    }
+
+    #[test]
+    fn sharded_queries_match_single_bit_for_bit() {
+        let (mut single, mut sharded) = mirrored(3, 4, 6);
+        let ops: &[(u64, usize, usize, f64)] = &[
+            (0, 0, 1, 0.21),
+            (1, 0, 2, 0.17),
+            (2, 1, 3, 0.09),
+            (3, 2, 4, 0.33),
+            (0, 0, 1, 0.05),
+            (5, 3, 5, 0.11),
+        ];
+        for &(t, a, b, d) in ops {
+            single.add_shared(tid(t), bid(a), bid(b), d);
+            sharded.add_shared(tid(t), bid(a), bid(b), d);
+        }
+        sharded.sub_shared(tid(0), bid(0), bid(1), 0.05);
+        single.sub_shared(tid(0), bid(0), bid(1), 0.05);
+        for bin in 0..6 {
+            assert_eq!(
+                single.worst_failover(bid(bin)).to_bits(),
+                sharded.worst_failover(bid(bin)).to_bits(),
+                "bin {bin}: merged view must be bit-identical"
+            );
+            for peer in 0..6 {
+                if bin != peer {
+                    assert_eq!(
+                        single.shared_load(bid(bin), bid(peer)).to_bits(),
+                        sharded.shared_load(bid(bin), bid(peer)).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_state_reconciles_with_merged() {
+        let (_, mut sharded) = mirrored(2, 3, 4);
+        sharded.add_shared(tid(0), bid(0), bid(1), 0.3);
+        sharded.add_level(tid(0), bid(0), 0.3);
+        sharded.add_level(tid(0), bid(1), 0.3);
+        sharded.add_shared(tid(1), bid(1), bid(2), 0.2);
+        sharded.add_level(tid(1), bid(1), 0.2);
+        sharded.add_level(tid(1), bid(2), 0.2);
+        sharded.add_shared(tid(2), bid(0), bid(1), 0.1);
+        sharded.add_level(tid(2), bid(0), 0.1);
+        sharded.add_level(tid(2), bid(1), 0.1);
+        let levels = [0.4, 0.6, 0.2, 0.0];
+        assert!(sharded.reconcile(&levels).is_empty());
+        // Tenants 0 and 2 live on different shards but share the same bin
+        // pair; the merged entry must be their sum.
+        assert!((sharded.shared_load(bid(0), bid(1)) - 0.4).abs() < 1e-12);
+        assert_ne!(sharded.shard_of(tid(0)), sharded.shard_of(tid(2)));
+    }
+
+    #[test]
+    fn reconcile_detects_misrouted_delta() {
+        let (_, mut sharded) = mirrored(2, 2, 3);
+        sharded.add_shared(tid(0), bid(0), bid(1), 0.3);
+        sharded.add_level(tid(0), bid(0), 0.3);
+        sharded.add_level(tid(0), bid(1), 0.3);
+        // Forge a level delta on the wrong magnitude: shard sums no longer
+        // match the authoritative levels.
+        sharded.add_level(tid(1), bid(0), 0.5);
+        let divergences = sharded.reconcile(&[0.3, 0.3, 0.0]);
+        assert!(
+            divergences.iter().any(|d| d.starts_with("level(bin#0)")),
+            "forged level delta must surface: {divergences:?}"
+        );
+    }
+
+    #[test]
+    fn deferred_batch_matches_sequential_maintenance() {
+        let (mut eager, mut deferred) = mirrored(3, 2, 5);
+        for &(t, a, b, d) in
+            &[(0u64, 0usize, 1usize, 0.4f64), (1, 0, 2, 0.3), (2, 1, 3, 0.2), (3, 0, 4, 0.25)]
+        {
+            eager.add_shared(tid(t), bid(a), bid(b), d);
+            deferred.add_shared(tid(t), bid(a), bid(b), d);
+        }
+        deferred.begin_batch();
+        deferred.sub_shared(tid(0), bid(0), bid(1), 0.4);
+        deferred.sub_shared(tid(1), bid(0), bid(2), 0.15);
+        deferred.end_batch();
+        eager.sub_shared(tid(0), bid(0), bid(1), 0.4);
+        eager.sub_shared(tid(1), bid(0), bid(2), 0.15);
+        for bin in 0..5 {
+            assert!(
+                (eager.worst_failover(bid(bin)) - deferred.worst_failover(bid(bin))).abs() < 1e-12,
+                "bin {bin}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_routing_is_stable_modulo() {
+        let sharded = ShardedBackend::new(2, 4);
+        assert_eq!(sharded.shard_of(tid(0)), 0);
+        assert_eq!(sharded.shard_of(tid(5)), 1);
+        assert_eq!(sharded.shard_of(tid(7)), 3);
+        assert_eq!(sharded.shard_count(), 4);
+        let single = SingleBackend::new(2);
+        assert_eq!(single.shard_of(tid(7)), 0);
+        assert_eq!(single.shard_count(), 1);
+    }
+}

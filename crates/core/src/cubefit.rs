@@ -75,6 +75,12 @@ pub struct CubeFit {
     /// longer robust *by construction* and every stage-2 assignment must
     /// pass the same predicate stage 1 uses (see [`CubeFit::place`]).
     cube_perturbed: bool,
+    /// When `Some`, [`Consolidator::remove`]/[`Consolidator::update_load`]
+    /// record the bins whose mature slack key changed instead of re-keying
+    /// immediately — the batch fast path re-keys the deduplicated union
+    /// once, after the placement backend leaves deferred mode. `None`
+    /// outside batches (the per-op re-key path).
+    deferred_rekey: Option<Vec<BinId>>,
     counters: CubeFitStats,
     instruments: Instruments,
 }
@@ -140,6 +146,7 @@ impl CubeFit {
             placed_via: HashMap::new(),
             free_cells: BTreeMap::new(),
             cube_perturbed: false,
+            deferred_rekey: None,
             counters: CubeFitStats::default(),
             instruments: Instruments::default(),
             config,
@@ -235,6 +242,36 @@ impl CubeFit {
     /// by.
     fn slack(&self, bin: BinId) -> f64 {
         1.0 - self.placement.level(bin) - self.placement.worst_failover(bin)
+    }
+
+    /// Re-keys `bin`'s mature slack — immediately outside a batch, or by
+    /// recording it for the single end-of-batch re-key pass (the slack
+    /// queries the failover reserve, which is invalid while the backend is
+    /// in deferred-maintenance mode). Equivalent either way: the mature set
+    /// keys by the *final* slack value, and no stage-1 admission runs
+    /// between batched ops.
+    fn rekey(&mut self, bin: BinId) {
+        if let Some(pending) = self.deferred_rekey.as_mut() {
+            pending.push(bin);
+        } else {
+            self.mature.update_slack(bin, self.slack(bin));
+        }
+    }
+
+    /// Runs `ops` between `begin_batch`/`end_batch` with slack re-keys
+    /// deferred, then re-keys the deduplicated union of touched bins once.
+    fn batched<T>(&mut self, ops: impl FnOnce(&mut Self) -> Result<Vec<T>>) -> Result<Vec<T>> {
+        self.placement.begin_batch();
+        self.deferred_rekey = Some(Vec::new());
+        let result = ops(self);
+        let mut pending = self.deferred_rekey.take().expect("batch mode set above");
+        self.placement.end_batch();
+        pending.sort_unstable();
+        pending.dedup();
+        for bin in pending {
+            self.mature.update_slack(bin, self.slack(bin));
+        }
+        result
     }
 
     /// Commits a tenant to its bins, keeping the mature-set slack keys
@@ -514,7 +551,7 @@ impl Consolidator for CubeFit {
         let via = self.placed_via.remove(&tenant).unwrap_or(PlacedVia::MatureFit);
         // Removal shrinks levels and shared loads of exactly these bins.
         for &bin in &bins {
-            self.mature.update_slack(bin, self.slack(bin));
+            self.rekey(bin);
         }
         if let PlacedVia::Cube(tau) = via {
             // The vacated cell (the tenant's bins at departure time, which
@@ -546,7 +583,7 @@ impl Consolidator for CubeFit {
         // The drift changes exactly these bins' levels and the shared loads
         // among them; their mature slack keys must follow.
         for &bin in &bins {
-            self.mature.update_slack(bin, self.slack(bin));
+            self.rekey(bin);
         }
         if new_load > old_load {
             // Upward drift inflates replica sizes beyond what the cube's
@@ -557,6 +594,31 @@ impl Consolidator for CubeFit {
             self.multi.seal_active();
         }
         Ok(LoadUpdateOutcome { tenant, old_load, new_load, bins })
+    }
+
+    fn place_batch(&mut self, tenants: Vec<Tenant>) -> Result<Vec<PlacementOutcome>> {
+        // Placement decisions query the failover reserve per tenant, so the
+        // loop stays sequential (identical decisions); the batch only
+        // amortizes the tenant-table growth.
+        self.placement.reserve_tenants(tenants.len());
+        tenants.into_iter().map(|tenant| self.place(tenant)).collect()
+    }
+
+    fn remove_batch(&mut self, tenants: &[TenantId]) -> Result<Vec<RemovalOutcome>> {
+        // Removals never query the reserve, so the whole batch runs in the
+        // backend's deferred-maintenance mode with one slack re-key per
+        // touched bin at the end.
+        self.batched(|this| tenants.iter().map(|tenant| this.remove(*tenant)).collect())
+    }
+
+    fn update_load_batch(&mut self, updates: &[(TenantId, f64)]) -> Result<Vec<LoadUpdateOutcome>> {
+        self.batched(|this| {
+            updates.iter().map(|(tenant, load)| this.update_load(*tenant, *load)).collect()
+        })
+    }
+
+    fn set_shards(&mut self, shards: usize) {
+        self.placement.set_shards(shards);
     }
 
     fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport> {

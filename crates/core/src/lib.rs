@@ -53,6 +53,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod algorithm;
+pub mod backend;
 pub mod bin;
 pub mod class;
 pub mod config;
@@ -77,6 +78,7 @@ pub mod validity;
 pub use algorithm::{
     Consolidator, LoadUpdateOutcome, PlacementOutcome, PlacementStage, RemovalOutcome,
 };
+pub use backend::{PlacementBackend, ShardedBackend, SingleBackend, RECONCILE_TOLERANCE};
 pub use bin::{BinClass, BinId, BinSnapshot};
 pub use class::{Classifier, ReplicaClass};
 pub use config::{CubeFitConfig, CubeFitConfigBuilder, Stage1Eligibility, TinyPolicy};
@@ -85,7 +87,7 @@ pub use dump::{DumpEntry, PlacementDump};
 pub use error::{Error, Result};
 pub use load::Load;
 pub use monitor::{MonitorReport, ServerHealth, ServerState};
-pub use oracle::{AuditedConsolidator, Divergence, DivergenceKind, Oracle};
+pub use oracle::{AuditedConsolidator, Divergence, DivergenceKind, Oracle, ShardedAuditError};
 pub use placement::{FragmentationStats, Placement, PlacementStats};
 pub use recovery::RecoveryReport;
 pub use tenant::{Tenant, TenantId};

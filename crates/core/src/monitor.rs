@@ -164,9 +164,8 @@ pub fn classify_with(placement: &Placement, at_risk_slack: f64) -> MonitorReport
             ServerState::Violated { deficit } => violated.push((health.bin, deficit)),
         }
     }
-    at_risk.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("slacks are finite").then(a.0.cmp(&b.0)));
-    violated
-        .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("deficits are finite").then(a.0.cmp(&b.0)));
+    at_risk.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    violated.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     if checked == 0 {
         worst_margin = 1.0;
     }

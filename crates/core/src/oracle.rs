@@ -69,6 +69,66 @@ impl Oracle {
         Oracle { gamma, levels, rows }
     }
 
+    /// [`Oracle::rebuild`], parallelized: the tenant list is partitioned
+    /// across `workers` threads by `tenant_id % workers` — the same hash
+    /// partitioning [`crate::backend::ShardedBackend`] routes by — each
+    /// worker sums its partition's levels and shared-load rows into partial
+    /// state, and the partials are merged by summation in worker order.
+    ///
+    /// The merged numbers can differ from [`Oracle::rebuild`]'s only by
+    /// float association (the same replica terms are summed in a different
+    /// order), which [`AUDIT_TOLERANCE`] absorbs by design.
+    #[must_use]
+    pub fn rebuild_sharded(placement: &Placement, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let bins = placement.created_bins();
+        let gamma = placement.gamma();
+        let tenants: Vec<(TenantId, f64, &[BinId])> = placement.tenants().collect();
+        // Per-worker partial state: (levels, shared-load rows).
+        type Partial = (Vec<f64>, Vec<HashMap<BinId, f64>>);
+        let partials: Vec<Partial> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    let tenants = &tenants;
+                    scope.spawn(move |_| {
+                        let mut levels = vec![0.0f64; bins];
+                        let mut rows: Vec<HashMap<BinId, f64>> = vec![HashMap::new(); bins];
+                        let owned = tenants
+                            .iter()
+                            .filter(|(id, _, _)| (id.get() % workers as u64) as usize == worker);
+                        for (_, load, hosts) in owned {
+                            let replica = load / gamma as f64;
+                            for (i, &bin) in hosts.iter().enumerate() {
+                                levels[bin.index()] += replica;
+                                for (j, &peer) in hosts.iter().enumerate() {
+                                    if i != j {
+                                        *rows[bin.index()].entry(peer).or_insert(0.0) += replica;
+                                    }
+                                }
+                            }
+                        }
+                        (levels, rows)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("audit worker panicked")).collect()
+        })
+        .expect("audit worker panicked");
+        let mut levels = vec![0.0f64; bins];
+        let mut rows: Vec<HashMap<BinId, f64>> = vec![HashMap::new(); bins];
+        for (partial_levels, partial_rows) in partials {
+            for (bin, level) in partial_levels.into_iter().enumerate() {
+                levels[bin] += level;
+            }
+            for (bin, row) in partial_rows.into_iter().enumerate() {
+                for (peer, value) in row {
+                    *rows[bin].entry(peer).or_insert(0.0) += value;
+                }
+            }
+        }
+        Oracle { gamma, levels, rows }
+    }
+
     /// Replication factor of the audited placement.
     #[must_use]
     pub fn gamma(&self) -> usize {
@@ -209,6 +269,20 @@ impl fmt::Display for Divergence {
 /// disagrees.
 pub fn audit(placement: &Placement) -> std::result::Result<(), Vec<Divergence>> {
     let oracle = Oracle::rebuild(placement);
+    let divergences = compare(placement, &oracle);
+    if divergences.is_empty() {
+        Ok(())
+    } else {
+        Err(divergences)
+    }
+}
+
+/// Compares every incrementally maintained quantity of `placement` against
+/// an already-built [`Oracle`] (see [`audit`] for the quantity list) and
+/// returns the divergences — empty when the two agree within
+/// [`AUDIT_TOLERANCE`].
+#[must_use]
+pub fn compare(placement: &Placement, oracle: &Oracle) -> Vec<Divergence> {
     let mut divergences = Vec::new();
     for bin in placement.bins() {
         let id = bin.id();
@@ -266,10 +340,64 @@ pub fn audit(placement: &Placement) -> std::result::Result<(), Vec<Divergence>> 
             reference: f64::from(u8::from(oracle.is_robust())),
         });
     }
-    if divergences.is_empty() {
+    divergences
+}
+
+/// What a sharded audit found wrong: oracle divergences (as in [`audit`])
+/// plus cross-shard reconciliation failures from
+/// [`Placement::reconcile_shards`]. At least one of the two lists is
+/// non-empty whenever this is returned.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardedAuditError {
+    /// Incremental-vs-oracle disagreements.
+    pub divergences: Vec<Divergence>,
+    /// Human-readable cross-shard reconciliation failures (per-shard state
+    /// not summing to the merged view within
+    /// [`crate::backend::RECONCILE_TOLERANCE`]).
+    pub reconcile: Vec<String>,
+}
+
+impl fmt::Display for ShardedAuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "sharded audit failed: {} divergence(s), {} reconcile failure(s)",
+            self.divergences.len(),
+            self.reconcile.len()
+        )?;
+        for d in &self.divergences {
+            writeln!(f, "  {d}")?;
+        }
+        for r in &self.reconcile {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// [`audit`], parallelized and shard-aware: the reference oracle is rebuilt
+/// by `workers` threads over id-partitioned tenant subsets
+/// ([`Oracle::rebuild_sharded`]) and compared against the incremental
+/// state, then the placement's per-shard derived state is reconciled
+/// against its merged view. The verdict is the same as [`audit`]'s — both
+/// sides sum identical replica terms, differing only by float association,
+/// which stays far inside [`AUDIT_TOLERANCE`].
+///
+/// # Errors
+///
+/// Returns a [`ShardedAuditError`] carrying every divergence and every
+/// reconciliation failure.
+pub fn audit_sharded(
+    placement: &Placement,
+    workers: usize,
+) -> std::result::Result<(), ShardedAuditError> {
+    let oracle = Oracle::rebuild_sharded(placement, workers);
+    let divergences = compare(placement, &oracle);
+    let reconcile = placement.reconcile_shards();
+    if divergences.is_empty() && reconcile.is_empty() {
         Ok(())
     } else {
-        Err(divergences)
+        Err(ShardedAuditError { divergences, reconcile })
     }
 }
 
@@ -486,6 +614,15 @@ impl<A: Consolidator> Consolidator for AuditedConsolidator<A> {
         Ok(())
     }
 
+    /// Re-shards the wrapped algorithm's placement. Batch mutations keep
+    /// the trait's default per-op loops on purpose: each op goes through
+    /// the audited [`Consolidator::place`]/[`Consolidator::remove`]/
+    /// [`Consolidator::update_load`] above, so a divergence is pinned to
+    /// the exact op that introduced it instead of to a whole batch.
+    fn set_shards(&mut self, shards: usize) {
+        self.inner.set_shards(shards);
+    }
+
     fn clone_box(&self) -> Box<dyn Consolidator> {
         Box::new(AuditedConsolidator {
             inner: self.inner.clone_box(),
@@ -562,6 +699,65 @@ mod tests {
         assert!((oracle.top_shared_sum(b[0], 2) - 0.4).abs() < 1e-12);
         assert!((oracle.worst_failover(b[0]) - 0.4).abs() < 1e-12);
         assert!((oracle.top_shared_sum(b[0], 10) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharded_rebuild_matches_sequential_rebuild() {
+        let mut p = Placement::new(2);
+        let b: Vec<BinId> = (0..20).map(|_| p.open_bin(None)).collect();
+        let mut state = 7u64;
+        for id in 0..200u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let load = (((state >> 11) as f64 / (1u64 << 53) as f64) * 0.05).max(1e-6);
+            let x = (state % 20) as usize;
+            let y = (x + 1 + (state >> 7) as usize % 19) % 20;
+            p.place_tenant(&tenant(id, load), &[b[x], b[y]]).unwrap();
+        }
+        let sequential = Oracle::rebuild(&p);
+        for workers in [1, 2, 4, 8] {
+            let sharded = Oracle::rebuild_sharded(&p, workers);
+            for bin in p.bins() {
+                let id = bin.id();
+                assert!((sharded.level(id) - sequential.level(id)).abs() < AUDIT_TOLERANCE);
+                assert!(
+                    (sharded.worst_failover(id) - sequential.worst_failover(id)).abs()
+                        < AUDIT_TOLERANCE
+                );
+                for (peer, value) in p.shared_peers(id) {
+                    assert!((sharded.shared_load(id, peer) - value).abs() < AUDIT_TOLERANCE);
+                }
+            }
+            assert_eq!(sharded.is_robust(), sequential.is_robust());
+        }
+    }
+
+    #[test]
+    fn audit_sharded_passes_on_sharded_and_single_backends() {
+        for shards in [1, 4] {
+            let mut p = Placement::with_shards(2, shards);
+            let b: Vec<BinId> = (0..4).map(|_| p.open_bin(None)).collect();
+            p.place_tenant(&tenant(0, 0.6), &[b[0], b[1]]).unwrap();
+            p.place_tenant(&tenant(1, 0.3), &[b[0], b[2]]).unwrap();
+            p.place_tenant(&tenant(2, 0.5), &[b[2], b[3]]).unwrap();
+            assert_eq!(p.shard_count(), shards);
+            audit_sharded(&p, 4).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn audit_sharded_reports_unsound_state() {
+        // Same corruption as `oracle_detects_unsound_robustness`, through
+        // the parallel path: the incremental state is poked via update_load
+        // deltas the tenant list does not explain.
+        let mut p = sample();
+        p.update_load(TenantId::new(0), 0.9).unwrap();
+        let pristine = sample();
+        let oracle = Oracle::rebuild_sharded(&pristine, 2);
+        // Compare the drifted placement against the un-drifted oracle.
+        let divergences = compare(&p, &oracle);
+        assert!(!divergences.is_empty());
+        let err = ShardedAuditError { divergences, reconcile: pristine.reconcile_shards() };
+        assert!(err.to_string().contains("divergence"));
     }
 
     #[test]

@@ -214,12 +214,12 @@ pub fn move_repairs(placement: &Placement, tenant: TenantId, from: BinId, to: Bi
 /// margin).
 fn best_move(sim: &Placement, bin: BinId, at_risk_slack: f64) -> Option<(TenantId, f64, BinId)> {
     let mut replicas: Vec<(TenantId, f64)> = sim.bin(bin).contents().to_vec();
-    replicas.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("loads are finite").then(a.0.cmp(&b.0)));
+    replicas.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 
     // Fullest first: mitigation prefers not to spread load, but will.
     let mut targets: Vec<(BinId, f64)> =
         sim.bins().filter(|b| b.id() != bin).map(|b| (b.id(), b.level())).collect();
-    targets.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("levels are finite").then(a.0.cmp(&b.0)));
+    targets.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 
     for (tenant, replica) in replicas {
         let mut fallback: Option<(BinId, f64)> = None;

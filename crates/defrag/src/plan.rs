@@ -108,12 +108,7 @@ pub fn plan(placement: &Placement, budget: MigrationBudget) -> DefragPlan {
         let candidate = sim
             .bins()
             .filter(|b| b.level() > 0.0 && !ruled_out.contains(&b.id()))
-            .min_by(|a, b| {
-                a.level()
-                    .partial_cmp(&b.level())
-                    .expect("levels are finite")
-                    .then(a.id().cmp(&b.id()))
-            })
+            .min_by(|a, b| a.level().total_cmp(&b.level()).then(a.id().cmp(&b.id())))
             .map(|b| (b.id(), b.level()));
         let Some((bin, level)) = candidate else { break };
         ruled_out.push(bin);
@@ -163,7 +158,7 @@ fn drain_bin(
     }
     // Largest replica first: the hardest move fails before cheap ones are
     // simulated, and big replicas get first pick of the remaining space.
-    replicas.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("loads are finite").then(a.0.cmp(&b.0)));
+    replicas.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 
     let mut trial = sim.clone();
     let mut steps = Vec::with_capacity(replicas.len());
@@ -178,8 +173,7 @@ fn drain_bin(
             .filter(|b| b.level() > 0.0 && b.id() != bin)
             .map(|b| (b.id(), b.level()))
             .collect();
-        targets
-            .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("levels are finite").then(a.0.cmp(&b.0)));
+        targets.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let to =
             targets.iter().map(|&(id, _)| id).find(|&to| move_feasible(&trial, tenant, bin, to))?;
         trial.move_replica(tenant, bin, to).expect("move_feasible implies valid endpoints");

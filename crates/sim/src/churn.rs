@@ -61,8 +61,9 @@ pub struct ChurnConfig {
     pub departure_percent: u32,
     /// Percent of ops that are failure events (when any bin is loaded).
     pub failure_percent: u32,
-    /// Servers failed per event, clamped to `1..=γ−1` so every tenant
-    /// keeps a live replica.
+    /// Servers failed per event, clamped to `0..=γ−1` at run time so every
+    /// tenant keeps a live replica; an effective value of 0 (e.g. `γ = 1`,
+    /// whose failover reserve is empty) skips failure ops entirely.
     pub max_failures: usize,
     /// Replay placements, departures and recoveries against the quadratic
     /// oracle (panics on divergence — the chaos harness as a fuzzer).
@@ -117,7 +118,7 @@ impl ChurnConfig {
     #[must_use]
     pub fn balanced(algorithm: AlgorithmSpec, ops: usize, seed: u64) -> Self {
         ChurnConfig {
-            max_failures: algorithm.gamma().saturating_sub(1).max(1),
+            max_failures: algorithm.gamma().saturating_sub(1),
             algorithm,
             distribution: DistributionSpec::Uniform { min: 1, max: 15 },
             ops,
@@ -337,11 +338,15 @@ pub fn run_churn_consolidator(
             .filter(|bin| bin.level() > 0.0)
             .map(|bin| bin.id())
             .collect();
-        if roll < config.failure_percent && !loaded_bins.is_empty() {
+        // The reserve covers at most γ−1 simultaneous failures; at γ = 1
+        // that is zero, so failure ops are skipped rather than failing
+        // servers the model never promised to survive.
+        let effective_failures = config.max_failures.min(gamma.saturating_sub(1));
+        if roll < config.failure_percent && effective_failures > 0 && !loaded_bins.is_empty() {
             let event = fail_and_recover(
                 &mut *consolidator,
                 &loaded_bins,
-                config.max_failures.clamp(1, gamma - 1),
+                effective_failures,
                 op,
                 &mut rng,
                 &recorder,
@@ -555,6 +560,22 @@ mod tests {
             assert!(event.robust_after, "non-robust recovery at op {}", event.at_op);
         }
         assert!(report.robust);
+    }
+
+    #[test]
+    fn gamma1_defaults_to_zero_failures_and_zero_skips_failure_ops() {
+        // Regression: `balanced` used to clamp `max_failures` to `.max(1)`,
+        // and the run loop's `clamp(1, gamma - 1)` forced ≥1 failure per
+        // event — at γ = 1 that fails a server against an empty reserve.
+        let config = ChurnConfig::balanced(AlgorithmSpec::CubeFit { gamma: 1, classes: 5 }, 50, 3);
+        assert_eq!(config.max_failures, 0);
+        let zero = ChurnConfig {
+            max_failures: 0,
+            ..quick(AlgorithmSpec::CubeFit { gamma: 2, classes: 5 }, 7)
+        };
+        let report = run_churn(&zero).unwrap();
+        assert!(report.failure_events.is_empty());
+        assert_eq!(report.arrivals + report.departures, zero.ops);
     }
 
     #[test]

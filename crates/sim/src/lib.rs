@@ -43,7 +43,7 @@ pub use churn::{
 pub use cost::CostModel;
 pub use experiment::{compare, ComparisonConfig, ComparisonResult};
 pub use failure::{run_failure_experiment, FailureExperimentConfig, FailureOutcome};
-pub use runner::{run_sequence, run_sequence_with, RunResult};
+pub use runner::{run_sequence, run_sequence_batched, run_sequence_with, RunResult};
 pub use soak::{
     replay, run_soak, run_soak_with, shrink, ShrinkOutcome, SoakConfig, SoakFailure, SoakReport,
     SoakScenario,

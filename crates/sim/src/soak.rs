@@ -51,7 +51,11 @@ pub struct SoakConfig {
     pub departure_percent: u32,
     /// Percent of ops that are failure events.
     pub failure_percent: u32,
-    /// Servers failed per event, clamped to `1..=γ−1`.
+    /// Servers failed per event, clamped to `0..=γ−1` at run time. The
+    /// Theorem-1 reserve only covers `γ−1` simultaneous failures, so at
+    /// `γ = 1` (no failover reserve at all) the effective value is 0 and
+    /// failure ops are skipped entirely — the model never promised to
+    /// survive them.
     pub max_failures: usize,
     /// Run a sampled oracle audit every N ops (`0` disables audits,
     /// including the final full audit).
@@ -82,7 +86,7 @@ impl SoakConfig {
     #[must_use]
     pub fn steady(algorithm: AlgorithmSpec, ops: u64, seed: u64) -> Self {
         SoakConfig {
-            max_failures: algorithm.gamma().saturating_sub(1).max(1),
+            max_failures: algorithm.gamma().saturating_sub(1),
             algorithm,
             distribution: DistributionSpec::Uniform { min: 1, max: 15 },
             ops,
@@ -392,7 +396,11 @@ fn run_loop(
         // γ positive-load replicas), so the O(bins) loaded-bin scan only
         // runs on the ~failure_percent of ops that actually fail servers —
         // the churn harness pays it on every op.
-        if roll < config.failure_percent && !alive.is_empty() {
+        // The reserve covers at most γ−1 simultaneous failures; at γ = 1
+        // that is zero, so failure ops degrade to departures/arrivals
+        // instead of failing servers the model never promised to survive.
+        let effective_failures = config.max_failures.min(gamma.saturating_sub(1));
+        if roll < config.failure_percent && effective_failures > 0 && !alive.is_empty() {
             let loaded_bins: Vec<BinId> = consolidator
                 .placement()
                 .bins()
@@ -402,7 +410,7 @@ fn run_loop(
             fail_and_recover(
                 &mut *consolidator,
                 &loaded_bins,
-                config.max_failures.clamp(1, gamma.saturating_sub(1).max(1)),
+                effective_failures,
                 usize::try_from(op).unwrap_or(usize::MAX),
                 &mut rng,
                 &recorder,
@@ -646,6 +654,28 @@ mod tests {
         assert!(a.checkpoints >= 2_000 / 100);
         // Steady-state mix keeps the population bounded (the whole point).
         assert!(a.final_tenants < 600, "population must stay bounded: {}", a.final_tenants);
+    }
+
+    #[test]
+    fn gamma1_defaults_to_zero_failures() {
+        // Regression: `steady` used to clamp `max_failures` to `.max(1)`,
+        // injecting one failure against a zero-size failover reserve at
+        // γ = 1. The default is now γ−1 (here 0), which skips failure ops.
+        let config = SoakConfig::steady(AlgorithmSpec::CubeFit { gamma: 1, classes: 5 }, 100, 7);
+        assert_eq!(config.max_failures, 0);
+    }
+
+    #[test]
+    fn zero_max_failures_runs_without_failure_events() {
+        // With failures clamped to zero, the failure band degrades to
+        // departures/arrivals instead of calling `fail_and_recover` (whose
+        // `gen_range(1..=0)` would panic).
+        let config = SoakConfig { max_failures: 0, ..quick(1_000, 11) };
+        let report = run_soak(&config).unwrap();
+        assert_eq!(report.failure_events, 0);
+        assert_eq!(report.ops_run, 1_000);
+        assert!(report.failure.is_none());
+        assert!(report.robust);
     }
 
     #[test]
