@@ -210,7 +210,7 @@ proptest! {
 fn gamma_twelve_sharded_interleaved_regression() {
     let ops: Vec<Op> = (0..60)
         .map(|i| match i % 5 {
-            0 | 1 | 2 => Op::Place(0.01 + (i as f64 % 13.0) * 0.05),
+            0..=2 => Op::Place(0.01 + (i as f64 % 13.0) * 0.05),
             3 => Op::Update(i / 2, 0.2),
             _ => Op::Remove(i / 3),
         })
@@ -228,9 +228,9 @@ fn gamma_twelve_sharded_interleaved_regression() {
             expected,
             "{name}: sharded placement diverged"
         );
-        sharded.placement().reconcile_shards().into_iter().for_each(|failure| {
+        if let Some(failure) = sharded.placement().reconcile_shards().first() {
             panic!("{name}: reconcile failure: {failure}");
-        });
+        }
         oracle::audit_sharded(sharded.placement(), 8).unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }

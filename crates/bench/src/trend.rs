@@ -125,14 +125,32 @@ pub struct FileSpec {
 /// # Errors
 ///
 /// Returns a message if a *current* file is missing or unparseable —
-/// the benchmark that should have produced it did not run.
+/// the benchmark that should have produced it did not run — or if a
+/// baseline file exists but cannot be read or parsed: a corrupt cached
+/// baseline must be surfaced (naming the file and the keys it gates),
+/// not silently treated as "no baseline yet" and waved through.
 pub fn run(specs: &[FileSpec], threshold: f64) -> Result<(Vec<String>, bool), String> {
     let mut lines = Vec::new();
     let mut all_pass = true;
     for spec in specs {
-        let baseline: Option<serde_json::Value> = std::fs::read_to_string(&spec.baseline)
-            .ok()
-            .and_then(|text| serde_json::from_str(&text).ok());
+        let baseline: Option<serde_json::Value> = match std::fs::read_to_string(&spec.baseline) {
+            Ok(text) => Some(serde_json::from_str(&text).map_err(|e| {
+                format!(
+                    "baseline {} is unreadable as JSON (gates {}): {e}; \
+                     delete the cached file to re-baseline",
+                    spec.baseline,
+                    spec.keys.join(", ")
+                )
+            })?),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => {
+                return Err(format!(
+                    "reading baseline {} (gates {}): {e}",
+                    spec.baseline,
+                    spec.keys.join(", ")
+                ))
+            }
+        };
         let current_text = std::fs::read_to_string(&spec.current)
             .map_err(|e| format!("reading {}: {e}", spec.current))?;
         let current: serde_json::Value = serde_json::from_str(&current_text)
@@ -225,5 +243,28 @@ mod tests {
             keys: vec!["t".to_string()],
         };
         assert!(run(&[spec], DEFAULT_THRESHOLD).unwrap_err().contains("reading"));
+    }
+
+    /// A baseline that exists but is not valid JSON must produce an error
+    /// naming the offending file and the dotted keys it gates — not pass
+    /// silently as if no baseline were cached.
+    #[test]
+    fn run_names_file_and_keys_for_a_corrupt_baseline() {
+        let dir = std::env::temp_dir().join("cubefit-trend-tests-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        std::fs::write(&base, "{not json at all").unwrap();
+        std::fs::write(&cur, r#"{"serve":{"goodput_per_sec":800.0}}"#).unwrap();
+        let spec = FileSpec {
+            baseline: base.to_string_lossy().into_owned(),
+            current: cur.to_string_lossy().into_owned(),
+            keys: vec!["serve.goodput_per_sec".to_string(), "serve.completed".to_string()],
+        };
+        let err = run(&[spec], DEFAULT_THRESHOLD).unwrap_err();
+        assert!(err.contains("base.json"), "error must name the file: {err}");
+        assert!(err.contains("serve.goodput_per_sec"), "error must name the keys: {err}");
+        assert!(err.contains("serve.completed"), "error must name every key: {err}");
+        assert!(err.contains("re-baseline"), "error should say how to recover: {err}");
     }
 }

@@ -11,7 +11,8 @@ use std::fmt;
 /// Flags that take no value (`--audit`), as opposed to the default
 /// `--name value` form. A switch's presence is queried with
 /// [`ParsedArgs::has`]; its stored value is the empty string.
-const SWITCHES: &[&str] = &["audit", "dry-run", "drift", "json", "shrink", "expect-clean"];
+const SWITCHES: &[&str] =
+    &["audit", "bench", "dry-run", "drift", "json", "shrink", "storm", "expect-clean"];
 
 /// A parsed command line: subcommand, positionals, and `--flag value`
 /// pairs.

@@ -15,7 +15,8 @@ use crate::args::ParsedArgs;
 use crate::commands::churn::drift_from;
 use crate::spec_parse;
 use crate::telemetry_out;
-use cubefit_sim::churn::{run_churn_with, ChurnConfig, ChurnReport};
+use cubefit_service::ShutdownFlag;
+use cubefit_sim::churn::{run_churn_cancellable, ChurnConfig, ChurnReport};
 
 /// Flags accepted by `drift`.
 pub const FLAGS: &[&str] = &[
@@ -81,7 +82,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     let metrics_out = args.get("metrics-out");
     let trace_out = args.get("trace-out");
     let recorder = telemetry_out::recorder_for(metrics_out, trace_out)?;
-    let report = run_churn_with(&config, recorder.clone()).map_err(|e| e.to_string())?;
+    let report = run_churn_cancellable(&config, recorder.clone(), &ShutdownFlag::install())
+        .map_err(|e| e.to_string())?;
     recorder.flush()?;
 
     let json = report.to_json();

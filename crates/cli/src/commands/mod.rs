@@ -14,6 +14,7 @@ pub mod generate;
 pub mod metrics;
 pub mod place;
 pub mod replay;
+pub mod serve;
 pub mod simulate;
 pub mod soak;
 

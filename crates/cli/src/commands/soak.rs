@@ -3,7 +3,8 @@
 use crate::args::ParsedArgs;
 use crate::spec_parse;
 use crate::telemetry_out;
-use cubefit_sim::soak::{run_soak_with, SoakConfig};
+use cubefit_service::ShutdownFlag;
+use cubefit_sim::soak::{run_soak_cancellable, SoakConfig};
 
 /// Flags accepted by `soak`.
 pub const FLAGS: &[&str] = &[
@@ -111,7 +112,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     let metrics_out = args.get("metrics-out");
     let trace_out = args.get("trace-out");
     let recorder = telemetry_out::recorder_for(metrics_out, trace_out)?;
-    let report = run_soak_with(&config, recorder.clone()).map_err(|e| e.to_string())?;
+    let report = run_soak_cancellable(&config, recorder.clone(), &ShutdownFlag::install())
+        .map_err(|e| e.to_string())?;
     recorder.flush()?;
 
     let mut output = String::new();

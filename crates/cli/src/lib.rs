@@ -13,6 +13,7 @@
 //! $ cubefit simulate fleet.json --trace fleet.cft --failures 1
 //! $ cubefit churn --algorithm cubefit --gamma 3 --ops 2000 --audit
 //! $ cubefit soak --ops 1000000 --seed 7 --trace-out soak.jsonl
+//! $ cubefit serve --bench --storm --out serve.json --dump serve-placement.json
 //! $ cubefit analyze soak.jsonl --expect-clean
 //! $ cubefit replay cubefit-soak-scenario.json --shrink
 //! ```
@@ -36,7 +37,7 @@ pub fn help() -> String {
     format!(
         "cubefit — robust multi-tenant server consolidation (ICDCS 2017 reproduction)\n\n\
          USAGE:\n  cubefit <COMMAND> [FLAGS]\n\n\
-         COMMANDS:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  help\n",
+         COMMANDS:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  help\n",
         commands::generate::USAGE,
         commands::place::USAGE,
         commands::check::USAGE,
@@ -46,6 +47,7 @@ pub fn help() -> String {
         commands::defrag::USAGE,
         commands::drift::USAGE,
         commands::soak::USAGE,
+        commands::serve::USAGE,
         commands::analyze::USAGE,
         commands::replay::USAGE,
         commands::metrics::USAGE,
@@ -69,6 +71,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, String> {
         Some("defrag") => commands::defrag::run(args),
         Some("drift") => commands::drift::run(args),
         Some("soak") => commands::soak::run(args),
+        Some("serve") => commands::serve::run(args),
         Some("analyze") => commands::analyze::run(args),
         Some("replay") => commands::replay::run(args),
         Some("metrics") => commands::metrics::run(args),
@@ -86,7 +89,7 @@ mod tests {
         let text = help();
         for command in [
             "generate", "place", "check", "compare", "simulate", "churn", "defrag", "drift",
-            "soak", "analyze", "replay", "metrics",
+            "soak", "serve", "analyze", "replay", "metrics",
         ] {
             assert!(text.contains(command), "help missing {command}");
         }

@@ -59,6 +59,19 @@ pub enum Error {
         /// Description of the violated invariant.
         detail: String,
     },
+    /// A harness or service configuration failed validation.
+    InvalidConfig {
+        /// Human-readable reason the configuration was rejected.
+        detail: String,
+    },
+}
+
+impl Error {
+    /// Convenience constructor for configuration-validation failures.
+    #[must_use]
+    pub fn invalid_config(detail: impl Into<String>) -> Self {
+        Error::InvalidConfig { detail: detail.into() }
+    }
 }
 
 impl fmt::Display for Error {
@@ -89,6 +102,9 @@ impl fmt::Display for Error {
             Error::InternalInvariant { detail } => {
                 write!(f, "internal invariant violated: {detail}")
             }
+            Error::InvalidConfig { detail } => {
+                write!(f, "invalid configuration: {detail}")
+            }
         }
     }
 }
@@ -111,6 +127,7 @@ mod tests {
             Error::DuplicateTenant { tenant: TenantId::new(7) },
             Error::UnknownTenant { tenant: TenantId::new(8) },
             Error::InternalInvariant { detail: "oops".into() },
+            Error::InvalidConfig { detail: "rate must be positive".into() },
         ];
         for e in errors {
             let s = e.to_string();

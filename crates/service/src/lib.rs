@@ -1,0 +1,49 @@
+//! Placement-as-a-service: an overload-safe service loop around any
+//! [`cubefit_core::Consolidator`].
+//!
+//! The CubeFit algorithm itself decides *where* tenants go; this crate
+//! decides *whether and when* each mutation is allowed to run when
+//! placement is offered as a shared control-plane service. Three
+//! mechanisms compose:
+//!
+//! 1. **Adaptive admission control** ([`limit`]): a [`Limiter`] bounds
+//!    outstanding work. Two algorithms are provided — AIMD (TCP-style
+//!    additive increase / multiplicative decrease) and a gradient limiter
+//!    that compares short- and long-term latency EWMAs — plus a fixed
+//!    limit for baselines. Arrivals beyond the limit are *shed*
+//!    immediately, which is what keeps admitted-request latency bounded
+//!    when offered load exceeds capacity.
+//! 2. **Bounded queueing with deadlines** ([`service`]): admitted
+//!    requests wait in a bounded queue and carry per-request deadlines;
+//!    batches drain the queue through the consolidator's batch mutation
+//!    API. Every rejection is typed ([`Rejected`]) and accounted.
+//! 3. **Graceful degradation** ([`service`]): a ladder trades oracle
+//!    audit coverage for latency under pressure (full → sampled → off)
+//!    and climbs back on recovery. The placement itself stays
+//!    oracle-auditable throughout — `cubefit check --audit` on the
+//!    service's dump passes regardless of the rung history.
+//!
+//! The service is deliberately clock-agnostic (callers own `now_ms`), so
+//! the deterministic DES harness in `cubefit-sim` can drive it under
+//! seeded Poisson load and burst storms with bit-reproducible results.
+//!
+//! [`shutdown`] provides the cooperative Ctrl-C flag long-running CLI
+//! commands poll so interrupted runs still flush telemetry and write
+//! partial reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod limit;
+pub mod service;
+pub mod shutdown;
+
+pub use limit::{
+    AimdLimiter, FixedLimiter, GradientLimiter, Limiter, LimiterSpec, Outcome, Sample,
+    DEFAULT_MAX_LIMIT, DEFAULT_MIN_LIMIT,
+};
+pub use service::{
+    AuditMode, BatchWork, CompletedOp, PlacementService, Rejected, Request, ServiceConfig,
+    ServiceStats,
+};
+pub use shutdown::ShutdownFlag;

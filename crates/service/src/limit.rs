@@ -1,0 +1,484 @@
+//! Adaptive concurrency limiters for the placement service.
+//!
+//! A [`Limiter`] owns one number — how many requests may be outstanding
+//! (queued + executing) before the service sheds new arrivals — and
+//! adjusts it from observed batch latencies. Two algorithms are provided
+//! behind the trait, selected by [`LimiterSpec`]:
+//!
+//! - [`AimdLimiter`] — TCP-style additive-increase/multiplicative-
+//!   decrease: grow the limit by a constant while the service keeps up,
+//!   cut it by a factor the moment a latency breach is observed;
+//! - [`GradientLimiter`] — compare a short-term latency EWMA against a
+//!   long-term one; a short/long ratio past the tolerance means queueing
+//!   is building and the limit contracts proportionally, while parity
+//!   lets the limit probe upward again.
+//!
+//! Both are deterministic functions of the sample sequence — no wall
+//! clock, no randomness — so the service's shed decisions replay
+//! byte-for-byte under the simulated-time harness and the property tests
+//! in `tests/limiter_props.rs` need no tolerance for scheduling noise.
+
+/// How one observed batch went, from the limiter's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The batch completed within the latency SLO.
+    Success,
+    /// The batch breached the latency SLO (or was otherwise overloaded).
+    Overload,
+}
+
+/// One observation fed to a limiter after a batch completes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Worst admitted-request latency in the batch, milliseconds.
+    pub latency_ms: f64,
+    /// Requests outstanding (queued + executing) when the batch started.
+    pub in_flight: usize,
+    /// Whether the batch kept or breached the SLO.
+    pub outcome: Outcome,
+}
+
+/// An adaptive concurrency limit.
+pub trait Limiter: Send + std::fmt::Debug {
+    /// Current limit on outstanding requests.
+    fn limit(&self) -> usize;
+
+    /// Feeds one completed-batch observation.
+    fn observe(&mut self, sample: Sample);
+
+    /// Short algorithm label for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Additive-increase / multiplicative-decrease concurrency limit.
+///
+/// On a successful sample taken while the window was at least half
+/// utilized, the limit grows by `increase`; utilization gating stops an
+/// idle service from ratcheting its limit to the ceiling on traffic it
+/// never carried. On an overload sample the limit is cut to
+/// `limit × backoff`. Always clamped to `[min, max]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AimdLimiter {
+    limit: f64,
+    min: usize,
+    max: usize,
+    increase: f64,
+    backoff: f64,
+}
+
+impl AimdLimiter {
+    /// An AIMD limiter starting halfway between the bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is zero, `min > max`, `increase` is not positive,
+    /// or `backoff` is outside `(0, 1)` — all config errors.
+    #[must_use]
+    pub fn new(min: usize, max: usize, increase: f64, backoff: f64) -> Self {
+        assert!(min >= 1 && min <= max, "AIMD bounds must satisfy 1 <= min <= max");
+        assert!(increase > 0.0, "AIMD increase must be positive");
+        assert!(backoff > 0.0 && backoff < 1.0, "AIMD backoff must be in (0, 1)");
+        AimdLimiter { limit: midpoint(min, max), min, max, increase, backoff }
+    }
+}
+
+impl Limiter for AimdLimiter {
+    fn limit(&self) -> usize {
+        clamped(self.limit, self.min, self.max)
+    }
+
+    fn observe(&mut self, sample: Sample) {
+        match sample.outcome {
+            Outcome::Success => {
+                if (sample.in_flight as f64) >= self.limit / 2.0 {
+                    self.limit = (self.limit + self.increase).min(self.max as f64);
+                }
+            }
+            Outcome::Overload => {
+                self.limit = (self.limit * self.backoff).max(self.min as f64);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "aimd"
+    }
+}
+
+/// Gradient concurrency limit: short-term vs long-term latency EWMAs.
+///
+/// The gradient `clamp(tolerance × long / short, 0.5, 1.0)` contracts
+/// the limit when short-term latency runs ahead of the long-term trend
+/// (queueing is building) and releases it back toward the ceiling when
+/// the two agree; a `√limit` headroom term lets the limit probe upward
+/// under parity. The long EWMA deliberately adapts an order of magnitude
+/// more slowly than the short one so a sustained breach cannot talk the
+/// baseline into accepting the degraded latency as normal before the
+/// limit has contracted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientLimiter {
+    limit: f64,
+    min: usize,
+    max: usize,
+    tolerance: f64,
+    smoothing: f64,
+    short_ewma: f64,
+    long_ewma: f64,
+}
+
+/// Per-sample weight of the short-term latency EWMA.
+const SHORT_ALPHA: f64 = 0.4;
+/// Per-sample weight of the long-term latency EWMA.
+const LONG_ALPHA: f64 = 0.02;
+
+impl GradientLimiter {
+    /// A gradient limiter starting halfway between the bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is zero, `min > max`, `tolerance < 1`, or
+    /// `smoothing` is outside `(0, 1]` — all config errors.
+    #[must_use]
+    pub fn new(min: usize, max: usize, tolerance: f64, smoothing: f64) -> Self {
+        assert!(min >= 1 && min <= max, "gradient bounds must satisfy 1 <= min <= max");
+        assert!(tolerance >= 1.0, "gradient tolerance must be >= 1");
+        assert!(smoothing > 0.0 && smoothing <= 1.0, "gradient smoothing must be in (0, 1]");
+        GradientLimiter {
+            limit: midpoint(min, max),
+            min,
+            max,
+            tolerance,
+            smoothing,
+            short_ewma: 0.0,
+            long_ewma: 0.0,
+        }
+    }
+}
+
+impl Limiter for GradientLimiter {
+    fn limit(&self) -> usize {
+        clamped(self.limit, self.min, self.max)
+    }
+
+    fn observe(&mut self, sample: Sample) {
+        let latency = sample.latency_ms.max(f64::MIN_POSITIVE);
+        if self.short_ewma == 0.0 {
+            self.short_ewma = latency;
+            self.long_ewma = latency;
+        } else {
+            self.short_ewma += SHORT_ALPHA * (latency - self.short_ewma);
+            self.long_ewma += LONG_ALPHA * (latency - self.long_ewma);
+        }
+        let gradient = (self.tolerance * self.long_ewma / self.short_ewma).clamp(0.5, 1.0);
+        let target = self.limit * gradient + self.limit.sqrt();
+        self.limit += self.smoothing * (target - self.limit);
+        self.limit = self.limit.clamp(self.min as f64, self.max as f64);
+    }
+
+    fn name(&self) -> &'static str {
+        "gradient"
+    }
+}
+
+/// A fixed limit — no adaptation. The control baseline for the serve
+/// bench and the escape hatch for operators who want plain queueing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedLimiter {
+    limit: usize,
+}
+
+impl FixedLimiter {
+    /// A constant limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    #[must_use]
+    pub fn new(limit: usize) -> Self {
+        assert!(limit >= 1, "fixed limit must be >= 1");
+        FixedLimiter { limit }
+    }
+}
+
+impl Limiter for FixedLimiter {
+    fn limit(&self) -> usize {
+        self.limit
+    }
+
+    fn observe(&mut self, _sample: Sample) {}
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+/// Declarative limiter selection, serializable into service configs and
+/// parseable from the CLI's `--limiter` flag.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum LimiterSpec {
+    /// Additive-increase/multiplicative-decrease.
+    Aimd {
+        /// Floor of the limit.
+        min: usize,
+        /// Ceiling of the limit.
+        max: usize,
+        /// Additive step per utilized success.
+        increase: f64,
+        /// Multiplicative factor per overload, in `(0, 1)`.
+        backoff: f64,
+    },
+    /// Short/long latency-EWMA gradient.
+    Gradient {
+        /// Floor of the limit.
+        min: usize,
+        /// Ceiling of the limit.
+        max: usize,
+        /// Allowed short/long latency ratio before contracting.
+        tolerance: f64,
+        /// Per-sample smoothing toward the target limit, in `(0, 1]`.
+        smoothing: f64,
+    },
+    /// Constant limit (no adaptation).
+    Fixed {
+        /// The limit.
+        limit: usize,
+    },
+}
+
+impl LimiterSpec {
+    /// Default AIMD parameters over `[min, max]`.
+    #[must_use]
+    pub fn aimd(min: usize, max: usize) -> Self {
+        LimiterSpec::Aimd { min, max, increase: 1.0, backoff: 0.7 }
+    }
+
+    /// Default gradient parameters over `[min, max]`.
+    #[must_use]
+    pub fn gradient(min: usize, max: usize) -> Self {
+        LimiterSpec::Gradient { min, max, tolerance: 1.5, smoothing: 0.2 }
+    }
+
+    /// Builds the limiter.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for out-of-range parameters instead of letting
+    /// the constructors panic on operator input.
+    pub fn build(&self) -> Result<Box<dyn Limiter>, String> {
+        self.validate()?;
+        Ok(match *self {
+            LimiterSpec::Aimd { min, max, increase, backoff } => {
+                Box::new(AimdLimiter::new(min, max, increase, backoff))
+            }
+            LimiterSpec::Gradient { min, max, tolerance, smoothing } => {
+                Box::new(GradientLimiter::new(min, max, tolerance, smoothing))
+            }
+            LimiterSpec::Fixed { limit } => Box::new(FixedLimiter::new(limit)),
+        })
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        match *self {
+            LimiterSpec::Aimd { min, max, increase, backoff } => {
+                if min < 1 || min > max {
+                    return Err(format!("aimd bounds {min}..{max}: need 1 <= min <= max"));
+                }
+                if increase <= 0.0 {
+                    return Err(format!("aimd increase {increase}: must be positive"));
+                }
+                if backoff <= 0.0 || backoff >= 1.0 {
+                    return Err(format!("aimd backoff {backoff}: must be in (0, 1)"));
+                }
+            }
+            LimiterSpec::Gradient { min, max, tolerance, smoothing } => {
+                if min < 1 || min > max {
+                    return Err(format!("gradient bounds {min}..{max}: need 1 <= min <= max"));
+                }
+                if tolerance < 1.0 {
+                    return Err(format!("gradient tolerance {tolerance}: must be >= 1"));
+                }
+                if smoothing <= 0.0 || smoothing > 1.0 {
+                    return Err(format!("gradient smoothing {smoothing}: must be in (0, 1]"));
+                }
+            }
+            LimiterSpec::Fixed { limit } => {
+                if limit < 1 {
+                    return Err("fixed limit must be >= 1".to_owned());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compact label for reports (`aimd[4..256]`, `fixed[64]`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            LimiterSpec::Aimd { min, max, .. } => format!("aimd[{min}..{max}]"),
+            LimiterSpec::Gradient { min, max, .. } => format!("gradient[{min}..{max}]"),
+            LimiterSpec::Fixed { limit } => format!("fixed[{limit}]"),
+        }
+    }
+
+    /// Parses the CLI form: `aimd`, `gradient`, `fixed:64`, or
+    /// `aimd:4-256` / `gradient:4-256` to override the bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending spec.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (kind, rest) = match text.split_once(':') {
+            Some((kind, rest)) => (kind, Some(rest)),
+            None => (text, None),
+        };
+        let bounds = |rest: Option<&str>| -> Result<(usize, usize), String> {
+            match rest {
+                None => Ok((DEFAULT_MIN_LIMIT, DEFAULT_MAX_LIMIT)),
+                Some(range) => {
+                    let (lo, hi) = range
+                        .split_once('-')
+                        .ok_or_else(|| format!("bad limiter bounds '{range}' (want MIN-MAX)"))?;
+                    let lo = lo.parse().map_err(|_| format!("bad limiter min '{lo}'"))?;
+                    let hi = hi.parse().map_err(|_| format!("bad limiter max '{hi}'"))?;
+                    Ok((lo, hi))
+                }
+            }
+        };
+        let spec = match kind {
+            "aimd" => {
+                let (min, max) = bounds(rest)?;
+                LimiterSpec::aimd(min, max)
+            }
+            "gradient" => {
+                let (min, max) = bounds(rest)?;
+                LimiterSpec::gradient(min, max)
+            }
+            "fixed" => {
+                let limit = rest
+                    .ok_or_else(|| "fixed limiter needs a value: fixed:N".to_owned())?
+                    .parse()
+                    .map_err(|_| format!("bad fixed limit '{}'", rest.unwrap_or_default()))?;
+                LimiterSpec::Fixed { limit }
+            }
+            other => {
+                return Err(format!(
+                    "unknown limiter '{other}' (expected aimd, gradient, or fixed:N)"
+                ))
+            }
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// Default limit floor for CLI-parsed limiters.
+pub const DEFAULT_MIN_LIMIT: usize = 4;
+/// Default limit ceiling for CLI-parsed limiters.
+pub const DEFAULT_MAX_LIMIT: usize = 256;
+
+fn midpoint(min: usize, max: usize) -> f64 {
+    (min as f64 + max as f64) / 2.0
+}
+
+fn clamped(limit: f64, min: usize, max: usize) -> usize {
+    (limit.round() as usize).clamp(min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast(in_flight: usize) -> Sample {
+        Sample { latency_ms: 5.0, in_flight, outcome: Outcome::Success }
+    }
+
+    fn slow() -> Sample {
+        Sample { latency_ms: 500.0, in_flight: 64, outcome: Outcome::Overload }
+    }
+
+    #[test]
+    fn aimd_grows_under_utilized_success_and_cuts_on_overload() {
+        let mut limiter = AimdLimiter::new(4, 64, 1.0, 0.5);
+        let start = limiter.limit();
+        for _ in 0..10 {
+            let utilized = limiter.limit();
+            limiter.observe(fast(utilized));
+        }
+        assert!(limiter.limit() > start, "utilized successes must grow the limit");
+        let grown = limiter.limit();
+        limiter.observe(slow());
+        assert!(limiter.limit() < grown, "overload must cut the limit");
+        assert!(limiter.limit() >= 4);
+    }
+
+    #[test]
+    fn aimd_ignores_successes_on_an_idle_window() {
+        let mut limiter = AimdLimiter::new(4, 64, 1.0, 0.5);
+        let start = limiter.limit();
+        for _ in 0..100 {
+            limiter.observe(fast(0));
+        }
+        assert_eq!(limiter.limit(), start, "an idle service must not ratchet its limit");
+    }
+
+    #[test]
+    fn gradient_contracts_when_short_term_latency_runs_ahead() {
+        let mut limiter = GradientLimiter::new(4, 256, 1.5, 0.2);
+        for _ in 0..50 {
+            let utilized = limiter.limit();
+            limiter.observe(fast(utilized));
+        }
+        let calm = limiter.limit();
+        assert_eq!(calm, 256, "sustained parity must reach the ceiling");
+        for _ in 0..30 {
+            limiter.observe(slow());
+        }
+        assert!(limiter.limit() < calm / 2, "a latency breach must contract the limit");
+        assert!(limiter.limit() >= 4);
+    }
+
+    #[test]
+    fn fixed_never_moves() {
+        let mut limiter = FixedLimiter::new(7);
+        limiter.observe(slow());
+        limiter.observe(fast(7));
+        assert_eq!(limiter.limit(), 7);
+    }
+
+    #[test]
+    fn spec_parses_builds_and_labels() {
+        assert_eq!(LimiterSpec::parse("aimd").unwrap(), LimiterSpec::aimd(4, 256));
+        assert_eq!(LimiterSpec::parse("gradient:8-128").unwrap(), LimiterSpec::gradient(8, 128));
+        assert_eq!(LimiterSpec::parse("fixed:64").unwrap(), LimiterSpec::Fixed { limit: 64 });
+        assert_eq!(LimiterSpec::aimd(4, 256).label(), "aimd[4..256]");
+        assert_eq!(LimiterSpec::Fixed { limit: 64 }.label(), "fixed[64]");
+        for spec in [LimiterSpec::aimd(4, 64), LimiterSpec::gradient(4, 64)] {
+            let limiter = spec.build().unwrap();
+            assert!(limiter.limit() >= 4 && limiter.limit() <= 64);
+        }
+    }
+
+    #[test]
+    fn spec_rejects_malformed_input() {
+        for bad in ["warp", "fixed", "fixed:zero", "aimd:9", "aimd:9-x", "aimd:10-2", "fixed:0"] {
+            assert!(LimiterSpec::parse(bad).is_err(), "'{bad}' must be rejected");
+        }
+        assert!(LimiterSpec::Aimd { min: 1, max: 2, increase: 0.0, backoff: 0.5 }.build().is_err());
+        assert!(LimiterSpec::Gradient { min: 1, max: 2, tolerance: 0.5, smoothing: 0.2 }
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        for spec in [
+            LimiterSpec::aimd(4, 256),
+            LimiterSpec::gradient(8, 128),
+            LimiterSpec::Fixed { limit: 32 },
+        ] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: LimiterSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+}

@@ -1,0 +1,884 @@
+//! The overload-safe placement service loop.
+//!
+//! [`PlacementService`] wraps any [`Consolidator`] behind a bounded
+//! request queue with arrival batching. Admission happens in two layers:
+//! a [`Limiter`] bound on *outstanding* work (queued + executing) sheds
+//! arrivals the moment the window is full, and the queue capacity is the
+//! hard backstop behind it. Every admitted request carries a deadline;
+//! requests that expire while queued are rejected at dequeue time rather
+//! than executed late. Each rejection is typed ([`Rejected`]) so callers
+//! get honest accounting instead of silent drops — the invariant
+//! `offered = completed + shed + queue_full + deadline_expired + pending`
+//! holds at every instant and is asserted in tests.
+//!
+//! The service is clock-agnostic: callers pass `now_ms` into
+//! [`PlacementService::offer`] / [`PlacementService::start_batch`] /
+//! [`PlacementService::complete_batch`], so the DES harness in
+//! `cubefit-sim` drives it on a simulated clock and every decision —
+//! including shed rates and degradation steps — replays byte-for-byte.
+//!
+//! Graceful degradation: a three-rung ladder (full audit → sampled audit
+//! → audit off) trades oracle coverage for decision latency. When the
+//! windowed p99 latency breaches the SLO the ladder steps down one rung;
+//! when it recovers well below the SLO the ladder climbs back. Admitted
+//! mutations remain oracle-auditable at every rung — the ladder only
+//! changes *when* the oracle runs, never what the consolidator does.
+
+use crate::limit::{Limiter, LimiterSpec, Outcome, Sample};
+use cubefit_core::{oracle, Consolidator, PlacementDump, Result, Tenant, TenantId};
+use cubefit_telemetry::{Counter, Gauge, Histogram, Recorder, TraceEvent};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One placement mutation offered to the service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Place a new tenant (γ replicas).
+    Place(Tenant),
+    /// Remove a tenant and release its replicas.
+    Remove(TenantId),
+    /// Re-estimate a tenant's load in place.
+    UpdateLoad(TenantId, f64),
+}
+
+/// Why the service turned a request away. Every rejection is accounted —
+/// the caller always learns which layer said no.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Rejected {
+    /// The bounded queue is at capacity (the hard backstop).
+    QueueFull {
+        /// Queue capacity at rejection time.
+        capacity: usize,
+    },
+    /// The request expired before execution began.
+    DeadlineExceeded {
+        /// How long it sat queued, ms.
+        waited_ms: f64,
+    },
+    /// The admission controller's concurrency limit is full.
+    Shed {
+        /// Outstanding requests (queued + executing) at rejection time.
+        outstanding: usize,
+        /// The limit that was hit.
+        limit: usize,
+    },
+}
+
+impl Rejected {
+    /// Short reason tag for traces and counters.
+    #[must_use]
+    pub fn reason(&self) -> &'static str {
+        match self {
+            Rejected::QueueFull { .. } => "queue_full",
+            Rejected::DeadlineExceeded { .. } => "deadline",
+            Rejected::Shed { .. } => "shed",
+        }
+    }
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull { capacity } => write!(f, "queue full ({capacity})"),
+            Rejected::DeadlineExceeded { waited_ms } => {
+                write!(f, "deadline exceeded after {waited_ms:.1}ms queued")
+            }
+            Rejected::Shed { outstanding, limit } => {
+                write!(f, "shed ({outstanding} outstanding >= limit {limit})")
+            }
+        }
+    }
+}
+
+/// Rung of the degradation ladder: how much oracle auditing runs per
+/// batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum AuditMode {
+    /// Audit after every batch (maximum coverage, maximum latency).
+    Full,
+    /// Audit every [`ServiceConfig::audit_sample_every`]-th batch.
+    Sampled,
+    /// No per-batch audits — the fast path under overload. Final-state
+    /// auditability is unaffected: the dump still replays clean.
+    Off,
+}
+
+impl AuditMode {
+    /// Lowercase label for traces and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AuditMode::Full => "full",
+            AuditMode::Sampled => "sampled",
+            AuditMode::Off => "off",
+        }
+    }
+
+    fn down(self) -> Option<AuditMode> {
+        match self {
+            AuditMode::Full => Some(AuditMode::Sampled),
+            AuditMode::Sampled => Some(AuditMode::Off),
+            AuditMode::Off => None,
+        }
+    }
+
+    fn up(self) -> Option<AuditMode> {
+        match self {
+            AuditMode::Full => None,
+            AuditMode::Sampled => Some(AuditMode::Full),
+            AuditMode::Off => Some(AuditMode::Sampled),
+        }
+    }
+}
+
+/// Service loop configuration.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServiceConfig {
+    /// Admission-control algorithm and bounds.
+    pub limiter: LimiterSpec,
+    /// Hard bound on queued requests.
+    pub queue_capacity: usize,
+    /// Most requests executed per batch.
+    pub batch_max: usize,
+    /// Per-request deadline: a request still queued this many ms after
+    /// arrival is rejected at dequeue time.
+    pub deadline_ms: f64,
+    /// The p99 decision-latency SLO driving the limiter's overload signal
+    /// and the degradation ladder.
+    pub slo_p99_ms: f64,
+    /// Completed-request window the p99 is computed over.
+    pub latency_window: usize,
+    /// Batch stride of oracle audits at the `Sampled` rung.
+    pub audit_sample_every: u64,
+    /// The ladder steps back up when the windowed p99 falls below
+    /// `slo_p99_ms × recover_margin`.
+    pub recover_margin: f64,
+    /// Fraction of the SLO at which a batch's worst latency counts as an
+    /// overload signal to the limiter. Below 1.0 the controller targets
+    /// headroom, so its sawtooth peaks *under* the SLO instead of
+    /// oscillating across it.
+    pub overload_margin: f64,
+    /// Minimum batches between ladder moves (debounce).
+    pub ladder_cooldown: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            limiter: LimiterSpec::aimd(4, 256),
+            queue_capacity: 256,
+            batch_max: 16,
+            deadline_ms: 500.0,
+            slo_p99_ms: 100.0,
+            latency_window: 128,
+            audit_sample_every: 8,
+            recover_margin: 0.5,
+            overload_margin: 0.6,
+            ladder_cooldown: 16,
+        }
+    }
+}
+
+impl ServiceConfig {
+    fn validate(&self) -> std::result::Result<(), String> {
+        if self.queue_capacity == 0 {
+            return Err("queue capacity must be >= 1".to_owned());
+        }
+        if self.batch_max == 0 {
+            return Err("batch max must be >= 1".to_owned());
+        }
+        if self.deadline_ms.is_nan() || self.deadline_ms <= 0.0 {
+            return Err("deadline must be positive".to_owned());
+        }
+        if self.slo_p99_ms.is_nan() || self.slo_p99_ms <= 0.0 {
+            return Err("SLO must be positive".to_owned());
+        }
+        if self.latency_window < 2 {
+            return Err("latency window must be >= 2".to_owned());
+        }
+        if self.audit_sample_every == 0 {
+            return Err("audit sample stride must be >= 1".to_owned());
+        }
+        if !(self.recover_margin > 0.0 && self.recover_margin < 1.0) {
+            return Err("recover margin must be in (0, 1)".to_owned());
+        }
+        if !(self.overload_margin > 0.0 && self.overload_margin <= 1.0) {
+            return Err("overload margin must be in (0, 1]".to_owned());
+        }
+        Ok(())
+    }
+}
+
+/// Running totals of everything the service did. The accounting invariant
+/// `offered == completed + shed + queue_full + deadline_expired +
+/// pending()` holds after every call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct ServiceStats {
+    /// Requests offered (admitted or not).
+    pub offered: u64,
+    /// Requests executed to completion.
+    pub completed: u64,
+    /// Rejections by the concurrency limiter.
+    pub shed: u64,
+    /// Rejections by the queue backstop.
+    pub queue_full: u64,
+    /// Admitted requests that expired while queued.
+    pub deadline_expired: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Oracle audits run by the ladder.
+    pub audits: u64,
+    /// Divergences those audits found (0 = every admitted mutation agreed
+    /// with the oracle).
+    pub audit_divergences: u64,
+    /// Ladder steps toward less auditing.
+    pub ladder_down: u64,
+    /// Ladder steps toward more auditing.
+    pub ladder_up: u64,
+}
+
+impl ServiceStats {
+    /// All rejections across the three typed reasons.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.shed + self.queue_full + self.deadline_expired
+    }
+}
+
+/// One queued request.
+#[derive(Debug, Clone)]
+struct Queued {
+    id: u64,
+    request: Request,
+    arrival_ms: f64,
+    deadline_ms: f64,
+}
+
+/// An admitted request currently executing in the open batch.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    id: u64,
+    arrival_ms: f64,
+}
+
+/// What [`PlacementService::start_batch`] handed the caller: the work the
+/// batch performed, so a simulated-time driver can charge a cost model
+/// and notify the owners of expired requests.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BatchWork {
+    /// Mutations executed (`0` means no batch is executing — everything
+    /// dequeued had expired, or the queue was empty).
+    pub ops: usize,
+    /// Ids of queued requests that expired at dequeue (already accounted
+    /// as [`Rejected::DeadlineExceeded`]).
+    pub expired: Vec<u64>,
+    /// Open bins walked by the oracle audit (0 when the ladder skipped
+    /// it).
+    pub audited_bins: usize,
+}
+
+/// One completed request, as reported by
+/// [`PlacementService::complete_batch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedOp {
+    /// The id [`PlacementService::offer`] returned for this request.
+    pub id: u64,
+    /// Queue wait + execution, ms.
+    pub latency_ms: f64,
+}
+
+/// The overload-safe service loop. See the module docs for the design.
+pub struct PlacementService {
+    consolidator: Box<dyn Consolidator>,
+    config: ServiceConfig,
+    limiter: Box<dyn Limiter>,
+    queue: VecDeque<Queued>,
+    executing: Vec<InFlight>,
+    in_flight_at_start: usize,
+    next_id: u64,
+    stats: ServiceStats,
+    audit_mode: AuditMode,
+    batches_since_audit: u64,
+    cooldown: u64,
+    latencies: VecDeque<f64>,
+    recorder: Recorder,
+    latency_hist: Arc<Histogram>,
+    batch_size_hist: Arc<Histogram>,
+    queue_gauge: Gauge,
+    in_flight_gauge: Gauge,
+    limit_gauge: Gauge,
+    completed_ctr: Counter,
+    shed_ctr: Counter,
+    queue_full_ctr: Counter,
+    deadline_ctr: Counter,
+}
+
+impl PlacementService {
+    /// Wraps `consolidator` in the service loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for invalid configuration.
+    pub fn new(
+        consolidator: Box<dyn Consolidator>,
+        config: ServiceConfig,
+        recorder: Recorder,
+    ) -> std::result::Result<Self, String> {
+        config.validate()?;
+        let limiter = config.limiter.build()?;
+        let mut consolidator = consolidator;
+        consolidator.set_recorder(recorder.clone());
+        let latency_hist = recorder.histogram("service_latency_ms", &[]);
+        let batch_size_hist = recorder.histogram("service_batch_size", &[]);
+        let queue_gauge = recorder.gauge("service_queue_depth", &[]);
+        let in_flight_gauge = recorder.gauge("service_in_flight", &[]);
+        let limit_gauge = recorder.gauge("service_limit", &[]);
+        limit_gauge.set(limiter.limit() as f64);
+        let completed_ctr = recorder.counter("service_completed", &[]);
+        let shed_ctr = recorder.counter("service_rejected", &[("reason", "shed")]);
+        let queue_full_ctr = recorder.counter("service_rejected", &[("reason", "queue_full")]);
+        let deadline_ctr = recorder.counter("service_rejected", &[("reason", "deadline")]);
+        Ok(PlacementService {
+            consolidator,
+            config,
+            limiter,
+            queue: VecDeque::new(),
+            executing: Vec::new(),
+            in_flight_at_start: 0,
+            next_id: 0,
+            stats: ServiceStats::default(),
+            audit_mode: AuditMode::Full,
+            batches_since_audit: 0,
+            cooldown: 0,
+            latencies: VecDeque::new(),
+            recorder,
+            latency_hist,
+            batch_size_hist,
+            queue_gauge,
+            in_flight_gauge,
+            limit_gauge,
+            completed_ctr,
+            shed_ctr,
+            queue_full_ctr,
+            deadline_ctr,
+        })
+    }
+
+    /// Offers one request at time `now_ms`. On admission returns the
+    /// request id that [`Self::complete_batch`] will later report.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`Rejected`] when admission control or the queue backstop
+    /// turns the request away.
+    pub fn offer(&mut self, request: Request, now_ms: f64) -> std::result::Result<u64, Rejected> {
+        self.stats.offered += 1;
+        let outstanding = self.queue.len() + self.executing.len();
+        let limit = self.limiter.limit();
+        if outstanding >= limit {
+            self.stats.shed += 1;
+            self.shed_ctr.inc();
+            self.emit_rejection("shed");
+            return Err(Rejected::Shed { outstanding, limit });
+        }
+        if self.queue.len() >= self.config.queue_capacity {
+            self.stats.queue_full += 1;
+            self.queue_full_ctr.inc();
+            self.emit_rejection("queue_full");
+            return Err(Rejected::QueueFull { capacity: self.config.queue_capacity });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push_back(Queued {
+            id,
+            request,
+            arrival_ms: now_ms,
+            deadline_ms: now_ms + self.config.deadline_ms,
+        });
+        self.queue_gauge.set(self.queue.len() as f64);
+        Ok(id)
+    }
+
+    /// Whether a batch is currently executing.
+    #[must_use]
+    pub fn busy(&self) -> bool {
+        !self.executing.is_empty()
+    }
+
+    /// Queued requests waiting for a batch.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Admitted requests not yet completed (queued + executing).
+    #[must_use]
+    pub fn pending(&self) -> u64 {
+        (self.queue.len() + self.executing.len()) as u64
+    }
+
+    /// Current admission limit.
+    #[must_use]
+    pub fn limit(&self) -> usize {
+        self.limiter.limit()
+    }
+
+    /// Current rung of the degradation ladder.
+    #[must_use]
+    pub fn audit_mode(&self) -> AuditMode {
+        self.audit_mode
+    }
+
+    /// Running totals.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Serializable dump of the current placement — the artifact
+    /// `cubefit check --audit` replays against the oracle.
+    #[must_use]
+    pub fn dump(&self) -> PlacementDump {
+        PlacementDump::from_placement(self.consolidator.placement())
+    }
+
+    /// Read-only view of the wrapped consolidator.
+    #[must_use]
+    pub fn consolidator(&self) -> &dyn Consolidator {
+        &*self.consolidator
+    }
+
+    /// Dequeues up to `batch_max` requests, drops the ones whose deadline
+    /// passed (each accounted as [`Rejected::DeadlineExceeded`]), executes
+    /// the survivors through the consolidator's batch mutation API, and —
+    /// per the ladder — audits the result against the oracle. When
+    /// `BatchWork::ops` is `0` the queue had no live requests and no
+    /// batch is executing. Execution here is the *decision*; the caller
+    /// owns the clock and calls [`Self::complete_batch`] at the time the
+    /// batch is considered done.
+    ///
+    /// # Errors
+    ///
+    /// Propagates consolidator mutation errors (a malformed request such
+    /// as removing an unknown tenant). Prior requests in the batch stay
+    /// applied, matching the batch API's fail-fast contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a batch is already executing — the service
+    /// is a single-worker loop by design.
+    pub fn start_batch(&mut self, now_ms: f64) -> Result<BatchWork> {
+        assert!(self.executing.is_empty(), "start_batch while a batch is executing");
+        let mut expired = Vec::new();
+        let mut batch: Vec<Queued> = Vec::new();
+        while batch.len() < self.config.batch_max {
+            let Some(queued) = self.queue.pop_front() else { break };
+            if now_ms > queued.deadline_ms {
+                expired.push(queued.id);
+                self.stats.deadline_expired += 1;
+                self.deadline_ctr.inc();
+                self.emit_rejection("deadline");
+                continue;
+            }
+            batch.push(queued);
+        }
+        self.queue_gauge.set(self.queue.len() as f64);
+        if batch.is_empty() {
+            return Ok(BatchWork { ops: 0, expired, audited_bins: 0 });
+        }
+
+        self.in_flight_at_start = batch.len() + self.queue.len();
+        self.execute(&batch)?;
+        self.executing =
+            batch.iter().map(|q| InFlight { id: q.id, arrival_ms: q.arrival_ms }).collect();
+        self.in_flight_gauge.set(self.executing.len() as f64);
+        self.batch_size_hist.record(batch.len() as f64);
+        self.stats.batches += 1;
+
+        let audited_bins = self.maybe_audit();
+        Ok(BatchWork { ops: batch.len(), expired, audited_bins })
+    }
+
+    /// Runs consecutive same-kind runs of the batch through the
+    /// consolidator's batch mutation API, preserving arrival order across
+    /// runs.
+    fn execute(&mut self, batch: &[Queued]) -> Result<()> {
+        let mut index = 0;
+        while index < batch.len() {
+            let start = index;
+            match &batch[start].request {
+                Request::Place(_) => {
+                    let mut tenants = Vec::new();
+                    while index < batch.len() {
+                        if let Request::Place(tenant) = &batch[index].request {
+                            tenants.push(*tenant);
+                            index += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    self.consolidator.place_batch(tenants)?;
+                }
+                Request::Remove(_) => {
+                    let mut ids = Vec::new();
+                    while index < batch.len() {
+                        if let Request::Remove(id) = &batch[index].request {
+                            ids.push(*id);
+                            index += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    self.consolidator.remove_batch(&ids)?;
+                }
+                Request::UpdateLoad(..) => {
+                    let mut updates = Vec::new();
+                    while index < batch.len() {
+                        if let Request::UpdateLoad(id, load) = &batch[index].request {
+                            updates.push((*id, *load));
+                            index += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    self.consolidator.update_load_batch(&updates)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the oracle audit when the ladder says so; returns the open
+    /// bins walked (the caller's cost model charges per bin).
+    fn maybe_audit(&mut self) -> usize {
+        let due = match self.audit_mode {
+            AuditMode::Full => true,
+            AuditMode::Sampled => {
+                self.batches_since_audit += 1;
+                if self.batches_since_audit >= self.config.audit_sample_every {
+                    self.batches_since_audit = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+            AuditMode::Off => false,
+        };
+        if !due {
+            return 0;
+        }
+        let placement = self.consolidator.placement();
+        let divergences = match oracle::audit(placement) {
+            Ok(()) => 0,
+            Err(list) => list.len(),
+        };
+        self.stats.audits += 1;
+        self.stats.audit_divergences += divergences as u64;
+        let batch = self.stats.batches;
+        self.recorder.emit(|| TraceEvent::AuditCompleted { op: batch, divergences, full: false });
+        placement.open_bins()
+    }
+
+    /// Completes the executing batch at time `now_ms`: records each
+    /// request's latency, feeds the limiter one sample, and steps the
+    /// degradation ladder off the windowed p99. Returns the completed
+    /// requests so the caller can correlate ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is executing.
+    pub fn complete_batch(&mut self, now_ms: f64) -> Vec<CompletedOp> {
+        assert!(!self.executing.is_empty(), "complete_batch without a started batch");
+        let mut completed = Vec::with_capacity(self.executing.len());
+        let mut worst = 0.0f64;
+        for op in self.executing.drain(..) {
+            let latency_ms = (now_ms - op.arrival_ms).max(0.0);
+            worst = worst.max(latency_ms);
+            self.latency_hist.record(latency_ms);
+            if self.latencies.len() == self.config.latency_window {
+                self.latencies.pop_front();
+            }
+            self.latencies.push_back(latency_ms);
+            self.stats.completed += 1;
+            self.completed_ctr.inc();
+            completed.push(CompletedOp { id: op.id, latency_ms });
+        }
+        self.in_flight_gauge.set(0.0);
+
+        let threshold = self.config.slo_p99_ms * self.config.overload_margin;
+        let outcome = if worst > threshold { Outcome::Overload } else { Outcome::Success };
+        self.limiter.observe(Sample {
+            latency_ms: worst,
+            in_flight: self.in_flight_at_start,
+            outcome,
+        });
+        self.limit_gauge.set(self.limiter.limit() as f64);
+        self.step_ladder();
+        completed
+    }
+
+    /// Windowed p99 of completed-request latency (0 until the window has
+    /// enough samples to be meaningful).
+    #[must_use]
+    pub fn windowed_p99_ms(&self) -> f64 {
+        let min_samples = (self.config.latency_window / 4).max(8);
+        if self.latencies.len() < min_samples {
+            return 0.0;
+        }
+        let mut sorted: Vec<f64> = self.latencies.iter().copied().collect();
+        sorted.sort_unstable_by(f64::total_cmp);
+        let rank = ((sorted.len() as f64) * 0.99).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    fn step_ladder(&mut self) {
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return;
+        }
+        let p99 = self.windowed_p99_ms();
+        if p99 <= 0.0 {
+            return;
+        }
+        let step = if p99 > self.config.slo_p99_ms {
+            self.audit_mode.down().map(|to| (to, true))
+        } else if p99 < self.config.slo_p99_ms * self.config.recover_margin {
+            self.audit_mode.up().map(|to| (to, false))
+        } else {
+            None
+        };
+        if let Some((to, down)) = step {
+            let from = self.audit_mode;
+            self.audit_mode = to;
+            self.batches_since_audit = 0;
+            self.cooldown = self.config.ladder_cooldown;
+            if down {
+                self.stats.ladder_down += 1;
+            } else {
+                self.stats.ladder_up += 1;
+            }
+            let batch = self.stats.batches;
+            self.recorder.emit(|| TraceEvent::DegradationChanged {
+                from: from.label().to_owned(),
+                to: to.label().to_owned(),
+                p99_ms: p99,
+                batch,
+            });
+        }
+    }
+
+    fn emit_rejection(&self, reason: &str) {
+        let queue_depth = self.queue.len();
+        let in_flight = self.executing.len();
+        let limit = self.limiter.limit();
+        self.recorder.emit(|| TraceEvent::RequestRejected {
+            reason: reason.to_owned(),
+            queue_depth,
+            in_flight,
+            limit,
+        });
+    }
+
+    /// Asserts the rejection-accounting invariant; callers sprinkle this
+    /// in tests.
+    #[must_use]
+    pub fn accounting_balanced(&self) -> bool {
+        self.stats.offered == self.stats.completed + self.stats.rejected() + self.pending()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubefit_core::{CubeFit, CubeFitConfig, Load};
+    use cubefit_telemetry::VecSink;
+
+    fn cubefit() -> Box<CubeFit> {
+        Box::new(CubeFit::new(CubeFitConfig::builder().replication(2).classes(5).build().unwrap()))
+    }
+
+    fn service(config: ServiceConfig) -> PlacementService {
+        PlacementService::new(cubefit(), config, Recorder::disabled()).unwrap()
+    }
+
+    fn place(id: u64, load: f64) -> Request {
+        Request::Place(Tenant::new(TenantId::new(id), Load::new(load).unwrap()))
+    }
+
+    fn tenant(id: u64) -> Request {
+        place(id, 0.25)
+    }
+
+    fn tight() -> ServiceConfig {
+        ServiceConfig {
+            limiter: LimiterSpec::Fixed { limit: 4 },
+            queue_capacity: 2,
+            batch_max: 2,
+            deadline_ms: 50.0,
+            slo_p99_ms: 20.0,
+            latency_window: 8,
+            recover_margin: 0.25,
+            ladder_cooldown: 0,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn admits_executes_and_completes_with_latencies() {
+        let mut svc = service(ServiceConfig::default());
+        let a = svc.offer(tenant(0), 0.0).unwrap();
+        let b = svc.offer(tenant(1), 1.0).unwrap();
+        let work = svc.start_batch(2.0).unwrap();
+        assert_eq!(work.ops, 2);
+        assert!(work.expired.is_empty());
+        assert!(work.audited_bins > 0, "full-audit rung audits every batch");
+        assert!(svc.busy());
+        let done = svc.complete_batch(10.0);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].id, a);
+        assert_eq!(done[1].id, b);
+        assert!((done[0].latency_ms - 10.0).abs() < 1e-9);
+        assert!((done[1].latency_ms - 9.0).abs() < 1e-9);
+        assert_eq!(svc.stats().completed, 2);
+        assert_eq!(svc.consolidator().placement().tenant_count(), 2);
+        assert!(svc.accounting_balanced());
+    }
+
+    #[test]
+    fn queue_backstop_and_shed_reject_with_types() {
+        let mut svc = service(tight());
+        svc.offer(tenant(0), 0.0).unwrap();
+        svc.offer(tenant(1), 0.0).unwrap();
+        // Queue capacity 2 < limit 4: the backstop fires first here.
+        let err = svc.offer(tenant(2), 0.0).unwrap_err();
+        assert_eq!(err, Rejected::QueueFull { capacity: 2 });
+        // Start the batch (2 executing) and refill the queue: outstanding
+        // hits the limit of 4 and the limiter sheds.
+        assert_eq!(svc.start_batch(0.0).unwrap().ops, 2);
+        svc.offer(tenant(3), 1.0).unwrap();
+        svc.offer(tenant(4), 1.0).unwrap();
+        let err = svc.offer(tenant(5), 1.0).unwrap_err();
+        assert_eq!(err, Rejected::Shed { outstanding: 4, limit: 4 });
+        assert_eq!(err.reason(), "shed");
+        assert_eq!(svc.stats().queue_full, 1);
+        assert_eq!(svc.stats().shed, 1);
+        assert!(svc.accounting_balanced());
+    }
+
+    #[test]
+    fn queued_requests_past_their_deadline_expire_at_dequeue() {
+        let mut svc = service(tight());
+        svc.offer(tenant(0), 0.0).unwrap();
+        svc.offer(tenant(1), 0.0).unwrap();
+        // Both deadlines (50ms) pass before the batch starts.
+        let work = svc.start_batch(100.0).unwrap();
+        assert_eq!(work.ops, 0, "nothing live to run");
+        assert_eq!(work.expired, vec![0, 1], "expired ids are reported to the caller");
+        assert_eq!(svc.stats().deadline_expired, 2);
+        assert_eq!(svc.consolidator().placement().tenant_count(), 0, "expired ops never execute");
+        assert!(svc.accounting_balanced());
+    }
+
+    #[test]
+    fn ladder_steps_down_under_breach_and_recovers() {
+        let sink = std::sync::Arc::new(VecSink::new());
+        let recorder = Recorder::with_sink(std::sync::Arc::clone(&sink));
+        let mut svc = PlacementService::new(cubefit(), tight(), recorder).unwrap();
+        assert_eq!(svc.audit_mode(), AuditMode::Full);
+
+        // Slow batches: every completion 100ms after arrival (SLO 20ms).
+        let mut now = 0.0;
+        let mut id = 0u64;
+        for _ in 0..16 {
+            svc.offer(tenant(id), now).unwrap();
+            id += 1;
+            svc.start_batch(now).unwrap();
+            now += 100.0;
+            svc.complete_batch(now);
+        }
+        assert_eq!(svc.audit_mode(), AuditMode::Off, "sustained breach reaches the fast path");
+        assert!(svc.stats().ladder_down >= 2);
+
+        // Fast batches: 1ms latency, far below slo × recover_margin.
+        for _ in 0..32 {
+            svc.offer(tenant(id), now).unwrap();
+            id += 1;
+            svc.start_batch(now).unwrap();
+            now += 1.0;
+            svc.complete_batch(now);
+            now += 10.0;
+        }
+        assert_eq!(svc.audit_mode(), AuditMode::Full, "recovery climbs back to full audits");
+        assert!(svc.stats().ladder_up >= 2);
+        let transitions = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::DegradationChanged { .. }))
+            .count() as u64;
+        assert_eq!(transitions, svc.stats().ladder_down + svc.stats().ladder_up);
+    }
+
+    #[test]
+    fn sampled_rung_audits_at_its_stride() {
+        let config = ServiceConfig {
+            audit_sample_every: 3,
+            ladder_cooldown: u64::MAX, // pin the ladder for the test
+            ..tight()
+        };
+        let mut svc = service(config);
+        // Force the sampled rung directly through the breach path once.
+        svc.audit_mode = AuditMode::Sampled;
+        let mut audited = 0;
+        for id in 0..9 {
+            svc.offer(tenant(id), 0.0).unwrap();
+            let work = svc.start_batch(0.0).unwrap();
+            if work.audited_bins > 0 {
+                audited += 1;
+            }
+            svc.complete_batch(1.0);
+        }
+        assert_eq!(audited, 3, "stride 3 over 9 batches audits 3 times");
+        assert_eq!(svc.stats().audits, 3);
+        assert_eq!(svc.stats().audit_divergences, 0);
+    }
+
+    #[test]
+    fn mixed_batches_execute_in_arrival_order_and_dump_replays() {
+        let mut svc = service(ServiceConfig::default());
+        svc.offer(place(0, 0.25), 0.0).unwrap();
+        svc.offer(place(1, 0.25), 0.0).unwrap();
+        svc.start_batch(0.0).unwrap();
+        svc.complete_batch(1.0);
+        svc.offer(Request::UpdateLoad(TenantId::new(0), 0.5), 2.0).unwrap();
+        svc.offer(Request::Remove(TenantId::new(1)), 2.0).unwrap();
+        svc.offer(place(2, 0.125), 2.0).unwrap();
+        svc.start_batch(2.0).unwrap();
+        svc.complete_batch(3.0);
+
+        let placement = svc.consolidator().placement();
+        assert_eq!(placement.tenant_count(), 2);
+        let dump = svc.dump();
+        let rebuilt = dump.to_placement().unwrap();
+        assert!(oracle::audit(&rebuilt).is_ok(), "the dump must stay oracle-auditable");
+        assert!(svc.accounting_balanced());
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let bad = ServiceConfig { queue_capacity: 0, ..ServiceConfig::default() };
+        assert!(PlacementService::new(cubefit(), bad, Recorder::disabled()).is_err());
+        for mutate in [
+            |c: &mut ServiceConfig| c.batch_max = 0,
+            |c: &mut ServiceConfig| c.deadline_ms = 0.0,
+            |c: &mut ServiceConfig| c.slo_p99_ms = -1.0,
+            |c: &mut ServiceConfig| c.latency_window = 1,
+            |c: &mut ServiceConfig| c.audit_sample_every = 0,
+            |c: &mut ServiceConfig| c.recover_margin = 1.5,
+            |c: &mut ServiceConfig| c.overload_margin = 0.0,
+        ] {
+            let mut config = ServiceConfig::default();
+            mutate(&mut config);
+            assert!(PlacementService::new(cubefit(), config, Recorder::disabled()).is_err());
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Cooperative shutdown signalling.
+//!
+//! Long-running commands (`serve`, `soak`, `churn`, `drift`) poll a
+//! [`ShutdownFlag`] between operations. [`ShutdownFlag::install`] wires
+//! the process-global flag to SIGINT/SIGTERM exactly once, so Ctrl-C
+//! drains in-flight work, flushes telemetry, and writes a partial report
+//! instead of killing the process mid-write. Tests construct private
+//! flags with [`ShutdownFlag::new`] and trip them with
+//! [`ShutdownFlag::trigger`] — no signals involved.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A cheaply clonable, thread-safe "please stop" flag.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownFlag(Arc<AtomicBool>);
+
+impl ShutdownFlag {
+    /// A fresh, untripped flag (not connected to any signal).
+    #[must_use]
+    pub fn new() -> Self {
+        ShutdownFlag::default()
+    }
+
+    /// Trips the flag. Idempotent.
+    pub fn trigger(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    #[must_use]
+    pub fn is_set(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Returns the process-global flag, registering the SIGINT/SIGTERM
+    /// handler on first call. Later calls return the same flag and never
+    /// re-register, so every long-running command can call this freely.
+    /// If handler registration fails (some sandboxes forbid it), the
+    /// returned flag simply never trips — commands run to completion as
+    /// before.
+    pub fn install() -> ShutdownFlag {
+        static GLOBAL: OnceLock<ShutdownFlag> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| {
+                let flag = ShutdownFlag::new();
+                let hooked = flag.clone();
+                let _ = ctrlc::set_handler(move || hooked.trigger());
+                flag
+            })
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_flags_are_independent() {
+        let a = ShutdownFlag::new();
+        let b = ShutdownFlag::new();
+        assert!(!a.is_set());
+        a.trigger();
+        assert!(a.is_set());
+        assert!(!b.is_set(), "triggering one flag must not trip another");
+        let c = a.clone();
+        assert!(c.is_set(), "clones share state");
+    }
+
+    #[test]
+    fn install_returns_the_same_flag_every_time() {
+        let first = ShutdownFlag::install();
+        let second = ShutdownFlag::install();
+        assert_eq!(first.is_set(), second.is_set());
+        // Don't trigger the global flag here: other tests in this process
+        // may poll it.
+    }
+}

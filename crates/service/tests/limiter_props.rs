@@ -1,0 +1,166 @@
+//! Property tests for the admission-control limiters in isolation
+//! (satellite of the service-loop PR).
+//!
+//! Three contracts, per algorithm, under seeded random sample streams —
+//! no wall-clock anywhere:
+//!
+//! 1. **Bounds**: the limit stays inside `[min, max]` after every
+//!    observation, for arbitrary latency/in-flight/outcome sequences.
+//! 2. **Shrink under breach**: sustained injected latency breaches
+//!    (overload outcomes) pull the limit strictly below its ceiling.
+//! 3. **Recovery**: sustained fast, fully-utilized successes return the
+//!    limit to its ceiling.
+
+use cubefit_service::{AimdLimiter, GradientLimiter, Limiter, LimiterSpec, Outcome, Sample};
+use proptest::prelude::*;
+
+/// Builds one limiter of each adaptive algorithm for a bounds window.
+fn adaptive_limiters(min: usize, max: usize) -> Vec<Box<dyn Limiter>> {
+    vec![
+        LimiterSpec::aimd(min, max).build().unwrap(),
+        LimiterSpec::gradient(min, max).build().unwrap(),
+    ]
+}
+
+/// Raw draw for one sample: (latency_ms, in_flight, is_overload).
+fn sample_strategy() -> impl Strategy<Value = (f64, usize, bool)> {
+    (0.0f64..2000.0, 0usize..512, any::<bool>())
+}
+
+fn to_sample((latency_ms, in_flight, over): (f64, usize, bool)) -> Sample {
+    Sample {
+        latency_ms,
+        in_flight,
+        outcome: if over { Outcome::Overload } else { Outcome::Success },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Contract 1: no sample stream, however adversarial, pushes any
+    /// limiter outside its configured [min, max] window.
+    #[test]
+    fn limits_stay_within_bounds_for_any_stream(
+        samples in prop::collection::vec(sample_strategy(), 1..200),
+        min in 1usize..16,
+        span in 1usize..240,
+    ) {
+        let max = min + span;
+        for mut limiter in adaptive_limiters(min, max) {
+            for &raw in &samples {
+                limiter.observe(to_sample(raw));
+                let limit = limiter.limit();
+                prop_assert!(
+                    (min..=max).contains(&limit),
+                    "{}: limit {} escaped [{}, {}]",
+                    limiter.name(),
+                    limit,
+                    min,
+                    max
+                );
+            }
+        }
+    }
+
+    /// Contract 2: sustained latency breaches shrink the limit strictly
+    /// below the ceiling (the controller actually backs off).
+    #[test]
+    fn sustained_breaches_shrink_the_limit(
+        breach_ms in 500.0f64..5000.0,
+        rounds in 20usize..80,
+    ) {
+        let (min, max) = (4usize, 128usize);
+        for mut limiter in adaptive_limiters(min, max) {
+            // Drive to the ceiling first with fast, saturated successes.
+            for _ in 0..512 {
+                let in_flight = limiter.limit();
+                limiter.observe(Sample { latency_ms: 1.0, in_flight, outcome: Outcome::Success });
+            }
+            let ceiling = limiter.limit();
+            prop_assert_eq!(ceiling, max, "{} did not reach its ceiling", limiter.name());
+            for _ in 0..rounds {
+                let in_flight = limiter.limit();
+                limiter.observe(Sample {
+                    latency_ms: breach_ms,
+                    in_flight,
+                    outcome: Outcome::Overload,
+                });
+            }
+            prop_assert!(
+                limiter.limit() < ceiling,
+                "{}: limit {} did not shrink under {} breaches of {}ms",
+                limiter.name(),
+                limiter.limit(),
+                rounds,
+                breach_ms
+            );
+        }
+    }
+
+    /// Contract 3: after an arbitrary breach history, sustained fast
+    /// fully-utilized responses recover the limit to its ceiling.
+    #[test]
+    fn sustained_fast_responses_recover_to_ceiling(
+        breaches in prop::collection::vec(100.0f64..3000.0, 0..60),
+    ) {
+        let (min, max) = (4usize, 64usize);
+        for mut limiter in adaptive_limiters(min, max) {
+            for &latency_ms in &breaches {
+                let in_flight = limiter.limit();
+                limiter.observe(Sample { latency_ms, in_flight, outcome: Outcome::Overload });
+            }
+            for _ in 0..4096 {
+                let in_flight = limiter.limit();
+                limiter.observe(Sample { latency_ms: 1.0, in_flight, outcome: Outcome::Success });
+            }
+            prop_assert_eq!(
+                limiter.limit(),
+                max,
+                "{} failed to recover to its ceiling after {} breaches",
+                limiter.name(),
+                breaches.len()
+            );
+        }
+    }
+}
+
+/// AIMD-specific shape: each overload multiplies the limit down, so the
+/// decrease is multiplicative, not additive.
+#[test]
+fn aimd_backoff_is_multiplicative() {
+    let mut limiter = AimdLimiter::new(2, 256, 1.0, 0.5);
+    for _ in 0..512 {
+        let in_flight = limiter.limit();
+        limiter.observe(Sample { latency_ms: 1.0, in_flight, outcome: Outcome::Success });
+    }
+    assert_eq!(limiter.limit(), 256);
+    let mut expected = 256.0f64;
+    for _ in 0..4 {
+        let in_flight = limiter.limit();
+        limiter.observe(Sample { latency_ms: 900.0, in_flight, outcome: Outcome::Overload });
+        expected = (expected * 0.5).max(2.0);
+        assert_eq!(limiter.limit(), expected as usize);
+    }
+}
+
+/// Gradient-specific shape: a single latency spike inside a calm stream
+/// barely moves the limit (the long-term EWMA dominates), unlike AIMD's
+/// immediate halving.
+#[test]
+fn gradient_tolerates_an_isolated_spike() {
+    let mut limiter = GradientLimiter::new(4, 128, 1.5, 0.2);
+    for _ in 0..512 {
+        let in_flight = limiter.limit();
+        limiter.observe(Sample { latency_ms: 10.0, in_flight, outcome: Outcome::Success });
+    }
+    let before = limiter.limit();
+    assert_eq!(before, 128);
+    let in_flight = limiter.limit();
+    limiter.observe(Sample { latency_ms: 400.0, in_flight, outcome: Outcome::Overload });
+    let after = limiter.limit();
+    assert!(
+        after >= before / 2,
+        "one spike should not collapse the gradient limit: {before} -> {after}"
+    );
+}

@@ -23,6 +23,7 @@ use cubefit_core::oracle::AuditedConsolidator;
 use cubefit_core::recovery::{self, RecoveryReport};
 use cubefit_core::{BinId, Consolidator, FragmentationStats, Result, Tenant, TenantId};
 use cubefit_defrag::{DefragOutcome, MigrationBudget, MitigationOutcome};
+use cubefit_service::ShutdownFlag;
 use cubefit_telemetry::{Recorder, TraceEvent};
 use cubefit_workload::{DriftEngine, DriftProfile, LoadModel};
 use rand::{Rng, SeedableRng};
@@ -233,6 +234,9 @@ pub struct ChurnReport {
     pub final_at_risk: usize,
     /// Whether the final placement satisfies Theorem 1.
     pub robust: bool,
+    /// True when the run was cut short by a shutdown request; `ops` then
+    /// holds the count actually executed and the report covers only them.
+    pub interrupted: bool,
 }
 
 impl ChurnReport {
@@ -263,6 +267,21 @@ pub fn run_churn_with(config: &ChurnConfig, recorder: Recorder) -> Result<ChurnR
     run_churn_consolidator(config, recorder).map(|(report, _)| report)
 }
 
+/// [`run_churn_with`] with a cooperative shutdown flag polled between
+/// ops: when it trips (Ctrl-C in the CLI), the run stops cleanly, the
+/// report covers the ops executed so far, and `interrupted` is set.
+///
+/// # Errors
+///
+/// Propagates algorithm construction and placement/removal/recovery errors.
+pub fn run_churn_cancellable(
+    config: &ChurnConfig,
+    recorder: Recorder,
+    shutdown: &ShutdownFlag,
+) -> Result<ChurnReport> {
+    churn_loop(config, recorder, Some(shutdown)).map(|(report, _)| report)
+}
+
 /// [`run_churn_with`], additionally handing back the consolidator in its
 /// final state so callers (e.g. `cubefit defrag`) can keep mutating the
 /// churned placement the report describes.
@@ -273,6 +292,14 @@ pub fn run_churn_with(config: &ChurnConfig, recorder: Recorder) -> Result<ChurnR
 pub fn run_churn_consolidator(
     config: &ChurnConfig,
     recorder: Recorder,
+) -> Result<(ChurnReport, Box<dyn Consolidator>)> {
+    churn_loop(config, recorder, None)
+}
+
+fn churn_loop(
+    config: &ChurnConfig,
+    recorder: Recorder,
+    shutdown: Option<&ShutdownFlag>,
 ) -> Result<(ChurnReport, Box<dyn Consolidator>)> {
     let gamma = config.algorithm.gamma();
     let mut consolidator: Box<dyn Consolidator> = if config.audit {
@@ -319,6 +346,7 @@ pub fn run_churn_consolidator(
         final_violated: 0,
         final_at_risk: 0,
         robust: false,
+        interrupted: false,
     };
 
     // Drift draws from its own seeded stream so enabling it never perturbs
@@ -331,6 +359,11 @@ pub fn run_churn_consolidator(
 
     let depart_band = config.failure_percent + config.departure_percent;
     for op in 0..config.ops {
+        if shutdown.is_some_and(ShutdownFlag::is_set) {
+            report.interrupted = true;
+            report.ops = op;
+            break;
+        }
         let roll = rng.gen_range(0..100u32);
         let loaded_bins: Vec<BinId> = consolidator
             .placement()
@@ -535,6 +568,19 @@ mod tests {
 
     fn quick(algorithm: AlgorithmSpec, seed: u64) -> ChurnConfig {
         ChurnConfig { audit: true, ..ChurnConfig::balanced(algorithm, 120, seed) }
+    }
+
+    #[test]
+    fn tripped_shutdown_flag_stops_churn_with_a_partial_report() {
+        let config = quick(AlgorithmSpec::CubeFit { gamma: 2, classes: 5 }, 7);
+        let flag = ShutdownFlag::new();
+        flag.trigger();
+        let report = run_churn_cancellable(&config, Recorder::disabled(), &flag).unwrap();
+        assert!(report.interrupted);
+        assert_eq!(report.ops, 0, "flag was set before the first op");
+        let a = run_churn_cancellable(&config, Recorder::disabled(), &ShutdownFlag::new()).unwrap();
+        let b = run_churn(&config).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

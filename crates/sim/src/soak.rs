@@ -30,6 +30,7 @@ use crate::spec::{AlgorithmSpec, DistributionSpec};
 use cubefit_core::monitor::{classify_with, DEFAULT_AT_RISK_SLACK};
 use cubefit_core::{oracle, BinId, Consolidator, Result, Tenant, TenantId};
 use cubefit_defrag::MigrationBudget;
+use cubefit_service::ShutdownFlag;
 use cubefit_telemetry::{Recorder, TraceEvent};
 use cubefit_workload::{DriftEngine, LoadModel};
 use rand::{Rng, SeedableRng};
@@ -198,6 +199,10 @@ pub struct SoakReport {
     /// Divergences the final full audit found (`None` when audits are off
     /// or the run stopped early).
     pub final_audit_divergences: Option<usize>,
+    /// True when the run was cut short by a shutdown request; `ops_run`
+    /// then holds the count actually executed and the final full audit is
+    /// skipped.
+    pub interrupted: bool,
     /// First failure, when the run did not stay clean.
     pub failure: Option<SoakFailure>,
     /// Replayable repro for the failure, when there is one.
@@ -239,7 +244,22 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport> {
 ///
 /// Propagates algorithm construction and mutation errors.
 pub fn run_soak_with(config: &SoakConfig, recorder: Recorder) -> Result<SoakReport> {
-    run_loop(config, recorder, config.ops, &CheckMode::Sampled)
+    run_loop(config, recorder, config.ops, &CheckMode::Sampled, None)
+}
+
+/// [`run_soak_with`] with a cooperative shutdown flag polled between
+/// ops: when it trips (Ctrl-C in the CLI), the run stops cleanly, the
+/// report covers the ops executed so far, and `interrupted` is set.
+///
+/// # Errors
+///
+/// Propagates algorithm construction and mutation errors.
+pub fn run_soak_cancellable(
+    config: &SoakConfig,
+    recorder: Recorder,
+    shutdown: &ShutdownFlag,
+) -> Result<SoakReport> {
+    run_loop(config, recorder, config.ops, &CheckMode::Sampled, Some(shutdown))
 }
 
 /// Replays a scenario: re-runs the deterministic prefix up to
@@ -255,6 +275,7 @@ pub fn replay(scenario: &SoakScenario) -> Result<Option<SoakFailure>> {
         Recorder::disabled(),
         scenario.window_hi.saturating_add(1),
         &CheckMode::Window { lo: scenario.window_lo, hi: scenario.window_hi },
+        None,
     )?;
     Ok(report.failure)
 }
@@ -341,6 +362,7 @@ fn run_loop(
     recorder: Recorder,
     limit: u64,
     mode: &CheckMode,
+    shutdown: Option<&ShutdownFlag>,
 ) -> Result<SoakReport> {
     let gamma = config.algorithm.gamma();
     let mut consolidator: Box<dyn Consolidator> = config.algorithm.build()?;
@@ -374,6 +396,7 @@ fn run_loop(
         final_load: 0.0,
         final_fragmentation: 1.0,
         robust: false,
+        interrupted: false,
         final_audit_divergences: None,
         failure: None,
         scenario: None,
@@ -391,6 +414,10 @@ fn run_loop(
     let depart_band = config.failure_percent + config.departure_percent;
     let total = config.ops.min(limit);
     for op in 0..total {
+        if shutdown.is_some_and(ShutdownFlag::is_set) {
+            report.interrupted = true;
+            break;
+        }
         let roll = rng.gen_range(0..100u32);
         // `alive` non-empty ⇔ some bin is loaded (every live tenant keeps
         // γ positive-load replicas), so the O(bins) loaded-bin scan only
@@ -638,6 +665,22 @@ mod tests {
             checkpoint_every: 100,
             ..SoakConfig::steady(AlgorithmSpec::CubeFit { gamma: 2, classes: 5 }, ops, seed)
         }
+    }
+
+    #[test]
+    fn tripped_shutdown_flag_stops_the_run_with_a_partial_report() {
+        let flag = ShutdownFlag::new();
+        flag.trigger();
+        let report = run_soak_cancellable(&quick(2_000, 11), Recorder::disabled(), &flag).unwrap();
+        assert!(report.interrupted);
+        assert_eq!(report.ops_run, 0, "flag was set before the first op");
+        assert!(report.failure.is_none());
+        assert!(report.final_audit_divergences.is_none(), "final audit skipped when cut short");
+        // An untripped flag changes nothing.
+        let a = run_soak_cancellable(&quick(500, 3), Recorder::disabled(), &ShutdownFlag::new())
+            .unwrap();
+        let b = run_soak(&quick(500, 3)).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

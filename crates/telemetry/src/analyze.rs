@@ -105,6 +105,12 @@ pub struct TraceReport {
     pub skipped: BTreeMap<String, u64>,
     /// Lines that were not single-tag JSON objects at all.
     pub malformed_lines: u64,
+    /// An unparseable final line with no trailing newline: the writer was
+    /// cut off mid-record (crash, Ctrl-C, full disk). Counted separately
+    /// from `malformed_lines` because a truncated tail is an expected
+    /// artifact of interruption, not trace corruption — it does not break
+    /// [`TraceReport::is_clean`].
+    pub truncated_tail: u64,
     /// Final op-clock value.
     pub final_op: u64,
     /// Open bins when the trace ended.
@@ -155,6 +161,9 @@ impl TraceReport {
             self.skipped.values().sum::<u64>(),
             self.malformed_lines,
         ));
+        if self.truncated_tail > 0 {
+            out.push_str("note: final line truncated mid-record (writer was interrupted)\n");
+        }
         out.push_str("events:\n");
         for (name, count) in &self.events {
             out.push_str(&format!("  {name:<20} {count}\n"));
@@ -284,6 +293,19 @@ impl TraceAnalyzer {
         }
     }
 
+    /// Consumes the final line of a stream that ended WITHOUT a trailing
+    /// newline. A parseable record is processed normally; an unparseable
+    /// one is counted as a truncated tail — the writer was interrupted
+    /// mid-record — rather than as trace corruption.
+    pub fn push_tail_line(&mut self, line: &str) {
+        let before = self.report.malformed_lines;
+        self.push_line(line);
+        if self.report.malformed_lines > before {
+            self.report.malformed_lines = before;
+            self.report.truncated_tail += 1;
+        }
+    }
+
     /// Consumes one already-decoded event.
     pub fn push_event(&mut self, event: &TraceEvent) {
         *self.report.events.entry(event.variant_name().to_owned()).or_insert(0) += 1;
@@ -388,11 +410,29 @@ impl TraceAnalyzer {
 
 /// Analyzes an entire JSONL stream line by line (the `cubefit analyze`
 /// entry point — the reader is never buffered whole).
-pub fn analyze_reader<R: BufRead>(reader: R, config: AnalyzeConfig) -> Result<TraceReport, String> {
+pub fn analyze_reader<R: BufRead>(
+    mut reader: R,
+    config: AnalyzeConfig,
+) -> Result<TraceReport, String> {
     let mut analyzer = TraceAnalyzer::with_config(config);
-    for line in reader.lines() {
-        let line = line.map_err(|e| format!("trace read failed: {e}"))?;
-        analyzer.push_line(&line);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let read = reader.read_line(&mut line).map_err(|e| format!("trace read failed: {e}"))?;
+        if read == 0 {
+            break;
+        }
+        if line.ends_with('\n') {
+            line.pop();
+            if line.ends_with('\r') {
+                line.pop();
+            }
+            analyzer.push_line(&line);
+        } else {
+            // Final line with no newline: the writer was cut off. Treat
+            // an unparseable record as truncation, not corruption.
+            analyzer.push_tail_line(&line);
+        }
     }
     Ok(analyzer.finish())
 }
@@ -514,6 +554,51 @@ mod tests {
         }
         let report = analyze_reader(text.as_bytes(), AnalyzeConfig::default()).unwrap();
         assert_eq!(report.total_lines, crate::trace::tests::sample_events().len() as u64);
+        assert_eq!(report.malformed_lines, 0);
+        assert_eq!(report.truncated_tail, 0);
+    }
+
+    /// Regression: a writer killed mid-record (Ctrl-C, crash, full disk)
+    /// leaves a final line with no trailing newline. `analyze` must count
+    /// it as a truncated tail — skipped, still CLEAN — not error out or
+    /// grade the trace corrupt.
+    #[test]
+    fn truncated_final_line_is_skipped_not_malformed() {
+        let mut text = String::new();
+        for event in crate::trace::tests::sample_events() {
+            text.push_str(&line(&event));
+            text.push('\n');
+        }
+        // Cut the valid trace mid-way through its last record.
+        let cut = text.trim_end().len() - 17;
+        let truncated = &text[..cut];
+        assert!(!truncated.ends_with('\n'));
+
+        let full = analyze_reader(text.as_bytes(), AnalyzeConfig::default()).unwrap();
+        let report = analyze_reader(truncated.as_bytes(), AnalyzeConfig::default()).unwrap();
+        assert_eq!(report.truncated_tail, 1);
+        assert_eq!(report.malformed_lines, 0);
+        assert_eq!(report.total_lines, full.total_lines);
+        assert_eq!(
+            report.is_clean(),
+            full.is_clean(),
+            "a truncated tail must not change the cleanliness verdict"
+        );
+        assert!(report.render().contains("truncated"), "render surfaces the truncation");
+    }
+
+    /// A final line without a newline that still parses is a normal
+    /// record — flushed but not newline-terminated before the cut.
+    #[test]
+    fn complete_final_line_without_newline_still_counts() {
+        let text = format!(
+            "{}\n{}",
+            line(&TraceEvent::TenantArrived { tenant: 1, load: 0.5, seq: 0 }),
+            line(&TraceEvent::TenantArrived { tenant: 2, load: 0.25, seq: 1 }),
+        );
+        let report = analyze_reader(text.as_bytes(), AnalyzeConfig::default()).unwrap();
+        assert_eq!(report.events["TenantArrived"], 2);
+        assert_eq!(report.truncated_tail, 0);
         assert_eq!(report.malformed_lines, 0);
     }
 }

@@ -209,6 +209,28 @@ pub enum TraceEvent {
         /// sampled mid-run one.
         full: bool,
     },
+    /// The placement service turned a request away at admission.
+    RequestRejected {
+        /// Why: `shed`, `queue_full`, or `deadline`.
+        reason: String,
+        /// Queue depth at rejection time.
+        queue_depth: usize,
+        /// Requests executing at rejection time.
+        in_flight: usize,
+        /// Admission limit at rejection time.
+        limit: usize,
+    },
+    /// The service's degradation ladder moved between audit modes.
+    DegradationChanged {
+        /// Mode stepped away from (`full`, `sampled`, `off`).
+        from: String,
+        /// Mode stepped into.
+        to: String,
+        /// Windowed p99 decision latency that drove the step, ms.
+        p99_ms: f64,
+        /// Batch sequence number the step happened at.
+        batch: u64,
+    },
 }
 
 /// Names of every [`TraceEvent`] variant, in declaration order. Paired
@@ -235,6 +257,8 @@ pub const VARIANT_NAMES: &[&str] = &[
     "Placed",
     "SoakCheckpoint",
     "AuditCompleted",
+    "RequestRejected",
+    "DegradationChanged",
 ];
 
 impl TraceEvent {
@@ -265,6 +289,8 @@ impl TraceEvent {
             TraceEvent::Placed { .. } => "Placed",
             TraceEvent::SoakCheckpoint { .. } => "SoakCheckpoint",
             TraceEvent::AuditCompleted { .. } => "AuditCompleted",
+            TraceEvent::RequestRejected { .. } => "RequestRejected",
+            TraceEvent::DegradationChanged { .. } => "DegradationChanged",
         }
     }
 }
@@ -416,6 +442,18 @@ pub(crate) mod tests {
                 violated: 0,
             },
             TraceEvent::AuditCompleted { op: 1000, divergences: 0, full: false },
+            TraceEvent::RequestRejected {
+                reason: "shed".to_owned(),
+                queue_depth: 12,
+                in_flight: 16,
+                limit: 28,
+            },
+            TraceEvent::DegradationChanged {
+                from: "full".to_owned(),
+                to: "sampled".to_owned(),
+                p99_ms: 137.5,
+                batch: 42,
+            },
         ]
     }
 

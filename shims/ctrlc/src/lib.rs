@@ -1,0 +1,114 @@
+//! Offline shim for the `ctrlc` crate.
+//!
+//! Implements the one entry point the workspace uses:
+//! [`set_handler`], which registers a closure to run when the process
+//! receives `SIGINT` (Ctrl-C) or `SIGTERM`.
+//!
+//! Differences from the real crate, deliberate for offline use:
+//!
+//! - the handler is installed with `signal(2)` rather than a dedicated
+//!   thread + self-pipe, so the closure runs in signal-handler context.
+//!   Callers must keep it async-signal-safe — in this workspace it only
+//!   ever stores into an `AtomicBool`;
+//! - only Unix is supported (the build environment is Linux).
+
+use std::sync::OnceLock;
+
+/// Errors from [`set_handler`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A handler is already registered (the shim supports exactly one).
+    MultipleHandlers,
+    /// The OS rejected the signal registration.
+    System(i32),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::MultipleHandlers => write!(f, "a Ctrl-C handler is already registered"),
+            Error::System(signal) => write!(f, "failed to register handler for signal {signal}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+const SIG_ERR: usize = usize::MAX;
+
+static HANDLER: OnceLock<Box<dyn Fn() + Send + Sync>> = OnceLock::new();
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+    fn raise(signum: i32) -> i32;
+}
+
+extern "C" fn trampoline(_signum: i32) {
+    if let Some(handler) = HANDLER.get() {
+        handler();
+    }
+}
+
+/// Registers `handler` to run on `SIGINT` and `SIGTERM`.
+///
+/// The closure executes in signal-handler context: it must be
+/// async-signal-safe (store a flag; do not allocate, lock, or do I/O).
+///
+/// # Errors
+///
+/// [`Error::MultipleHandlers`] when a handler is already registered,
+/// [`Error::System`] when the OS rejects the registration.
+pub fn set_handler<F>(handler: F) -> Result<(), Error>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    HANDLER.set(Box::new(handler)).map_err(|_| Error::MultipleHandlers)?;
+    for signum in [SIGINT, SIGTERM] {
+        // SAFETY: `trampoline` is an `extern "C"` fn with the signature
+        // `signal(2)` expects, and it only reads an initialized
+        // `OnceLock` — no allocation or locking in handler context.
+        let entry = trampoline as extern "C" fn(i32) as *const () as usize;
+        if unsafe { signal(signum, entry) } == SIG_ERR {
+            return Err(Error::System(signum));
+        }
+    }
+    Ok(())
+}
+
+/// Test-only helper: sends `SIGINT` to the current process so tests can
+/// exercise a registered handler without an external `kill`.
+pub fn raise_sigint() {
+    // SAFETY: `raise` delivers a signal to this process; with the
+    // trampoline installed it only runs the registered handler.
+    unsafe {
+        raise(SIGINT);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn handler_runs_on_sigint_and_second_registration_errors() {
+        let hits = Arc::new(AtomicU32::new(0));
+        let counter = Arc::clone(&hits);
+        set_handler(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        })
+        .expect("first registration succeeds");
+
+        raise_sigint();
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "handler must run on SIGINT");
+        raise_sigint();
+        assert_eq!(hits.load(Ordering::SeqCst), 2, "handler stays installed");
+
+        assert_eq!(set_handler(|| {}), Err(Error::MultipleHandlers));
+        assert!(!Error::MultipleHandlers.to_string().is_empty());
+        assert!(Error::System(SIGINT).to_string().contains('2'));
+    }
+}
