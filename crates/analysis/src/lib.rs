@@ -14,6 +14,9 @@
 //!   `K`;
 //! * [`ratio`] — empirical competitive-ratio measurement of any algorithm
 //!   against certified lower bounds on OPT;
+//! * [`renting`] — the cost analogue for the server-renting model
+//!   (Kamali & López-Ortiz): realized dollars from a costed simulation
+//!   run against the clairvoyant rental lower bound;
 //! * [`adversary`] — adversarial sequence constructions probing the
 //!   worst-case regime behind the 1.42 online lower bound.
 //!
@@ -29,9 +32,11 @@
 
 pub mod adversary;
 pub mod ratio;
+pub mod renting;
 pub mod solver;
 pub mod weights;
 
 pub use ratio::{empirical_ratio, EmpiricalRatio};
+pub use renting::{renting_ratio, RentingRatio};
 pub use solver::{maximize_bin_weight, IpConfig, IpSolution};
 pub use weights::WeightFunction;

@@ -1,0 +1,95 @@
+//! Renting competitive-ratio probe.
+//!
+//! The server-renting model (Kamali & López-Ortiz, *Efficient algorithms
+//! for the bin packing problem with server renting*) charges for servers
+//! by the rental block rather than by the instant: a consolidation policy
+//! pays for every block it opens, refundable never, plus the streaming
+//! cost of the migrations it chooses to run. The natural quality measure
+//! is then a *cost* competitive ratio — realized dollars divided by the
+//! dollars a clairvoyant adversary must spend on the same demand curve.
+//!
+//! The clairvoyant lower bound here is the one certified by
+//! [`CostReport::clairvoyant_lower_bound_usd`]: even an offline packer
+//! that forever re-packs for free needs `⌈L(t)⌉` servers at every
+//! instant, and renting in arbitrarily fine blocks costs at least the
+//! hourly rate over `∫ ⌈L(t)⌉ dt`. No real policy can beat it, so the
+//! reported ratio *over-estimates* the true competitive ratio, exactly
+//! like [`crate::ratio`] does for the server-count objective.
+
+use cubefit_economics::CostReport;
+
+/// Renting competitive-ratio estimate for one costed simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RentingRatio {
+    /// Dollars the policy actually spent: rent plus all migration
+    /// streaming (defrag and recovery).
+    pub realized_usd: f64,
+    /// Clairvoyant lower bound on what *any* policy must spend.
+    pub clairvoyant_usd: f64,
+    /// `realized_usd / clairvoyant_usd` — an upper bound on the realized
+    /// cost competitive ratio.
+    pub ratio: f64,
+}
+
+/// Measures the renting competitive ratio of a costed run.
+///
+/// Returns `None` when the lower bound is not strictly positive — a run
+/// that never placed load has nothing to be competitive against — so a
+/// `Some` ratio is always finite.
+#[must_use]
+pub fn renting_ratio(cost: &CostReport) -> Option<RentingRatio> {
+    let clairvoyant_usd = cost.clairvoyant_lower_bound_usd();
+    if clairvoyant_usd <= 0.0 || !clairvoyant_usd.is_finite() {
+        return None;
+    }
+    let realized_usd = cost.total_usd;
+    Some(RentingRatio { realized_usd, clairvoyant_usd, ratio: realized_usd / clairvoyant_usd })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubefit_economics::{LeaseLedger, LeaseTerms, MS_PER_HOUR};
+
+    /// A hand-built hour of simulation: three servers leased for the
+    /// whole hour against a demand curve that needs two.
+    fn costed_hour() -> CostReport {
+        let terms = LeaseTerms::c4_4xlarge_hourly();
+        let mut ledger = LeaseLedger::new(terms);
+        ledger.advance(0, (0..3).map(cubefit_core::BinId::new));
+        ledger.advance(MS_PER_HOUR as u64, (0..3).map(cubefit_core::BinId::new));
+        CostReport::from_ledger(
+            &ledger,
+            60_000,
+            0.25, // defrag streaming
+            0.50, // recovery streaming
+            0.0,
+            0.0,
+            1.6 * MS_PER_HOUR, // ∫ L dt
+            2.0 * MS_PER_HOUR, // ∫ ⌈L⌉ dt
+        )
+    }
+
+    #[test]
+    fn ratio_compares_realized_against_the_clairvoyant_bound() {
+        let cost = costed_hour();
+        let probe = renting_ratio(&cost).expect("positive demand has a bound");
+        // Clairvoyant: two servers for one hour at the c4.4xlarge rate.
+        assert!((probe.clairvoyant_usd - 2.0 * 0.822).abs() < 1e-9);
+        assert!((probe.realized_usd - cost.total_usd).abs() < 1e-12);
+        assert!(probe.ratio.is_finite());
+        assert!(
+            probe.ratio >= 1.0,
+            "three rented servers plus streaming cannot undercut the two-server bound: {}",
+            probe.ratio
+        );
+        assert!((probe.ratio - probe.realized_usd / probe.clairvoyant_usd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_demand_has_no_ratio() {
+        let ledger = LeaseLedger::new(LeaseTerms::c4_4xlarge_hourly());
+        let cost = CostReport::from_ledger(&ledger, 60_000, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+        assert!(renting_ratio(&cost).is_none());
+    }
+}

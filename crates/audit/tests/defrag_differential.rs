@@ -11,8 +11,9 @@
 
 use cubefit_audit::{algorithms, audited_algorithms};
 use cubefit_core::recovery::move_feasible;
-use cubefit_core::{Consolidator, Load, Oracle, Tenant, TenantId};
-use cubefit_defrag::{apply, plan, MigrationBudget};
+use cubefit_core::{BinId, Consolidator, Load, Oracle, Tenant, TenantId};
+use cubefit_defrag::{apply, apply_economic, plan, plan_economic, DefragPlan, MigrationBudget};
+use cubefit_economics::{CostModel, LeaseLedger, LeaseTerms, MigrationPricing};
 use cubefit_telemetry::Recorder;
 use proptest::prelude::*;
 
@@ -69,11 +70,29 @@ fn budget_for(seed: u64) -> MigrationBudget {
     }
 }
 
+/// A lease ledger with every currently open bin rented, advanced to
+/// `now_ms` on one-minute billing blocks at the reference hourly rate —
+/// short blocks with a long horizon make stranded servers genuinely
+/// worth draining, so economic plans have real work to validate.
+fn costed_ledger(algo: &dyn Consolidator, now_ms: u64) -> LeaseLedger {
+    let terms = LeaseTerms::new(60_000, CostModel::with_hourly_usd(0.822));
+    let mut ledger = LeaseLedger::new(terms);
+    let open: Vec<BinId> =
+        algo.placement().bins().filter(|b| b.level() > 0.0).map(|b| b.id()).collect();
+    ledger.advance(now_ms, open);
+    ledger
+}
+
 /// Replays `algo`'s defrag plan step by step, asserting the Theorem-1
 /// migration predicate, the γ−1 reserve, and monotone open-bin count after
 /// every single move — then checks the final state against the oracle.
 fn defrag_stepwise(algo: &mut dyn Consolidator, budget: MigrationBudget, expect_robust: bool) {
     let defrag = plan(algo.placement(), budget);
+    replay_stepwise(algo, &defrag, expect_robust);
+}
+
+/// The stepwise replay shared by the bin-count and cost-objective suites.
+fn replay_stepwise(algo: &mut dyn Consolidator, defrag: &DefragPlan, expect_robust: bool) {
     let mut open_bins = algo.placement().fragmentation().open_bins;
     for (index, step) in defrag.steps.iter().enumerate() {
         assert!(
@@ -147,6 +166,44 @@ proptest! {
         }
     }
 
+    /// Cost-objective plans replay under the identical safety story —
+    /// every step feasible in the state it executes in, γ−1 reserve after
+    /// every move, monotone open bins, oracle agreement at the end — and
+    /// the attached forecast must balance (net = rent − migration) and
+    /// never be negative, because unprofitable drains are skipped, not
+    /// committed.
+    #[test]
+    fn economic_defrag_is_stepwise_robust_at_paper_gammas(
+        gamma in 2usize..=3,
+        arrivals in 20usize..70,
+        seed in any::<u64>(),
+    ) {
+        let horizon_ms = 600_000 + (seed % 5) * 600_000;
+        for mut algo in audited_algorithms(gamma, seed) {
+            let expect_robust = must_be_robust(algo.name(), gamma);
+            fragment(&mut algo, arrivals, seed, 1.0);
+            let ledger = costed_ledger(&algo, (seed % 7) * 20_000);
+            let defrag = plan_economic(
+                algo.placement(),
+                budget_for(seed),
+                &ledger,
+                &MigrationPricing::reference(),
+                horizon_ms,
+            );
+            let forecast = defrag.economics.expect("economic plans carry a forecast");
+            prop_assert!(
+                forecast.net_usd >= 0.0,
+                "{}: committed drains must be profitable", algo.name()
+            );
+            prop_assert!(
+                (forecast.rent_saved_usd - forecast.migration_usd - forecast.net_usd).abs()
+                    < 1e-9,
+                "{}: forecast must balance", algo.name()
+            );
+            replay_stepwise(&mut algo, &defrag, expect_robust);
+        }
+    }
+
     /// Remove→re-add cycles neither break robustness nor leak bins: after
     /// departures and equivalent re-arrivals the departed tenants are fully
     /// gone, every survivor holds exactly γ replicas, and an unlimited
@@ -204,6 +261,89 @@ proptest! {
                 "{}: defrag increased open bins after a remove/re-add cycle", algo.name()
             );
         }
+    }
+}
+
+/// Deterministic regression: an economic plan applied fresh (nothing
+/// drifted between plan and apply) settles exactly — the predicted net
+/// saving matches the ledger-realized net within floating-point
+/// tolerance, for every audited algorithm on the pinned fragmented seed.
+#[test]
+fn fresh_economic_plan_settles_predicted_against_ledger_realized() {
+    let horizon_ms = 3_600_000;
+    for mut algo in audited_algorithms(2, 17) {
+        fragment(&mut algo, 60, 17, 1.0);
+        let ledger = costed_ledger(&algo, 45_000);
+        let pricing = MigrationPricing::reference();
+        let defrag = plan_economic(
+            algo.placement(),
+            MigrationBudget::moves(64),
+            &ledger,
+            &pricing,
+            horizon_ms,
+        );
+        assert!(
+            defrag.servers_closed() >= 1,
+            "{}: pinned seed must leave profitable drains on 1-minute blocks",
+            algo.name()
+        );
+        let outcome = apply_economic(&mut algo, &defrag, &ledger, &pricing, &Recorder::disabled())
+            .expect("fresh plans apply");
+        assert!(!outcome.aborted, "{}", algo.name());
+        let econ = outcome.economics.expect("economic applies settle accounting");
+        assert!(
+            (econ.predicted_net_usd - econ.realized_net_usd).abs() < 1e-9,
+            "{}: fresh apply must realize exactly what it predicted ({} vs {})",
+            algo.name(),
+            econ.predicted_net_usd,
+            econ.realized_net_usd
+        );
+        assert!(econ.realized_net_usd > 0.0, "{}: the drains must pay for themselves", algo.name());
+        assert!(algo.placement().is_robust(), "{}", algo.name());
+        let oracle = Oracle::rebuild(algo.placement());
+        assert!(oracle.is_robust(), "{}: oracle must confirm the post-apply reserve", algo.name());
+    }
+}
+
+/// Deterministic regression: an economic plan made stale between plan and
+/// apply rolls back atomically — every rollback migration replays through
+/// the auditing oracle, the placement ends robust, and the settled
+/// accounting realizes exactly zero on both sides.
+#[test]
+fn stale_economic_plan_rolls_back_and_realizes_nothing() {
+    for mut algo in audited_algorithms(2, 17) {
+        fragment(&mut algo, 60, 17, 1.0);
+        let ledger = costed_ledger(&algo, 45_000);
+        let pricing = MigrationPricing::reference();
+        let defrag = plan_economic(
+            algo.placement(),
+            MigrationBudget::moves(64),
+            &ledger,
+            &pricing,
+            3_600_000,
+        );
+        assert!(defrag.steps.len() >= 2, "{}: need a multi-step plan", algo.name());
+        // Remove the last step's tenant after planning: the feasibility
+        // re-check fails mid-plan and the rollback path runs — with the
+        // audited consolidator checking every inverse migration too.
+        let victim = defrag.steps.last().unwrap().tenant;
+        algo.remove(victim).expect("planned tenants are alive");
+        let levels_before: Vec<f64> = algo.placement().bins().map(|b| b.level()).collect();
+        let outcome = apply_economic(&mut algo, &defrag, &ledger, &pricing, &Recorder::disabled())
+            .expect("stale plans abort, not error");
+        assert!(outcome.aborted, "{}", algo.name());
+        assert_eq!(outcome.applied_steps, 0, "{}", algo.name());
+        let econ = outcome.economics.expect("aborted applies still settle");
+        assert_eq!(econ.realized_rent_saved_usd, 0.0, "{}", algo.name());
+        assert_eq!(econ.realized_migration_usd, 0.0, "{}", algo.name());
+        assert_eq!(econ.realized_net_usd, 0.0, "{}", algo.name());
+        let levels_after: Vec<f64> = algo.placement().bins().map(|b| b.level()).collect();
+        for (a, b) in levels_before.iter().zip(&levels_after) {
+            assert!((a - b).abs() < 1e-12, "{}: rollback must restore levels", algo.name());
+        }
+        assert!(algo.placement().is_robust(), "{}", algo.name());
+        let oracle = Oracle::rebuild(algo.placement());
+        assert!(oracle.is_robust(), "{}: oracle must confirm the rollback", algo.name());
     }
 }
 

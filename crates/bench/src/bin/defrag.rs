@@ -29,7 +29,9 @@ fn scenario(ops: usize) -> ChurnConfig {
         audit: false,
         defrag_every: 0,
         defrag_budget: MigrationBudget::default(),
+        defrag_objective: cubefit_defrag::DefragObjective::Bins,
         drift: None,
+        rent: None,
     }
 }
 

@@ -31,6 +31,8 @@ fn scenario(ops: usize, budget: Option<MigrationBudget>) -> ChurnConfig {
         audit: false,
         defrag_every: 0,
         defrag_budget: MigrationBudget::default(),
+        defrag_objective: cubefit_defrag::DefragObjective::Bins,
+        rent: None,
         drift: Some(DriftConfig {
             profile: DriftProfile::Burst { magnitude: 20, probability: 0.01 },
             mitigate_every: budget.map_or(0, |_| 10),

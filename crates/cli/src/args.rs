@@ -12,7 +12,7 @@ use std::fmt;
 /// `--name value` form. A switch's presence is queried with
 /// [`ParsedArgs::has`]; its stored value is the empty string.
 const SWITCHES: &[&str] =
-    &["audit", "bench", "dry-run", "drift", "json", "shrink", "storm", "expect-clean"];
+    &["audit", "bench", "dry-run", "drift", "json", "rent", "shrink", "storm", "expect-clean"];
 
 /// A parsed command line: subcommand, positionals, and `--flag value`
 /// pairs.

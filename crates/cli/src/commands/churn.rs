@@ -4,7 +4,8 @@ use crate::args::ParsedArgs;
 use crate::spec_parse;
 use crate::telemetry_out;
 use cubefit_core::monitor::DEFAULT_AT_RISK_SLACK;
-use cubefit_defrag::MigrationBudget;
+use cubefit_defrag::{DefragObjective, MigrationBudget};
+use cubefit_economics::{CostModel, LeaseTerms, MigrationPricing, RentConfig};
 use cubefit_service::ShutdownFlag;
 use cubefit_sim::churn::{run_churn_cancellable, ChurnConfig, DriftConfig};
 
@@ -28,6 +29,12 @@ pub const FLAGS: &[&str] = &[
     "mitigate-load",
     "slack",
     "audit",
+    "rent",
+    "block-ms",
+    "hourly-usd",
+    "ms-per-op",
+    "horizon-ms",
+    "objective",
     "out",
     "metrics-out",
     "trace-out",
@@ -39,8 +46,10 @@ pub const USAGE: &str = "churn [--algorithm cubefit] [--gamma G] [--distribution
                          [--max-failures F] [--defrag-every N] [--defrag-moves M] \
                          [--defrag-load L] [--drift] [--profile burst:m=20,p=0.01] \
                          [--mitigate-every N] [--mitigate-moves M] [--mitigate-load L] \
-                         [--slack S] [--audit] [--out REPORT.json] \
-                         [--metrics-out METRICS.json] [--trace-out EVENTS.jsonl]";
+                         [--slack S] [--audit] [--rent] [--block-ms MS] [--hourly-usd USD] \
+                         [--ms-per-op MS] [--horizon-ms MS] [--objective bins|cost] \
+                         [--out REPORT.json] [--metrics-out METRICS.json] \
+                         [--trace-out EVENTS.jsonl]";
 
 /// Parses the shared `--defrag-moves` / `--defrag-load` budget flags.
 pub(crate) fn budget_from(args: &ParsedArgs) -> Result<MigrationBudget, String> {
@@ -102,6 +111,64 @@ pub(crate) fn drift_from(args: &ParsedArgs) -> Result<DriftConfig, String> {
     })
 }
 
+/// Parses the shared renting flags into a [`RentConfig`]. `--rent`
+/// enables the ledger at c4.4xlarge defaults; `--block-ms`,
+/// `--hourly-usd`, `--ms-per-op` and `--horizon-ms` each refine it (and
+/// each implies `--rent` on its own).
+pub(crate) fn rent_from(args: &ParsedArgs) -> Result<Option<RentConfig>, String> {
+    let enabled = args.has("rent")
+        || ["block-ms", "hourly-usd", "ms-per-op", "horizon-ms"]
+            .iter()
+            .any(|flag| args.get(flag).is_some());
+    if !enabled {
+        return Ok(None);
+    }
+    let block_ms: u64 =
+        args.get_or("block-ms", 3_600_000u64, "an integer").map_err(|e| e.to_string())?;
+    if block_ms == 0 {
+        return Err("--block-ms must be positive".to_owned());
+    }
+    let mut rent = RentConfig::c4_4xlarge(block_ms);
+    if args.get("hourly-usd").is_some() {
+        let hourly: f64 =
+            args.get_or("hourly-usd", 0.0f64, "a number").map_err(|e| e.to_string())?;
+        if hourly <= 0.0 || !hourly.is_finite() {
+            return Err(format!("--hourly-usd {hourly} must be positive and finite"));
+        }
+        rent.terms = LeaseTerms::new(block_ms, CostModel::with_hourly_usd(hourly));
+        rent.pricing = MigrationPricing::at_hourly_rate(hourly);
+    }
+    rent.ms_per_op =
+        args.get_or("ms-per-op", rent.ms_per_op, "an integer").map_err(|e| e.to_string())?;
+    if rent.ms_per_op == 0 {
+        return Err("--ms-per-op must be positive".to_owned());
+    }
+    rent.horizon_ms =
+        args.get_or("horizon-ms", rent.horizon_ms, "an integer").map_err(|e| e.to_string())?;
+    if rent.horizon_ms == 0 {
+        return Err("--horizon-ms must be positive".to_owned());
+    }
+    Ok(Some(rent))
+}
+
+/// Parses `--objective bins|cost`. The cost objective needs a ledger to
+/// consult, so it requires the renting flags.
+pub(crate) fn objective_from(
+    args: &ParsedArgs,
+    rent: Option<&RentConfig>,
+) -> Result<DefragObjective, String> {
+    match args.get("objective").unwrap_or("bins") {
+        "bins" => Ok(DefragObjective::Bins),
+        "cost" => match rent {
+            Some(config) => Ok(DefragObjective::Cost { horizon_ms: config.horizon_ms }),
+            None => Err("--objective cost requires --rent (there is no ledger to consult \
+                         without a renting model)"
+                .to_owned()),
+        },
+        other => Err(format!("unknown objective '{other}' (expected bins or cost)")),
+    }
+}
+
 /// Runs the command, returning the JSON churn report (or a summary when
 /// `--out` redirects the report to a file).
 ///
@@ -136,6 +203,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         ));
     }
 
+    let rent = rent_from(args)?;
     let config = ChurnConfig {
         algorithm,
         distribution,
@@ -149,7 +217,9 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
             .get_or("defrag-every", 0usize, "an integer")
             .map_err(|e| e.to_string())?,
         defrag_budget: budget_from(args)?,
+        defrag_objective: objective_from(args, rent.as_ref())?,
         drift: if args.has("drift") { Some(drift_from(args)?) } else { None },
+        rent,
     };
     let metrics_out = args.get("metrics-out");
     let trace_out = args.get("trace-out");

@@ -10,10 +10,11 @@
 //! against the from-scratch oracle.
 
 use crate::args::ParsedArgs;
-use crate::commands::churn::budget_from;
+use crate::commands::churn::{budget_from, objective_from, rent_from};
 use crate::spec_parse;
 use crate::telemetry_out;
-use cubefit_defrag::DefragOutcome;
+use cubefit_defrag::{DefragObjective, DefragOutcome};
+use cubefit_economics::LeaseLedger;
 use cubefit_sim::churn::{run_churn_consolidator, ChurnConfig};
 
 /// Flags accepted by `defrag`.
@@ -29,6 +30,12 @@ pub const FLAGS: &[&str] = &[
     "defrag-load",
     "dry-run",
     "audit",
+    "rent",
+    "block-ms",
+    "hourly-usd",
+    "ms-per-op",
+    "horizon-ms",
+    "objective",
     "out",
     "metrics-out",
     "trace-out",
@@ -38,6 +45,8 @@ pub const FLAGS: &[&str] = &[
 pub const USAGE: &str = "defrag [--algorithm cubefit] [--gamma G] [--distribution uniform:1-15] \
                          [--ops N] [--seed S] [--departures PCT] [--failures PCT] \
                          [--defrag-moves M] [--defrag-load L] [--dry-run] [--audit] \
+                         [--rent] [--block-ms MS] [--hourly-usd USD] [--ms-per-op MS] \
+                         [--horizon-ms MS] [--objective bins|cost] \
                          [--out REPORT.json] [--metrics-out METRICS.json] \
                          [--trace-out EVENTS.jsonl]";
 
@@ -69,6 +78,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     }
     let budget = budget_from(args)?;
     let dry_run = args.has("dry-run");
+    let rent = rent_from(args)?;
+    let objective = objective_from(args, rent.as_ref())?;
 
     let config = ChurnConfig {
         algorithm,
@@ -81,7 +92,9 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         audit: args.has("audit"),
         defrag_every: 0,
         defrag_budget: cubefit_defrag::MigrationBudget::default(),
+        defrag_objective: cubefit_defrag::DefragObjective::Bins,
         drift: None,
+        rent,
     };
     let metrics_out = args.get("metrics-out");
     let trace_out = args.get("trace-out");
@@ -89,14 +102,55 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     let (report, mut consolidator) =
         run_churn_consolidator(&config, recorder.clone()).map_err(|e| e.to_string())?;
 
-    let plan = cubefit_defrag::plan(consolidator.placement(), budget);
-    let outcome: Option<DefragOutcome> = if dry_run {
-        None
-    } else {
-        Some(
-            cubefit_defrag::apply(&mut *consolidator, &plan, &recorder)
-                .map_err(|e| e.to_string())?,
-        )
+    // With the cost objective, plan against fresh leases opened at plan
+    // time: every surviving server holds one paid rental block from now,
+    // so a drain pays off only when the horizon reaches past it. (The
+    // churn phase above accrues its own ledger into `report.cost`; this
+    // one prices the standalone plan.)
+    let (plan, outcome): (cubefit_defrag::DefragPlan, Option<DefragOutcome>) = match objective {
+        DefragObjective::Bins => {
+            let plan = cubefit_defrag::plan(consolidator.placement(), budget);
+            let outcome = if dry_run {
+                None
+            } else {
+                Some(
+                    cubefit_defrag::apply(&mut *consolidator, &plan, &recorder)
+                        .map_err(|e| e.to_string())?,
+                )
+            };
+            (plan, outcome)
+        }
+        DefragObjective::Cost { horizon_ms } => {
+            let rent = rent.expect("objective_from enforces --rent for the cost objective");
+            let mut ledger = LeaseLedger::new(rent.terms);
+            let now = ops as u64 * rent.ms_per_op;
+            ledger.advance(
+                now,
+                consolidator.placement().bins().filter(|b| b.level() > 0.0).map(|b| b.id()),
+            );
+            let plan = cubefit_defrag::plan_economic(
+                consolidator.placement(),
+                budget,
+                &ledger,
+                &rent.pricing,
+                horizon_ms,
+            );
+            let outcome = if dry_run {
+                None
+            } else {
+                Some(
+                    cubefit_defrag::apply_economic(
+                        &mut *consolidator,
+                        &plan,
+                        &ledger,
+                        &rent.pricing,
+                        &recorder,
+                    )
+                    .map_err(|e| e.to_string())?,
+                )
+            };
+            (plan, outcome)
+        }
     };
     recorder.flush()?;
     let after = consolidator.placement().fragmentation();
@@ -114,6 +168,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         "outcome": outcome,
         "fragmentation_after": after,
         "robust": robust,
+        "churn_cost": report.cost,
     });
     let json =
         serde_json::to_string_pretty(&document).map_err(|e| format!("encoding report: {e}"))?;
@@ -155,6 +210,13 @@ fn summary(
         plan.fragmentation_before.fragmentation_ratio,
         plan.fragmentation_after.fragmentation_ratio,
     );
+    if let Some(forecast) = &plan.economics {
+        text.push_str(&format!(
+            "cost objective: predicted net saving ${:.4} over a {} ms horizon \
+             ({} unprofitable drain(s) skipped)\n",
+            forecast.net_usd, forecast.horizon_ms, forecast.skipped_unprofitable,
+        ));
+    }
     match outcome {
         None => text.push_str("dry-run: plan not applied\n"),
         Some(o) if o.aborted => text.push_str(&format!(

@@ -77,7 +77,9 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         audit: args.has("audit"),
         defrag_every: 0,
         defrag_budget: cubefit_defrag::MigrationBudget::default(),
+        defrag_objective: cubefit_defrag::DefragObjective::Bins,
         drift: Some(drift_from(args)?),
+        rent: None,
     };
     let metrics_out = args.get("metrics-out");
     let trace_out = args.get("trace-out");

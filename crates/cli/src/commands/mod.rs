@@ -13,6 +13,7 @@ pub mod drift;
 pub mod generate;
 pub mod metrics;
 pub mod place;
+pub mod rent;
 pub mod replay;
 pub mod serve;
 pub mod simulate;

@@ -12,6 +12,7 @@
 //! $ cubefit compare --trace fleet.cft --algorithms cubefit,rfi,bestfit
 //! $ cubefit simulate fleet.json --trace fleet.cft --failures 1
 //! $ cubefit churn --algorithm cubefit --gamma 3 --ops 2000 --audit
+//! $ cubefit rent --ops 2000 --block-ms 3600000 --defrag-moves 64 --audit
 //! $ cubefit soak --ops 1000000 --seed 7 --trace-out soak.jsonl
 //! $ cubefit serve --bench --storm --out serve.json --dump serve-placement.json
 //! $ cubefit analyze soak.jsonl --expect-clean
@@ -37,7 +38,7 @@ pub fn help() -> String {
     format!(
         "cubefit — robust multi-tenant server consolidation (ICDCS 2017 reproduction)\n\n\
          USAGE:\n  cubefit <COMMAND> [FLAGS]\n\n\
-         COMMANDS:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  help\n",
+         COMMANDS:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  help\n",
         commands::generate::USAGE,
         commands::place::USAGE,
         commands::check::USAGE,
@@ -46,6 +47,7 @@ pub fn help() -> String {
         commands::churn::USAGE,
         commands::defrag::USAGE,
         commands::drift::USAGE,
+        commands::rent::USAGE,
         commands::soak::USAGE,
         commands::serve::USAGE,
         commands::analyze::USAGE,
@@ -70,6 +72,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, String> {
         Some("churn") => commands::churn::run(args),
         Some("defrag") => commands::defrag::run(args),
         Some("drift") => commands::drift::run(args),
+        Some("rent") => commands::rent::run(args),
         Some("soak") => commands::soak::run(args),
         Some("serve") => commands::serve::run(args),
         Some("analyze") => commands::analyze::run(args),
@@ -89,7 +92,7 @@ mod tests {
         let text = help();
         for command in [
             "generate", "place", "check", "compare", "simulate", "churn", "defrag", "drift",
-            "soak", "serve", "analyze", "replay", "metrics",
+            "rent", "soak", "serve", "analyze", "replay", "metrics",
         ] {
             assert!(text.contains(command), "help missing {command}");
         }

@@ -18,6 +18,9 @@ pub struct DefragOutcome {
     pub aborted: bool,
     /// Step index that failed its feasibility re-check, if any.
     pub aborted_at: Option<usize>,
+    /// Predicted-vs-realized accounting, filled in by
+    /// [`crate::apply_economic`] (absent for plain applies).
+    pub economics: Option<crate::economic::EconomicOutcome>,
 }
 
 /// Applies `plan` through the consolidator's [`Consolidator::migrate`]
@@ -58,6 +61,7 @@ pub fn apply(
         servers_closed: 0,
         aborted: false,
         aborted_at: None,
+        economics: None,
     };
     for (index, step) in plan.steps.iter().enumerate() {
         if !move_feasible(consolidator.placement(), step.tenant, step.from, step.to) {
@@ -70,6 +74,7 @@ pub fn apply(
                 servers_closed: 0,
                 aborted: true,
                 aborted_at: Some(index),
+                economics: None,
             };
             break;
         }

@@ -25,6 +25,12 @@
 //!   re-checked against the live placement first; the first infeasible
 //!   step aborts the whole plan atomically by rolling back the applied
 //!   prefix with inverse migrations.
+//! * [`plan_economic`] / [`apply_economic`] add the **cost objective**
+//!   ([`DefragObjective::Cost`]): with a `cubefit_economics::LeaseLedger`
+//!   tracking per-server rental blocks, a drain is taken only when the
+//!   rent it saves over the planning horizon beats its streaming cost,
+//!   and the executor settles predicted-vs-realized savings against the
+//!   live ledger.
 //!
 //! ```
 //! use cubefit_core::{Consolidator, CubeFit, CubeFitConfig, Load, Tenant, TenantId};
@@ -54,12 +60,17 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod budget;
+pub mod economic;
 pub mod execute;
 pub mod mitigate;
 pub mod plan;
 
 pub use budget::MigrationBudget;
 pub use cubefit_core::EPSILON;
+pub use economic::{
+    apply_economic, drain_score, plan_economic, DefragObjective, DrainScore, EconomicForecast,
+    EconomicOutcome,
+};
 pub use execute::{apply, DefragOutcome};
 pub use mitigate::{
     apply_mitigation, plan_mitigation, plan_mitigation_with, MitigationOutcome, MitigationPlan,

@@ -57,6 +57,10 @@ pub struct DefragPlan {
     pub fragmentation_before: FragmentationStats,
     /// Predicted fragmentation statistics after the plan.
     pub fragmentation_after: FragmentationStats,
+    /// Economic forecast, present when the plan was computed under
+    /// [`crate::DefragObjective::Cost`] (absent — and serialized as
+    /// `null` — for bin-count plans).
+    pub economics: Option<crate::economic::EconomicForecast>,
 }
 
 impl DefragPlan {
@@ -133,6 +137,7 @@ pub fn plan(placement: &Placement, budget: MigrationBudget) -> DefragPlan {
         open_bins_after: sim.open_bins(),
         fragmentation_before,
         fragmentation_after,
+        economics: None,
     }
 }
 
@@ -140,7 +145,7 @@ pub fn plan(placement: &Placement, budget: MigrationBudget) -> DefragPlan {
 /// returning the advanced placement and the drain's steps — or `None` if
 /// any replica lacks a feasible target or the whole bin does not fit the
 /// remaining budget (whole-bin atomicity).
-fn drain_bin(
+pub(crate) fn drain_bin(
     sim: &Placement,
     bin: BinId,
     budget: &MigrationBudget,

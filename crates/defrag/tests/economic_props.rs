@@ -1,0 +1,106 @@
+//! Property tests for the economic planner (satellite of the renting
+//! PR): raising the rent rate never makes the cost-aware planner migrate
+//! less.
+//!
+//! Two layers:
+//!
+//! 1. **Scoring monotonicity** (pure, exhaustive): for any bin,
+//!    [`drain_score`] at a higher rent rate has a weakly higher net —
+//!    migration pricing is rent-independent by design, so only the
+//!    rent-saved side moves, and it moves up. A drain profitable at some
+//!    rate is profitable at every higher rate.
+//! 2. **Plan monotonicity** (end-to-end): across seeded churned
+//!    placements and an increasing rate sweep, the number of planned
+//!    steps (and closed servers) never decreases.
+
+use cubefit_core::{BinId, Consolidator, CubeFit, CubeFitConfig, Load, Tenant, TenantId};
+use cubefit_defrag::{drain_score, plan_economic, MigrationBudget};
+use cubefit_economics::{CostModel, LeaseLedger, LeaseTerms, MigrationPricing};
+use proptest::prelude::*;
+
+const HORIZON_MS: u64 = 7_200_000;
+
+/// A churned CubeFit placement: place `count` tenants, remove two thirds.
+fn churned(seed: u64, count: u64) -> CubeFit {
+    let config = CubeFitConfig::builder().replication(2).classes(5).build().unwrap();
+    let mut cubefit = CubeFit::new(config);
+    for id in 0..count {
+        let load = 0.03 + 0.02 * ((id.wrapping_mul(seed | 1)) % 12) as f64;
+        cubefit.place(Tenant::new(TenantId::new(id), Load::new(load).unwrap())).unwrap();
+    }
+    for id in 0..count {
+        if (id.wrapping_add(seed)) % 3 != 0 {
+            cubefit.remove(TenantId::new(id)).unwrap();
+        }
+    }
+    cubefit
+}
+
+/// A ledger with a fresh lease on every open bin.
+fn ledger_over(cubefit: &CubeFit, block_ms: u64, hourly: f64) -> LeaseLedger {
+    let terms = LeaseTerms::new(block_ms, CostModel::with_hourly_usd(hourly));
+    let mut ledger = LeaseLedger::new(terms);
+    let open: Vec<BinId> =
+        cubefit.placement().bins().filter(|b| b.level() > 0.0).map(|b| b.id()).collect();
+    ledger.advance(0, open);
+    ledger
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Scoring monotonicity: net saving is weakly increasing in the rent
+    /// rate for every open bin, so the profitable set only grows.
+    #[test]
+    fn drain_scores_are_monotone_in_rent_rate(
+        seed in 1u64..500,
+        block_ms in 1_000u64..3_600_000,
+        low_cents in 1u32..2_000,
+        factor in 2u32..50,
+    ) {
+        let cubefit = churned(seed, 36);
+        let low = f64::from(low_cents) / 100.0;
+        let high = low * f64::from(factor);
+        let ledger_low = ledger_over(&cubefit, block_ms, low);
+        let ledger_high = ledger_over(&cubefit, block_ms, high);
+        let pricing = MigrationPricing::reference();
+        for bin in cubefit.placement().bins().filter(|b| b.level() > 0.0).map(|b| b.id()) {
+            let s_low = drain_score(cubefit.placement(), bin, &ledger_low, &pricing, HORIZON_MS);
+            let s_high = drain_score(cubefit.placement(), bin, &ledger_high, &pricing, HORIZON_MS);
+            prop_assert!(s_high.rent_saved_usd >= s_low.rent_saved_usd);
+            prop_assert_eq!(s_high.migration_usd, s_low.migration_usd,
+                "migration pricing must not move with the rent rate");
+            prop_assert!(s_high.net_usd >= s_low.net_usd);
+            if s_low.net_usd > 0.0 {
+                prop_assert!(s_high.net_usd > 0.0,
+                    "a profitable drain must stay profitable at a higher rate");
+            }
+        }
+    }
+
+    /// End-to-end: more rent, weakly more planned migration.
+    #[test]
+    fn plans_are_monotone_in_rent_rate(seed in 1u64..200) {
+        let cubefit = churned(seed, 36);
+        let pricing = MigrationPricing::reference();
+        let mut last_steps = 0usize;
+        let mut last_closes = 0usize;
+        for hourly in [0.01, 0.1, 1.0, 10.0, 100.0] {
+            let ledger = ledger_over(&cubefit, 600_000, hourly);
+            let plan = plan_economic(
+                cubefit.placement(),
+                MigrationBudget::unlimited(),
+                &ledger,
+                &pricing,
+                HORIZON_MS,
+            );
+            prop_assert!(plan.steps.len() >= last_steps,
+                "steps shrank from {} to {} at rate {}", last_steps, plan.steps.len(), hourly);
+            prop_assert!(plan.servers_closed() >= last_closes,
+                "closes shrank from {} to {} at rate {}",
+                last_closes, plan.servers_closed(), hourly);
+            last_steps = plan.steps.len();
+            last_closes = plan.servers_closed();
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Degraded-window migration-cost constants.
+//!
+//! These used to live (only) in `sim::churn`; the economics crate needs
+//! them too — a migration's streamed load is priced from the same model
+//! that sizes the degraded window — so this is now their single home.
+//! `cubefit_sim::churn` re-exports them, keeping existing import paths
+//! valid.
+
+/// Modeled seconds of fixed per-replica restore work (catalog updates,
+/// opening the replication stream, warming the page cache).
+pub const REPLICA_RESTORE_SECONDS: f64 = 30.0;
+
+/// Modeled seconds to stream one full server's worth of normalized load
+/// (load 1.0) to its new home; a replica of load `ℓ` streams in `ℓ ×` this.
+pub const LOAD_TRANSFER_SECONDS: f64 = 600.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the shared degraded-window constants. The churn harness's
+    /// degraded-window model, the migration pricing defaults, and every
+    /// recorded benchmark baseline assume exactly these values; changing
+    /// them silently would skew cost comparisons across PRs.
+    #[test]
+    fn degraded_window_constants_are_pinned() {
+        assert_eq!(REPLICA_RESTORE_SECONDS, 30.0);
+        assert_eq!(LOAD_TRANSFER_SECONDS, 600.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! The lease ledger: per-server rental blocks and marginal-cost queries.
+
+use crate::cost::CostModel;
+use cubefit_core::BinId;
+
+/// Milliseconds per hour — the conversion between [`CostModel`] hourly
+/// rates and the millisecond clock simulations run on.
+pub const MS_PER_HOUR: f64 = 3_600_000.0;
+
+/// Rental terms: servers are rented in blocks of `block_ms` simulated
+/// milliseconds, priced at the [`CostModel`]'s hourly rate. A block is
+/// paid in full the moment it starts — the renting model of Kamali &
+/// López-Ortiz, where closing a server mid-block refunds nothing.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LeaseTerms {
+    block_ms: u64,
+    cost: CostModel,
+}
+
+impl LeaseTerms {
+    /// Terms with the given block duration and cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_ms` is zero.
+    #[must_use]
+    pub fn new(block_ms: u64, cost: CostModel) -> Self {
+        assert!(block_ms > 0, "lease blocks must have positive duration");
+        LeaseTerms { block_ms, cost }
+    }
+
+    /// One-hour blocks at the paper's `c4.4xlarge` rate.
+    #[must_use]
+    pub fn c4_4xlarge_hourly() -> Self {
+        LeaseTerms::new(3_600_000, CostModel::c4_4xlarge())
+    }
+
+    /// Block duration in simulated milliseconds.
+    #[must_use]
+    pub fn block_ms(&self) -> u64 {
+        self.block_ms
+    }
+
+    /// The cost model pricing each block.
+    #[must_use]
+    pub fn cost(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Price of one rental block.
+    #[must_use]
+    pub fn block_usd(&self) -> f64 {
+        self.cost.hourly_usd() * self.block_ms as f64 / MS_PER_HOUR
+    }
+
+    /// Blocks needed to cover `duration_ms` of residency (at least one —
+    /// renting a server at all pays for a full block).
+    #[must_use]
+    pub fn blocks_for(&self, duration_ms: u64) -> u64 {
+        duration_ms.div_ceil(self.block_ms).max(1)
+    }
+}
+
+/// One server's active rental.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+struct ActiveLease {
+    /// Index of the rented bin.
+    bin: usize,
+    /// Simulated time the lease (and its first block) started.
+    opened_ms: u64,
+    /// Blocks billed so far; the lease is paid through
+    /// `opened_ms + blocks * block_ms`.
+    blocks: u64,
+}
+
+/// Tracks rent for every server a simulation opens.
+///
+/// The ledger observes the set of open bins at each [`LeaseLedger::advance`]
+/// call. A bin entering the set starts a lease (and pays its first block
+/// immediately); a bin leaving the set retires its lease, keeping every
+/// block already billed — closing is never retroactive. While a lease is
+/// active, enough blocks are billed to cover the elapsed residency, so
+/// accrued rent is a monotone, deterministic function of the advance
+/// history.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LeaseLedger {
+    terms: LeaseTerms,
+    now_ms: u64,
+    /// Active leases, kept sorted by bin index for deterministic
+    /// iteration and binary-search lookups.
+    active: Vec<ActiveLease>,
+    /// Blocks billed on leases already retired.
+    retired_blocks: u64,
+    /// Distinct leases ever opened (a bin reopening counts again).
+    leases_opened: u64,
+    /// High-water mark of concurrently active leases.
+    peak_active: usize,
+}
+
+impl LeaseLedger {
+    /// An empty ledger at simulated time 0.
+    #[must_use]
+    pub fn new(terms: LeaseTerms) -> Self {
+        LeaseLedger {
+            terms,
+            now_ms: 0,
+            active: Vec::new(),
+            retired_blocks: 0,
+            leases_opened: 0,
+            peak_active: 0,
+        }
+    }
+
+    /// The terms this ledger bills under.
+    #[must_use]
+    pub fn terms(&self) -> LeaseTerms {
+        self.terms
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Advances simulated time to `now_ms` and reconciles against the
+    /// current set of open bins; returns the number of blocks newly
+    /// billed. Bins newly present start leases (first block billed
+    /// up front); bins newly absent retire theirs — billed through this
+    /// advance, since the ledger only observes closure here. Time must
+    /// not move backwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now_ms` is earlier than the ledger's current time.
+    pub fn advance<I>(&mut self, now_ms: u64, open: I) -> u64
+    where
+        I: IntoIterator<Item = BinId>,
+    {
+        assert!(now_ms >= self.now_ms, "simulated time must be monotone");
+        self.now_ms = now_ms;
+        let mut newly_billed = 0;
+
+        // Bill every active lease through the new time *before* looking at
+        // the open set: a lease retiring at this advance still pays for the
+        // residency since the previous one.
+        for lease in &mut self.active {
+            let needed = self.terms.blocks_for(now_ms - lease.opened_ms);
+            if needed > lease.blocks {
+                newly_billed += needed - lease.blocks;
+                lease.blocks = needed;
+            }
+        }
+
+        let mut open: Vec<usize> = open.into_iter().map(BinId::index).collect();
+        open.sort_unstable();
+        open.dedup();
+        // Retire leases for bins no longer open. Their blocks stay billed.
+        let retired_blocks = &mut self.retired_blocks;
+        self.active.retain(|lease| {
+            if open.binary_search(&lease.bin).is_ok() {
+                true
+            } else {
+                *retired_blocks += lease.blocks;
+                false
+            }
+        });
+        // Open leases for bins seen for the first time; the first block is
+        // billed immediately (rent is paid at block start).
+        for idx in open {
+            if let Err(pos) = self.active.binary_search_by_key(&idx, |l| l.bin) {
+                self.active.insert(pos, ActiveLease { bin: idx, opened_ms: now_ms, blocks: 1 });
+                self.leases_opened += 1;
+                newly_billed += 1;
+            }
+        }
+        self.peak_active = self.peak_active.max(self.active.len());
+        newly_billed
+    }
+
+    /// Total blocks billed so far (active + retired leases).
+    #[must_use]
+    pub fn blocks_billed(&self) -> u64 {
+        self.retired_blocks + self.active.iter().map(|l| l.blocks).sum::<u64>()
+    }
+
+    /// Total rent accrued so far.
+    #[must_use]
+    pub fn accrued_usd(&self) -> f64 {
+        self.blocks_billed() as f64 * self.terms.block_usd()
+    }
+
+    /// Distinct leases ever opened.
+    #[must_use]
+    pub fn leases_opened(&self) -> u64 {
+        self.leases_opened
+    }
+
+    /// Currently active leases.
+    #[must_use]
+    pub fn active_leases(&self) -> usize {
+        self.active.len()
+    }
+
+    /// High-water mark of concurrently active leases.
+    #[must_use]
+    pub fn peak_active(&self) -> usize {
+        self.peak_active
+    }
+
+    /// Blocks billed so far on `bin`'s active lease (`None` if the bin
+    /// has no active lease).
+    #[must_use]
+    pub fn lease_blocks(&self, bin: BinId) -> Option<u64> {
+        self.lease(bin).map(|l| l.blocks)
+    }
+
+    fn lease(&self, bin: BinId) -> Option<&ActiveLease> {
+        self.active.binary_search_by_key(&bin.index(), |l| l.bin).ok().map(|pos| &self.active[pos])
+    }
+
+    /// Marginal cost of keeping `bin` rented from now until
+    /// `now + horizon_ms`: the price of the *additional* blocks that
+    /// residency requires beyond what is already paid. Zero when the
+    /// current paid block already covers the horizon — which is exactly
+    /// when closing the bin saves nothing. For a bin with no active lease
+    /// this is the cost of renting fresh for the horizon.
+    #[must_use]
+    pub fn keep_open_usd(&self, bin: BinId, horizon_ms: u64) -> f64 {
+        let target = self.now_ms + horizon_ms;
+        let Some(lease) = self.lease(bin) else {
+            return self.terms.blocks_for(horizon_ms) as f64 * self.terms.block_usd();
+        };
+        let paid_through = lease.opened_ms + lease.blocks * self.terms.block_ms;
+        if target <= paid_through {
+            return 0.0;
+        }
+        (target - paid_through).div_ceil(self.terms.block_ms) as f64 * self.terms.block_usd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(block_ms: u64, hourly: f64) -> LeaseTerms {
+        LeaseTerms::new(block_ms, CostModel::with_hourly_usd(hourly))
+    }
+
+    fn bins(ids: &[usize]) -> Vec<BinId> {
+        ids.iter().map(|&i| BinId::new(i)).collect()
+    }
+
+    #[test]
+    fn first_block_is_billed_at_open() {
+        let mut ledger = LeaseLedger::new(terms(1_000, 3.6));
+        let billed = ledger.advance(0, bins(&[0, 1]));
+        assert_eq!(billed, 2);
+        assert_eq!(ledger.blocks_billed(), 2);
+        assert_eq!(ledger.leases_opened(), 2);
+        // 1000 ms block at $3.6/h → $0.001 per block.
+        assert!((ledger.accrued_usd() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residency_bills_one_block_per_started_block() {
+        let mut ledger = LeaseLedger::new(terms(1_000, 3.6));
+        ledger.advance(0, bins(&[0]));
+        // Exactly one block elapsed: still covered by the first block.
+        assert_eq!(ledger.advance(1_000, bins(&[0])), 0);
+        // One ms into the second block: a new block is billed.
+        assert_eq!(ledger.advance(1_001, bins(&[0])), 1);
+        assert_eq!(ledger.blocks_billed(), 2);
+    }
+
+    #[test]
+    fn closing_keeps_billed_blocks_and_stops_future_billing() {
+        let mut ledger = LeaseLedger::new(terms(1_000, 3.6));
+        ledger.advance(0, bins(&[0]));
+        ledger.advance(2_500, bins(&[0])); // 3 blocks deep
+        let before = ledger.accrued_usd();
+        assert_eq!(ledger.blocks_billed(), 3);
+        ledger.advance(3_000, bins(&[])); // closes bin 0 (billed through 3000)
+        let at_close = ledger.accrued_usd();
+        assert!(at_close >= before, "closing never refunds rent");
+        ledger.advance(100_000, bins(&[]));
+        assert_eq!(ledger.accrued_usd(), at_close, "retired leases accrue nothing");
+        assert_eq!(ledger.active_leases(), 0);
+    }
+
+    #[test]
+    fn reopening_a_bin_starts_a_fresh_lease() {
+        let mut ledger = LeaseLedger::new(terms(1_000, 3.6));
+        ledger.advance(0, bins(&[0]));
+        ledger.advance(1_500, bins(&[])); // close: 2 blocks retired
+        let retired = ledger.blocks_billed();
+        ledger.advance(5_000, bins(&[0])); // reopen: new lease, new block
+        assert_eq!(ledger.blocks_billed(), retired + 1);
+        assert_eq!(ledger.leases_opened(), 2);
+        assert_eq!(ledger.lease_blocks(BinId::new(0)), Some(1));
+    }
+
+    #[test]
+    fn keep_open_is_zero_inside_the_paid_block() {
+        let mut ledger = LeaseLedger::new(terms(10_000, 3.6));
+        ledger.advance(0, bins(&[0]));
+        // Paid through 10 000 ms; now 2 000 ms; horizon 5 000 ms → covered.
+        ledger.advance(2_000, bins(&[0]));
+        assert_eq!(ledger.keep_open_usd(BinId::new(0), 5_000), 0.0);
+        // Horizon 9 000 ms reaches 11 000 ms → one more block.
+        let block_usd = ledger.terms().block_usd();
+        assert!((ledger.keep_open_usd(BinId::new(0), 9_000) - block_usd).abs() < 1e-12);
+        // Horizon far out: ceil((32 000 − 10 000) / 10 000) = 3 blocks.
+        assert!((ledger.keep_open_usd(BinId::new(0), 30_000) - 3.0 * block_usd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn keep_open_for_unleased_bin_prices_a_fresh_rental() {
+        let ledger = LeaseLedger::new(terms(10_000, 3.6));
+        let block_usd = ledger.terms().block_usd();
+        assert!((ledger.keep_open_usd(BinId::new(7), 1) - block_usd).abs() < 1e-12);
+        assert!((ledger.keep_open_usd(BinId::new(7), 25_000) - 3.0 * block_usd).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn time_must_not_move_backwards() {
+        let mut ledger = LeaseLedger::new(terms(1_000, 3.6));
+        ledger.advance(5_000, bins(&[0]));
+        ledger.advance(4_999, bins(&[0]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_block_duration_is_rejected() {
+        let _ = terms(0, 1.0);
+    }
+
+    #[test]
+    fn ledger_round_trips_through_json() {
+        let mut ledger = LeaseLedger::new(terms(1_000, 3.6));
+        ledger.advance(0, bins(&[0, 3]));
+        ledger.advance(2_500, bins(&[3]));
+        let json = serde_json::to_string(&ledger).unwrap();
+        let back: LeaseLedger = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ledger);
+    }
+}

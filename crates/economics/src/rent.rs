@@ -1,0 +1,87 @@
+//! How a simulation maps operations onto rented time.
+
+use crate::lease::LeaseTerms;
+use crate::pricing::MigrationPricing;
+
+/// Default simulated milliseconds per operation (one op per minute).
+pub const DEFAULT_MS_PER_OP: u64 = 60_000;
+
+/// Default planning horizon for marginal-cost queries (two hours).
+pub const DEFAULT_HORIZON_MS: u64 = 7_200_000;
+
+/// Renting configuration for a simulation run: lease terms, migration
+/// pricing, the op→time mapping, and the horizon economic planners score
+/// drains against.
+///
+/// Simulated time advances `ms_per_op` per operation; the ledger is
+/// reconciled against the open-bin set after every op, so rent accrual is
+/// a pure function of the (seeded) op sequence.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RentConfig {
+    /// Lease terms rent is billed under.
+    pub terms: LeaseTerms,
+    /// Migration streaming prices (independent of the rent rate — see
+    /// [`MigrationPricing`]).
+    pub pricing: MigrationPricing,
+    /// Simulated milliseconds each operation advances the clock.
+    pub ms_per_op: u64,
+    /// Horizon for "what does keeping this bin open cost?" queries.
+    pub horizon_ms: u64,
+}
+
+impl RentConfig {
+    /// Renting at the paper's `c4.4xlarge` rate with the given block
+    /// duration, reference migration pricing, and default op clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_ms` is zero.
+    #[must_use]
+    pub fn c4_4xlarge(block_ms: u64) -> Self {
+        RentConfig {
+            terms: LeaseTerms::new(block_ms, crate::CostModel::c4_4xlarge()),
+            pricing: MigrationPricing::reference(),
+            ms_per_op: DEFAULT_MS_PER_OP,
+            horizon_ms: DEFAULT_HORIZON_MS,
+        }
+    }
+
+    /// Same terms with a different op clock.
+    #[must_use]
+    pub fn with_ms_per_op(mut self, ms_per_op: u64) -> Self {
+        assert!(ms_per_op > 0, "the op clock must advance");
+        self.ms_per_op = ms_per_op;
+        self
+    }
+
+    /// Same terms with a different planning horizon.
+    #[must_use]
+    pub fn with_horizon_ms(mut self, horizon_ms: u64) -> Self {
+        self.horizon_ms = horizon_ms;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_json() {
+        let config = RentConfig::c4_4xlarge(600_000);
+        let json = serde_json::to_string(&config).unwrap();
+        let back: RentConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+        assert_eq!(back.ms_per_op, DEFAULT_MS_PER_OP);
+        assert_eq!(back.horizon_ms, DEFAULT_HORIZON_MS);
+        assert_eq!(back.pricing, MigrationPricing::reference());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let config = RentConfig::c4_4xlarge(600_000).with_ms_per_op(1_000).with_horizon_ms(5);
+        assert_eq!(config.terms.block_ms(), 600_000);
+        assert_eq!(config.ms_per_op, 1_000);
+        assert_eq!(config.horizon_ms, 5);
+    }
+}

@@ -1,0 +1,115 @@
+//! The realized-cost summary attached to simulation reports.
+
+use crate::lease::{LeaseLedger, MS_PER_HOUR};
+
+/// What a run actually spent, split into rent and migration streaming,
+/// plus the load integrals a clairvoyant lower bound is computed from.
+///
+/// Attached to churn/soak reports when renting is enabled; compared
+/// across defrag policies by the `rent` bench and turned into a
+/// competitive ratio by `cubefit-analysis`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CostReport {
+    /// Lease block duration the run was billed under.
+    pub block_ms: u64,
+    /// Hourly rent per server.
+    pub hourly_usd: f64,
+    /// Simulated milliseconds per operation.
+    pub ms_per_op: u64,
+    /// Total simulated time covered by the run.
+    pub sim_ms: u64,
+    /// Rent accrued across all leases.
+    pub rent_usd: f64,
+    /// Rental blocks billed.
+    pub blocks_billed: u64,
+    /// Distinct leases opened (a reopened server counts again).
+    pub leases_opened: u64,
+    /// High-water mark of concurrently rented servers.
+    pub peak_servers: usize,
+    /// Streaming cost of planner-driven migrations (defrag/mitigation).
+    pub defrag_migration_usd: f64,
+    /// Streaming cost of failure-recovery re-replication.
+    pub recovery_migration_usd: f64,
+    /// Rent the economic planner predicted its drains would save.
+    pub predicted_savings_usd: f64,
+    /// Rent those drains were worth against the live ledger at apply
+    /// time (the "realized" side of predicted-vs-realized accounting).
+    pub realized_savings_usd: f64,
+    /// ∫ L(t) dt in load·milliseconds — total demand volume.
+    pub load_ms_integral: f64,
+    /// ∫ ⌈L(t)⌉ dt in server·milliseconds: at every instant any feasible
+    /// schedule keeps at least ⌈L(t)⌉ servers rented, so this integral
+    /// times the hourly rate is a clairvoyant lower bound on rent.
+    pub need_ms_integral: f64,
+    /// Rent + defrag streaming + recovery streaming.
+    pub total_usd: f64,
+}
+
+impl CostReport {
+    /// Builds a report from a finished ledger plus the migration spend
+    /// and integrals the simulation accumulated.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn from_ledger(
+        ledger: &LeaseLedger,
+        ms_per_op: u64,
+        defrag_migration_usd: f64,
+        recovery_migration_usd: f64,
+        predicted_savings_usd: f64,
+        realized_savings_usd: f64,
+        load_ms_integral: f64,
+        need_ms_integral: f64,
+    ) -> Self {
+        let rent_usd = ledger.accrued_usd();
+        CostReport {
+            block_ms: ledger.terms().block_ms(),
+            hourly_usd: ledger.terms().cost().hourly_usd(),
+            ms_per_op,
+            sim_ms: ledger.now_ms(),
+            rent_usd,
+            blocks_billed: ledger.blocks_billed(),
+            leases_opened: ledger.leases_opened(),
+            peak_servers: ledger.peak_active(),
+            defrag_migration_usd,
+            recovery_migration_usd,
+            predicted_savings_usd,
+            realized_savings_usd,
+            load_ms_integral,
+            need_ms_integral,
+            total_usd: rent_usd + defrag_migration_usd + recovery_migration_usd,
+        }
+    }
+
+    /// The clairvoyant lower bound on rent for the demand this run
+    /// served: no schedule — even one that knows the future — can rent
+    /// fewer than ⌈L(t)⌉ servers at time `t`, and rental blocks only
+    /// round cost *up* from the continuous integral.
+    #[must_use]
+    pub fn clairvoyant_lower_bound_usd(&self) -> f64 {
+        self.need_ms_integral / MS_PER_HOUR * self.hourly_usd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::lease::LeaseTerms;
+    use cubefit_core::BinId;
+
+    #[test]
+    fn report_totals_rent_and_migrations() {
+        let mut ledger = LeaseLedger::new(LeaseTerms::new(1_000, CostModel::with_hourly_usd(3.6)));
+        ledger.advance(0, [BinId::new(0), BinId::new(1)]);
+        ledger.advance(2_500, [BinId::new(0)]);
+        let report = CostReport::from_ledger(&ledger, 500, 0.25, 0.1, 0.0, 0.0, 900.0, 1_800.0);
+        assert_eq!(report.sim_ms, 2_500);
+        assert!((report.rent_usd - ledger.accrued_usd()).abs() < 1e-12);
+        assert!((report.total_usd - (report.rent_usd + 0.35)).abs() < 1e-12);
+        // 1 800 server·ms at $3.6/h → 1 800 / 3 600 000 × 3.6 = $0.0018.
+        assert!((report.clairvoyant_lower_bound_usd() - 0.0018).abs() < 1e-12);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: CostReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

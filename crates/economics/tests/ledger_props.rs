@@ -1,0 +1,108 @@
+//! Property tests for the lease ledger (satellite of the renting PR).
+//!
+//! Two contracts, under arbitrary open/close schedules:
+//!
+//! 1. **Conservation**: total rent accrued equals the sum of per-lease
+//!    block rents computed independently from each lease's residency
+//!    interval — the ledger neither invents nor loses blocks.
+//! 2. **Closing is never retroactive**: accrued rent is monotone
+//!    non-decreasing across advances, and once a server closes its lease
+//!    contributes exactly what it had already billed, forever.
+
+use cubefit_core::BinId;
+use cubefit_economics::{CostModel, LeaseLedger, LeaseTerms};
+use proptest::prelude::*;
+
+const SERVERS: usize = 8;
+
+/// One schedule step: the clock advance and which of the 8 servers are
+/// open during it.
+fn step_strategy() -> impl Strategy<Value = (u64, u8)> {
+    (0u64..5_000, any::<u8>())
+}
+
+fn open_set(mask: u8) -> Vec<BinId> {
+    (0..SERVERS).filter(|i| mask & (1 << i) != 0).map(BinId::new).collect()
+}
+
+/// Replays the schedule while independently tracking every lease's
+/// residency `[opened, closed-or-now]`; returns the expected total
+/// blocks. Mirrors the billing rule: ⌈residency / block⌉, at least 1.
+fn expected_blocks(terms: LeaseTerms, schedule: &[(u64, u8)]) -> u64 {
+    let mut now = 0u64;
+    let mut open_since: [Option<u64>; SERVERS] = [None; SERVERS];
+    let mut total = 0u64;
+    for &(dt, mask) in schedule {
+        now += dt;
+        for (i, since) in open_since.iter_mut().enumerate() {
+            let open = mask & (1 << i) != 0;
+            match (*since, open) {
+                (None, true) => *since = Some(now),
+                (Some(opened), false) => {
+                    // Retired at this advance: billed through `now`.
+                    total += terms.blocks_for(now - opened);
+                    *since = None;
+                }
+                _ => {}
+            }
+        }
+    }
+    for since in open_since.into_iter().flatten() {
+        total += terms.blocks_for(now - since);
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: ledger total == Σ independently-computed per-lease
+    /// block rents.
+    #[test]
+    fn accrual_conserves_per_lease_blocks(
+        schedule in proptest::collection::vec(step_strategy(), 1..40),
+        block_ms in 1u64..20_000,
+        rate in 1u32..500,
+    ) {
+        let terms = LeaseTerms::new(block_ms, CostModel::with_hourly_usd(f64::from(rate) / 100.0));
+        let mut ledger = LeaseLedger::new(terms);
+        let mut now = 0u64;
+        for &(dt, mask) in &schedule {
+            now += dt;
+            ledger.advance(now, open_set(mask));
+        }
+        let expected = expected_blocks(terms, &schedule);
+        prop_assert_eq!(ledger.blocks_billed(), expected);
+        let expected_usd = expected as f64 * terms.block_usd();
+        prop_assert!((ledger.accrued_usd() - expected_usd).abs() < 1e-9 * expected_usd.max(1.0));
+    }
+
+    /// Monotone accrual, and closing a server never retroactively
+    /// changes rent already accrued: after the close, re-running the
+    /// clock forward leaves the closed lease's contribution fixed.
+    #[test]
+    fn closing_never_retroacts(
+        schedule in proptest::collection::vec(step_strategy(), 1..40),
+        block_ms in 1u64..20_000,
+        idle_ms in 1u64..100_000,
+    ) {
+        let terms = LeaseTerms::new(block_ms, CostModel::c4_4xlarge());
+        let mut ledger = LeaseLedger::new(terms);
+        let mut now = 0u64;
+        let mut last_accrued = 0.0f64;
+        for &(dt, mask) in &schedule {
+            now += dt;
+            ledger.advance(now, open_set(mask));
+            let accrued = ledger.accrued_usd();
+            prop_assert!(accrued >= last_accrued, "accrual must be monotone");
+            last_accrued = accrued;
+        }
+        // Close everything; idle time afterwards accrues nothing at all.
+        ledger.advance(now, []);
+        let at_close = ledger.accrued_usd();
+        prop_assert!(at_close >= last_accrued);
+        ledger.advance(now + idle_ms, []);
+        prop_assert_eq!(ledger.accrued_usd(), at_close);
+        prop_assert_eq!(ledger.active_leases(), 0);
+    }
+}

@@ -22,20 +22,18 @@ use cubefit_core::monitor::{classify_with, DEFAULT_AT_RISK_SLACK};
 use cubefit_core::oracle::AuditedConsolidator;
 use cubefit_core::recovery::{self, RecoveryReport};
 use cubefit_core::{BinId, Consolidator, FragmentationStats, Result, Tenant, TenantId};
-use cubefit_defrag::{DefragOutcome, MigrationBudget, MitigationOutcome};
+use cubefit_defrag::{DefragObjective, DefragOutcome, MigrationBudget, MitigationOutcome};
+use cubefit_economics::{CostReport, LeaseLedger, RentConfig};
 use cubefit_service::ShutdownFlag;
 use cubefit_telemetry::{Recorder, TraceEvent};
 use cubefit_workload::{DriftEngine, DriftProfile, LoadModel};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-/// Modeled seconds of fixed per-replica restore work (catalog updates,
-/// opening the replication stream, warming the page cache).
-pub const REPLICA_RESTORE_SECONDS: f64 = 30.0;
-
-/// Modeled seconds to stream one full server's worth of normalized load
-/// (load 1.0) to its new home; a replica of load `ℓ` streams in `ℓ ×` this.
-pub const LOAD_TRANSFER_SECONDS: f64 = 600.0;
+// The degraded-window constants now live in `cubefit-economics` (the
+// migration pricing model is built from them); re-exported here so
+// existing `churn::REPLICA_RESTORE_SECONDS` imports keep working.
+pub use cubefit_economics::{LOAD_TRANSFER_SECONDS, REPLICA_RESTORE_SECONDS};
 
 /// Deterministic degraded-window model for one failure event: replicas are
 /// rebuilt sequentially, each paying a fixed setup cost plus transfer time
@@ -74,9 +72,18 @@ pub struct ChurnConfig {
     pub defrag_every: usize,
     /// Migration budget for each defrag epoch.
     pub defrag_budget: MigrationBudget,
+    /// What defrag epochs optimize for: open bins (the default) or
+    /// dollars (requires [`ChurnConfig::rent`]; without a ledger the
+    /// cost objective falls back to bin count).
+    pub defrag_objective: DefragObjective,
     /// Per-tenant load drift between ops (`None` keeps loads static, the
     /// pre-drift behaviour).
     pub drift: Option<DriftConfig>,
+    /// Renting model (`None` keeps servers free to hold open, the
+    /// pre-renting behaviour). When set, each op advances simulated time
+    /// by `rent.ms_per_op`, the lease ledger bills every open server in
+    /// blocks, and the report carries a [`CostReport`].
+    pub rent: Option<RentConfig>,
 }
 
 /// Load-drift settings for a churn run: how tenant loads evolve, how often
@@ -129,8 +136,98 @@ impl ChurnConfig {
             audit: false,
             defrag_every: 0,
             defrag_budget: MigrationBudget::default(),
+            defrag_objective: DefragObjective::Bins,
             drift: None,
+            rent: None,
         }
+    }
+}
+
+/// Mutable renting state threaded through a simulation loop: the live
+/// lease ledger plus the migration spend, predicted-vs-realized defrag
+/// savings, and demand integrals accumulated so far. Shared between
+/// churn and soak.
+#[derive(Debug, Clone)]
+pub(crate) struct RentState {
+    pub(crate) config: RentConfig,
+    pub(crate) ledger: LeaseLedger,
+    defrag_migration_usd: f64,
+    recovery_migration_usd: f64,
+    predicted_savings_usd: f64,
+    realized_savings_usd: f64,
+    load_ms_integral: f64,
+    need_ms_integral: f64,
+}
+
+impl RentState {
+    pub(crate) fn new(config: RentConfig) -> Self {
+        RentState {
+            ledger: LeaseLedger::new(config.terms),
+            config,
+            defrag_migration_usd: 0.0,
+            recovery_migration_usd: 0.0,
+            predicted_savings_usd: 0.0,
+            realized_savings_usd: 0.0,
+            load_ms_integral: 0.0,
+            need_ms_integral: 0.0,
+        }
+    }
+
+    /// Advances the clock by `ops` operations' worth of simulated time,
+    /// accumulates the demand integrals over the elapsed interval, and
+    /// reconciles the ledger against the currently open bins, emitting
+    /// [`TraceEvent::RentAccrued`] when new blocks were billed.
+    pub(crate) fn tick(
+        &mut self,
+        ops: u64,
+        placement: &cubefit_core::Placement,
+        recorder: &Recorder,
+    ) {
+        let dt_ms = ops * self.config.ms_per_op;
+        let load = placement.total_load();
+        self.load_ms_integral += load * dt_ms as f64;
+        self.need_ms_integral += load.ceil() * dt_ms as f64;
+        let now = self.ledger.now_ms() + dt_ms;
+        let open = placement.bins().filter(|b| b.level() > 0.0).map(|b| b.id());
+        let billed = self.ledger.advance(now, open);
+        if billed > 0 {
+            recorder.emit(|| TraceEvent::RentAccrued {
+                now_ms: now,
+                blocks: billed,
+                open_servers: self.ledger.active_leases(),
+                accrued_usd: self.ledger.accrued_usd(),
+            });
+        }
+    }
+
+    /// Prices a recovery's re-replication streaming.
+    pub(crate) fn price_recovery(&mut self, recovery: &RecoveryReport) {
+        self.recovery_migration_usd +=
+            self.config.pricing.migration_usd(recovery.replicas_migrated, recovery.moved_load);
+    }
+
+    /// Prices planner-driven (defrag/mitigation) migration streaming.
+    pub(crate) fn price_moves(&mut self, replicas: usize, moved_load: f64) {
+        self.defrag_migration_usd += self.config.pricing.migration_usd(replicas, moved_load);
+    }
+
+    /// Accumulates one epoch's predicted-vs-realized defrag savings.
+    pub(crate) fn settle_savings(&mut self, predicted_net_usd: f64, realized_net_usd: f64) {
+        self.predicted_savings_usd += predicted_net_usd;
+        self.realized_savings_usd += realized_net_usd;
+    }
+
+    pub(crate) fn report(&self) -> CostReport {
+        CostReport::from_ledger(
+            &self.ledger,
+            self.config.ms_per_op,
+            self.defrag_migration_usd,
+            self.recovery_migration_usd,
+            self.predicted_savings_usd,
+            self.realized_savings_usd,
+            self.load_ms_integral,
+            self.need_ms_integral,
+        )
     }
 }
 
@@ -237,6 +334,9 @@ pub struct ChurnReport {
     /// True when the run was cut short by a shutdown request; `ops` then
     /// holds the count actually executed and the report covers only them.
     pub interrupted: bool,
+    /// Realized renting economics (`None` when [`ChurnConfig::rent`] is
+    /// off).
+    pub cost: Option<CostReport>,
 }
 
 impl ChurnReport {
@@ -347,7 +447,9 @@ fn churn_loop(
         final_at_risk: 0,
         robust: false,
         interrupted: false,
+        cost: None,
     };
+    let mut rent_state = config.rent.map(RentState::new);
 
     // Drift draws from its own seeded stream so enabling it never perturbs
     // the op mix: a drifted run replays the exact arrival/departure/failure
@@ -387,6 +489,9 @@ fn churn_loop(
             report.recovery.absorb(&event.recovery);
             report.degraded_seconds_total += event.degraded_seconds;
             report.degraded_seconds_max = report.degraded_seconds_max.max(event.degraded_seconds);
+            if let Some(state) = rent_state.as_mut() {
+                state.price_recovery(&event.recovery);
+            }
             report.failure_events.push(event);
         } else if roll < depart_band && !alive.is_empty() {
             let idx = rng.gen_range(0..alive.len());
@@ -417,12 +522,26 @@ fn churn_loop(
                 &recorder,
                 &mut known_violated,
                 &mut report,
+                rent_state.as_mut(),
             )?;
         }
         if config.defrag_every > 0 && (op + 1) % config.defrag_every == 0 {
-            let epoch = defrag_epoch(&mut consolidator, config.defrag_budget, op, &recorder)?;
+            let epoch = defrag_epoch(
+                &mut consolidator,
+                config.defrag_budget,
+                op,
+                &recorder,
+                config.defrag_objective,
+                rent_state.as_mut(),
+            )?;
             report.servers_closed_by_defrag += epoch.outcome.servers_closed;
             report.defrag_epochs.push(epoch);
+        }
+        // The op clock ticks last: leases for bins opened this op start at
+        // the end of the op, and bins a defrag epoch closed are billed
+        // through it (closing is observed at the next reconcile).
+        if let Some(state) = rent_state.as_mut() {
+            state.tick(1, consolidator.placement(), &recorder);
         }
     }
 
@@ -436,6 +555,7 @@ fn churn_loop(
     report.final_violated = monitor.violated.len();
     report.final_at_risk = monitor.at_risk.len();
     report.robust = placement.is_robust();
+    report.cost = rent_state.as_ref().map(RentState::report);
     Ok((report, consolidator))
 }
 
@@ -443,6 +563,7 @@ fn churn_loop(
 /// updates through the consolidator (audited under `--audit`), let the
 /// monitor flag newly violated servers, and — at the mitigation stride —
 /// plan and atomically apply a mitigation epoch.
+#[allow(clippy::too_many_arguments)]
 fn drift_op(
     consolidator: &mut Box<dyn Consolidator>,
     engine: &mut DriftEngine,
@@ -451,6 +572,7 @@ fn drift_op(
     recorder: &Recorder,
     known_violated: &mut Vec<BinId>,
     report: &mut ChurnReport,
+    rent: Option<&mut RentState>,
 ) -> Result<()> {
     for update in engine.step() {
         let outcome = consolidator.update_load(update.tenant, update.load)?;
@@ -489,6 +611,9 @@ fn drift_op(
             // A cured server that later relapses is a fresh violation.
             *known_violated = outcome.residual.violated.iter().map(|&(bin, _)| bin).collect();
             report.servers_cured_by_mitigation += outcome.cured;
+            if let Some(state) = rent {
+                state.price_moves(outcome.applied_steps, outcome.moved_load);
+            }
             report.mitigation_epochs.push(MitigationEpoch {
                 at_op: op,
                 attention_before: plan.attention_before,
@@ -503,19 +628,52 @@ fn drift_op(
 
 /// Plans and atomically applies one defragmentation pass. Under `--audit`
 /// the consolidator is an [`AuditedConsolidator`], so every migration the
-/// epoch applies is replayed against the oracle.
+/// epoch applies is replayed against the oracle. With the cost objective
+/// and a live rent ledger, planning goes through
+/// [`cubefit_defrag::plan_economic`] — drains taken only when profitable,
+/// predicted-vs-realized savings settled into the rent state; the cost
+/// objective without a ledger falls back to bin count.
 pub(crate) fn defrag_epoch(
     consolidator: &mut Box<dyn Consolidator>,
     budget: MigrationBudget,
     at_op: usize,
     recorder: &Recorder,
+    objective: DefragObjective,
+    mut rent: Option<&mut RentState>,
 ) -> Result<DefragEpoch> {
     let open_bins_before = consolidator.placement().open_bins();
-    let plan = cubefit_defrag::plan(consolidator.placement(), budget);
-    let outcome = cubefit_defrag::apply(&mut **consolidator, &plan, recorder)?;
+    let (planned_steps, outcome) = if let (DefragObjective::Cost { horizon_ms }, Some(state)) =
+        (objective, rent.as_deref_mut())
+    {
+        let plan = cubefit_defrag::plan_economic(
+            consolidator.placement(),
+            budget,
+            &state.ledger,
+            &state.config.pricing,
+            horizon_ms,
+        );
+        let outcome = cubefit_defrag::apply_economic(
+            &mut **consolidator,
+            &plan,
+            &state.ledger,
+            &state.config.pricing,
+            recorder,
+        )?;
+        if let (Some(forecast), Some(econ)) = (plan.economics, outcome.economics) {
+            state.settle_savings(forecast.net_usd, econ.realized_net_usd);
+        }
+        (plan.steps.len(), outcome)
+    } else {
+        let plan = cubefit_defrag::plan(consolidator.placement(), budget);
+        let outcome = cubefit_defrag::apply(&mut **consolidator, &plan, recorder)?;
+        (plan.steps.len(), outcome)
+    };
+    if let Some(state) = rent {
+        state.price_moves(outcome.applied_steps, outcome.moved_load);
+    }
     Ok(DefragEpoch {
         at_op,
-        planned_steps: plan.steps.len(),
+        planned_steps,
         outcome,
         open_bins_before,
         open_bins_after: consolidator.placement().open_bins(),
@@ -726,6 +884,116 @@ mod tests {
         assert!(report.final_open_bins <= without.final_open_bins);
         assert!(
             report.fragmentation.fragmentation_ratio <= without.fragmentation.fragmentation_ratio
+        );
+    }
+
+    /// Renting economics under churn: the ledger accrues rent
+    /// deterministically, the cost report balances, and it survives a
+    /// JSON round trip inside the churn report.
+    #[test]
+    fn rent_accrual_is_deterministic_and_balanced() {
+        let config = ChurnConfig {
+            defrag_every: 50,
+            defrag_budget: MigrationBudget { max_moves: Some(64), max_load: Some(4.0) },
+            rent: Some(RentConfig::c4_4xlarge(600_000)),
+            ..fragmenting(AlgorithmSpec::CubeFit { gamma: 2, classes: 5 }, 17)
+        };
+        let a = run_churn(&config).unwrap();
+        let b = run_churn(&config).unwrap();
+        assert_eq!(a, b, "rent accounting must not perturb determinism");
+        let cost = a.cost.expect("rent config must produce a cost report");
+        assert!(cost.rent_usd > 0.0, "300 ops of open servers must accrue rent");
+        assert!(cost.blocks_billed > 0);
+        assert!(cost.leases_opened > 0);
+        assert!(cost.peak_servers > 0);
+        assert!(
+            (cost.total_usd
+                - (cost.rent_usd + cost.defrag_migration_usd + cost.recovery_migration_usd))
+                .abs()
+                < 1e-9,
+            "total must be the sum of its parts"
+        );
+        assert_eq!(cost.sim_ms, config.ops as u64 * cost.ms_per_op);
+        assert!(cost.load_ms_integral <= cost.need_ms_integral);
+        // No failures in the fragmenting mix, so no recovery streaming.
+        assert_eq!(cost.recovery_migration_usd, 0.0);
+        // Bins-objective epochs migrate, and migration is priced.
+        assert!(cost.defrag_migration_usd > 0.0);
+        let back: ChurnReport = serde_json::from_str(&a.to_json()).unwrap();
+        assert_eq!(back, a);
+        // The same run without rent reports no cost and is otherwise
+        // identical: the ledger is an observer, never an actor.
+        let without = run_churn(&ChurnConfig { rent: None, ..config }).unwrap();
+        assert!(without.cost.is_none());
+        assert_eq!(without.final_open_bins, a.final_open_bins);
+        assert_eq!(without.arrivals, a.arrivals);
+    }
+
+    /// Cost-objective defrag with day-long fully-paid blocks: closing a
+    /// server saves no rent inside the horizon, so the economic planner
+    /// must refuse every drain the bins planner would have taken.
+    #[test]
+    fn cost_objective_skips_drains_that_save_no_rent() {
+        let base = ChurnConfig {
+            defrag_every: 50,
+            defrag_budget: MigrationBudget { max_moves: Some(64), max_load: Some(4.0) },
+            ..fragmenting(AlgorithmSpec::CubeFit { gamma: 2, classes: 5 }, 17)
+        };
+        // 300 ops × 1 min/op = 5 h of sim time, all inside one 24 h
+        // pre-paid block; the 2 h horizon never reaches the next block.
+        let day_block = RentConfig::c4_4xlarge(86_400_000);
+        let frugal = ChurnConfig {
+            defrag_objective: DefragObjective::Cost { horizon_ms: day_block.horizon_ms },
+            rent: Some(day_block),
+            ..base.clone()
+        };
+        let eager = ChurnConfig { rent: Some(day_block), ..base };
+        let frugal_report = run_churn(&frugal).unwrap();
+        let eager_report = run_churn(&eager).unwrap();
+        let frugal_cost = frugal_report.cost.unwrap();
+        let eager_cost = eager_report.cost.unwrap();
+        assert_eq!(
+            frugal_cost.defrag_migration_usd, 0.0,
+            "no drain can be profitable inside a paid-up day block"
+        );
+        assert_eq!(frugal_report.servers_closed_by_defrag, 0);
+        assert!(eager_report.servers_closed_by_defrag > 0, "the bins planner still drains");
+        assert!(
+            frugal_cost.total_usd < eager_cost.total_usd,
+            "skipping unprofitable migration must cost less: {} vs {}",
+            frugal_cost.total_usd,
+            eager_cost.total_usd
+        );
+        assert_eq!(frugal_cost.predicted_savings_usd, 0.0);
+        assert_eq!(frugal_cost.realized_savings_usd, 0.0);
+    }
+
+    /// Cost-objective defrag with short cheap blocks behaves like the
+    /// bins objective where draining pays, and settles its forecast:
+    /// predicted net equals realized net on every clean epoch.
+    #[test]
+    fn cost_objective_settles_predicted_vs_realized() {
+        let rent = RentConfig::c4_4xlarge(60_000);
+        let config = ChurnConfig {
+            defrag_every: 50,
+            defrag_budget: MigrationBudget::unlimited(),
+            defrag_objective: DefragObjective::Cost { horizon_ms: rent.horizon_ms },
+            rent: Some(rent),
+            ..fragmenting(AlgorithmSpec::CubeFit { gamma: 2, classes: 5 }, 17)
+        };
+        let report = run_churn(&config).unwrap();
+        let cost = report.cost.unwrap();
+        assert!(
+            report.servers_closed_by_defrag > 0,
+            "minute-blocks make thin drains profitable on the fragmented seed"
+        );
+        assert!(cost.predicted_savings_usd > 0.0);
+        assert!(
+            (cost.predicted_savings_usd - cost.realized_savings_usd).abs() < 1e-9,
+            "nothing mutates between plan and apply, so forecasts settle exactly: \
+             predicted {} vs realized {}",
+            cost.predicted_savings_usd,
+            cost.realized_savings_usd
         );
     }
 

@@ -1,101 +1,23 @@
 //! The EC2 cost model behind Table I.
+//!
+//! The model itself lives in [`cubefit_economics`] now, where the lease
+//! ledger and migration pricing build on it; this module re-exports it so
+//! `cubefit_sim::CostModel` and friends keep working.
 
-/// Hours in the paper's "continuous server operation" year.
-pub const HOURS_PER_YEAR: f64 = 8_760.0;
-
-/// Hourly price of an EC2 `c4.4xlarge` instance (the machine class the
-/// paper matches to its testbed servers, §V.C).
-pub const C4_4XLARGE_HOURLY_USD: f64 = 0.822;
-
-/// Converts server counts into yearly dollar costs.
-///
-/// ```
-/// use cubefit_sim::CostModel;
-///
-/// let model = CostModel::c4_4xlarge();
-/// // Table I, uniform row: 2,506 servers saved → ≈ $18.0 M per year.
-/// let savings = model.yearly_cost(2_506);
-/// assert!((savings - 18_045_004.0).abs() < 1_000.0);
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
-pub struct CostModel {
-    hourly_usd: f64,
-}
-
-impl CostModel {
-    /// Model priced at the paper's `c4.4xlarge` rate.
-    #[must_use]
-    pub fn c4_4xlarge() -> Self {
-        CostModel { hourly_usd: C4_4XLARGE_HOURLY_USD }
-    }
-
-    /// Model with a custom hourly price.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the price is not positive and finite.
-    #[must_use]
-    pub fn with_hourly_usd(hourly_usd: f64) -> Self {
-        assert!(hourly_usd > 0.0 && hourly_usd.is_finite());
-        CostModel { hourly_usd }
-    }
-
-    /// Hourly price per server.
-    #[must_use]
-    pub fn hourly_usd(&self) -> f64 {
-        self.hourly_usd
-    }
-
-    /// Yearly cost of operating `servers` machines continuously.
-    #[must_use]
-    pub fn yearly_cost(&self, servers: usize) -> f64 {
-        self.hourly_usd * HOURS_PER_YEAR * servers as f64
-    }
-
-    /// Yearly savings from using `candidate` instead of `baseline`
-    /// servers (0 if the candidate uses more).
-    #[must_use]
-    pub fn yearly_savings(&self, baseline: usize, candidate: usize) -> f64 {
-        self.yearly_cost(baseline.saturating_sub(candidate))
-    }
-}
+pub use cubefit_economics::{CostModel, C4_4XLARGE_HOURLY_USD, HOURS_PER_YEAR};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The historical `cubefit_sim` paths still resolve and still price
+    /// Table I correctly after the move into `cubefit-economics`.
     #[test]
-    fn table1_uniform_row() {
-        // RFI 10,951 servers; CubeFit saves 2,506 → $18,045,004.
+    fn reexported_model_prices_table1_uniform_row() {
         let model = CostModel::c4_4xlarge();
         let savings = model.yearly_savings(10_951, 10_951 - 2_506);
         assert!((savings - 18_045_004.0).abs() < 1_000.0, "savings {savings}");
-    }
-
-    #[test]
-    fn table1_zipfian_row() {
-        // RFI 2,218 servers; CubeFit saves 496 → $3,571,557.
-        let model = CostModel::c4_4xlarge();
-        let savings = model.yearly_savings(2_218, 2_218 - 496);
-        assert!((savings - 3_571_557.0).abs() < 1_000.0, "savings {savings}");
-    }
-
-    #[test]
-    fn candidate_worse_than_baseline_saves_nothing() {
-        let model = CostModel::c4_4xlarge();
-        assert_eq!(model.yearly_savings(10, 20), 0.0);
-    }
-
-    #[test]
-    fn custom_rate() {
-        let model = CostModel::with_hourly_usd(1.0);
-        assert_eq!(model.yearly_cost(1), HOURS_PER_YEAR);
-        assert_eq!(model.hourly_usd(), 1.0);
-    }
-
-    #[test]
-    #[should_panic]
-    fn rejects_non_positive_rate() {
-        let _ = CostModel::with_hourly_usd(0.0);
+        assert_eq!(CostModel::with_hourly_usd(1.0).yearly_cost(1), HOURS_PER_YEAR);
+        assert!((C4_4XLARGE_HOURLY_USD - 0.822).abs() < f64::EPSILON);
     }
 }

@@ -46,6 +46,7 @@ pub use churn::{
     ChurnReport, DefragEpoch,
 };
 pub use cost::CostModel;
+pub use cubefit_economics::{CostReport, RentConfig};
 pub use experiment::{compare, ComparisonConfig, ComparisonResult};
 pub use failure::{run_failure_experiment, FailureExperimentConfig, FailureOutcome};
 pub use runner::{run_sequence, run_sequence_batched, run_sequence_with, RunResult};

@@ -25,11 +25,12 @@
 //! with the same RNG draw order — extra checking never consumes
 //! randomness — so a scenario file reproduces byte-for-byte.
 
-use crate::churn::{defrag_epoch, fail_and_recover, DriftConfig};
+use crate::churn::{defrag_epoch, fail_and_recover, DriftConfig, RentState};
 use crate::spec::{AlgorithmSpec, DistributionSpec};
 use cubefit_core::monitor::{classify_with, DEFAULT_AT_RISK_SLACK};
 use cubefit_core::{oracle, BinId, Consolidator, Result, Tenant, TenantId};
-use cubefit_defrag::MigrationBudget;
+use cubefit_defrag::{DefragObjective, MigrationBudget};
+use cubefit_economics::{CostReport, RentConfig};
 use cubefit_service::ShutdownFlag;
 use cubefit_telemetry::{Recorder, TraceEvent};
 use cubefit_workload::{DriftEngine, LoadModel};
@@ -68,8 +69,19 @@ pub struct SoakConfig {
     pub defrag_every: u64,
     /// Migration budget for each defrag epoch.
     pub defrag_budget: MigrationBudget,
+    /// What defrag epochs optimize for (see [`crate::ChurnConfig`]); the
+    /// cost objective requires [`SoakConfig::rent`].
+    pub defrag_objective: DefragObjective,
     /// Per-tenant load drift between ops (`None` keeps loads static).
     pub drift: Option<DriftConfig>,
+    /// Renting model (`None` keeps servers free to hold open). Soak
+    /// reconciles the lease ledger at the *checkpoint stride* (and just
+    /// before each defrag epoch, so economic planning sees current
+    /// leases), not per op, to preserve its O(1)-amortized per-op cost —
+    /// a server that opens and closes entirely between reconciliations
+    /// is never billed, which is documented imprecision, not a ledger
+    /// bug.
+    pub rent: Option<RentConfig>,
     /// Deliberately break Theorem 1 at this op by re-estimating a few
     /// tenants to full-server load — the acceptance hook proving the
     /// scenario/replay/shrink loop finds real injected faults.
@@ -98,7 +110,9 @@ impl SoakConfig {
             checkpoint_every: 500,
             defrag_every: 0,
             defrag_budget: MigrationBudget::default(),
+            defrag_objective: DefragObjective::Bins,
             drift: None,
+            rent: None,
             inject_at: None,
             fail_on_violation: true,
         }
@@ -207,6 +221,10 @@ pub struct SoakReport {
     pub failure: Option<SoakFailure>,
     /// Replayable repro for the failure, when there is one.
     pub scenario: Option<SoakScenario>,
+    /// Renting economics, when [`SoakConfig::rent`] was set. The ledger
+    /// is reconciled at the checkpoint stride, so `sim_ms` advances in
+    /// stride-sized jumps rather than per op.
+    pub cost: Option<CostReport>,
 }
 
 impl SoakReport {
@@ -400,7 +418,15 @@ fn run_loop(
         final_audit_divergences: None,
         failure: None,
         scenario: None,
+        cost: None,
     };
+    let mut rent_state = config.rent.map(RentState::new);
+    // The ledger is reconciled lazily: `last_rent_op` marks how far the
+    // rent clock has advanced, and each checkpoint bills the elapsed ops
+    // in one `tick`. Servers that open *and* close strictly between two
+    // checkpoints are never leased — documented imprecision that keeps
+    // the soak loop O(1) amortized per op.
+    let mut last_rent_op: u64 = 0;
 
     let slack = config.drift.map_or(DEFAULT_AT_RISK_SLACK, |d| d.at_risk_slack);
     let checkpoint_stride = config.checkpoint_stride();
@@ -434,7 +460,7 @@ fn run_loop(
                 .filter(|bin| bin.level() > 0.0)
                 .map(|bin| bin.id())
                 .collect();
-            fail_and_recover(
+            let event = fail_and_recover(
                 &mut *consolidator,
                 &loaded_bins,
                 effective_failures,
@@ -442,6 +468,9 @@ fn run_loop(
                 &mut rng,
                 &recorder,
             )?;
+            if let Some(state) = rent_state.as_mut() {
+                state.price_recovery(&event.recovery);
+            }
             report.failure_events += 1;
         } else if roll < depart_band && !alive.is_empty() {
             let idx = rng.gen_range(0..alive.len());
@@ -483,18 +512,30 @@ fn run_loop(
                         drift.at_risk_slack,
                     );
                     if plan.attention_before > 0 {
-                        cubefit_defrag::apply_mitigation(&mut *consolidator, &plan, &recorder)?;
+                        let outcome =
+                            cubefit_defrag::apply_mitigation(&mut *consolidator, &plan, &recorder)?;
+                        if let Some(state) = rent_state.as_mut() {
+                            state.price_moves(outcome.applied_steps, outcome.moved_load);
+                        }
                     }
                 }
             }
         }
 
         if config.defrag_every > 0 && (op + 1) % config.defrag_every == 0 {
+            // Cost-objective planning consults the ledger, so reconcile
+            // it up to the current op before the epoch runs.
+            if let Some(state) = rent_state.as_mut() {
+                state.tick(op + 1 - last_rent_op, consolidator.placement(), &recorder);
+                last_rent_op = op + 1;
+            }
             defrag_epoch(
                 &mut consolidator,
                 config.defrag_budget,
                 usize::try_from(op).unwrap_or(usize::MAX),
                 &recorder,
+                config.defrag_objective,
+                rent_state.as_mut(),
             )?;
             report.defrag_epochs += 1;
         }
@@ -547,6 +588,10 @@ fn run_loop(
             last_state = state;
 
             if at_checkpoint {
+                if let Some(state) = rent_state.as_mut() {
+                    state.tick(op + 1 - last_rent_op, consolidator.placement(), &recorder);
+                    last_rent_op = op + 1;
+                }
                 let placement = consolidator.placement();
                 let frag = placement.fragmentation();
                 recorder.emit(|| TraceEvent::SoakCheckpoint {
@@ -611,6 +656,7 @@ fn run_loop(
     report.final_load = placement.total_load();
     report.final_fragmentation = placement.fragmentation().fragmentation_ratio;
     report.robust = placement.is_robust();
+    report.cost = rent_state.as_ref().map(RentState::report);
 
     // Full audit of the final state — only when the run survived to the
     // end with audits enabled (a failed run already carries its repro).
@@ -813,5 +859,45 @@ mod tests {
         assert!(report.defrag_epochs >= 5);
         assert!(report.failure.is_none(), "audited soak must stay clean: {:?}", report.failure);
         assert_eq!(report.final_audit_divergences, Some(0));
+    }
+
+    /// Renting under soak: checkpoint-stride reconciliation bills every
+    /// op exactly once, stays deterministic, never perturbs the
+    /// placement trajectory, and survives the report's JSON round trip.
+    #[test]
+    fn rent_is_reconciled_at_the_checkpoint_stride() {
+        let rent = RentConfig::c4_4xlarge(600_000);
+        let config = SoakConfig {
+            defrag_every: 250,
+            defrag_budget: MigrationBudget::moves(32),
+            defrag_objective: DefragObjective::Cost { horizon_ms: rent.horizon_ms },
+            rent: Some(rent),
+            ..quick(1_500, 29)
+        };
+        let a = run_soak(&config).unwrap();
+        let b = run_soak(&config).unwrap();
+        assert_eq!(a, b, "rent accounting must not perturb determinism");
+        assert!(a.failure.is_none(), "audited cost-aware soak must stay clean: {:?}", a.failure);
+        let cost = a.cost.expect("rent config must produce a cost report");
+        assert!(cost.rent_usd > 0.0);
+        // Every op is billed exactly once: the final checkpoint lands on
+        // the last op, so the ledger clock covers the whole run.
+        assert_eq!(cost.sim_ms, a.ops_run * cost.ms_per_op);
+        assert!(cost.recovery_migration_usd > 0.0, "failures price their re-replication");
+        let back: SoakReport = serde_json::from_str(&a.to_json()).unwrap();
+        assert_eq!(back, a);
+        // Under the *bins* objective the ledger is a pure observer: the
+        // placement trajectory with and without rent is identical. (The
+        // cost objective above legitimately steers defrag decisions.)
+        let observed =
+            run_soak(&SoakConfig { defrag_objective: DefragObjective::Bins, ..config.clone() })
+                .unwrap();
+        let without =
+            run_soak(&SoakConfig { defrag_objective: DefragObjective::Bins, rent: None, ..config })
+                .unwrap();
+        assert!(without.cost.is_none());
+        assert_eq!(without.final_open_bins, observed.final_open_bins);
+        assert_eq!(without.defrag_epochs, observed.defrag_epochs);
+        assert_eq!(without.arrivals, observed.arrivals);
     }
 }

@@ -137,6 +137,30 @@ pub enum TraceEvent {
         /// Non-empty bins remaining after the close.
         total_open: usize,
     },
+    /// Rental blocks were billed as simulated time advanced (emitted
+    /// only on advances that billed at least one new block).
+    RentAccrued {
+        /// Simulated time of the billing advance, in milliseconds.
+        now_ms: u64,
+        /// Blocks newly billed at this advance.
+        blocks: u64,
+        /// Servers with active leases after the advance.
+        open_servers: usize,
+        /// Total rent accrued so far.
+        accrued_usd: f64,
+    },
+    /// A cost-objective defragmentation plan was applied and its
+    /// predicted-vs-realized accounting settled against the live ledger.
+    EconomicDefragApplied {
+        /// Net saving the plan predicted.
+        predicted_net_usd: f64,
+        /// Net saving realized by the steps that were actually kept.
+        realized_net_usd: f64,
+        /// Servers the apply drained to empty.
+        servers_closed: usize,
+        /// Candidate bins the planner skipped as unprofitable.
+        skipped_unprofitable: usize,
+    },
     /// A tenant's measured load drifted and the placement was re-weighted
     /// in place.
     LoadDrifted {
@@ -251,6 +275,8 @@ pub const VARIANT_NAMES: &[&str] = &[
     "RecoveryCompleted",
     "DefragPlanned",
     "ServerClosed",
+    "RentAccrued",
+    "EconomicDefragApplied",
     "LoadDrifted",
     "InvariantViolated",
     "MitigationPlanned",
@@ -283,6 +309,8 @@ impl TraceEvent {
             TraceEvent::RecoveryCompleted { .. } => "RecoveryCompleted",
             TraceEvent::DefragPlanned { .. } => "DefragPlanned",
             TraceEvent::ServerClosed { .. } => "ServerClosed",
+            TraceEvent::RentAccrued { .. } => "RentAccrued",
+            TraceEvent::EconomicDefragApplied { .. } => "EconomicDefragApplied",
             TraceEvent::LoadDrifted { .. } => "LoadDrifted",
             TraceEvent::InvariantViolated { .. } => "InvariantViolated",
             TraceEvent::MitigationPlanned { .. } => "MitigationPlanned",
@@ -430,6 +458,18 @@ pub(crate) mod tests {
             },
             TraceEvent::DefragPlanned { steps: 4, moved_load: 0.5, bins_to_close: 2, open_bins: 7 },
             TraceEvent::ServerClosed { bin: 5, level: 0.125, total_open: 6 },
+            TraceEvent::RentAccrued {
+                now_ms: 3_600_000,
+                blocks: 3,
+                open_servers: 9,
+                accrued_usd: 2.466,
+            },
+            TraceEvent::EconomicDefragApplied {
+                predicted_net_usd: 1.25,
+                realized_net_usd: 1.25,
+                servers_closed: 2,
+                skipped_unprofitable: 3,
+            },
             TraceEvent::LoadDrifted { tenant: 8, old_load: 0.25, new_load: 0.375, at: 12 },
             TraceEvent::InvariantViolated { bin: 6, level: 0.75, deficit: 0.0625 },
             TraceEvent::MitigationPlanned { steps: 3, moved_load: 0.25, cured: 2, residual: 1 },
