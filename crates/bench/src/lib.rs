@@ -74,7 +74,10 @@ pub fn results_dir() -> PathBuf {
 /// their tables).
 pub fn write_json(name: &str, value: &serde_json::Value) {
     let path = results_dir().join(format!("{name}.json"));
-    match std::fs::write(&path, serde_json::to_string_pretty(value).expect("serializable")) {
+    match cubefit_core::write_atomic(
+        &path,
+        serde_json::to_string_pretty(value).expect("serializable"),
+    ) {
         Ok(()) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }

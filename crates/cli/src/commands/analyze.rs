@@ -43,7 +43,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
     let mut output = String::new();
     if let Some(out_path) = args.get("out") {
-        std::fs::write(out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
+        crate::output::write_report(out_path, &json)?;
         output.push_str(&format!("analysis written to {out_path}\n"));
     }
     if args.has("json") {

@@ -22,7 +22,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     let path = args.positional.first().ok_or_else(|| format!("usage: {USAGE}"))?;
     let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let dump: PlacementDump =
-        serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))?;
+        serde_json::from_str(&json).map_err(|e| parse_error(path, &json, &e))?;
     let placement = dump.to_placement().map_err(|e| format!("rebuilding placement: {e}"))?;
 
     let failures: usize =
@@ -82,6 +82,34 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         Ok(output)
     } else {
         Err(output)
+    }
+}
+
+/// Distinguishes a *truncated* dump (a partial write: the JSON ends
+/// mid-document) from other parse failures, naming the byte offset where
+/// the document stopped so the operator can see how much survived.
+/// Truncation should no longer occur for files this tool writes — every
+/// report goes through an atomic temp-file + rename — so a truncated
+/// dump points at a file copied mid-write or an interrupted third-party
+/// writer.
+fn parse_error(path: &str, json: &str, error: &serde_json::Error) -> String {
+    let detail = error.to_string();
+    // A parse failure positioned at the very end of the input means the
+    // document stopped mid-way, whatever token it stopped inside.
+    let failed_at_end = detail
+        .rsplit("at byte ")
+        .next()
+        .and_then(|n| n.trim().parse::<usize>().ok())
+        .is_some_and(|offset| offset >= json.len());
+    if failed_at_end {
+        format!(
+            "truncated dump {path}: input ends mid-document at byte {} — the file is a \
+             partial write (was it copied while being written?); re-export it or recover the \
+             run's journal with cubefit recover",
+            json.len()
+        )
+    } else {
+        format!("parsing {path}: {detail}")
     }
 }
 
@@ -261,6 +289,30 @@ mod tests {
         std::fs::write(&path, json).unwrap();
         let err = run(&ParsedArgs::parse(["check", path.as_str()]).unwrap()).unwrap_err();
         assert!(err.contains("parsing"), "NaN load must hit the typed parse error, got: {err}");
+    }
+
+    /// Satellite: a dump cut off mid-write (the artefact `write_atomic`
+    /// exists to prevent) is reported as truncation, naming the byte
+    /// offset where the document stopped — not as a generic parse error.
+    #[test]
+    fn truncated_dump_is_a_typed_error_naming_the_byte_offset() {
+        let mut cf =
+            CubeFit::new(CubeFitConfig::builder().replication(2).classes(5).build().unwrap());
+        for id in 0..10u64 {
+            cf.place(Tenant::new(TenantId::new(id), Load::new(0.3).unwrap())).unwrap();
+        }
+        let json = serde_json::to_string(&PlacementDump::from_placement(cf.placement())).unwrap();
+        let path = tmp("check-truncated.json");
+        std::fs::write(&path, &json[..json.len() / 2]).unwrap();
+        let err = run(&ParsedArgs::parse(["check", path.as_str()]).unwrap()).unwrap_err();
+        assert!(err.contains("truncated dump"), "{err}");
+        assert!(err.contains(&format!("at byte {}", json.len() / 2)), "{err}");
+        assert!(err.contains("cubefit recover"), "{err}");
+        // Non-truncation corruption still reports as a parse error.
+        let garbled = tmp("check-garbled.json");
+        std::fs::write(&garbled, "{\"gamma\": nope}").unwrap();
+        let err = run(&ParsedArgs::parse(["check", garbled.as_str()]).unwrap()).unwrap_err();
+        assert!(err.contains("parsing"), "{err}");
     }
 
     #[test]

@@ -7,7 +7,7 @@ use cubefit_core::monitor::DEFAULT_AT_RISK_SLACK;
 use cubefit_defrag::{DefragObjective, MigrationBudget};
 use cubefit_economics::{CostModel, LeaseTerms, MigrationPricing, RentConfig};
 use cubefit_service::ShutdownFlag;
-use cubefit_sim::churn::{run_churn_cancellable, ChurnConfig, DriftConfig};
+use cubefit_sim::churn::{run_churn_cancellable, run_churn_journaled, ChurnConfig, DriftConfig};
 
 /// Flags accepted by `churn`.
 pub const FLAGS: &[&str] = &[
@@ -38,6 +38,8 @@ pub const FLAGS: &[&str] = &[
     "out",
     "metrics-out",
     "trace-out",
+    "journal",
+    "fsync",
 ];
 
 /// Usage line shown in `--help`.
@@ -49,7 +51,8 @@ pub const USAGE: &str = "churn [--algorithm cubefit] [--gamma G] [--distribution
                          [--slack S] [--audit] [--rent] [--block-ms MS] [--hourly-usd USD] \
                          [--ms-per-op MS] [--horizon-ms MS] [--objective bins|cost] \
                          [--out REPORT.json] [--metrics-out METRICS.json] \
-                         [--trace-out EVENTS.jsonl]";
+                         [--trace-out EVENTS.jsonl] [--journal DIR] \
+                         [--fsync always|interval:N|never]";
 
 /// Parses the shared `--defrag-moves` / `--defrag-load` budget flags.
 pub(crate) fn budget_from(args: &ParsedArgs) -> Result<MigrationBudget, String> {
@@ -224,14 +227,21 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     let metrics_out = args.get("metrics-out");
     let trace_out = args.get("trace-out");
     let recorder = telemetry_out::recorder_for(metrics_out, trace_out)?;
-    let report = run_churn_cancellable(&config, recorder.clone(), &ShutdownFlag::install())
-        .map_err(|e| e.to_string())?;
+    let journal = super::journal_from(args, config.algorithm.gamma())?;
+    let report = match &journal {
+        Some(journal) => {
+            run_churn_journaled(&config, recorder.clone(), journal, Some(&ShutdownFlag::install()))
+                .map_err(|e| e.to_string())?
+        }
+        None => run_churn_cancellable(&config, recorder.clone(), &ShutdownFlag::install())
+            .map_err(|e| e.to_string())?,
+    };
     recorder.flush()?;
 
     let json = report.to_json();
     let mut output = String::new();
     if let Some(path) = args.get("out") {
-        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        crate::output::write_report(path, &json)?;
         output.push_str(&format!(
             "{} (seed {}): {} arrivals, {} departures, {} failure events; \
              recovery moved {} replicas ({:.3} load, {} bins opened); \
@@ -284,6 +294,13 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     }
     if let Some(path) = trace_out {
         output.push_str(&format!("decision trace written to {path}\n"));
+    }
+    if let Some(journal) = &journal {
+        output.push_str(&format!(
+            "journal sealed at seq {} in {}\n",
+            journal.last_seq(),
+            args.get("journal").unwrap_or_default()
+        ));
     }
     Ok(output)
 }

@@ -175,7 +175,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
 
     let mut output = String::new();
     if let Some(path) = args.get("out") {
-        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        crate::output::write_report(path, &json)?;
         output.push_str(&summary(&report.algorithm, report.seed, &plan, outcome.as_ref(), robust));
         output.push_str(&format!("defrag report written to {path}\n"));
     } else {

@@ -91,7 +91,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     let json = report.to_json();
     let mut output = String::new();
     if let Some(path) = args.get("out") {
-        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        crate::output::write_report(path, &json)?;
         output.push_str(&summary(&report));
         output.push_str(&format!("drift report written to {path}\n"));
     } else {

@@ -20,7 +20,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     let out = args.required("out").map_err(|e| e.to_string())?;
     let sequence = super::sequence_from(args)?;
     let bytes = trace::encode(&sequence);
-    std::fs::write(out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+    crate::output::write_report(out, &bytes)?;
     Ok(format!(
         "wrote {} tenants ({} bytes, total load {:.1}) to {out}\n",
         sequence.len(),

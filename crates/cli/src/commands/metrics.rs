@@ -96,7 +96,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     }
     if let Some(out_path) = args.get("out") {
         let json = serde_json::to_string_pretty(&rolled).map_err(|e| e.to_string())?;
-        std::fs::write(out_path, json).map_err(|e| format!("writing {out_path}: {e}"))?;
+        crate::output::write_report(out_path, json)?;
         output.push_str(&format!("rollup written to {out_path}\n"));
     }
     Ok(output)

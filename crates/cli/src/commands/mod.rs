@@ -13,6 +13,7 @@ pub mod drift;
 pub mod generate;
 pub mod metrics;
 pub mod place;
+pub mod recover;
 pub mod rent;
 pub mod replay;
 pub mod serve;
@@ -45,6 +46,26 @@ pub(crate) fn sequence_from(args: &ParsedArgs) -> Result<TenantSequence, String>
     let model = model_from(args)?;
     let boxed = distribution.build(model.max_clients());
     Ok(SequenceBuilder::new(Boxed(boxed), model).count(tenants).seed(seed).build())
+}
+
+/// Opens the write-ahead journal selected by `--journal DIR` for a run
+/// at replication `gamma`, honouring `--fsync always|interval:N|never`
+/// (default `interval:1024` — bounded loss window without per-op fsync
+/// cost). Returns `None` when the run is unjournaled.
+pub(crate) fn journal_from(
+    args: &ParsedArgs,
+    gamma: usize,
+) -> Result<Option<cubefit_durability::Journal>, String> {
+    let Some(dir) = args.get("journal") else {
+        if args.has("fsync") {
+            return Err("--fsync only applies to journaled runs (add --journal DIR)".to_string());
+        }
+        return Ok(None);
+    };
+    let policy =
+        cubefit_durability::FsyncPolicy::parse(args.get("fsync").unwrap_or("interval:1024"))
+            .map_err(|e| e.to_string())?;
+    cubefit_durability::Journal::create(dir, gamma, policy).map(Some).map_err(|e| e.to_string())
 }
 
 /// Adapter for boxed distributions.

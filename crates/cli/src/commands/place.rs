@@ -90,7 +90,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         }
         let dump = PlacementDump::from_placement(algorithm.placement());
         let json = serde_json::to_string_pretty(&dump).map_err(|e| e.to_string())?;
-        std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+        crate::output::write_report(out, json)?;
         output.push_str(&format!("placement written to {out}\n"));
     }
     Ok(output)

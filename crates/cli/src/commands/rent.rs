@@ -151,7 +151,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
 
     let mut output = String::new();
     if let Some(path) = args.get("out") {
-        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        crate::output::write_report(path, &json)?;
         output.push_str(&summary(&rows, cheapest));
         output.push_str(&format!("rent report written to {path}\n"));
     } else {

@@ -43,8 +43,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         let outcome = shrink(&scenario)?;
         let default_out = format!("{path}.min.json");
         let out_path = args.get("out").unwrap_or(&default_out);
-        std::fs::write(out_path, outcome.pinned.to_json())
-            .map_err(|e| format!("writing {out_path}: {e}"))?;
+        crate::output::write_report(out_path, outcome.pinned.to_json())?;
         output.push_str(&format!(
             "shrunk in {} probes: first failing op is {} ({})\n\
              pinned one-op regression written to {out_path}\n",

@@ -11,7 +11,7 @@ use crate::args::ParsedArgs;
 use crate::spec_parse;
 use crate::telemetry_out;
 use cubefit_service::{LimiterSpec, ShutdownFlag};
-use cubefit_sim::serve::{run_serve_with, ServeConfig, StormProfile};
+use cubefit_sim::serve::{run_serve_journaled, run_serve_with, ServeConfig, StormProfile};
 
 /// Flags accepted by `serve`.
 pub const FLAGS: &[&str] = &[
@@ -34,6 +34,9 @@ pub const FLAGS: &[&str] = &[
     "dump",
     "metrics-out",
     "trace-out",
+    "journal",
+    "fsync",
+    "checkpoint-batches",
 ];
 
 /// Usage line shown in `--help`.
@@ -42,7 +45,9 @@ pub const USAGE: &str = "serve --bench [--seed S] [--storm] [--algorithm cubefit
                          [--update PCT] \
                          [--limiter aimd:4-64|gradient:4-64|fixed:N] [--deadline-ms MS] \
                          [--slo-ms MS] [--interrupt-at MS] [--out REPORT.json] \
-                         [--dump PLACEMENT.json] [--metrics-out M.json] [--trace-out E.jsonl]";
+                         [--dump PLACEMENT.json] [--metrics-out M.json] [--trace-out E.jsonl] \
+                         [--journal DIR] [--fsync always|interval:N|never] \
+                         [--checkpoint-batches N]";
 
 /// Builds a [`ServeConfig`] from parsed flags.
 pub(crate) fn config_from(args: &ParsedArgs) -> Result<ServeConfig, String> {
@@ -116,14 +121,31 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     } else {
         ShutdownFlag::install()
     };
-    let run = run_serve_with(config, recorder.clone(), &shutdown).map_err(|e| e.to_string())?;
+    let journal = super::journal_from(args, config.algorithm.gamma())?;
+    let run = match &journal {
+        Some(journal) => {
+            let stride: u64 = args
+                .get_or("checkpoint-batches", 256u64, "an integer")
+                .map_err(|e| e.to_string())?;
+            run_serve_journaled(config, recorder.clone(), journal, stride, &shutdown)
+                .map_err(|e| e.to_string())?
+        }
+        None => {
+            if args.has("checkpoint-batches") {
+                return Err("--checkpoint-batches only applies to journaled runs \
+                            (add --journal DIR)"
+                    .to_string());
+            }
+            run_serve_with(config, recorder.clone(), &shutdown).map_err(|e| e.to_string())?
+        }
+    };
     recorder.flush()?;
     let report = &run.report;
 
     let mut output = String::new();
     let json = serde_json::to_string_pretty(report).map_err(|e| e.to_string())?;
     if let Some(path) = args.get("out") {
-        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        crate::output::write_report(path, &json)?;
         output.push_str(&format!("serve report written to {path}\n"));
     } else {
         output.push_str(&json);
@@ -131,7 +153,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     }
     if let Some(path) = args.get("dump") {
         let dump_json = serde_json::to_string_pretty(&run.dump).map_err(|e| e.to_string())?;
-        std::fs::write(path, dump_json).map_err(|e| format!("writing {path}: {e}"))?;
+        crate::output::write_report(path, dump_json)?;
         output.push_str(&format!("placement dump written to {path} (audit with cubefit check)\n"));
     }
     if let Some(path) = metrics_out {
@@ -140,6 +162,13 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     }
     if let Some(path) = trace_out {
         output.push_str(&format!("serve trace written to {path}\n"));
+    }
+    if let Some(journal) = &journal {
+        output.push_str(&format!(
+            "journal sealed at seq {} in {}\n",
+            journal.last_seq(),
+            args.get("journal").unwrap_or_default()
+        ));
     }
     output.push_str(&format!(
         "{} behind {} (seed {}{}{}): {}/{} completed in {:.0}ms — \

@@ -4,7 +4,7 @@ use crate::args::ParsedArgs;
 use crate::spec_parse;
 use crate::telemetry_out;
 use cubefit_service::ShutdownFlag;
-use cubefit_sim::soak::{run_soak_cancellable, SoakConfig};
+use cubefit_sim::soak::{run_soak_cancellable, run_soak_crashed, run_soak_journaled, SoakConfig};
 
 /// Flags accepted by `soak`.
 pub const FLAGS: &[&str] = &[
@@ -33,6 +33,9 @@ pub const FLAGS: &[&str] = &[
     "scenario-out",
     "metrics-out",
     "trace-out",
+    "journal",
+    "fsync",
+    "crash-at",
 ];
 
 /// Usage line shown in `--help`.
@@ -41,7 +44,8 @@ pub const USAGE: &str = "soak [--algorithm cubefit] [--gamma G] [--ops N] [--see
                          [--checkpoint-every N] [--defrag-every N] [--drift] \
                          [--inject-at OP] [--fail-on-violation BOOL] [--out REPORT.json] \
                          [--scenario-out SCENARIO.json] [--metrics-out M.json] \
-                         [--trace-out EVENTS.jsonl]";
+                         [--trace-out EVENTS.jsonl] [--journal DIR] \
+                         [--fsync always|interval:N|never] [--crash-at OP]";
 
 /// Builds a [`SoakConfig`] from parsed flags (shared with `replay`'s
 /// documentation of the scenario format).
@@ -112,14 +116,34 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     let metrics_out = args.get("metrics-out");
     let trace_out = args.get("trace-out");
     let recorder = telemetry_out::recorder_for(metrics_out, trace_out)?;
-    let report = run_soak_cancellable(&config, recorder.clone(), &ShutdownFlag::install())
-        .map_err(|e| e.to_string())?;
+    let journal = super::journal_from(args, config.algorithm.gamma())?;
+    let crash_at = match args.get("crash-at") {
+        None => None,
+        Some(_) => Some(args.get_or("crash-at", 0u64, "an op index").map_err(|e| e.to_string())?),
+    };
+    let report = match (&journal, crash_at) {
+        (None, Some(_)) => {
+            return Err("--crash-at only applies to journaled runs (add --journal DIR)".to_string())
+        }
+        (None, None) => run_soak_cancellable(&config, recorder.clone(), &ShutdownFlag::install())
+            .map_err(|e| e.to_string())?,
+        (Some(journal), None) => {
+            // Ctrl-C trips the flag; the run drains, fsyncs, and seals the
+            // journal before the partial report is written.
+            run_soak_journaled(&config, recorder.clone(), journal, Some(&ShutdownFlag::install()))
+                .map_err(|e| e.to_string())?
+        }
+        (Some(journal), Some(crash_at)) => {
+            // CI crash drill: stop dead without sealing, as a kill -9 would.
+            run_soak_crashed(&config, journal, crash_at).map_err(|e| e.to_string())?
+        }
+    };
     recorder.flush()?;
 
     let mut output = String::new();
     let json = report.to_json();
     if let Some(path) = args.get("out") {
-        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        crate::output::write_report(path, &json)?;
         output.push_str(&format!("soak report written to {path}\n"));
     } else {
         output.push_str(&json);
@@ -131,6 +155,18 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     }
     if let Some(path) = trace_out {
         output.push_str(&format!("soak trace written to {path}\n"));
+    }
+    if let Some(journal) = &journal {
+        let dir = args.get("journal").unwrap_or_default();
+        if crash_at.is_some() {
+            output.push_str(&format!(
+                "journal left UNSEALED at seq {} in {dir} (crash drill) — \
+                 reconstruct with: cubefit recover {dir}\n",
+                journal.last_seq()
+            ));
+        } else {
+            output.push_str(&format!("journal sealed at seq {} in {dir}\n", journal.last_seq()));
+        }
     }
     output.push_str(&format!(
         "{} (seed {}): {}/{} ops — {} arrivals, {} departures, {} failure events; \
@@ -156,7 +192,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     match (&report.failure, &report.scenario) {
         (Some(failure), Some(scenario)) => {
             let path = args.get("scenario-out").unwrap_or("cubefit-soak-scenario.json");
-            std::fs::write(path, scenario.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+            crate::output::write_report(path, scenario.to_json())?;
             Err(format!(
                 "{output}soak FAILED at op {}: {}\n\
                  replayable scenario (ops {}..={}) written to {path}\n\
@@ -239,5 +275,80 @@ mod tests {
         assert!(run(&args).is_err());
         let args = ParsedArgs::parse(["soak", "--departures", "80", "--failures", "30"]).unwrap();
         assert!(run(&args).unwrap_err().contains("exceeds 100%"));
+        // The journal-only flags demand a journal.
+        let args = ParsedArgs::parse(["soak", "--ops", "10", "--crash-at", "5"]).unwrap();
+        assert!(run(&args).unwrap_err().contains("--journal"));
+        let args = ParsedArgs::parse(["soak", "--ops", "10", "--fsync", "never"]).unwrap();
+        assert!(run(&args).unwrap_err().contains("--journal"));
+    }
+
+    fn journal_dir(name: &str) -> String {
+        let dir = std::env::temp_dir().join("cubefit-cli-soak-journal").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn journaled_soak_seals_and_recovers_clean() {
+        let dir = journal_dir("sealed");
+        let args = ParsedArgs::parse([
+            "soak",
+            "--ops",
+            "800",
+            "--seed",
+            "5",
+            "--checkpoint-every",
+            "200",
+            "--journal",
+            &dir,
+            "--fsync",
+            "never",
+        ])
+        .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("journal sealed at seq"), "{out}");
+        let recovered =
+            super::super::recover::run(&ParsedArgs::parse(["recover", &dir, "--audit"]).unwrap())
+                .unwrap();
+        assert!(recovered.contains("clean (journal sealed)"), "{recovered}");
+        assert!(recovered.contains("audit: oracle agrees"), "{recovered}");
+    }
+
+    /// The CI crash drill end-to-end: a journaled soak stopped dead at an
+    /// arbitrary op leaves an unsealed journal, and
+    /// `cubefit recover --audit --out` reconstructs an audit-clean dump
+    /// that `cubefit check --audit` accepts.
+    #[test]
+    fn crash_at_leaves_an_unsealed_journal_that_recovers() {
+        let dir = journal_dir("crash");
+        let args = ParsedArgs::parse([
+            "soak",
+            "--ops",
+            "2000",
+            "--seed",
+            "11",
+            "--checkpoint-every",
+            "150",
+            "--journal",
+            &dir,
+            "--crash-at",
+            "731",
+        ])
+        .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("journal left UNSEALED"), "{out}");
+        assert!(out.contains("cubefit recover"), "{out}");
+        let dump_path = format!("{dir}/recovered.json");
+        let recovered = super::super::recover::run(
+            &ParsedArgs::parse(["recover", &dir, "--audit", "--out", &dump_path]).unwrap(),
+        )
+        .unwrap();
+        assert!(recovered.contains("UNCLEAN"), "{recovered}");
+        assert!(recovered.contains("audit: oracle agrees"), "{recovered}");
+        let check = super::super::check::run(
+            &ParsedArgs::parse(["check", dump_path.as_str(), "--audit"]).unwrap(),
+        )
+        .unwrap();
+        assert!(check.contains("oracle agrees"), "{check}");
     }
 }

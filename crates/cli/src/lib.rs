@@ -17,6 +17,8 @@
 //! $ cubefit serve --bench --storm --out serve.json --dump serve-placement.json
 //! $ cubefit analyze soak.jsonl --expect-clean
 //! $ cubefit replay cubefit-soak-scenario.json --shrink
+//! $ cubefit soak --ops 20000 --journal wal --fsync interval:64
+//! $ cubefit recover wal --audit --out recovered.json
 //! ```
 //!
 //! Every subcommand is a pure function from parsed arguments to output
@@ -27,6 +29,7 @@
 
 pub mod args;
 pub mod commands;
+mod output;
 pub mod spec_parse;
 pub mod telemetry_out;
 
@@ -38,7 +41,7 @@ pub fn help() -> String {
     format!(
         "cubefit — robust multi-tenant server consolidation (ICDCS 2017 reproduction)\n\n\
          USAGE:\n  cubefit <COMMAND> [FLAGS]\n\n\
-         COMMANDS:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  help\n",
+         COMMANDS:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  help\n",
         commands::generate::USAGE,
         commands::place::USAGE,
         commands::check::USAGE,
@@ -53,6 +56,7 @@ pub fn help() -> String {
         commands::analyze::USAGE,
         commands::replay::USAGE,
         commands::metrics::USAGE,
+        commands::recover::USAGE,
     )
 }
 
@@ -78,6 +82,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, String> {
         Some("analyze") => commands::analyze::run(args),
         Some("replay") => commands::replay::run(args),
         Some("metrics") => commands::metrics::run(args),
+        Some("recover") => commands::recover::run(args),
         Some("help") | None => Ok(help()),
         Some(other) => Err(format!("unknown command '{other}'\n\n{}", help())),
     }
@@ -92,7 +97,7 @@ mod tests {
         let text = help();
         for command in [
             "generate", "place", "check", "compare", "simulate", "churn", "defrag", "drift",
-            "rent", "soak", "serve", "analyze", "replay", "metrics",
+            "rent", "soak", "serve", "analyze", "replay", "metrics", "recover",
         ] {
             assert!(text.contains(command), "help missing {command}");
         }

@@ -33,5 +33,5 @@ pub fn recorder_for(
 /// Returns a message on serialization or I/O failure.
 pub fn write_metrics(path: &str, metrics: &MetricsSnapshot) -> Result<(), String> {
     let json = serde_json::to_string_pretty(metrics).map_err(|e| e.to_string())?;
-    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))
+    crate::output::write_report(path, json)
 }

@@ -64,6 +64,13 @@ pub enum Error {
         /// Human-readable reason the configuration was rejected.
         detail: String,
     },
+    /// The durability layer (write-ahead journal, checkpoint, recovery)
+    /// failed — an I/O error or on-disk corruption, never an in-memory
+    /// invariant bug.
+    Durability {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
 }
 
 impl Error {
@@ -105,6 +112,9 @@ impl fmt::Display for Error {
             Error::InvalidConfig { detail } => {
                 write!(f, "invalid configuration: {detail}")
             }
+            Error::Durability { detail } => {
+                write!(f, "durability failure: {detail}")
+            }
         }
     }
 }
@@ -128,6 +138,7 @@ mod tests {
             Error::UnknownTenant { tenant: TenantId::new(8) },
             Error::InternalInvariant { detail: "oops".into() },
             Error::InvalidConfig { detail: "rate must be positive".into() },
+            Error::Durability { detail: "wal frame crc mismatch".into() },
         ];
         for e in errors {
             let s = e.to_string();

@@ -53,6 +53,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod algorithm;
+pub mod atomic_io;
 pub mod backend;
 pub mod bin;
 pub mod class;
@@ -78,6 +79,7 @@ pub mod validity;
 pub use algorithm::{
     Consolidator, LoadUpdateOutcome, PlacementOutcome, PlacementStage, RemovalOutcome,
 };
+pub use atomic_io::write_atomic;
 pub use backend::{PlacementBackend, ShardedBackend, SingleBackend, RECONCILE_TOLERANCE};
 pub use bin::{BinClass, BinId, BinSnapshot};
 pub use class::{Classifier, ReplicaClass};

@@ -1,0 +1,376 @@
+//! [`JournaledConsolidator`]: a transparent [`Consolidator`] wrapper that
+//! journals every successful mutation before returning it to the caller.
+//!
+//! Write ordering is journal-**after**-apply, journal-**before**-ack: a
+//! mutation that errors is never journaled (the algorithm's fail-fast
+//! contract means it left no trace to record), and a mutation whose
+//! journal append fails is reported as a durability error even though it
+//! applied in memory — the caller must not act on unjournaled state.
+
+use crate::journal::Journal;
+use crate::record::{BatchOp, JournalRecord, RecoveryMove};
+use cubefit_core::{
+    BinId, Consolidator, LoadUpdateOutcome, Placement, PlacementDump, PlacementOutcome,
+    RecoveryReport, RemovalOutcome, Result, Tenant, TenantId,
+};
+use cubefit_telemetry::Recorder;
+
+/// Wraps any consolidator so each acknowledged mutation is durable.
+pub struct JournaledConsolidator {
+    inner: Box<dyn Consolidator>,
+    journal: Journal,
+}
+
+impl std::fmt::Debug for JournaledConsolidator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JournaledConsolidator")
+            .field("algorithm", &self.inner.name())
+            .field("journal_dir", &self.journal.dir())
+            .finish()
+    }
+}
+
+impl JournaledConsolidator {
+    /// Wraps `inner` so every mutation appends to `journal` before the
+    /// outcome is returned.
+    #[must_use]
+    pub fn new(inner: Box<dyn Consolidator>, journal: Journal) -> Self {
+        JournaledConsolidator { inner, journal }
+    }
+
+    /// The shared journal handle (for checkpointing or sealing from the
+    /// harness).
+    #[must_use]
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Unwraps back into the inner consolidator.
+    #[must_use]
+    pub fn into_inner(self) -> Box<dyn Consolidator> {
+        self.inner
+    }
+
+    fn snapshot_fallback(&self, original: cubefit_core::Error) -> cubefit_core::Error {
+        // A failed batch leaves its fail-fast prefix applied, but the
+        // error path carries no per-op outcomes to journal. Embed a full
+        // snapshot so the journal stays truthful, then surface the
+        // original error. If even the snapshot cannot be journaled, the
+        // durability failure wins — the in-memory state is unackable.
+        let dump = PlacementDump::from_placement(self.inner.placement());
+        match self.journal.append(&JournalRecord::Snapshot { dump }) {
+            Ok(_) => original,
+            Err(e) => e.into(),
+        }
+    }
+}
+
+impl Consolidator for JournaledConsolidator {
+    fn place(&mut self, tenant: Tenant) -> Result<PlacementOutcome> {
+        let load = tenant.load().get();
+        let outcome = self.inner.place(tenant)?;
+        self.journal.append(&JournalRecord::Place {
+            tenant: outcome.tenant.get(),
+            load,
+            servers: outcome.bins.iter().map(|b| b.index()).collect(),
+            servers_after: self.inner.placement().created_bins(),
+        })?;
+        Ok(outcome)
+    }
+
+    fn remove(&mut self, tenant: TenantId) -> Result<RemovalOutcome> {
+        let outcome = self.inner.remove(tenant)?;
+        self.journal.append(&JournalRecord::Remove { tenant: outcome.tenant.get() })?;
+        Ok(outcome)
+    }
+
+    fn recover(&mut self, failed: &[BinId]) -> Result<RecoveryReport> {
+        // The report carries only counts; reconstruct the actual replica
+        // moves by diffing each orphaned tenant's bins across the call.
+        // The affected set comes from the failed bins' resident lists —
+        // O(orphaned replicas), where a `recovery::orphans` call would
+        // rescan every placed tenant on each failure event.
+        let placement = self.inner.placement();
+        let mut affected: Vec<TenantId> = failed
+            .iter()
+            .filter(|bin| bin.index() < placement.created_bins())
+            .flat_map(|&bin| placement.bin(bin).contents().iter().map(|&(tenant, _)| tenant))
+            .collect();
+        affected.sort_unstable();
+        affected.dedup();
+        let before: Vec<(TenantId, Vec<BinId>)> = affected
+            .iter()
+            .map(|&t| (t, self.inner.placement().tenant_bins(t).unwrap_or(&[]).to_vec()))
+            .collect();
+
+        let report = self.inner.recover(failed)?;
+
+        let mut moves = Vec::new();
+        let mut diffable = true;
+        for (tenant, bins_before) in &before {
+            let bins_after = self.inner.placement().tenant_bins(*tenant).unwrap_or(&[]).to_vec();
+            let sources: Vec<BinId> =
+                bins_before.iter().copied().filter(|b| !bins_after.contains(b)).collect();
+            let dests: Vec<BinId> =
+                bins_after.iter().copied().filter(|b| !bins_before.contains(b)).collect();
+            if sources.len() != dests.len() {
+                diffable = false;
+                break;
+            }
+            // Recovery never changes a tenant's replica count, so vacated
+            // sources pair 1:1 with fresh destinations; the moves are
+            // independent (distinct bins), so the pairing order is free.
+            moves.extend(sources.iter().zip(dests.iter()).map(|(from, to)| RecoveryMove {
+                tenant: tenant.get(),
+                from: from.index(),
+                to: to.index(),
+            }));
+        }
+        let record = if diffable {
+            JournalRecord::Recover {
+                failed: failed.iter().map(|b| b.index()).collect(),
+                moves,
+                servers_after: self.inner.placement().created_bins(),
+            }
+        } else {
+            // Replica counts changed across recovery — outside the diff
+            // model. Journal the full state instead of guessing.
+            JournalRecord::Snapshot { dump: PlacementDump::from_placement(self.inner.placement()) }
+        };
+        self.journal.append(&record)?;
+        Ok(report)
+    }
+
+    fn update_load(&mut self, tenant: TenantId, new_load: f64) -> Result<LoadUpdateOutcome> {
+        let outcome = self.inner.update_load(tenant, new_load)?;
+        self.journal.append(&JournalRecord::UpdateLoad {
+            tenant: outcome.tenant.get(),
+            load: outcome.new_load,
+        })?;
+        Ok(outcome)
+    }
+
+    fn place_batch(&mut self, tenants: Vec<Tenant>) -> Result<Vec<PlacementOutcome>> {
+        let loads: Vec<(u64, f64)> =
+            tenants.iter().map(|t| (t.id().get(), t.load().get())).collect();
+        match self.inner.place_batch(tenants) {
+            Ok(outcomes) => {
+                let ops = outcomes
+                    .iter()
+                    .zip(loads.iter())
+                    .map(|(outcome, &(_, load))| BatchOp::Place {
+                        tenant: outcome.tenant.get(),
+                        load,
+                        servers: outcome.bins.iter().map(|b| b.index()).collect(),
+                    })
+                    .collect();
+                self.journal.append(&JournalRecord::Batch {
+                    ops,
+                    servers_after: self.inner.placement().created_bins(),
+                })?;
+                Ok(outcomes)
+            }
+            Err(e) => Err(self.snapshot_fallback(e)),
+        }
+    }
+
+    fn remove_batch(&mut self, tenants: &[TenantId]) -> Result<Vec<RemovalOutcome>> {
+        match self.inner.remove_batch(tenants) {
+            Ok(outcomes) => {
+                let ops = outcomes
+                    .iter()
+                    .map(|outcome| BatchOp::Remove { tenant: outcome.tenant.get() })
+                    .collect();
+                self.journal.append(&JournalRecord::Batch {
+                    ops,
+                    servers_after: self.inner.placement().created_bins(),
+                })?;
+                Ok(outcomes)
+            }
+            Err(e) => Err(self.snapshot_fallback(e)),
+        }
+    }
+
+    fn update_load_batch(&mut self, updates: &[(TenantId, f64)]) -> Result<Vec<LoadUpdateOutcome>> {
+        match self.inner.update_load_batch(updates) {
+            Ok(outcomes) => {
+                let ops = outcomes
+                    .iter()
+                    .map(|outcome| BatchOp::UpdateLoad {
+                        tenant: outcome.tenant.get(),
+                        load: outcome.new_load,
+                    })
+                    .collect();
+                self.journal.append(&JournalRecord::Batch {
+                    ops,
+                    servers_after: self.inner.placement().created_bins(),
+                })?;
+                Ok(outcomes)
+            }
+            Err(e) => Err(self.snapshot_fallback(e)),
+        }
+    }
+
+    fn set_shards(&mut self, shards: usize) {
+        self.inner.set_shards(shards);
+    }
+
+    fn migrate(&mut self, tenant: TenantId, from: BinId, to: BinId) -> Result<()> {
+        self.inner.migrate(tenant, from, to)?;
+        self.journal.append(&JournalRecord::Migrate {
+            tenant: tenant.get(),
+            from: from.index(),
+            to: to.index(),
+        })?;
+        Ok(())
+    }
+
+    fn clone_box(&self) -> Box<dyn Consolidator> {
+        // Clones back tentative probing (defrag planning, overflow
+        // checks): mutations applied to the clone are hypothetical and
+        // must NOT reach the journal, so the clone is the bare inner
+        // algorithm.
+        self.inner.clone_box()
+    }
+
+    fn placement(&self) -> &Placement {
+        self.inner.placement()
+    }
+
+    fn gamma(&self) -> usize {
+        self.inner.gamma()
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.inner.set_recorder(recorder);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::FsyncPolicy;
+    use crate::recover::recover;
+    use cubefit_baselines::FirstFit;
+    use cubefit_core::Load;
+    use std::path::PathBuf;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("cubefit-wrapper-tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn journaled(name: &str, gamma: usize) -> JournaledConsolidator {
+        let journal = Journal::create(tmp_dir(name), gamma, FsyncPolicy::Never).unwrap();
+        JournaledConsolidator::new(Box::new(FirstFit::new(gamma).unwrap()), journal)
+    }
+
+    fn dump_json(placement: &Placement) -> String {
+        serde_json::to_string(&PlacementDump::from_placement(placement)).unwrap()
+    }
+
+    fn tenant(id: u64, load: f64) -> Tenant {
+        Tenant::new(TenantId::new(id), Load::new(load).unwrap())
+    }
+
+    #[test]
+    fn every_primitive_recovers_bit_identically() {
+        let mut consolidator = journaled("primitives", 2);
+        for id in 1..=6u64 {
+            consolidator.place(tenant(id, 0.1 * id as f64)).unwrap();
+        }
+        consolidator.remove(TenantId::new(3)).unwrap();
+        consolidator.update_load(TenantId::new(4), 0.77).unwrap();
+        let bins = consolidator.placement().tenant_bins(TenantId::new(1)).unwrap().to_vec();
+        let dest = consolidator
+            .placement()
+            .bins()
+            .map(|b| b.id())
+            .find(|b| !bins.contains(b))
+            .expect("a bin not hosting tenant 1");
+        consolidator.migrate(TenantId::new(1), bins[0], dest).unwrap();
+
+        let state = recover(consolidator.journal().dir()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&state.dump()).unwrap(),
+            dump_json(consolidator.placement()),
+        );
+    }
+
+    #[test]
+    fn recovery_mutation_is_journaled_as_moves() {
+        let mut consolidator = journaled("recover-op", 2);
+        for id in 1..=8u64 {
+            consolidator.place(tenant(id, 0.2)).unwrap();
+        }
+        let failed = vec![BinId::new(0)];
+        let report = consolidator.recover(&failed).unwrap();
+        assert!(report.replicas_migrated > 0, "bin 0 hosted replicas");
+        let state = recover(consolidator.journal().dir()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&state.dump()).unwrap(),
+            dump_json(consolidator.placement()),
+        );
+    }
+
+    #[test]
+    fn batches_are_one_atomic_frame() {
+        let mut consolidator = journaled("batch", 2);
+        consolidator.place_batch((1..=5).map(|id| tenant(id, 0.15)).collect()).unwrap();
+        consolidator
+            .update_load_batch(&[(TenantId::new(1), 0.3), (TenantId::new(2), 0.25)])
+            .unwrap();
+        consolidator.remove_batch(&[TenantId::new(4), TenantId::new(5)]).unwrap();
+        assert_eq!(consolidator.journal().last_seq(), 3, "three batches, three frames");
+        let state = recover(consolidator.journal().dir()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&state.dump()).unwrap(),
+            dump_json(consolidator.placement()),
+        );
+    }
+
+    #[test]
+    fn failed_mutations_are_not_journaled() {
+        let mut consolidator = journaled("failed", 2);
+        consolidator.place(tenant(1, 0.4)).unwrap();
+        let before = consolidator.journal().last_seq();
+        assert!(consolidator.remove(TenantId::new(99)).is_err());
+        assert!(consolidator.update_load(TenantId::new(99), 0.5).is_err());
+        assert_eq!(consolidator.journal().last_seq(), before, "failures must not journal");
+    }
+
+    #[test]
+    fn failed_batch_journals_a_snapshot_of_the_applied_prefix() {
+        let mut consolidator = journaled("failed-batch", 2);
+        consolidator.place(tenant(1, 0.4)).unwrap();
+        // Second op fails (tenant 99 unknown); fail-fast leaves the first
+        // removal applied.
+        let err = consolidator.remove_batch(&[TenantId::new(1), TenantId::new(99)]);
+        assert!(err.is_err());
+        let state = recover(consolidator.journal().dir()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&state.dump()).unwrap(),
+            dump_json(consolidator.placement()),
+            "the snapshot frame must capture the fail-fast prefix"
+        );
+    }
+
+    #[test]
+    fn clones_do_not_journal() {
+        let mut consolidator = journaled("clones", 2);
+        consolidator.place(tenant(1, 0.4)).unwrap();
+        let before = consolidator.journal().last_seq();
+        let mut probe = consolidator.clone_box();
+        probe.place(tenant(2, 0.3)).unwrap();
+        assert_eq!(
+            consolidator.journal().last_seq(),
+            before,
+            "tentative probe mutations must not reach the journal"
+        );
+    }
+}

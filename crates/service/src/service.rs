@@ -26,6 +26,7 @@
 
 use crate::limit::{Limiter, LimiterSpec, Outcome, Sample};
 use cubefit_core::{oracle, Consolidator, PlacementDump, Result, Tenant, TenantId};
+use cubefit_durability::{Journal, JournaledConsolidator};
 use cubefit_telemetry::{Counter, Gauge, Histogram, Recorder, TraceEvent};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -301,6 +302,8 @@ pub struct PlacementService {
     batches_since_audit: u64,
     cooldown: u64,
     latencies: VecDeque<f64>,
+    journal: Option<Journal>,
+    checkpoint_every_batches: u64,
     recorder: Recorder,
     latency_hist: Arc<Histogram>,
     batch_size_hist: Arc<Histogram>,
@@ -351,6 +354,8 @@ impl PlacementService {
             batches_since_audit: 0,
             cooldown: 0,
             latencies: VecDeque::new(),
+            journal: None,
+            checkpoint_every_batches: 0,
             recorder,
             latency_hist,
             batch_size_hist,
@@ -362,6 +367,47 @@ impl PlacementService {
             queue_full_ctr,
             deadline_ctr,
         })
+    }
+
+    /// Like [`Self::new`], but every mutation the service applies is
+    /// journaled to `journal` before the batch is acknowledged, and the
+    /// journal is checkpointed (and truncated) every
+    /// `checkpoint_every_batches` executed batches (`0` disables periodic
+    /// checkpoints; the journal alone still reconstructs the state).
+    ///
+    /// The wrapper journals *inside* [`Self::start_batch`] — a batch whose
+    /// frame could not be written durably fails before
+    /// [`Self::complete_batch`] ever reports it, so an acknowledged
+    /// request is always recoverable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for invalid configuration.
+    pub fn journaled(
+        consolidator: Box<dyn Consolidator>,
+        config: ServiceConfig,
+        recorder: Recorder,
+        journal: Journal,
+        checkpoint_every_batches: u64,
+    ) -> std::result::Result<Self, String> {
+        let wrapped = Box::new(JournaledConsolidator::new(consolidator, journal.clone()));
+        let mut service = Self::new(wrapped, config, recorder)?;
+        service.journal = Some(journal);
+        service.checkpoint_every_batches = checkpoint_every_batches;
+        Ok(service)
+    }
+
+    /// Fsyncs and seals the journal, marking the shutdown as orderly.
+    /// Idempotent; a no-op for an unjournaled service.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal I/O failures.
+    pub fn seal_journal(&self) -> Result<()> {
+        if let Some(journal) = &self.journal {
+            journal.seal().map_err(cubefit_core::Error::from)?;
+        }
+        Ok(())
     }
 
     /// Offers one request at time `now_ms`. On admission returns the
@@ -494,9 +540,30 @@ impl PlacementService {
         self.in_flight_gauge.set(self.executing.len() as f64);
         self.batch_size_hist.record(batch.len() as f64);
         self.stats.batches += 1;
+        self.maybe_checkpoint_journal()?;
 
         let audited_bins = self.maybe_audit();
         Ok(BatchWork { ops: batch.len(), expired, audited_bins })
+    }
+
+    /// Checkpoints the journal at the configured batch stride, retiring
+    /// the log tail the checkpoint now covers.
+    fn maybe_checkpoint_journal(&mut self) -> Result<()> {
+        let Some(journal) = &self.journal else { return Ok(()) };
+        if self.checkpoint_every_batches == 0
+            || !self.stats.batches.is_multiple_of(self.checkpoint_every_batches)
+        {
+            return Ok(());
+        }
+        let info =
+            journal.checkpoint(self.consolidator.placement()).map_err(cubefit_core::Error::from)?;
+        let tenants = self.consolidator.placement().tenant_count();
+        self.recorder.emit(|| TraceEvent::JournalCheckpoint {
+            seq: info.seq,
+            tenants,
+            wal_bytes: info.wal_bytes,
+        });
+        Ok(())
     }
 
     /// Runs consecutive same-kind runs of the batch through the
@@ -880,5 +947,89 @@ mod tests {
             mutate(&mut config);
             assert!(PlacementService::new(cubefit(), config, Recorder::disabled()).is_err());
         }
+    }
+
+    fn journal_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("cubefit-service-journal-tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn journaled_service(dir: &std::path::Path, checkpoint_every: u64) -> PlacementService {
+        let journal = Journal::create(dir, 2, cubefit_durability::FsyncPolicy::Never).unwrap();
+        PlacementService::journaled(
+            cubefit(),
+            ServiceConfig::default(),
+            Recorder::disabled(),
+            journal,
+            checkpoint_every,
+        )
+        .unwrap()
+    }
+
+    /// Drives `ops` mixed mutations through the service in small batches.
+    fn drive(svc: &mut PlacementService, ops: u64) {
+        let mut now = 0.0;
+        for id in 0..ops {
+            let request = match id % 4 {
+                0 | 1 => place(id, 0.1 + 0.05 * (id % 5) as f64),
+                2 => Request::UpdateLoad(TenantId::new(id - 2), 0.3),
+                _ => Request::Remove(TenantId::new(id - 3)),
+            };
+            svc.offer(request, now).unwrap();
+            svc.start_batch(now).unwrap();
+            svc.complete_batch(now + 1.0);
+            now += 2.0;
+        }
+    }
+
+    #[test]
+    fn journaled_service_recovers_bit_identically_after_a_kill() {
+        let dir = journal_dir("kill");
+        let mut svc = journaled_service(&dir, 0);
+        drive(&mut svc, 40);
+        let live = serde_json::to_string(&svc.dump()).unwrap();
+        drop(svc); // simulated kill: no seal.
+        let state = cubefit_durability::recover(&dir).unwrap();
+        assert!(!state.sealed, "an unsealed journal is an unclean shutdown");
+        assert_eq!(serde_json::to_string(&state.dump()).unwrap(), live);
+    }
+
+    #[test]
+    fn journaled_service_checkpoints_at_the_batch_stride_and_still_recovers() {
+        let dir = journal_dir("stride");
+        let sink = std::sync::Arc::new(VecSink::new());
+        struct Shared(std::sync::Arc<VecSink>);
+        impl cubefit_telemetry::TraceSink for Shared {
+            fn record(&self, event: &TraceEvent) {
+                self.0.record(event);
+            }
+        }
+        let journal = Journal::create(&dir, 2, cubefit_durability::FsyncPolicy::Never).unwrap();
+        let mut svc = PlacementService::journaled(
+            cubefit(),
+            ServiceConfig::default(),
+            Recorder::with_sink(Shared(std::sync::Arc::clone(&sink))),
+            journal.clone(),
+            5,
+        )
+        .unwrap();
+        drive(&mut svc, 23);
+        let checkpoints = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::JournalCheckpoint { .. }))
+            .count();
+        assert_eq!(checkpoints, 4, "23 single-op batches at stride 5");
+        assert!(journal.wal_bytes() > 0, "frames accrue after the last checkpoint");
+        let live = serde_json::to_string(&svc.dump()).unwrap();
+        svc.seal_journal().unwrap();
+        svc.seal_journal().unwrap(); // idempotent
+        drop(svc);
+        let state = cubefit_durability::recover(&dir).unwrap();
+        assert!(state.sealed);
+        assert!(state.checkpoint_seq > 0, "recovery starts from the checkpoint");
+        assert_eq!(serde_json::to_string(&state.dump()).unwrap(), live);
+        assert!(oracle::audit(&state.placement).is_ok());
     }
 }

@@ -23,6 +23,7 @@ use cubefit_core::oracle::AuditedConsolidator;
 use cubefit_core::recovery::{self, RecoveryReport};
 use cubefit_core::{BinId, Consolidator, FragmentationStats, Result, Tenant, TenantId};
 use cubefit_defrag::{DefragObjective, DefragOutcome, MigrationBudget, MitigationOutcome};
+use cubefit_durability::{Journal, JournaledConsolidator};
 use cubefit_economics::{CostReport, LeaseLedger, RentConfig};
 use cubefit_service::ShutdownFlag;
 use cubefit_telemetry::{Recorder, TraceEvent};
@@ -379,7 +380,27 @@ pub fn run_churn_cancellable(
     recorder: Recorder,
     shutdown: &ShutdownFlag,
 ) -> Result<ChurnReport> {
-    churn_loop(config, recorder, Some(shutdown)).map(|(report, _)| report)
+    churn_loop(config, recorder, Some(shutdown), None).map(|(report, _)| report)
+}
+
+/// [`run_churn_cancellable`] with every mutation journaled through
+/// `journal`. Churn journals frames only (no intermediate checkpoints —
+/// churn runs are short; the soak harness owns checkpointing) and seals
+/// the journal on a clean finish *and* on a cooperative shutdown, so an
+/// interrupted run recovers exactly to its partial state.
+///
+/// # Errors
+///
+/// Propagates algorithm construction, mutation, and journal I/O errors.
+pub fn run_churn_journaled(
+    config: &ChurnConfig,
+    recorder: Recorder,
+    journal: &Journal,
+    shutdown: Option<&ShutdownFlag>,
+) -> Result<ChurnReport> {
+    let (report, _) = churn_loop(config, recorder, shutdown, Some(journal))?;
+    journal.seal().map_err(cubefit_core::Error::from)?;
+    Ok(report)
 }
 
 /// [`run_churn_with`], additionally handing back the consolidator in its
@@ -393,13 +414,14 @@ pub fn run_churn_consolidator(
     config: &ChurnConfig,
     recorder: Recorder,
 ) -> Result<(ChurnReport, Box<dyn Consolidator>)> {
-    churn_loop(config, recorder, None)
+    churn_loop(config, recorder, None, None)
 }
 
 fn churn_loop(
     config: &ChurnConfig,
     recorder: Recorder,
     shutdown: Option<&ShutdownFlag>,
+    journal: Option<&Journal>,
 ) -> Result<(ChurnReport, Box<dyn Consolidator>)> {
     let gamma = config.algorithm.gamma();
     let mut consolidator: Box<dyn Consolidator> = if config.audit {
@@ -408,6 +430,9 @@ fn churn_loop(
         config.algorithm.build()?
     };
     consolidator.set_recorder(recorder.clone());
+    if let Some(journal) = journal {
+        consolidator = Box::new(JournaledConsolidator::new(consolidator, journal.clone()));
+    }
 
     let model = LoadModel::tpch_xeon();
     let distribution = config.distribution.build(model.max_clients());
@@ -739,6 +764,33 @@ mod tests {
         let a = run_churn_cancellable(&config, Recorder::disabled(), &ShutdownFlag::new()).unwrap();
         let b = run_churn(&config).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn journaled_churn_matches_and_recovers() {
+        let dir = std::env::temp_dir().join("cubefit-churn-tests").join("journaled");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = quick(AlgorithmSpec::CubeFit { gamma: 2, classes: 5 }, 7);
+        let journal = cubefit_durability::Journal::create(
+            &dir,
+            config.algorithm.gamma(),
+            cubefit_durability::FsyncPolicy::Never,
+        )
+        .unwrap();
+        let journaled = run_churn_journaled(&config, Recorder::disabled(), &journal, None).unwrap();
+        // Journaling is an observer: the report is identical...
+        assert_eq!(journaled, run_churn(&config).unwrap());
+        // ...the journal is sealed, and recovery is bit-identical to the
+        // live final placement.
+        let (_, consolidator) = run_churn_consolidator(&config, Recorder::disabled()).unwrap();
+        let state = cubefit_durability::recover(&dir).unwrap();
+        assert!(state.sealed, "a finished churn run must seal its journal");
+        let live = serde_json::to_string(&cubefit_core::PlacementDump::from_placement(
+            consolidator.placement(),
+        ))
+        .unwrap();
+        let recovered = serde_json::to_string(&state.dump()).unwrap();
+        assert_eq!(recovered, live);
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! * [`soak`] — the long-horizon variant: million-op steady-state runs
 //!   with sampled oracle audits, streaming checkpoints, and failure
 //!   scenarios that replay and shrink to pinned regressions;
+//! * [`crash`] — deterministic crash-injection for the durability layer:
+//!   journaled soak prefixes killed mid-run (clean, torn-tail, or
+//!   bit-flipped) whose recovery must be byte-identical and audit-clean;
 //! * [`serve`] — the deterministic DES load harness for the placement
 //!   service: seeded open/closed-loop clients, burst storms, latency and
 //!   shed-rate reporting against the service's SLO;
@@ -32,6 +35,7 @@
 
 pub mod churn;
 pub mod cost;
+pub mod crash;
 pub mod experiment;
 pub mod failure;
 pub mod report;
@@ -42,21 +46,22 @@ pub mod spec;
 pub mod stats;
 
 pub use churn::{
-    run_churn, run_churn_cancellable, run_churn_consolidator, run_churn_with, ChurnConfig,
-    ChurnReport, DefragEpoch,
+    run_churn, run_churn_cancellable, run_churn_consolidator, run_churn_journaled, run_churn_with,
+    ChurnConfig, ChurnReport, DefragEpoch,
 };
 pub use cost::CostModel;
+pub use crash::{run_crash_plan, CrashFault, CrashOutcome, CrashPlan, CrashVerdict};
 pub use cubefit_economics::{CostReport, RentConfig};
 pub use experiment::{compare, ComparisonConfig, ComparisonResult};
 pub use failure::{run_failure_experiment, FailureExperimentConfig, FailureOutcome};
 pub use runner::{run_sequence, run_sequence_batched, run_sequence_with, RunResult};
 pub use serve::{
-    run_serve, run_serve_with, LatencySummary, ServeConfig, ServeReport, ServeRun, ServiceCost,
-    StormProfile,
+    run_serve, run_serve_journaled, run_serve_with, LatencySummary, ServeConfig, ServeReport,
+    ServeRun, ServiceCost, StormProfile,
 };
 pub use soak::{
-    replay, run_soak, run_soak_cancellable, run_soak_with, shrink, ShrinkOutcome, SoakConfig,
-    SoakFailure, SoakReport, SoakScenario,
+    replay, run_soak, run_soak_cancellable, run_soak_crashed, run_soak_journaled, run_soak_with,
+    shrink, ShrinkOutcome, SoakConfig, SoakFailure, SoakReport, SoakScenario,
 };
 pub use spec::{AlgorithmSpec, DistributionSpec};
 pub use stats::Summary;

@@ -22,6 +22,7 @@
 
 use crate::spec::{AlgorithmSpec, DistributionSpec};
 use cubefit_core::{PlacementDump, Result, Tenant, TenantId};
+use cubefit_durability::Journal;
 use cubefit_service::{PlacementService, Request, ServiceConfig, ShutdownFlag};
 use cubefit_telemetry::Recorder;
 use rand::{Rng, SeedableRng};
@@ -489,10 +490,43 @@ pub fn run_serve_with(
     recorder: Recorder,
     shutdown: &ShutdownFlag,
 ) -> Result<ServeRun> {
+    run_serve_inner(config, recorder, shutdown, None)
+}
+
+/// Like [`run_serve_with`], but every mutation the service applies is
+/// journaled before acknowledgement and the journal is checkpointed every
+/// `checkpoint_every_batches` batches. The journal is sealed when the run
+/// finishes — including a cooperative Ctrl-C drain — so an unsealed
+/// journal on disk always means the process was killed.
+///
+/// # Errors
+///
+/// Propagates configuration, consolidator, and journal I/O errors.
+pub fn run_serve_journaled(
+    config: ServeConfig,
+    recorder: Recorder,
+    journal: &Journal,
+    checkpoint_every_batches: u64,
+    shutdown: &ShutdownFlag,
+) -> Result<ServeRun> {
+    run_serve_inner(config, recorder, shutdown, Some((journal.clone(), checkpoint_every_batches)))
+}
+
+fn run_serve_inner(
+    config: ServeConfig,
+    recorder: Recorder,
+    shutdown: &ShutdownFlag,
+    journal: Option<(Journal, u64)>,
+) -> Result<ServeRun> {
     config.validate().map_err(cubefit_core::Error::invalid_config)?;
     let consolidator = config.algorithm.build()?;
-    let service = PlacementService::new(consolidator, config.service, recorder)
-        .map_err(cubefit_core::Error::invalid_config)?;
+    let service = match journal {
+        Some((journal, stride)) => {
+            PlacementService::journaled(consolidator, config.service, recorder, journal, stride)
+        }
+        None => PlacementService::new(consolidator, config.service, recorder),
+    }
+    .map_err(cubefit_core::Error::invalid_config)?;
 
     let mut harness = Harness {
         rng: ChaCha8Rng::seed_from_u64(config.seed),
@@ -572,6 +606,7 @@ pub fn run_serve_with(
 
     let stats = harness.service.stats();
     debug_assert!(harness.service.accounting_balanced());
+    harness.service.seal_journal()?;
     let duration_ms = harness.now_ms.max(harness.config.horizon_ms.min(harness.now_ms + 1.0));
     let latency = LatencySummary::from_samples(&mut harness.latencies);
     let placement = harness.service.consolidator().placement();
@@ -637,6 +672,32 @@ mod tests {
         );
         let placement = a.dump.to_placement().unwrap();
         assert!(oracle::audit(&placement).is_ok(), "final dump replays clean");
+    }
+
+    #[test]
+    fn journaled_serve_matches_and_recovers_even_when_interrupted() {
+        let dir = std::env::temp_dir().join("cubefit-serve-journal-tests").join("interrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = quick(7, false);
+        // Cooperative Ctrl-C mid-run: the drain must still seal the log.
+        config.interrupt_at_ms = Some(1_500.0);
+        let plain = run_serve(config.clone()).unwrap();
+        assert!(plain.report.interrupted);
+        let journal =
+            cubefit_durability::Journal::create(&dir, 2, cubefit_durability::FsyncPolicy::Never)
+                .unwrap();
+        let run =
+            run_serve_journaled(config, Recorder::disabled(), &journal, 16, &ShutdownFlag::new())
+                .unwrap();
+        assert_eq!(run, plain, "journaling must not perturb the run");
+        let state = cubefit_durability::recover(&dir).unwrap();
+        assert!(state.sealed, "an interrupted drain still seals the journal");
+        assert_eq!(
+            serde_json::to_string(&state.dump()).unwrap(),
+            serde_json::to_string(&run.dump).unwrap(),
+            "recovered placement must equal the final dump byte-for-byte"
+        );
+        assert!(oracle::audit(&state.placement).is_ok());
     }
 
     #[test]

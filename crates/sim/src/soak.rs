@@ -30,6 +30,7 @@ use crate::spec::{AlgorithmSpec, DistributionSpec};
 use cubefit_core::monitor::{classify_with, DEFAULT_AT_RISK_SLACK};
 use cubefit_core::{oracle, BinId, Consolidator, Result, Tenant, TenantId};
 use cubefit_defrag::{DefragObjective, MigrationBudget};
+use cubefit_durability::{Journal, JournaledConsolidator};
 use cubefit_economics::{CostReport, RentConfig};
 use cubefit_service::ShutdownFlag;
 use cubefit_telemetry::{Recorder, TraceEvent};
@@ -65,6 +66,12 @@ pub struct SoakConfig {
     /// Emit a [`TraceEvent::SoakCheckpoint`] and grade the placement with
     /// the invariant monitor every N ops (`0` falls back to 1 000).
     pub checkpoint_every: u64,
+    /// Journal checkpoint stride for journaled runs (`None` rides
+    /// [`SoakConfig::checkpoint_every`]). Journal checkpoints write and
+    /// fsync a full placement snapshot, so production-scale runs want
+    /// them far rarer than the trace/monitor checkpoints — the log
+    /// replayed at recovery grows by one small frame per op in exchange.
+    pub journal_checkpoint_every: Option<u64>,
     /// Run a defragmentation epoch every N ops (`0` disables defrag).
     pub defrag_every: u64,
     /// Migration budget for each defrag epoch.
@@ -108,6 +115,7 @@ impl SoakConfig {
             failure_percent: 6,
             audit_every: 1_000,
             checkpoint_every: 500,
+            journal_checkpoint_every: None,
             defrag_every: 0,
             defrag_budget: MigrationBudget::default(),
             defrag_objective: DefragObjective::Bins,
@@ -262,7 +270,8 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport> {
 ///
 /// Propagates algorithm construction and mutation errors.
 pub fn run_soak_with(config: &SoakConfig, recorder: Recorder) -> Result<SoakReport> {
-    run_loop(config, recorder, config.ops, &CheckMode::Sampled, None)
+    run_loop(config, recorder, config.ops, &CheckMode::Sampled, None, None)
+        .map(|(report, _)| report)
 }
 
 /// [`run_soak_with`] with a cooperative shutdown flag polled between
@@ -277,7 +286,60 @@ pub fn run_soak_cancellable(
     recorder: Recorder,
     shutdown: &ShutdownFlag,
 ) -> Result<SoakReport> {
-    run_loop(config, recorder, config.ops, &CheckMode::Sampled, Some(shutdown))
+    run_loop(config, recorder, config.ops, &CheckMode::Sampled, Some(shutdown), None)
+        .map(|(report, _)| report)
+}
+
+/// [`run_soak_cancellable`] with every mutation journaled through
+/// `journal` and checkpoints taken at the soak checkpoint stride.
+///
+/// On a clean finish — **and** on a cooperative shutdown (Ctrl-C) — the
+/// journal is fsynced and sealed before the report is returned, so an
+/// interrupted run recovers exactly to its partial state. A hard kill
+/// (crash) skips the seal, which is precisely what [`crate::crash`]
+/// simulates and `cubefit recover` repairs.
+///
+/// # Errors
+///
+/// Propagates algorithm construction, mutation, and journal I/O errors.
+pub fn run_soak_journaled(
+    config: &SoakConfig,
+    recorder: Recorder,
+    journal: &Journal,
+    shutdown: Option<&ShutdownFlag>,
+) -> Result<SoakReport> {
+    let (report, _) =
+        run_loop(config, recorder, config.ops, &CheckMode::Sampled, shutdown, Some(journal))?;
+    journal.seal().map_err(cubefit_core::Error::from)?;
+    Ok(report)
+}
+
+/// Runs the journaled soak loop capped at `limit` ops and hands back the
+/// live consolidator *without sealing* — the crash harness's simulated
+/// `kill -9`, leaving the journal exactly as a dead process would.
+pub(crate) fn run_crash_prefix(
+    config: &SoakConfig,
+    journal: &Journal,
+    limit: u64,
+) -> Result<(SoakReport, Box<dyn Consolidator>)> {
+    run_loop(config, Recorder::disabled(), limit, &CheckMode::Sampled, None, Some(journal))
+}
+
+/// Runs a journaled soak that stops dead after `crash_at` ops **without
+/// sealing the journal** — the CI crash drill behind
+/// `cubefit soak --journal DIR --crash-at OP`. The on-disk journal is
+/// left exactly as a process killed at that op would leave it; a
+/// subsequent `cubefit recover` must reconstruct the placement.
+///
+/// # Errors
+///
+/// Propagates algorithm construction, mutation, and journal I/O errors.
+pub fn run_soak_crashed(
+    config: &SoakConfig,
+    journal: &Journal,
+    crash_at: u64,
+) -> Result<SoakReport> {
+    run_crash_prefix(config, journal, crash_at).map(|(report, _)| report)
 }
 
 /// Replays a scenario: re-runs the deterministic prefix up to
@@ -288,11 +350,12 @@ pub fn run_soak_cancellable(
 ///
 /// Propagates algorithm construction and mutation errors.
 pub fn replay(scenario: &SoakScenario) -> Result<Option<SoakFailure>> {
-    let report = run_loop(
+    let (report, _) = run_loop(
         &scenario.config,
         Recorder::disabled(),
         scenario.window_hi.saturating_add(1),
         &CheckMode::Window { lo: scenario.window_lo, hi: scenario.window_hi },
+        None,
         None,
     )?;
     Ok(report.failure)
@@ -373,7 +436,9 @@ pub fn shrink(scenario: &SoakScenario) -> std::result::Result<ShrinkOutcome, Str
 /// The shared inner loop behind [`run_soak_with`], [`replay`] and
 /// [`shrink`] probes. `limit` caps the ops executed; `mode` selects
 /// sampled or per-op-in-window checking. RNG draw order is identical in
-/// every mode.
+/// every mode — journaling included: the wrapper records decisions
+/// already made and never draws randomness, so a journaled run follows
+/// the exact trajectory of an unjournaled one.
 #[allow(clippy::too_many_lines)]
 fn run_loop(
     config: &SoakConfig,
@@ -381,10 +446,14 @@ fn run_loop(
     limit: u64,
     mode: &CheckMode,
     shutdown: Option<&ShutdownFlag>,
-) -> Result<SoakReport> {
+    journal: Option<&Journal>,
+) -> Result<(SoakReport, Box<dyn Consolidator>)> {
     let gamma = config.algorithm.gamma();
     let mut consolidator: Box<dyn Consolidator> = config.algorithm.build()?;
     consolidator.set_recorder(recorder.clone());
+    if let Some(journal) = journal {
+        consolidator = Box::new(JournaledConsolidator::new(consolidator, journal.clone()));
+    }
 
     let model = LoadModel::tpch_xeon();
     let distribution = config.distribution.build(model.max_clients());
@@ -430,6 +499,7 @@ fn run_loop(
 
     let slack = config.drift.map_or(DEFAULT_AT_RISK_SLACK, |d| d.at_risk_slack);
     let checkpoint_stride = config.checkpoint_stride();
+    let journal_stride = config.journal_checkpoint_every.unwrap_or(checkpoint_stride).max(1);
     let mut alive: Vec<TenantId> = Vec::new();
     let mut next_id: u64 = 0;
     let mut known_violated: Vec<BinId> = Vec::new();
@@ -605,6 +675,25 @@ fn run_loop(
                 report.checkpoints += 1;
             }
 
+            // Journal checkpoints ride their own stride (defaulting to the
+            // trace stride), and only the *strict* stride — the
+            // `op + 1 == total` tail checkpoint is skipped so a
+            // limit-capped crash-prefix run leaves its journal exactly as
+            // a mid-run kill would.
+            if (op + 1) % journal_stride == 0 {
+                if let Some(journal) = journal {
+                    let info = journal
+                        .checkpoint(consolidator.placement())
+                        .map_err(cubefit_core::Error::from)?;
+                    let tenants = consolidator.placement().tenant_count();
+                    recorder.emit(|| TraceEvent::JournalCheckpoint {
+                        seq: info.seq,
+                        tenants,
+                        wal_bytes: info.wal_bytes,
+                    });
+                }
+            }
+
             if config.fail_on_violation && !monitor.violated.is_empty() {
                 fail_run(
                     &mut report,
@@ -679,7 +768,7 @@ fn run_loop(
             );
         }
     }
-    Ok(report)
+    Ok((report, consolidator))
 }
 
 /// Records the first failure and its replayable scenario on the report.

@@ -255,6 +255,27 @@ pub enum TraceEvent {
         /// Batch sequence number the step happened at.
         batch: u64,
     },
+    /// The durability journal took a checkpoint: the placement was
+    /// snapshotted atomically and the write-ahead log truncated.
+    JournalCheckpoint {
+        /// Journal sequence number the checkpoint covers (frames with
+        /// `seq ≤` this are no longer needed for recovery).
+        seq: u64,
+        /// Tenants captured in the checkpoint snapshot.
+        tenants: usize,
+        /// Bytes of write-ahead log the checkpoint retired.
+        wal_bytes: u64,
+    },
+    /// A crash recovery replayed the journal tail over a checkpoint.
+    RecoveryReplayed {
+        /// Sequence number of the checkpoint recovery started from (0 =
+        /// no checkpoint, replayed from an empty placement).
+        checkpoint_seq: u64,
+        /// Journal frames replayed on top of the checkpoint.
+        frames_replayed: u64,
+        /// Whether a torn (incomplete) final frame was discarded.
+        torn_tail: bool,
+    },
 }
 
 /// Names of every [`TraceEvent`] variant, in declaration order. Paired
@@ -285,6 +306,8 @@ pub const VARIANT_NAMES: &[&str] = &[
     "AuditCompleted",
     "RequestRejected",
     "DegradationChanged",
+    "JournalCheckpoint",
+    "RecoveryReplayed",
 ];
 
 impl TraceEvent {
@@ -319,6 +342,8 @@ impl TraceEvent {
             TraceEvent::AuditCompleted { .. } => "AuditCompleted",
             TraceEvent::RequestRejected { .. } => "RequestRejected",
             TraceEvent::DegradationChanged { .. } => "DegradationChanged",
+            TraceEvent::JournalCheckpoint { .. } => "JournalCheckpoint",
+            TraceEvent::RecoveryReplayed { .. } => "RecoveryReplayed",
         }
     }
 }
@@ -493,6 +518,12 @@ pub(crate) mod tests {
                 to: "sampled".to_owned(),
                 p99_ms: 137.5,
                 batch: 42,
+            },
+            TraceEvent::JournalCheckpoint { seq: 500, tenants: 240, wal_bytes: 65_536 },
+            TraceEvent::RecoveryReplayed {
+                checkpoint_seq: 500,
+                frames_replayed: 37,
+                torn_tail: true,
             },
         ]
     }
